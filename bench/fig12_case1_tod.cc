@@ -1,0 +1,88 @@
+// Reproduces Figure 12 (case study 1): recovered TOD between residential
+// region A and commercial region B on a Sunday in the Hangzhou analogue.
+// The reproduction target: the recovered A->B series peaks late morning
+// (~10am) and early evening (~6pm); the recovered B->A series peaks late
+// (8pm-1am) — matching Sunday shopping habits.
+
+#include <cstdio>
+
+#include "baselines/ovs_estimator.h"
+#include "data/case_studies.h"
+#include "eval/harness.h"
+#include "util/bench_config.h"
+#include "util/table.h"
+
+namespace {
+
+/// Renders an hourly series as a rough ASCII bar chart row set.
+void PrintSeries(const char* label, const ovs::od::TodTensor& tod, int od_idx) {
+  std::printf("%s\n", label);
+  double max_v = 1e-9;
+  for (int t = 0; t < tod.num_intervals(); ++t) {
+    max_v = std::max(max_v, tod.at(od_idx, t));
+  }
+  for (int t = 0; t < tod.num_intervals(); ++t) {
+    const int bars = static_cast<int>(tod.at(od_idx, t) / max_v * 40.0 + 0.5);
+    std::printf("  %02d:00 %6.1f |%s\n", t, tod.at(od_idx, t),
+                std::string(bars, '#').c_str());
+  }
+}
+
+int ArgMaxHour(const ovs::od::TodTensor& tod, int od_idx, int from, int to) {
+  int best = from;
+  for (int t = from; t <= to; ++t) {
+    if (tod.at(od_idx, t) > tod.at(od_idx, best)) best = t;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ovs;
+  const bool full = GetBenchScale() == BenchScale::kFull;
+
+  data::Case1Dataset case1 = data::BuildCase1Hangzhou();
+  const data::Dataset& dataset = case1.dataset;
+  std::printf(
+      "[fig12] %s: residential region %d <-> commercial region %d (ODs %d, "
+      "%d)\n",
+      dataset.name.c_str(), case1.region_a, case1.region_b, case1.od_ab,
+      case1.od_ba);
+
+  eval::HarnessConfig harness;
+  harness.num_train_samples = ScaledIters(8, 30);
+  eval::Experiment experiment(&dataset, harness);
+
+  baselines::OvsEstimator::Params params;
+  params.trainer.stage1_epochs = full ? 400 : 60;
+  params.trainer.stage2_epochs = full ? 400 : 80;
+  params.trainer.recovery_epochs = full ? 1500 : 800;
+  // Event days carry large *genuine* speed residuals (multi-hour jams); the
+  // robust default delta would linearize them away, so widen it here.
+  params.trainer.recovery_huber_delta = 0.3f;
+  params.trainer.recovery_lr = 0.02f;       // wide dynamic range to traverse
+  params.trainer.recovery_prior_weight = 0.01f;
+  if (full) params.model.lstm_hidden = 128;
+  baselines::OvsEstimator ovs(params);
+
+  od::TodTensor recovered =
+      ovs.Recover(experiment.context(), experiment.ground_truth().speed);
+
+  PrintSeries("Recovered TOD A->B (residential -> commercial):", recovered,
+              case1.od_ab);
+  PrintSeries("Recovered TOD B->A (commercial -> residential):", recovered,
+              case1.od_ba);
+
+  const int ab_morning = ArgMaxHour(recovered, case1.od_ab, 6, 13);
+  const int ab_evening = ArgMaxHour(recovered, case1.od_ab, 14, 20);
+  const int ba_late = ArgMaxHour(recovered, case1.od_ba, 18, 23);
+  std::printf(
+      "Recovered peaks: A->B morning %02d:00, A->B evening %02d:00, B->A "
+      "late %02d:00\n",
+      ab_morning, ab_evening, ba_late);
+  std::printf(
+      "Ground-truth peaks (synthesized Sunday rhythm): ~10:00, ~18:00 and "
+      "~20:00-01:00 (paper Fig. 12).\n");
+  return 0;
+}

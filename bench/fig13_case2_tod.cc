@@ -1,0 +1,85 @@
+// Reproduces Figure 13 (case study 2): football Saturday in the college-town
+// analogue. Three ODs feed the stadium; O1/O3 sit at the highway exits and
+// carry the out-of-town crowd, O2 is the small local feeder. The
+// reproduction target: recovered arrivals peak ~9am (two hours before a noon
+// kickoff) and the highway ODs dominate the local one.
+
+#include <cstdio>
+
+#include "baselines/ovs_estimator.h"
+#include "data/case_studies.h"
+#include "eval/harness.h"
+#include "util/bench_config.h"
+
+namespace {
+
+void PrintSeries(const char* label, const ovs::od::TodTensor& tod, int od_idx) {
+  std::printf("%s\n", label);
+  double max_v = 1e-9;
+  for (int t = 0; t < tod.num_intervals(); ++t) {
+    max_v = std::max(max_v, tod.at(od_idx, t));
+  }
+  for (int t = 0; t < tod.num_intervals(); ++t) {
+    const int bars = static_cast<int>(tod.at(od_idx, t) / max_v * 40.0 + 0.5);
+    std::printf("  %02d:00 %6.1f |%s\n", t, tod.at(od_idx, t),
+                std::string(bars, '#').c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace ovs;
+  const bool full = GetBenchScale() == BenchScale::kFull;
+
+  data::Case2Dataset case2 = data::BuildCase2StateCollege();
+  const data::Dataset& dataset = case2.dataset;
+  std::printf("[fig13] %s: stadium region %d; ODs O1=%d O2=%d O3=%d\n",
+              dataset.name.c_str(), case2.stadium_region, case2.od_o1,
+              case2.od_o2, case2.od_o3);
+
+  eval::HarnessConfig harness;
+  harness.num_train_samples = ScaledIters(8, 30);
+  eval::Experiment experiment(&dataset, harness);
+
+  baselines::OvsEstimator::Params params;
+  params.trainer.stage1_epochs = full ? 400 : 60;
+  params.trainer.stage2_epochs = full ? 400 : 80;
+  params.trainer.recovery_epochs = full ? 1500 : 800;
+  // Event days carry large *genuine* speed residuals (multi-hour jams); the
+  // robust default delta would linearize them away, so widen it here.
+  params.trainer.recovery_huber_delta = 0.3f;
+  params.trainer.recovery_lr = 0.02f;       // wide dynamic range to traverse
+  params.trainer.recovery_prior_weight = 0.01f;
+  if (full) params.model.lstm_hidden = 128;
+  baselines::OvsEstimator ovs(params);
+
+  od::TodTensor recovered =
+      ovs.Recover(experiment.context(), experiment.ground_truth().speed);
+
+  PrintSeries("Recovered TOD O1 -> stadium (highway #99 analogue):", recovered,
+              case2.od_o1);
+  PrintSeries("Recovered TOD O2 -> stadium (local residential):", recovered,
+              case2.od_o2);
+  PrintSeries("Recovered TOD O3 -> stadium (highway #322 analogue):", recovered,
+              case2.od_o3);
+
+  auto peak_hour = [&](int od) {
+    int best = 0;
+    for (int t = 0; t < recovered.num_intervals(); ++t) {
+      if (recovered.at(od, t) > recovered.at(od, best)) best = t;
+    }
+    return best;
+  };
+  std::printf(
+      "Recovered: peak hours O1=%02d:00 O2=%02d:00 O3=%02d:00; totals "
+      "O1=%.0f O2=%.0f O3=%.0f\n",
+      peak_hour(case2.od_o1), peak_hour(case2.od_o2), peak_hour(case2.od_o3),
+      recovered.OdTotal(case2.od_o1), recovered.OdTotal(case2.od_o2),
+      recovered.OdTotal(case2.od_o3));
+  std::printf(
+      "Expected shape: arrivals peak ~09:00 for the noon game; O1 and O3 "
+      "(highway gates) carry far more trips than the local O2 (paper Fig. "
+      "13).\n");
+  return 0;
+}

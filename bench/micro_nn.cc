@@ -1,0 +1,100 @@
+// Substrate microbenchmarks: autodiff op throughput and whole-model
+// iteration cost of the OVS networks.
+
+#include <benchmark/benchmark.h>
+
+#include "core/ovs_model.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace {
+
+using namespace ovs;
+using namespace ovs::nn;
+
+void BM_MatMulForwardBackward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Variable a(Tensor::RandomUniform({n, n}, -1, 1, &rng), true);
+  Variable b(Tensor::RandomUniform({n, n}, -1, 1, &rng), true);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Variable loss = Sum(MatMul(a, b));
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.value()[0]);
+  }
+  state.counters["flops"] = benchmark::Counter(
+      3.0 * 2.0 * n * n * n * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MatMulForwardBackward)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LstmSequence(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Lstm lstm(1, 32, &rng);
+  std::vector<Tensor> inputs;
+  for (int t = 0; t < 12; ++t) {
+    inputs.push_back(Tensor::RandomUniform({batch, 1}, 0, 1, &rng));
+  }
+  for (auto _ : state) {
+    lstm.ZeroGrad();
+    std::vector<Variable> xs;
+    for (const Tensor& in : inputs) xs.emplace_back(in);
+    std::vector<Variable> hs = lstm.Forward(xs);
+    Variable loss = Sum(Mul(hs.back(), hs.back()));
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.value()[0]);
+  }
+}
+BENCHMARK(BM_LstmSequence)->Arg(24)->Arg(180)->Arg(360)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OvsFullIteration(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  const int n_od = links / 3;
+  const int t_count = 12;
+  Rng rng(3);
+  DMat incidence(links, n_od);
+  for (int i = 0; i < n_od; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      incidence.at(rng.UniformInt(0, links - 1), i) = 1.0;
+    }
+  }
+  core::OvsConfig config;
+  core::OvsModel model(n_od, links, t_count, incidence, config, &rng);
+  Adam opt(model.Parameters(), 1e-3f);
+  Tensor target = Tensor::RandomUniform({links, t_count}, 0, 1, &rng);
+  for (auto _ : state) {
+    opt.ZeroGrad();
+    Variable v = model.ForwardSpeed();
+    Variable loss = MseLoss(ScalarMul(v, 1.0f / config.speed_scale), target);
+    loss.Backward();
+    opt.Step();
+    benchmark::DoNotOptimize(loss.value()[0]);
+  }
+  state.counters["params"] = model.NumParameters();
+}
+BENCHMARK(BM_OvsFullIteration)->Arg(24)->Arg(126)->Arg(360)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Variable> params;
+  for (int i = 0; i < 10; ++i) {
+    Variable p(Tensor::RandomUniform({100, 100}, -1, 1, &rng), true);
+    p.ZeroGrad();
+    params.push_back(p);
+  }
+  Adam opt(params, 1e-3f);
+  for (auto _ : state) {
+    opt.Step();
+  }
+}
+BENCHMARK(BM_AdamStep)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Reproduces Table VII: OVS end-to-end running time on the three city-scale
+// datasets. The paper reports 235 / 434 / 1037 seconds for Hangzhou / Porto /
+// Manhattan with its 10000-epoch budget; the reproduction target is the
+// *ordering and growth* (time scales with network size), with absolute
+// numbers depending on the epoch budget (OVS_BENCH_SCALE). It also verifies
+// the paper's note that recovery ("prediction") is much cheaper than the
+// one-off mapping training, and that a single fitted forward pass is
+// sub-second.
+
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "data/cities.h"
+#include "util/bench_config.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace ovs;
+  const int train_samples = ScaledIters(10, 40);
+  const bool full = GetBenchScale() == BenchScale::kFull;
+
+  Table table("Table VII (analogue) — OVS running time in seconds");
+  table.SetHeader({"Dataset", "links", "datagen(s)", "train(s)", "recover(s)",
+                   "forward(ms)", "total(s)"});
+
+  for (const data::DatasetConfig& config :
+       {data::HangzhouConfig(), data::PortoConfig(), data::ManhattanConfig()}) {
+    data::Dataset dataset = data::BuildDataset(config);
+    Timer total;
+
+    Timer datagen;
+    core::TrainingData train =
+        core::GenerateTrainingData(dataset, train_samples, 1001);
+    const double datagen_s = datagen.ElapsedSeconds();
+
+    Rng rng(7);
+    core::OvsConfig model_config;
+    if (full) model_config.lstm_hidden = 128;
+    model_config.tod_scale = static_cast<float>(train.tod_scale);
+    model_config.volume_norm = static_cast<float>(train.volume_norm);
+    model_config.speed_scale = static_cast<float>(train.speed_scale);
+    core::OvsModel model(dataset.num_od(), dataset.num_links(),
+                         dataset.num_intervals(), dataset.incidence,
+                         model_config, &rng);
+    core::TrainerConfig trainer_config;
+    trainer_config.stage1_epochs = full ? 400 : 60;
+    trainer_config.stage2_epochs = full ? 400 : 80;
+    trainer_config.recovery_epochs = full ? 1000 : 200;
+    core::OvsTrainer trainer(&model, trainer_config);
+
+    Timer train_timer;
+    trainer.TrainVolumeSpeed(train);
+    trainer.TrainTodVolume(train);
+    const double train_s = train_timer.ElapsedSeconds();
+
+    core::TrainingSample ground_truth = core::SimulateGroundTruth(dataset, 4242);
+    Timer recover_timer;
+    trainer.RecoverTod(ground_truth.speed, nullptr, &rng);
+    const double recover_s = recover_timer.ElapsedSeconds();
+
+    Timer forward_timer;
+    model.ForwardSpeed();
+    const double forward_ms = forward_timer.ElapsedMillis();
+
+    table.AddRow({dataset.name, std::to_string(dataset.net.num_links()),
+                  Table::Cell(datagen_s, 1), Table::Cell(train_s, 1),
+                  Table::Cell(recover_s, 1), Table::Cell(forward_ms, 1),
+                  Table::Cell(total.ElapsedSeconds(), 1)});
+    std::printf("[table7] %s done in %.1f s\n", dataset.name.c_str(),
+                total.ElapsedSeconds());
+  }
+  table.Print();
+  return 0;
+}

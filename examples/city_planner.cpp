@@ -1,0 +1,97 @@
+// City-planner "what-if" example — the paper's motivating use case.
+//
+// Once the TOD is recovered from speed data, the rebuilt traffic system can
+// answer counterfactuals that pure prediction methods cannot (paper §I):
+// here, "what happens to travel times if we close a lane on the busiest
+// corridor for road work?" and "what if demand grows 30%?".
+//
+// Run: ./build/examples/city_planner
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/ovs_estimator.h"
+#include "data/cities.h"
+#include "eval/harness.h"
+#include "od/demand.h"
+
+namespace {
+
+/// Simulates a TOD under optional road works and reports headline numbers.
+ovs::sim::SensorData RunScenario(const ovs::data::Dataset& city,
+                                 const ovs::od::TodTensor& tod,
+                                 const std::vector<ovs::sim::RoadWork>& works,
+                                 const char* label) {
+  using namespace ovs;
+  Rng rng(4242);
+  od::DemandGenerator demand(&city.net, &city.regions, &city.od_set,
+                             city.config.interval_s);
+  std::vector<sim::TripRequest> trips = demand.Generate(tod, &rng);
+  sim::SensorData out = sim::Simulate(city.net, city.engine_config, trips, works);
+  std::printf("  %-28s mean speed %5.2f m/s, mean travel time %6.1f s, "
+              "completed %d/%d trips\n",
+              label, out.speed.Mean(), out.mean_travel_time_s,
+              out.completed_trips, out.spawned_trips + out.unspawned_trips);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ovs;
+
+  data::Dataset city = data::BuildDataset(data::HangzhouConfig());
+  std::printf("city '%s': %d links, %d OD pairs\n", city.name.c_str(),
+              city.net.num_links(), city.num_od());
+
+  // Step 1: recover the TOD from the observed speed (as a planner would —
+  // the true demand is never available directly).
+  eval::HarnessConfig harness;
+  harness.num_train_samples = 8;
+  eval::Experiment experiment(&city, harness);
+  baselines::OvsEstimator ovs_estimator;
+  std::printf("recovering TOD from city-wide speed...\n");
+  od::TodTensor recovered = ovs_estimator.Recover(
+      experiment.context(), experiment.ground_truth().speed);
+  std::printf("recovered %.0f trips over the horizon\n\n",
+              recovered.TotalTrips());
+
+  // Step 2: find the busiest corridor (most OD routes crossing it).
+  int busiest = 0;
+  double best = -1.0;
+  for (int l = 0; l < city.num_links(); ++l) {
+    double crossings = 0.0;
+    for (int i = 0; i < city.num_od(); ++i) crossings += city.incidence.at(l, i);
+    if (crossings > best) {
+      best = crossings;
+      busiest = l;
+    }
+  }
+  std::printf("busiest corridor: link %d (crossed by %.0f OD routes)\n\n",
+              busiest, best);
+
+  // Step 3: counterfactuals on the *rebuilt* traffic system.
+  std::printf("scenario analysis (simulating the recovered demand):\n");
+  RunScenario(city, recovered, {}, "baseline");
+
+  sim::RoadWork closure;
+  closure.link = busiest;
+  closure.speed_factor = 0.5;
+  closure.closed_lanes = 1;
+  RunScenario(city, recovered, {closure}, "road work on busiest link");
+
+  od::TodTensor grown = recovered;
+  grown.Scale(1.3);
+  RunScenario(city, grown, {}, "demand +30%");
+
+  od::TodTensor reduced = recovered;
+  reduced.Scale(0.7);
+  RunScenario(city, reduced, {}, "demand -30% (transit shift)");
+
+  std::printf(
+      "\nThese counterfactuals are exactly what historical-data prediction "
+      "cannot answer (paper §I): they require the recovered TOD plus the "
+      "rebuilt TOD->volume->speed system.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Simulator-only example: build a road network by hand, load demand, run the
+// microscopic engine and read the sensors. Useful as the entry point for
+// anyone adopting the `sim` substrate on its own.
+//
+// Run: ./build/examples/simulate_city
+
+#include <cstdio>
+
+#include "sim/engine.h"
+#include "sim/router.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace ovs;
+
+  // A small arterial: two parallel east-west corridors joined by cross
+  // streets, with a faster "highway" on the north side.
+  sim::RoadNet net;
+  //   0 -- 1 -- 2 -- 3     (north, 19.4 m/s ~ 70 km/h)
+  //   |    |    |    |
+  //   4 -- 5 -- 6 -- 7     (south, 13.9 m/s ~ 50 km/h)
+  for (int i = 0; i < 4; ++i) net.AddIntersection(i * 400.0, 400.0);
+  for (int i = 0; i < 4; ++i) net.AddIntersection(i * 400.0, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    net.AddRoad(i, i + 1, 400.0, 2, 19.4);          // north corridor
+    net.AddRoad(4 + i, 5 + i, 400.0, 1, 13.9);      // south corridor
+  }
+  for (int i = 0; i < 4; ++i) net.AddRoad(i, 4 + i, 400.0, 1, 13.9);
+  CHECK_OK(net.Validate());
+  std::printf("network: %d intersections, %d links\n",
+              net.num_intersections(), net.num_links());
+
+  // Demand: a rush-hour pulse west->east, routed on the fastest path.
+  sim::Router router(&net);
+  Rng rng(1);
+  sim::EngineConfig config;
+  config.duration_s = 3600.0;
+  config.interval_s = 600.0;
+  sim::Engine engine(&net, config);
+  int added = 0;
+  for (int i = 0; i < 1200; ++i) {
+    const int origin = rng.Bernoulli(0.5) ? 0 : 4;
+    const int dest = rng.Bernoulli(0.5) ? 3 : 7;
+    StatusOr<sim::Route> route = router.CachedRoute(origin, dest);
+    if (!route.ok()) continue;
+    // A triangular demand profile peaking mid-hour.
+    const double u = rng.Uniform(0.0, 1.0) + rng.Uniform(0.0, 1.0);
+    engine.AddTrip({u * 1800.0, route.value()});
+    ++added;
+  }
+  std::printf("loaded %d trips; running 1 hour at 1 s steps...\n", added);
+
+  sim::SensorData out = engine.Run();
+  std::printf("completed %d trips, mean travel time %.1f s, %d still "
+              "en-route\n\n",
+              out.completed_trips, out.mean_travel_time_s,
+              engine.active_vehicles());
+
+  std::printf("link sensors (volume entering / mean speed per 10-min "
+              "interval):\n");
+  std::printf("%-6s", "link");
+  for (int t = 0; t < out.volume.cols(); ++t) std::printf("   t%-7d", t);
+  std::printf("\n");
+  for (int l = 0; l < net.num_links(); ++l) {
+    if (out.volume.RowSum(l) == 0.0) continue;  // skip unused links
+    std::printf("%-6d", l);
+    for (int t = 0; t < out.volume.cols(); ++t) {
+      std::printf(" %4.0f/%4.1f", out.volume.at(l, t), out.speed.at(l, t));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nNote how the single-lane south corridor slows as the pulse peaks "
+      "while the two-lane 70 km/h north corridor absorbs its share.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "baselines/em.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/linalg.h"
+
+namespace ovs::baselines {
+
+od::TodTensor EmEstimator::Recover(const EstimatorContext& ctx,
+                                   const DMat& observed_speed) {
+  CHECK(ctx.dataset != nullptr);
+  CHECK(ctx.train != nullptr);
+  CHECK(!ctx.train->samples.empty());
+  const data::Dataset& ds = *ctx.dataset;
+  const core::TrainingData& train = *ctx.train;
+  const int n_od = ds.num_od();
+  const int t_count = ds.num_intervals();
+  const int m_links = ds.num_links();
+  CHECK_EQ(observed_speed.rows(), m_links);
+  CHECK_EQ(observed_speed.cols(), t_count);
+
+  // --- Fit v = B g + c by ridge LS with a bias row of ones. ---
+  int total_cols = 0;
+  for (const core::TrainingSample& s : train.samples) total_cols += s.tod.num_intervals();
+  DMat g_aug(n_od + 1, total_cols);
+  DMat v_all(m_links, total_cols);
+  int offset = 0;
+  for (const core::TrainingSample& s : train.samples) {
+    for (int t = 0; t < s.tod.num_intervals(); ++t) {
+      for (int i = 0; i < n_od; ++i) g_aug.at(i, offset + t) = s.tod.at(i, t);
+      g_aug.at(n_od, offset + t) = 1.0;
+      for (int l = 0; l < m_links; ++l) {
+        v_all.at(l, offset + t) = s.speed.at(l, t);
+      }
+    }
+    offset += s.tod.num_intervals();
+  }
+  StatusOr<DMat> fit = RidgeFitLeft(v_all, g_aug, params_.ridge_lambda);
+  CHECK(fit.ok()) << fit.status();
+  DMat b_matrix(m_links, n_od);
+  std::vector<double> bias(m_links);
+  for (int l = 0; l < m_links; ++l) {
+    for (int i = 0; i < n_od; ++i) b_matrix.at(l, i) = fit->at(l, i);
+    bias[l] = fit->at(l, n_od);
+  }
+
+  // --- Initialize prior from the training TOD distribution. ---
+  double prior_mean = 0.0, prior_sq = 0.0;
+  int cells = 0;
+  for (const core::TrainingSample& s : train.samples) {
+    for (int i = 0; i < n_od; ++i) {
+      for (int t = 0; t < s.tod.num_intervals(); ++t) {
+        prior_mean += s.tod.at(i, t);
+        prior_sq += s.tod.at(i, t) * s.tod.at(i, t);
+        ++cells;
+      }
+    }
+  }
+  prior_mean /= cells;
+  double prior_var =
+      std::max(1.0, prior_sq / cells - prior_mean * prior_mean);
+
+  std::vector<double> mu(n_od, prior_mean);
+  double noise_var = 1.0;
+
+  const DMat bt = TransposeD(b_matrix);
+  od::TodTensor recovered(n_od, t_count);
+
+  for (int iter = 0; iter < params_.em_iterations; ++iter) {
+    // E step: posterior mean per interval.
+    // S = B Sigma0 B^T + noise I  (Sigma0 = prior_var I)
+    DMat s_matrix = MatMulD(b_matrix, bt);
+    s_matrix *= prior_var;
+    for (int l = 0; l < m_links; ++l) s_matrix.at(l, l) += noise_var;
+
+    // Residual matrix R[l, t] = v_obs - B mu - c.
+    DMat residual(m_links, t_count);
+    for (int l = 0; l < m_links; ++l) {
+      double b_mu = bias[l];
+      for (int i = 0; i < n_od; ++i) b_mu += b_matrix.at(l, i) * mu[i];
+      for (int t = 0; t < t_count; ++t) {
+        residual.at(l, t) = observed_speed.at(l, t) - b_mu;
+      }
+    }
+    StatusOr<DMat> solved = SolveLinearD(s_matrix, residual);
+    CHECK(solved.ok()) << solved.status();
+    // g_t = mu + prior_var * B^T * solved_t
+    const DMat gain = MatMulD(bt, solved.value());  // [n_od x t]
+    for (int i = 0; i < n_od; ++i) {
+      for (int t = 0; t < t_count; ++t) {
+        recovered.at(i, t) = std::max(0.0, mu[i] + prior_var * gain.at(i, t));
+      }
+    }
+
+    // M step: prior mean from the posterior; noise from reconstruction.
+    for (int i = 0; i < n_od; ++i) {
+      double acc = 0.0;
+      for (int t = 0; t < t_count; ++t) acc += recovered.at(i, t);
+      mu[i] = acc / t_count;
+    }
+    double err = 0.0;
+    for (int t = 0; t < t_count; ++t) {
+      for (int l = 0; l < m_links; ++l) {
+        double pred = bias[l];
+        for (int i = 0; i < n_od; ++i) {
+          pred += b_matrix.at(l, i) * recovered.at(i, t);
+        }
+        const double d = observed_speed.at(l, t) - pred;
+        err += d * d;
+      }
+    }
+    noise_var = std::max(params_.min_noise_var,
+                         err / (static_cast<double>(m_links) * t_count));
+  }
+  return recovered;
+}
+
+}  // namespace ovs::baselines

@@ -1,0 +1,34 @@
+#ifndef OVS_BASELINES_EM_H_
+#define OVS_BASELINES_EM_H_
+
+#include "baselines/estimator.h"
+
+namespace ovs::baselines {
+
+/// EM baseline (paper §V-F, [19], [33]): a linear-Gaussian generative model
+/// v_t = B g_t + c + eps with Gaussian TOD prior g_t ~ N(mu, sigma0^2 I).
+/// B, c come from ridge least squares on the training triples; EM then
+/// alternates posterior inference of g_t given the observed speed (E step)
+/// with re-estimation of the prior mean and noise variance (M step).
+class EmEstimator : public OdEstimator {
+ public:
+  struct Params {
+    double ridge_lambda = 1.0;
+    int em_iterations = 10;
+    double min_noise_var = 1e-3;
+  };
+
+  EmEstimator() : EmEstimator(Params()) {}
+  explicit EmEstimator(Params params) : params_(params) {}
+
+  std::string name() const override { return "EM"; }
+  od::TodTensor Recover(const EstimatorContext& ctx,
+                        const DMat& observed_speed) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace ovs::baselines
+
+#endif  // OVS_BASELINES_EM_H_

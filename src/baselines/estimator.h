@@ -1,0 +1,45 @@
+#ifndef OVS_BASELINES_ESTIMATOR_H_
+#define OVS_BASELINES_ESTIMATOR_H_
+
+#include <functional>
+#include <string>
+
+#include "core/training_data.h"
+#include "data/dataset.h"
+#include "od/tod_tensor.h"
+#include "util/mat.h"
+
+namespace ovs::baselines {
+
+/// Everything an estimator may consume. `train` holds the simulator-generated
+/// (TOD, volume, speed) triples every learned method fits on; `oracle` is the
+/// black-box TOD -> sensors simulator for the search methods (Genetic,
+/// Gravity's k calibration). Estimators must not touch
+/// dataset->ground_truth_tod — that is evaluation-only.
+struct EstimatorContext {
+  const data::Dataset* dataset = nullptr;
+  const core::TrainingData* train = nullptr;
+  std::function<core::TrainingSample(const od::TodTensor&)> oracle;
+  /// Optional camera volume observations [dataset->camera_links.size() x T]
+  /// (the sparse dynamic volume feed of paper Table II).
+  const DMat* camera_volume = nullptr;
+  uint64_t seed = 1;
+};
+
+/// Common interface of the paper's §V-F compared methods (and OVS itself via
+/// an adapter): recover the TOD tensor from the observed city-wide speed.
+class OdEstimator {
+ public:
+  virtual ~OdEstimator() = default;
+
+  /// Method name as it appears in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// Recovers a TOD tensor [N_od x T] from `observed_speed` [M x T].
+  virtual od::TodTensor Recover(const EstimatorContext& ctx,
+                                const DMat& observed_speed) = 0;
+};
+
+}  // namespace ovs::baselines
+
+#endif  // OVS_BASELINES_ESTIMATOR_H_

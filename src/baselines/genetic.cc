@@ -1,0 +1,76 @@
+#include "baselines/genetic.h"
+
+#include <algorithm>
+
+namespace ovs::baselines {
+
+od::TodTensor GeneticEstimator::Recover(const EstimatorContext& ctx,
+                                        const DMat& observed_speed) {
+  CHECK(ctx.dataset != nullptr);
+  CHECK(ctx.oracle);
+  const data::Dataset& ds = *ctx.dataset;
+  Rng rng(ctx.seed * 7919 + 13);
+
+  const int n_od = ds.num_od();
+  const int t_count = ds.num_intervals();
+  const double init_max = params_.init_max_trips;
+
+  struct Individual {
+    od::TodTensor tod;
+    double fitness = 0.0;  // negative speed RMSE
+  };
+
+  auto evaluate = [&](Individual* ind) {
+    const core::TrainingSample sim = ctx.oracle(ind->tod);
+    ind->fitness = -Rmse(sim.speed, observed_speed);
+  };
+
+  std::vector<Individual> population(params_.population);
+  for (Individual& ind : population) {
+    ind.tod = od::TodTensor(n_od, t_count);
+    for (int i = 0; i < n_od; ++i) {
+      for (int t = 0; t < t_count; ++t) {
+        ind.tod.at(i, t) = rng.Uniform(0.0, init_max);
+      }
+    }
+    evaluate(&ind);
+  }
+
+  const double mutation_stddev = init_max * params_.mutation_stddev_fraction;
+  for (int gen = 0; gen < params_.generations; ++gen) {
+    std::stable_sort(population.begin(), population.end(),
+                     [](const Individual& a, const Individual& b) {
+                       return a.fitness > b.fitness;
+                     });
+    const int elites = std::min(params_.elites, params_.population);
+    std::vector<Individual> next(population.begin(), population.begin() + elites);
+    while (static_cast<int>(next.size()) < params_.population) {
+      // Tournament parents drawn from the elite half.
+      const int half = std::max(2, params_.population / 2);
+      const Individual& pa = population[rng.UniformInt(0, half - 1)];
+      const Individual& pb = population[rng.UniformInt(0, half - 1)];
+      Individual child;
+      child.tod = od::TodTensor(n_od, t_count);
+      for (int i = 0; i < n_od; ++i) {
+        for (int t = 0; t < t_count; ++t) {
+          double cell = rng.Bernoulli(0.5) ? pa.tod.at(i, t) : pb.tod.at(i, t);
+          if (rng.Bernoulli(params_.mutation_rate)) {
+            cell += rng.Gaussian(0.0, mutation_stddev);
+          }
+          child.tod.at(i, t) = std::max(0.0, cell);
+        }
+      }
+      evaluate(&child);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+
+  auto best = std::max_element(population.begin(), population.end(),
+                               [](const Individual& a, const Individual& b) {
+                                 return a.fitness < b.fitness;
+                               });
+  return best->tod;
+}
+
+}  // namespace ovs::baselines

@@ -1,0 +1,37 @@
+#ifndef OVS_BASELINES_GENETIC_H_
+#define OVS_BASELINES_GENETIC_H_
+
+#include "baselines/estimator.h"
+
+namespace ovs::baselines {
+
+/// Genetic search over TOD tensors (paper §V-F, [32]): a population of
+/// candidate tensors is scored by how well their simulated speed matches the
+/// observation; elites survive, crossover mixes cells, mutation adds
+/// Gaussian noise. The oracle (microscopic simulator) is the fitness
+/// function, so generations are the dominant cost.
+class GeneticEstimator : public OdEstimator {
+ public:
+  struct Params {
+    int population = 12;
+    int generations = 8;
+    int elites = 3;            ///< carried over unchanged
+    double mutation_rate = 0.25;
+    double mutation_stddev_fraction = 0.15;  ///< of the init range
+    double init_max_trips = 60.0;            ///< uniform init upper bound
+  };
+
+  GeneticEstimator() : GeneticEstimator(Params()) {}
+  explicit GeneticEstimator(Params params) : params_(params) {}
+
+  std::string name() const override { return "Genetic"; }
+  od::TodTensor Recover(const EstimatorContext& ctx,
+                        const DMat& observed_speed) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace ovs::baselines
+
+#endif  // OVS_BASELINES_GENETIC_H_

@@ -1,0 +1,111 @@
+#include "baselines/gls.h"
+
+#include <algorithm>
+
+#include "nn/convert.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "util/linalg.h"
+
+namespace ovs::baselines {
+
+namespace {
+
+/// Stacks the time columns of every sample side by side: [rows x T*S].
+DMat StackColumns(const std::vector<const DMat*>& mats) {
+  CHECK(!mats.empty());
+  const int rows = mats[0]->rows();
+  int total_cols = 0;
+  for (const DMat* m : mats) {
+    CHECK_EQ(m->rows(), rows);
+    total_cols += m->cols();
+  }
+  DMat out(rows, total_cols);
+  int offset = 0;
+  for (const DMat* m : mats) {
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < m->cols(); ++c) out.at(r, offset + c) = m->at(r, c);
+    }
+    offset += m->cols();
+  }
+  return out;
+}
+
+}  // namespace
+
+od::TodTensor GlsEstimator::Recover(const EstimatorContext& ctx,
+                                    const DMat& observed_speed) {
+  CHECK(ctx.dataset != nullptr);
+  CHECK(ctx.train != nullptr);
+  CHECK(!ctx.train->samples.empty());
+  const data::Dataset& ds = *ctx.dataset;
+  const core::TrainingData& train = *ctx.train;
+  Rng rng(ctx.seed * 104729 + 7);
+
+  // 1) Fit the linear assignment A:  Q ≈ A G  over all stacked columns.
+  std::vector<const DMat*> g_mats, q_mats;
+  for (const core::TrainingSample& s : train.samples) {
+    g_mats.push_back(&s.tod.mat());
+    q_mats.push_back(&s.volume);
+  }
+  const DMat g_all = StackColumns(g_mats);
+  const DMat q_all = StackColumns(q_mats);
+  StatusOr<DMat> assignment = RidgeFitLeft(q_all, g_all, params_.ridge_lambda);
+  CHECK(assignment.ok()) << assignment.status();
+  const nn::Tensor a_matrix = nn::FromDMat(assignment.value());
+
+  // 2) Train the stacked speed net: volume [M x T] -> speed, FC over time.
+  const float vol_norm = static_cast<float>(train.volume_norm);
+  const float spd_scale = static_cast<float>(train.speed_scale);
+  const int t_count = ds.num_intervals();
+  nn::Linear fc1(t_count, params_.speed_net_hidden, &rng);
+  nn::Linear fc2(params_.speed_net_hidden, t_count, &rng);
+  auto speed_net = [&](const nn::Variable& q) {
+    nn::Variable q_norm = nn::ScalarMul(q, 1.0f / vol_norm);
+    nn::Variable h = nn::Sigmoid(fc1.Forward(q_norm));
+    return nn::ScalarMul(nn::Sigmoid(fc2.Forward(h)), spd_scale);
+  };
+  {
+    std::vector<nn::Variable> params = fc1.Parameters();
+    for (const nn::Variable& p : fc2.Parameters()) params.push_back(p);
+    nn::Adam opt(params, params_.speed_net_lr);
+    for (int epoch = 0; epoch < params_.speed_net_epochs; ++epoch) {
+      for (const core::TrainingSample& s : train.samples) {
+        opt.ZeroGrad();
+        nn::Variable q(nn::FromDMat(s.volume), /*requires_grad=*/false);
+        nn::Variable v = speed_net(q);
+        nn::Tensor target = nn::FromDMat(s.speed);
+        target.ScaleInPlace(1.0f / spd_scale);
+        nn::Variable loss =
+            nn::MseLoss(nn::ScalarMul(v, 1.0f / spd_scale), target);
+        loss.Backward();
+        opt.ClipGrad(1.0f);
+        opt.Step();
+      }
+    }
+  }
+
+  // 3) Recover g by gradient descent through speed_net(A g).
+  nn::Tensor v_obs = nn::FromDMat(observed_speed);
+  v_obs.ScaleInPlace(1.0f / spd_scale);
+  const float init = static_cast<float>(train.tod_scale) * 0.3f;
+  nn::Variable g(nn::Tensor::Full({ds.num_od(), t_count}, init),
+                 /*requires_grad=*/true);
+  nn::Adam opt({g}, params_.recovery_lr);
+  const float g_max = static_cast<float>(train.tod_scale) * 1.5f;
+  for (int it = 0; it < params_.recovery_iters; ++it) {
+    opt.ZeroGrad();
+    nn::Variable q = nn::MatMul(nn::Variable(a_matrix, false), g);
+    nn::Variable v = speed_net(q);
+    nn::Variable loss = nn::MseLoss(nn::ScalarMul(v, 1.0f / spd_scale), v_obs);
+    loss.Backward();
+    opt.Step();
+    // Project onto the feasible box [0, g_max].
+    for (int i = 0; i < g.numel(); ++i) {
+      g.mutable_value()[i] = std::clamp(g.mutable_value()[i], 0.0f, g_max);
+    }
+  }
+  return od::TodTensor(nn::ToDMat(g.value()));
+}
+
+}  // namespace ovs::baselines

@@ -1,0 +1,38 @@
+#ifndef OVS_BASELINES_GLS_H_
+#define OVS_BASELINES_GLS_H_
+
+#include "baselines/estimator.h"
+
+namespace ovs::baselines {
+
+/// Generalized least squares baseline (paper §V-F, [3]-[6]): assumes a
+/// static linear assignment matrix A mapping TOD to link volume
+/// (q_t = A g_t), estimated by ridge-regularized least squares on the
+/// generated training data; a two-layer neural net stacked behind A predicts
+/// speed from volume. Recovery solves for g by gradient descent through the
+/// fixed chain NN(A g) against the observed speed.
+class GlsEstimator : public OdEstimator {
+ public:
+  struct Params {
+    double ridge_lambda = 1.0;
+    int speed_net_hidden = 32;
+    int speed_net_epochs = 120;
+    float speed_net_lr = 3e-3f;
+    int recovery_iters = 250;
+    float recovery_lr = 2.0f;  ///< on raw trip counts, hence large
+  };
+
+  GlsEstimator() : GlsEstimator(Params()) {}
+  explicit GlsEstimator(Params params) : params_(params) {}
+
+  std::string name() const override { return "GLS"; }
+  od::TodTensor Recover(const EstimatorContext& ctx,
+                        const DMat& observed_speed) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace ovs::baselines
+
+#endif  // OVS_BASELINES_GLS_H_

@@ -1,0 +1,57 @@
+#include "baselines/gravity.h"
+
+#include <limits>
+
+namespace ovs::baselines {
+
+GravityEstimator::GravityEstimator(std::vector<double> mean_cell_candidates)
+    : mean_cell_candidates_(std::move(mean_cell_candidates)) {
+  CHECK(!mean_cell_candidates_.empty());
+}
+
+std::vector<double> GravityEstimator::GravityWeights(
+    const data::Dataset& dataset) {
+  std::vector<double> weights(dataset.num_od());
+  for (int i = 0; i < dataset.num_od(); ++i) {
+    const od::OdPair& pair = dataset.od_set.pair(i);
+    const double dist =
+        std::max(1.0, dataset.regions.Distance(pair.origin, pair.dest));
+    weights[i] = dataset.regions.region(pair.origin).population *
+                 dataset.regions.region(pair.dest).population / (dist * dist);
+  }
+  return weights;
+}
+
+od::TodTensor GravityEstimator::Recover(const EstimatorContext& ctx,
+                                        const DMat& observed_speed) {
+  CHECK(ctx.dataset != nullptr);
+  CHECK(ctx.oracle);
+  const data::Dataset& ds = *ctx.dataset;
+
+  std::vector<double> weights = GravityWeights(ds);
+  double mean_weight = 0.0;
+  for (double w : weights) mean_weight += w;
+  mean_weight /= weights.size();
+  CHECK_GT(mean_weight, 0.0);
+
+  od::TodTensor best(ds.num_od(), ds.num_intervals());
+  double best_rmse = std::numeric_limits<double>::infinity();
+  for (double mean_cell : mean_cell_candidates_) {
+    const double k = mean_cell / mean_weight;
+    od::TodTensor candidate(ds.num_od(), ds.num_intervals());
+    for (int i = 0; i < ds.num_od(); ++i) {
+      for (int t = 0; t < ds.num_intervals(); ++t) {
+        candidate.at(i, t) = k * weights[i];
+      }
+    }
+    const core::TrainingSample sim = ctx.oracle(candidate);
+    const double rmse = Rmse(sim.speed, observed_speed);
+    if (rmse < best_rmse) {
+      best_rmse = rmse;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace ovs::baselines

@@ -1,0 +1,32 @@
+#ifndef OVS_BASELINES_GRAVITY_H_
+#define OVS_BASELINES_GRAVITY_H_
+
+#include "baselines/estimator.h"
+
+namespace ovs::baselines {
+
+/// Gravity model (paper §V-F): g_{i,j} = k * p_i * p_j / d_{i,j}^2 with a
+/// single k tuned by grid search (against the speed observation via the
+/// simulator oracle) and kept constant across time intervals — so the
+/// recovered TOD is flat in time by construction.
+class GravityEstimator : public OdEstimator {
+ public:
+  /// `k_candidates` mean-cell values (trips per OD-interval) scanned by the
+  /// grid search.
+  explicit GravityEstimator(std::vector<double> mean_cell_candidates =
+                                {2.0, 5.0, 10.0, 20.0, 35.0, 55.0, 80.0});
+
+  std::string name() const override { return "Gravity"; }
+  od::TodTensor Recover(const EstimatorContext& ctx,
+                        const DMat& observed_speed) override;
+
+  /// The unscaled gravity weights u_i = p_o * p_d / d^2 per OD pair.
+  static std::vector<double> GravityWeights(const data::Dataset& dataset);
+
+ private:
+  std::vector<double> mean_cell_candidates_;
+};
+
+}  // namespace ovs::baselines
+
+#endif  // OVS_BASELINES_GRAVITY_H_

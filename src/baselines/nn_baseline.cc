@@ -1,0 +1,152 @@
+#include "baselines/nn_baseline.h"
+
+#include "nn/convert.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace ovs::baselines {
+
+namespace {
+
+/// Transposed, normalized view of a [M x T] measurement as rows-per-interval
+/// [T x M] float tensor.
+nn::Tensor IntervalRows(const DMat& m, double scale) {
+  nn::Tensor t({m.cols(), m.rows()});
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      t.at(c, r) = static_cast<float>(m.at(r, c) / scale);
+    }
+  }
+  return t;
+}
+
+/// [T x N_od] normalized prediction back to a TodTensor (trip units).
+od::TodTensor FromIntervalRows(const nn::Tensor& t, double scale) {
+  od::TodTensor tod(t.dim(1), t.dim(0));
+  for (int row = 0; row < t.dim(0); ++row) {
+    for (int col = 0; col < t.dim(1); ++col) {
+      tod.at(col, row) = std::max(0.0, static_cast<double>(t.at(row, col)) * scale);
+    }
+  }
+  return tod;
+}
+
+}  // namespace
+
+od::TodTensor NnEstimator::Recover(const EstimatorContext& ctx,
+                                   const DMat& observed_speed) {
+  CHECK(ctx.dataset != nullptr);
+  CHECK(ctx.train != nullptr);
+  CHECK(!ctx.train->samples.empty());
+  const data::Dataset& ds = *ctx.dataset;
+  const core::TrainingData& train = *ctx.train;
+  Rng rng(ctx.seed * 31337 + 11);
+
+  nn::Linear fc1(ds.num_links(), params_.hidden, &rng);
+  nn::Linear fc2(params_.hidden, ds.num_od(), &rng);
+  auto forward = [&](const nn::Variable& x) {
+    return nn::Sigmoid(fc2.Forward(nn::Sigmoid(fc1.Forward(x))));
+  };
+
+  std::vector<nn::Tensor> inputs, targets;
+  for (const core::TrainingSample& s : train.samples) {
+    inputs.push_back(IntervalRows(s.speed, train.speed_scale));
+    targets.push_back(IntervalRows(s.tod.mat(), train.tod_scale));
+  }
+
+  std::vector<nn::Variable> params = fc1.Parameters();
+  for (const nn::Variable& p : fc2.Parameters()) params.push_back(p);
+  nn::Adam opt(params, params_.lr);
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      opt.ZeroGrad();
+      nn::Variable x(inputs[i], /*requires_grad=*/false);
+      nn::Variable loss = nn::MseLoss(forward(x), targets[i]);
+      loss.Backward();
+      opt.ClipGrad(1.0f);
+      opt.Step();
+    }
+  }
+
+  nn::Variable x(IntervalRows(observed_speed, train.speed_scale), false);
+  return FromIntervalRows(forward(x).value(), train.tod_scale);
+}
+
+od::TodTensor LstmEstimator::Recover(const EstimatorContext& ctx,
+                                     const DMat& observed_speed) {
+  CHECK(ctx.dataset != nullptr);
+  CHECK(ctx.train != nullptr);
+  CHECK(!ctx.train->samples.empty());
+  const data::Dataset& ds = *ctx.dataset;
+  const core::TrainingData& train = *ctx.train;
+  Rng rng(ctx.seed * 60013 + 29);
+
+  nn::Lstm lstm1(ds.num_links(), params_.hidden, &rng);
+  nn::Lstm lstm2(params_.hidden, params_.hidden, &rng);
+  nn::Linear head(params_.hidden, ds.num_od(), &rng);
+
+  // Forward: speed sequence [T rows of [1 x M]] -> TOD rows [T x N_od].
+  auto forward = [&](const nn::Tensor& speed_rows) {
+    const int t_count = speed_rows.dim(0);
+    const int m_links = speed_rows.dim(1);
+    std::vector<nn::Variable> xs;
+    xs.reserve(t_count);
+    for (int t = 0; t < t_count; ++t) {
+      nn::Tensor row({1, m_links});
+      for (int l = 0; l < m_links; ++l) row.at(0, l) = speed_rows.at(t, l);
+      xs.emplace_back(std::move(row), /*requires_grad=*/false);
+    }
+    std::vector<nn::Variable> h = lstm2.Forward(lstm1.Forward(xs));
+    std::vector<nn::Variable> out;
+    out.reserve(t_count);
+    for (int t = 0; t < t_count; ++t) {
+      out.push_back(nn::Sigmoid(head.Forward(h[t])));
+    }
+    return out;  // T tensors of [1 x N_od]
+  };
+
+  std::vector<nn::Tensor> inputs, targets;
+  for (const core::TrainingSample& s : train.samples) {
+    inputs.push_back(IntervalRows(s.speed, train.speed_scale));
+    targets.push_back(IntervalRows(s.tod.mat(), train.tod_scale));
+  }
+
+  std::vector<nn::Variable> params = lstm1.Parameters();
+  for (const nn::Variable& p : lstm2.Parameters()) params.push_back(p);
+  for (const nn::Variable& p : head.Parameters()) params.push_back(p);
+  nn::Adam opt(params, params_.lr);
+
+  const int t_count = ds.num_intervals();
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      opt.ZeroGrad();
+      std::vector<nn::Variable> preds = forward(inputs[i]);
+      nn::Variable loss(nn::Tensor::Scalar(0.0f));
+      for (int t = 0; t < t_count; ++t) {
+        nn::Tensor row({1, ds.num_od()});
+        for (int i_od = 0; i_od < ds.num_od(); ++i_od) {
+          row.at(0, i_od) = targets[i].at(t, i_od);
+        }
+        loss = nn::Add(loss, nn::MseLoss(preds[t], row));
+      }
+      loss = nn::ScalarMul(loss, 1.0f / t_count);
+      loss.Backward();
+      opt.ClipGrad(1.0f);
+      opt.Step();
+    }
+  }
+
+  nn::Tensor obs = IntervalRows(observed_speed, train.speed_scale);
+  std::vector<nn::Variable> preds = forward(obs);
+  od::TodTensor tod(ds.num_od(), t_count);
+  for (int t = 0; t < t_count; ++t) {
+    for (int i = 0; i < ds.num_od(); ++i) {
+      tod.at(i, t) =
+          std::max(0.0, static_cast<double>(preds[t].value().at(0, i)) *
+                            train.tod_scale);
+    }
+  }
+  return tod;
+}
+
+}  // namespace ovs::baselines

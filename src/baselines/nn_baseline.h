@@ -1,0 +1,55 @@
+#ifndef OVS_BASELINES_NN_BASELINE_H_
+#define OVS_BASELINES_NN_BASELINE_H_
+
+#include "baselines/estimator.h"
+
+namespace ovs::baselines {
+
+/// Direct neural regression (paper §V-F "NN", [34]): two fully connected
+/// layers mapping the city speed snapshot of one interval to that interval's
+/// TOD column. Trained per-interval across all generated samples; recovery
+/// is a single forward pass on the observed speed.
+class NnEstimator : public OdEstimator {
+ public:
+  struct Params {
+    int hidden = 64;
+    int epochs = 150;
+    float lr = 3e-3f;
+  };
+
+  NnEstimator() : NnEstimator(Params()) {}
+  explicit NnEstimator(Params params) : params_(params) {}
+
+  std::string name() const override { return "NN"; }
+  od::TodTensor Recover(const EstimatorContext& ctx,
+                        const DMat& observed_speed) override;
+
+ private:
+  Params params_;
+};
+
+/// Sequence-to-sequence LSTM baseline (paper §V-F "LSTM", [35]): two LSTM
+/// layers consume the speed snapshot sequence and an FC head emits the TOD
+/// column per interval.
+class LstmEstimator : public OdEstimator {
+ public:
+  struct Params {
+    int hidden = 48;
+    int epochs = 100;
+    float lr = 3e-3f;
+  };
+
+  LstmEstimator() : LstmEstimator(Params()) {}
+  explicit LstmEstimator(Params params) : params_(params) {}
+
+  std::string name() const override { return "LSTM"; }
+  od::TodTensor Recover(const EstimatorContext& ctx,
+                        const DMat& observed_speed) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace ovs::baselines
+
+#endif  // OVS_BASELINES_NN_BASELINE_H_

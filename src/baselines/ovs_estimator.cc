@@ -1,0 +1,49 @@
+#include "baselines/ovs_estimator.h"
+
+namespace ovs::baselines {
+
+od::TodTensor OvsEstimator::Recover(const EstimatorContext& ctx,
+                                    const DMat& observed_speed) {
+  CHECK(ctx.dataset != nullptr);
+  CHECK(ctx.train != nullptr);
+  const data::Dataset& ds = *ctx.dataset;
+  const core::TrainingData& train = *ctx.train;
+  Rng rng(ctx.seed * 2654435761u + 3);
+
+  core::OvsConfig config = params_.model;
+  config.tod_scale = static_cast<float>(train.tod_scale);
+  config.volume_norm = static_cast<float>(train.volume_norm);
+  config.speed_scale = static_cast<float>(train.speed_scale);
+
+  core::OvsModel model(ds.num_od(), ds.num_links(), ds.num_intervals(),
+                       ds.incidence, config, &rng, params_.ablation);
+  core::OvsTrainer trainer(&model, params_.trainer);
+  trainer.TrainVolumeSpeed(train);
+  trainer.TrainTodVolume(train);
+
+  core::AuxLossSet aux(params_.aux);
+  if (params_.aux.census > 0.0f && !ds.lehd_od_totals.empty()) {
+    aux.SetCensusTargets(ds.lehd_od_totals, train.tod_scale,
+                         ds.num_intervals());
+  }
+  if (params_.aux.camera > 0.0f && ctx.camera_volume != nullptr &&
+      !ds.camera_links.empty()) {
+    std::vector<int> links(ds.camera_links.begin(), ds.camera_links.end());
+    aux.SetCameraObservations(links, *ctx.camera_volume, train.volume_norm);
+  }
+  if (params_.aux.speed_limit > 0.0f) {
+    std::vector<double> limits;
+    limits.reserve(ds.net.num_links());
+    for (const sim::Link& l : ds.net.links()) {
+      limits.push_back(l.speed_limit_mps);
+    }
+    aux.SetSpeedLimits(limits, ds.num_intervals(), train.speed_scale);
+  }
+
+  od::TodTensor recovered = trainer.RecoverTod(
+      observed_speed, aux.active() ? &aux : nullptr, &rng);
+  last_recovery_loss_ = trainer.last_recovery_loss();
+  return recovered;
+}
+
+}  // namespace ovs::baselines

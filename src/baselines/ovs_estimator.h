@@ -1,0 +1,41 @@
+#ifndef OVS_BASELINES_OVS_ESTIMATOR_H_
+#define OVS_BASELINES_OVS_ESTIMATOR_H_
+
+#include "baselines/estimator.h"
+#include "core/trainer.h"
+
+namespace ovs::baselines {
+
+/// Adapter putting the full OVS pipeline behind the OdEstimator interface:
+/// Recover() runs the paper's complete protocol — stage-1 V2S training,
+/// stage-2 TOD2V training (both on the generated data only), then test-time
+/// TOD Generation fitting against the observed speed, optionally with
+/// auxiliary losses built from the dataset's feeds.
+class OvsEstimator : public OdEstimator {
+ public:
+  struct Params {
+    core::OvsConfig model;            ///< scales are overwritten from ctx.train
+    core::TrainerConfig trainer;
+    core::OvsModel::Options ablation; ///< Table IX switches
+    core::AuxLossWeights aux;         ///< zero weights = pure main loss
+    std::string display_name = "OVS";
+  };
+
+  OvsEstimator() : OvsEstimator(Params()) {}
+  explicit OvsEstimator(Params params) : params_(std::move(params)) {}
+
+  std::string name() const override { return params_.display_name; }
+  od::TodTensor Recover(const EstimatorContext& ctx,
+                        const DMat& observed_speed) override;
+
+  /// Final recovery main-loss of the last Recover call (normalized units).
+  double last_recovery_loss() const { return last_recovery_loss_; }
+
+ private:
+  Params params_;
+  double last_recovery_loss_ = 0.0;
+};
+
+}  // namespace ovs::baselines
+
+#endif  // OVS_BASELINES_OVS_ESTIMATOR_H_

@@ -1,0 +1,62 @@
+#include "core/ablation.h"
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace ovs::core {
+
+FcTodGeneration::FcTodGeneration(int num_od, int num_intervals,
+                                 const OvsConfig& config, Rng* rng)
+    : num_od_(num_od),
+      seed_dim_(config.seed_dim),
+      seeds_(nn::Tensor::RandomGaussian({num_od, config.seed_dim}, 0.0f, 1.0f, rng)),
+      fc_(config.seed_dim, num_intervals, rng) {
+  RegisterModule("fc", &fc_);
+}
+
+nn::Variable FcTodGeneration::Forward() const {
+  nn::Variable z(seeds_, /*requires_grad=*/false);
+  // ReLU keeps counts non-negative but leaves them unbounded above.
+  return nn::Relu(fc_.Forward(z));
+}
+
+void FcTodGeneration::ResampleSeeds(Rng* rng) {
+  seeds_ = nn::Tensor::RandomGaussian({num_od_, seed_dim_}, 0.0f, 1.0f, rng);
+}
+
+FcTodVolume::FcTodVolume(int num_od, int num_links, const OvsConfig& config,
+                         Rng* rng) {
+  w1_ = RegisterParameter(
+      "w1", nn::XavierUniform({num_links, num_od}, num_od, num_links, rng));
+  w2_ = RegisterParameter(
+      "w2", nn::XavierUniform({num_links, num_links}, num_links, num_links, rng));
+  // Bias the first layer toward a positive pass-through so initial volumes
+  // are non-trivial.
+  for (int i = 0; i < w1_.numel(); ++i) {
+    w1_.mutable_value()[i] = std::abs(w1_.mutable_value()[i]);
+  }
+}
+
+nn::Variable FcTodVolume::Forward(const nn::Variable& g, bool train,
+                                  Rng* dropout_rng) const {
+  nn::Variable h = nn::Relu(nn::MatMul(w1_, g));   // [M x T]
+  return nn::Relu(nn::MatMul(w2_, h));
+}
+
+FcVolumeSpeed::FcVolumeSpeed(int num_intervals, const OvsConfig& config,
+                             Rng* rng)
+    : config_(config),
+      fc1_(num_intervals, num_intervals, rng),
+      fc2_(num_intervals, num_intervals, rng) {
+  RegisterModule("fc1", &fc1_);
+  RegisterModule("fc2", &fc2_);
+}
+
+nn::Variable FcVolumeSpeed::Forward(const nn::Variable& q) const {
+  nn::Variable q_norm = nn::ScalarMul(q, 1.0f / config_.volume_norm);
+  nn::Variable h = nn::Sigmoid(fc1_.Forward(q_norm));
+  nn::Variable v_norm = nn::Sigmoid(fc2_.Forward(h));
+  return nn::ScalarMul(v_norm, config_.speed_scale);
+}
+
+}  // namespace ovs::core

@@ -1,0 +1,63 @@
+#ifndef OVS_CORE_ABLATION_H_
+#define OVS_CORE_ABLATION_H_
+
+#include "core/interfaces.h"
+#include "core/ovs_config.h"
+#include "nn/convert.h"
+#include "nn/layers.h"
+#include "util/mat.h"
+
+namespace ovs::core {
+
+/// Ablation replacements for Table IX: each OVS module swapped for plain
+/// fully connected layers ("OVS - TOD", "OVS - TOD2V", "OVS - V2S").
+
+/// "OVS - TOD": the seed decoder becomes a single ReLU FC — no bounded
+/// sigmoid structure on the generated TOD.
+class FcTodGeneration : public TodGeneratorIface {
+ public:
+  FcTodGeneration(int num_od, int num_intervals, const OvsConfig& config,
+                  Rng* rng);
+
+  nn::Variable Forward() const override;
+  void ResampleSeeds(Rng* rng) override;
+
+ private:
+  int num_od_;
+  int seed_dim_;
+  nn::Tensor seeds_;
+  nn::Linear fc_;
+};
+
+/// "OVS - TOD2V": the dynamic attention becomes a two-layer static linear
+/// OD->link assignment — the classical linear-assignment-matrix assumption
+/// the paper argues against.
+class FcTodVolume : public TodVolumeIface {
+ public:
+  FcTodVolume(int num_od, int num_links, const OvsConfig& config, Rng* rng);
+
+  nn::Variable Forward(const nn::Variable& g, bool train,
+                       Rng* dropout_rng) const override;
+
+ private:
+  nn::Variable w1_;  ///< [M x N_od]
+  nn::Variable w2_;  ///< [M x M]
+};
+
+/// "OVS - V2S": the shared LSTM becomes two FC layers over the time axis of
+/// each link series — no recurrent congestion memory.
+class FcVolumeSpeed : public VolumeSpeedIface {
+ public:
+  FcVolumeSpeed(int num_intervals, const OvsConfig& config, Rng* rng);
+
+  nn::Variable Forward(const nn::Variable& q) const override;
+
+ private:
+  OvsConfig config_;
+  nn::Linear fc1_;
+  nn::Linear fc2_;
+};
+
+}  // namespace ovs::core
+
+#endif  // OVS_CORE_ABLATION_H_

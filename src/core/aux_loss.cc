@@ -1,0 +1,77 @@
+#include "core/aux_loss.h"
+
+namespace ovs::core {
+
+void AuxLossSet::SetCensusTargets(const std::vector<double>& od_totals,
+                                  double tod_scale, int num_intervals) {
+  CHECK(!od_totals.empty());
+  CHECK_GT(tod_scale, 0.0);
+  CHECK_GT(num_intervals, 0);
+  census_scale_ = static_cast<float>(tod_scale * num_intervals);
+  census_target_norm_ = nn::Tensor({static_cast<int>(od_totals.size()), 1});
+  for (size_t i = 0; i < od_totals.size(); ++i) {
+    census_target_norm_[static_cast<int>(i)] =
+        static_cast<float>(od_totals[i]) / census_scale_;
+  }
+  has_census_ = true;
+}
+
+void AuxLossSet::SetCameraObservations(const std::vector<int>& links,
+                                       const DMat& observed,
+                                       double volume_norm) {
+  CHECK(!links.empty());
+  CHECK_EQ(static_cast<int>(links.size()), observed.rows());
+  CHECK_GT(volume_norm, 0.0);
+  camera_links_ = links;
+  camera_scale_ = static_cast<float>(volume_norm);
+  camera_target_norm_ = nn::Tensor({observed.rows(), observed.cols()});
+  for (int r = 0; r < observed.rows(); ++r) {
+    for (int c = 0; c < observed.cols(); ++c) {
+      camera_target_norm_.at(r, c) =
+          static_cast<float>(observed.at(r, c)) / camera_scale_;
+    }
+  }
+  has_camera_ = true;
+}
+
+void AuxLossSet::SetSpeedLimits(const std::vector<double>& limits_mps,
+                                int num_intervals, double speed_scale) {
+  CHECK(!limits_mps.empty());
+  CHECK_GT(speed_scale, 0.0);
+  speed_scale_ = static_cast<float>(speed_scale);
+  speed_limit_norm_ =
+      nn::Tensor({static_cast<int>(limits_mps.size()), num_intervals});
+  for (size_t l = 0; l < limits_mps.size(); ++l) {
+    for (int t = 0; t < num_intervals; ++t) {
+      speed_limit_norm_.at(static_cast<int>(l), t) =
+          static_cast<float>(limits_mps[l]) / speed_scale_;
+    }
+  }
+  has_speed_limit_ = true;
+}
+
+nn::Variable AuxLossSet::Compute(const nn::Variable& g, const nn::Variable& q,
+                                 const nn::Variable& v) const {
+  nn::Variable total(nn::Tensor::Scalar(0.0f));
+  if (has_census_ && weights_.census > 0.0f) {
+    nn::Variable pred = nn::ScalarMul(nn::SumCols(g), 1.0f / census_scale_);
+    nn::Variable term = nn::MseLoss(pred, census_target_norm_);
+    total = nn::Add(total, nn::ScalarMul(term, weights_.census));
+  }
+  if (has_camera_ && weights_.camera > 0.0f) {
+    nn::Variable pred = nn::ScalarMul(nn::GatherRows(q, camera_links_),
+                                      1.0f / camera_scale_);
+    nn::Variable term = nn::MseLoss(pred, camera_target_norm_);
+    total = nn::Add(total, nn::ScalarMul(term, weights_.camera));
+  }
+  if (has_speed_limit_ && weights_.speed_limit > 0.0f) {
+    nn::Variable v_norm = nn::ScalarMul(v, 1.0f / speed_scale_);
+    nn::Variable limits(speed_limit_norm_, /*requires_grad=*/false);
+    nn::Variable excess = nn::Sub(v_norm, limits);
+    nn::Variable term = nn::HingeSquaredLoss(excess);
+    total = nn::Add(total, nn::ScalarMul(term, weights_.speed_limit));
+  }
+  return total;
+}
+
+}  // namespace ovs::core

@@ -1,0 +1,71 @@
+#ifndef OVS_CORE_AUX_LOSS_H_
+#define OVS_CORE_AUX_LOSS_H_
+
+#include <vector>
+
+#include "nn/ops.h"
+#include "util/mat.h"
+
+namespace ovs::core {
+
+/// Weights w_g, w_q, w_v of the paper's Eq. 13. Zero disables a term.
+struct AuxLossWeights {
+  float census = 0.0f;       ///< TOD-level (LEHD / census), w_g
+  float camera = 0.0f;       ///< volume-level (surveillance cameras), w_q
+  float speed_limit = 0.0f;  ///< speed-level (roadnet limits), w_v
+};
+
+/// Auxiliary loss terms (paper §IV-E, Table II) that prune infeasible TOD
+/// solutions. All comparisons happen in normalized units so the weights are
+/// scale-free. Construct, attach the feeds you have, then Compute() inside
+/// the recovery loop.
+class AuxLossSet {
+ public:
+  explicit AuxLossSet(AuxLossWeights weights) : weights_(weights) {}
+
+  /// LEHD-style constraint: sum_t g[i, t] should match `od_totals[i]`
+  /// (paper's l_aux^1). `tod_scale` and T normalize the comparison.
+  void SetCensusTargets(const std::vector<double>& od_totals, double tod_scale,
+                        int num_intervals);
+
+  /// Camera constraint: predicted volume on `links` should match `observed`
+  /// ([links.size() x T], vehicles/interval).
+  void SetCameraObservations(const std::vector<int>& links, const DMat& observed,
+                             double volume_norm);
+
+  /// Speed-limit constraint: predicted speed may not exceed the per-link
+  /// limit (one-sided hinge).
+  void SetSpeedLimits(const std::vector<double>& limits_mps, int num_intervals,
+                      double speed_scale);
+
+  /// Weighted sum of the active terms, given stage outputs g [N_od x T],
+  /// q [M x T], v [M x T]. Returns a scalar Variable (0 when inactive).
+  nn::Variable Compute(const nn::Variable& g, const nn::Variable& q,
+                       const nn::Variable& v) const;
+
+  bool active() const {
+    return has_census_ || has_camera_ || has_speed_limit_;
+  }
+
+  const AuxLossWeights& weights() const { return weights_; }
+
+ private:
+  AuxLossWeights weights_;
+
+  bool has_census_ = false;
+  nn::Tensor census_target_norm_;  // [N_od x 1]
+  float census_scale_ = 1.0f;      // divides SumCols(g)
+
+  bool has_camera_ = false;
+  std::vector<int> camera_links_;
+  nn::Tensor camera_target_norm_;  // [K x T]
+  float camera_scale_ = 1.0f;
+
+  bool has_speed_limit_ = false;
+  nn::Tensor speed_limit_norm_;  // [M x T]
+  float speed_scale_ = 1.0f;
+};
+
+}  // namespace ovs::core
+
+#endif  // OVS_CORE_AUX_LOSS_H_

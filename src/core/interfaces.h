@@ -1,0 +1,39 @@
+#ifndef OVS_CORE_INTERFACES_H_
+#define OVS_CORE_INTERFACES_H_
+
+#include "nn/module.h"
+#include "nn/variable.h"
+#include "util/rng.h"
+
+namespace ovs::core {
+
+/// Interface of the TOD Generation stage: seeds -> TOD tensor [N_od x T].
+/// The ablation study (Table IX) swaps implementations behind this.
+class TodGeneratorIface : public nn::Module {
+ public:
+  virtual nn::Variable Forward() const = 0;
+  /// Re-draws the random seeds for a fresh recovery attempt.
+  virtual void ResampleSeeds(Rng* rng) = 0;
+  /// Re-initializes the decoder so its output starts near
+  /// `fraction * tod_scale` (the Gaussian prior mean) instead of the sigmoid
+  /// default of 0.5 — otherwise recovery starts biased high and directions
+  /// the speed loss cannot see never recover. Default: no-op.
+  virtual void InitializeOutputLevel(float fraction) {}
+};
+
+/// Interface of the TOD->Volume stage: [N_od x T] -> [M x T].
+class TodVolumeIface : public nn::Module {
+ public:
+  virtual nn::Variable Forward(const nn::Variable& g, bool train,
+                               Rng* dropout_rng) const = 0;
+};
+
+/// Interface of the Volume->Speed stage: [M x T] -> [M x T].
+class VolumeSpeedIface : public nn::Module {
+ public:
+  virtual nn::Variable Forward(const nn::Variable& q) const = 0;
+};
+
+}  // namespace ovs::core
+
+#endif  // OVS_CORE_INTERFACES_H_

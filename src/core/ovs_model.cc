@@ -1,0 +1,41 @@
+#include "core/ovs_model.h"
+
+namespace ovs::core {
+
+OvsModel::OvsModel(int num_od, int num_links, int num_intervals,
+                   const DMat& incidence, const OvsConfig& config, Rng* rng,
+                   Options options)
+    : num_od_(num_od),
+      num_links_(num_links),
+      num_intervals_(num_intervals),
+      config_(config) {
+  if (options.fc_tod_generation) {
+    tod_generation_ =
+        std::make_unique<FcTodGeneration>(num_od, num_intervals, config, rng);
+  } else {
+    tod_generation_ =
+        std::make_unique<TodGeneration>(num_od, num_intervals, config, rng);
+  }
+  if (options.fc_tod_volume) {
+    tod_volume_ = std::make_unique<FcTodVolume>(num_od, num_links, config, rng);
+  } else {
+    tod_volume_ = std::make_unique<TodVolumeMapping>(
+        num_od, num_links, num_intervals, incidence, config, rng);
+  }
+  if (options.fc_volume_speed) {
+    volume_speed_ = std::make_unique<FcVolumeSpeed>(num_intervals, config, rng);
+  } else {
+    volume_speed_ = std::make_unique<VolumeSpeedMapping>(num_links, config, rng);
+  }
+  RegisterModule("tod_generation", tod_generation_.get());
+  RegisterModule("tod_volume", tod_volume_.get());
+  RegisterModule("volume_speed", volume_speed_.get());
+}
+
+nn::Variable OvsModel::ForwardSpeed(bool train, Rng* dropout_rng) const {
+  nn::Variable g = tod_generation_->Forward();
+  nn::Variable q = tod_volume_->Forward(g, train, dropout_rng);
+  return volume_speed_->Forward(q);
+}
+
+}  // namespace ovs::core

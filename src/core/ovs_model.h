@@ -1,0 +1,67 @@
+#ifndef OVS_CORE_OVS_MODEL_H_
+#define OVS_CORE_OVS_MODEL_H_
+
+#include <memory>
+
+#include "core/ablation.h"
+#include "core/ovs_config.h"
+#include "core/tod_generation.h"
+#include "core/tod_volume.h"
+#include "core/volume_speed.h"
+#include "util/mat.h"
+
+namespace ovs::core {
+
+/// The full OVS model (paper Fig. 3): TOD Generation -> TOD-Volume Mapping
+/// -> Volume-Speed Mapping. Each stage can be swapped for an FC baseline
+/// (Table IX ablations) via Options.
+class OvsModel : public nn::Module {
+ public:
+  struct Options {
+    bool fc_tod_generation = false;  ///< "OVS - TOD"
+    bool fc_tod_volume = false;      ///< "OVS - TOD2V"
+    bool fc_volume_speed = false;    ///< "OVS - V2S"
+  };
+
+  OvsModel(int num_od, int num_links, int num_intervals, const DMat& incidence,
+           const OvsConfig& config, Rng* rng, Options options);
+  OvsModel(int num_od, int num_links, int num_intervals, const DMat& incidence,
+           const OvsConfig& config, Rng* rng)
+      : OvsModel(num_od, num_links, num_intervals, incidence, config, rng,
+                 Options()) {}
+
+  /// Stage outputs. Shapes: TOD [N_od x T], volume/speed [M x T].
+  nn::Variable GenerateTod() const { return tod_generation_->Forward(); }
+  nn::Variable VolumeFromTod(const nn::Variable& g, bool train = false,
+                             Rng* dropout_rng = nullptr) const {
+    return tod_volume_->Forward(g, train, dropout_rng);
+  }
+  nn::Variable SpeedFromVolume(const nn::Variable& q) const {
+    return volume_speed_->Forward(q);
+  }
+
+  /// Full chain from the generation seeds to predicted speed.
+  nn::Variable ForwardSpeed(bool train = false, Rng* dropout_rng = nullptr) const;
+
+  TodGeneratorIface& tod_generation() { return *tod_generation_; }
+  TodVolumeIface& tod_volume() { return *tod_volume_; }
+  VolumeSpeedIface& volume_speed() { return *volume_speed_; }
+
+  const OvsConfig& config() const { return config_; }
+  int num_od() const { return num_od_; }
+  int num_links() const { return num_links_; }
+  int num_intervals() const { return num_intervals_; }
+
+ private:
+  int num_od_;
+  int num_links_;
+  int num_intervals_;
+  OvsConfig config_;
+  std::unique_ptr<TodGeneratorIface> tod_generation_;
+  std::unique_ptr<TodVolumeIface> tod_volume_;
+  std::unique_ptr<VolumeSpeedIface> volume_speed_;
+};
+
+}  // namespace ovs::core
+
+#endif  // OVS_CORE_OVS_MODEL_H_

@@ -1,0 +1,60 @@
+#include "core/tod_generation.h"
+
+#include <cmath>
+
+namespace ovs::core {
+
+TodGeneration::TodGeneration(int num_od, int num_intervals,
+                             const OvsConfig& config, Rng* rng)
+    : num_od_(num_od),
+      num_intervals_(num_intervals),
+      tod_scale_(config.tod_scale),
+      seeds_(nn::Tensor::RandomGaussian({num_od, config.seed_dim}, 0.0f, 1.0f, rng)),
+      fc1_(config.seed_dim, config.tod_hidden, rng),
+      fc2_(config.tod_hidden, num_intervals, rng) {
+  CHECK_GT(num_od, 0);
+  CHECK_GT(num_intervals, 0);
+  CHECK_GT(tod_scale_, 0.0f);
+  RegisterModule("fc1", &fc1_);
+  RegisterModule("fc2", &fc2_);
+}
+
+nn::Variable TodGeneration::Forward() const {
+  nn::Variable z(seeds_, /*requires_grad=*/false);
+  nn::Variable h = nn::Sigmoid(fc1_.Forward(z));               // Eq. (1)
+  nn::Variable g_norm = nn::Sigmoid(fc2_.Forward(h));          // Eq. (2)
+  return nn::ScalarMul(g_norm, tod_scale_);
+}
+
+void TodGeneration::ResampleSeeds(Rng* rng) {
+  CHECK(rng != nullptr);
+  seeds_ = nn::Tensor::RandomGaussian({num_od_, seeds_.dim(1)}, 0.0f, 1.0f, rng);
+}
+
+void TodGeneration::InitializeOutputLevel(float fraction) {
+  CHECK_GT(fraction, 0.0f);
+  CHECK_LT(fraction, 1.0f);
+  const float target_logit = std::log(fraction / (1.0f - fraction));
+  // Center each output unit's pre-activation at logit(fraction) while
+  // keeping the full seed-driven variation: measure the current mean
+  // pre-activation (without bias) across ODs and absorb it into the bias.
+  nn::Variable z(seeds_, /*requires_grad=*/false);
+  nn::Variable h = nn::Sigmoid(fc1_.Forward(z));
+  auto named = fc2_.NamedParameters();
+  nn::Variable weight, bias;
+  for (auto& [name, v] : named) {
+    if (name == "weight") weight = v;
+    if (name == "bias") bias = v;
+  }
+  CHECK(weight.defined());
+  CHECK(bias.defined());
+  nn::Tensor pre = nn::MatMul(h, weight).value();  // [num_od x T]
+  for (int t = 0; t < num_intervals_; ++t) {
+    float mean_pre = 0.0f;
+    for (int i = 0; i < num_od_; ++i) mean_pre += pre.at(i, t);
+    mean_pre /= static_cast<float>(num_od_);
+    bias.mutable_value()[t] = target_logit - mean_pre;
+  }
+}
+
+}  // namespace ovs::core

@@ -1,0 +1,44 @@
+#ifndef OVS_CORE_TOD_GENERATION_H_
+#define OVS_CORE_TOD_GENERATION_H_
+
+#include "core/interfaces.h"
+#include "core/ovs_config.h"
+#include "nn/layers.h"
+
+namespace ovs::core {
+
+/// TOD Generation module (paper §IV-B, Eqs. 1-2): decodes a fixed Gaussian
+/// seed per OD pair through two sigmoid FC layers into a TOD time series.
+/// The seeds are sampled once at construction and stay fixed; test-time
+/// recovery optimizes only the decoder weights.
+class TodGeneration : public TodGeneratorIface {
+ public:
+  TodGeneration(int num_od, int num_intervals, const OvsConfig& config, Rng* rng);
+
+  /// Decodes the seeds into a TOD tensor [num_od x T] in trip-count units
+  /// (sigmoid output scaled by config.tod_scale).
+  nn::Variable Forward() const override;
+
+  /// Re-draws the Gaussian seeds (used to restart recovery from a different
+  /// basin when fitting observed speed).
+  void ResampleSeeds(Rng* rng) override;
+
+  /// Shrinks the output layer and sets its bias to logit(fraction) so the
+  /// decoded TOD starts near fraction * tod_scale.
+  void InitializeOutputLevel(float fraction) override;
+
+  int num_od() const { return num_od_; }
+  int num_intervals() const { return num_intervals_; }
+
+ private:
+  int num_od_;
+  int num_intervals_;
+  float tod_scale_;
+  nn::Tensor seeds_;  ///< [num_od x seed_dim], constant input z_i
+  nn::Linear fc1_;
+  nn::Linear fc2_;
+};
+
+}  // namespace ovs::core
+
+#endif  // OVS_CORE_TOD_GENERATION_H_

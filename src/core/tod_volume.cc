@@ -1,0 +1,109 @@
+#include "core/tod_volume.h"
+
+namespace ovs::core {
+
+TodVolumeMapping::TodVolumeMapping(int num_od, int num_links, int num_intervals,
+                                   const DMat& incidence,
+                                   const OvsConfig& config, Rng* rng)
+    : num_od_(num_od),
+      num_links_(num_links),
+      num_intervals_(num_intervals),
+      config_(config),
+      incidence_(nn::FromDMat(incidence)),
+      od_route_(num_intervals, num_intervals, rng),
+      conv1_(1, config.conv_channels, config.conv_kernel, rng),
+      conv2_(config.conv_channels, config.conv_channels, config.conv_kernel, rng),
+      att_fc_(config.conv_channels + config.link_embed_dim,
+              config.attention_hidden, rng),
+      att_out_(config.attention_hidden, config.lags, rng),
+      att_gate_(config.attention_hidden, 1, rng),
+      link_embed_(num_links, config.link_embed_dim, rng) {
+  CHECK_EQ(incidence.rows(), num_links);
+  CHECK_EQ(incidence.cols(), num_od);
+  CHECK_GE(config.lags, 1);
+  CHECK_LE(config.lags, num_intervals);
+  RegisterModule("od_route", &od_route_);
+  RegisterModule("conv1", &conv1_);
+  RegisterModule("conv2", &conv2_);
+  RegisterModule("att_fc", &att_fc_);
+  RegisterModule("att_out", &att_out_);
+  RegisterModule("att_gate", &att_gate_);
+  RegisterModule("link_embed", &link_embed_);
+
+  // Informed initialization. OD-Route: sigmoid(4x - 2) ~= x on (0, 1), so
+  // start as an approximate identity (routes initially carry their OD's
+  // counts unchanged). Attention: bias the lag-0 logit so volume initially
+  // arrives within its departure interval; both biases are learnable.
+  {
+    auto named = od_route_.NamedParameters();
+    for (auto& [name, v] : named) {
+      if (name == "weight") {
+        v.mutable_value().Fill(0.0f);
+        for (int t = 0; t < num_intervals; ++t) {
+          v.mutable_value().at(t, t) = 4.0f;
+        }
+      } else if (name == "bias") {
+        v.mutable_value().Fill(-2.0f);
+      }
+    }
+    auto att_named = att_out_.NamedParameters();
+    for (auto& [name, v] : att_named) {
+      if (name == "bias") v.mutable_value()[0] = 2.0f;
+    }
+    auto gate_named = att_gate_.NamedParameters();
+    for (auto& [name, v] : gate_named) {
+      if (name == "bias") v.mutable_value()[0] = 2.0f;  // gate ~= 0.88
+    }
+  }
+}
+
+TodVolumeMapping::AttentionParts TodVolumeMapping::ComputeAttention(
+    const nn::Variable& g, bool train, Rng* dropout_rng) const {
+  CHECK_EQ(g.value().dim(0), num_od_);
+  CHECK_EQ(g.value().dim(1), num_intervals_);
+
+  // Eq. 3: route trip counts from OD trip counts. Work in normalized units
+  // so the sigmoid has slope, then restore trip units.
+  nn::Variable g_norm = nn::ScalarMul(g, 1.0f / config_.tod_scale);
+  nn::Variable p_norm = nn::Sigmoid(od_route_.Forward(g_norm));
+  nn::Variable p = nn::ScalarMul(p_norm, config_.tod_scale);
+
+  // Eqs. 5-6: two 1x3 convs over each route's time series.
+  nn::Variable p_seq = nn::Reshape(p_norm, {num_od_, 1, num_intervals_});
+  nn::Variable h1 = nn::Relu(conv1_.Forward(p_seq));
+  nn::Variable h2 = nn::Relu(conv2_.Forward(h1));
+
+  // Eq. 7: aggregate route representations into a system embedding e.
+  // Mean (sum / N) keeps the magnitude independent of the OD count.
+  nn::Variable e = nn::ScalarMul(nn::SumBatch(h2), 1.0f / num_od_);
+
+  // Eq. 8: attention over lags, conditioned on (e_t, link embedding).
+  nn::Variable att_in = nn::BuildAttentionInput(e, link_embed_.Table());
+  nn::Variable att_h = nn::Relu(att_fc_.Forward(att_in));
+  if (train && config_.dropout > 0.0f) {
+    att_h = nn::Dropout(att_h, config_.dropout, /*train=*/true, dropout_rng);
+  }
+  nn::Variable alpha = nn::SoftmaxRows(att_out_.Forward(att_h));
+  nn::Variable gate = nn::Sigmoid(att_gate_.Forward(att_h));
+  return {p, alpha, gate};
+}
+
+nn::Variable TodVolumeMapping::Forward(const nn::Variable& g, bool train,
+                                       Rng* dropout_rng) const {
+  AttentionParts parts = ComputeAttention(g, train, dropout_rng);
+  // Route->link aggregation with the fixed incidence (the set N_j^(r)).
+  nn::Variable s = nn::FixedMatMul(incidence_, parts.route_counts);
+  // Eq. 4: lag-attention-weighted combination. The gate attenuates mass the
+  // simulator loses to residual queues (trips still en-route at the horizon
+  // or waiting to enter) — softmax alone conserves mass and cannot.
+  nn::Variable q = nn::LagAttentionApply(parts.alpha, s, config_.lags);
+  nn::Variable gate =
+      nn::Reshape(parts.gate, {num_links_, num_intervals_});
+  return nn::Mul(gate, q);
+}
+
+nn::Variable TodVolumeMapping::AttentionFor(const nn::Variable& g) const {
+  return ComputeAttention(g, /*train=*/false, nullptr).alpha;
+}
+
+}  // namespace ovs::core

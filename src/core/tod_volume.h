@@ -1,0 +1,60 @@
+#ifndef OVS_CORE_TOD_VOLUME_H_
+#define OVS_CORE_TOD_VOLUME_H_
+
+#include "core/interfaces.h"
+#include "core/ovs_config.h"
+#include "nn/convert.h"
+#include "nn/layers.h"
+#include "util/mat.h"
+
+namespace ovs::core {
+
+/// TOD-Volume Mapping (paper §IV-C, Fig. 5): OD -> route trip counts via a
+/// sigmoid FC (Eq. 3), a dynamic 2-D attention built from two 1x3
+/// convolutions over the route series (Eqs. 5-7) and an FC+softmax over lag
+/// coefficients (Eq. 8), applied to the route->link aggregated counts
+/// (Eq. 4). The fixed route->link incidence comes from the routing policy
+/// (shortest route per OD, the paper's simplification).
+class TodVolumeMapping : public TodVolumeIface {
+ public:
+  TodVolumeMapping(int num_od, int num_links, int num_intervals,
+                   const DMat& incidence, const OvsConfig& config, Rng* rng);
+
+  /// g: [num_od x T] trip counts -> link volumes [num_links x T].
+  /// `train` enables dropout on the attention features.
+  nn::Variable Forward(const nn::Variable& g, bool train,
+                       Rng* dropout_rng) const override;
+
+  /// The lag-attention tensor for inspection: [M*T x lags] rows sum to 1.
+  nn::Variable AttentionFor(const nn::Variable& g) const;
+
+  int num_links() const { return num_links_; }
+
+ private:
+  /// Shared pipeline up to the attention matrix.
+  struct AttentionParts {
+    nn::Variable route_counts;  // [N_od x T], trip units
+    nn::Variable alpha;         // [M*T x lags]
+    nn::Variable gate;          // [M*T x 1] in (0, 1)
+  };
+  AttentionParts ComputeAttention(const nn::Variable& g, bool train,
+                                  Rng* dropout_rng) const;
+
+  int num_od_;
+  int num_links_;
+  int num_intervals_;
+  OvsConfig config_;
+  nn::Tensor incidence_;  ///< [M x N_od], constant
+
+  nn::Linear od_route_;       ///< Eq. 3, time-axis FC shared across ODs
+  nn::Conv1d conv1_;          ///< Eq. 5
+  nn::Conv1d conv2_;          ///< Eq. 6
+  nn::Linear att_fc_;         ///< Eq. 8, first FC
+  nn::Linear att_out_;        ///< Eq. 8, to lag logits
+  nn::Linear att_gate_;       ///< attenuation gate (queued/unfinished trips)
+  nn::Embedding link_embed_;  ///< makes alpha link-dependent (index j)
+};
+
+}  // namespace ovs::core
+
+#endif  // OVS_CORE_TOD_VOLUME_H_

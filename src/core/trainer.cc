@@ -1,0 +1,251 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "nn/convert.h"
+#include "nn/optimizer.h"
+
+namespace ovs::core {
+
+namespace {
+
+/// Normalized float target from a DMat measurement.
+nn::Tensor NormalizedTarget(const DMat& m, double scale) {
+  CHECK_GT(scale, 0.0);
+  nn::Tensor t = nn::FromDMat(m);
+  t.ScaleInPlace(static_cast<float>(1.0 / scale));
+  return t;
+}
+
+}  // namespace
+
+OvsTrainer::OvsTrainer(OvsModel* model, TrainerConfig config)
+    : model_(model), config_(config), dropout_rng_(987654321) {
+  CHECK(model != nullptr);
+}
+
+std::vector<double> OvsTrainer::TrainVolumeSpeed(const TrainingData& data) {
+  CHECK(!data.samples.empty());
+  const double speed_scale = model_->config().speed_scale;
+
+  std::vector<nn::Tensor> volume_inputs;
+  std::vector<nn::Tensor> speed_targets;
+  for (const TrainingSample& s : data.samples) {
+    volume_inputs.push_back(nn::FromDMat(s.volume));
+    speed_targets.push_back(NormalizedTarget(s.speed, speed_scale));
+  }
+
+  nn::Adam opt(model_->volume_speed().Parameters(), config_.lr);
+  std::vector<double> curve;
+  curve.reserve(config_.stage1_epochs);
+  for (int epoch = 0; epoch < config_.stage1_epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (size_t i = 0; i < volume_inputs.size(); ++i) {
+      opt.ZeroGrad();
+      nn::Variable q(volume_inputs[i], /*requires_grad=*/false);
+      nn::Variable v = model_->SpeedFromVolume(q);
+      nn::Variable v_norm = nn::ScalarMul(v, 1.0f / static_cast<float>(speed_scale));
+      nn::Variable loss = nn::MseLoss(v_norm, speed_targets[i]);
+      loss.Backward();
+      opt.ClipGrad(config_.grad_clip);
+      opt.Step();
+      epoch_loss += loss.value()[0];
+    }
+    curve.push_back(epoch_loss / volume_inputs.size());
+    if (config_.verbose && epoch % 20 == 0) {
+      LOG(INFO) << "stage1 epoch " << epoch << " loss " << curve.back();
+    }
+  }
+  return curve;
+}
+
+void OvsTrainer::PrimeRecoveryPrior(const TrainingData& data) {
+  CHECK(!data.samples.empty());
+  // The Gaussian prior for recovery is the training TOD cell mean.
+  double cell_sum = 0.0;
+  long cell_count = 0;
+  for (const TrainingSample& s : data.samples) {
+    cell_sum += s.tod.mat().Sum();
+    cell_count += s.tod.mat().numel();
+  }
+  prior_cell_mean_ = cell_count > 0 ? cell_sum / cell_count : 0.0;
+  sample_speed_levels_.clear();
+  for (const TrainingSample& s : data.samples) {
+    sample_speed_levels_.emplace_back(s.speed, s.tod.mat().Mean());
+  }
+}
+
+std::vector<double> OvsTrainer::TrainTodVolume(const TrainingData& data) {
+  CHECK(!data.samples.empty());
+  const double speed_scale = model_->config().speed_scale;
+  const double volume_norm = model_->config().volume_norm;
+
+  PrimeRecoveryPrior(data);
+
+  std::vector<nn::Tensor> tod_inputs;
+  std::vector<nn::Tensor> speed_targets;
+  std::vector<nn::Tensor> volume_targets;
+  for (const TrainingSample& s : data.samples) {
+    tod_inputs.push_back(nn::FromDMat(s.tod.mat()));
+    speed_targets.push_back(NormalizedTarget(s.speed, speed_scale));
+    volume_targets.push_back(NormalizedTarget(s.volume, volume_norm));
+  }
+
+  // Paper §V-E step 2: V2S is frozen; gradients flow through it into TOD2V.
+  model_->volume_speed().SetTrainable(false);
+  nn::Adam opt(model_->tod_volume().Parameters(), config_.lr);
+  std::vector<double> curve;
+  curve.reserve(config_.stage2_epochs);
+  for (int epoch = 0; epoch < config_.stage2_epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (size_t i = 0; i < tod_inputs.size(); ++i) {
+      opt.ZeroGrad();
+      nn::Variable g(tod_inputs[i], /*requires_grad=*/false);
+      nn::Variable q = model_->VolumeFromTod(g, /*train=*/true, &dropout_rng_);
+      nn::Variable v = model_->SpeedFromVolume(q);
+      nn::Variable v_norm = nn::ScalarMul(v, 1.0f / static_cast<float>(speed_scale));
+      nn::Variable loss = nn::MseLoss(v_norm, speed_targets[i]);
+      if (config_.stage2_volume_weight > 0.0f) {
+        nn::Variable q_norm =
+            nn::ScalarMul(q, 1.0f / static_cast<float>(volume_norm));
+        loss = nn::Add(loss, nn::ScalarMul(nn::MseLoss(q_norm, volume_targets[i]),
+                                           config_.stage2_volume_weight));
+      }
+      loss.Backward();
+      opt.ClipGrad(config_.grad_clip);
+      opt.Step();
+      epoch_loss += loss.value()[0];
+    }
+    curve.push_back(epoch_loss / tod_inputs.size());
+    if (config_.verbose && epoch % 20 == 0) {
+      LOG(INFO) << "stage2 epoch " << epoch << " loss " << curve.back();
+    }
+  }
+  model_->volume_speed().SetTrainable(true);
+  return curve;
+}
+
+od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
+                                     const AuxLossSet* aux, Rng* rng) {
+  const double speed_scale = model_->config().speed_scale;
+  nn::Tensor target = NormalizedTarget(observed_speed, speed_scale);
+
+  // Adapt the Gaussian-prior level to the observed speed: kernel-weighted
+  // average of the generated samples' demand levels, weighted by how close
+  // their simulated speed profile is to the observation. Uses only the
+  // generated training data — the ground truth TOD is never touched.
+  double adapted_prior = prior_cell_mean_;
+  if (!sample_speed_levels_.empty()) {
+    // Distance = median over links of per-link speed RMSE. The median makes
+    // the level estimate robust to a few exogenously slowed links (road
+    // work, accidents — paper RQ3), which a full-tensor RMSE would read as
+    // globally heavier demand.
+    auto robust_distance = [&](const DMat& speed) {
+      std::vector<double> per_link(speed.rows());
+      for (int l = 0; l < speed.rows(); ++l) {
+        double acc = 0.0;
+        for (int t = 0; t < speed.cols(); ++t) {
+          const double d = speed.at(l, t) - observed_speed.at(l, t);
+          acc += d * d;
+        }
+        per_link[l] = std::sqrt(acc / speed.cols());
+      }
+      std::nth_element(per_link.begin(), per_link.begin() + per_link.size() / 2,
+                       per_link.end());
+      return per_link[per_link.size() / 2];
+    };
+    std::vector<double> dists;
+    dists.reserve(sample_speed_levels_.size());
+    double min_d = 1e30;
+    for (const auto& [speed, level] : sample_speed_levels_) {
+      const double d = robust_distance(speed);
+      dists.push_back(d);
+      min_d = std::min(min_d, d);
+    }
+    std::vector<double> sorted = dists;
+    std::sort(sorted.begin(), sorted.end());
+    const double median_d = sorted[sorted.size() / 2];
+    const double bandwidth = std::max({0.1, min_d, 0.5 * median_d});
+    double w_sum = 0.0, level_sum = 0.0;
+    for (size_t i = 0; i < dists.size(); ++i) {
+      const double w =
+          std::exp(-0.5 * (dists[i] / bandwidth) * (dists[i] / bandwidth));
+      w_sum += w;
+      level_sum += w * sample_speed_levels_[i].second;
+    }
+    if (w_sum > 1e-12) adapted_prior = level_sum / w_sum;
+  }
+
+  // Gaussian-prior anchor in normalized TOD units (see TrainerConfig).
+  nn::Tensor prior_mean({model_->num_od(), model_->num_intervals()});
+  prior_mean.Fill(
+      static_cast<float>(adapted_prior / model_->config().tod_scale));
+
+  // Freeze the learned mappings; only TOD Generation moves.
+  model_->tod_volume().SetTrainable(false);
+  model_->volume_speed().SetTrainable(false);
+
+  // Start the decoder at the Gaussian prior mean so directions the speed
+  // loss cannot see stay at the prior instead of the sigmoid midpoint.
+  const float prior_fraction =
+      adapted_prior > 0.0
+          ? std::clamp(static_cast<float>(adapted_prior /
+                                          model_->config().tod_scale),
+                       0.05f, 0.9f)
+          : 0.3f;
+
+  double best_loss = std::numeric_limits<double>::infinity();
+  nn::Tensor best_tod;
+  for (int restart = 0; restart < std::max(1, config_.recovery_restarts);
+       ++restart) {
+    if (restart > 0) {
+      CHECK(rng != nullptr) << "restarts require an RNG for seed resampling";
+      model_->tod_generation().ResampleSeeds(rng);
+    }
+    model_->tod_generation().InitializeOutputLevel(prior_fraction);
+    nn::Adam opt(model_->tod_generation().Parameters(), config_.recovery_lr);
+    double final_loss = 0.0;
+    for (int epoch = 0; epoch < config_.recovery_epochs; ++epoch) {
+      opt.ZeroGrad();
+      nn::Variable g = model_->GenerateTod();
+      nn::Variable q = model_->VolumeFromTod(g, /*train=*/false, nullptr);
+      nn::Variable v = model_->SpeedFromVolume(q);
+      nn::Variable v_norm =
+          nn::ScalarMul(v, 1.0f / static_cast<float>(speed_scale));
+      // Main loss, Eq. 12 (robustified; see TrainerConfig).
+      nn::Variable loss =
+          config_.recovery_huber_delta > 0.0f
+              ? nn::HuberLoss(v_norm, target, config_.recovery_huber_delta)
+              : nn::MseLoss(v_norm, target);
+      if (aux != nullptr && aux->active()) {
+        loss = nn::Add(loss, aux->Compute(g, q, v));  // Eq. 13
+      }
+      if (config_.recovery_prior_weight > 0.0f) {
+        nn::Variable g_norm =
+            nn::ScalarMul(g, 1.0f / model_->config().tod_scale);
+        loss = nn::Add(loss, nn::ScalarMul(nn::MseLoss(g_norm, prior_mean),
+                                           config_.recovery_prior_weight));
+      }
+      loss.Backward();
+      opt.ClipGrad(config_.grad_clip);
+      opt.Step();
+      final_loss = loss.value()[0];
+      if (config_.verbose && epoch % 50 == 0) {
+        LOG(INFO) << "recovery epoch " << epoch << " loss " << final_loss;
+      }
+    }
+    if (final_loss < best_loss) {
+      best_loss = final_loss;
+      best_tod = model_->GenerateTod().value();
+    }
+  }
+
+  model_->tod_volume().SetTrainable(true);
+  model_->volume_speed().SetTrainable(true);
+  last_recovery_loss_ = best_loss;
+  return od::TodTensor(nn::ToDMat(best_tod));
+}
+
+}  // namespace ovs::core

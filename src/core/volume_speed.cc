@@ -1,0 +1,53 @@
+#include "core/volume_speed.h"
+
+namespace ovs::core {
+
+VolumeSpeedMapping::VolumeSpeedMapping(int num_links, const OvsConfig& config,
+                                       Rng* rng)
+    : num_links_(num_links),
+      config_(config),
+      lstm1_(1 + config.v2s_link_embed_dim, config.lstm_hidden, rng),
+      lstm2_(config.lstm_hidden, config.lstm_hidden, rng),
+      head1_(config.lstm_hidden, config.speed_head_hidden, rng),
+      head2_(config.speed_head_hidden, 1, rng) {
+  CHECK_GT(num_links, 0);
+  RegisterModule("lstm1", &lstm1_);
+  RegisterModule("lstm2", &lstm2_);
+  RegisterModule("head1", &head1_);
+  RegisterModule("head2", &head2_);
+  if (config.v2s_link_embed_dim > 0) {
+    link_embed_ =
+        std::make_unique<nn::Embedding>(num_links, config.v2s_link_embed_dim, rng);
+    RegisterModule("link_embed", link_embed_.get());
+  }
+}
+
+nn::Variable VolumeSpeedMapping::Forward(const nn::Variable& q) const {
+  CHECK_EQ(q.value().rank(), 2);
+  CHECK_EQ(q.value().dim(0), num_links_);
+  const int t_count = q.value().dim(1);
+
+  nn::Variable q_norm = nn::ScalarMul(q, 1.0f / config_.volume_norm);
+  std::vector<nn::Variable> xs;
+  xs.reserve(t_count);
+  for (int t = 0; t < t_count; ++t) {
+    nn::Variable col = nn::ColSlice(q_norm, t);
+    if (link_embed_ != nullptr) {
+      col = nn::ConcatFeatures(col, link_embed_->Table());
+    }
+    xs.push_back(col);
+  }
+
+  std::vector<nn::Variable> h1 = lstm1_.Forward(xs);   // Eq. 9
+  std::vector<nn::Variable> h2 = lstm2_.Forward(h1);   // Eq. 10
+
+  std::vector<nn::Variable> cols;
+  cols.reserve(t_count);
+  for (int t = 0; t < t_count; ++t) {
+    nn::Variable h = nn::Sigmoid(head1_.Forward(h2[t]));  // Eq. 11 (FC 32)
+    cols.push_back(nn::Sigmoid(head2_.Forward(h)));
+  }
+  return nn::ScalarMul(nn::ConcatCols(cols), config_.speed_scale);
+}
+
+}  // namespace ovs::core

@@ -1,0 +1,37 @@
+#ifndef OVS_CORE_VOLUME_SPEED_H_
+#define OVS_CORE_VOLUME_SPEED_H_
+
+#include <memory>
+
+#include "core/interfaces.h"
+#include "core/ovs_config.h"
+#include "nn/layers.h"
+
+namespace ovs::core {
+
+/// Volume-Speed Mapping (paper §IV-D, Eqs. 9-11): two stacked LSTMs over the
+/// per-link volume series followed by a shared FC head. All links share the
+/// weights (the link dimension is the batch dimension), exactly as the paper
+/// states. The final sigmoid bounds speeds to [0, speed_scale].
+class VolumeSpeedMapping : public VolumeSpeedIface {
+ public:
+  /// `num_links` sizes the optional per-link embedding table
+  /// (config.v2s_link_embed_dim; see OvsConfig).
+  VolumeSpeedMapping(int num_links, const OvsConfig& config, Rng* rng);
+
+  /// q: [num_links x T] volumes -> speeds [num_links x T] in m/s.
+  nn::Variable Forward(const nn::Variable& q) const override;
+
+ private:
+  int num_links_;
+  OvsConfig config_;
+  nn::Lstm lstm1_;
+  nn::Lstm lstm2_;
+  nn::Linear head1_;  ///< FC(32) of Table IV
+  nn::Linear head2_;  ///< to scalar speed per (link, t)
+  std::unique_ptr<nn::Embedding> link_embed_;  ///< null when dim == 0
+};
+
+}  // namespace ovs::core
+
+#endif  // OVS_CORE_VOLUME_SPEED_H_

@@ -1,0 +1,171 @@
+#include "data/case_studies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/cities.h"
+
+namespace ovs::data {
+
+namespace {
+
+/// Rewrites one OD row of the ground-truth TOD to follow `profile` with the
+/// given mean trips per interval (before rhythm modulation).
+void SetOdRhythm(Dataset* ds, int od_idx, RhythmProfile profile,
+                 double mean_per_interval, Rng* rng) {
+  const int t_count = ds->config.num_intervals;
+  std::vector<double> rhythm(t_count);
+  double sum = 0.0;
+  for (int t = 0; t < t_count; ++t) {
+    rhythm[t] = RhythmWeight(profile, ds->HourOfInterval(t));
+    sum += rhythm[t];
+  }
+  for (int t = 0; t < t_count; ++t) {
+    const double noise = std::exp(rng->Gaussian(0.0, 0.1));
+    ds->ground_truth_tod.at(od_idx, t) =
+        mean_per_interval * rhythm[t] * t_count / sum * noise;
+  }
+}
+
+/// Rebuilds OD-derived artifacts after editing the OD set.
+void RefreshOdArtifacts(Dataset* ds, Rng* rng) {
+  ds->od_routes = od::ComputeOdRoutes(ds->net, ds->regions, ds->od_set);
+  ds->incidence = od::RouteLinkIncidence(ds->od_routes, ds->net.num_links());
+  ds->ground_truth_tod = SynthesizeGroundTruthTod(*ds, ds->config, rng);
+}
+
+void RefreshLehd(Dataset* ds, Rng* rng) {
+  ds->lehd_od_totals.resize(ds->od_set.size());
+  for (int i = 0; i < ds->od_set.size(); ++i) {
+    ds->lehd_od_totals[i] =
+        ds->ground_truth_tod.OdTotal(i) * rng->Uniform(0.95, 1.05);
+  }
+}
+
+/// Ensures the OD set contains (origin, dest); replaces the last pair if the
+/// set is full. Returns the index of the pair.
+int EnsureOdPair(Dataset* ds, int origin, int dest) {
+  int idx = ds->od_set.Find(origin, dest);
+  if (idx >= 0) return idx;
+  ds->od_set.Add({origin, dest});
+  return ds->od_set.size() - 1;
+}
+
+}  // namespace
+
+Case1Dataset BuildCase1Hangzhou() {
+  DatasetConfig config = HangzhouConfig();
+  config.name = "Hangzhou-Sunday";
+  config.num_intervals = 24;
+  config.interval_s = 3600.0;
+  config.start_hour = 0.0;
+  config.rhythm = RhythmProfile::kFlat;
+  config.mean_trips_per_od_interval = 60.0;   // light Sunday background (veh/h)
+  config.training_demand_multiplier = 5.0;    // training covers the A-B peaks
+  config.num_lanes = 1;  // Sunday-scale demand only congests single-lane streets
+  config.seed = 1101;
+
+  Case1Dataset out;
+  out.dataset = BuildDataset(config);
+  Dataset& ds = out.dataset;
+  Rng rng(config.seed + 1);
+
+  // Residential region A: the most populous region. Commercial region B:
+  // the region closest to the network centroid (downtown).
+  double cx = 0.0, cy = 0.0;
+  for (const sim::Intersection& node : ds.net.intersections()) {
+    cx += node.x;
+    cy += node.y;
+  }
+  cx /= ds.net.num_intersections();
+  cy /= ds.net.num_intersections();
+
+  int region_b = 0;
+  double best = 1e30;
+  for (int r = 0; r < ds.regions.num_regions(); ++r) {
+    const od::Region& reg = ds.regions.region(r);
+    const double d = std::hypot(reg.centroid_x - cx, reg.centroid_y - cy);
+    if (d < best) {
+      best = d;
+      region_b = r;
+    }
+  }
+  int region_a = -1;
+  double best_pop = -1.0;
+  for (int r = 0; r < ds.regions.num_regions(); ++r) {
+    if (r == region_b) continue;
+    if (ds.regions.region(r).population > best_pop) {
+      best_pop = ds.regions.region(r).population;
+      region_a = r;
+    }
+  }
+  CHECK_GE(region_a, 0);
+  out.region_a = region_a;
+  out.region_b = region_b;
+
+  out.od_ab = EnsureOdPair(&ds, region_a, region_b);
+  out.od_ba = EnsureOdPair(&ds, region_b, region_a);
+  RefreshOdArtifacts(&ds, &rng);
+
+  // Sunday behaviour: out to shop late morning and early evening; home late.
+  SetOdRhythm(&ds, out.od_ab, RhythmProfile::kSundayToCommercial, 300.0, &rng);
+  SetOdRhythm(&ds, out.od_ba, RhythmProfile::kSundayToResidential, 300.0, &rng);
+  RefreshLehd(&ds, &rng);
+  return out;
+}
+
+Case2Dataset BuildCase2StateCollege() {
+  DatasetConfig config = StateCollegeConfig();
+  config.name = "StateCollege-Gameday";
+  config.num_intervals = 24;
+  config.interval_s = 3600.0;
+  config.start_hour = 0.0;
+  config.rhythm = RhythmProfile::kFlat;
+  config.mean_trips_per_od_interval = 60.0;   // quiet-town baseline (veh/h)
+  config.training_demand_multiplier = 5.0;    // training covers game-day peaks
+  config.region_cells_x = 4;
+  config.region_cells_y = 1;
+  config.num_od_pairs = 4;
+  config.seed = 2202;
+
+  Case2Dataset out;
+  out.dataset = BuildDataset(config);
+  Dataset& ds = out.dataset;
+  Rng rng(config.seed + 1);
+
+  CHECK_GE(ds.regions.num_regions(), 4)
+      << "case 2 needs at least 4 regions (O1, O2, stadium, O3)";
+  // Geography: leftmost region = highway #99 gate (O1), rightmost = highway
+  // #322 gate (O3); the stadium sits mid-town, O2 is the other local region.
+  std::vector<int> by_x(ds.regions.num_regions());
+  for (int r = 0; r < ds.regions.num_regions(); ++r) by_x[r] = r;
+  std::stable_sort(by_x.begin(), by_x.end(), [&ds](int a, int b) {
+    return ds.regions.region(a).centroid_x < ds.regions.region(b).centroid_x;
+  });
+  const int o1 = by_x.front();
+  const int o3 = by_x.back();
+  const int stadium = by_x[by_x.size() / 2];
+  int o2 = -1;
+  for (int r : by_x) {
+    if (r != o1 && r != o3 && r != stadium) {
+      o2 = r;
+      break;
+    }
+  }
+  CHECK_GE(o2, 0);
+  out.stadium_region = stadium;
+
+  out.od_o1 = EnsureOdPair(&ds, o1, stadium);
+  out.od_o2 = EnsureOdPair(&ds, o2, stadium);
+  out.od_o3 = EnsureOdPair(&ds, o3, stadium);
+  RefreshOdArtifacts(&ds, &rng);
+
+  // Out-of-towners pour in from the highways; locals trickle in.
+  SetOdRhythm(&ds, out.od_o1, RhythmProfile::kEventArrival, 250.0, &rng);
+  SetOdRhythm(&ds, out.od_o2, RhythmProfile::kEventArrival, 60.0, &rng);
+  SetOdRhythm(&ds, out.od_o3, RhythmProfile::kEventArrival, 220.0, &rng);
+  RefreshLehd(&ds, &rng);
+  return out;
+}
+
+}  // namespace ovs::data

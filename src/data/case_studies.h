@@ -1,0 +1,38 @@
+#ifndef OVS_DATA_CASE_STUDIES_H_
+#define OVS_DATA_CASE_STUDIES_H_
+
+#include "data/dataset.h"
+
+namespace ovs::data {
+
+/// Case study 1 (paper §V-K1, Fig. 12): a Sunday in Hangzhou with a
+/// residential region A and a commercial region B. Ground-truth TOD gives
+/// A->B a 10am and a 6pm shopping peak and B->A a late 8pm-1am homeward
+/// peak. Horizon: 24 one-hour intervals.
+struct Case1Dataset {
+  Dataset dataset;
+  int region_a = -1;  ///< residential
+  int region_b = -1;  ///< commercial
+  int od_ab = -1;     ///< index of (A -> B) in the OD set
+  int od_ba = -1;     ///< index of (B -> A)
+};
+
+Case1Dataset BuildCase1Hangzhou();
+
+/// Case study 2 (paper §V-K2, Fig. 13): football Saturday in a college town.
+/// Three ODs feed the stadium: O1/O3 sit at highway exits (large counts),
+/// O2 is a local residential area (small count). Arrivals peak ~9am for a
+/// noon kickoff. Horizon: 24 one-hour intervals.
+struct Case2Dataset {
+  Dataset dataset;
+  int stadium_region = -1;
+  int od_o1 = -1;  ///< highway #99 gate -> stadium
+  int od_o2 = -1;  ///< local residential -> stadium
+  int od_o3 = -1;  ///< highway #322 gate -> stadium
+};
+
+Case2Dataset BuildCase2StateCollege();
+
+}  // namespace ovs::data
+
+#endif  // OVS_DATA_CASE_STUDIES_H_

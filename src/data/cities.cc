@@ -1,0 +1,115 @@
+#include "data/cities.h"
+
+#include <cmath>
+
+namespace ovs::data {
+
+DatasetConfig HangzhouConfig() {
+  DatasetConfig c;
+  c.name = "Hangzhou";
+  c.grid_rows = 7;
+  c.grid_cols = 7;
+  c.road_keep_fraction = 0.75;  // 84 grid roads -> ~63
+  c.region_cells_x = 3;
+  c.region_cells_y = 3;
+  c.num_od_pairs = 12;
+  c.min_od_separation_m = 900.0;
+  c.rhythm = RhythmProfile::kWeekdayCommute;
+  c.start_hour = 7.0;
+  c.mean_trips_per_od_interval = 45.0;
+  c.seed = 101;
+  return c;
+}
+
+DatasetConfig PortoConfig() {
+  DatasetConfig c;
+  c.name = "Porto";
+  c.grid_rows = 7;
+  c.grid_cols = 10;
+  c.road_keep_fraction = 0.82;  // 123 grid roads -> ~100
+  c.region_cells_x = 3;
+  c.region_cells_y = 3;
+  c.num_od_pairs = 12;
+  c.min_od_separation_m = 900.0;
+  c.rhythm = RhythmProfile::kWeekdayCommute;
+  c.start_hour = 8.0;
+  c.mean_trips_per_od_interval = 40.0;
+  c.seed = 202;
+  return c;
+}
+
+DatasetConfig ManhattanConfig() {
+  DatasetConfig c;
+  c.name = "Manhattan";
+  c.grid_rows = 10;
+  c.grid_cols = 10;
+  c.road_keep_fraction = 1.0;  // full 10x10 grid = 180 roads, as in Table III
+  c.region_cells_x = 4;
+  c.region_cells_y = 4;
+  c.num_od_pairs = 16;
+  c.min_od_separation_m = 1200.0;
+  c.rhythm = RhythmProfile::kWeekdayCommute;
+  c.start_hour = 7.5;
+  c.mean_trips_per_od_interval = 22.0;
+  c.seed = 303;
+  return c;
+}
+
+DatasetConfig StateCollegeConfig() {
+  DatasetConfig c;
+  c.name = "StateCollege";
+  c.grid_rows = 2;
+  c.grid_cols = 7;
+  c.road_keep_fraction = 0.85;  // 19 grid roads -> ~16
+  c.region_cells_x = 4;
+  c.region_cells_y = 1;
+  c.num_od_pairs = 6;
+  c.min_od_separation_m = 600.0;
+  c.rhythm = RhythmProfile::kWeekdayCommute;
+  c.start_hour = 7.0;
+  c.mean_trips_per_od_interval = 25.0;
+  c.seed = 404;
+  return c;
+}
+
+DatasetConfig Synthetic3x3Config() {
+  DatasetConfig c;
+  c.name = "Synthetic3x3";
+  c.grid_rows = 3;
+  c.grid_cols = 3;
+  c.num_lanes = 1;  // single-lane grid congests, making speed informative
+  c.road_keep_fraction = 1.0;
+  c.region_cells_x = 3;
+  c.region_cells_y = 3;  // one region per intersection
+  c.num_od_pairs = 8;
+  c.min_od_separation_m = 550.0;
+  c.rhythm = RhythmProfile::kFlat;
+  c.mean_trips_per_od_interval = 60.0;
+  c.seed = 505;
+  return c;
+}
+
+DatasetConfig ScalingConfig(int num_intersections) {
+  DatasetConfig c;
+  const int side = std::max(2, static_cast<int>(std::lround(
+                                   std::sqrt(static_cast<double>(num_intersections)))));
+  int rows = side;
+  int cols = side;
+  // Adjust cols so rows*cols is as close as possible to the request.
+  while (rows * cols < num_intersections) ++cols;
+  c.name = "Scale" + std::to_string(num_intersections);
+  c.grid_rows = rows;
+  c.grid_cols = cols;
+  c.road_keep_fraction = 1.0;
+  c.region_cells_x = std::max(2, side / 3);
+  c.region_cells_y = std::max(2, side / 3);
+  c.num_od_pairs = std::max(6, num_intersections / 10);
+  c.min_od_separation_m = 600.0;
+  c.rhythm = RhythmProfile::kFlat;
+  // Sparse demand: scaling measures compute cost, not congestion physics.
+  c.mean_trips_per_od_interval = 8.0;
+  c.seed = 606 + static_cast<uint64_t>(num_intersections);
+  return c;
+}
+
+}  // namespace ovs::data

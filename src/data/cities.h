@@ -1,0 +1,38 @@
+#ifndef OVS_DATA_CITIES_H_
+#define OVS_DATA_CITIES_H_
+
+#include "data/dataset.h"
+
+namespace ovs::data {
+
+/// Preset dataset configs mirroring the scale of the paper's Table III.
+/// The road networks are irregularized grids with matching intersection and
+/// road counts; the ground-truth TOD stands in for the scaled taxi tensors
+/// (see DESIGN.md, substitution table).
+
+/// Hangzhou: 46 intersections / 63 roads in the paper; here a 7x7 grid
+/// irregularized to ~63 roads. Big-commercial-city demand.
+DatasetConfig HangzhouConfig();
+
+/// Porto: 70 intersections / 100 roads; 7x10 grid at ~100 roads.
+DatasetConfig PortoConfig();
+
+/// Manhattan: 100 intersections / 180 roads; the full 10x10 grid has exactly
+/// 180 roads. Heaviest demand of the three.
+DatasetConfig ManhattanConfig();
+
+/// State College: 14 intersections / 16 roads; 2x7 grid at ~16 roads.
+/// College-town scale, used by the case-2 experiment.
+DatasetConfig StateCollegeConfig();
+
+/// The synthetic 3x3 network of the paper's Table VIII experiments
+/// (2-hour horizon, 10-minute intervals).
+DatasetConfig Synthetic3x3Config();
+
+/// Scaling-study config (Fig. 9): a near-square grid with approximately
+/// `num_intersections` intersections and sparse demand.
+DatasetConfig ScalingConfig(int num_intersections);
+
+}  // namespace ovs::data
+
+#endif  // OVS_DATA_CITIES_H_

@@ -1,0 +1,251 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "sim/router.h"
+
+namespace ovs::data {
+
+namespace {
+
+/// Undirected connectivity check treating each bidirectional road as one
+/// edge; `skip_a`/`skip_b` simulate removing the road between them.
+bool StaysConnected(const sim::RoadNet& net,
+                    const std::vector<std::pair<int, int>>& roads,
+                    const std::vector<bool>& kept, int candidate) {
+  const int n = net.num_intersections();
+  std::vector<std::vector<int>> adj(n);
+  for (size_t i = 0; i < roads.size(); ++i) {
+    if (!kept[i] || static_cast<int>(i) == candidate) continue;
+    adj[roads[i].first].push_back(roads[i].second);
+    adj[roads[i].second].push_back(roads[i].first);
+  }
+  std::vector<bool> visited(n, false);
+  std::queue<int> bfs;
+  bfs.push(0);
+  visited[0] = true;
+  int seen = 1;
+  while (!bfs.empty()) {
+    const int u = bfs.front();
+    bfs.pop();
+    for (int v : adj[u]) {
+      if (!visited[v]) {
+        visited[v] = true;
+        ++seen;
+        bfs.push(v);
+      }
+    }
+  }
+  return seen == n;
+}
+
+}  // namespace
+
+sim::RoadNet IrregularizeGrid(const sim::RoadNet& grid, double keep_fraction,
+                              Rng* rng) {
+  CHECK_GT(keep_fraction, 0.0);
+  CHECK_LE(keep_fraction, 1.0);
+
+  // Collect undirected roads (pairs of opposite links share endpoints).
+  std::vector<std::pair<int, int>> roads;
+  for (const sim::Link& l : grid.links()) {
+    if (l.from < l.to) roads.emplace_back(l.from, l.to);
+  }
+  std::vector<bool> kept(roads.size(), true);
+  const int target_removals = static_cast<int>(
+      std::floor(roads.size() * (1.0 - keep_fraction) + 0.5));
+
+  std::vector<int> order(roads.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  int removed = 0;
+  for (int candidate : order) {
+    if (removed >= target_removals) break;
+    if (StaysConnected(grid, roads, kept, candidate)) {
+      kept[candidate] = false;
+      ++removed;
+    }
+  }
+
+  // Rebuild the network with only the kept roads, preserving geometry and
+  // jittering lengths slightly (+-10%) so links are not perfectly uniform.
+  sim::RoadNet out;
+  for (const sim::Intersection& node : grid.intersections()) {
+    out.AddIntersection(node.x, node.y, node.signalized);
+  }
+  // Look up an original link for road attributes.
+  for (size_t i = 0; i < roads.size(); ++i) {
+    if (!kept[i]) continue;
+    const auto [a, b] = roads[i];
+    double length = 0.0;
+    int lanes = 1;
+    double limit = 13.89;
+    for (const sim::Link& l : grid.links()) {
+      if (l.from == a && l.to == b) {
+        length = l.length_m;
+        lanes = l.num_lanes;
+        limit = l.speed_limit_mps;
+        break;
+      }
+    }
+    CHECK_GT(length, 0.0);
+    const double jitter = rng->Uniform(0.9, 1.1);
+    out.AddRoad(a, b, length * jitter, lanes, limit);
+  }
+  return out;
+}
+
+void AssignPopulations(od::RegionPartition* regions, Rng* rng) {
+  CHECK(regions != nullptr);
+  for (int i = 0; i < regions->num_regions(); ++i) {
+    od::Region& r = regions->mutable_region(i);
+    double pop = 0.0;
+    for (size_t m = 0; m < r.members.size(); ++m) {
+      pop += 120.0 * rng->Uniform(0.6, 1.4);
+    }
+    r.population = pop;
+  }
+}
+
+od::OdSet SelectOdPairs(const sim::RoadNet& net,
+                        const od::RegionPartition& regions, int count,
+                        double min_separation_m) {
+  CHECK_GT(count, 0);
+  sim::Router router(&net);
+  struct Candidate {
+    double weight;
+    od::OdPair pair;
+  };
+  std::vector<Candidate> candidates;
+  for (int o = 0; o < regions.num_regions(); ++o) {
+    for (int d = 0; d < regions.num_regions(); ++d) {
+      if (o == d) continue;
+      if (regions.Distance(o, d) < min_separation_m) continue;
+      const double dist = std::max(1.0, regions.Distance(o, d));
+      const double w = regions.region(o).population *
+                       regions.region(d).population / (dist * dist);
+      candidates.push_back({w, {o, d}});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.weight > b.weight;
+                   });
+
+  od::OdSet od_set;
+  for (const Candidate& c : candidates) {
+    if (od_set.size() >= count) break;
+    const sim::IntersectionId o =
+        od::RepresentativeIntersection(net, regions.region(c.pair.origin));
+    const sim::IntersectionId d =
+        od::RepresentativeIntersection(net, regions.region(c.pair.dest));
+    if (o == d) continue;
+    if (!router.CachedRoute(o, d).ok()) continue;
+    od_set.Add(c.pair);
+  }
+  CHECK_GT(od_set.size(), 0) << "no routable OD pairs";
+  return od_set;
+}
+
+od::TodTensor SynthesizeGroundTruthTod(const Dataset& partial,
+                                       const DatasetConfig& config, Rng* rng) {
+  const int n_od = partial.od_set.size();
+  const int t_count = config.num_intervals;
+  od::TodTensor tod(n_od, t_count);
+
+  // Gravity base per OD, normalized to mean 1.
+  std::vector<double> base(n_od);
+  double base_sum = 0.0;
+  for (int i = 0; i < n_od; ++i) {
+    const od::OdPair& pair = partial.od_set.pair(i);
+    const double dist =
+        std::max(1.0, partial.regions.Distance(pair.origin, pair.dest));
+    base[i] = partial.regions.region(pair.origin).population *
+              partial.regions.region(pair.dest).population / (dist * dist);
+    base_sum += base[i];
+  }
+  CHECK_GT(base_sum, 0.0);
+  for (double& b : base) b *= n_od / base_sum;
+
+  // Rhythm weights, normalized over the observed window to mean 1.
+  std::vector<double> rhythm(t_count);
+  double rhythm_sum = 0.0;
+  for (int t = 0; t < t_count; ++t) {
+    rhythm[t] = RhythmWeight(config.rhythm, partial.HourOfInterval(t));
+    rhythm_sum += rhythm[t];
+  }
+  for (double& w : rhythm) w *= t_count / rhythm_sum;
+
+  for (int i = 0; i < n_od; ++i) {
+    // Per-OD idiosyncrasy so ODs are not scaled copies of each other.
+    const double od_factor = rng->Uniform(0.6, 1.4);
+    for (int t = 0; t < t_count; ++t) {
+      const double noise = std::exp(rng->Gaussian(0.0, config.tod_noise_sigma));
+      tod.at(i, t) = config.mean_trips_per_od_interval * base[i] * od_factor *
+                     rhythm[t] * noise;
+    }
+  }
+  return tod;
+}
+
+Dataset BuildDataset(const DatasetConfig& config) {
+  Rng rng(config.seed);
+  Dataset out;
+  out.name = config.name;
+  out.config = config;
+
+  sim::RoadNet grid =
+      sim::MakeGridNetwork(config.grid_rows, config.grid_cols, config.spacing_m,
+                           config.num_lanes, config.speed_limit_mps);
+  out.net = config.road_keep_fraction < 1.0
+                ? IrregularizeGrid(grid, config.road_keep_fraction, &rng)
+                : grid;
+  CHECK_OK(out.net.Validate());
+
+  out.regions =
+      od::PartitionByGrid(out.net, config.region_cells_x, config.region_cells_y);
+  AssignPopulations(&out.regions, &rng);
+  CHECK_OK(out.regions.Validate(out.net));
+
+  out.od_set = SelectOdPairs(out.net, out.regions, config.num_od_pairs,
+                             config.min_od_separation_m);
+  out.od_routes = od::ComputeOdRoutes(out.net, out.regions, out.od_set);
+  out.incidence = od::RouteLinkIncidence(out.od_routes, out.net.num_links());
+
+  out.ground_truth_tod = SynthesizeGroundTruthTod(out, config, &rng);
+
+  // LEHD-style horizon totals with +-5% observation noise.
+  out.lehd_od_totals.resize(out.od_set.size());
+  for (int i = 0; i < out.od_set.size(); ++i) {
+    out.lehd_od_totals[i] =
+        out.ground_truth_tod.OdTotal(i) * rng.Uniform(0.95, 1.05);
+  }
+
+  // Cameras at the links crossed by the most OD routes.
+  std::vector<std::pair<double, sim::LinkId>> busy;
+  for (int l = 0; l < out.net.num_links(); ++l) {
+    double crossings = 0.0;
+    for (int i = 0; i < out.od_set.size(); ++i) {
+      crossings += out.incidence.at(l, i);
+    }
+    busy.emplace_back(crossings, l);
+  }
+  std::stable_sort(busy.begin(), busy.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first;
+  });
+  const int num_cameras =
+      std::max(1, std::min(out.net.num_links() / 10, 10));
+  for (int i = 0; i < num_cameras && busy[i].first > 0.0; ++i) {
+    out.camera_links.push_back(busy[i].second);
+  }
+
+  out.engine_config.interval_s = config.interval_s;
+  out.engine_config.duration_s = config.interval_s * config.num_intervals;
+  return out;
+}
+
+}  // namespace ovs::data

@@ -1,0 +1,116 @@
+#ifndef OVS_DATA_DATASET_H_
+#define OVS_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/rhythm.h"
+#include "od/incidence.h"
+#include "od/region.h"
+#include "od/tod_tensor.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace ovs::data {
+
+/// Recipe for synthesizing a city-scale dataset. Standing in for the paper's
+/// taxi-derived datasets (Table III): the road network is an irregularized
+/// grid at the same intersection/road scale; the ground-truth TOD follows a
+/// population-weighted gravity base modulated by a daily rhythm, mimicking
+/// the "scaled taxi trajectory" tensors the paper feeds to its simulator.
+struct DatasetConfig {
+  std::string name = "synthetic";
+  int grid_rows = 3;
+  int grid_cols = 3;
+  double spacing_m = 300.0;
+  int num_lanes = 2;
+  double speed_limit_mps = 13.89;
+  /// Fraction of grid roads kept when irregularizing (1.0 = full grid).
+  double road_keep_fraction = 1.0;
+
+  int region_cells_x = 3;
+  int region_cells_y = 3;
+  int num_od_pairs = 8;
+  /// Minimum centroid separation of selected OD pairs. Without it the
+  /// gravity weighting (1/d^2) picks adjacent regions whose one-link routes
+  /// never interact with signals or each other — leaving the speed
+  /// observation uninformative about demand.
+  double min_od_separation_m = 0.0;
+
+  int num_intervals = 12;
+  double interval_s = 600.0;
+  double start_hour = 7.0;  ///< wall-clock hour at t = 0 (for rhythms)
+
+  RhythmProfile rhythm = RhythmProfile::kWeekdayCommute;
+  /// Mean trips per OD per interval before rhythm/noise modulation.
+  double mean_trips_per_od_interval = 30.0;
+  /// Multiplies the *training-pattern* demand scale only (not the ground
+  /// truth). Raises the generated-data coverage — and hence the TOD
+  /// decoder's representable range — above the background level, e.g. for
+  /// event-day scenarios whose peaks dwarf the daily baseline.
+  double training_demand_multiplier = 1.0;
+  /// Log-normal noise sigma on TOD cells.
+  double tod_noise_sigma = 0.2;
+
+  uint64_t seed = 7;
+};
+
+/// A fully materialized dataset: network, regions, OD pairs, representative
+/// routes and incidence, ground-truth TOD, and auxiliary feeds.
+struct Dataset {
+  std::string name;
+  DatasetConfig config;
+
+  sim::RoadNet net;
+  od::RegionPartition regions;
+  od::OdSet od_set;
+  std::vector<sim::Route> od_routes;  ///< representative route per OD
+  DMat incidence;                     ///< [num_links x num_od]
+
+  od::TodTensor ground_truth_tod;
+
+  /// Synthetic LEHD: per-OD horizon totals with mild observation noise.
+  std::vector<double> lehd_od_totals;
+  /// Links carrying surveillance cameras (sparse volume observations).
+  std::vector<sim::LinkId> camera_links;
+
+  sim::EngineConfig engine_config;
+
+  int num_links() const { return net.num_links(); }
+  int num_od() const { return od_set.size(); }
+  int num_intervals() const { return config.num_intervals; }
+
+  /// Wall-clock hour at the midpoint of interval t.
+  double HourOfInterval(int t) const {
+    return config.start_hour + (t + 0.5) * config.interval_s / 3600.0;
+  }
+};
+
+/// Builds a dataset from a config. Deterministic given config.seed.
+Dataset BuildDataset(const DatasetConfig& config);
+
+/// Lower-level pieces, exposed for tests and custom datasets ------------
+
+/// Removes roads from a grid network until only ~keep_fraction remain, never
+/// disconnecting the network. Returns the irregularized copy.
+sim::RoadNet IrregularizeGrid(const sim::RoadNet& grid, double keep_fraction,
+                              Rng* rng);
+
+/// Assigns region populations: ~120 inhabitants per member intersection with
+/// +-40% spread.
+void AssignPopulations(od::RegionPartition* regions, Rng* rng);
+
+/// Picks the `count` highest-gravity (pop*pop/d^2) routable region pairs at
+/// least `min_separation_m` apart (centroid distance).
+od::OdSet SelectOdPairs(const sim::RoadNet& net,
+                        const od::RegionPartition& regions, int count,
+                        double min_separation_m = 0.0);
+
+/// Gravity x rhythm x log-normal-noise ground-truth TOD.
+od::TodTensor SynthesizeGroundTruthTod(const Dataset& partial,
+                                       const DatasetConfig& config, Rng* rng);
+
+}  // namespace ovs::data
+
+#endif  // OVS_DATA_DATASET_H_

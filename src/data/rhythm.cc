@@ -1,0 +1,59 @@
+#include "data/rhythm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ovs::data {
+
+namespace {
+
+/// Gaussian bump centered at `center` hours with width `sigma`, handling the
+/// midnight wrap by evaluating the nearest image.
+double Bump(double hour, double center, double sigma) {
+  double d = std::fabs(hour - center);
+  d = std::min(d, 24.0 - d);
+  return std::exp(-0.5 * (d / sigma) * (d / sigma));
+}
+
+}  // namespace
+
+double RhythmWeight(RhythmProfile profile, double hour) {
+  double h = std::fmod(hour, 24.0);
+  if (h < 0.0) h += 24.0;
+  switch (profile) {
+    case RhythmProfile::kFlat:
+      return 1.0;
+    case RhythmProfile::kWeekdayCommute:
+      return 0.25 + 2.2 * Bump(h, 8.0, 1.2) + 1.8 * Bump(h, 18.0, 1.5);
+    case RhythmProfile::kSundayToCommercial:
+      // Shopping trips: out at ~10am and again ~6pm (paper Fig. 12a).
+      return 0.15 + 1.9 * Bump(h, 10.0, 1.3) + 1.6 * Bump(h, 18.0, 1.3);
+    case RhythmProfile::kSundayToResidential:
+      // Going home late: single broad peak from 8pm into 1am (Fig. 12b).
+      return 0.15 + 2.1 * Bump(h, 22.5, 1.8);
+    case RhythmProfile::kEventArrival:
+      // Arrive ~2h before a noon kickoff (Fig. 13): peak at 9am.
+      return 0.1 + 2.5 * Bump(h, 9.0, 1.0);
+  }
+  LOG(FATAL) << "unknown rhythm profile";
+  return 1.0;
+}
+
+std::string RhythmProfileName(RhythmProfile profile) {
+  switch (profile) {
+    case RhythmProfile::kFlat:
+      return "flat";
+    case RhythmProfile::kWeekdayCommute:
+      return "weekday-commute";
+    case RhythmProfile::kSundayToCommercial:
+      return "sunday-to-commercial";
+    case RhythmProfile::kSundayToResidential:
+      return "sunday-to-residential";
+    case RhythmProfile::kEventArrival:
+      return "event-arrival";
+  }
+  return "unknown";
+}
+
+}  // namespace ovs::data

@@ -1,0 +1,28 @@
+#ifndef OVS_DATA_RHYTHM_H_
+#define OVS_DATA_RHYTHM_H_
+
+#include <string>
+
+namespace ovs::data {
+
+/// Daily demand rhythms used to synthesize ground-truth TOD tensors in place
+/// of the paper's (unavailable) taxi trajectories. Weights are relative trip
+/// intensities as a function of hour-of-day in [0, 24).
+enum class RhythmProfile {
+  kFlat,            ///< constant demand
+  kWeekdayCommute,  ///< AM peak ~8h, PM peak ~18h
+  kSundayToCommercial,  ///< shopping: peaks ~10h and ~18h (Fig. 12 A->B)
+  kSundayToResidential, ///< going home late: peak 20h-1h (Fig. 12 B->A)
+  kEventArrival,    ///< football-day arrivals peaking ~9h for a noon game (Fig. 13)
+};
+
+/// Relative demand weight at `hour` (0..24, wraps around midnight).
+/// Always > 0; profiles are scaled so their daily mean is ~1.
+double RhythmWeight(RhythmProfile profile, double hour);
+
+/// Human-readable name for logs and tables.
+std::string RhythmProfileName(RhythmProfile profile);
+
+}  // namespace ovs::data
+
+#endif  // OVS_DATA_RHYTHM_H_

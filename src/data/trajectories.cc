@@ -1,0 +1,117 @@
+#include "data/trajectories.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ovs::data {
+
+namespace {
+
+/// Region id of an intersection, or -1 when unassigned.
+int RegionOf(const od::RegionPartition& regions, sim::IntersectionId node) {
+  for (const od::Region& r : regions.regions()) {
+    for (sim::IntersectionId m : r.members) {
+      if (m == node) return r.id;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<sim::VehicleTrace> SampleTaxiFleet(
+    const std::vector<sim::VehicleTrace>& all_vehicles, double taxi_fraction,
+    Rng* rng) {
+  CHECK_GT(taxi_fraction, 0.0);
+  CHECK_LE(taxi_fraction, 1.0);
+  CHECK(rng != nullptr);
+  std::vector<sim::VehicleTrace> taxis;
+  for (const sim::VehicleTrace& trace : all_vehicles) {
+    if (trace.route.empty()) continue;  // never spawned: no GPS log
+    if (rng->Bernoulli(taxi_fraction)) taxis.push_back(trace);
+  }
+  return taxis;
+}
+
+int MatchTraceToOd(const sim::VehicleTrace& trace, const sim::RoadNet& net,
+                   const od::RegionPartition& regions, const od::OdSet& od_set) {
+  if (trace.route.empty()) return -1;
+  const int origin = RegionOf(regions, net.link(trace.route.front()).from);
+  const int dest = RegionOf(regions, net.link(trace.route.back()).to);
+  if (origin < 0 || dest < 0) return -1;
+  return od_set.Find(origin, dest);
+}
+
+od::TodTensor ExtractTodFromTrajectories(
+    const std::vector<sim::VehicleTrace>& traces, const sim::RoadNet& net,
+    const od::RegionPartition& regions, const od::OdSet& od_set,
+    double interval_s, int num_intervals) {
+  CHECK_GT(interval_s, 0.0);
+  CHECK_GT(num_intervals, 0);
+  od::TodTensor tod(od_set.size(), num_intervals);
+  for (const sim::VehicleTrace& trace : traces) {
+    const int od = MatchTraceToOd(trace, net, regions, od_set);
+    if (od < 0) continue;
+    const int interval = std::clamp(
+        static_cast<int>(trace.depart_time_s / interval_s), 0, num_intervals - 1);
+    tod.at(od, interval) += 1.0;
+  }
+  return tod;
+}
+
+od::TodTensor ScaleTaxiTod(const od::TodTensor& taxi_tod, double taxi_fraction) {
+  CHECK_GT(taxi_fraction, 0.0);
+  CHECK_LE(taxi_fraction, 1.0);
+  od::TodTensor scaled = taxi_tod;
+  scaled.Scale(1.0 / taxi_fraction);
+  return scaled;
+}
+
+DMat ProbeSpeedTensor(const std::vector<sim::VehicleTrace>& traces,
+                      const sim::RoadNet& net, double interval_s,
+                      int num_intervals, const ProbeSpeedOptions& options,
+                      Rng* rng) {
+  CHECK(rng != nullptr);
+  CHECK_GT(options.probe_fraction, 0.0);
+  CHECK_LE(options.probe_fraction, 1.0);
+
+  DMat sum(net.num_links(), num_intervals);
+  DMat count(net.num_links(), num_intervals);
+  for (const sim::VehicleTrace& trace : traces) {
+    if (trace.route.empty()) continue;
+    if (!rng->Bernoulli(options.probe_fraction)) continue;
+    for (size_t i = 0; i < trace.route.size(); ++i) {
+      // Traversal time = next link's entry (or finish time) minus this entry.
+      double exit_time = -1.0;
+      if (i + 1 < trace.entry_times.size()) {
+        exit_time = trace.entry_times[i + 1];
+      } else if (trace.finish_time_s >= 0.0) {
+        exit_time = trace.finish_time_s;
+      }
+      if (exit_time < 0.0) continue;  // still on this link at horizon end
+      const double dwell = exit_time - trace.entry_times[i];
+      if (dwell <= 0.0) continue;
+      const sim::LinkId link = trace.route[i];
+      double speed = net.link(link).length_m / dwell;
+      speed += rng->Gaussian(0.0, options.probe_noise_mps);
+      speed = std::clamp(speed, 0.1, net.link(link).speed_limit_mps * 1.2);
+      const int interval = std::clamp(
+          static_cast<int>(trace.entry_times[i] / interval_s), 0,
+          num_intervals - 1);
+      sum.at(link, interval) += speed;
+      count.at(link, interval) += 1.0;
+    }
+  }
+
+  DMat out(net.num_links(), num_intervals);
+  for (int l = 0; l < net.num_links(); ++l) {
+    for (int t = 0; t < num_intervals; ++t) {
+      out.at(l, t) = count.at(l, t) > 0.0
+                         ? sum.at(l, t) / count.at(l, t)
+                         : net.link(l).speed_limit_mps;
+    }
+  }
+  return out;
+}
+
+}  // namespace ovs::data

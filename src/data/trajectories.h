@@ -1,0 +1,65 @@
+#ifndef OVS_DATA_TRAJECTORIES_H_
+#define OVS_DATA_TRAJECTORIES_H_
+
+#include <vector>
+
+#include "od/region.h"
+#include "od/tod_tensor.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace ovs::data {
+
+/// The paper's §V-B data-preprocess front-end, rebuilt synthetically: real
+/// deployments observe a *subset* of vehicles (taxis) as GPS trajectories,
+/// extract the taxi TOD from them, and scale by the taxi share to estimate
+/// the all-vehicle TOD. These helpers reproduce that chain on simulator
+/// traces.
+
+/// Samples a taxi fleet: keeps each completed vehicle trace with probability
+/// `taxi_fraction` (i.i.d.), mimicking that only taxis log GPS.
+std::vector<sim::VehicleTrace> SampleTaxiFleet(
+    const std::vector<sim::VehicleTrace>& all_vehicles, double taxi_fraction,
+    Rng* rng);
+
+/// Map-matches a trace to an OD pair: origin region = region of the first
+/// link's upstream intersection, destination = region of the last link's
+/// downstream intersection. Returns -1 when either end lies outside the
+/// partition or the OD pair is not in `od_set`.
+int MatchTraceToOd(const sim::VehicleTrace& trace, const sim::RoadNet& net,
+                   const od::RegionPartition& regions, const od::OdSet& od_set);
+
+/// Buckets matched traces by departure interval into a TOD tensor
+/// ("the TOD inferred from trajectory data", paper Fig. 1).
+od::TodTensor ExtractTodFromTrajectories(
+    const std::vector<sim::VehicleTrace>& traces, const sim::RoadNet& net,
+    const od::RegionPartition& regions, const od::OdSet& od_set,
+    double interval_s, int num_intervals);
+
+/// Scales a taxi TOD by (# all vehicles / # taxis) — the paper's
+/// "city-specific factor". `taxi_fraction` in (0, 1].
+od::TodTensor ScaleTaxiTod(const od::TodTensor& taxi_tod, double taxi_fraction);
+
+/// Probe-vehicle speed feed: the per-link speed a map service would compute
+/// from `probe_fraction` of vehicles reporting their speeds. Links/intervals
+/// with no probe observation fall back to `fallback` (e.g., free-flow, or
+/// the previous interval). Compare paper §I: "the average speed on a road
+/// segment can be easily probed by a few vehicles".
+struct ProbeSpeedOptions {
+  double probe_fraction = 0.1;
+  /// Gaussian noise stddev (m/s) on each probe's reported speed.
+  double probe_noise_mps = 0.5;
+};
+
+/// Builds the probe-derived speed tensor from vehicle traces: each probe
+/// vehicle contributes its per-link average speed (link length / traversal
+/// time) to the (link, interval of entry) bucket. Unobserved cells take the
+/// free-flow speed of the link.
+DMat ProbeSpeedTensor(const std::vector<sim::VehicleTrace>& traces,
+                      const sim::RoadNet& net, double interval_s,
+                      int num_intervals, const ProbeSpeedOptions& options,
+                      Rng* rng);
+
+}  // namespace ovs::data
+
+#endif  // OVS_DATA_TRAJECTORIES_H_

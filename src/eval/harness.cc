@@ -1,0 +1,139 @@
+#include "eval/harness.h"
+
+#include "baselines/em.h"
+#include "baselines/genetic.h"
+#include "baselines/gls.h"
+#include "baselines/gravity.h"
+#include "baselines/nn_baseline.h"
+#include "baselines/ovs_estimator.h"
+#include "util/bench_config.h"
+#include "util/timer.h"
+
+namespace ovs::eval {
+
+Experiment::Experiment(const data::Dataset* dataset, const HarnessConfig& config,
+                       const od::TodTensor* test_tod_override)
+    : dataset_(dataset), config_(config) {
+  CHECK(dataset != nullptr);
+  ground_truth_ =
+      test_tod_override != nullptr
+          ? core::SimulateTod(*dataset_, *test_tod_override, config.oracle_seed)
+          : core::SimulateGroundTruth(*dataset_, config.oracle_seed);
+  training_data_ =
+      core::GenerateTrainingData(*dataset_, config.num_train_samples,
+                                 config.seed + 1000);
+
+  // Camera feed: the ground-truth volume restricted to camera links.
+  if (!dataset_->camera_links.empty()) {
+    camera_volume_ = DMat(static_cast<int>(dataset_->camera_links.size()),
+                          dataset_->num_intervals());
+    for (size_t i = 0; i < dataset_->camera_links.size(); ++i) {
+      for (int t = 0; t < dataset_->num_intervals(); ++t) {
+        camera_volume_.at(static_cast<int>(i), t) =
+            ground_truth_.volume.at(dataset_->camera_links[i], t);
+      }
+    }
+  }
+
+  context_.dataset = dataset_;
+  context_.train = &training_data_;
+  context_.camera_volume = camera_volume_.empty() ? nullptr : &camera_volume_;
+  context_.seed = config.seed;
+  const uint64_t oracle_seed = config.oracle_seed;
+  const data::Dataset* ds = dataset_;
+  context_.oracle = [ds, oracle_seed](const od::TodTensor& tod) {
+    return core::SimulateTod(*ds, tod, oracle_seed);
+  };
+}
+
+RmseTriple Experiment::Score(const od::TodTensor& recovered) const {
+  CHECK(recovered.SameShape(ground_truth_.tod))
+      << "recovered TOD shape mismatch";
+  const core::TrainingSample sim =
+      core::SimulateTod(*dataset_, recovered, config_.oracle_seed);
+  RmseTriple triple;
+  triple.tod = PaperRmse(recovered.mat(), ground_truth_.tod.mat());
+  triple.volume = PaperRmse(sim.volume, ground_truth_.volume);
+  triple.speed = PaperRmse(sim.speed, ground_truth_.speed);
+  return triple;
+}
+
+MethodResult Experiment::Run(baselines::OdEstimator* estimator) const {
+  CHECK(estimator != nullptr);
+  Timer timer;
+  od::TodTensor recovered = estimator->Recover(context_, ground_truth_.speed);
+  MethodResult result;
+  result.method = estimator->name();
+  result.recover_seconds = timer.ElapsedSeconds();
+  result.rmse = Score(recovered);
+  return result;
+}
+
+std::vector<std::unique_ptr<baselines::OdEstimator>> MakeMethodSuite() {
+  const bool full = GetBenchScale() == BenchScale::kFull;
+  std::vector<std::unique_ptr<baselines::OdEstimator>> suite;
+
+  suite.push_back(std::make_unique<baselines::GravityEstimator>());
+
+  baselines::GeneticEstimator::Params genetic;
+  genetic.population = full ? 24 : 8;
+  genetic.generations = full ? 20 : 4;
+  suite.push_back(std::make_unique<baselines::GeneticEstimator>(genetic));
+
+  baselines::GlsEstimator::Params gls;
+  gls.speed_net_epochs = full ? 300 : 80;
+  gls.recovery_iters = full ? 600 : 200;
+  suite.push_back(std::make_unique<baselines::GlsEstimator>(gls));
+
+  suite.push_back(std::make_unique<baselines::EmEstimator>());
+
+  baselines::NnEstimator::Params nn_params;
+  nn_params.epochs = full ? 400 : 100;
+  suite.push_back(std::make_unique<baselines::NnEstimator>(nn_params));
+
+  baselines::LstmEstimator::Params lstm_params;
+  lstm_params.epochs = full ? 250 : 60;
+  suite.push_back(std::make_unique<baselines::LstmEstimator>(lstm_params));
+
+  baselines::OvsEstimator::Params ovs_params;
+  ovs_params.trainer.stage1_epochs = full ? 400 : 70;
+  ovs_params.trainer.stage2_epochs = full ? 400 : 90;
+  ovs_params.trainer.recovery_epochs = full ? 1000 : 250;
+  ovs_params.trainer.recovery_restarts = full ? 3 : 1;
+  if (full) ovs_params.model.lstm_hidden = 128;
+  suite.push_back(std::make_unique<baselines::OvsEstimator>(ovs_params));
+  return suite;
+}
+
+Table MakeComparisonTable(const std::string& title,
+                          const std::vector<MethodResult>& results,
+                          const std::string& ovs_name) {
+  Table table(title);
+  table.SetHeader({"Method", "TOD", "vol", "speed", "time(s)"});
+  RmseTriple best_baseline{1e30, 1e30, 1e30};
+  const MethodResult* ours = nullptr;
+  for (const MethodResult& r : results) {
+    if (r.method == ovs_name) {
+      ours = &r;
+      continue;
+    }
+    best_baseline.tod = std::min(best_baseline.tod, r.rmse.tod);
+    best_baseline.volume = std::min(best_baseline.volume, r.rmse.volume);
+    best_baseline.speed = std::min(best_baseline.speed, r.rmse.speed);
+  }
+  for (const MethodResult& r : results) {
+    table.AddRow({r.method, Table::Cell(r.rmse.tod), Table::Cell(r.rmse.volume),
+                  Table::Cell(r.rmse.speed), Table::Cell(r.recover_seconds, 1)});
+  }
+  if (ours != nullptr && best_baseline.tod < 1e29) {
+    table.AddRow(
+        {"Improve",
+         Table::Cell(RelativeImprovement(ours->rmse.tod, best_baseline.tod), 1) + "%",
+         Table::Cell(RelativeImprovement(ours->rmse.volume, best_baseline.volume), 1) + "%",
+         Table::Cell(RelativeImprovement(ours->rmse.speed, best_baseline.speed), 1) + "%",
+         "-"});
+  }
+  return table;
+}
+
+}  // namespace ovs::eval

@@ -1,0 +1,74 @@
+#ifndef OVS_EVAL_HARNESS_H_
+#define OVS_EVAL_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/estimator.h"
+#include "eval/metrics.h"
+#include "util/table.h"
+
+namespace ovs::eval {
+
+/// Per-method outcome of one recovery experiment.
+struct MethodResult {
+  std::string method;
+  RmseTriple rmse;
+  double recover_seconds = 0.0;
+};
+
+/// Experiment knobs shared by all table benches.
+struct HarnessConfig {
+  int num_train_samples = 30;
+  uint64_t seed = 1;
+  /// Demand-realization seed for the shared evaluation oracle, fixed so all
+  /// methods are scored on identical stochastic rounding.
+  uint64_t oracle_seed = 4242;
+};
+
+/// Everything prepared once per dataset: the hidden ground truth
+/// (simulated from the true TOD), the generated training triples, and the
+/// estimator context wired to the shared oracle.
+class Experiment {
+ public:
+  /// `test_tod_override` replaces the dataset's ground-truth TOD as the
+  /// hidden test tensor (the Table VIII protocol tests per-pattern tensors).
+  Experiment(const data::Dataset* dataset, const HarnessConfig& config,
+             const od::TodTensor* test_tod_override = nullptr);
+
+  /// Runs one estimator through recover + re-simulate + score.
+  MethodResult Run(baselines::OdEstimator* estimator) const;
+
+  /// Scores an externally produced TOD tensor (used by ablation variants
+  /// that share training).
+  RmseTriple Score(const od::TodTensor& recovered) const;
+
+  const core::TrainingSample& ground_truth() const { return ground_truth_; }
+  const core::TrainingData& training_data() const { return training_data_; }
+  const baselines::EstimatorContext& context() const { return context_; }
+  const data::Dataset& dataset() const { return *dataset_; }
+
+ private:
+  const data::Dataset* dataset_;
+  HarnessConfig config_;
+  core::TrainingSample ground_truth_;
+  core::TrainingData training_data_;
+  DMat camera_volume_;
+  baselines::EstimatorContext context_;
+};
+
+/// Builds the paper's §V-F method suite (Gravity, Genetic, GLS, EM, NN,
+/// LSTM) plus OVS, sized by the global bench scale.
+std::vector<std::unique_ptr<baselines::OdEstimator>> MakeMethodSuite();
+
+/// Renders comparison rows (one per method, TOD/vol/speed columns) plus the
+/// "Improve" row of OVS over the best baseline, paper-table style.
+/// `ovs_name` marks which row is ours.
+Table MakeComparisonTable(const std::string& title,
+                          const std::vector<MethodResult>& results,
+                          const std::string& ovs_name = "OVS");
+
+}  // namespace ovs::eval
+
+#endif  // OVS_EVAL_HARNESS_H_

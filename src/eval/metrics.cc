@@ -1,0 +1,29 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace ovs::eval {
+
+double PaperRmse(const DMat& pred, const DMat& truth) {
+  CHECK(pred.SameShape(truth));
+  CHECK_GT(pred.numel(), 0);
+  const int n = pred.rows();
+  const int t_count = pred.cols();
+  double acc = 0.0;
+  for (int t = 0; t < t_count; ++t) {
+    double sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double d = pred.at(i, t) - truth.at(i, t);
+      sq += d * d;
+    }
+    acc += std::sqrt(sq / n);
+  }
+  return acc / t_count;
+}
+
+double RelativeImprovement(double ours, double best_baseline) {
+  if (best_baseline <= 0.0) return 0.0;
+  return (best_baseline - ours) / best_baseline * 100.0;
+}
+
+}  // namespace ovs::eval

@@ -1,0 +1,26 @@
+#ifndef OVS_EVAL_METRICS_H_
+#define OVS_EVAL_METRICS_H_
+
+#include "util/mat.h"
+
+namespace ovs::eval {
+
+/// The paper's RMSE (§V-G): per-interval RMSE across entities, averaged over
+/// intervals — (1/T) * sum_t sqrt((1/N) * sum_i err_it^2). Columns of the
+/// inputs are time intervals.
+double PaperRmse(const DMat& pred, const DMat& truth);
+
+/// TOD / volume / speed error triple for one recovery.
+struct RmseTriple {
+  double tod = 0.0;
+  double volume = 0.0;
+  double speed = 0.0;
+};
+
+/// Relative improvement of `ours` over `best_baseline` in percent
+/// ((baseline - ours) / baseline * 100).
+double RelativeImprovement(double ours, double best_baseline);
+
+}  // namespace ovs::eval
+
+#endif  // OVS_EVAL_METRICS_H_

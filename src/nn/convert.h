@@ -1,0 +1,34 @@
+#ifndef OVS_NN_CONVERT_H_
+#define OVS_NN_CONVERT_H_
+
+#include "nn/tensor.h"
+#include "util/mat.h"
+
+namespace ovs::nn {
+
+/// DMat (domain measurements, double) -> Tensor (autodiff, float).
+inline Tensor FromDMat(const DMat& m) {
+  Tensor t({m.rows(), m.cols()});
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      t.at(r, c) = static_cast<float>(m.at(r, c));
+    }
+  }
+  return t;
+}
+
+/// Tensor (rank-2) -> DMat.
+inline DMat ToDMat(const Tensor& t) {
+  CHECK_EQ(t.rank(), 2);
+  DMat m(t.dim(0), t.dim(1));
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      m.at(r, c) = static_cast<double>(t.at(r, c));
+    }
+  }
+  return m;
+}
+
+}  // namespace ovs::nn
+
+#endif  // OVS_NN_CONVERT_H_

@@ -1,0 +1,19 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace ovs::nn {
+
+Tensor XavierUniform(std::vector<int> shape, int fan_in, int fan_out, Rng* rng) {
+  CHECK_GT(fan_in + fan_out, 0);
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandomUniform(std::move(shape), -a, a, rng);
+}
+
+Tensor ScaledGaussian(std::vector<int> shape, int fan_in, Rng* rng) {
+  CHECK_GT(fan_in, 0);
+  const float stddev = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  return Tensor::RandomGaussian(std::move(shape), 0.0f, stddev, rng);
+}
+
+}  // namespace ovs::nn

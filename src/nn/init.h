@@ -1,0 +1,21 @@
+#ifndef OVS_NN_INIT_H_
+#define OVS_NN_INIT_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace ovs::nn {
+
+/// Glorot/Xavier uniform initialization: U(-a, a) with
+/// a = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(std::vector<int> shape, int fan_in, int fan_out, Rng* rng);
+
+/// Orthogonal-ish recurrent init approximated by scaled Gaussian
+/// N(0, 1/sqrt(fan_in)) — adequate for the small LSTMs used here.
+Tensor ScaledGaussian(std::vector<int> shape, int fan_in, Rng* rng);
+
+}  // namespace ovs::nn
+
+#endif  // OVS_NN_INIT_H_

@@ -1,0 +1,128 @@
+#include "nn/layers.h"
+
+#include "nn/init.h"
+
+namespace ovs::nn {
+
+Linear::Linear(int in_features, int out_features, Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  CHECK_GT(in_features, 0);
+  CHECK_GT(out_features, 0);
+  weight_ = RegisterParameter(
+      "weight", XavierUniform({in_features, out_features}, in_features,
+                              out_features, rng));
+  bias_ = RegisterParameter("bias", Tensor({out_features}));
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  return AddBias(MatMul(x, weight_), bias_);
+}
+
+Conv1d::Conv1d(int in_channels, int out_channels, int kernel_size, Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size) {
+  CHECK_GT(kernel_size, 0);
+  const int fan_in = in_channels * kernel_size;
+  const int fan_out = out_channels * kernel_size;
+  weight_ = RegisterParameter(
+      "weight", XavierUniform({out_channels, in_channels, kernel_size}, fan_in,
+                              fan_out, rng));
+  bias_ = RegisterParameter("bias", Tensor({out_channels}));
+}
+
+Variable Conv1d::Forward(const Variable& x) const {
+  return Conv1dBatch(x, weight_, bias_);
+}
+
+Lstm::Lstm(int input_size, int hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  auto make_wx = [&] {
+    return XavierUniform({input_size, hidden_size}, input_size, hidden_size, rng);
+  };
+  auto make_wh = [&] { return ScaledGaussian({hidden_size, hidden_size}, hidden_size, rng); };
+  wxi_ = RegisterParameter("wxi", make_wx());
+  whi_ = RegisterParameter("whi", make_wh());
+  bi_ = RegisterParameter("bi", Tensor({hidden_size}));
+  wxf_ = RegisterParameter("wxf", make_wx());
+  whf_ = RegisterParameter("whf", make_wh());
+  // Forget-gate bias starts at 1 so early training does not erase state.
+  bf_ = RegisterParameter("bf", Tensor::Full({hidden_size}, 1.0f));
+  wxg_ = RegisterParameter("wxg", make_wx());
+  whg_ = RegisterParameter("whg", make_wh());
+  bg_ = RegisterParameter("bg", Tensor({hidden_size}));
+  wxo_ = RegisterParameter("wxo", make_wx());
+  who_ = RegisterParameter("who", make_wh());
+  bo_ = RegisterParameter("bo", Tensor({hidden_size}));
+}
+
+Variable Lstm::Gate(const Variable& x, const Variable& h, const Variable& wx,
+                    const Variable& wh, const Variable& b) const {
+  return AddBias(Add(MatMul(x, wx), MatMul(h, wh)), b);
+}
+
+std::vector<Variable> Lstm::Forward(const std::vector<Variable>& xs) const {
+  CHECK(!xs.empty());
+  const int n = xs[0].value().dim(0);
+  Variable h(Tensor({n, hidden_size_}));
+  Variable c(Tensor({n, hidden_size_}));
+  std::vector<Variable> outputs;
+  outputs.reserve(xs.size());
+  for (const Variable& x : xs) {
+    CHECK_EQ(x.value().dim(0), n);
+    CHECK_EQ(x.value().dim(1), input_size_);
+    Variable i = Sigmoid(Gate(x, h, wxi_, whi_, bi_));
+    Variable f = Sigmoid(Gate(x, h, wxf_, whf_, bf_));
+    Variable g = Tanh(Gate(x, h, wxg_, whg_, bg_));
+    Variable o = Sigmoid(Gate(x, h, wxo_, who_, bo_));
+    c = Add(Mul(f, c), Mul(i, g));
+    h = Mul(o, Tanh(c));
+    outputs.push_back(h);
+  }
+  return outputs;
+}
+
+Mlp::Mlp(const std::vector<int>& layer_sizes, Activation activation, Rng* rng,
+         bool activate_last)
+    : activation_(activation), activate_last_(activate_last) {
+  CHECK_GE(layer_sizes.size(), 2u);
+  for (size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    auto* layer = new Linear(layer_sizes[i], layer_sizes[i + 1], rng);
+    RegisterModule("fc" + std::to_string(i), layer);
+    layers_.push_back(layer);
+  }
+}
+
+Mlp::~Mlp() {
+  for (Linear* layer : layers_) delete layer;
+}
+
+Variable Mlp::Forward(const Variable& x) const {
+  Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    const bool last = (i + 1 == layers_.size());
+    if (last && !activate_last_) break;
+    switch (activation_) {
+      case Activation::kSigmoid:
+        h = Sigmoid(h);
+        break;
+      case Activation::kRelu:
+        h = Relu(h);
+        break;
+      case Activation::kTanh:
+        h = Tanh(h);
+        break;
+      case Activation::kNone:
+        break;
+    }
+  }
+  return h;
+}
+
+Embedding::Embedding(int count, int dim, Rng* rng) {
+  table_ = RegisterParameter("table",
+                             Tensor::RandomGaussian({count, dim}, 0.0f, 0.1f, rng));
+}
+
+}  // namespace ovs::nn

@@ -1,0 +1,140 @@
+#include "nn/module.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+namespace ovs::nn {
+
+Variable Module::RegisterParameter(std::string name, Tensor init) {
+  Variable v(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), v);
+  return v;
+}
+
+void Module::RegisterModule(std::string name, Module* module) {
+  CHECK(module != nullptr);
+  children_.emplace_back(std::move(name), module);
+}
+
+std::vector<Variable> Module::Parameters() const {
+  std::vector<Variable> out;
+  for (const auto& [name, v] : NamedParameters()) out.push_back(v);
+  return out;
+}
+
+std::vector<std::pair<std::string, Variable>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Variable>> out;
+  for (const auto& [name, v] : params_) out.emplace_back(name, v);
+  for (const auto& [child_name, child] : children_) {
+    for (const auto& [name, v] : child->NamedParameters()) {
+      out.emplace_back(child_name + "." + name, v);
+    }
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (Variable& v : Parameters()) v.ZeroGrad();
+}
+
+void Module::SetTrainable(bool trainable) {
+  for (Variable& v : Parameters()) v.set_requires_grad(trainable);
+}
+
+int Module::NumParameters() const {
+  int n = 0;
+  for (const Variable& v : Parameters()) n += v.numel();
+  return n;
+}
+
+namespace {
+constexpr uint32_t kMagic = 0x4F56534D;  // "OVSM"
+}  // namespace
+
+Status Module::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::NotFound("cannot open for write: " + path);
+  auto named = NamedParameters();
+  const uint32_t magic = kMagic;
+  const uint32_t count = static_cast<uint32_t>(named.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, v] : named) {
+    const uint32_t name_len = static_cast<uint32_t>(name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(name.data(), name_len);
+    const uint32_t rank = static_cast<uint32_t>(v.value().rank());
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int d : v.value().shape()) {
+      const int32_t dim = d;
+      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    out.write(reinterpret_cast<const char*>(v.value().data()),
+              static_cast<std::streamsize>(sizeof(float)) * v.numel());
+  }
+  if (!out.good()) return Status::DataLoss("write failed: " + path);
+  return Status::Ok();
+}
+
+Status Module::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open for read: " + path);
+  uint32_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kMagic) return Status::DataLoss("bad magic in " + path);
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+
+  std::map<std::string, Tensor> loaded;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in.good() || name_len > 4096) return Status::DataLoss("corrupt " + path);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    if (!in.good() || rank > 4) return Status::DataLoss("corrupt " + path);
+    std::vector<int> shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      int32_t dim = 0;
+      in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+      if (dim < 0 || dim > (1 << 28)) return Status::DataLoss("corrupt " + path);
+      shape[d] = dim;
+    }
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(sizeof(float)) * t.numel());
+    if (!in.good()) return Status::DataLoss("truncated " + path);
+    loaded.emplace(std::move(name), std::move(t));
+  }
+
+  auto named = NamedParameters();
+  if (named.size() != loaded.size()) {
+    return Status::InvalidArgument("parameter count mismatch loading " + path);
+  }
+  for (auto& [name, v] : named) {
+    auto it = loaded.find(name);
+    if (it == loaded.end()) {
+      return Status::InvalidArgument("missing parameter " + name + " in " + path);
+    }
+    if (!it->second.SameShape(v.value())) {
+      return Status::InvalidArgument("shape mismatch for " + name + " in " + path);
+    }
+    v.mutable_value() = it->second;
+  }
+  return Status::Ok();
+}
+
+void Module::CopyParametersFrom(const Module& other) {
+  auto dst = NamedParameters();
+  auto src = other.NamedParameters();
+  CHECK_EQ(dst.size(), src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    CHECK_EQ(dst[i].first, src[i].first);
+    CHECK(dst[i].second.value().SameShape(src[i].second.value()));
+    dst[i].second.mutable_value() = src[i].second.value();
+  }
+}
+
+}  // namespace ovs::nn

@@ -1,0 +1,65 @@
+#ifndef OVS_NN_MODULE_H_
+#define OVS_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/variable.h"
+#include "util/status.h"
+
+namespace ovs::nn {
+
+/// Base class for anything owning trainable parameters. Subclasses register
+/// their parameters (and sub-modules) in their constructor; the registry
+/// powers optimizers, freezing, and (de)serialization.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and registered sub-modules.
+  std::vector<Variable> Parameters() const;
+
+  /// Parameters with their fully qualified names ("submodule.weight").
+  std::vector<std::pair<std::string, Variable>> NamedParameters() const;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  /// Freezes (false) or unfreezes (true) every parameter. Frozen parameters
+  /// receive no gradient and are skipped by backward traversal.
+  void SetTrainable(bool trainable);
+
+  /// Total number of scalar parameters.
+  int NumParameters() const;
+
+  /// Serializes all parameters (by name) to a binary file.
+  Status Save(const std::string& path) const;
+
+  /// Restores parameters from a file written by Save. Fails if any name or
+  /// shape does not match the current module structure.
+  Status Load(const std::string& path);
+
+  /// Copies parameter values from another module with identical structure.
+  void CopyParametersFrom(const Module& other);
+
+ protected:
+  Module() = default;
+
+  /// Registers a leaf parameter; returns the Variable to keep in the layer.
+  Variable RegisterParameter(std::string name, Tensor init);
+
+  /// Registers a sub-module (not owned; must outlive this module).
+  void RegisterModule(std::string name, Module* module);
+
+ private:
+  std::vector<std::pair<std::string, Variable>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace ovs::nn
+
+#endif  // OVS_NN_MODULE_H_

@@ -1,0 +1,134 @@
+#ifndef OVS_NN_OPS_H_
+#define OVS_NN_OPS_H_
+
+#include <vector>
+
+#include "nn/variable.h"
+#include "util/rng.h"
+
+namespace ovs::nn {
+
+// ---------------------------------------------------------------------------
+// Element-wise arithmetic
+// ---------------------------------------------------------------------------
+
+/// c = a + b (same shape).
+Variable Add(const Variable& a, const Variable& b);
+
+/// c = a - b (same shape).
+Variable Sub(const Variable& a, const Variable& b);
+
+/// c = a * b element-wise (same shape).
+Variable Mul(const Variable& a, const Variable& b);
+
+/// c = alpha * a.
+Variable ScalarMul(const Variable& a, float alpha);
+
+/// c = a + alpha (element-wise).
+Variable AddScalar(const Variable& a, float alpha);
+
+/// c = a * mask element-wise with a constant (non-differentiated) mask.
+Variable MulConst(const Variable& a, const Tensor& mask);
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
+
+/// Matrix product: a is [N, K], b is [K, M] -> [N, M].
+Variable MatMul(const Variable& a, const Variable& b);
+
+/// Adds a bias row-broadcast: x is [N, D], bias is [D] (or [1, D]) -> [N, D].
+Variable AddBias(const Variable& x, const Variable& bias);
+
+/// out = A * x where A is a constant [M, N] matrix (not differentiated) and
+/// x is [N, T]. Used for the fixed route->link incidence aggregation.
+Variable FixedMatMul(const Tensor& a, const Variable& x);
+
+// ---------------------------------------------------------------------------
+// Activations and normalization
+// ---------------------------------------------------------------------------
+
+Variable Sigmoid(const Variable& x);
+Variable Tanh(const Variable& x);
+Variable Relu(const Variable& x);
+
+/// Row-wise softmax over the last dimension of a [N, D] tensor.
+Variable SoftmaxRows(const Variable& x);
+
+/// Inverted dropout: at train time zeroes each element with probability
+/// `rate` and scales survivors by 1/(1-rate); identity at eval time.
+Variable Dropout(const Variable& x, float rate, bool train, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Convolution
+// ---------------------------------------------------------------------------
+
+/// Batched 1-D convolution with "same" zero padding and stride 1.
+/// x: [N, C_in, T], w: [C_out, C_in, K], bias: [C_out] -> [N, C_out, T].
+Variable Conv1dBatch(const Variable& x, const Variable& w, const Variable& bias);
+
+// ---------------------------------------------------------------------------
+// Shape / gather ops
+// ---------------------------------------------------------------------------
+
+/// Sums a [N, C, T] batch over N -> [C, T].
+Variable SumBatch(const Variable& x);
+
+/// Sums each row of [N, T] -> [N, 1].
+Variable SumCols(const Variable& x);
+
+/// Column t of a [M, T] matrix -> [M, 1].
+Variable ColSlice(const Variable& x, int t);
+
+/// Concatenates T column vectors [M, 1] -> [M, T].
+Variable ConcatCols(const std::vector<Variable>& cols);
+
+/// Concatenates along the feature dim: [N, D1] ++ [N, D2] -> [N, D1+D2].
+Variable ConcatFeatures(const Variable& a, const Variable& b);
+
+/// Selects rows: x is [N, D], indices into [0, N) -> [K, D].
+Variable GatherRows(const Variable& x, const std::vector<int>& indices);
+
+/// Reinterprets the data with a new shape of equal numel.
+Variable Reshape(const Variable& x, std::vector<int> new_shape);
+
+// ---------------------------------------------------------------------------
+// OVS-specific fused ops
+// ---------------------------------------------------------------------------
+
+/// Builds the dynamic-attention input matrix (paper Fig. 5): for link m and
+/// time t, row m*T+t is [e[:, t], emb[m, :]].
+/// e: [C, T], emb: [M, De] -> [M*T, C+De].
+Variable BuildAttentionInput(const Variable& e, const Variable& emb);
+
+/// Applies lag attention (paper Eq. 4): with alpha [M*T, L] (row m*T+t holds
+/// the attention over lags tau=0..L-1) and per-link aggregated route counts
+/// s [M, T], computes q[m, t] = sum_tau alpha[m*T+t, tau] * s[m, t-tau]
+/// (terms with t-tau < 0 are dropped).
+Variable LagAttentionApply(const Variable& alpha, const Variable& s, int lags);
+
+// ---------------------------------------------------------------------------
+// Reductions and losses
+// ---------------------------------------------------------------------------
+
+/// Scalar sum of all elements.
+Variable Sum(const Variable& x);
+
+/// Scalar mean of all elements.
+Variable Mean(const Variable& x);
+
+/// Mean squared error against a constant target of the same shape.
+Variable MseLoss(const Variable& pred, const Tensor& target);
+
+/// Mean Huber loss against a constant target: quadratic within `delta`,
+/// linear beyond. Robust to localized exogenous residuals (e.g., road-work
+/// links whose slowdown no demand pattern explains).
+Variable HuberLoss(const Variable& pred, const Tensor& target, float delta);
+
+/// Mean of ReLU(x)^2 — penalizes positive entries only. Used for inequality
+/// auxiliary constraints (e.g., speed above the limit).
+Variable HingeSquaredLoss(const Variable& x);
+
+}  // namespace ovs::nn
+
+#endif  // OVS_NN_OPS_H_

@@ -1,0 +1,70 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace ovs::nn {
+
+void Optimizer::ClipGrad(float max_abs) {
+  if (max_abs <= 0.0f) return;
+  for (Variable& p : params_) {
+    Tensor& g = p.mutable_grad();
+    for (int i = 0; i < g.numel(); ++i) {
+      if (g[i] > max_abs) g[i] = max_abs;
+      if (g[i] < -max_abs) g[i] = -max_abs;
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const Variable& p : params_) velocity_.emplace_back(p.value().shape());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& value = params_[i].mutable_value();
+    const Tensor& grad = params_[i].mutable_grad();
+    if (momentum_ > 0.0f) {
+      Tensor& vel = velocity_[i];
+      vel.ScaleInPlace(momentum_);
+      vel.AxpyInPlace(1.0f, grad);
+      value.AxpyInPlace(-lr_, vel);
+    } else {
+      value.AxpyInPlace(-lr_, grad);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& value = params_[i].mutable_value();
+    const Tensor& grad = params_[i].mutable_grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int j = 0; j < value.numel(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace ovs::nn

@@ -1,0 +1,73 @@
+#ifndef OVS_NN_OPTIMIZER_H_
+#define OVS_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/variable.h"
+
+namespace ovs::nn {
+
+/// Base interface for first-order optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients (call before each forward/backward).
+  void ZeroGrad() {
+    for (Variable& p : params_) p.ZeroGrad();
+  }
+
+  /// Clips gradients to a max L-infinity magnitude; no-op if max <= 0.
+  void ClipGrad(float max_abs);
+
+ protected:
+  std::vector<Variable> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) — the de-facto default for the paper's nets.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace ovs::nn
+
+#endif  // OVS_NN_OPTIMIZER_H_

@@ -1,0 +1,126 @@
+#ifndef OVS_NN_TENSOR_H_
+#define OVS_NN_TENSOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ovs::nn {
+
+/// Dense row-major float tensor of rank 0..3. This is the only numeric
+/// container in the autodiff layer; shapes are checked eagerly with CHECKs
+/// because shape bugs are programmer errors, not recoverable conditions.
+class Tensor {
+ public:
+  /// Empty (rank-0, zero elements) tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  /// Tensor with explicit contents; `data.size()` must match the shape.
+  Tensor(std::vector<int> shape, std::vector<float> data);
+
+  /// Rank-0 "scalar" tensor (shape {1}).
+  static Tensor Scalar(float value);
+
+  /// All-zeros / all-`value` tensors.
+  static Tensor Zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(std::vector<int> shape, float value);
+
+  /// I.i.d. uniform / Gaussian fills (deterministic given `rng`).
+  static Tensor RandomUniform(std::vector<int> shape, float lo, float hi, Rng* rng);
+  static Tensor RandomGaussian(std::vector<int> shape, float mean, float stddev,
+                               Rng* rng);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, rank());
+    return shape_[i];
+  }
+  int numel() const { return static_cast<int>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Flat element access.
+  float& operator[](int i) {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, numel());
+    return data_[i];
+  }
+  float operator[](int i) const {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, numel());
+    return data_[i];
+  }
+
+  /// Rank-2 access: (row, col).
+  float& at(int r, int c) {
+    CHECK_EQ(rank(), 2);
+    CHECK_GE(r, 0);
+    CHECK_LT(r, shape_[0]);
+    CHECK_GE(c, 0);
+    CHECK_LT(c, shape_[1]);
+    return data_[static_cast<size_t>(r) * shape_[1] + c];
+  }
+  float at(int r, int c) const { return const_cast<Tensor*>(this)->at(r, c); }
+
+  /// Rank-3 access: (i, j, k).
+  float& at(int i, int j, int k) {
+    CHECK_EQ(rank(), 3);
+    CHECK_GE(i, 0);
+    CHECK_LT(i, shape_[0]);
+    CHECK_GE(j, 0);
+    CHECK_LT(j, shape_[1]);
+    CHECK_GE(k, 0);
+    CHECK_LT(k, shape_[2]);
+    return data_[(static_cast<size_t>(i) * shape_[1] + j) * shape_[2] + k];
+  }
+  float at(int i, int j, int k) const {
+    return const_cast<Tensor*>(this)->at(i, j, k);
+  }
+
+  /// True if shapes are identical (same rank and dims).
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// In-place element-wise helpers used by the optimizer and backward passes.
+  void Fill(float value);
+  void AddInPlace(const Tensor& other);
+  void AxpyInPlace(float alpha, const Tensor& other);  // this += alpha * other
+  void ScaleInPlace(float alpha);
+
+  /// Reductions.
+  float Sum() const;
+  float Mean() const;
+  float Min() const;
+  float Max() const;
+  float AbsMax() const;
+
+  /// Returns a tensor with the same data but a new shape of equal numel.
+  Tensor Reshaped(std::vector<int> new_shape) const;
+
+  /// Debug string: shape plus (for small tensors) the contents.
+  std::string ToString() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape (product of dims; 0 for empty shape).
+int ShapeNumel(const std::vector<int>& shape);
+
+/// "[2, 3]"-style rendering for error messages.
+std::string ShapeToString(const std::vector<int>& shape);
+
+}  // namespace ovs::nn
+
+#endif  // OVS_NN_TENSOR_H_

@@ -1,0 +1,72 @@
+#include "nn/variable.h"
+
+#include <unordered_set>
+
+namespace ovs::nn {
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : node_(std::make_shared<internal::VariableNode>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Variable Variable::MakeNode(
+    Tensor value, std::vector<Variable> parents,
+    std::function<void(internal::VariableNode&)> backward_fn) {
+  Variable out(std::move(value), /*requires_grad=*/false);
+  bool any_grad = false;
+  out.node_->parents.reserve(parents.size());
+  for (const Variable& p : parents) {
+    CHECK(p.defined());
+    any_grad = any_grad || p.node_->requires_grad;
+    out.node_->parents.push_back(p.node_);
+  }
+  out.node_->requires_grad = any_grad;
+  if (any_grad) out.node_->backward_fn = std::move(backward_fn);
+  return out;
+}
+
+void Variable::Backward() const {
+  auto root = node();
+  CHECK_EQ(root->value.numel(), 1) << "Backward requires a scalar output";
+
+  // Iterative post-order DFS to get a topological order (parents before
+  // children in `order`); we then sweep it in reverse.
+  std::vector<internal::VariableNode*> order;
+  std::unordered_set<internal::VariableNode*> visited;
+  struct Frame {
+    internal::VariableNode* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (root->requires_grad || root->backward_fn) {
+    stack.push_back({root.get(), 0});
+    visited.insert(root.get());
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      internal::VariableNode* parent =
+          frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  // Allocate grads (zero on first touch). Grads accumulate across Backward
+  // calls, torch-style; parameters are zeroed by the optimizer. Interior
+  // nodes are fresh per forward pass, so their grads start at zero anyway.
+  for (internal::VariableNode* n : order) n->MutableGrad();
+  root->MutableGrad()[0] += 1.0f;
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::VariableNode* n = *it;
+    if (n->backward_fn) n->backward_fn(*n);
+  }
+}
+
+}  // namespace ovs::nn

@@ -1,0 +1,98 @@
+#include "od/demand.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ovs::od {
+
+DemandGenerator::DemandGenerator(const sim::RoadNet* net,
+                                 const RegionPartition* regions,
+                                 const OdSet* od_set, double interval_s,
+                                 Options options)
+    : net_(net), regions_(regions), od_set_(od_set), interval_s_(interval_s),
+      options_(options), router_(net) {
+  CHECK(net != nullptr);
+  CHECK(regions != nullptr);
+  CHECK(od_set != nullptr);
+  CHECK_GT(interval_s, 0.0);
+  CHECK_GE(options_.routes_per_od, 1);
+}
+
+StatusOr<sim::Route> DemandGenerator::SampleRoute(sim::IntersectionId o,
+                                                  sim::IntersectionId d,
+                                                  Rng* rng) {
+  if (options_.routes_per_od <= 1) return router_.CachedRoute(o, d);
+
+  auto key = std::make_pair(o, d);
+  auto it = alternatives_.find(key);
+  if (it == alternatives_.end()) {
+    StatusOr<std::vector<sim::Route>> routes =
+        router_.KShortestRoutes(o, d, options_.routes_per_od);
+    if (!routes.ok()) return routes.status();
+    it = alternatives_.emplace(key, std::move(routes.value())).first;
+  }
+  const std::vector<sim::Route>& routes = it->second;
+  CHECK(!routes.empty());
+  if (routes.size() == 1) return routes[0];
+
+  // Logit choice on free-flow travel time, anchored at the best route.
+  std::vector<double> weights;
+  weights.reserve(routes.size());
+  double best = 1e30;
+  for (const sim::Route& r : routes) {
+    best = std::min(best, router_.RouteFreeFlowTime(r));
+  }
+  for (const sim::Route& r : routes) {
+    weights.push_back(std::exp(-options_.logit_theta *
+                               (router_.RouteFreeFlowTime(r) - best)));
+  }
+  return routes[rng->Categorical(weights)];
+}
+
+int DemandGenerator::RoundCount(double count, Rng* rng) const {
+  CHECK_GE(count, -1e-9) << "negative trip count";
+  const double clamped = std::max(0.0, count);
+  const int base = static_cast<int>(std::floor(clamped));
+  const double frac = clamped - base;
+  return base + (frac > 0.0 && rng->Bernoulli(frac) ? 1 : 0);
+}
+
+std::vector<sim::TripRequest> DemandGenerator::Generate(const TodTensor& tod,
+                                                        Rng* rng) {
+  CHECK(rng != nullptr);
+  CHECK_EQ(tod.num_od(), od_set_->size());
+  dropped_trips_ = 0;
+
+  std::vector<sim::TripRequest> trips;
+  for (int i = 0; i < tod.num_od(); ++i) {
+    const OdPair& pair = od_set_->pair(i);
+    const Region& origin = regions_->region(pair.origin);
+    const Region& dest = regions_->region(pair.dest);
+    for (int t = 0; t < tod.num_intervals(); ++t) {
+      const int count = RoundCount(tod.at(i, t), rng);
+      for (int v = 0; v < count; ++v) {
+        const sim::IntersectionId o =
+            origin.members[rng->UniformInt(0, static_cast<int>(origin.members.size()) - 1)];
+        const sim::IntersectionId d =
+            dest.members[rng->UniformInt(0, static_cast<int>(dest.members.size()) - 1)];
+        if (o == d) {
+          // Intra-intersection trip: no road usage; treat as dropped.
+          ++dropped_trips_;
+          continue;
+        }
+        StatusOr<sim::Route> route = SampleRoute(o, d, rng);
+        if (!route.ok()) {
+          ++dropped_trips_;
+          continue;
+        }
+        sim::TripRequest trip;
+        trip.depart_time_s = (t + rng->Uniform(0.0, 1.0)) * interval_s_;
+        trip.route = route.value();
+        trips.push_back(std::move(trip));
+      }
+    }
+  }
+  return trips;
+}
+
+}  // namespace ovs::od

@@ -1,0 +1,68 @@
+#ifndef OVS_OD_DEMAND_H_
+#define OVS_OD_DEMAND_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "od/region.h"
+#include "od/tod_tensor.h"
+#include "sim/engine.h"
+#include "sim/router.h"
+#include "util/rng.h"
+
+namespace ovs::od {
+
+/// Turns a TOD tensor into individual vehicle trips for the simulator:
+/// fractional counts are stochastically rounded, origin/destination
+/// intersections are drawn uniformly from the region members, departures are
+/// spread uniformly over the interval, and each trip follows the shortest
+/// (free-flow) route — the paper's single-route simplification.
+class DemandGenerator {
+ public:
+  /// Route-choice options. The default (1 route) is the paper's
+  /// shortest-route simplification; `routes_per_od > 1` samples each trip's
+  /// route from the k shortest alternatives with a logit model on free-flow
+  /// time (the paper's §VI future-work setting).
+  struct Options {
+    int routes_per_od = 1;
+    /// Logit sensitivity (1/s): P(route) ∝ exp(-theta * travel_time).
+    double logit_theta = 0.05;
+  };
+
+  DemandGenerator(const sim::RoadNet* net, const RegionPartition* regions,
+                  const OdSet* od_set, double interval_s, Options options);
+  DemandGenerator(const sim::RoadNet* net, const RegionPartition* regions,
+                  const OdSet* od_set, double interval_s)
+      : DemandGenerator(net, regions, od_set, interval_s, Options()) {}
+
+  /// Generates trips for the whole tensor. Unroutable OD draws (no path)
+  /// are skipped and counted in `dropped_trips`.
+  std::vector<sim::TripRequest> Generate(const TodTensor& tod, Rng* rng);
+
+  int dropped_trips() const { return dropped_trips_; }
+
+ private:
+  /// Integer vehicle count for a fractional cell: floor + Bernoulli(frac).
+  int RoundCount(double count, Rng* rng) const;
+
+  /// Samples a route from o to d according to the route-choice options.
+  StatusOr<sim::Route> SampleRoute(sim::IntersectionId o, sim::IntersectionId d,
+                                   Rng* rng);
+
+  const sim::RoadNet* net_;
+  const RegionPartition* regions_;
+  const OdSet* od_set_;
+  double interval_s_;
+  Options options_;
+  sim::Router router_;
+  /// Memoized k-shortest alternatives per intersection pair.
+  std::map<std::pair<sim::IntersectionId, sim::IntersectionId>,
+           std::vector<sim::Route>>
+      alternatives_;
+  int dropped_trips_ = 0;
+};
+
+}  // namespace ovs::od
+
+#endif  // OVS_OD_DEMAND_H_

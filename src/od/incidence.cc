@@ -1,0 +1,55 @@
+#include "od/incidence.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ovs::od {
+
+sim::IntersectionId RepresentativeIntersection(const sim::RoadNet& net,
+                                               const Region& region) {
+  CHECK(!region.members.empty());
+  sim::IntersectionId best = region.members[0];
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (sim::IntersectionId m : region.members) {
+    const sim::Intersection& node = net.intersection(m);
+    const double d =
+        std::hypot(node.x - region.centroid_x, node.y - region.centroid_y);
+    if (d < best_dist) {
+      best_dist = d;
+      best = m;
+    }
+  }
+  return best;
+}
+
+std::vector<sim::Route> ComputeOdRoutes(const sim::RoadNet& net,
+                                        const RegionPartition& regions,
+                                        const OdSet& od_set) {
+  sim::Router router(&net);
+  std::vector<sim::Route> routes;
+  routes.reserve(od_set.size());
+  for (int i = 0; i < od_set.size(); ++i) {
+    const OdPair& pair = od_set.pair(i);
+    const sim::IntersectionId o =
+        RepresentativeIntersection(net, regions.region(pair.origin));
+    const sim::IntersectionId d =
+        RepresentativeIntersection(net, regions.region(pair.dest));
+    StatusOr<sim::Route> route = router.CachedRoute(o, d);
+    routes.push_back(route.ok() ? route.value() : sim::Route{});
+  }
+  return routes;
+}
+
+DMat RouteLinkIncidence(const std::vector<sim::Route>& routes, int num_links) {
+  DMat incidence(num_links, static_cast<int>(routes.size()));
+  for (size_t i = 0; i < routes.size(); ++i) {
+    for (sim::LinkId link : routes[i]) {
+      CHECK_GE(link, 0);
+      CHECK_LT(link, num_links);
+      incidence.at(link, static_cast<int>(i)) = 1.0;
+    }
+  }
+  return incidence;
+}
+
+}  // namespace ovs::od

@@ -1,0 +1,32 @@
+#ifndef OVS_OD_INCIDENCE_H_
+#define OVS_OD_INCIDENCE_H_
+
+#include <vector>
+
+#include "od/region.h"
+#include "od/tod_tensor.h"
+#include "sim/router.h"
+#include "util/mat.h"
+
+namespace ovs::od {
+
+/// The member intersection closest to the region centroid — used as the
+/// region's representative when a single route per OD is needed.
+sim::IntersectionId RepresentativeIntersection(const sim::RoadNet& net,
+                                               const Region& region);
+
+/// One representative (shortest free-flow) route per OD pair, from origin
+/// representative to destination representative. ODs with no path get an
+/// empty route.
+std::vector<sim::Route> ComputeOdRoutes(const sim::RoadNet& net,
+                                        const RegionPartition& regions,
+                                        const OdSet& od_set);
+
+/// Route->link incidence: out[j, i] = 1 iff OD i's representative route
+/// contains link j ("OD i contains link l_j", paper §III). Shape
+/// [num_links x num_od].
+DMat RouteLinkIncidence(const std::vector<sim::Route>& routes, int num_links);
+
+}  // namespace ovs::od
+
+#endif  // OVS_OD_INCIDENCE_H_

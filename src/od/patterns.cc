@@ -1,0 +1,91 @@
+#include "od/patterns.h"
+
+#include <algorithm>
+
+namespace ovs::od {
+
+const std::vector<TodPattern>& AllTodPatterns() {
+  static const std::vector<TodPattern>* patterns = new std::vector<TodPattern>{
+      TodPattern::kRandom, TodPattern::kIncreasing, TodPattern::kDecreasing,
+      TodPattern::kGaussian, TodPattern::kPoisson};
+  return *patterns;
+}
+
+std::string TodPatternName(TodPattern pattern) {
+  switch (pattern) {
+    case TodPattern::kRandom:
+      return "Random";
+    case TodPattern::kIncreasing:
+      return "Increasing";
+    case TodPattern::kDecreasing:
+      return "Decreasing";
+    case TodPattern::kGaussian:
+      return "Gaussian";
+    case TodPattern::kPoisson:
+      return "Poisson";
+  }
+  return "Unknown";
+}
+
+TodTensor GenerateTodPattern(TodPattern pattern, int num_od, int num_intervals,
+                             const PatternConfig& config, Rng* rng) {
+  CHECK_GT(num_od, 0);
+  CHECK_GT(num_intervals, 0);
+  CHECK(rng != nullptr);
+  TodTensor tod(num_od, num_intervals);
+
+  auto rate_to_count = [&](double rate_per_min) {
+    const double floored = std::max(config.min_rate, rate_per_min);
+    return floored * config.rate_scale * config.interval_minutes;
+  };
+
+  for (int i = 0; i < num_od; ++i) {
+    for (int t = 0; t < num_intervals; ++t) {
+      // Ramp position in [0, 1]: the paper's +-2 veh/min per 10-minute step
+      // over a 12-interval horizon, generalized so longer horizons keep the
+      // same start/end rates (identical values at T = 12).
+      const double progress =
+          num_intervals > 1 ? static_cast<double>(t) / (num_intervals - 1) : 0.0;
+      double rate = 0.0;
+      switch (pattern) {
+        case TodPattern::kRandom:
+          rate = rng->Uniform(1.0, 20.0);
+          break;
+        case TodPattern::kIncreasing:
+          rate = 5.0 + 22.0 * progress + rng->Gaussian(0.0, config.noise_stddev);
+          break;
+        case TodPattern::kDecreasing:
+          rate = 20.0 - 22.0 * progress + rng->Gaussian(0.0, config.noise_stddev);
+          break;
+        case TodPattern::kGaussian:
+          rate = rng->Gaussian(10.0, 2.0);  // variance 4 (paper)
+          break;
+        case TodPattern::kPoisson:
+          rate = static_cast<double>(rng->Poisson(3.0));
+          break;
+      }
+      tod.at(i, t) = rate_to_count(rate);
+    }
+  }
+  return tod;
+}
+
+std::vector<TodTensor> GenerateTrainingTods(int count, int num_od,
+                                            int num_intervals,
+                                            const PatternConfig& config,
+                                            Rng* rng) {
+  CHECK_GT(count, 0);
+  const auto& patterns = AllTodPatterns();
+  std::vector<TodTensor> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    // Every 20% of tensors follows one specific pattern (paper §V-D).
+    const TodPattern pattern =
+        patterns[static_cast<size_t>(i) * patterns.size() / count];
+    out.push_back(
+        GenerateTodPattern(pattern, num_od, num_intervals, config, rng));
+  }
+  return out;
+}
+
+}  // namespace ovs::od

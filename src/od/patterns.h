@@ -1,0 +1,52 @@
+#ifndef OVS_OD_PATTERNS_H_
+#define OVS_OD_PATTERNS_H_
+
+#include <string>
+#include <vector>
+
+#include "od/tod_tensor.h"
+#include "util/rng.h"
+
+namespace ovs::od {
+
+/// The five synthetic TOD patterns of the paper's §V-B. Rates are expressed
+/// in vehicles/minute as in the paper and converted with the interval length.
+enum class TodPattern {
+  kRandom,      ///< uniform in [1, 20] veh/min per cell
+  kIncreasing,  ///< 5 veh/min, +2 every 10 minutes, plus noise
+  kDecreasing,  ///< 20 veh/min, -2 every 10 minutes, plus noise
+  kGaussian,    ///< N(10, 4) veh/min
+  kPoisson,     ///< Poisson(lambda = 3) veh/min
+};
+
+/// All five patterns, in paper order.
+const std::vector<TodPattern>& AllTodPatterns();
+
+/// "Random", "Increasing", ... (paper table headers).
+std::string TodPatternName(TodPattern pattern);
+
+/// Knobs for pattern generation. `rate_scale` uniformly scales the paper's
+/// vehicles/minute rates so the demand can be sized to a given network
+/// without changing the pattern shapes.
+struct PatternConfig {
+  double interval_minutes = 10.0;
+  double rate_scale = 1.0;
+  double noise_stddev = 2.0;  ///< veh/min noise on Increasing/Decreasing
+  double min_rate = 0.0;      ///< floor after noise, veh/min
+};
+
+/// Generates a [num_od x num_intervals] TOD tensor following `pattern`.
+/// Entries are vehicles per *interval* (rate * interval_minutes).
+TodTensor GenerateTodPattern(TodPattern pattern, int num_od, int num_intervals,
+                             const PatternConfig& config, Rng* rng);
+
+/// The paper's training-set recipe (§V-D): `count` tensors with every 20%
+/// slice following one of the five patterns.
+std::vector<TodTensor> GenerateTrainingTods(int count, int num_od,
+                                            int num_intervals,
+                                            const PatternConfig& config,
+                                            Rng* rng);
+
+}  // namespace ovs::od
+
+#endif  // OVS_OD_PATTERNS_H_

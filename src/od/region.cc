@@ -1,0 +1,91 @@
+#include "od/region.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace ovs::od {
+
+int RegionPartition::AddRegion(const sim::RoadNet& net,
+                               std::vector<sim::IntersectionId> members,
+                               std::string name) {
+  CHECK(!members.empty()) << "region must have at least one intersection";
+  Region r;
+  r.id = num_regions();
+  r.name = name.empty() ? "region" + std::to_string(r.id) : std::move(name);
+  double sx = 0.0, sy = 0.0;
+  for (sim::IntersectionId m : members) {
+    const sim::Intersection& node = net.intersection(m);
+    sx += node.x;
+    sy += node.y;
+  }
+  r.centroid_x = sx / members.size();
+  r.centroid_y = sy / members.size();
+  r.members = std::move(members);
+  regions_.push_back(std::move(r));
+  return regions_.back().id;
+}
+
+double RegionPartition::Distance(int a, int b) const {
+  const Region& ra = region(a);
+  const Region& rb = region(b);
+  return std::hypot(ra.centroid_x - rb.centroid_x, ra.centroid_y - rb.centroid_y);
+}
+
+Status RegionPartition::Validate(const sim::RoadNet& net) const {
+  std::set<sim::IntersectionId> seen;
+  for (const Region& r : regions_) {
+    if (r.members.empty()) {
+      return Status::FailedPrecondition("region " + r.name + " is empty");
+    }
+    for (sim::IntersectionId m : r.members) {
+      if (m < 0 || m >= net.num_intersections()) {
+        return Status::FailedPrecondition("region " + r.name +
+                                          " references unknown intersection");
+      }
+      if (!seen.insert(m).second) {
+        return Status::FailedPrecondition(
+            "intersection " + std::to_string(m) + " is in two regions");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+RegionPartition PartitionByGrid(const sim::RoadNet& net, int cells_x, int cells_y) {
+  CHECK_GT(cells_x, 0);
+  CHECK_GT(cells_y, 0);
+  CHECK_GT(net.num_intersections(), 0);
+
+  double min_x = std::numeric_limits<double>::infinity(), max_x = -min_x;
+  double min_y = min_x, max_y = -min_x;
+  for (const sim::Intersection& node : net.intersections()) {
+    min_x = std::min(min_x, node.x);
+    max_x = std::max(max_x, node.x);
+    min_y = std::min(min_y, node.y);
+    max_y = std::max(max_y, node.y);
+  }
+  const double span_x = std::max(1e-9, max_x - min_x);
+  const double span_y = std::max(1e-9, max_y - min_y);
+
+  std::vector<std::vector<sim::IntersectionId>> cells(
+      static_cast<size_t>(cells_x) * cells_y);
+  for (const sim::Intersection& node : net.intersections()) {
+    int cx = std::min(cells_x - 1,
+                      static_cast<int>((node.x - min_x) / span_x * cells_x));
+    int cy = std::min(cells_y - 1,
+                      static_cast<int>((node.y - min_y) / span_y * cells_y));
+    cells[static_cast<size_t>(cy) * cells_x + cx].push_back(node.id);
+  }
+
+  RegionPartition partition;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (!cells[i].empty()) {
+      partition.AddRegion(net, std::move(cells[i]), "cell" + std::to_string(i));
+    }
+  }
+  return partition;
+}
+
+}  // namespace ovs::od

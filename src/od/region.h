@@ -1,0 +1,63 @@
+#ifndef OVS_OD_REGION_H_
+#define OVS_OD_REGION_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/roadnet.h"
+
+namespace ovs::od {
+
+/// A city region ("as small as one block", paper §III). Trips originate and
+/// terminate at member intersections; `population` feeds the Gravity
+/// baseline and the census auxiliary loss.
+struct Region {
+  int id = -1;
+  std::string name;
+  std::vector<sim::IntersectionId> members;
+  double centroid_x = 0.0;
+  double centroid_y = 0.0;
+  double population = 0.0;
+};
+
+/// Partition of a road network's intersections into regions.
+class RegionPartition {
+ public:
+  RegionPartition() = default;
+
+  /// Adds a region with the given members; computes the centroid. Returns id.
+  int AddRegion(const sim::RoadNet& net, std::vector<sim::IntersectionId> members,
+                std::string name = "");
+
+  int num_regions() const { return static_cast<int>(regions_.size()); }
+  const Region& region(int id) const {
+    CHECK_GE(id, 0);
+    CHECK_LT(id, num_regions());
+    return regions_[id];
+  }
+  Region& mutable_region(int id) {
+    CHECK_GE(id, 0);
+    CHECK_LT(id, num_regions());
+    return regions_[id];
+  }
+  const std::vector<Region>& regions() const { return regions_; }
+
+  /// Centroid-to-centroid distance in meters.
+  double Distance(int a, int b) const;
+
+  /// Checks every intersection belongs to at most one region and every
+  /// region is non-empty.
+  Status Validate(const sim::RoadNet& net) const;
+
+ private:
+  std::vector<Region> regions_;
+};
+
+/// Splits a network into cells_x * cells_y spatial cells by intersection
+/// coordinates; empty cells are dropped. This mirrors the paper's
+/// OpenStreetMap-block regioning at grid granularity.
+RegionPartition PartitionByGrid(const sim::RoadNet& net, int cells_x, int cells_y);
+
+}  // namespace ovs::od
+
+#endif  // OVS_OD_REGION_H_

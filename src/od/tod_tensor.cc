@@ -1,0 +1,59 @@
+#include "od/tod_tensor.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace ovs::od {
+
+int OdSet::Find(int origin, int dest) const {
+  for (int i = 0; i < size(); ++i) {
+    if (pairs_[i].origin == origin && pairs_[i].dest == dest) return i;
+  }
+  return -1;
+}
+
+void TodTensor::Clamp(double lo, double hi) {
+  CHECK_LE(lo, hi);
+  for (int i = 0; i < counts_.rows(); ++i) {
+    for (int t = 0; t < counts_.cols(); ++t) {
+      counts_.at(i, t) = std::clamp(counts_.at(i, t), lo, hi);
+    }
+  }
+}
+
+Status TodTensor::SaveCsv(const std::string& path) const {
+  std::vector<std::string> header;
+  header.push_back("od");
+  for (int t = 0; t < num_intervals(); ++t) {
+    header.push_back("t" + std::to_string(t));
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < num_od(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(i));
+    for (int t = 0; t < num_intervals(); ++t) {
+      row.push_back(FormatDouble(at(i, t), 6));
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsv(path, header, rows);
+}
+
+StatusOr<TodTensor> TodTensor::LoadCsv(const std::string& path) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  RETURN_IF_ERROR(ReadCsv(path, &header, &rows));
+  if (header.size() < 2) return Status::DataLoss("TOD CSV too narrow: " + path);
+  const int t_count = static_cast<int>(header.size()) - 1;
+  TodTensor tod(static_cast<int>(rows.size()), t_count);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (int t = 0; t < t_count; ++t) {
+      tod.at(static_cast<int>(i), t) = std::stod(rows[i][t + 1]);
+    }
+  }
+  return tod;
+}
+
+}  // namespace ovs::od

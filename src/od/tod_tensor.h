@@ -1,0 +1,92 @@
+#ifndef OVS_OD_TOD_TENSOR_H_
+#define OVS_OD_TOD_TENSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "util/mat.h"
+#include "util/status.h"
+
+namespace ovs::od {
+
+/// One origin-destination pair (region indices). The paper's 2-D tensor G
+/// indexes trips by (OD pair, time interval).
+struct OdPair {
+  int origin = -1;
+  int dest = -1;
+
+  bool operator==(const OdPair& other) const {
+    return origin == other.origin && dest == other.dest;
+  }
+};
+
+/// Ordered set of OD pairs under study ("Given N origin-destination pairs",
+/// paper Problem 1). Row i of a TodTensor corresponds to pairs()[i].
+class OdSet {
+ public:
+  OdSet() = default;
+  explicit OdSet(std::vector<OdPair> pairs) : pairs_(std::move(pairs)) {}
+
+  int size() const { return static_cast<int>(pairs_.size()); }
+  const OdPair& pair(int i) const {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, size());
+    return pairs_[i];
+  }
+  const std::vector<OdPair>& pairs() const { return pairs_; }
+
+  void Add(OdPair p) { pairs_.push_back(p); }
+
+  /// Index of (origin, dest) or -1.
+  int Find(int origin, int dest) const;
+
+ private:
+  std::vector<OdPair> pairs_;
+};
+
+/// The paper's TOD tensor G: trip counts per (OD pair, time interval).
+/// Counts are non-negative reals (vehicles per interval); the demand
+/// generator stochastically rounds them into integer vehicles.
+class TodTensor {
+ public:
+  TodTensor() = default;
+  TodTensor(int num_od, int num_intervals) : counts_(num_od, num_intervals) {}
+  explicit TodTensor(DMat counts) : counts_(std::move(counts)) {}
+
+  int num_od() const { return counts_.rows(); }
+  int num_intervals() const { return counts_.cols(); }
+
+  double& at(int od, int t) { return counts_.at(od, t); }
+  double at(int od, int t) const { return counts_.at(od, t); }
+
+  const DMat& mat() const { return counts_; }
+  DMat& mutable_mat() { return counts_; }
+
+  /// Total trips over all ODs and intervals.
+  double TotalTrips() const { return counts_.Sum(); }
+
+  /// Trips of OD i summed over the horizon (the LEHD-style daily count).
+  double OdTotal(int od) const { return counts_.RowSum(od); }
+
+  /// Clamps all entries into [lo, hi].
+  void Clamp(double lo, double hi);
+
+  /// Multiplies every entry by `factor` (e.g., the taxi-to-all-vehicles
+  /// scaling of paper §V-B).
+  void Scale(double factor) { counts_ *= factor; }
+
+  bool SameShape(const TodTensor& other) const {
+    return counts_.SameShape(other.counts_);
+  }
+
+  /// CSV round-trip (rows = OD pairs, cols = intervals).
+  Status SaveCsv(const std::string& path) const;
+  static StatusOr<TodTensor> LoadCsv(const std::string& path);
+
+ private:
+  DMat counts_;
+};
+
+}  // namespace ovs::od
+
+#endif  // OVS_OD_TOD_TENSOR_H_

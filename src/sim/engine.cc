@@ -1,0 +1,333 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ovs::sim {
+
+Engine::Engine(const RoadNet* net, EngineConfig config)
+    : net_(net), config_(config), signals_(net, config.signal_plan) {
+  CHECK(net != nullptr);
+  CHECK_GT(config_.dt_s, 0.0);
+  CHECK_GT(config_.interval_s, 0.0);
+  CHECK_GT(config_.duration_s, 0.0);
+  link_states_.resize(net_->num_links());
+  for (const Link& l : net_->links()) {
+    link_states_[l.id].lanes.resize(l.num_lanes);
+    link_states_[l.id].usable_lanes = l.num_lanes;
+  }
+  speed_sum_.resize(net_->num_links(), 0.0);
+  speed_obs_.resize(net_->num_links(), 0);
+  if (config_.enable_signals && config_.use_actuated_signals) {
+    actuated_ = std::make_unique<ActuatedSignalController>(net_, config_.actuated);
+    approach_demand_.resize(net_->num_links(), false);
+  }
+}
+
+bool Engine::MovementIsGreen(LinkId link, double now) const {
+  if (!config_.enable_signals) return true;
+  if (actuated_ != nullptr) return actuated_->IsGreen(link);
+  return signals_.IsGreen(link, now);
+}
+
+void Engine::ApplyRoadWork(const std::vector<RoadWork>& works) {
+  CHECK(!ran_) << "ApplyRoadWork must precede Run";
+  for (const RoadWork& w : works) {
+    CHECK_GE(w.link, 0);
+    CHECK_LT(w.link, net_->num_links());
+    CHECK_GT(w.speed_factor, 0.0);
+    CHECK_LE(w.speed_factor, 1.0);
+    LinkRuntime& state = link_states_[w.link];
+    state.speed_factor = w.speed_factor;
+    state.usable_lanes =
+        std::max(1, net_->link(w.link).num_lanes - std::max(0, w.closed_lanes));
+  }
+}
+
+void Engine::AddTrip(TripRequest trip) {
+  CHECK(!ran_) << "AddTrip must precede Run";
+  if (trip.route.empty()) {
+    ++completed_count_;
+    return;
+  }
+  // Route sanity: consecutive links must share an intersection.
+  for (size_t i = 0; i + 1 < trip.route.size(); ++i) {
+    CHECK_EQ(net_->link(trip.route[i]).to, net_->link(trip.route[i + 1]).from)
+        << "disconnected route";
+  }
+  VehicleState v;
+  v.route = std::move(trip.route);
+  v.depart_time_s = trip.depart_time_s;
+  vehicles_.push_back(std::move(v));
+}
+
+double Engine::LinkDesiredSpeed(LinkId id) const {
+  return net_->link(id).speed_limit_mps * link_states_[id].speed_factor;
+}
+
+double Engine::LaneRearSpace(LinkId link, int lane) const {
+  const auto& q = link_states_[link].lanes[lane];
+  if (q.empty()) return net_->link(link).length_m;
+  const VehicleState& last = vehicles_[q.back()];
+  return last.pos_m - config_.car_following.vehicle_length;
+}
+
+int Engine::PickEntryLane(LinkId link, double entry_pos) const {
+  const LinkRuntime& state = link_states_[link];
+  int best = -1;
+  double best_space = -1.0;
+  for (int lane = 0; lane < state.usable_lanes; ++lane) {
+    const double space = LaneRearSpace(link, lane);
+    if (space - entry_pos >= config_.car_following.min_gap &&
+        space > best_space) {
+      best = lane;
+      best_space = space;
+    }
+  }
+  return best;
+}
+
+bool Engine::TrySpawn(int vehicle_idx, double now) {
+  VehicleState& v = vehicles_[vehicle_idx];
+  const LinkId first = v.route[0];
+  const int lane = PickEntryLane(first, 0.0);
+  if (lane < 0) return false;
+  v.active = true;
+  v.lane = lane;
+  v.pos_m = 0.0;
+  v.speed = 0.5 * LinkDesiredSpeed(first);
+  v.spawn_time_s = now;
+  v.route_idx = 0;
+  link_states_[first].lanes[lane].push_back(vehicle_idx);
+  ++active_count_;
+  if (config_.record_trajectories) {
+    v.trace.route.push_back(first);
+    v.trace.entry_times.push_back(now);
+  }
+  return true;
+}
+
+void Engine::Step(int step, double now, int interval, SensorData* out) {
+  const CarFollowingParams& cf = config_.car_following;
+  const double dt = config_.dt_s;
+
+  // Actuated control: collect per-approach calls, then advance the
+  // controller before movement decisions are made this step.
+  if (actuated_ != nullptr) {
+    std::fill(approach_demand_.begin(), approach_demand_.end(), false);
+    for (const Link& link : net_->links()) {
+      for (const auto& lane_q : link_states_[link.id].lanes) {
+        if (lane_q.empty()) continue;
+        const VehicleState& front = vehicles_[lane_q.front()];
+        if (link.length_m - front.pos_m <= config_.actuation_distance_m) {
+          approach_demand_[link.id] = true;
+          break;
+        }
+      }
+    }
+    actuated_->Update(now, approach_demand_);
+  }
+
+  // Sequential front-to-back update per lane. Followers see their leader's
+  // already-updated position, which keeps platoons stable at dt = 1 s.
+  for (const Link& link : net_->links()) {
+    LinkRuntime& state = link_states_[link.id];
+    const double desired = LinkDesiredSpeed(link.id);
+    for (auto& lane_q : state.lanes) {
+      for (size_t i = 0; i < lane_q.size();) {
+        const int vid = lane_q[i];
+        VehicleState& v = vehicles_[vid];
+        if (v.last_step == step) {
+          // Already updated this step (crossed in from an earlier link).
+          ++i;
+          continue;
+        }
+        v.last_step = step;
+        double gap;
+        double leader_speed;
+        bool can_cross = false;
+        int next_lane = -1;
+
+        if (i > 0) {
+          const VehicleState& leader = vehicles_[lane_q[i - 1]];
+          gap = leader.pos_m - cf.vehicle_length - v.pos_m;
+          leader_speed = leader.speed;
+        } else {
+          // Front vehicle: look across the intersection.
+          const double dist_to_end = link.length_m - v.pos_m;
+          const bool last_link =
+              v.route_idx + 1 == static_cast<int>(v.route.size());
+          if (last_link) {
+            // Destination at the link end: drive freely off the network.
+            gap = dist_to_end + 100.0;
+            leader_speed = desired;
+            can_cross = true;
+          } else {
+            const bool green = MovementIsGreen(link.id, now);
+            const LinkId next = v.route[v.route_idx + 1];
+            next_lane = green ? PickEntryLane(next, 0.0) : -1;
+            if (green && next_lane >= 0) {
+              can_cross = true;
+              // Gap extends into the next link up to its rear space.
+              gap = dist_to_end + LaneRearSpace(next, next_lane) - cf.min_gap;
+              const auto& next_q = link_states_[next].lanes[next_lane];
+              leader_speed =
+                  next_q.empty() ? desired : vehicles_[next_q.back()].speed;
+            } else {
+              // Red light or blocked: stop at the stop line.
+              gap = dist_to_end;
+              leader_speed = 0.0;
+            }
+          }
+        }
+
+        v.speed = KraussNextSpeed(v.speed, desired, gap, leader_speed, dt, cf);
+        double new_pos = v.pos_m + v.speed * dt;
+
+        if (new_pos >= link.length_m && i == 0) {
+          const bool last_link =
+              v.route_idx + 1 == static_cast<int>(v.route.size());
+          if (last_link) {
+            // Trip complete.
+            v.active = false;
+            --active_count_;
+            ++completed_count_;
+            // Travel time counts from the *requested* departure: time spent
+            // queued waiting to enter the network is part of the trip.
+            total_travel_time_s_ += now - v.depart_time_s;
+            if (config_.record_trajectories) v.trace.finish_time_s = now;
+            lane_q.pop_front();
+            continue;  // i stays 0, next vehicle becomes front
+          }
+          if (can_cross) {
+            const LinkId next = v.route[v.route_idx + 1];
+            double overshoot = new_pos - link.length_m;
+            const double rear =
+                LaneRearSpace(next, next_lane) - cf.min_gap;
+            overshoot = std::clamp(overshoot, 0.0, std::max(0.0, rear));
+            lane_q.pop_front();
+            ++v.route_idx;
+            v.lane = next_lane;
+            v.pos_m = overshoot;
+            link_states_[next].lanes[next_lane].push_back(vid);
+            out->volume.at(next, interval) += 1.0;
+            if (config_.record_trajectories) {
+              v.trace.route.push_back(next);
+              v.trace.entry_times.push_back(now);
+            }
+            continue;  // front slot re-evaluated for the next vehicle
+          }
+          new_pos = link.length_m;  // hold at the stop line
+          v.speed = 0.0;
+        }
+
+        v.pos_m = std::min(new_pos, link.length_m);
+        ++i;
+      }
+    }
+  }
+
+  // Spawn pending demand whose departure time has arrived. FIFO is enforced
+  // per entry link: a full link defers its own queue without starving other
+  // origins.
+  if (!pending_.empty() && vehicles_[pending_.front()].depart_time_s <= now) {
+    std::vector<char> blocked(net_->num_links(), 0);
+    std::deque<int> still_pending;
+    while (!pending_.empty()) {
+      const int vid = pending_.front();
+      if (vehicles_[vid].depart_time_s > now) break;
+      pending_.pop_front();
+      const LinkId entry = vehicles_[vid].route[0];
+      if (blocked[entry] || !TrySpawn(vid, now)) {
+        blocked[entry] = 1;
+        still_pending.push_back(vid);
+        continue;
+      }
+      vehicles_[vid].last_step = step;
+      out->volume.at(entry, interval) += 1.0;
+      ++out->spawned_trips;
+    }
+    // Deferred vehicles go back to the front, in order, before untouched ones.
+    for (auto it = still_pending.rbegin(); it != still_pending.rend(); ++it) {
+      pending_.push_front(*it);
+    }
+  }
+
+  // Speed sensing: every active vehicle contributes its current speed to its
+  // current link's accumulator.
+  for (const Link& link : net_->links()) {
+    for (const auto& lane_q : link_states_[link.id].lanes) {
+      for (int vid : lane_q) {
+        speed_sum_[link.id] += vehicles_[vid].speed;
+        speed_obs_[link.id] += 1;
+      }
+    }
+  }
+}
+
+SensorData Engine::Run() {
+  CHECK(!ran_) << "Engine::Run is single-shot";
+  ran_ = true;
+
+  const int intervals = config_.NumIntervals();
+  SensorData out;
+  out.volume = DMat(net_->num_links(), intervals);
+  out.speed = DMat(net_->num_links(), intervals);
+
+  // Order demand by departure time.
+  std::vector<int> order(vehicles_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return vehicles_[a].depart_time_s < vehicles_[b].depart_time_s;
+  });
+  pending_.assign(order.begin(), order.end());
+
+  const int steps = static_cast<int>(config_.duration_s / config_.dt_s + 0.5);
+  int current_interval = 0;
+  for (int step = 0; step < steps; ++step) {
+    const double now = step * config_.dt_s;
+    const int interval =
+        std::min(intervals - 1, static_cast<int>(now / config_.interval_s));
+    if (interval != current_interval) {
+      // Flush the finished interval's speed accumulators.
+      for (int l = 0; l < net_->num_links(); ++l) {
+        out.speed.at(l, current_interval) =
+            speed_obs_[l] > 0 ? speed_sum_[l] / speed_obs_[l]
+                              : LinkDesiredSpeed(l);
+        speed_sum_[l] = 0.0;
+        speed_obs_[l] = 0;
+      }
+      current_interval = interval;
+    }
+    Step(step, now, interval, &out);
+  }
+  // Flush the final interval.
+  for (int l = 0; l < net_->num_links(); ++l) {
+    out.speed.at(l, current_interval) =
+        speed_obs_[l] > 0 ? speed_sum_[l] / speed_obs_[l] : LinkDesiredSpeed(l);
+  }
+
+  out.completed_trips = completed_count_;
+  out.unspawned_trips = static_cast<int>(pending_.size());
+  out.mean_travel_time_s =
+      completed_count_ > 0 ? total_travel_time_s_ / completed_count_ : 0.0;
+  if (config_.record_trajectories) {
+    out.trajectories.reserve(vehicles_.size());
+    for (VehicleState& v : vehicles_) {
+      v.trace.depart_time_s = v.depart_time_s;
+      out.trajectories.push_back(std::move(v.trace));
+    }
+  }
+  return out;
+}
+
+SensorData Simulate(const RoadNet& net, const EngineConfig& config,
+                    const std::vector<TripRequest>& trips,
+                    const std::vector<RoadWork>& works) {
+  Engine engine(&net, config);
+  engine.ApplyRoadWork(works);
+  for (const TripRequest& trip : trips) engine.AddTrip(trip);
+  return engine.Run();
+}
+
+}  // namespace ovs::sim

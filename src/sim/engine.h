@@ -1,0 +1,183 @@
+#ifndef OVS_SIM_ENGINE_H_
+#define OVS_SIM_ENGINE_H_
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/car_following.h"
+#include "sim/roadnet.h"
+#include "sim/router.h"
+#include "sim/signal.h"
+#include "util/mat.h"
+
+namespace ovs::sim {
+
+/// Engine-wide configuration. Defaults match the paper's experiment setup:
+/// 2-hour horizon split into 10-minute sensor intervals.
+struct EngineConfig {
+  double dt_s = 1.0;            ///< integration step
+  double interval_s = 600.0;    ///< sensor aggregation interval (10 min)
+  double duration_s = 7200.0;   ///< total simulated horizon (2 h)
+  CarFollowingParams car_following;
+  SignalPlan signal_plan;
+  bool enable_signals = true;
+  /// Replace the fixed two-phase plan with vehicle-actuated control
+  /// (ActuatedSignalController). Only meaningful when enable_signals.
+  bool use_actuated_signals = false;
+  ActuatedSignalController::Params actuated;
+  /// Distance from the stop line within which a vehicle places an actuation
+  /// call on its approach.
+  double actuation_distance_m = 60.0;
+  /// Record per-vehicle traces (link entry timestamps) into
+  /// SensorData::trajectories — the raw material for GPS-trajectory style
+  /// data pipelines. Off by default (costs memory on big runs).
+  bool record_trajectories = false;
+
+  int NumIntervals() const {
+    // At least one sensor bucket even when the horizon is shorter than the
+    // aggregation interval.
+    return std::max(1, static_cast<int>(duration_s / interval_s + 0.5));
+  }
+};
+
+/// A per-link perturbation used for the RQ3 road-work experiments: scales the
+/// attainable speed and closes lanes on the affected link.
+struct RoadWork {
+  LinkId link = -1;
+  double speed_factor = 1.0;  ///< multiplies the link speed limit, in (0, 1]
+  int closed_lanes = 0;       ///< lanes taken out of service (>= 0)
+};
+
+/// A demand event: one vehicle departing at `depart_time_s` along `route`.
+struct TripRequest {
+  double depart_time_s = 0.0;
+  Route route;
+};
+
+/// One vehicle's realized trip: the links it traversed and when it entered
+/// each (plus departure/finish). This is what a GPS logger on the vehicle
+/// would capture, up to map-matching.
+struct VehicleTrace {
+  Route route;                       ///< links actually traversed
+  std::vector<double> entry_times;   ///< entry timestamp per traversed link
+  double depart_time_s = 0.0;        ///< requested departure
+  double finish_time_s = -1.0;       ///< arrival; -1 if still en route at end
+};
+
+/// What the city's "sensors" observed: per-link per-interval volume (vehicles
+/// entering the link) and mean speed (m/s; free-flow when no vehicle was
+/// observed). This pair is the paper's (volume tensor, speed tensor).
+struct SensorData {
+  DMat volume;  ///< [num_links x num_intervals]
+  DMat speed;   ///< [num_links x num_intervals], m/s
+
+  int spawned_trips = 0;
+  int completed_trips = 0;
+  int unspawned_trips = 0;       ///< demand that never found entry space
+  double mean_travel_time_s = 0.0;
+
+  /// Per-vehicle traces (only when EngineConfig::record_trajectories).
+  /// Unspawned vehicles get an empty route.
+  std::vector<VehicleTrace> trajectories;
+};
+
+/// Microscopic traffic simulator: Krauss car-following on multi-lane links,
+/// two-phase fixed signals, queue spillback across links, and per-interval
+/// link sensors. Deterministic: same network + trips => same sensor output.
+///
+/// Usage: construct, optionally ApplyRoadWork, AddTrip for every vehicle,
+/// then Run() once. The engine is single-shot; build a new one per scenario.
+class Engine {
+ public:
+  Engine(const RoadNet* net, EngineConfig config);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Applies road-work perturbations. Must precede Run().
+  void ApplyRoadWork(const std::vector<RoadWork>& works);
+
+  /// Queues one vehicle. Must precede Run(). Trips with empty routes are
+  /// counted as completed immediately.
+  void AddTrip(TripRequest trip);
+
+  /// Runs the full horizon and returns the sensor observations.
+  SensorData Run();
+
+  /// Number of vehicles currently on the network (valid after Run for
+  /// inspection of residual congestion).
+  int active_vehicles() const { return active_count_; }
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct VehicleState {
+    Route route;
+    int route_idx = 0;
+    int lane = 0;
+    double pos_m = 0.0;
+    double speed = 0.0;
+    double depart_time_s = 0.0;
+    double spawn_time_s = -1.0;
+    bool active = false;
+    int last_step = -1;  ///< guards against double-update after crossing
+    VehicleTrace trace;  ///< populated only when recording trajectories
+  };
+
+  struct LinkRuntime {
+    /// Vehicle indices per lane, ordered front (largest pos) first.
+    std::vector<std::deque<int>> lanes;
+    double speed_factor = 1.0;
+    int usable_lanes = 1;
+  };
+
+  /// Effective top speed on a link (limit x road-work factor).
+  double LinkDesiredSpeed(LinkId id) const;
+
+  /// Picks the lane on `link` with the most rear space; returns the lane
+  /// index, or -1 if no lane can accept a vehicle at position `entry_pos`.
+  int PickEntryLane(LinkId link, double entry_pos) const;
+
+  /// Rear space available on a lane: position of its last vehicle minus its
+  /// length, or the link length when empty.
+  double LaneRearSpace(LinkId link, int lane) const;
+
+  /// Attempts to place vehicle `v` at the head of its first link.
+  bool TrySpawn(int vehicle_idx, double now);
+
+  /// One dt step of car following + transitions + sensing.
+  void Step(int step, double now, int interval, SensorData* out);
+
+  /// True when the movement out of `link` may cross at `now`.
+  bool MovementIsGreen(LinkId link, double now) const;
+
+  const RoadNet* net_;
+  EngineConfig config_;
+  SignalController signals_;
+  std::unique_ptr<ActuatedSignalController> actuated_;
+  std::vector<bool> approach_demand_;  ///< scratch, per link per step
+
+  std::vector<VehicleState> vehicles_;
+  std::vector<LinkRuntime> link_states_;
+  std::deque<int> pending_;  ///< vehicle indices not yet spawned, by depart time
+  int active_count_ = 0;
+  int completed_count_ = 0;
+  double total_travel_time_s_ = 0.0;
+  bool ran_ = false;
+
+  // Per-interval scratch accumulators for speed sensing.
+  std::vector<double> speed_sum_;   // per link, current interval
+  std::vector<int> speed_obs_;      // per link, current interval
+};
+
+/// Convenience wrapper: builds an engine, loads `trips`, applies `works`, and
+/// runs. This is the `TOD -> (volume, speed)` oracle used by the estimators.
+SensorData Simulate(const RoadNet& net, const EngineConfig& config,
+                    const std::vector<TripRequest>& trips,
+                    const std::vector<RoadWork>& works = {});
+
+}  // namespace ovs::sim
+
+#endif  // OVS_SIM_ENGINE_H_

@@ -1,0 +1,100 @@
+#include "sim/fundamental_diagram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ovs::sim {
+
+double GreenshieldsSpeed(const GreenshieldsParams& params, double flow) {
+  CHECK_GE(flow, 0.0);
+  const double v_f = params.free_flow_speed;
+  const double q_max = params.Capacity();
+  if (flow >= q_max) return v_f / 2.0;
+  // v solves k = q / v and v = v_f (1 - k / k_jam):
+  //   v^2 - v_f v + v_f q / k_jam = 0, uncongested root:
+  const double disc = v_f * v_f - 4.0 * v_f * flow / params.jam_density;
+  return 0.5 * (v_f + std::sqrt(std::max(0.0, disc)));
+}
+
+double GreenshieldsFlow(const GreenshieldsParams& params, double speed) {
+  const double v_f = params.free_flow_speed;
+  const double v = std::clamp(speed, v_f / 2.0, v_f);
+  // q = k v with k = k_jam (1 - v / v_f).
+  return params.jam_density * (1.0 - v / v_f) * v;
+}
+
+double BprSpeed(const BprParams& params, double flow) {
+  CHECK_GE(flow, 0.0);
+  CHECK_GT(params.capacity, 0.0);
+  const double x = flow / params.capacity;
+  return params.free_flow_speed /
+         (1.0 + params.alpha * std::pow(x, params.beta));
+}
+
+StatusOr<std::vector<BprParams>> CalibrateBpr(const DMat& volume,
+                                              const DMat& speed,
+                                              double interval_s) {
+  if (!volume.SameShape(speed)) {
+    return Status::InvalidArgument("volume/speed shape mismatch");
+  }
+  if (interval_s <= 0.0) {
+    return Status::InvalidArgument("interval must be positive");
+  }
+  const int links = volume.rows();
+  const int t_count = volume.cols();
+  std::vector<BprParams> fits(links);
+
+  const double alphas[] = {0.05, 0.15, 0.3, 0.6, 1.0, 2.0};
+  const double betas[] = {1.0, 2.0, 4.0, 6.0};
+
+  for (int l = 0; l < links; ++l) {
+    double max_flow = 0.0, max_speed = 0.0;
+    for (int t = 0; t < t_count; ++t) {
+      max_flow = std::max(max_flow, volume.at(l, t) / interval_s);
+      max_speed = std::max(max_speed, speed.at(l, t));
+    }
+    BprParams& fit = fits[l];
+    if (max_flow <= 0.0) continue;  // unused link: defaults
+    fit.free_flow_speed = max_speed;
+    fit.capacity = std::max(1e-6, max_flow);
+
+    double best_err = 1e300;
+    for (double alpha : alphas) {
+      for (double beta : betas) {
+        BprParams candidate = fit;
+        candidate.alpha = alpha;
+        candidate.beta = beta;
+        double err = 0.0;
+        for (int t = 0; t < t_count; ++t) {
+          const double pred =
+              BprSpeed(candidate, volume.at(l, t) / interval_s);
+          const double d = pred - speed.at(l, t);
+          err += d * d;
+        }
+        if (err < best_err) {
+          best_err = err;
+          fit = candidate;
+        }
+      }
+    }
+  }
+  return fits;
+}
+
+double BprFitRmse(const std::vector<BprParams>& fits, const DMat& volume,
+                  const DMat& speed, double interval_s) {
+  CHECK(volume.SameShape(speed));
+  CHECK_EQ(static_cast<int>(fits.size()), volume.rows());
+  CHECK_GT(interval_s, 0.0);
+  double acc = 0.0;
+  for (int l = 0; l < volume.rows(); ++l) {
+    for (int t = 0; t < volume.cols(); ++t) {
+      const double pred = BprSpeed(fits[l], volume.at(l, t) / interval_s);
+      const double d = pred - speed.at(l, t);
+      acc += d * d;
+    }
+  }
+  return std::sqrt(acc / volume.numel());
+}
+
+}  // namespace ovs::sim

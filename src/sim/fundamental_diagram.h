@@ -1,0 +1,61 @@
+#ifndef OVS_SIM_FUNDAMENTAL_DIAGRAM_H_
+#define OVS_SIM_FUNDAMENTAL_DIAGRAM_H_
+
+#include "util/mat.h"
+#include "util/status.h"
+
+namespace ovs::sim {
+
+/// Classical macroscopic volume/speed models (paper related work [24], [25]):
+/// analytical descriptions of how link speed falls as flow approaches
+/// capacity. Used to sanity-check the microscopic engine's emergent behaviour
+/// and as an interpretable, calibratable alternative to the learned
+/// Volume-Speed mapping.
+
+/// Greenshields (linear speed-density): v = v_f * (1 - k / k_jam), with flow
+/// q = k * v. Solving for speed as a function of flow gives two branches; we
+/// expose the uncongested branch, which is what per-interval entry counts
+/// (our volume sensor) correspond to below capacity.
+struct GreenshieldsParams {
+  double free_flow_speed = 13.89;  ///< v_f, m/s
+  double jam_density = 0.133;      ///< k_jam, veh/m (≈ 7.5 m headway)
+
+  /// Maximum flow q_max = v_f * k_jam / 4 (veh/s).
+  double Capacity() const { return free_flow_speed * jam_density / 4.0; }
+};
+
+/// Speed on the uncongested branch for flow `q` (veh/s). Flows at or above
+/// capacity return the capacity speed v_f / 2.
+double GreenshieldsSpeed(const GreenshieldsParams& params, double flow);
+
+/// Inverse on the uncongested branch: the flow that produces `speed`.
+/// Clamped to [v_f/2, v_f].
+double GreenshieldsFlow(const GreenshieldsParams& params, double speed);
+
+/// BPR-style congestion curve (the other classical form):
+/// v = v_f / (1 + alpha * (q / capacity)^beta).
+struct BprParams {
+  double free_flow_speed = 13.89;  ///< m/s
+  double capacity = 0.5;           ///< veh/s
+  double alpha = 0.15;
+  double beta = 4.0;
+};
+
+double BprSpeed(const BprParams& params, double flow);
+
+/// Calibrates a BPR curve per link from sensor observations
+/// (volume [M x T] in veh/interval, speed [M x T] in m/s): grid-searches
+/// alpha/beta and takes free_flow_speed/capacity from the data. Returns one
+/// fitted curve per link. Links with no volume keep defaults.
+StatusOr<std::vector<BprParams>> CalibrateBpr(const DMat& volume,
+                                              const DMat& speed,
+                                              double interval_s);
+
+/// Mean squared speed error of fitted curves on the observations (m/s),
+/// for goodness-of-fit reporting.
+double BprFitRmse(const std::vector<BprParams>& fits, const DMat& volume,
+                  const DMat& speed, double interval_s);
+
+}  // namespace ovs::sim
+
+#endif  // OVS_SIM_FUNDAMENTAL_DIAGRAM_H_

@@ -1,0 +1,124 @@
+#include "sim/roadnet.h"
+
+#include <cmath>
+
+namespace ovs::sim {
+
+IntersectionId RoadNet::AddIntersection(double x, double y, bool signalized) {
+  Intersection node;
+  node.id = num_intersections();
+  node.x = x;
+  node.y = y;
+  node.signalized = signalized;
+  intersections_.push_back(node);
+  return node.id;
+}
+
+LinkId RoadNet::AddLink(IntersectionId from, IntersectionId to, double length_m,
+                        int num_lanes, double speed_limit_mps) {
+  CHECK_GE(from, 0);
+  CHECK_LT(from, num_intersections());
+  CHECK_GE(to, 0);
+  CHECK_LT(to, num_intersections());
+  CHECK_NE(from, to) << "self-loop link";
+  CHECK_GT(length_m, 0.0);
+  CHECK_GT(num_lanes, 0);
+  CHECK_GT(speed_limit_mps, 0.0);
+  Link link;
+  link.id = num_links();
+  link.from = from;
+  link.to = to;
+  link.length_m = length_m;
+  link.num_lanes = num_lanes;
+  link.speed_limit_mps = speed_limit_mps;
+  links_.push_back(link);
+  intersections_[from].outgoing.push_back(link.id);
+  intersections_[to].incoming.push_back(link.id);
+  return link.id;
+}
+
+void RoadNet::AddRoad(IntersectionId a, IntersectionId b, double length_m,
+                      int num_lanes, double speed_limit_mps) {
+  AddLink(a, b, length_m, num_lanes, speed_limit_mps);
+  AddLink(b, a, length_m, num_lanes, speed_limit_mps);
+}
+
+double RoadNet::Distance(IntersectionId a, IntersectionId b) const {
+  const Intersection& ia = intersection(a);
+  const Intersection& ib = intersection(b);
+  return std::hypot(ia.x - ib.x, ia.y - ib.y);
+}
+
+double RoadNet::LinkBearing(LinkId id) const {
+  const Link& l = link(id);
+  const Intersection& from = intersection(l.from);
+  const Intersection& to = intersection(l.to);
+  return std::atan2(to.y - from.y, to.x - from.x);
+}
+
+bool RoadNet::LinkIsNorthSouth(LinkId id) const {
+  const Link& l = link(id);
+  const Intersection& from = intersection(l.from);
+  const Intersection& to = intersection(l.to);
+  return std::fabs(to.y - from.y) >= std::fabs(to.x - from.x);
+}
+
+Status RoadNet::Validate() const {
+  if (intersections_.empty()) {
+    return Status::FailedPrecondition("road network has no intersections");
+  }
+  for (const Link& l : links_) {
+    if (l.from < 0 || l.from >= num_intersections() || l.to < 0 ||
+        l.to >= num_intersections()) {
+      return Status::FailedPrecondition("link " + std::to_string(l.id) +
+                                        " has dangling endpoint");
+    }
+    if (l.length_m <= 0.0 || l.num_lanes <= 0 || l.speed_limit_mps <= 0.0) {
+      return Status::FailedPrecondition("link " + std::to_string(l.id) +
+                                        " has non-positive geometry");
+    }
+  }
+  for (const Intersection& node : intersections_) {
+    for (LinkId id : node.incoming) {
+      if (id < 0 || id >= num_links() || links_[id].to != node.id) {
+        return Status::Internal("incoming index corrupt at intersection " +
+                                std::to_string(node.id));
+      }
+    }
+    for (LinkId id : node.outgoing) {
+      if (id < 0 || id >= num_links() || links_[id].from != node.id) {
+        return Status::Internal("outgoing index corrupt at intersection " +
+                                std::to_string(node.id));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+RoadNet MakeGridNetwork(int rows, int cols, double spacing_m, int num_lanes,
+                        double speed_limit_mps) {
+  CHECK_GT(rows, 0);
+  CHECK_GT(cols, 0);
+  RoadNet net;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      net.AddIntersection(c * spacing_m, r * spacing_m);
+    }
+  }
+  auto node_id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        net.AddRoad(node_id(r, c), node_id(r, c + 1), spacing_m, num_lanes,
+                    speed_limit_mps);
+      }
+      if (r + 1 < rows) {
+        net.AddRoad(node_id(r, c), node_id(r + 1, c), spacing_m, num_lanes,
+                    speed_limit_mps);
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace ovs::sim

@@ -1,0 +1,81 @@
+#include "sim/roadnet_io.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace ovs::sim {
+
+namespace {
+constexpr char kMagic[] = "OVSNET,1";
+}  // namespace
+
+Status SaveRoadNet(const RoadNet& net, const std::string& path) {
+  RETURN_IF_ERROR(net.Validate());
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::NotFound("cannot open for write: " + path);
+  out << kMagic << "\n";
+  out << "intersections," << net.num_intersections() << "\n";
+  for (const Intersection& node : net.intersections()) {
+    out << node.id << "," << FormatDouble(node.x, 3) << ","
+        << FormatDouble(node.y, 3) << "," << (node.signalized ? 1 : 0) << "\n";
+  }
+  out << "links," << net.num_links() << "\n";
+  for (const Link& l : net.links()) {
+    out << l.id << "," << l.from << "," << l.to << ","
+        << FormatDouble(l.length_m, 3) << "," << l.num_lanes << ","
+        << FormatDouble(l.speed_limit_mps, 3) << "\n";
+  }
+  if (!out.good()) return Status::DataLoss("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<RoadNet> LoadRoadNet(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line) || StripWhitespace(line) != kMagic) {
+    return Status::DataLoss("bad magic in " + path);
+  }
+
+  auto read_header = [&](const char* tag) -> StatusOr<int> {
+    if (!std::getline(in, line)) return Status::DataLoss("truncated " + path);
+    std::vector<std::string> parts = StrSplit(StripWhitespace(line), ',');
+    if (parts.size() != 2 || parts[0] != tag) {
+      return Status::DataLoss("expected '" + std::string(tag) + "' header in " +
+                              path);
+    }
+    return std::stoi(parts[1]);
+  };
+
+  RoadNet net;
+  StatusOr<int> intersections = read_header("intersections");
+  if (!intersections.ok()) return intersections.status();
+  for (int i = 0; i < *intersections; ++i) {
+    if (!std::getline(in, line)) return Status::DataLoss("truncated " + path);
+    std::vector<std::string> f = StrSplit(StripWhitespace(line), ',');
+    if (f.size() != 4) return Status::DataLoss("bad intersection row in " + path);
+    const int id = net.AddIntersection(std::stod(f[1]), std::stod(f[2]),
+                                       std::stoi(f[3]) != 0);
+    if (id != std::stoi(f[0])) {
+      return Status::DataLoss("non-sequential intersection ids in " + path);
+    }
+  }
+  StatusOr<int> links = read_header("links");
+  if (!links.ok()) return links.status();
+  for (int i = 0; i < *links; ++i) {
+    if (!std::getline(in, line)) return Status::DataLoss("truncated " + path);
+    std::vector<std::string> f = StrSplit(StripWhitespace(line), ',');
+    if (f.size() != 6) return Status::DataLoss("bad link row in " + path);
+    const int id = net.AddLink(std::stoi(f[1]), std::stoi(f[2]),
+                               std::stod(f[3]), std::stoi(f[4]),
+                               std::stod(f[5]));
+    if (id != std::stoi(f[0])) {
+      return Status::DataLoss("non-sequential link ids in " + path);
+    }
+  }
+  RETURN_IF_ERROR(net.Validate());
+  return net;
+}
+
+}  // namespace ovs::sim

@@ -1,0 +1,178 @@
+#include "sim/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace ovs::sim {
+
+namespace {
+
+struct QueueEntry {
+  double cost;
+  IntersectionId node;
+  bool operator>(const QueueEntry& other) const { return cost > other.cost; }
+};
+
+}  // namespace
+
+StatusOr<Route> Router::ShortestRoute(IntersectionId origin,
+                                      IntersectionId dest) const {
+  std::vector<double> costs(net_->num_links());
+  for (const Link& l : net_->links()) costs[l.id] = l.FreeFlowTime();
+  return ShortestRouteWithCosts(origin, dest, costs);
+}
+
+StatusOr<Route> Router::ShortestRouteWithCosts(
+    IntersectionId origin, IntersectionId dest,
+    const std::vector<double>& link_costs) const {
+  CHECK_GE(origin, 0);
+  CHECK_LT(origin, net_->num_intersections());
+  CHECK_GE(dest, 0);
+  CHECK_LT(dest, net_->num_intersections());
+  CHECK_EQ(static_cast<int>(link_costs.size()), net_->num_links());
+  if (origin == dest) return Route{};
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(net_->num_intersections(), kInf);
+  std::vector<LinkId> via(net_->num_intersections(), -1);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[origin] = 0.0;
+  pq.push({0.0, origin});
+
+  while (!pq.empty()) {
+    auto [cost, node] = pq.top();
+    pq.pop();
+    if (cost > dist[node]) continue;
+    if (node == dest) break;
+    for (LinkId link_id : net_->intersection(node).outgoing) {
+      const Link& l = net_->link(link_id);
+      CHECK_GE(link_costs[link_id], 0.0);
+      const double next = cost + link_costs[link_id];
+      if (next < dist[l.to]) {
+        dist[l.to] = next;
+        via[l.to] = link_id;
+        pq.push({next, l.to});
+      }
+    }
+  }
+
+  if (via[dest] == -1) {
+    return Status::NotFound("no route from " + std::to_string(origin) + " to " +
+                            std::to_string(dest));
+  }
+  Route route;
+  for (IntersectionId node = dest; node != origin;) {
+    const LinkId link_id = via[node];
+    route.push_back(link_id);
+    node = net_->link(link_id).from;
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+StatusOr<std::vector<Route>> Router::KShortestRoutes(IntersectionId origin,
+                                                     IntersectionId dest,
+                                                     int k) const {
+  CHECK_GT(k, 0);
+  StatusOr<Route> best = ShortestRoute(origin, dest);
+  if (!best.ok()) return best.status();
+
+  std::vector<double> base_costs(net_->num_links());
+  for (const Link& l : net_->links()) base_costs[l.id] = l.FreeFlowTime();
+  auto route_cost = [&](const Route& route) {
+    double c = 0.0;
+    for (LinkId id : route) c += base_costs[id];
+    return c;
+  };
+
+  std::vector<Route> accepted = {best.value()};
+  // Candidate pool: (cost, route), deduplicated.
+  std::vector<std::pair<double, Route>> candidates;
+  auto contains = [](const std::vector<Route>& routes, const Route& r) {
+    for (const Route& existing : routes) {
+      if (existing == r) return true;
+    }
+    return false;
+  };
+
+  while (static_cast<int>(accepted.size()) < k) {
+    const Route& last = accepted.back();
+    // Yen: branch at every prefix of the last accepted route.
+    for (size_t spur = 0; spur < last.size(); ++spur) {
+      const IntersectionId spur_node =
+          spur == 0 ? origin : net_->link(last[spur - 1]).to;
+      std::vector<double> costs = base_costs;
+      // Remove links used by accepted routes sharing this prefix.
+      const Route prefix(last.begin(), last.begin() + spur);
+      for (const Route& r : accepted) {
+        if (r.size() >= spur &&
+            std::equal(prefix.begin(), prefix.end(), r.begin()) &&
+            r.size() > spur) {
+          costs[r[spur]] = 1e18;  // effectively removed
+        }
+      }
+      StatusOr<Route> spur_route =
+          ShortestRouteWithCosts(spur_node, dest, costs);
+      if (!spur_route.ok()) continue;
+      if (route_cost(spur_route.value()) >= 1e17) continue;  // used a removed link
+      Route full = prefix;
+      full.insert(full.end(), spur_route->begin(), spur_route->end());
+      // Loopless check: no repeated intersections.
+      std::vector<IntersectionId> visited{origin};
+      bool loop = false;
+      for (LinkId id : full) {
+        const IntersectionId to = net_->link(id).to;
+        for (IntersectionId v : visited) {
+          if (v == to) {
+            loop = true;
+            break;
+          }
+        }
+        if (loop) break;
+        visited.push_back(to);
+      }
+      if (loop) continue;
+      if (contains(accepted, full)) continue;
+      bool dup = false;
+      for (const auto& [c, r] : candidates) {
+        if (r == full) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) candidates.emplace_back(route_cost(full), full);
+    }
+    if (candidates.empty()) break;
+    auto it = std::min_element(candidates.begin(), candidates.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.first < b.first;
+                               });
+    accepted.push_back(it->second);
+    candidates.erase(it);
+  }
+  return accepted;
+}
+
+StatusOr<Route> Router::CachedRoute(IntersectionId origin, IntersectionId dest) {
+  auto key = std::make_pair(origin, dest);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  StatusOr<Route> route = ShortestRoute(origin, dest);
+  if (route.ok()) cache_.emplace(key, route.value());
+  return route;
+}
+
+double Router::RouteFreeFlowTime(const Route& route) const {
+  double t = 0.0;
+  for (LinkId id : route) t += net_->link(id).FreeFlowTime();
+  return t;
+}
+
+double Router::RouteLength(const Route& route) const {
+  double len = 0.0;
+  for (LinkId id : route) len += net_->link(id).length_m;
+  return len;
+}
+
+}  // namespace ovs::sim

@@ -1,0 +1,57 @@
+#ifndef OVS_SIM_ROUTER_H_
+#define OVS_SIM_ROUTER_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/roadnet.h"
+
+namespace ovs::sim {
+
+/// A route is the ordered list of links a vehicle traverses.
+using Route = std::vector<LinkId>;
+
+/// Shortest-path router over free-flow travel times. The paper's §IV-C
+/// simplification ("people choose the shortest or fastest route, one OD maps
+/// to one route") is exactly this; a per-link cost override supports
+/// congestion-aware rerouting experiments.
+class Router {
+ public:
+  explicit Router(const RoadNet* net) : net_(net) { CHECK(net != nullptr); }
+
+  /// Shortest route by free-flow time from `origin` to `dest`. Empty route
+  /// means origin == dest; a NotFound status means no path exists.
+  StatusOr<Route> ShortestRoute(IntersectionId origin, IntersectionId dest) const;
+
+  /// Like ShortestRoute but with per-link costs (seconds) supplied by the
+  /// caller, e.g. instantaneous congested travel times.
+  StatusOr<Route> ShortestRouteWithCosts(IntersectionId origin,
+                                         IntersectionId dest,
+                                         const std::vector<double>& link_costs) const;
+
+  /// Memoized free-flow route. Routes are deterministic, so results are
+  /// cached per (origin, dest).
+  StatusOr<Route> CachedRoute(IntersectionId origin, IntersectionId dest);
+
+  /// Up to `k` loopless alternative routes in increasing free-flow cost
+  /// (Yen's algorithm). Returns at least one route when a path exists;
+  /// fewer than k when the graph has fewer alternatives. This is the hook
+  /// for the paper's future-work multi-route OD modelling (§VI).
+  StatusOr<std::vector<Route>> KShortestRoutes(IntersectionId origin,
+                                               IntersectionId dest, int k) const;
+
+  /// Total free-flow traversal time of a route in seconds.
+  double RouteFreeFlowTime(const Route& route) const;
+
+  /// Total length of a route in meters.
+  double RouteLength(const Route& route) const;
+
+ private:
+  const RoadNet* net_;
+  std::map<std::pair<IntersectionId, IntersectionId>, Route> cache_;
+};
+
+}  // namespace ovs::sim
+
+#endif  // OVS_SIM_ROUTER_H_

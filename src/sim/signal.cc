@@ -1,0 +1,108 @@
+#include "sim/signal.h"
+
+#include <cmath>
+
+namespace ovs::sim {
+
+SignalController::SignalController(const RoadNet* net, SignalPlan plan)
+    : net_(net), plan_(plan) {
+  CHECK(net != nullptr);
+  CHECK_GT(plan_.green_ns_s, 0.0);
+  CHECK_GT(plan_.green_ew_s, 0.0);
+  CHECK_GE(plan_.all_red_s, 0.0);
+  link_is_ns_.resize(net_->num_links());
+  for (const Link& l : net_->links()) {
+    link_is_ns_[l.id] = net_->LinkIsNorthSouth(l.id);
+  }
+}
+
+double SignalController::Offset(IntersectionId id) const {
+  // Deterministic stagger: spread offsets over the cycle using a cheap hash.
+  const double cycle = plan_.CycleLength();
+  const unsigned h = static_cast<unsigned>(id) * 2654435761u;
+  return (h % 1000u) / 1000.0 * cycle;
+}
+
+bool SignalController::IsGreen(LinkId incoming_link, double time_s) const {
+  const Link& l = net_->link(incoming_link);
+  const Intersection& node = net_->intersection(l.to);
+  if (!node.signalized) return true;
+  // Intersections with a single incoming approach never conflict.
+  if (node.incoming.size() <= 1) return true;
+
+  const double cycle = plan_.CycleLength();
+  double t = std::fmod(time_s + Offset(node.id), cycle);
+  if (t < 0.0) t += cycle;
+
+  // Cycle layout: [green NS][all red][green EW][all red]
+  if (t < plan_.green_ns_s) return link_is_ns_[incoming_link];
+  t -= plan_.green_ns_s;
+  if (t < plan_.all_red_s) return false;
+  t -= plan_.all_red_s;
+  if (t < plan_.green_ew_s) return !link_is_ns_[incoming_link];
+  return false;
+}
+
+ActuatedSignalController::ActuatedSignalController(const RoadNet* net,
+                                                   Params params)
+    : net_(net), params_(params) {
+  CHECK(net != nullptr);
+  CHECK_GT(params_.min_green_s, 0.0);
+  CHECK_GE(params_.max_green_s, params_.min_green_s);
+  CHECK_GE(params_.all_red_s, 0.0);
+  states_.resize(net_->num_intersections());
+  link_is_ns_.resize(net_->num_links());
+  for (const Link& l : net_->links()) {
+    link_is_ns_[l.id] = net_->LinkIsNorthSouth(l.id);
+  }
+}
+
+void ActuatedSignalController::Update(double time_s,
+                                      const std::vector<bool>& approach_demand) {
+  CHECK_EQ(static_cast<int>(approach_demand.size()), net_->num_links());
+  for (const Intersection& node : net_->intersections()) {
+    if (!node.signalized || node.incoming.size() <= 1) continue;
+    ActuatedState& state = states_[node.id];
+
+    // Finish an all-red clearance by switching direction.
+    if (state.in_all_red) {
+      if (time_s - state.all_red_start_s >= params_.all_red_s) {
+        state.in_all_red = false;
+        state.ns_green = !state.ns_green;
+        state.phase_start_s = time_s;
+      }
+      continue;
+    }
+
+    bool served_demand = false;
+    bool cross_demand = false;
+    for (LinkId l : node.incoming) {
+      if (!approach_demand[l]) continue;
+      if (link_is_ns_[l] == state.ns_green) {
+        served_demand = true;
+      } else {
+        cross_demand = true;
+      }
+    }
+
+    const double elapsed = time_s - state.phase_start_s;
+    const bool past_min = elapsed >= params_.min_green_s;
+    const bool past_max = elapsed >= params_.max_green_s;
+    if ((past_min && cross_demand && !served_demand) ||
+        (past_max && cross_demand)) {
+      state.in_all_red = true;
+      state.all_red_start_s = time_s;
+    }
+  }
+}
+
+bool ActuatedSignalController::IsGreen(LinkId incoming_link) const {
+  const Link& l = net_->link(incoming_link);
+  const Intersection& node = net_->intersection(l.to);
+  if (!node.signalized || node.incoming.size() <= 1) return true;
+  const ActuatedState& state = states_[node.id];
+  if (state.in_all_red) return false;
+  return link_is_ns_[incoming_link] == state.ns_green;
+}
+
+}  // namespace ovs::sim

@@ -1,0 +1,85 @@
+#ifndef OVS_SIM_SIGNAL_H_
+#define OVS_SIM_SIGNAL_H_
+
+#include <vector>
+
+#include "sim/roadnet.h"
+
+namespace ovs::sim {
+
+/// Fixed-cycle two-phase signal plan shared by all signalized intersections:
+/// phase 0 gives green to north-south approaches, phase 1 to east-west, with
+/// an all-red clearance between phases. Per-intersection offsets stagger the
+/// cycles so a grid does not pulse in lockstep.
+struct SignalPlan {
+  double green_ns_s = 30.0;
+  double green_ew_s = 30.0;
+  double all_red_s = 2.0;
+
+  double CycleLength() const { return green_ns_s + green_ew_s + 2.0 * all_red_s; }
+};
+
+/// State of one intersection under vehicle-actuated control.
+struct ActuatedState {
+  bool ns_green = true;      ///< current serving direction
+  double phase_start_s = 0.0;
+  bool in_all_red = false;
+  double all_red_start_s = 0.0;
+};
+
+/// Vehicle-actuated signal controller: each intersection serves a direction
+/// for at least `min_green_s`; beyond that it switches as soon as the served
+/// approaches are empty (or `max_green_s` elapses) while the cross
+/// direction has demand. The engine feeds it per-approach queue presence
+/// every step. Reduces empty-green waste relative to the fixed plan.
+class ActuatedSignalController {
+ public:
+  struct Params {
+    double min_green_s = 8.0;
+    double max_green_s = 45.0;
+    double all_red_s = 2.0;
+  };
+
+  ActuatedSignalController(const RoadNet* net, Params params);
+
+  /// Advances controller state to `time_s` given per-link "has a vehicle
+  /// within actuation distance of the stop line" flags. Call once per step,
+  /// with non-decreasing time.
+  void Update(double time_s, const std::vector<bool>& approach_demand);
+
+  /// True if the movement out of `incoming_link` is currently green.
+  bool IsGreen(LinkId incoming_link) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  const RoadNet* net_;
+  Params params_;
+  std::vector<ActuatedState> states_;  // per intersection
+  std::vector<bool> link_is_ns_;
+};
+
+/// Answers "may a vehicle leave link L at time t?" for every intersection.
+/// Unsignalized intersections are always permissive.
+class SignalController {
+ public:
+  SignalController(const RoadNet* net, SignalPlan plan);
+
+  /// True if the movement out of `incoming_link` is green at `time_s`.
+  bool IsGreen(LinkId incoming_link, double time_s) const;
+
+  /// Per-intersection cycle offset in seconds (derived from the id so the
+  /// pattern is deterministic but staggered).
+  double Offset(IntersectionId id) const;
+
+  const SignalPlan& plan() const { return plan_; }
+
+ private:
+  const RoadNet* net_;
+  SignalPlan plan_;
+  std::vector<bool> link_is_ns_;  // cached LinkIsNorthSouth per link
+};
+
+}  // namespace ovs::sim
+
+#endif  // OVS_SIM_SIGNAL_H_

@@ -1,0 +1,21 @@
+#include "util/bench_config.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ovs {
+
+BenchScale GetBenchScale() {
+  static const BenchScale scale = [] {
+    const char* env = std::getenv("OVS_BENCH_SCALE");
+    if (env != nullptr && std::strcmp(env, "full") == 0) return BenchScale::kFull;
+    return BenchScale::kFast;
+  }();
+  return scale;
+}
+
+int ScaledIters(int fast, int full) {
+  return GetBenchScale() == BenchScale::kFull ? full : fast;
+}
+
+}  // namespace ovs

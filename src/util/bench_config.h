@@ -1,0 +1,21 @@
+#ifndef OVS_UTIL_BENCH_CONFIG_H_
+#define OVS_UTIL_BENCH_CONFIG_H_
+
+namespace ovs {
+
+/// Global scale knob for the experiment benches. The default ("fast") sizes
+/// every experiment so the whole suite completes in minutes on one core;
+/// setting the environment variable OVS_BENCH_SCALE=full switches to the
+/// heavier configuration (more training epochs, larger populations) closer to
+/// the paper's settings.
+enum class BenchScale { kFast, kFull };
+
+/// Reads OVS_BENCH_SCALE from the environment once and caches the result.
+BenchScale GetBenchScale();
+
+/// Scales an iteration count: returns `fast` under kFast, `full` under kFull.
+int ScaledIters(int fast, int full);
+
+}  // namespace ovs
+
+#endif  // OVS_UTIL_BENCH_CONFIG_H_

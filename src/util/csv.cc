@@ -1,0 +1,53 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace ovs {
+
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open for write: " + path);
+  }
+  out << StrJoin(header, ",") << "\n";
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) {
+      return Status::InvalidArgument("CSV row arity mismatch in " + path);
+    }
+    out << StrJoin(row, ",") << "\n";
+  }
+  if (!out.good()) return Status::DataLoss("write failed: " + path);
+  return Status::Ok();
+}
+
+Status ReadCsv(const std::string& path, std::vector<std::string>* header,
+               std::vector<std::vector<std::string>>* rows) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open for read: " + path);
+  header->clear();
+  rows->clear();
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    std::vector<std::string> cells = StrSplit(stripped, ',');
+    if (first) {
+      *header = std::move(cells);
+      first = false;
+    } else {
+      if (cells.size() != header->size()) {
+        return Status::DataLoss("CSV row arity mismatch in " + path);
+      }
+      rows->push_back(std::move(cells));
+    }
+  }
+  if (first) return Status::DataLoss("empty CSV file: " + path);
+  return Status::Ok();
+}
+
+}  // namespace ovs

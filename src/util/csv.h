@@ -1,0 +1,24 @@
+#ifndef OVS_UTIL_CSV_H_
+#define OVS_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ovs {
+
+/// Writes rows of cells as an RFC-4180-ish CSV file (no quoting: the library
+/// only ever writes numeric and identifier cells).
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// Reads a CSV file written by WriteCsv. The first row is returned in
+/// `header`; remaining rows in `rows`.
+Status ReadCsv(const std::string& path, std::vector<std::string>* header,
+               std::vector<std::vector<std::string>>* rows);
+
+}  // namespace ovs
+
+#endif  // OVS_UTIL_CSV_H_

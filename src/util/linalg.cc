@@ -1,0 +1,95 @@
+#include "util/linalg.h"
+
+#include <cmath>
+
+namespace ovs {
+
+DMat MatMulD(const DMat& a, const DMat& b) {
+  CHECK_EQ(a.cols(), b.rows());
+  DMat c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double av = a.at(i, k);
+      if (av == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += av * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+DMat TransposeD(const DMat& a) {
+  DMat t(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+DMat IdentityD(int n) {
+  DMat eye(n, n);
+  for (int i = 0; i < n; ++i) eye.at(i, i) = 1.0;
+  return eye;
+}
+
+StatusOr<DMat> SolveLinearD(const DMat& a, const DMat& b) {
+  CHECK_EQ(a.rows(), a.cols());
+  CHECK_EQ(a.rows(), b.rows());
+  const int n = a.rows();
+  const int m = b.cols();
+  DMat lu = a;
+  DMat x = b;
+
+  for (int col = 0; col < n; ++col) {
+    // Partial pivoting.
+    int pivot = col;
+    double best = std::fabs(lu.at(col, col));
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(lu.at(r, col)) > best) {
+        best = std::fabs(lu.at(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition("singular matrix in SolveLinearD");
+    }
+    if (pivot != col) {
+      for (int j = 0; j < n; ++j) std::swap(lu.at(col, j), lu.at(pivot, j));
+      for (int j = 0; j < m; ++j) std::swap(x.at(col, j), x.at(pivot, j));
+    }
+    const double diag = lu.at(col, col);
+    for (int r = col + 1; r < n; ++r) {
+      const double factor = lu.at(r, col) / diag;
+      if (factor == 0.0) continue;
+      for (int j = col; j < n; ++j) lu.at(r, j) -= factor * lu.at(col, j);
+      for (int j = 0; j < m; ++j) x.at(r, j) -= factor * x.at(col, j);
+    }
+  }
+  // Back substitution.
+  for (int col = n - 1; col >= 0; --col) {
+    const double diag = lu.at(col, col);
+    for (int j = 0; j < m; ++j) x.at(col, j) /= diag;
+    for (int r = 0; r < col; ++r) {
+      const double factor = lu.at(r, col);
+      if (factor == 0.0) continue;
+      for (int j = 0; j < m; ++j) x.at(r, j) -= factor * x.at(col, j);
+    }
+  }
+  return x;
+}
+
+StatusOr<DMat> RidgeFitLeft(const DMat& q, const DMat& g, double lambda) {
+  CHECK_EQ(q.cols(), g.cols());
+  CHECK_GE(lambda, 0.0);
+  const DMat gt = TransposeD(g);
+  DMat ggt = MatMulD(g, gt);  // [k,k]
+  for (int i = 0; i < ggt.rows(); ++i) ggt.at(i, i) += lambda;
+  const DMat qgt = MatMulD(q, gt);  // [m,k]
+  // X ggt = qgt  =>  ggtᵀ Xᵀ = qgtᵀ (ggt symmetric).
+  StatusOr<DMat> xt = SolveLinearD(ggt, TransposeD(qgt));
+  if (!xt.ok()) return xt.status();
+  return TransposeD(xt.value());
+}
+
+}  // namespace ovs

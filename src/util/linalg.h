@@ -1,0 +1,28 @@
+#ifndef OVS_UTIL_LINALG_H_
+#define OVS_UTIL_LINALG_H_
+
+#include "util/mat.h"
+#include "util/status.h"
+
+namespace ovs {
+
+/// c = a * b for DMat ([n,k] x [k,m]).
+DMat MatMulD(const DMat& a, const DMat& b);
+
+/// Transpose.
+DMat TransposeD(const DMat& a);
+
+/// Identity matrix of size n.
+DMat IdentityD(int n);
+
+/// Solves A X = B with Gaussian elimination and partial pivoting.
+/// A: [n,n], B: [n,m]. Fails with FailedPrecondition on (near-)singular A.
+StatusOr<DMat> SolveLinearD(const DMat& a, const DMat& b);
+
+/// Ridge-regularized least squares for X in  X * G ≈ Q  (the GLS assignment
+/// fit): X = (Q Gᵀ)(G Gᵀ + lambda I)⁻¹.  G: [k,n], Q: [m,n], X: [m,k].
+StatusOr<DMat> RidgeFitLeft(const DMat& q, const DMat& g, double lambda);
+
+}  // namespace ovs
+
+#endif  // OVS_UTIL_LINALG_H_

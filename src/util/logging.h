@@ -1,0 +1,104 @@
+#ifndef OVS_UTIL_LOGGING_H_
+#define OVS_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ovs {
+
+/// Severity levels for LOG(). FATAL aborts the process after logging.
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+namespace internal_logging {
+
+/// Stream-style log message collector. The message is emitted (and, for
+/// FATAL, the process aborted) in the destructor, which lets call sites use
+/// `LOG(INFO) << "x=" << x;` syntax with no allocation on the fast path.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line)
+      : severity_(severity), file_(file), line_(line) {}
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    std::ostream& os = severity_ >= LogSeverity::kWarning ? std::cerr : std::clog;
+    os << SeverityTag() << " " << Basename(file_) << ":" << line_ << "] "
+       << stream_.str() << std::endl;
+    if (severity_ == LogSeverity::kFatal) std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* SeverityTag() const {
+    switch (severity_) {
+      case LogSeverity::kInfo:
+        return "I";
+      case LogSeverity::kWarning:
+        return "W";
+      case LogSeverity::kError:
+        return "E";
+      case LogSeverity::kFatal:
+        return "F";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Helper that swallows the log stream so `CHECK(cond) << msg` compiles to
+/// nothing when the condition holds.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace ovs
+
+#define OVS_LOG_INFO \
+  ::ovs::internal_logging::LogMessage(::ovs::LogSeverity::kInfo, __FILE__, __LINE__)
+#define OVS_LOG_WARNING                                                        \
+  ::ovs::internal_logging::LogMessage(::ovs::LogSeverity::kWarning, __FILE__, \
+                                      __LINE__)
+#define OVS_LOG_ERROR \
+  ::ovs::internal_logging::LogMessage(::ovs::LogSeverity::kError, __FILE__, __LINE__)
+#define OVS_LOG_FATAL \
+  ::ovs::internal_logging::LogMessage(::ovs::LogSeverity::kFatal, __FILE__, __LINE__)
+
+#define LOG(severity) OVS_LOG_##severity.stream()
+
+/// CHECK aborts with a message when `condition` is false. Used for programmer
+/// invariants (not recoverable errors — those return Status).
+#define CHECK(condition)                                 \
+  (condition) ? (void)0                                  \
+              : ::ovs::internal_logging::LogMessageVoidify() & \
+                    OVS_LOG_FATAL.stream() << "Check failed: " #condition " "
+
+#define OVS_CHECK_OP(name, op, a, b)                                          \
+  CHECK((a)op(b)) << "(" << #a << " " << #op << " " << #b << "): " << (a) \
+                  << " vs " << (b) << " "
+
+#define CHECK_EQ(a, b) OVS_CHECK_OP(EQ, ==, a, b)
+#define CHECK_NE(a, b) OVS_CHECK_OP(NE, !=, a, b)
+#define CHECK_LT(a, b) OVS_CHECK_OP(LT, <, a, b)
+#define CHECK_LE(a, b) OVS_CHECK_OP(LE, <=, a, b)
+#define CHECK_GT(a, b) OVS_CHECK_OP(GT, >, a, b)
+#define CHECK_GE(a, b) OVS_CHECK_OP(GE, >=, a, b)
+
+#endif  // OVS_UTIL_LOGGING_H_

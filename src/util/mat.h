@@ -1,0 +1,113 @@
+#ifndef OVS_UTIL_MAT_H_
+#define OVS_UTIL_MAT_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ovs {
+
+/// Dense row-major matrix of doubles used by the domain layers (simulator
+/// sensors, TOD tensors, metrics). Deliberately separate from nn::Tensor
+/// (float, autodiff) — this type carries *measurements*, not activations.
+class DMat {
+ public:
+  DMat() : rows_(0), cols_(0) {}
+  DMat(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {
+    CHECK_GE(rows, 0);
+    CHECK_GE(cols, 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int numel() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& at(int r, int c) {
+    CHECK_GE(r, 0);
+    CHECK_LT(r, rows_);
+    CHECK_GE(c, 0);
+    CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double at(int r, int c) const { return const_cast<DMat*>(this)->at(r, c); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  bool SameShape(const DMat& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  double Sum() const {
+    double s = 0.0;
+    for (double v : data_) s += v;
+    return s;
+  }
+  double Mean() const {
+    CHECK_GT(numel(), 0);
+    return Sum() / numel();
+  }
+  double Max() const {
+    CHECK_GT(numel(), 0);
+    double m = data_[0];
+    for (double v : data_) m = std::max(m, v);
+    return m;
+  }
+  double Min() const {
+    CHECK_GT(numel(), 0);
+    double m = data_[0];
+    for (double v : data_) m = std::min(m, v);
+    return m;
+  }
+
+  /// Sum of row r.
+  double RowSum(int r) const {
+    double s = 0.0;
+    for (int c = 0; c < cols_; ++c) s += at(r, c);
+    return s;
+  }
+
+  DMat& operator+=(const DMat& other) {
+    CHECK(SameShape(other));
+    for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return *this;
+  }
+  DMat& operator*=(double alpha) {
+    for (double& v : data_) v *= alpha;
+    return *this;
+  }
+
+  std::string DebugString() const {
+    return "DMat[" + std::to_string(rows_) + " x " + std::to_string(cols_) + "]";
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+/// Root mean squared error between two same-shape matrices.
+inline double Rmse(const DMat& a, const DMat& b) {
+  CHECK(a.SameShape(b));
+  CHECK_GT(a.numel(), 0);
+  double acc = 0.0;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      const double d = a.at(r, c) - b.at(r, c);
+      acc += d * d;
+    }
+  }
+  return std::sqrt(acc / a.numel());
+}
+
+}  // namespace ovs
+
+#endif  // OVS_UTIL_MAT_H_

@@ -1,0 +1,144 @@
+#ifndef OVS_UTIL_STATUS_H_
+#define OVS_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace ovs {
+
+/// Canonical error codes, a small subset of the absl/grpc taxonomy that this
+/// library actually needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kDataLoss = 7,
+};
+
+/// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail recoverably. Cheap to copy when OK.
+/// Library code returns Status/StatusOr for anything involving external input
+/// (files, configs, user-supplied tensors) and uses CHECK for internal
+/// invariants.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeToString(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Accessing the value of a
+/// non-OK StatusOr is a fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from Status, mirroring absl::StatusOr, so that
+  /// `return value;` and `return Status::NotFound(...)` both work.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    CHECK(!std::get<Status>(rep_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    CHECK(ok()) << "StatusOr::value on error: " << status();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CHECK(ok()) << "StatusOr::value on error: " << status();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CHECK(ok()) << "StatusOr::value on error: " << status();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace ovs
+
+/// Propagates a non-OK Status to the caller.
+#define RETURN_IF_ERROR(expr)                   \
+  do {                                          \
+    ::ovs::Status ovs_status_ = (expr);         \
+    if (!ovs_status_.ok()) return ovs_status_;  \
+  } while (0)
+
+/// Asserts that a Status-returning expression succeeds.
+#define CHECK_OK(expr)                                     \
+  do {                                                     \
+    ::ovs::Status ovs_status_ = (expr);                    \
+    CHECK(ovs_status_.ok()) << ovs_status_.ToString();     \
+  } while (0)
+
+#endif  // OVS_UTIL_STATUS_H_

@@ -1,0 +1,74 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ovs {
+
+std::vector<std::string> StrSplit(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         (text[begin] == ' ' || text[begin] == '\t' || text[begin] == '\r' ||
+          text[begin] == '\n')) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+          text[end - 1] == '\r' || text[end - 1] == '\n')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int size = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (size < 0) {
+    va_end(args_copy);
+    return "";
+  }
+  std::string out(static_cast<size_t>(size), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace ovs

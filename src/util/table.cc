@@ -1,0 +1,71 @@
+#include "util/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ovs {
+
+void Table::SetHeader(std::vector<std::string> header) {
+  CHECK(rows_.empty()) << "SetHeader must precede AddRow";
+  header_ = std::move(header);
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  CHECK_EQ(row.size(), header_.size()) << "row arity mismatch in table " << title_;
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Cell(double value, int precision) {
+  if (std::isnan(value)) return "-";
+  return FormatDouble(value, precision);
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    return line;
+  };
+
+  std::string rule = "+";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule.append(widths[c] + 2, '-');
+    rule += "+";
+  }
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  out << rule << "\n" << render_row(header_) << "\n" << rule << "\n";
+  for (const auto& row : rows_) out << render_row(row) << "\n";
+  out << rule << "\n";
+  return out.str();
+}
+
+void Table::Print() const { std::cout << ToString() << std::flush; }
+
+std::string Table::ToCsv() const {
+  std::ostringstream out;
+  out << StrJoin(header_, ",") << "\n";
+  for (const auto& row : rows_) out << StrJoin(row, ",") << "\n";
+  return out.str();
+}
+
+}  // namespace ovs

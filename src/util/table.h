@@ -1,0 +1,44 @@
+#ifndef OVS_UTIL_TABLE_H_
+#define OVS_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ovs {
+
+/// ASCII table builder used by the bench binaries to print paper-style
+/// tables. Columns are left-aligned for strings and right-aligned for
+/// numbers; widths auto-fit the content.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles to `precision` digits, leaving NaN as "-".
+  static std::string Cell(double value, int precision = 2);
+
+  /// Renders the table, title, separators and all.
+  std::string ToString() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+  /// Renders as CSV (header + rows), for machine consumption.
+  std::string ToCsv() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ovs
+
+#endif  // OVS_UTIL_TABLE_H_

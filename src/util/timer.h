@@ -1,0 +1,32 @@
+#ifndef OVS_UTIL_TIMER_H_
+#define OVS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ovs {
+
+/// Wall-clock stopwatch used by the experiment harness to report training
+/// times (Table VII, Figure 9).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ovs
+
+#endif  // OVS_UTIL_TIMER_H_

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "baselines/em.h"
+#include "baselines/genetic.h"
+#include "baselines/gls.h"
+#include "baselines/gravity.h"
+#include "baselines/nn_baseline.h"
+#include "baselines/ovs_estimator.h"
+#include "data/cities.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+
+namespace ovs::baselines {
+namespace {
+
+/// Shared, lazily built experiment so the (expensive) simulation and
+/// training-data generation run once for the whole file.
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::DatasetConfig config = data::Synthetic3x3Config();
+    dataset_ = new data::Dataset(data::BuildDataset(config));
+    eval::HarnessConfig harness;
+    harness.num_train_samples = 8;
+    experiment_ = new eval::Experiment(dataset_, harness);
+  }
+  static void TearDownTestSuite() {
+    delete experiment_;
+    delete dataset_;
+    experiment_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static const data::Dataset& dataset() { return *dataset_; }
+  static const eval::Experiment& experiment() { return *experiment_; }
+
+  /// Runs an estimator and performs the shape/positivity sanity checks every
+  /// method must satisfy.
+  od::TodTensor RunAndCheck(OdEstimator* estimator) {
+    od::TodTensor recovered = estimator->Recover(
+        experiment().context(), experiment().ground_truth().speed);
+    EXPECT_EQ(recovered.num_od(), dataset().num_od());
+    EXPECT_EQ(recovered.num_intervals(), dataset().num_intervals());
+    EXPECT_GE(recovered.mat().Min(), 0.0);
+    return recovered;
+  }
+
+ private:
+  static data::Dataset* dataset_;
+  static eval::Experiment* experiment_;
+};
+
+data::Dataset* BaselinesTest::dataset_ = nullptr;
+eval::Experiment* BaselinesTest::experiment_ = nullptr;
+
+TEST_F(BaselinesTest, GravityRecoversAndIsTimeConstant) {
+  GravityEstimator gravity;
+  od::TodTensor tod = RunAndCheck(&gravity);
+  for (int i = 0; i < tod.num_od(); ++i) {
+    for (int t = 1; t < tod.num_intervals(); ++t) {
+      EXPECT_DOUBLE_EQ(tod.at(i, t), tod.at(i, 0))
+          << "gravity must be constant across intervals";
+    }
+  }
+}
+
+TEST_F(BaselinesTest, GravityFollowsPopulationStructure) {
+  GravityEstimator gravity;
+  od::TodTensor tod = RunAndCheck(&gravity);
+  std::vector<double> weights = GravityEstimator::GravityWeights(dataset());
+  // Recovered counts are proportional to the gravity weights.
+  int max_w = 0, min_w = 0;
+  for (int i = 1; i < dataset().num_od(); ++i) {
+    if (weights[i] > weights[max_w]) max_w = i;
+    if (weights[i] < weights[min_w]) min_w = i;
+  }
+  EXPECT_GE(tod.at(max_w, 0), tod.at(min_w, 0));
+}
+
+TEST_F(BaselinesTest, GeneticImprovesOverRandomInit) {
+  GeneticEstimator::Params params;
+  params.population = 6;
+  params.generations = 3;
+  GeneticEstimator genetic(params);
+  od::TodTensor tod = RunAndCheck(&genetic);
+  // Its speed fit must be no worse than a typical random tensor's.
+  core::TrainingSample best = experiment().context().oracle(tod);
+  Rng rng(99);
+  od::TodTensor random_tod(dataset().num_od(), dataset().num_intervals());
+  for (int i = 0; i < random_tod.num_od(); ++i) {
+    for (int t = 0; t < random_tod.num_intervals(); ++t) {
+      random_tod.at(i, t) = rng.Uniform(0.0, params.init_max_trips);
+    }
+  }
+  core::TrainingSample random_sim = experiment().context().oracle(random_tod);
+  const DMat& observed = experiment().ground_truth().speed;
+  EXPECT_LE(Rmse(best.speed, observed), Rmse(random_sim.speed, observed) + 0.05);
+}
+
+TEST_F(BaselinesTest, GlsRecovers) {
+  GlsEstimator::Params params;
+  params.speed_net_epochs = 20;
+  params.recovery_iters = 50;
+  GlsEstimator gls(params);
+  od::TodTensor tod = RunAndCheck(&gls);
+  // Bounded by the projection box.
+  EXPECT_LE(tod.mat().Max(),
+            experiment().training_data().tod_scale * 1.5 + 1e-6);
+}
+
+TEST_F(BaselinesTest, EmRecovers) {
+  EmEstimator::Params params;
+  params.em_iterations = 4;
+  EmEstimator em(params);
+  od::TodTensor tod = RunAndCheck(&em);
+  EXPECT_GT(tod.TotalTrips(), 0.0);
+}
+
+TEST_F(BaselinesTest, NnRecovers) {
+  NnEstimator::Params params;
+  params.epochs = 30;
+  NnEstimator nn_est(params);
+  od::TodTensor tod = RunAndCheck(&nn_est);
+  // Output bounded by sigmoid * tod_scale.
+  EXPECT_LE(tod.mat().Max(), experiment().training_data().tod_scale + 1e-6);
+}
+
+TEST_F(BaselinesTest, LstmRecovers) {
+  LstmEstimator::Params params;
+  params.epochs = 15;
+  LstmEstimator lstm_est(params);
+  od::TodTensor tod = RunAndCheck(&lstm_est);
+  EXPECT_LE(tod.mat().Max(), experiment().training_data().tod_scale + 1e-6);
+}
+
+TEST_F(BaselinesTest, NnLearnsBetterThanUntrained) {
+  NnEstimator::Params trained_params;
+  trained_params.epochs = 60;
+  NnEstimator trained(trained_params);
+  NnEstimator::Params untrained_params;
+  untrained_params.epochs = 0;
+  NnEstimator untrained(untrained_params);
+  od::TodTensor tod_trained = RunAndCheck(&trained);
+  od::TodTensor tod_untrained = RunAndCheck(&untrained);
+  const DMat& truth = experiment().ground_truth().tod.mat();
+  EXPECT_LT(eval::PaperRmse(tod_trained.mat(), truth),
+            eval::PaperRmse(tod_untrained.mat(), truth));
+}
+
+TEST_F(BaselinesTest, OvsRecoversWithSmallBudget) {
+  OvsEstimator::Params params;
+  params.model.lstm_hidden = 8;
+  params.model.speed_head_hidden = 8;
+  params.trainer.stage1_epochs = 25;
+  params.trainer.stage2_epochs = 25;
+  params.trainer.recovery_epochs = 40;
+  OvsEstimator ovs(params);
+  od::TodTensor tod = RunAndCheck(&ovs);
+  EXPECT_GT(tod.TotalTrips(), 0.0);
+  EXPECT_LT(ovs.last_recovery_loss(), 1.0);
+}
+
+TEST_F(BaselinesTest, OvsAblationVariantsRecover) {
+  for (int which = 0; which < 3; ++which) {
+    OvsEstimator::Params params;
+    params.model.lstm_hidden = 8;
+    params.trainer.stage1_epochs = 10;
+    params.trainer.stage2_epochs = 10;
+    params.trainer.recovery_epochs = 15;
+    params.ablation.fc_tod_generation = which == 0;
+    params.ablation.fc_tod_volume = which == 1;
+    params.ablation.fc_volume_speed = which == 2;
+    OvsEstimator ovs(params);
+    od::TodTensor tod = RunAndCheck(&ovs);
+    EXPECT_EQ(tod.num_od(), dataset().num_od()) << "ablation " << which;
+  }
+}
+
+TEST_F(BaselinesTest, OvsWithCensusAuxMatchesTotalsBetter) {
+  OvsEstimator::Params plain_params;
+  plain_params.model.lstm_hidden = 8;
+  plain_params.trainer.stage1_epochs = 25;
+  plain_params.trainer.stage2_epochs = 25;
+  plain_params.trainer.recovery_epochs = 60;
+  plain_params.trainer.recovery_prior_weight = 0.0f;
+
+  OvsEstimator::Params aux_params = plain_params;
+  aux_params.aux.census = 2.0f;
+
+  OvsEstimator plain(plain_params);
+  OvsEstimator with_aux(aux_params);
+  od::TodTensor tod_plain = RunAndCheck(&plain);
+  od::TodTensor tod_aux = RunAndCheck(&with_aux);
+
+  auto totals_error = [&](const od::TodTensor& tod) {
+    double err = 0.0;
+    for (int i = 0; i < dataset().num_od(); ++i) {
+      const double d = tod.OdTotal(i) - dataset().lehd_od_totals[i];
+      err += d * d;
+    }
+    return err;
+  };
+  EXPECT_LT(totals_error(tod_aux), totals_error(tod_plain));
+}
+
+}  // namespace
+}  // namespace ovs::baselines

@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/aux_loss.h"
+#include "core/ovs_model.h"
+#include "core/trainer.h"
+#include "core/training_data.h"
+#include "data/cities.h"
+#include "nn/convert.h"
+#include "nn/optimizer.h"
+#include "util/linalg.h"
+
+namespace ovs::core {
+namespace {
+
+/// A tiny fixture: 4 ODs, 6 links, 5 intervals, random-ish incidence.
+struct TinySetup {
+  static constexpr int kOd = 4;
+  static constexpr int kLinks = 6;
+  static constexpr int kT = 5;
+
+  TinySetup() : rng(77) {
+    incidence = DMat(kLinks, kOd);
+    // Each OD crosses 2-3 links with overlap.
+    const int routes[kOd][3] = {{0, 1, 2}, {1, 2, 3}, {3, 4, -1}, {4, 5, 0}};
+    for (int i = 0; i < kOd; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        if (routes[i][j] >= 0) incidence.at(routes[i][j], i) = 1.0;
+      }
+    }
+    config.lstm_hidden = 8;
+    config.speed_head_hidden = 8;
+    config.conv_channels = 4;
+    config.attention_hidden = 8;
+    config.link_embed_dim = 4;
+    config.v2s_link_embed_dim = 4;
+    config.lags = 3;
+    config.tod_scale = 50.0f;
+    config.volume_norm = 100.0f;
+    config.speed_scale = 14.0f;
+  }
+
+  Rng rng;
+  DMat incidence;
+  OvsConfig config;
+};
+
+TEST(TodGenerationTest, OutputShapeAndBounds) {
+  TinySetup s;
+  TodGeneration gen(s.kOd, s.kT, s.config, &s.rng);
+  nn::Variable g = gen.Forward();
+  EXPECT_EQ(g.value().dim(0), s.kOd);
+  EXPECT_EQ(g.value().dim(1), s.kT);
+  EXPECT_GE(g.value().Min(), 0.0f);
+  EXPECT_LE(g.value().Max(), s.config.tod_scale);
+}
+
+TEST(TodGenerationTest, ResampleChangesOutput) {
+  TinySetup s;
+  TodGeneration gen(s.kOd, s.kT, s.config, &s.rng);
+  nn::Tensor before = gen.Forward().value();
+  gen.ResampleSeeds(&s.rng);
+  nn::Tensor after = gen.Forward().value();
+  float diff = 0.0f;
+  for (int i = 0; i < before.numel(); ++i) {
+    diff += std::fabs(before[i] - after[i]);
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(TodGenerationTest, DeterministicForward) {
+  TinySetup s;
+  TodGeneration gen(s.kOd, s.kT, s.config, &s.rng);
+  nn::Tensor a = gen.Forward().value();
+  nn::Tensor b = gen.Forward().value();
+  for (int i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(TodVolumeTest, OutputShapeNonNegative) {
+  TinySetup s;
+  TodVolumeMapping map(s.kOd, s.kLinks, s.kT, s.incidence, s.config, &s.rng);
+  nn::Variable g(nn::Tensor::Full({s.kOd, s.kT}, 20.0f));
+  nn::Variable q = map.Forward(g, false, nullptr);
+  EXPECT_EQ(q.value().dim(0), s.kLinks);
+  EXPECT_EQ(q.value().dim(1), s.kT);
+  EXPECT_GE(q.value().Min(), 0.0f);
+}
+
+TEST(TodVolumeTest, InitApproximatesIncidenceMap) {
+  // With the informed initialization (identity OD-route, lag-0 attention,
+  // gate ~0.88), the initial output is close to 0.88 * A * g.
+  TinySetup s;
+  TodVolumeMapping map(s.kOd, s.kLinks, s.kT, s.incidence, s.config, &s.rng);
+  nn::Tensor g_val = nn::Tensor::Full({s.kOd, s.kT}, 20.0f);
+  nn::Variable q = map.Forward(nn::Variable(g_val), false, nullptr);
+  DMat expected = MatMulD(s.incidence, nn::ToDMat(g_val));
+  // Loose bounds: the sigmoid identity is approximate and attention is not
+  // exactly one-hot, but the output should be within ~40% of A*g.
+  for (int l = 0; l < s.kLinks; ++l) {
+    for (int t = 1; t < s.kT; ++t) {
+      if (expected.at(l, t) == 0.0) continue;
+      const double ratio = q.value().at(l, t) / expected.at(l, t);
+      EXPECT_GT(ratio, 0.4) << "link " << l << " t " << t;
+      EXPECT_LT(ratio, 1.3) << "link " << l << " t " << t;
+    }
+  }
+}
+
+TEST(TodVolumeTest, UnusedLinkStaysZero) {
+  TinySetup s;
+  // Link with no route through it: incidence column sums to zero on row 5?
+  // Build incidence where link 5 is unused.
+  DMat incidence = s.incidence;
+  for (int i = 0; i < s.kOd; ++i) incidence.at(5, i) = 0.0;
+  TodVolumeMapping map(s.kOd, s.kLinks, s.kT, incidence, s.config, &s.rng);
+  nn::Variable g(nn::Tensor::Full({s.kOd, s.kT}, 20.0f));
+  nn::Variable q = map.Forward(g, false, nullptr);
+  for (int t = 0; t < s.kT; ++t) EXPECT_EQ(q.value().at(5, t), 0.0f);
+}
+
+TEST(TodVolumeTest, AttentionRowsSumToOne) {
+  TinySetup s;
+  TodVolumeMapping map(s.kOd, s.kLinks, s.kT, s.incidence, s.config, &s.rng);
+  nn::Variable g(nn::Tensor::Full({s.kOd, s.kT}, 20.0f));
+  nn::Tensor alpha = map.AttentionFor(g).value();
+  EXPECT_EQ(alpha.dim(0), s.kLinks * s.kT);
+  EXPECT_EQ(alpha.dim(1), s.config.lags);
+  for (int r = 0; r < alpha.dim(0); ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < alpha.dim(1); ++c) sum += alpha.at(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+}
+
+TEST(VolumeSpeedTest, OutputWithinSpeedScale) {
+  TinySetup s;
+  VolumeSpeedMapping map(s.kLinks, s.config, &s.rng);
+  nn::Variable q(nn::Tensor::Full({s.kLinks, s.kT}, 60.0f));
+  nn::Variable v = map.Forward(q);
+  EXPECT_EQ(v.value().dim(0), s.kLinks);
+  EXPECT_EQ(v.value().dim(1), s.kT);
+  EXPECT_GE(v.value().Min(), 0.0f);
+  EXPECT_LE(v.value().Max(), s.config.speed_scale);
+}
+
+TEST(VolumeSpeedTest, PaperFaithfulModeWithoutLinkEmbedding) {
+  TinySetup s;
+  s.config.v2s_link_embed_dim = 0;
+  VolumeSpeedMapping map(s.kLinks, s.config, &s.rng);
+  nn::Variable q(nn::Tensor::Full({s.kLinks, s.kT}, 60.0f));
+  nn::Variable v = map.Forward(q);
+  // Without link identity, identical volumes give identical speeds.
+  for (int t = 0; t < s.kT; ++t) {
+    for (int l = 1; l < s.kLinks; ++l) {
+      EXPECT_EQ(v.value().at(l, t), v.value().at(0, t));
+    }
+  }
+}
+
+TEST(OvsModelTest, FullChainShapes) {
+  TinySetup s;
+  OvsModel model(s.kOd, s.kLinks, s.kT, s.incidence, s.config, &s.rng);
+  nn::Variable v = model.ForwardSpeed();
+  EXPECT_EQ(v.value().dim(0), s.kLinks);
+  EXPECT_EQ(v.value().dim(1), s.kT);
+  EXPECT_GT(model.NumParameters(), 100);
+}
+
+TEST(OvsModelTest, AblationVariantsRun) {
+  TinySetup s;
+  for (int mask = 1; mask < 8; ++mask) {
+    OvsModel::Options options;
+    options.fc_tod_generation = mask & 1;
+    options.fc_tod_volume = mask & 2;
+    options.fc_volume_speed = mask & 4;
+    Rng rng(mask);
+    OvsModel model(s.kOd, s.kLinks, s.kT, s.incidence, s.config, &rng, options);
+    nn::Variable v = model.ForwardSpeed();
+    EXPECT_EQ(v.value().dim(0), s.kLinks) << "mask " << mask;
+    EXPECT_EQ(v.value().dim(1), s.kT) << "mask " << mask;
+  }
+}
+
+TEST(OvsModelTest, SaveLoadRoundTrip) {
+  TinySetup s;
+  OvsModel a(s.kOd, s.kLinks, s.kT, s.incidence, s.config, &s.rng);
+  Rng rng2(123);
+  OvsModel b(s.kOd, s.kLinks, s.kT, s.incidence, s.config, &rng2);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ovs_model_test.bin").string();
+  ASSERT_TRUE(a.Save(path).ok());
+  ASSERT_TRUE(b.Load(path).ok());
+  // Same weights -> same TOD2V/V2S behaviour on the same input (the TOD
+  // generation seeds differ; compare the mappings).
+  nn::Variable g(nn::Tensor::Full({s.kOd, s.kT}, 15.0f));
+  nn::Tensor qa = a.VolumeFromTod(g).value();
+  nn::Tensor qb = b.VolumeFromTod(g).value();
+  for (int i = 0; i < qa.numel(); ++i) EXPECT_EQ(qa[i], qb[i]);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- Training data --
+
+TEST(TrainingDataTest, GeneratesSimulatedTriples) {
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  TrainingData train = GenerateTrainingData(ds, 5, 42);
+  ASSERT_EQ(train.samples.size(), 5u);
+  for (const TrainingSample& s : train.samples) {
+    EXPECT_EQ(s.tod.num_od(), ds.num_od());
+    EXPECT_EQ(s.volume.rows(), ds.num_links());
+    EXPECT_EQ(s.speed.rows(), ds.num_links());
+    EXPECT_EQ(s.speed.cols(), ds.num_intervals());
+    EXPECT_GE(s.volume.Min(), 0.0);
+    EXPECT_GT(s.speed.Min(), 0.0);
+  }
+  EXPECT_GT(train.tod_scale, 0.0);
+  EXPECT_GT(train.volume_norm, 0.0);
+  // speed_scale exceeds every observed speed (sigmoid headroom).
+  for (const TrainingSample& s : train.samples) {
+    EXPECT_LE(s.speed.Max(), train.speed_scale);
+  }
+}
+
+TEST(TrainingDataTest, DeterministicGivenSeed) {
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  TrainingData a = GenerateTrainingData(ds, 3, 42);
+  TrainingData b = GenerateTrainingData(ds, 3, 42);
+  EXPECT_NEAR(Rmse(a.samples[0].speed, b.samples[0].speed), 0.0, 1e-12);
+  EXPECT_NEAR(Rmse(a.samples[2].tod.mat(), b.samples[2].tod.mat()), 0.0, 1e-12);
+}
+
+TEST(TrainingDataTest, OracleAppliesRoadWork) {
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  od::TodTensor tod = ds.ground_truth_tod;
+  TrainingSample normal = SimulateTod(ds, tod, 7);
+  std::vector<sim::RoadWork> works;
+  for (int l = 0; l < 4; ++l) works.push_back({l, 0.4, 0});
+  TrainingSample slowed = SimulateTod(ds, tod, 7, works);
+  EXPECT_LT(slowed.speed.Mean(), normal.speed.Mean());
+}
+
+// ----------------------------------------------------------------- Trainer --
+
+TEST(TrainerTest, Stage1LossDecreases) {
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  TrainingData train = GenerateTrainingData(ds, 4, 42);
+  Rng rng(1);
+  OvsConfig config;
+  config.lstm_hidden = 8;
+  config.speed_head_hidden = 8;
+  config.tod_scale = static_cast<float>(train.tod_scale);
+  config.volume_norm = static_cast<float>(train.volume_norm);
+  config.speed_scale = static_cast<float>(train.speed_scale);
+  OvsModel model(ds.num_od(), ds.num_links(), ds.num_intervals(), ds.incidence,
+                 config, &rng);
+  TrainerConfig tc;
+  tc.stage1_epochs = 30;
+  OvsTrainer trainer(&model, tc);
+  std::vector<double> curve = trainer.TrainVolumeSpeed(train);
+  ASSERT_EQ(curve.size(), 30u);
+  EXPECT_LT(curve.back(), curve.front() * 0.7);
+}
+
+TEST(TrainerTest, Stage2FreezesVolumeSpeed) {
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  TrainingData train = GenerateTrainingData(ds, 3, 42);
+  Rng rng(2);
+  OvsConfig config;
+  config.lstm_hidden = 8;
+  config.speed_head_hidden = 8;
+  config.tod_scale = static_cast<float>(train.tod_scale);
+  config.volume_norm = static_cast<float>(train.volume_norm);
+  config.speed_scale = static_cast<float>(train.speed_scale);
+  OvsModel model(ds.num_od(), ds.num_links(), ds.num_intervals(), ds.incidence,
+                 config, &rng);
+  TrainerConfig tc;
+  tc.stage2_epochs = 5;
+  OvsTrainer trainer(&model, tc);
+
+  std::vector<nn::Tensor> v2s_before;
+  for (const nn::Variable& p : model.volume_speed().Parameters()) {
+    v2s_before.push_back(p.value());
+  }
+  trainer.TrainTodVolume(train);
+  auto v2s_params = model.volume_speed().Parameters();
+  for (size_t i = 0; i < v2s_params.size(); ++i) {
+    for (int j = 0; j < v2s_params[i].numel(); ++j) {
+      EXPECT_EQ(v2s_params[i].value()[j], v2s_before[i][j])
+          << "frozen V2S parameter moved";
+    }
+    // And unfrozen again afterwards.
+    EXPECT_TRUE(v2s_params[i].requires_grad());
+  }
+}
+
+TEST(TrainerTest, RecoveryImprovesSpeedFit) {
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  TrainingData train = GenerateTrainingData(ds, 6, 42);
+  Rng rng(3);
+  OvsConfig config;
+  config.lstm_hidden = 8;
+  config.speed_head_hidden = 8;
+  config.tod_scale = static_cast<float>(train.tod_scale);
+  config.volume_norm = static_cast<float>(train.volume_norm);
+  config.speed_scale = static_cast<float>(train.speed_scale);
+  OvsModel model(ds.num_od(), ds.num_links(), ds.num_intervals(), ds.incidence,
+                 config, &rng);
+  TrainerConfig tc;
+  tc.stage1_epochs = 40;
+  tc.stage2_epochs = 40;
+  tc.recovery_epochs = 60;
+  OvsTrainer trainer(&model, tc);
+  trainer.TrainVolumeSpeed(train);
+  trainer.TrainTodVolume(train);
+
+  TrainingSample gt = SimulateGroundTruth(ds, 4242);
+  od::TodTensor recovered = trainer.RecoverTod(gt.speed, nullptr, &rng);
+  EXPECT_EQ(recovered.num_od(), ds.num_od());
+  EXPECT_GE(recovered.mat().Min(), 0.0);
+  EXPECT_LT(trainer.last_recovery_loss(), 0.05);
+  // Mappings are unfrozen after recovery.
+  for (const nn::Variable& p : model.tod_volume().Parameters()) {
+    EXPECT_TRUE(p.requires_grad());
+  }
+}
+
+// ---------------------------------------------------------------- Aux loss --
+
+TEST(AuxLossTest, InactiveWhenNothingSet) {
+  AuxLossWeights weights;
+  weights.census = 1.0f;
+  AuxLossSet aux(weights);
+  EXPECT_FALSE(aux.active());
+}
+
+TEST(AuxLossTest, CensusPenalizesWrongTotals) {
+  AuxLossWeights weights;
+  weights.census = 1.0f;
+  AuxLossSet aux(weights);
+  const int n_od = 3, t_count = 4;
+  std::vector<double> targets = {40.0, 80.0, 120.0};
+  aux.SetCensusTargets(targets, /*tod_scale=*/50.0, t_count);
+  ASSERT_TRUE(aux.active());
+
+  // g matching the targets exactly (10/20/30 per interval).
+  nn::Tensor good({n_od, t_count});
+  for (int i = 0; i < n_od; ++i) {
+    for (int t = 0; t < t_count; ++t) good.at(i, t) = 10.0f * (i + 1);
+  }
+  nn::Tensor bad = good;
+  for (int t = 0; t < t_count; ++t) bad.at(0, t) = 50.0f;
+
+  nn::Variable q(nn::Tensor({2, t_count}));
+  nn::Variable v(nn::Tensor({2, t_count}));
+  const float good_loss =
+      aux.Compute(nn::Variable(good), q, v).value()[0];
+  const float bad_loss = aux.Compute(nn::Variable(bad), q, v).value()[0];
+  EXPECT_NEAR(good_loss, 0.0f, 1e-6f);
+  EXPECT_GT(bad_loss, good_loss + 1e-3f);
+}
+
+TEST(AuxLossTest, CameraPenalizesWrongVolume) {
+  AuxLossWeights weights;
+  weights.camera = 1.0f;
+  AuxLossSet aux(weights);
+  DMat observed(2, 3);
+  observed.Fill(20.0);
+  aux.SetCameraObservations({1, 3}, observed, /*volume_norm=*/100.0);
+
+  nn::Tensor q_good({5, 3});
+  for (int t = 0; t < 3; ++t) {
+    q_good.at(1, t) = 20.0f;
+    q_good.at(3, t) = 20.0f;
+  }
+  nn::Tensor q_bad = q_good;
+  q_bad.at(1, 0) = 90.0f;
+
+  nn::Variable g(nn::Tensor({2, 3}));
+  nn::Variable v(nn::Tensor({2, 3}));
+  EXPECT_NEAR(aux.Compute(g, nn::Variable(q_good), v).value()[0], 0.0f, 1e-6f);
+  EXPECT_GT(aux.Compute(g, nn::Variable(q_bad), v).value()[0], 1e-4f);
+}
+
+TEST(AuxLossTest, SpeedLimitOnlyPenalizesExcess) {
+  AuxLossWeights weights;
+  weights.speed_limit = 1.0f;
+  AuxLossSet aux(weights);
+  aux.SetSpeedLimits({10.0, 10.0}, 2, /*speed_scale=*/14.0);
+
+  nn::Tensor v_under({2, 2});
+  v_under.Fill(8.0f);
+  nn::Tensor v_over({2, 2});
+  v_over.Fill(13.0f);
+
+  nn::Variable g(nn::Tensor({1, 2}));
+  nn::Variable q(nn::Tensor({2, 2}));
+  EXPECT_NEAR(aux.Compute(g, q, nn::Variable(v_under)).value()[0], 0.0f, 1e-6f);
+  EXPECT_GT(aux.Compute(g, q, nn::Variable(v_over)).value()[0], 1e-4f);
+}
+
+TEST(AuxLossTest, WeightsScaleTerms) {
+  AuxLossWeights w1;
+  w1.census = 1.0f;
+  AuxLossWeights w2;
+  w2.census = 2.0f;
+  AuxLossSet aux1(w1), aux2(w2);
+  std::vector<double> targets = {100.0};
+  aux1.SetCensusTargets(targets, 50.0, 2);
+  aux2.SetCensusTargets(targets, 50.0, 2);
+  nn::Tensor g({1, 2});
+  g.Fill(10.0f);
+  nn::Variable q(nn::Tensor({1, 2}));
+  nn::Variable v(nn::Tensor({1, 2}));
+  const float l1 = aux1.Compute(nn::Variable(g), q, v).value()[0];
+  const float l2 = aux2.Compute(nn::Variable(g), q, v).value()[0];
+  EXPECT_NEAR(l2, 2.0f * l1, 1e-6f);
+}
+
+TEST(AuxLossTest, GradientFlowsToTod) {
+  AuxLossWeights weights;
+  weights.census = 1.0f;
+  AuxLossSet aux(weights);
+  aux.SetCensusTargets({100.0}, 50.0, 2);
+  nn::Variable g(nn::Tensor({1, 2}), /*requires_grad=*/true);
+  g.ZeroGrad();
+  nn::Variable q(nn::Tensor({1, 2}));
+  nn::Variable v(nn::Tensor({1, 2}));
+  aux.Compute(g, q, v).Backward();
+  // Sum is 0, target 100 -> gradient pushes counts up (negative gradient).
+  EXPECT_LT(g.grad()[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace ovs::core

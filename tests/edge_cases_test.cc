@@ -1,0 +1,204 @@
+// Edge-case coverage across modules: odd step sizes, horizon/interval
+// mismatches, tiny networks, floor/ceiling behaviours.
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "od/patterns.h"
+#include "sim/engine.h"
+#include "sim/router.h"
+#include "sim/signal.h"
+
+namespace ovs {
+namespace {
+
+// ----------------------------------------------------------------- Engine --
+
+TEST(EngineEdgeTest, FractionalTimeStep) {
+  sim::RoadNet net = sim::MakeGridNetwork(1, 3, 200.0, 1, 10.0);
+  sim::Router router(&net);
+  sim::EngineConfig config;
+  config.dt_s = 0.5;
+  config.duration_s = 600.0;
+  config.interval_s = 300.0;
+  config.enable_signals = false;
+  std::vector<sim::TripRequest> trips{{10.0, router.ShortestRoute(0, 2).value()}};
+  sim::SensorData out = sim::Simulate(net, config, trips);
+  EXPECT_EQ(out.completed_trips, 1);
+}
+
+TEST(EngineEdgeTest, DurationNotMultipleOfInterval) {
+  sim::RoadNet net = sim::MakeGridNetwork(1, 2, 200.0, 1, 10.0);
+  sim::EngineConfig config;
+  config.duration_s = 1500.0;  // 2.5 intervals -> rounds to 2 full buckets
+  config.interval_s = 600.0;
+  sim::Engine engine(&net, config);
+  sim::SensorData out = engine.Run();
+  EXPECT_EQ(out.volume.cols(), config.NumIntervals());
+  EXPECT_GE(out.volume.cols(), 2);
+}
+
+TEST(EngineEdgeTest, ZeroDemandProducesFreeFlowEverywhere) {
+  sim::RoadNet net = sim::MakeGridNetwork(2, 2, 200.0, 1, 9.0);
+  sim::EngineConfig config;
+  config.duration_s = 600.0;
+  sim::SensorData out = sim::Simulate(net, config, {});
+  EXPECT_EQ(out.volume.Sum(), 0.0);
+  for (int l = 0; l < net.num_links(); ++l) {
+    EXPECT_DOUBLE_EQ(out.speed.at(l, 0), 9.0);
+  }
+}
+
+TEST(EngineEdgeTest, DepartureAfterHorizonNeverSpawns) {
+  sim::RoadNet net = sim::MakeGridNetwork(1, 2, 200.0, 1, 10.0);
+  sim::Router router(&net);
+  sim::EngineConfig config;
+  config.duration_s = 600.0;
+  std::vector<sim::TripRequest> trips{
+      {5000.0, router.ShortestRoute(0, 1).value()}};
+  sim::SensorData out = sim::Simulate(net, config, trips);
+  EXPECT_EQ(out.spawned_trips, 0);
+  EXPECT_EQ(out.unspawned_trips, 1);
+}
+
+TEST(EngineEdgeTest, RoadWorkOnAllLinksStillRuns) {
+  sim::RoadNet net = sim::MakeGridNetwork(1, 3, 200.0, 2, 10.0);
+  sim::Router router(&net);
+  std::vector<sim::RoadWork> works;
+  for (const sim::Link& l : net.links()) {
+    works.push_back({l.id, 0.5, 1});
+  }
+  sim::EngineConfig config;
+  config.duration_s = 1200.0;
+  config.enable_signals = false;
+  std::vector<sim::TripRequest> trips;
+  for (int i = 0; i < 20; ++i) {
+    trips.push_back({i * 10.0, router.ShortestRoute(0, 2).value()});
+  }
+  sim::SensorData out = sim::Simulate(net, config, trips, works);
+  EXPECT_EQ(out.completed_trips, 20);
+  // Speed capped by the road-work factor.
+  EXPECT_LE(out.speed.Max(), 5.0 + 1e-9);
+}
+
+TEST(EngineEdgeTest, VehicleLongerThanGapCannotSpawnTwice) {
+  // A 60 m single-lane link fits ~7 vehicles; the 100 simultaneous requests
+  // must partially queue.
+  sim::RoadNet net;
+  net.AddIntersection(0, 0);
+  net.AddIntersection(60, 0);
+  net.AddLink(0, 1, 60.0, 1, 10.0);
+  sim::Router router(&net);
+  sim::EngineConfig config;
+  config.duration_s = 30.0;
+  sim::Engine engine(&net, config);
+  for (int i = 0; i < 100; ++i) {
+    engine.AddTrip({0.0, {0}});
+  }
+  sim::SensorData out = engine.Run();
+  EXPECT_LT(out.spawned_trips, 100);
+  EXPECT_GT(out.spawned_trips, 0);
+}
+
+// ----------------------------------------------------------------- Signals --
+
+TEST(SignalEdgeTest, OffsetsAreStablePerIntersection) {
+  sim::RoadNet net = sim::MakeGridNetwork(3, 3, 100.0);
+  sim::SignalController signals(&net, sim::SignalPlan());
+  for (int node = 0; node < net.num_intersections(); ++node) {
+    EXPECT_DOUBLE_EQ(signals.Offset(node), signals.Offset(node));
+    EXPECT_GE(signals.Offset(node), 0.0);
+    EXPECT_LT(signals.Offset(node), signals.plan().CycleLength());
+  }
+}
+
+TEST(SignalEdgeTest, CycleIsPeriodic) {
+  sim::RoadNet net = sim::MakeGridNetwork(3, 3, 100.0);
+  sim::SignalController signals(&net, sim::SignalPlan());
+  const double cycle = signals.plan().CycleLength();
+  const sim::LinkId link = net.intersection(4).incoming[0];
+  for (double t = 0.0; t < cycle; t += 3.7) {
+    EXPECT_EQ(signals.IsGreen(link, t), signals.IsGreen(link, t + cycle));
+    EXPECT_EQ(signals.IsGreen(link, t), signals.IsGreen(link, t + 5 * cycle));
+  }
+}
+
+// --------------------------------------------------------------- Patterns --
+
+TEST(PatternEdgeTest, MinRateFloorApplies) {
+  od::PatternConfig pc;
+  pc.min_rate = 4.0;
+  pc.noise_stddev = 0.0;
+  Rng rng(2);
+  od::TodTensor dec =
+      od::GenerateTodPattern(od::TodPattern::kDecreasing, 2, 12, pc, &rng);
+  // Late intervals would fall below 4 veh/min without the floor.
+  EXPECT_GE(dec.mat().Min(), 4.0 * 10.0 - 1e-9);
+}
+
+TEST(PatternEdgeTest, SingleIntervalHorizon) {
+  od::PatternConfig pc;
+  Rng rng(3);
+  for (od::TodPattern p : od::AllTodPatterns()) {
+    od::TodTensor tod = od::GenerateTodPattern(p, 3, 1, pc, &rng);
+    EXPECT_EQ(tod.num_intervals(), 1);
+    EXPECT_GE(tod.mat().Min(), 0.0);
+  }
+}
+
+// ----------------------------------------------------------------- Dataset --
+
+TEST(DatasetEdgeTest, SingleRegionPairDataset) {
+  data::DatasetConfig config;
+  config.grid_rows = 1;
+  config.grid_cols = 4;
+  config.region_cells_x = 2;
+  config.region_cells_y = 1;
+  config.num_od_pairs = 2;
+  config.num_intervals = 3;
+  config.mean_trips_per_od_interval = 5.0;
+  data::Dataset ds = data::BuildDataset(config);
+  EXPECT_EQ(ds.regions.num_regions(), 2);
+  EXPECT_EQ(ds.num_od(), 2);
+  EXPECT_TRUE(ds.net.Validate().ok());
+}
+
+TEST(DatasetEdgeTest, RequestingMoreOdPairsThanExistClamps) {
+  data::DatasetConfig config;
+  config.grid_rows = 2;
+  config.grid_cols = 2;
+  config.region_cells_x = 2;
+  config.region_cells_y = 2;
+  config.num_od_pairs = 100;  // only 4*3 = 12 ordered pairs exist
+  data::Dataset ds = data::BuildDataset(config);
+  EXPECT_LE(ds.num_od(), 12);
+  EXPECT_GT(ds.num_od(), 0);
+}
+
+// ----------------------------------------------------------------- Router --
+
+TEST(RouterEdgeTest, TwoNodeNetwork) {
+  sim::RoadNet net;
+  net.AddIntersection(0, 0);
+  net.AddIntersection(100, 0);
+  net.AddRoad(0, 1, 100.0, 1, 10.0);
+  sim::Router router(&net);
+  StatusOr<sim::Route> route = router.ShortestRoute(0, 1);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->size(), 1u);
+  StatusOr<sim::Route> back = router.ShortestRoute(1, 0);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 1u);
+}
+
+TEST(RouterEdgeTest, ZeroCostLinksHandled) {
+  sim::RoadNet net = sim::MakeGridNetwork(1, 3, 100.0, 1, 10.0);
+  sim::Router router(&net);
+  std::vector<double> costs(net.num_links(), 0.0);
+  StatusOr<sim::Route> route = router.ShortestRouteWithCosts(0, 2, costs);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(net.link(route->back()).to, 2);
+}
+
+}  // namespace
+}  // namespace ovs

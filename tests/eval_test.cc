@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "baselines/gravity.h"
+#include "data/cities.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+
+namespace ovs::eval {
+namespace {
+
+// ----------------------------------------------------------------- Metrics --
+
+TEST(MetricsTest, PaperRmseZeroForIdentical) {
+  DMat a(3, 4, 2.5);
+  EXPECT_DOUBLE_EQ(PaperRmse(a, a), 0.0);
+}
+
+TEST(MetricsTest, PaperRmseKnownValue) {
+  // Two intervals: first all errors 3, second all errors 4.
+  DMat pred(2, 2), truth(2, 2);
+  pred.at(0, 0) = 3.0;
+  pred.at(1, 0) = 3.0;
+  pred.at(0, 1) = 4.0;
+  pred.at(1, 1) = 4.0;
+  // (sqrt(9) + sqrt(16)) / 2 = 3.5
+  EXPECT_NEAR(PaperRmse(pred, truth), 3.5, 1e-12);
+}
+
+TEST(MetricsTest, PaperRmseDiffersFromFlatRmseWhenErrorsUneven) {
+  // Flat RMSE pools all cells; the paper averages per-interval RMSEs.
+  DMat pred(1, 2), truth(1, 2);
+  pred.at(0, 0) = 1.0;   // error 1 in interval 0
+  pred.at(0, 1) = 7.0;   // error 7 in interval 1
+  const double paper = PaperRmse(pred, truth);      // (1 + 7) / 2 = 4
+  const double flat = Rmse(pred, truth);            // sqrt(25) = 5
+  EXPECT_NEAR(paper, 4.0, 1e-12);
+  EXPECT_NEAR(flat, 5.0, 1e-12);
+}
+
+TEST(MetricsTest, PaperRmseScalesLinearly) {
+  Rng rng(1);
+  DMat pred(4, 5), truth(4, 5);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      pred.at(r, c) = rng.Uniform(0, 10);
+      truth.at(r, c) = rng.Uniform(0, 10);
+    }
+  }
+  const double base = PaperRmse(pred, truth);
+  DMat pred2 = pred, truth2 = truth;
+  pred2 *= 3.0;
+  truth2 *= 3.0;
+  EXPECT_NEAR(PaperRmse(pred2, truth2), 3.0 * base, 1e-9);
+}
+
+TEST(MetricsTest, RelativeImprovement) {
+  EXPECT_NEAR(RelativeImprovement(5.0, 10.0), 50.0, 1e-12);
+  EXPECT_NEAR(RelativeImprovement(10.0, 10.0), 0.0, 1e-12);
+  EXPECT_LT(RelativeImprovement(12.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeImprovement(1.0, 0.0), 0.0);
+}
+
+// ----------------------------------------------------------------- Harness --
+
+TEST(HarnessTest, ExperimentPreparesGroundTruthAndTraining) {
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  HarnessConfig config;
+  config.num_train_samples = 3;
+  Experiment experiment(&ds, config);
+  EXPECT_EQ(experiment.training_data().samples.size(), 3u);
+  EXPECT_EQ(experiment.ground_truth().speed.rows(), ds.num_links());
+  EXPECT_TRUE(experiment.context().oracle != nullptr);
+  EXPECT_EQ(experiment.context().dataset, &ds);
+}
+
+TEST(HarnessTest, ScoreZeroTodIsWorseThanTruth) {
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  HarnessConfig config;
+  config.num_train_samples = 2;
+  Experiment experiment(&ds, config);
+  RmseTriple perfect = experiment.Score(experiment.ground_truth().tod);
+  od::TodTensor zeros(ds.num_od(), ds.num_intervals());
+  RmseTriple empty = experiment.Score(zeros);
+  EXPECT_LT(perfect.tod, 1e-9);
+  EXPECT_GT(empty.tod, 10.0);
+  EXPECT_GT(empty.volume, perfect.volume);
+}
+
+TEST(HarnessTest, TestTodOverrideIsUsed) {
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  od::TodTensor custom(ds.num_od(), ds.num_intervals());
+  for (int i = 0; i < ds.num_od(); ++i) {
+    for (int t = 0; t < ds.num_intervals(); ++t) custom.at(i, t) = 33.0;
+  }
+  HarnessConfig config;
+  config.num_train_samples = 2;
+  Experiment experiment(&ds, config, &custom);
+  EXPECT_NEAR(Rmse(experiment.ground_truth().tod.mat(), custom.mat()), 0.0,
+              1e-12);
+  RmseTriple perfect = experiment.Score(custom);
+  EXPECT_LT(perfect.tod, 1e-9);
+}
+
+TEST(HarnessTest, RunProducesTimedResult) {
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  HarnessConfig config;
+  config.num_train_samples = 2;
+  Experiment experiment(&ds, config);
+  baselines::GravityEstimator gravity({10.0, 30.0});
+  MethodResult result = experiment.Run(&gravity);
+  EXPECT_EQ(result.method, "Gravity");
+  EXPECT_GT(result.recover_seconds, 0.0);
+  EXPECT_GT(result.rmse.tod, 0.0);
+}
+
+TEST(HarnessTest, MethodSuiteHasPaperMethods) {
+  auto suite = MakeMethodSuite();
+  ASSERT_EQ(suite.size(), 7u);
+  std::vector<std::string> names;
+  for (const auto& m : suite) names.push_back(m->name());
+  EXPECT_EQ(names[0], "Gravity");
+  EXPECT_EQ(names[1], "Genetic");
+  EXPECT_EQ(names[2], "GLS");
+  EXPECT_EQ(names[3], "EM");
+  EXPECT_EQ(names[4], "NN");
+  EXPECT_EQ(names[5], "LSTM");
+  EXPECT_EQ(names[6], "OVS");
+}
+
+TEST(HarnessTest, ComparisonTableHasImproveRow) {
+  std::vector<MethodResult> results;
+  MethodResult baseline;
+  baseline.method = "Gravity";
+  baseline.rmse = {10.0, 20.0, 2.0};
+  results.push_back(baseline);
+  MethodResult ours;
+  ours.method = "OVS";
+  ours.rmse = {5.0, 10.0, 1.0};
+  results.push_back(ours);
+  Table table = MakeComparisonTable("Test", results);
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("Improve"), std::string::npos);
+  EXPECT_NE(rendered.find("50.0%"), std::string::npos);
+}
+
+TEST(HarnessTest, ComparisonTableWithoutOvsOmitsImprove) {
+  std::vector<MethodResult> results;
+  MethodResult baseline;
+  baseline.method = "Gravity";
+  baseline.rmse = {10.0, 20.0, 2.0};
+  results.push_back(baseline);
+  Table table = MakeComparisonTable("Test", results);
+  EXPECT_EQ(table.ToString().find("Improve"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ovs::eval

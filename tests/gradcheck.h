@@ -1,0 +1,56 @@
+#ifndef OVS_TESTS_GRADCHECK_H_
+#define OVS_TESTS_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/variable.h"
+
+namespace ovs::nn {
+
+/// Numerical gradient check: `forward` must rebuild the graph from the given
+/// leaf `params` and return a scalar loss. For every parameter element the
+/// analytic gradient (reverse mode) is compared against central finite
+/// differences. Tolerances are loose because the tensors are float.
+inline void ExpectGradientsMatch(const std::function<Variable()>& forward,
+                                 std::vector<Variable> params,
+                                 float eps = 5e-3f, float rel_tol = 4e-2f,
+                                 float abs_tol = 2e-3f) {
+  // Analytic pass.
+  for (Variable& p : params) {
+    ASSERT_TRUE(p.requires_grad());
+    p.ZeroGrad();
+  }
+  Variable loss = forward();
+  ASSERT_EQ(loss.numel(), 1);
+  loss.Backward();
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (Variable& p : params) analytic.push_back(p.grad());
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Variable& p = params[pi];
+    for (int i = 0; i < p.numel(); ++i) {
+      const float original = p.mutable_value()[i];
+      p.mutable_value()[i] = original + eps;
+      const float up = forward().value()[0];
+      p.mutable_value()[i] = original - eps;
+      const float down = forward().value()[0];
+      p.mutable_value()[i] = original;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float exact = analytic[pi][i];
+      const float err = std::fabs(numeric - exact);
+      const float scale = std::max({std::fabs(numeric), std::fabs(exact), 1.0f});
+      EXPECT_LE(err, abs_tol + rel_tol * scale)
+          << "param " << pi << " element " << i << ": analytic " << exact
+          << " vs numeric " << numeric;
+    }
+  }
+}
+
+}  // namespace ovs::nn
+
+#endif  // OVS_TESTS_GRADCHECK_H_

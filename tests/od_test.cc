@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "od/demand.h"
+#include "od/incidence.h"
+#include "od/patterns.h"
+#include "od/region.h"
+#include "od/tod_tensor.h"
+
+namespace ovs::od {
+namespace {
+
+sim::RoadNet Grid33() { return sim::MakeGridNetwork(3, 3, 300.0); }
+
+// ----------------------------------------------------------------- Regions --
+
+TEST(RegionTest, PartitionCoversAllIntersections) {
+  sim::RoadNet net = Grid33();
+  RegionPartition partition = PartitionByGrid(net, 3, 3);
+  EXPECT_EQ(partition.num_regions(), 9);
+  std::set<sim::IntersectionId> covered;
+  for (const Region& r : partition.regions()) {
+    for (sim::IntersectionId m : r.members) covered.insert(m);
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), net.num_intersections());
+  EXPECT_TRUE(partition.Validate(net).ok());
+}
+
+TEST(RegionTest, CoarsePartitionGroups) {
+  sim::RoadNet net = Grid33();
+  RegionPartition partition = PartitionByGrid(net, 2, 1);
+  // Two columns worth of cells, all rows merged.
+  EXPECT_EQ(partition.num_regions(), 2);
+  int total = 0;
+  for (const Region& r : partition.regions()) total += r.members.size();
+  EXPECT_EQ(total, 9);
+}
+
+TEST(RegionTest, CentroidInsideBoundingBox) {
+  sim::RoadNet net = Grid33();
+  RegionPartition partition = PartitionByGrid(net, 3, 3);
+  for (const Region& r : partition.regions()) {
+    EXPECT_GE(r.centroid_x, 0.0);
+    EXPECT_LE(r.centroid_x, 600.0);
+    EXPECT_GE(r.centroid_y, 0.0);
+    EXPECT_LE(r.centroid_y, 600.0);
+  }
+}
+
+TEST(RegionTest, DistanceSymmetric) {
+  sim::RoadNet net = Grid33();
+  RegionPartition partition = PartitionByGrid(net, 3, 3);
+  EXPECT_DOUBLE_EQ(partition.Distance(0, 8), partition.Distance(8, 0));
+  EXPECT_DOUBLE_EQ(partition.Distance(3, 3), 0.0);
+}
+
+TEST(RegionTest, ValidateDetectsOverlap) {
+  sim::RoadNet net = Grid33();
+  RegionPartition partition;
+  partition.AddRegion(net, {0, 1});
+  partition.AddRegion(net, {1, 2});  // intersection 1 in two regions
+  EXPECT_FALSE(partition.Validate(net).ok());
+}
+
+// ----------------------------------------------------------------- OdSet --
+
+TEST(OdSetTest, FindLocatesPair) {
+  OdSet set({{0, 1}, {2, 3}});
+  EXPECT_EQ(set.Find(2, 3), 1);
+  EXPECT_EQ(set.Find(3, 2), -1);
+  set.Add({3, 2});
+  EXPECT_EQ(set.Find(3, 2), 2);
+  EXPECT_EQ(set.size(), 3);
+}
+
+// ----------------------------------------------------------------- TodTensor
+
+TEST(TodTensorTest, BasicAccessors) {
+  TodTensor tod(3, 4);
+  EXPECT_EQ(tod.num_od(), 3);
+  EXPECT_EQ(tod.num_intervals(), 4);
+  tod.at(2, 3) = 7.5;
+  EXPECT_DOUBLE_EQ(tod.at(2, 3), 7.5);
+  EXPECT_DOUBLE_EQ(tod.TotalTrips(), 7.5);
+  EXPECT_DOUBLE_EQ(tod.OdTotal(2), 7.5);
+  EXPECT_DOUBLE_EQ(tod.OdTotal(0), 0.0);
+}
+
+TEST(TodTensorTest, ScaleAndClamp) {
+  TodTensor tod(1, 3);
+  tod.at(0, 0) = -5.0;
+  tod.at(0, 1) = 10.0;
+  tod.at(0, 2) = 100.0;
+  tod.Scale(2.0);
+  EXPECT_DOUBLE_EQ(tod.at(0, 1), 20.0);
+  tod.Clamp(0.0, 50.0);
+  EXPECT_DOUBLE_EQ(tod.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(tod.at(0, 2), 50.0);
+}
+
+TEST(TodTensorTest, CsvRoundTrip) {
+  TodTensor tod(2, 3);
+  for (int i = 0; i < 2; ++i) {
+    for (int t = 0; t < 3; ++t) tod.at(i, t) = i * 10 + t + 0.25;
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ovs_tod_test.csv").string();
+  ASSERT_TRUE(tod.SaveCsv(path).ok());
+  StatusOr<TodTensor> loaded = TodTensor::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->SameShape(tod));
+  EXPECT_NEAR(Rmse(loaded->mat(), tod.mat()), 0.0, 1e-6);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------- Patterns
+
+class PatternTest : public ::testing::TestWithParam<TodPattern> {};
+
+TEST_P(PatternTest, NonNegativeAndRightShape) {
+  Rng rng(11);
+  PatternConfig pc;
+  TodTensor tod = GenerateTodPattern(GetParam(), 6, 12, pc, &rng);
+  EXPECT_EQ(tod.num_od(), 6);
+  EXPECT_EQ(tod.num_intervals(), 12);
+  EXPECT_GE(tod.mat().Min(), 0.0);
+}
+
+TEST_P(PatternTest, RateScaleScalesLinearly) {
+  PatternConfig pc1;
+  PatternConfig pc2;
+  pc2.rate_scale = 2.0;
+  Rng a(3), b(3);
+  TodTensor t1 = GenerateTodPattern(GetParam(), 4, 6, pc1, &a);
+  TodTensor t2 = GenerateTodPattern(GetParam(), 4, 6, pc2, &b);
+  EXPECT_NEAR(t2.TotalTrips(), 2.0 * t1.TotalTrips(), 1e-9);
+}
+
+TEST_P(PatternTest, DeterministicGivenSeed) {
+  PatternConfig pc;
+  Rng a(5), b(5);
+  TodTensor t1 = GenerateTodPattern(GetParam(), 4, 6, pc, &a);
+  TodTensor t2 = GenerateTodPattern(GetParam(), 4, 6, pc, &b);
+  EXPECT_NEAR(Rmse(t1.mat(), t2.mat()), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternTest,
+                         ::testing::ValuesIn(AllTodPatterns()),
+                         [](const auto& info) {
+                           return TodPatternName(info.param);
+                         });
+
+TEST(PatternsTest, RandomWithinPaperRange) {
+  Rng rng(1);
+  PatternConfig pc;  // 10-minute intervals, scale 1
+  TodTensor tod = GenerateTodPattern(TodPattern::kRandom, 10, 12, pc, &rng);
+  // 1..20 veh/min * 10 min = 10..200 per interval.
+  EXPECT_GE(tod.mat().Min(), 10.0);
+  EXPECT_LE(tod.mat().Max(), 200.0);
+}
+
+TEST(PatternsTest, IncreasingTrendsUp) {
+  Rng rng(2);
+  PatternConfig pc;
+  TodTensor tod = GenerateTodPattern(TodPattern::kIncreasing, 20, 12, pc, &rng);
+  double first = 0.0, last = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    first += tod.at(i, 0);
+    last += tod.at(i, 11);
+  }
+  EXPECT_GT(last, first * 2.0);
+}
+
+TEST(PatternsTest, DecreasingTrendsDown) {
+  Rng rng(3);
+  PatternConfig pc;
+  TodTensor tod = GenerateTodPattern(TodPattern::kDecreasing, 20, 12, pc, &rng);
+  double first = 0.0, last = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    first += tod.at(i, 0);
+    last += tod.at(i, 11);
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(PatternsTest, GaussianMeanNearTen) {
+  Rng rng(4);
+  PatternConfig pc;
+  TodTensor tod = GenerateTodPattern(TodPattern::kGaussian, 50, 12, pc, &rng);
+  EXPECT_NEAR(tod.mat().Mean(), 100.0, 10.0);  // 10 veh/min * 10 min
+}
+
+TEST(PatternsTest, PoissonMeanNearLambda) {
+  Rng rng(5);
+  PatternConfig pc;
+  TodTensor tod = GenerateTodPattern(TodPattern::kPoisson, 50, 12, pc, &rng);
+  EXPECT_NEAR(tod.mat().Mean(), 30.0, 5.0);  // lambda 3 * 10 min
+}
+
+TEST(PatternsTest, TrainingMixCoversAllPatterns) {
+  Rng rng(6);
+  PatternConfig pc;
+  // 10 tensors -> every pattern used for exactly 2 (each 20% slice).
+  std::vector<TodTensor> tods = GenerateTrainingTods(10, 4, 12, pc, &rng);
+  EXPECT_EQ(tods.size(), 10u);
+  // The increasing slice trends up, the decreasing slice trends down.
+  auto trend = [](const TodTensor& t) {
+    double first = 0.0, last = 0.0;
+    for (int i = 0; i < t.num_od(); ++i) {
+      first += t.at(i, 0);
+      last += t.at(i, t.num_intervals() - 1);
+    }
+    return last - first;
+  };
+  EXPECT_GT(trend(tods[2]), 0.0);  // index 2-3 = Increasing
+  EXPECT_LT(trend(tods[4]), 0.0);  // index 4-5 = Decreasing
+}
+
+// ----------------------------------------------------------------- Demand --
+
+TEST(DemandTest, TripCountMatchesTensorInExpectation) {
+  sim::RoadNet net = Grid33();
+  RegionPartition regions = PartitionByGrid(net, 3, 3);
+  OdSet od_set({{0, 8}, {8, 0}, {2, 6}});
+  DemandGenerator gen(&net, &regions, &od_set, 600.0);
+  TodTensor tod(3, 4);
+  for (int i = 0; i < 3; ++i) {
+    for (int t = 0; t < 4; ++t) tod.at(i, t) = 20.0;
+  }
+  Rng rng(7);
+  std::vector<sim::TripRequest> trips = gen.Generate(tod, &rng);
+  EXPECT_EQ(static_cast<int>(trips.size()) + gen.dropped_trips(), 240);
+  EXPECT_EQ(gen.dropped_trips(), 0);
+}
+
+TEST(DemandTest, FractionalCountsRoundStochastically) {
+  sim::RoadNet net = Grid33();
+  RegionPartition regions = PartitionByGrid(net, 3, 3);
+  OdSet od_set({{0, 8}});
+  DemandGenerator gen(&net, &regions, &od_set, 600.0);
+  TodTensor tod(1, 1);
+  tod.at(0, 0) = 0.5;
+  Rng rng(8);
+  int total = 0;
+  for (int rep = 0; rep < 400; ++rep) {
+    total += static_cast<int>(gen.Generate(tod, &rng).size());
+  }
+  EXPECT_NEAR(total / 400.0, 0.5, 0.08);
+}
+
+TEST(DemandTest, DepartTimesWithinInterval) {
+  sim::RoadNet net = Grid33();
+  RegionPartition regions = PartitionByGrid(net, 3, 3);
+  OdSet od_set({{0, 8}});
+  DemandGenerator gen(&net, &regions, &od_set, 600.0);
+  TodTensor tod(1, 3);
+  tod.at(0, 1) = 50.0;  // all demand in interval 1
+  Rng rng(9);
+  for (const sim::TripRequest& trip : gen.Generate(tod, &rng)) {
+    EXPECT_GE(trip.depart_time_s, 600.0);
+    EXPECT_LT(trip.depart_time_s, 1200.0);
+  }
+}
+
+TEST(DemandTest, RoutesAreConnectedAndStartEndCorrectly) {
+  sim::RoadNet net = Grid33();
+  RegionPartition regions = PartitionByGrid(net, 3, 3);
+  OdSet od_set({{0, 8}});
+  DemandGenerator gen(&net, &regions, &od_set, 600.0);
+  TodTensor tod(1, 1);
+  tod.at(0, 0) = 30.0;
+  Rng rng(10);
+  for (const sim::TripRequest& trip : gen.Generate(tod, &rng)) {
+    ASSERT_FALSE(trip.route.empty());
+    for (size_t i = 0; i + 1 < trip.route.size(); ++i) {
+      EXPECT_EQ(net.link(trip.route[i]).to, net.link(trip.route[i + 1]).from);
+    }
+    // Region 0 holds intersection 0, region 8 holds intersection 8.
+    EXPECT_EQ(net.link(trip.route.front()).from, 0);
+    EXPECT_EQ(net.link(trip.route.back()).to, 8);
+  }
+}
+
+// ----------------------------------------------------------------- Incidence
+
+TEST(IncidenceTest, RepresentativeIsClosestToCentroid) {
+  sim::RoadNet net = Grid33();
+  RegionPartition regions = PartitionByGrid(net, 1, 1);
+  // One region holding everything; centroid = center intersection (id 4).
+  EXPECT_EQ(RepresentativeIntersection(net, regions.region(0)), 4);
+}
+
+TEST(IncidenceTest, MatrixMarksRouteLinks) {
+  sim::RoadNet net = Grid33();
+  RegionPartition regions = PartitionByGrid(net, 3, 3);
+  OdSet od_set({{0, 2}});  // left column to right column, same row
+  std::vector<sim::Route> routes = ComputeOdRoutes(net, regions, od_set);
+  ASSERT_EQ(routes.size(), 1u);
+  ASSERT_FALSE(routes[0].empty());
+  DMat incidence = RouteLinkIncidence(routes, net.num_links());
+  EXPECT_EQ(incidence.rows(), net.num_links());
+  EXPECT_EQ(incidence.cols(), 1);
+  double marked = 0.0;
+  for (int l = 0; l < net.num_links(); ++l) marked += incidence.at(l, 0);
+  EXPECT_DOUBLE_EQ(marked, static_cast<double>(routes[0].size()));
+  for (sim::LinkId l : routes[0]) EXPECT_DOUBLE_EQ(incidence.at(l, 0), 1.0);
+}
+
+TEST(IncidenceTest, UnroutableOdGetsEmptyRoute) {
+  sim::RoadNet net;
+  net.AddIntersection(0, 0);
+  net.AddIntersection(500, 0);
+  // No links at all.
+  RegionPartition regions;
+  regions.AddRegion(net, {0});
+  regions.AddRegion(net, {1});
+  OdSet od_set({{0, 1}});
+  std::vector<sim::Route> routes = ComputeOdRoutes(net, regions, od_set);
+  EXPECT_TRUE(routes[0].empty());
+}
+
+}  // namespace
+}  // namespace ovs::od

@@ -1,0 +1,136 @@
+// Tests for the recovery machinery that realizes the paper's RQ2/RQ3
+// behaviour: the adaptive Gaussian-prior level and the Huber-robust main
+// loss.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/trainer.h"
+#include "core/training_data.h"
+#include "data/cities.h"
+#include "eval/metrics.h"
+
+namespace ovs::core {
+namespace {
+
+/// Shared small trained model (training is the expensive part).
+class TrainerRobustnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(data::BuildDataset(data::Synthetic3x3Config()));
+    train_ = new TrainingData(GenerateTrainingData(*dataset_, 8, 77));
+    rng_ = new Rng(9);
+    OvsConfig config;
+    config.lstm_hidden = 16;
+    config.tod_scale = static_cast<float>(train_->tod_scale);
+    config.volume_norm = static_cast<float>(train_->volume_norm);
+    config.speed_scale = static_cast<float>(train_->speed_scale);
+    model_ = new OvsModel(dataset_->num_od(), dataset_->num_links(),
+                          dataset_->num_intervals(), dataset_->incidence,
+                          config, rng_);
+    TrainerConfig tc;
+    tc.stage1_epochs = 40;
+    tc.stage2_epochs = 50;
+    OvsTrainer bootstrap(model_, tc);
+    bootstrap.TrainVolumeSpeed(*train_);
+    bootstrap.TrainTodVolume(*train_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete rng_;
+    delete train_;
+    delete dataset_;
+    model_ = nullptr;
+    rng_ = nullptr;
+    train_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  /// A recovery with the given config against `observed`. The trained
+  /// mappings are shared and untouched; only the prior bookkeeping is set.
+  static od::TodTensor Recover(TrainerConfig tc, const DMat& observed) {
+    OvsTrainer trainer(model_, tc);
+    trainer.PrimeRecoveryPrior(*train_);
+    Rng rng(31);
+    return trainer.RecoverTod(observed, nullptr, &rng);
+  }
+
+  static data::Dataset* dataset_;
+  static TrainingData* train_;
+  static Rng* rng_;
+  static OvsModel* model_;
+};
+
+data::Dataset* TrainerRobustnessTest::dataset_ = nullptr;
+TrainingData* TrainerRobustnessTest::train_ = nullptr;
+Rng* TrainerRobustnessTest::rng_ = nullptr;
+OvsModel* TrainerRobustnessTest::model_ = nullptr;
+
+TEST_F(TrainerRobustnessTest, AdaptivePriorTracksObservedDemandLevel) {
+  // Observations from light vs heavy demand must produce recoveries whose
+  // overall level differs in the same direction.
+  od::TodTensor light = dataset_->ground_truth_tod;
+  light.Scale(0.35);
+  od::TodTensor heavy = dataset_->ground_truth_tod;
+  heavy.Scale(1.4);
+  TrainingSample light_obs = SimulateTod(*dataset_, light, 4242);
+  TrainingSample heavy_obs = SimulateTod(*dataset_, heavy, 4242);
+
+  TrainerConfig tc;
+  tc.recovery_epochs = 120;
+  od::TodTensor rec_light = Recover(tc, light_obs.speed);
+  od::TodTensor rec_heavy = Recover(tc, heavy_obs.speed);
+  EXPECT_LT(rec_light.mat().Mean(), rec_heavy.mat().Mean());
+}
+
+TEST_F(TrainerRobustnessTest, HuberRecoveryShrugsOffOutlierLinks) {
+  // Zero out two links' observed speed (a fake road closure the demand
+  // cannot explain). The Huber recovery should stay closer to the clean
+  // recovery than the pure-MSE recovery does.
+  TrainingSample clean = SimulateGroundTruth(*dataset_, 4242);
+  DMat corrupted = clean.speed;
+  for (int t = 0; t < corrupted.cols(); ++t) {
+    corrupted.at(3, t) = 0.3;
+    corrupted.at(11, t) = 0.3;
+  }
+
+  TrainerConfig tc;
+  tc.recovery_epochs = 120;
+
+  TrainerConfig huber = tc;
+  huber.recovery_huber_delta = 0.08f;
+  TrainerConfig mse = tc;
+  mse.recovery_huber_delta = 0.0f;
+
+  od::TodTensor base_huber = Recover(huber, clean.speed);
+  od::TodTensor corrupt_huber = Recover(huber, corrupted);
+  od::TodTensor base_mse = Recover(mse, clean.speed);
+  od::TodTensor corrupt_mse = Recover(mse, corrupted);
+
+  const double drift_huber =
+      eval::PaperRmse(base_huber.mat(), corrupt_huber.mat());
+  const double drift_mse = eval::PaperRmse(base_mse.mat(), corrupt_mse.mat());
+  EXPECT_LE(drift_huber, drift_mse * 1.05)
+      << "Huber drift " << drift_huber << " vs MSE drift " << drift_mse;
+}
+
+TEST_F(TrainerRobustnessTest, RecoveryIsDeterministicGivenSameState) {
+  // Recovery trains the decoder in place, so determinism holds when starting
+  // from identical model state: snapshot, recover, restore, recover again.
+  TrainingSample clean = SimulateGroundTruth(*dataset_, 4242);
+  const std::string snapshot =
+      (std::filesystem::temp_directory_path() / "ovs_recovery_snap.bin").string();
+  ASSERT_TRUE(model_->Save(snapshot).ok());
+  TrainerConfig tc;
+  tc.recovery_epochs = 40;
+  od::TodTensor a = Recover(tc, clean.speed);
+  ASSERT_TRUE(model_->Load(snapshot).ok());
+  od::TodTensor b = Recover(tc, clean.speed);
+  std::remove(snapshot.c_str());
+  EXPECT_NEAR(Rmse(a.mat(), b.mat()), 0.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace ovs::core

@@ -1,0 +1,409 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/bench_config.h"
+#include "util/csv.h"
+#include "util/linalg.h"
+#include "util/mat.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace ovs {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+Status HelperReturningError() { return Status::OutOfRange("boom"); }
+
+Status HelperUsingReturnIfError() {
+  RETURN_IF_ERROR(HelperReturningError());
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(HelperUsingReturnIfError().code(), StatusCode::kOutOfRange);
+}
+
+// ----------------------------------------------------------------- Strings --
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = StrSplit("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, SplitSingleToken) {
+  auto parts = StrSplit("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\r\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, ","), "x,y,z");
+  EXPECT_EQ(StrSplit(StrJoin(parts, ","), ','), parts);
+}
+
+TEST(StringUtilTest, FormatAndDouble) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "a"), "3-a");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foo", "foobar"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+}
+
+// ----------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.UniformInt(0, 1000000) == b.UniformInt(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(1);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == 0;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(3);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, PoissonZeroRate) {
+  Rng rng(4);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.03);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(6);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(counts[0]), 3.0, 0.4);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(7);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.Fork(1);
+  // The fork should not replay the parent stream.
+  Rng b(7);
+  EXPECT_NE(child.UniformInt(0, 1 << 30), b.UniformInt(0, 1 << 30));
+}
+
+// ----------------------------------------------------------------- DMat --
+
+TEST(DMatTest, ConstructionAndAccess) {
+  DMat m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.numel(), 6);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(1, 2) = 4.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 4.0);
+}
+
+TEST(DMatTest, Reductions) {
+  DMat m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 3;
+  m.at(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(m.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(m.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(m.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.RowSum(1), 7.0);
+}
+
+TEST(DMatTest, ArithmeticOperators) {
+  DMat a(1, 2, 1.0), b(1, 2, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 6.0);
+}
+
+TEST(DMatTest, RmseZeroForIdentical) {
+  DMat a(3, 3, 2.0);
+  EXPECT_DOUBLE_EQ(Rmse(a, a), 0.0);
+}
+
+TEST(DMatTest, RmseKnownValue) {
+  DMat a(1, 2, 0.0), b(1, 2);
+  b.at(0, 0) = 3.0;
+  b.at(0, 1) = 4.0;
+  EXPECT_NEAR(Rmse(a, b), std::sqrt(12.5), 1e-12);
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t("My table");
+  t.SetHeader({"a", "bb"});
+  t.AddRow({"1", "2"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("My table"), std::string::npos);
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1);
+}
+
+TEST(TableTest, CellFormatsNan) {
+  EXPECT_EQ(Table::Cell(std::nan("")), "-");
+  EXPECT_EQ(Table::Cell(1.2345, 2), "1.23");
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t("");
+  t.SetHeader({"x", "y"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.ToCsv(), "x,y\n1,2\n3,4\n");
+}
+
+// ----------------------------------------------------------------- CSV --
+
+TEST(CsvTest, RoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ovs_csv_test.csv").string();
+  Status w = WriteCsv(path, {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  ASSERT_TRUE(w.ok()) << w;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  Status r = ReadCsv(path, &header, &rows);
+  ASSERT_TRUE(r.ok()) << r;
+  EXPECT_EQ(header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "4");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  EXPECT_EQ(ReadCsv("/nonexistent/nope.csv", &header, &rows).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvTest, ArityMismatchRejectedOnWrite) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ovs_csv_bad.csv").string();
+  Status s = WriteCsv(path, {"a", "b"}, {{"only-one"}});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------- Linalg --
+
+TEST(LinalgTest, MatMulKnown) {
+  DMat a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  DMat b(2, 1);
+  b.at(0, 0) = 5;
+  b.at(1, 0) = 6;
+  DMat c = MatMulD(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 17.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 39.0);
+}
+
+TEST(LinalgTest, TransposeInvolution) {
+  Rng rng(1);
+  DMat a(3, 5);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 5; ++j) a.at(i, j) = rng.Uniform(-1, 1);
+  }
+  DMat att = TransposeD(TransposeD(a));
+  EXPECT_NEAR(Rmse(a, att), 0.0, 1e-15);
+}
+
+TEST(LinalgTest, SolveRecoversSolution) {
+  Rng rng(2);
+  const int n = 8;
+  DMat a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) a.at(i, j) = rng.Uniform(-1, 1);
+    a.at(i, i) += n;  // diagonally dominant => well conditioned
+  }
+  DMat x_true(n, 2);
+  for (int i = 0; i < n; ++i) {
+    x_true.at(i, 0) = rng.Uniform(-3, 3);
+    x_true.at(i, 1) = rng.Uniform(-3, 3);
+  }
+  DMat b = MatMulD(a, x_true);
+  StatusOr<DMat> x = SolveLinearD(a, b);
+  ASSERT_TRUE(x.ok()) << x.status();
+  EXPECT_NEAR(Rmse(x.value(), x_true), 0.0, 1e-9);
+}
+
+TEST(LinalgTest, SolveSingularFails) {
+  DMat a(2, 2);  // rank 1
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  DMat b(2, 1, 1.0);
+  EXPECT_FALSE(SolveLinearD(a, b).ok());
+}
+
+TEST(LinalgTest, RidgeFitRecoversLinearMap) {
+  Rng rng(3);
+  const int k = 4, m = 6, n = 120;
+  DMat x_true(m, k);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) x_true.at(i, j) = rng.Uniform(-2, 2);
+  }
+  DMat g(k, n);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < n; ++j) g.at(i, j) = rng.Uniform(-1, 1);
+  }
+  DMat q = MatMulD(x_true, g);
+  StatusOr<DMat> fit = RidgeFitLeft(q, g, 1e-6);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(Rmse(fit.value(), x_true), 0.0, 1e-4);
+}
+
+// ----------------------------------------------------------- BenchConfig --
+
+TEST(BenchConfigTest, DefaultsToFast) {
+  // The test binary never sets OVS_BENCH_SCALE.
+  EXPECT_EQ(GetBenchScale(), BenchScale::kFast);
+  EXPECT_EQ(ScaledIters(3, 100), 3);
+}
+
+}  // namespace
+}  // namespace ovs
