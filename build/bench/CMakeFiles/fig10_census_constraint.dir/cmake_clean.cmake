@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_census_constraint.dir/fig10_census_constraint.cc.o"
+  "CMakeFiles/fig10_census_constraint.dir/fig10_census_constraint.cc.o.d"
+  "fig10_census_constraint"
+  "fig10_census_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_census_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_road_work.dir/fig11_road_work.cc.o"
+  "CMakeFiles/fig11_road_work.dir/fig11_road_work.cc.o.d"
+  "fig11_road_work"
+  "fig11_road_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_road_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

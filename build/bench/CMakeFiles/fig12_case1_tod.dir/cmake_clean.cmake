@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_case1_tod.dir/fig12_case1_tod.cc.o"
+  "CMakeFiles/fig12_case1_tod.dir/fig12_case1_tod.cc.o.d"
+  "fig12_case1_tod"
+  "fig12_case1_tod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_case1_tod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_case1_tod.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_case2_tod.dir/fig13_case2_tod.cc.o"
+  "CMakeFiles/fig13_case2_tod.dir/fig13_case2_tod.cc.o.d"
+  "fig13_case2_tod"
+  "fig13_case2_tod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_case2_tod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_sim.cc" "bench/CMakeFiles/micro_sim.dir/micro_sim.cc.o" "gcc" "bench/CMakeFiles/micro_sim.dir/micro_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ovs_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ovs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ovs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ovs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ovs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/od/CMakeFiles/ovs_od.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ovs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

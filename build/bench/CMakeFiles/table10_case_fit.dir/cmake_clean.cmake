@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_case_fit.dir/table10_case_fit.cc.o"
+  "CMakeFiles/table10_case_fit.dir/table10_case_fit.cc.o.d"
+  "table10_case_fit"
+  "table10_case_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_case_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_real_datasets.dir/table6_real_datasets.cc.o"
+  "CMakeFiles/table6_real_datasets.dir/table6_real_datasets.cc.o.d"
+  "table6_real_datasets"
+  "table6_real_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_real_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

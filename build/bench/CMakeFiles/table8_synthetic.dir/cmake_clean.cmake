@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_synthetic.dir/table8_synthetic.cc.o"
+  "CMakeFiles/table8_synthetic.dir/table8_synthetic.cc.o.d"
+  "table8_synthetic"
+  "table8_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

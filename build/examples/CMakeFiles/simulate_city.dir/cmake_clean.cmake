@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_city.dir/simulate_city.cpp.o"
+  "CMakeFiles/simulate_city.dir/simulate_city.cpp.o.d"
+  "simulate_city"
+  "simulate_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

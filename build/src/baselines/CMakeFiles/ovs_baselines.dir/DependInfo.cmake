@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/em.cc" "src/baselines/CMakeFiles/ovs_baselines.dir/em.cc.o" "gcc" "src/baselines/CMakeFiles/ovs_baselines.dir/em.cc.o.d"
+  "/root/repo/src/baselines/genetic.cc" "src/baselines/CMakeFiles/ovs_baselines.dir/genetic.cc.o" "gcc" "src/baselines/CMakeFiles/ovs_baselines.dir/genetic.cc.o.d"
+  "/root/repo/src/baselines/gls.cc" "src/baselines/CMakeFiles/ovs_baselines.dir/gls.cc.o" "gcc" "src/baselines/CMakeFiles/ovs_baselines.dir/gls.cc.o.d"
+  "/root/repo/src/baselines/gravity.cc" "src/baselines/CMakeFiles/ovs_baselines.dir/gravity.cc.o" "gcc" "src/baselines/CMakeFiles/ovs_baselines.dir/gravity.cc.o.d"
+  "/root/repo/src/baselines/nn_baseline.cc" "src/baselines/CMakeFiles/ovs_baselines.dir/nn_baseline.cc.o" "gcc" "src/baselines/CMakeFiles/ovs_baselines.dir/nn_baseline.cc.o.d"
+  "/root/repo/src/baselines/ovs_estimator.cc" "src/baselines/CMakeFiles/ovs_baselines.dir/ovs_estimator.cc.o" "gcc" "src/baselines/CMakeFiles/ovs_baselines.dir/ovs_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ovs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ovs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/od/CMakeFiles/ovs_od.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ovs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ovs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

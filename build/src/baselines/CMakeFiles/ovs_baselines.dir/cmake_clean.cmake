@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovs_baselines.dir/em.cc.o"
+  "CMakeFiles/ovs_baselines.dir/em.cc.o.d"
+  "CMakeFiles/ovs_baselines.dir/genetic.cc.o"
+  "CMakeFiles/ovs_baselines.dir/genetic.cc.o.d"
+  "CMakeFiles/ovs_baselines.dir/gls.cc.o"
+  "CMakeFiles/ovs_baselines.dir/gls.cc.o.d"
+  "CMakeFiles/ovs_baselines.dir/gravity.cc.o"
+  "CMakeFiles/ovs_baselines.dir/gravity.cc.o.d"
+  "CMakeFiles/ovs_baselines.dir/nn_baseline.cc.o"
+  "CMakeFiles/ovs_baselines.dir/nn_baseline.cc.o.d"
+  "CMakeFiles/ovs_baselines.dir/ovs_estimator.cc.o"
+  "CMakeFiles/ovs_baselines.dir/ovs_estimator.cc.o.d"
+  "libovs_baselines.a"
+  "libovs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

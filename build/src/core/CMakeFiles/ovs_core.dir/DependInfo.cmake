@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ablation.cc" "src/core/CMakeFiles/ovs_core.dir/ablation.cc.o" "gcc" "src/core/CMakeFiles/ovs_core.dir/ablation.cc.o.d"
+  "/root/repo/src/core/aux_loss.cc" "src/core/CMakeFiles/ovs_core.dir/aux_loss.cc.o" "gcc" "src/core/CMakeFiles/ovs_core.dir/aux_loss.cc.o.d"
+  "/root/repo/src/core/ovs_model.cc" "src/core/CMakeFiles/ovs_core.dir/ovs_model.cc.o" "gcc" "src/core/CMakeFiles/ovs_core.dir/ovs_model.cc.o.d"
+  "/root/repo/src/core/tod_generation.cc" "src/core/CMakeFiles/ovs_core.dir/tod_generation.cc.o" "gcc" "src/core/CMakeFiles/ovs_core.dir/tod_generation.cc.o.d"
+  "/root/repo/src/core/tod_volume.cc" "src/core/CMakeFiles/ovs_core.dir/tod_volume.cc.o" "gcc" "src/core/CMakeFiles/ovs_core.dir/tod_volume.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/ovs_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/ovs_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/training_data.cc" "src/core/CMakeFiles/ovs_core.dir/training_data.cc.o" "gcc" "src/core/CMakeFiles/ovs_core.dir/training_data.cc.o.d"
+  "/root/repo/src/core/volume_speed.cc" "src/core/CMakeFiles/ovs_core.dir/volume_speed.cc.o" "gcc" "src/core/CMakeFiles/ovs_core.dir/volume_speed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ovs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/od/CMakeFiles/ovs_od.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ovs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ovs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovs_core.dir/ablation.cc.o"
+  "CMakeFiles/ovs_core.dir/ablation.cc.o.d"
+  "CMakeFiles/ovs_core.dir/aux_loss.cc.o"
+  "CMakeFiles/ovs_core.dir/aux_loss.cc.o.d"
+  "CMakeFiles/ovs_core.dir/ovs_model.cc.o"
+  "CMakeFiles/ovs_core.dir/ovs_model.cc.o.d"
+  "CMakeFiles/ovs_core.dir/tod_generation.cc.o"
+  "CMakeFiles/ovs_core.dir/tod_generation.cc.o.d"
+  "CMakeFiles/ovs_core.dir/tod_volume.cc.o"
+  "CMakeFiles/ovs_core.dir/tod_volume.cc.o.d"
+  "CMakeFiles/ovs_core.dir/trainer.cc.o"
+  "CMakeFiles/ovs_core.dir/trainer.cc.o.d"
+  "CMakeFiles/ovs_core.dir/training_data.cc.o"
+  "CMakeFiles/ovs_core.dir/training_data.cc.o.d"
+  "CMakeFiles/ovs_core.dir/volume_speed.cc.o"
+  "CMakeFiles/ovs_core.dir/volume_speed.cc.o.d"
+  "libovs_core.a"
+  "libovs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

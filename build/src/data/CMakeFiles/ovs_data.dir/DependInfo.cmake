@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/case_studies.cc" "src/data/CMakeFiles/ovs_data.dir/case_studies.cc.o" "gcc" "src/data/CMakeFiles/ovs_data.dir/case_studies.cc.o.d"
+  "/root/repo/src/data/cities.cc" "src/data/CMakeFiles/ovs_data.dir/cities.cc.o" "gcc" "src/data/CMakeFiles/ovs_data.dir/cities.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/ovs_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/ovs_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/rhythm.cc" "src/data/CMakeFiles/ovs_data.dir/rhythm.cc.o" "gcc" "src/data/CMakeFiles/ovs_data.dir/rhythm.cc.o.d"
+  "/root/repo/src/data/trajectories.cc" "src/data/CMakeFiles/ovs_data.dir/trajectories.cc.o" "gcc" "src/data/CMakeFiles/ovs_data.dir/trajectories.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/od/CMakeFiles/ovs_od.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ovs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovs_data.dir/case_studies.cc.o"
+  "CMakeFiles/ovs_data.dir/case_studies.cc.o.d"
+  "CMakeFiles/ovs_data.dir/cities.cc.o"
+  "CMakeFiles/ovs_data.dir/cities.cc.o.d"
+  "CMakeFiles/ovs_data.dir/dataset.cc.o"
+  "CMakeFiles/ovs_data.dir/dataset.cc.o.d"
+  "CMakeFiles/ovs_data.dir/rhythm.cc.o"
+  "CMakeFiles/ovs_data.dir/rhythm.cc.o.d"
+  "CMakeFiles/ovs_data.dir/trajectories.cc.o"
+  "CMakeFiles/ovs_data.dir/trajectories.cc.o.d"
+  "libovs_data.a"
+  "libovs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovs_eval.dir/harness.cc.o"
+  "CMakeFiles/ovs_eval.dir/harness.cc.o.d"
+  "CMakeFiles/ovs_eval.dir/metrics.cc.o"
+  "CMakeFiles/ovs_eval.dir/metrics.cc.o.d"
+  "libovs_eval.a"
+  "libovs_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovs_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovs_nn.dir/init.cc.o"
+  "CMakeFiles/ovs_nn.dir/init.cc.o.d"
+  "CMakeFiles/ovs_nn.dir/layers.cc.o"
+  "CMakeFiles/ovs_nn.dir/layers.cc.o.d"
+  "CMakeFiles/ovs_nn.dir/module.cc.o"
+  "CMakeFiles/ovs_nn.dir/module.cc.o.d"
+  "CMakeFiles/ovs_nn.dir/ops.cc.o"
+  "CMakeFiles/ovs_nn.dir/ops.cc.o.d"
+  "CMakeFiles/ovs_nn.dir/optimizer.cc.o"
+  "CMakeFiles/ovs_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/ovs_nn.dir/tensor.cc.o"
+  "CMakeFiles/ovs_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/ovs_nn.dir/variable.cc.o"
+  "CMakeFiles/ovs_nn.dir/variable.cc.o.d"
+  "libovs_nn.a"
+  "libovs_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovs_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/od/demand.cc" "src/od/CMakeFiles/ovs_od.dir/demand.cc.o" "gcc" "src/od/CMakeFiles/ovs_od.dir/demand.cc.o.d"
+  "/root/repo/src/od/incidence.cc" "src/od/CMakeFiles/ovs_od.dir/incidence.cc.o" "gcc" "src/od/CMakeFiles/ovs_od.dir/incidence.cc.o.d"
+  "/root/repo/src/od/patterns.cc" "src/od/CMakeFiles/ovs_od.dir/patterns.cc.o" "gcc" "src/od/CMakeFiles/ovs_od.dir/patterns.cc.o.d"
+  "/root/repo/src/od/region.cc" "src/od/CMakeFiles/ovs_od.dir/region.cc.o" "gcc" "src/od/CMakeFiles/ovs_od.dir/region.cc.o.d"
+  "/root/repo/src/od/tod_tensor.cc" "src/od/CMakeFiles/ovs_od.dir/tod_tensor.cc.o" "gcc" "src/od/CMakeFiles/ovs_od.dir/tod_tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ovs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ovs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

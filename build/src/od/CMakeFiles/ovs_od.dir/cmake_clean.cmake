@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovs_od.dir/demand.cc.o"
+  "CMakeFiles/ovs_od.dir/demand.cc.o.d"
+  "CMakeFiles/ovs_od.dir/incidence.cc.o"
+  "CMakeFiles/ovs_od.dir/incidence.cc.o.d"
+  "CMakeFiles/ovs_od.dir/patterns.cc.o"
+  "CMakeFiles/ovs_od.dir/patterns.cc.o.d"
+  "CMakeFiles/ovs_od.dir/region.cc.o"
+  "CMakeFiles/ovs_od.dir/region.cc.o.d"
+  "CMakeFiles/ovs_od.dir/tod_tensor.cc.o"
+  "CMakeFiles/ovs_od.dir/tod_tensor.cc.o.d"
+  "libovs_od.a"
+  "libovs_od.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovs_od.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

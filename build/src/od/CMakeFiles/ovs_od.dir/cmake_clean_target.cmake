@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libovs_od.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for ovs_od.
+# This may be replaced when dependencies are built.

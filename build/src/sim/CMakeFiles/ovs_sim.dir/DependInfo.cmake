@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/car_following.cc" "src/sim/CMakeFiles/ovs_sim.dir/car_following.cc.o" "gcc" "src/sim/CMakeFiles/ovs_sim.dir/car_following.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/ovs_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/ovs_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/fundamental_diagram.cc" "src/sim/CMakeFiles/ovs_sim.dir/fundamental_diagram.cc.o" "gcc" "src/sim/CMakeFiles/ovs_sim.dir/fundamental_diagram.cc.o.d"
+  "/root/repo/src/sim/roadnet.cc" "src/sim/CMakeFiles/ovs_sim.dir/roadnet.cc.o" "gcc" "src/sim/CMakeFiles/ovs_sim.dir/roadnet.cc.o.d"
+  "/root/repo/src/sim/roadnet_io.cc" "src/sim/CMakeFiles/ovs_sim.dir/roadnet_io.cc.o" "gcc" "src/sim/CMakeFiles/ovs_sim.dir/roadnet_io.cc.o.d"
+  "/root/repo/src/sim/router.cc" "src/sim/CMakeFiles/ovs_sim.dir/router.cc.o" "gcc" "src/sim/CMakeFiles/ovs_sim.dir/router.cc.o.d"
+  "/root/repo/src/sim/signal.cc" "src/sim/CMakeFiles/ovs_sim.dir/signal.cc.o" "gcc" "src/sim/CMakeFiles/ovs_sim.dir/signal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ovs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovs_sim.dir/car_following.cc.o"
+  "CMakeFiles/ovs_sim.dir/car_following.cc.o.d"
+  "CMakeFiles/ovs_sim.dir/engine.cc.o"
+  "CMakeFiles/ovs_sim.dir/engine.cc.o.d"
+  "CMakeFiles/ovs_sim.dir/fundamental_diagram.cc.o"
+  "CMakeFiles/ovs_sim.dir/fundamental_diagram.cc.o.d"
+  "CMakeFiles/ovs_sim.dir/roadnet.cc.o"
+  "CMakeFiles/ovs_sim.dir/roadnet.cc.o.d"
+  "CMakeFiles/ovs_sim.dir/roadnet_io.cc.o"
+  "CMakeFiles/ovs_sim.dir/roadnet_io.cc.o.d"
+  "CMakeFiles/ovs_sim.dir/router.cc.o"
+  "CMakeFiles/ovs_sim.dir/router.cc.o.d"
+  "CMakeFiles/ovs_sim.dir/signal.cc.o"
+  "CMakeFiles/ovs_sim.dir/signal.cc.o.d"
+  "libovs_sim.a"
+  "libovs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

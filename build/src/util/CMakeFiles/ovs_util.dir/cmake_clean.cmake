@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovs_util.dir/bench_config.cc.o"
+  "CMakeFiles/ovs_util.dir/bench_config.cc.o.d"
+  "CMakeFiles/ovs_util.dir/csv.cc.o"
+  "CMakeFiles/ovs_util.dir/csv.cc.o.d"
+  "CMakeFiles/ovs_util.dir/linalg.cc.o"
+  "CMakeFiles/ovs_util.dir/linalg.cc.o.d"
+  "CMakeFiles/ovs_util.dir/status.cc.o"
+  "CMakeFiles/ovs_util.dir/status.cc.o.d"
+  "CMakeFiles/ovs_util.dir/string_util.cc.o"
+  "CMakeFiles/ovs_util.dir/string_util.cc.o.d"
+  "CMakeFiles/ovs_util.dir/table.cc.o"
+  "CMakeFiles/ovs_util.dir/table.cc.o.d"
+  "libovs_util.a"
+  "libovs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

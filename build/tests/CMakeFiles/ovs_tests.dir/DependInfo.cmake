@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/actuated_signal_test.cc" "tests/CMakeFiles/ovs_tests.dir/actuated_signal_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/actuated_signal_test.cc.o.d"
+  "/root/repo/tests/autodiff_test.cc" "tests/CMakeFiles/ovs_tests.dir/autodiff_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/autodiff_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/ovs_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/ovs_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/ovs_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/ovs_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/ovs_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/ovs_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/layers_test.cc" "tests/CMakeFiles/ovs_tests.dir/layers_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/layers_test.cc.o.d"
+  "/root/repo/tests/od_test.cc" "tests/CMakeFiles/ovs_tests.dir/od_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/od_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/ovs_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/ovs_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/ovs_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/ovs_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/tensor_test.cc.o.d"
+  "/root/repo/tests/trainer_robustness_test.cc" "tests/CMakeFiles/ovs_tests.dir/trainer_robustness_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/trainer_robustness_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/ovs_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/ovs_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/ovs_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ovs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ovs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ovs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ovs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/od/CMakeFiles/ovs_od.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ovs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
