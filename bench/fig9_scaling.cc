@@ -11,6 +11,7 @@
 #include "data/cities.h"
 #include "util/bench_config.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 int main() {
@@ -18,6 +19,8 @@ int main() {
   const bool full = GetBenchScale() == BenchScale::kFull;
   const int train_samples = full ? 8 : 4;
   const int epochs = full ? 30 : 10;
+  std::printf("[fig9] thread pool: %d threads (set OVS_NUM_THREADS)\n",
+              GlobalThreadCount());
 
   Table table("Figure 9 (analogue) — OVS running time vs intersections");
   table.SetHeader({"Intersections", "links", "ODs", "datagen(s)", "train(s)",

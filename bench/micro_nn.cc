@@ -7,6 +7,7 @@
 #include "nn/layers.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -29,6 +30,31 @@ void BM_MatMulForwardBackward(benchmark::State& state) {
       3.0 * 2.0 * n * n * n * state.iterations(), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_MatMulForwardBackward)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+// Same kernel at a fixed 256x256 size with an explicit pool size, to measure
+// thread-pool speedup (compare threads:1 vs threads:4 rows). Results are
+// bitwise-identical across thread counts; only wall time changes.
+void BM_MatMulThreaded(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  SetGlobalThreads(threads);
+  const int n = 256;
+  Rng rng(1);
+  Variable a(Tensor::RandomUniform({n, n}, -1, 1, &rng), true);
+  Variable b(Tensor::RandomUniform({n, n}, -1, 1, &rng), true);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Variable loss = Sum(MatMul(a, b));
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.value()[0]);
+  }
+  state.counters["flops"] = benchmark::Counter(
+      3.0 * 2.0 * n * n * n * state.iterations(), benchmark::Counter::kIsRate);
+  state.counters["threads"] = threads;
+  SetGlobalThreads(1);
+}
+BENCHMARK(BM_MatMulThreaded)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_LstmSequence(benchmark::State& state) {

@@ -12,10 +12,12 @@
 #include "data/cities.h"
 #include "eval/harness.h"
 #include "util/bench_config.h"
+#include "util/thread_pool.h"
 
 int main() {
   using namespace ovs;
   const int train_samples = ScaledIters(10, 40);
+  std::printf("[table6] thread pool: %d threads\n", GlobalThreadCount());
 
   for (const data::DatasetConfig& config :
        {data::HangzhouConfig(), data::PortoConfig(), data::ManhattanConfig()}) {
@@ -27,13 +29,13 @@ int main() {
     harness.num_train_samples = train_samples;
     eval::Experiment experiment(&dataset, harness);
 
-    std::vector<eval::MethodResult> results;
-    for (const auto& method : eval::MakeMethodSuite()) {
-      results.push_back(experiment.Run(method.get()));
+    // Methods are independent scenarios; fan them out over the pool.
+    std::vector<eval::MethodResult> results =
+        experiment.RunAll(eval::MakeMethodSuite());
+    for (const eval::MethodResult& r : results) {
       std::printf("[table6]   %-8s tod %7.2f vol %7.2f speed %6.2f (%.1f s)\n",
-                  results.back().method.c_str(), results.back().rmse.tod,
-                  results.back().rmse.volume, results.back().rmse.speed,
-                  results.back().recover_seconds);
+                  r.method.c_str(), r.rmse.tod, r.rmse.volume, r.rmse.speed,
+                  r.recover_seconds);
     }
     eval::MakeComparisonTable(
         "Table VI (analogue) — " + dataset.name +

@@ -13,12 +13,17 @@
 #include "data/cities.h"
 #include "util/bench_config.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 int main() {
   using namespace ovs;
   const int train_samples = ScaledIters(10, 40);
   const bool full = GetBenchScale() == BenchScale::kFull;
+  // Always report the pool size: runtime numbers are only comparable at the
+  // same thread count (results themselves are thread-count invariant).
+  std::printf("[table7] thread pool: %d threads (set OVS_NUM_THREADS)\n",
+              GlobalThreadCount());
 
   Table table("Table VII (analogue) — OVS running time in seconds");
   table.SetHeader({"Dataset", "links", "datagen(s)", "train(s)", "recover(s)",

@@ -34,14 +34,13 @@ int main() {
     harness.num_train_samples = train_samples;
     eval::Experiment experiment(&dataset, harness, &test_tod);
 
-    std::vector<eval::MethodResult> results;
-    for (const auto& method : eval::MakeMethodSuite()) {
-      results.push_back(experiment.Run(method.get()));
+    // Methods are independent scenarios; fan them out over the pool.
+    std::vector<eval::MethodResult> results =
+        experiment.RunAll(eval::MakeMethodSuite());
+    for (const eval::MethodResult& r : results) {
       std::printf("[table8:%s] %-8s tod %7.2f vol %7.2f speed %6.2f (%.1f s)\n",
-                  od::TodPatternName(pattern).c_str(),
-                  results.back().method.c_str(), results.back().rmse.tod,
-                  results.back().rmse.volume, results.back().rmse.speed,
-                  results.back().recover_seconds);
+                  od::TodPatternName(pattern).c_str(), r.method.c_str(),
+                  r.rmse.tod, r.rmse.volume, r.rmse.speed, r.recover_seconds);
     }
     eval::MakeComparisonTable(
         "Table VIII (analogue) — pattern " + od::TodPatternName(pattern) +

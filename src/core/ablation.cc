@@ -24,6 +24,11 @@ void FcTodGeneration::ResampleSeeds(Rng* rng) {
   seeds_ = nn::Tensor::RandomGaussian({num_od_, seed_dim_}, 0.0f, 1.0f, rng);
 }
 
+void FcTodGeneration::set_seeds(const nn::Tensor& seeds) {
+  CHECK(seeds.SameShape(seeds_));
+  seeds_ = seeds;
+}
+
 FcTodVolume::FcTodVolume(int num_od, int num_links, const OvsConfig& config,
                          Rng* rng) {
   w1_ = RegisterParameter(

@@ -21,6 +21,8 @@ class FcTodGeneration : public TodGeneratorIface {
 
   nn::Variable Forward() const override;
   void ResampleSeeds(Rng* rng) override;
+  const nn::Tensor& seeds() const override { return seeds_; }
+  void set_seeds(const nn::Tensor& seeds) override;
 
  private:
   int num_od_;

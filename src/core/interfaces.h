@@ -14,6 +14,12 @@ class TodGeneratorIface : public nn::Module {
   virtual nn::Variable Forward() const = 0;
   /// Re-draws the random seeds for a fresh recovery attempt.
   virtual void ResampleSeeds(Rng* rng) = 0;
+  /// The constant Gaussian seed tensor decoded by Forward. Exposed so the
+  /// trainer can fit several restarts on independent generator instances
+  /// (seeds pre-sampled serially, fits run concurrently) and copy the
+  /// winner's state back.
+  virtual const nn::Tensor& seeds() const = 0;
+  virtual void set_seeds(const nn::Tensor& seeds) = 0;
   /// Re-initializes the decoder so its output starts near
   /// `fraction * tod_scale` (the Gaussian prior mean) instead of the sigmoid
   /// default of 0.5 — otherwise recovery starts biased high and directions

@@ -8,7 +8,8 @@ OvsModel::OvsModel(int num_od, int num_links, int num_intervals,
     : num_od_(num_od),
       num_links_(num_links),
       num_intervals_(num_intervals),
-      config_(config) {
+      config_(config),
+      options_(options) {
   if (options.fc_tod_generation) {
     tod_generation_ =
         std::make_unique<FcTodGeneration>(num_od, num_intervals, config, rng);
@@ -30,6 +31,14 @@ OvsModel::OvsModel(int num_od, int num_links, int num_intervals,
   RegisterModule("tod_generation", tod_generation_.get());
   RegisterModule("tod_volume", tod_volume_.get());
   RegisterModule("volume_speed", volume_speed_.get());
+}
+
+std::unique_ptr<TodGeneratorIface> OvsModel::MakeTodGenerator(Rng* rng) const {
+  if (options_.fc_tod_generation) {
+    return std::make_unique<FcTodGeneration>(num_od_, num_intervals_, config_,
+                                             rng);
+  }
+  return std::make_unique<TodGeneration>(num_od_, num_intervals_, config_, rng);
 }
 
 nn::Variable OvsModel::ForwardSpeed(bool train, Rng* dropout_rng) const {

@@ -47,6 +47,12 @@ class OvsModel : public nn::Module {
   TodVolumeIface& tod_volume() { return *tod_volume_; }
   VolumeSpeedIface& volume_speed() { return *volume_speed_; }
 
+  /// Builds a fresh generator of the same architecture as tod_generation()
+  /// (respecting the ablation options). Used by the trainer to fit recovery
+  /// restarts concurrently, each on its own generator instance. `rng` only
+  /// feeds the throwaway initialization; callers overwrite weights and seeds.
+  std::unique_ptr<TodGeneratorIface> MakeTodGenerator(Rng* rng) const;
+
   const OvsConfig& config() const { return config_; }
   int num_od() const { return num_od_; }
   int num_links() const { return num_links_; }
@@ -57,6 +63,7 @@ class OvsModel : public nn::Module {
   int num_links_;
   int num_intervals_;
   OvsConfig config_;
+  Options options_;
   std::unique_ptr<TodGeneratorIface> tod_generation_;
   std::unique_ptr<TodVolumeIface> tod_volume_;
   std::unique_ptr<VolumeSpeedIface> volume_speed_;

@@ -31,6 +31,12 @@ void TodGeneration::ResampleSeeds(Rng* rng) {
   seeds_ = nn::Tensor::RandomGaussian({num_od_, seeds_.dim(1)}, 0.0f, 1.0f, rng);
 }
 
+void TodGeneration::set_seeds(const nn::Tensor& seeds) {
+  CHECK(seeds.SameShape(seeds_))
+      << "seed tensor shape mismatch: " << nn::ShapeToString(seeds.shape());
+  seeds_ = seeds;
+}
+
 void TodGeneration::InitializeOutputLevel(float fraction) {
   CHECK_GT(fraction, 0.0f);
   CHECK_LT(fraction, 1.0f);

@@ -27,6 +27,9 @@ class TodGeneration : public TodGeneratorIface {
   /// decoded TOD starts near fraction * tod_scale.
   void InitializeOutputLevel(float fraction) override;
 
+  const nn::Tensor& seeds() const override { return seeds_; }
+  void set_seeds(const nn::Tensor& seeds) override;
+
   int num_od() const { return num_od_; }
   int num_intervals() const { return num_intervals_; }
 

@@ -6,6 +6,7 @@
 
 #include "nn/convert.h"
 #include "nn/optimizer.h"
+#include "util/thread_pool.h"
 
 namespace ovs::core {
 
@@ -24,6 +25,11 @@ nn::Tensor NormalizedTarget(const DMat& m, double scale) {
 OvsTrainer::OvsTrainer(OvsModel* model, TrainerConfig config)
     : model_(model), config_(config), dropout_rng_(987654321) {
   CHECK(model != nullptr);
+  // Threading knob: a positive OvsConfig::num_threads resizes the global
+  // pool; 0 keeps the process default (OVS_NUM_THREADS / hardware).
+  if (model->config().num_threads > 0) {
+    SetGlobalThreads(model->config().num_threads);
+  }
 }
 
 std::vector<double> OvsTrainer::TrainVolumeSpeed(const TrainingData& data) {
@@ -196,55 +202,89 @@ od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
                        0.05f, 0.9f)
           : 0.3f;
 
-  double best_loss = std::numeric_limits<double>::infinity();
-  nn::Tensor best_tod;
-  for (int restart = 0; restart < std::max(1, config_.recovery_restarts);
-       ++restart) {
-    if (restart > 0) {
+  const int restarts = std::max(1, config_.recovery_restarts);
+
+  // Restarts are fitted concurrently, each on its own generator instance
+  // starting from the pre-recovery decoder weights. Determinism across
+  // thread counts: the per-restart seed tensors are drawn serially here (so
+  // RNG consumption never depends on scheduling), every restart's fit is a
+  // self-contained serial computation, and the winner is picked by loss
+  // with the lowest restart index breaking ties. Restart 0 keeps the
+  // generator's current seeds, so a 1-restart recovery reproduces the
+  // original serial path exactly.
+  std::vector<std::unique_ptr<TodGeneratorIface>> generators(restarts);
+  for (int restart = 0; restart < restarts; ++restart) {
+    Rng scratch_init(1);  // weights and seeds are overwritten below
+    generators[restart] = model_->MakeTodGenerator(&scratch_init);
+    generators[restart]->CopyParametersFrom(model_->tod_generation());
+    if (restart == 0) {
+      generators[restart]->set_seeds(model_->tod_generation().seeds());
+    } else {
       CHECK(rng != nullptr) << "restarts require an RNG for seed resampling";
-      model_->tod_generation().ResampleSeeds(rng);
-    }
-    model_->tod_generation().InitializeOutputLevel(prior_fraction);
-    nn::Adam opt(model_->tod_generation().Parameters(), config_.recovery_lr);
-    double final_loss = 0.0;
-    for (int epoch = 0; epoch < config_.recovery_epochs; ++epoch) {
-      opt.ZeroGrad();
-      nn::Variable g = model_->GenerateTod();
-      nn::Variable q = model_->VolumeFromTod(g, /*train=*/false, nullptr);
-      nn::Variable v = model_->SpeedFromVolume(q);
-      nn::Variable v_norm =
-          nn::ScalarMul(v, 1.0f / static_cast<float>(speed_scale));
-      // Main loss, Eq. 12 (robustified; see TrainerConfig).
-      nn::Variable loss =
-          config_.recovery_huber_delta > 0.0f
-              ? nn::HuberLoss(v_norm, target, config_.recovery_huber_delta)
-              : nn::MseLoss(v_norm, target);
-      if (aux != nullptr && aux->active()) {
-        loss = nn::Add(loss, aux->Compute(g, q, v));  // Eq. 13
-      }
-      if (config_.recovery_prior_weight > 0.0f) {
-        nn::Variable g_norm =
-            nn::ScalarMul(g, 1.0f / model_->config().tod_scale);
-        loss = nn::Add(loss, nn::ScalarMul(nn::MseLoss(g_norm, prior_mean),
-                                           config_.recovery_prior_weight));
-      }
-      loss.Backward();
-      opt.ClipGrad(config_.grad_clip);
-      opt.Step();
-      final_loss = loss.value()[0];
-      if (config_.verbose && epoch % 50 == 0) {
-        LOG(INFO) << "recovery epoch " << epoch << " loss " << final_loss;
-      }
-    }
-    if (final_loss < best_loss) {
-      best_loss = final_loss;
-      best_tod = model_->GenerateTod().value();
+      nn::Tensor seeds = model_->tod_generation().seeds();
+      generators[restart]->set_seeds(
+          nn::Tensor::RandomGaussian(seeds.shape(), 0.0f, 1.0f, rng));
     }
   }
 
+  std::vector<double> losses(restarts,
+                             std::numeric_limits<double>::infinity());
+  // The frozen TOD2V/V2S mappings are shared read-only across restart
+  // threads; backward never touches frozen leaves, so no synchronization is
+  // needed.
+  ParallelFor(0, restarts, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t restart = lo; restart < hi; ++restart) {
+      TodGeneratorIface& gen = *generators[restart];
+      gen.InitializeOutputLevel(prior_fraction);
+      nn::Adam opt(gen.Parameters(), config_.recovery_lr);
+      double final_loss = 0.0;
+      for (int epoch = 0; epoch < config_.recovery_epochs; ++epoch) {
+        opt.ZeroGrad();
+        nn::Variable g = gen.Forward();
+        nn::Variable q = model_->VolumeFromTod(g, /*train=*/false, nullptr);
+        nn::Variable v = model_->SpeedFromVolume(q);
+        nn::Variable v_norm =
+            nn::ScalarMul(v, 1.0f / static_cast<float>(speed_scale));
+        // Main loss, Eq. 12 (robustified; see TrainerConfig).
+        nn::Variable loss =
+            config_.recovery_huber_delta > 0.0f
+                ? nn::HuberLoss(v_norm, target, config_.recovery_huber_delta)
+                : nn::MseLoss(v_norm, target);
+        if (aux != nullptr && aux->active()) {
+          loss = nn::Add(loss, aux->Compute(g, q, v));  // Eq. 13
+        }
+        if (config_.recovery_prior_weight > 0.0f) {
+          nn::Variable g_norm =
+              nn::ScalarMul(g, 1.0f / model_->config().tod_scale);
+          loss = nn::Add(loss, nn::ScalarMul(nn::MseLoss(g_norm, prior_mean),
+                                             config_.recovery_prior_weight));
+        }
+        loss.Backward();
+        opt.ClipGrad(config_.grad_clip);
+        opt.Step();
+        final_loss = loss.value()[0];
+        if (config_.verbose && epoch % 50 == 0) {
+          LOG(INFO) << "recovery restart " << restart << " epoch " << epoch
+                    << " loss " << final_loss;
+        }
+      }
+      losses[restart] = final_loss;
+    }
+  });
+
+  int best = 0;
+  for (int restart = 1; restart < restarts; ++restart) {
+    if (losses[restart] < losses[best]) best = restart;
+  }
+  // Adopt the winner: the model's generator carries the best restart's
+  // state, as if that restart had been the only (serial) fit.
+  model_->tod_generation().CopyParametersFrom(*generators[best]);
+  model_->tod_generation().set_seeds(generators[best]->seeds());
+  nn::Tensor best_tod = model_->GenerateTod().value();
+
   model_->tod_volume().SetTrainable(true);
   model_->volume_speed().SetTrainable(true);
-  last_recovery_loss_ = best_loss;
+  last_recovery_loss_ = losses[best];
   return od::TodTensor(nn::ToDMat(best_tod));
 }
 

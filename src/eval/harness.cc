@@ -7,6 +7,7 @@
 #include "baselines/nn_baseline.h"
 #include "baselines/ovs_estimator.h"
 #include "util/bench_config.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ovs::eval {
@@ -67,6 +68,21 @@ MethodResult Experiment::Run(baselines::OdEstimator* estimator) const {
   result.recover_seconds = timer.ElapsedSeconds();
   result.rmse = Score(recovered);
   return result;
+}
+
+std::vector<MethodResult> Experiment::RunAll(
+    const std::vector<std::unique_ptr<baselines::OdEstimator>>& suite) const {
+  std::vector<MethodResult> results(suite.size());
+  // Each estimator builds and trains its own models from the shared
+  // read-only context, so methods are independent scenarios; ops nested
+  // inside a concurrently running method degrade to serial automatically.
+  ParallelFor(0, static_cast<int64_t>(suite.size()), 1,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  results[i] = Run(suite[i].get());
+                }
+              });
+  return results;
 }
 
 std::vector<std::unique_ptr<baselines::OdEstimator>> MakeMethodSuite() {

@@ -40,6 +40,14 @@ class Experiment {
   /// Runs one estimator through recover + re-simulate + score.
   MethodResult Run(baselines::OdEstimator* estimator) const;
 
+  /// Runs every estimator of a suite, fanning the scenarios out over the
+  /// global thread pool (results come back in input order regardless of
+  /// scheduling; each method is itself deterministic, so the table is
+  /// bitwise-identical for any thread count). Per-method wall-clock times
+  /// include contention when methods share cores.
+  std::vector<MethodResult> RunAll(
+      const std::vector<std::unique_ptr<baselines::OdEstimator>>& suite) const;
+
   /// Scores an externally produced TOD tensor (used by ablation variants
   /// that share training).
   RmseTriple Score(const od::TodTensor& recovered) const;

@@ -1,12 +1,25 @@
 #include "nn/ops.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+
+#include "util/thread_pool.h"
 
 namespace ovs::nn {
 
 namespace {
 
 using internal::VariableNode;
+
+/// Row-block grain for the GEMM ParallelFors: each chunk should carry at
+/// least this many multiply-adds, so small products stay on the calling
+/// thread instead of paying dispatch overhead.
+constexpr int64_t kMinGemmWorkPerChunk = 1 << 15;
+
+int64_t GemmRowGrain(int64_t work_per_row) {
+  return std::max<int64_t>(1, kMinGemmWorkPerChunk / std::max<int64_t>(1, work_per_row));
+}
 
 /// Accumulates `delta` into parent i's grad if that parent wants gradients.
 void AccumulateInto(VariableNode& n, size_t parent, const Tensor& delta) {
@@ -26,15 +39,20 @@ void GemmNN(const Tensor& a, const Tensor& b, Tensor* c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c->data();
-  for (int i = 0; i < n; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const float av = pa[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = pb + p * m;
-      float* crow = pc + i * m;
-      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+  // Row-blocked over the output: each thread owns a contiguous range of
+  // c rows, and every element keeps its serial accumulation order (p
+  // ascending), so results are bitwise-identical for any thread count.
+  ParallelFor(0, n, GemmRowGrain(int64_t{k} * m), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      for (int p = 0; p < k; ++p) {
+        const float av = pa[i * k + p];
+        if (av == 0.0f) continue;
+        const float* brow = pb + p * m;
+        float* crow = pc + i * m;
+        for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 void GemmNT(const Tensor& a, const Tensor& b, Tensor* c) {
@@ -46,15 +64,19 @@ void GemmNT(const Tensor& a, const Tensor& b, Tensor* c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c->data();
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < k; ++j) {
-      const float* arow = pa + i * m;
-      const float* brow = pb + j * m;
-      float acc = 0.0f;
-      for (int p = 0; p < m; ++p) acc += arow[p] * brow[p];
-      pc[i * k + j] += acc;
+  // Row-blocked over c; each c element is one dot product, fully computed
+  // by a single thread in serial order.
+  ParallelFor(0, n, GemmRowGrain(int64_t{k} * m), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      for (int j = 0; j < k; ++j) {
+        const float* arow = pa + i * m;
+        const float* brow = pb + j * m;
+        float acc = 0.0f;
+        for (int p = 0; p < m; ++p) acc += arow[p] * brow[p];
+        pc[i * k + j] += acc;
+      }
     }
-  }
+  });
 }
 
 void GemmTN(const Tensor& a, const Tensor& b, Tensor* c) {
@@ -66,15 +88,20 @@ void GemmTN(const Tensor& a, const Tensor& b, Tensor* c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c->data();
-  for (int i = 0; i < n; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const float av = pa[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = pb + i * m;
+  // c rows are indexed by p (columns of a); blocking over p gives each
+  // thread disjoint output rows. The i loop stays innermost-ascending, so
+  // each element accumulates its terms in the same order as a serial run.
+  ParallelFor(0, k, GemmRowGrain(int64_t{n} * m), [&](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
       float* crow = pc + p * m;
-      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+      for (int i = 0; i < n; ++i) {
+        const float av = pa[i * k + p];
+        if (av == 0.0f) continue;
+        const float* brow = pb + i * m;
+        for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -196,16 +223,22 @@ Variable FixedMatMul(const Tensor& a, const Variable& x) {
   GemmNN(a, x.value(), &out);
   return Variable::MakeNode(std::move(out), {x}, [a](VariableNode& n) {
     if (!n.parents[0]->requires_grad) return;
-    // dx = a^T * g
+    // dx = a^T * g. Blocked over j (rows of gx) so threads write disjoint
+    // rows; i stays ascending per element, matching the serial order.
     const int rows = a.dim(0), cols = a.dim(1), t = n.grad.dim(1);
     Tensor& gx = n.parents[0]->MutableGrad();
-    for (int i = 0; i < rows; ++i) {
-      for (int j = 0; j < cols; ++j) {
-        const float av = a[i * cols + j];
-        if (av == 0.0f) continue;
-        for (int u = 0; u < t; ++u) gx[j * t + u] += av * n.grad[i * t + u];
-      }
-    }
+    ParallelFor(0, cols, GemmRowGrain(int64_t{rows} * t),
+                [&](int64_t j0, int64_t j1) {
+                  for (int64_t j = j0; j < j1; ++j) {
+                    for (int i = 0; i < rows; ++i) {
+                      const float av = a[i * cols + static_cast<int>(j)];
+                      if (av == 0.0f) continue;
+                      for (int u = 0; u < t; ++u) {
+                        gx[static_cast<int>(j) * t + u] += av * n.grad[i * t + u];
+                      }
+                    }
+                  }
+                });
   });
 }
 

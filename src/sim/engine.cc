@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace ovs::sim {
+
+namespace {
+
+/// Block size for the per-link ParallelFors. Per-link work is light, so
+/// small grids stay on the calling thread and only city-scale nets fan out.
+constexpr int64_t kLinkGrain = 256;
+
+}  // namespace
 
 Engine::Engine(const RoadNet* net, EngineConfig config)
     : net_(net), config_(config), signals_(net, config.signal_plan) {
@@ -114,22 +124,34 @@ void Engine::Step(int step, double now, int interval, SensorData* out) {
   // Actuated control: collect per-approach calls, then advance the
   // controller before movement decisions are made this step.
   if (actuated_ != nullptr) {
-    std::fill(approach_demand_.begin(), approach_demand_.end(), false);
-    for (const Link& link : net_->links()) {
-      for (const auto& lane_q : link_states_[link.id].lanes) {
-        if (lane_q.empty()) continue;
-        const VehicleState& front = vehicles_[lane_q.front()];
-        if (link.length_m - front.pos_m <= config_.actuation_distance_m) {
-          approach_demand_[link.id] = true;
-          break;
+    // Per-link read-only scan with a disjoint per-link flag write — safe
+    // and bitwise-deterministic for any thread count.
+    ParallelFor(0, net_->num_links(), kLinkGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t id = lo; id < hi; ++id) {
+        const Link& link = net_->link(static_cast<LinkId>(id));
+        char demand = 0;
+        for (const auto& lane_q : link_states_[id].lanes) {
+          if (lane_q.empty()) continue;
+          const VehicleState& front = vehicles_[lane_q.front()];
+          if (link.length_m - front.pos_m <= config_.actuation_distance_m) {
+            demand = 1;
+            break;
+          }
         }
+        approach_demand_[id] = demand;
       }
-    }
+    });
     actuated_->Update(now, approach_demand_);
   }
 
   // Sequential front-to-back update per lane. Followers see their leader's
   // already-updated position, which keeps platoons stable at dt = 1 s.
+  // This sweep stays serial on purpose: crossings couple links (a front
+  // vehicle reads the *current* rear space of its next link and pushes
+  // itself into that link's lane queue), so the outcome depends on link
+  // visit order. Parallelizing it would either race on the lane queues or
+  // change results with the thread count, breaking the bitwise-determinism
+  // guarantee the parallel layer makes (see DESIGN.md).
   for (const Link& link : net_->links()) {
     LinkRuntime& state = link_states_[link.id];
     const double desired = LinkDesiredSpeed(link.id);
@@ -254,15 +276,20 @@ void Engine::Step(int step, double now, int interval, SensorData* out) {
   }
 
   // Speed sensing: every active vehicle contributes its current speed to its
-  // current link's accumulator.
-  for (const Link& link : net_->links()) {
-    for (const auto& lane_q : link_states_[link.id].lanes) {
-      for (int vid : lane_q) {
-        speed_sum_[link.id] += vehicles_[vid].speed;
-        speed_obs_[link.id] += 1;
+  // current link's accumulator. Each link's accumulators are written only by
+  // the thread owning its block, and the per-link summation order (lane,
+  // then queue position) is independent of the blocking, so the sums are
+  // bitwise-identical for any thread count.
+  ParallelFor(0, net_->num_links(), kLinkGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t id = lo; id < hi; ++id) {
+      for (const auto& lane_q : link_states_[id].lanes) {
+        for (int vid : lane_q) {
+          speed_sum_[id] += vehicles_[vid].speed;
+          speed_obs_[id] += 1;
+        }
       }
     }
-  }
+  });
 }
 
 SensorData Engine::Run() {
@@ -289,14 +316,19 @@ SensorData Engine::Run() {
     const int interval =
         std::min(intervals - 1, static_cast<int>(now / config_.interval_s));
     if (interval != current_interval) {
-      // Flush the finished interval's speed accumulators.
-      for (int l = 0; l < net_->num_links(); ++l) {
-        out.speed.at(l, current_interval) =
-            speed_obs_[l] > 0 ? speed_sum_[l] / speed_obs_[l]
-                              : LinkDesiredSpeed(l);
-        speed_sum_[l] = 0.0;
-        speed_obs_[l] = 0;
-      }
+      // Flush the finished interval's speed accumulators (disjoint per-link
+      // writes; deterministic for any thread count).
+      ParallelFor(0, net_->num_links(), kLinkGrain,
+                  [&](int64_t lo, int64_t hi) {
+                    for (int64_t l = lo; l < hi; ++l) {
+                      out.speed.at(static_cast<int>(l), current_interval) =
+                          speed_obs_[l] > 0
+                              ? speed_sum_[l] / speed_obs_[l]
+                              : LinkDesiredSpeed(static_cast<LinkId>(l));
+                      speed_sum_[l] = 0.0;
+                      speed_obs_[l] = 0;
+                    }
+                  });
       current_interval = interval;
     }
     Step(step, now, interval, &out);

@@ -157,7 +157,7 @@ class Engine {
   EngineConfig config_;
   SignalController signals_;
   std::unique_ptr<ActuatedSignalController> actuated_;
-  std::vector<bool> approach_demand_;  ///< scratch, per link per step
+  std::vector<char> approach_demand_;  ///< scratch, per link per step
 
   std::vector<VehicleState> vehicles_;
   std::vector<LinkRuntime> link_states_;

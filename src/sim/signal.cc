@@ -58,7 +58,7 @@ ActuatedSignalController::ActuatedSignalController(const RoadNet* net,
 }
 
 void ActuatedSignalController::Update(double time_s,
-                                      const std::vector<bool>& approach_demand) {
+                                      const std::vector<char>& approach_demand) {
   CHECK_EQ(static_cast<int>(approach_demand.size()), net_->num_links());
   for (const Intersection& node : net_->intersections()) {
     if (!node.signalized || node.incoming.size() <= 1) continue;

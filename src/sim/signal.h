@@ -43,9 +43,11 @@ class ActuatedSignalController {
   ActuatedSignalController(const RoadNet* net, Params params);
 
   /// Advances controller state to `time_s` given per-link "has a vehicle
-  /// within actuation distance of the stop line" flags. Call once per step,
-  /// with non-decreasing time.
-  void Update(double time_s, const std::vector<bool>& approach_demand);
+  /// within actuation distance of the stop line" flags (nonzero = demand;
+  /// char instead of vector<bool> so the engine can fill the flags from
+  /// parallel per-link scans without bit-packing races). Call once per
+  /// step, with non-decreasing time.
+  void Update(double time_s, const std::vector<char>& approach_demand);
 
   /// True if the movement out of `incoming_link` is currently green.
   bool IsGreen(LinkId incoming_link) const;

@@ -1,0 +1,75 @@
+#ifndef OVS_UTIL_THREAD_POOL_H_
+#define OVS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ovs {
+
+/// Fixed-size worker pool backing ParallelFor. A pool of size N provides
+/// N-way parallelism: N-1 resident workers plus the calling thread, which
+/// always participates in its own parallel regions (so a pool of size 1 has
+/// no workers and every ParallelFor runs inline).
+///
+/// Determinism contract: ParallelFor partitions [begin, end) into contiguous
+/// blocks and each block is executed by exactly one thread, in ascending
+/// index order within the block. Callers that write disjoint outputs per
+/// index (the only usage pattern in this codebase) therefore produce
+/// bitwise-identical results for every pool size, including 1.
+class ThreadPool {
+ public:
+  /// Creates a pool providing `num_threads`-way parallelism (clamped to
+  /// >= 1). `num_threads == 1` means fully serial.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Applies `fn(lo, hi)` over contiguous chunks covering [begin, end).
+  /// Chunks are at most `grain` indices wide (grain < 1 is treated as 1).
+  /// Runs inline (one call with the full range) when the range fits in a
+  /// single chunk, when the pool is serial, or when called from inside
+  /// another ParallelFor on this pool (nested calls degrade to serial
+  /// instead of deadlocking). The first exception thrown by `fn` is
+  /// rethrown on the calling thread after all chunks have drained.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  void WorkerMain();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool used by the nn ops, the trainer, the simulator, and the
+/// eval harness. Sized on first use from OVS_NUM_THREADS if set (>= 1), else
+/// std::thread::hardware_concurrency().
+ThreadPool* GlobalThreadPool();
+
+/// Replaces the global pool with one of the given size (>= 1). Not safe to
+/// call while another thread is inside a ParallelFor on the global pool.
+void SetGlobalThreads(int num_threads);
+
+/// Parallelism of the global pool (>= 1).
+int GlobalThreadCount();
+
+/// ParallelFor on the global pool.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace ovs
+
+#endif  // OVS_UTIL_THREAD_POOL_H_

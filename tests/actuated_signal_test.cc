@@ -39,7 +39,7 @@ TEST(ActuatedSignalTest, ServesDirectionWithDemand) {
   ASSERT_GE(ew, 0);
 
   // Demand only on EW: after min green + all red, EW must get green.
-  std::vector<bool> demand(net.num_links(), false);
+  std::vector<char> demand(net.num_links(), 0);
   demand[ew] = true;
   bool saw_ew_green = false;
   for (double t = 0.0; t < 60.0; t += 1.0) {
@@ -62,7 +62,7 @@ TEST(ActuatedSignalTest, RespectsMinGreen) {
     (net.LinkIsNorthSouth(l) ? ns : ew) = l;
   }
   // Cross demand from t=0 but served direction stays green for min_green.
-  std::vector<bool> demand(net.num_links(), false);
+  std::vector<char> demand(net.num_links(), 0);
   demand[ew] = true;
   controller.Update(0.0, demand);
   ASSERT_TRUE(controller.IsGreen(ns));
@@ -83,7 +83,7 @@ TEST(ActuatedSignalTest, MaxGreenForcesSwitchUnderContention) {
     (net.LinkIsNorthSouth(l) ? ns : ew) = l;
   }
   // Demand on both directions forever: the NS phase must end by max green.
-  std::vector<bool> demand(net.num_links(), false);
+  std::vector<char> demand(net.num_links(), 0);
   demand[ns] = true;
   demand[ew] = true;
   bool ew_served = false;
@@ -102,7 +102,7 @@ TEST(ActuatedSignalTest, ConflictingDirectionsNeverBothGreen) {
     (net.LinkIsNorthSouth(l) ? ns : ew) = l;
   }
   ovs::Rng rng(5);
-  std::vector<bool> demand(net.num_links(), false);
+  std::vector<char> demand(net.num_links(), 0);
   for (double t = 0.0; t < 200.0; t += 1.0) {
     for (LinkId l : net.intersection(0).incoming) {
       demand[l] = rng.Bernoulli(0.4);
@@ -118,7 +118,7 @@ TEST(ActuatedSignalTest, SingleApproachAlwaysGreen) {
   net.AddIntersection(300, 0);
   LinkId l = net.AddLink(0, 1, 300, 1, 10);
   ActuatedSignalController controller(&net, {});
-  std::vector<bool> demand(net.num_links(), false);
+  std::vector<char> demand(net.num_links(), 0);
   controller.Update(0.0, demand);
   EXPECT_TRUE(controller.IsGreen(l));
 }

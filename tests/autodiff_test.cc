@@ -236,6 +236,32 @@ TEST(GradTest, FixedMatMul) {
       [&] { return Sum(Mul(FixedMatMul(a, x), FixedMatMul(a, x))); }, {x});
 }
 
+TEST(GradTest, FixedMatMulNonSquare) {
+  Rng rng(150);
+  Tensor a = RandT({5, 2}, &rng);
+  Variable x = Param(RandT({2, 7}, &rng));
+  ExpectGradientsMatch(
+      [&] { return Sum(Mul(FixedMatMul(a, x), FixedMatMul(a, x))); }, {x});
+}
+
+TEST(GradTest, FixedMatMulOneRow) {
+  Rng rng(151);
+  Tensor a = RandT({1, 4}, &rng);
+  Variable x = Param(RandT({4, 3}, &rng));
+  ExpectGradientsMatch(
+      [&] { return Sum(Mul(FixedMatMul(a, x), FixedMatMul(a, x))); }, {x});
+}
+
+TEST(GradTest, MatMulNonSquareAndOneRow) {
+  Rng rng(152);
+  Variable a = Param(RandT({1, 6}, &rng)), b = Param(RandT({6, 3}, &rng));
+  ExpectGradientsMatch([&] { return Sum(Mul(MatMul(a, b), MatMul(a, b))); },
+                       {a, b});
+  Variable c = Param(RandT({5, 2}, &rng)), d = Param(RandT({2, 1}, &rng));
+  ExpectGradientsMatch([&] { return Sum(Mul(MatMul(c, d), MatMul(c, d))); },
+                       {c, d});
+}
+
 TEST(GradTest, Sigmoid) {
   Rng rng(16);
   Variable x = Param(RandT({6}, &rng, -2, 2));
@@ -264,6 +290,56 @@ TEST(GradTest, SoftmaxRows) {
   Tensor weight = RandT({3, 4}, &rng);
   ExpectGradientsMatch([&] { return Sum(MulConst(SoftmaxRows(x), weight)); },
                        {x});
+}
+
+TEST(GradTest, SoftmaxRowsNonSquareAndOneRow) {
+  Rng rng(190);
+  Variable wide = Param(RandT({2, 7}, &rng, -1, 1));
+  Tensor w_wide = RandT({2, 7}, &rng);
+  ExpectGradientsMatch(
+      [&] { return Sum(MulConst(SoftmaxRows(wide), w_wide)); }, {wide});
+  Variable row = Param(RandT({1, 5}, &rng, -1, 1));
+  Tensor w_row = RandT({1, 5}, &rng);
+  ExpectGradientsMatch([&] { return Sum(MulConst(SoftmaxRows(row), w_row)); },
+                       {row});
+}
+
+TEST(GradTest, MulConst) {
+  Rng rng(191);
+  Variable x = Param(RandT({3, 5}, &rng));
+  Tensor c = RandT({3, 5}, &rng, -2, 2);
+  ExpectGradientsMatch([&] { return Sum(Mul(MulConst(x, c), x)); }, {x});
+  Variable row = Param(RandT({1, 6}, &rng));
+  Tensor c_row = RandT({1, 6}, &rng, -2, 2);
+  ExpectGradientsMatch([&] { return Sum(Mul(MulConst(row, c_row), row)); },
+                       {row});
+}
+
+TEST(GradTest, DropoutEvalMode) {
+  Rng rng(192);
+  Variable x = Param(RandT({2, 4}, &rng));
+  ExpectGradientsMatch(
+      [&] {
+        Rng unused(1);
+        Variable y = Dropout(x, 0.5f, /*train=*/false, &unused);
+        return Sum(Mul(y, y));
+      },
+      {x});
+}
+
+TEST(GradTest, DropoutTrainModeFixedMask) {
+  Rng rng(193);
+  Variable x = Param(RandT({4, 3}, &rng));
+  // A fresh generator with a fixed seed is built on every forward call so
+  // the mask is identical across the finite-difference evaluations; the
+  // gradient of the surviving elements is then well defined.
+  ExpectGradientsMatch(
+      [&] {
+        Rng mask_rng(77);
+        Variable y = Dropout(x, 0.4f, /*train=*/true, &mask_rng);
+        return Sum(Mul(y, y));
+      },
+      {x});
 }
 
 TEST(GradTest, Conv1dBatch) {

@@ -4,6 +4,7 @@
 #include "data/cities.h"
 #include "eval/harness.h"
 #include "eval/metrics.h"
+#include "util/thread_pool.h"
 
 namespace ovs::eval {
 namespace {
@@ -111,6 +112,32 @@ TEST(HarnessTest, RunProducesTimedResult) {
   EXPECT_EQ(result.method, "Gravity");
   EXPECT_GT(result.recover_seconds, 0.0);
   EXPECT_GT(result.rmse.tod, 0.0);
+}
+
+TEST(HarnessTest, RunAllMatchesSerialRunsInInputOrder) {
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  HarnessConfig config;
+  config.num_train_samples = 2;
+  Experiment experiment(&ds, config);
+  // Two cheap deterministic estimators with distinct parameters, fanned out
+  // over a 4-thread pool: results must come back in input order with the
+  // exact scores a serial Run produces.
+  SetGlobalThreads(4);
+  std::vector<std::unique_ptr<baselines::OdEstimator>> suite;
+  suite.push_back(std::make_unique<baselines::GravityEstimator>(
+      std::vector<double>{10.0, 30.0}));
+  suite.push_back(std::make_unique<baselines::GravityEstimator>(
+      std::vector<double>{5.0, 60.0}));
+  std::vector<MethodResult> fanned = experiment.RunAll(suite);
+  SetGlobalThreads(1);
+  ASSERT_EQ(fanned.size(), 2u);
+  for (size_t i = 0; i < suite.size(); ++i) {
+    MethodResult serial = experiment.Run(suite[i].get());
+    EXPECT_EQ(fanned[i].method, serial.method);
+    EXPECT_EQ(fanned[i].rmse.tod, serial.rmse.tod) << "method " << i;
+    EXPECT_EQ(fanned[i].rmse.volume, serial.rmse.volume) << "method " << i;
+    EXPECT_EQ(fanned[i].rmse.speed, serial.rmse.speed) << "method " << i;
+  }
 }
 
 TEST(HarnessTest, MethodSuiteHasPaperMethods) {

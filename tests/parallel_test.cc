@@ -1,0 +1,215 @@
+// Determinism of the threaded hot paths: the results of training, recovery,
+// and the underlying GEMMs must be bitwise-identical regardless of the
+// global thread-pool size. Each scenario is run at 1 thread and at 4 threads
+// from identical seeds and compared exactly (EXPECT_EQ on floats — no
+// tolerance).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ovs_model.h"
+#include "core/trainer.h"
+#include "core/training_data.h"
+#include "data/cities.h"
+#include "nn/convert.h"
+#include "nn/ops.h"
+#include "util/thread_pool.h"
+
+namespace ovs {
+namespace {
+
+// Restores the global pool size on scope exit so test order does not matter.
+struct ThreadGuard {
+  explicit ThreadGuard(int threads) : before(GlobalThreadCount()) {
+    SetGlobalThreads(threads);
+  }
+  ~ThreadGuard() { SetGlobalThreads(before); }
+  int before;
+};
+
+// ------------------------------------------------------------------ GEMMs --
+
+struct MatMulRun {
+  nn::Tensor value;
+  nn::Tensor grad_a;
+  nn::Tensor grad_b;
+};
+
+MatMulRun RunMatMul(int threads, std::vector<int> a_shape,
+                    std::vector<int> b_shape) {
+  ThreadGuard guard(threads);
+  Rng rng(99);
+  nn::Variable a(nn::Tensor::RandomUniform(std::move(a_shape), -1, 1, &rng),
+                 true);
+  nn::Variable b(nn::Tensor::RandomUniform(std::move(b_shape), -1, 1, &rng),
+                 true);
+  a.ZeroGrad();
+  b.ZeroGrad();
+  nn::Variable c = nn::MatMul(a, b);
+  nn::Sum(nn::Mul(c, c)).Backward();
+  return {c.value(), a.grad(), b.grad()};
+}
+
+void ExpectTensorsIdentical(const nn::Tensor& x, const nn::Tensor& y,
+                            const std::string& what) {
+  ASSERT_EQ(x.numel(), y.numel()) << what;
+  for (int i = 0; i < x.numel(); ++i) {
+    ASSERT_EQ(x[i], y[i]) << what << " element " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, MatMulForwardBackwardBitwiseIdentical) {
+  // Non-square shapes so row/col/inner dims all differ; big enough that the
+  // 4-thread run actually splits into multiple chunks.
+  const std::vector<std::pair<std::vector<int>, std::vector<int>>> shapes = {
+      {{64, 96}, {96, 48}},   // wide inner dim
+      {{1, 80}, {80, 33}},    // single output row
+      {{130, 7}, {7, 130}},   // skinny inner dim
+  };
+  for (const auto& [a_shape, b_shape] : shapes) {
+    MatMulRun serial = RunMatMul(1, a_shape, b_shape);
+    MatMulRun threaded = RunMatMul(4, a_shape, b_shape);
+    ExpectTensorsIdentical(serial.value, threaded.value, "forward");
+    ExpectTensorsIdentical(serial.grad_a, threaded.grad_a, "grad a");
+    ExpectTensorsIdentical(serial.grad_b, threaded.grad_b, "grad b");
+  }
+}
+
+TEST(ParallelDeterminismTest, FixedMatMulBitwiseIdentical) {
+  auto run = [](int threads) {
+    ThreadGuard guard(threads);
+    Rng rng(5);
+    nn::Tensor a = nn::Tensor::RandomUniform({90, 40}, -1, 1, &rng);
+    nn::Variable x(nn::Tensor::RandomUniform({40, 70}, -1, 1, &rng), true);
+    x.ZeroGrad();
+    nn::Variable y = nn::FixedMatMul(a, x);
+    nn::Sum(nn::Mul(y, y)).Backward();
+    return std::make_pair(y.value(), x.grad());
+  };
+  auto [v1, g1] = run(1);
+  auto [v4, g4] = run(4);
+  ExpectTensorsIdentical(v1, v4, "forward");
+  ExpectTensorsIdentical(g1, g4, "grad x");
+}
+
+// --------------------------------------------------------------- Training --
+
+struct TrainingRun {
+  std::vector<double> stage1;
+  std::vector<double> stage2;
+  std::vector<std::pair<std::string, nn::Tensor>> params;
+  DMat recovered;
+  double recovery_loss = 0.0;
+};
+
+// Full pipeline from fixed seeds: stage-1, stage-2, then a 2-restart
+// recovery. Everything downstream of the thread count must be identical.
+TrainingRun RunPipeline(int threads) {
+  ThreadGuard guard(threads);
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  core::TrainingData train = core::GenerateTrainingData(ds, 4, 42);
+
+  Rng rng(3);
+  core::OvsConfig config;
+  config.lstm_hidden = 8;
+  config.speed_head_hidden = 8;
+  config.tod_scale = static_cast<float>(train.tod_scale);
+  config.volume_norm = static_cast<float>(train.volume_norm);
+  config.speed_scale = static_cast<float>(train.speed_scale);
+  core::OvsModel model(ds.num_od(), ds.num_links(), ds.num_intervals(),
+                       ds.incidence, config, &rng);
+  core::TrainerConfig tc;
+  tc.stage1_epochs = 12;
+  tc.stage2_epochs = 12;
+  tc.recovery_epochs = 20;
+  tc.recovery_restarts = 2;
+  core::OvsTrainer trainer(&model, tc);
+
+  TrainingRun run;
+  run.stage1 = trainer.TrainVolumeSpeed(train);
+  run.stage2 = trainer.TrainTodVolume(train);
+  core::TrainingSample gt = core::SimulateGroundTruth(ds, 4242);
+  run.recovered = trainer.RecoverTod(gt.speed, nullptr, &rng).mat();
+  run.recovery_loss = trainer.last_recovery_loss();
+  for (const auto& [name, p] : model.NamedParameters()) {
+    run.params.emplace_back(name, p.value());
+  }
+  return run;
+}
+
+TEST(ParallelDeterminismTest, TrainingAndRecoveryBitwiseIdentical) {
+  TrainingRun serial = RunPipeline(1);
+  TrainingRun threaded = RunPipeline(4);
+
+  // Loss curves, element by element, exact.
+  ASSERT_EQ(serial.stage1.size(), threaded.stage1.size());
+  for (size_t i = 0; i < serial.stage1.size(); ++i) {
+    ASSERT_EQ(serial.stage1[i], threaded.stage1[i]) << "stage1 epoch " << i;
+  }
+  ASSERT_EQ(serial.stage2.size(), threaded.stage2.size());
+  for (size_t i = 0; i < serial.stage2.size(); ++i) {
+    ASSERT_EQ(serial.stage2[i], threaded.stage2[i]) << "stage2 epoch " << i;
+  }
+
+  // Every named parameter of the full model, exact.
+  ASSERT_EQ(serial.params.size(), threaded.params.size());
+  for (size_t i = 0; i < serial.params.size(); ++i) {
+    ASSERT_EQ(serial.params[i].first, threaded.params[i].first);
+    ExpectTensorsIdentical(serial.params[i].second, threaded.params[i].second,
+                           serial.params[i].first);
+  }
+
+  // The recovered TOD tensor and its final loss, exact.
+  ASSERT_EQ(serial.recovery_loss, threaded.recovery_loss);
+  ASSERT_EQ(serial.recovered.rows(), threaded.recovered.rows());
+  ASSERT_EQ(serial.recovered.cols(), threaded.recovered.cols());
+  for (int i = 0; i < serial.recovered.rows(); ++i) {
+    for (int j = 0; j < serial.recovered.cols(); ++j) {
+      ASSERT_EQ(serial.recovered.at(i, j), threaded.recovered.at(i, j))
+          << "recovered TOD (" << i << "," << j << ")";
+    }
+  }
+}
+
+// A 1-restart recovery must also match: restart 0 reuses the generator's
+// current seeds, so the concurrent-restart code path reproduces the original
+// serial recovery exactly.
+TEST(ParallelDeterminismTest, SingleRestartMatchesAcrossThreadCounts) {
+  auto run = [](int threads) {
+    ThreadGuard guard(threads);
+    data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+    core::TrainingData train = core::GenerateTrainingData(ds, 3, 7);
+    Rng rng(11);
+    core::OvsConfig config;
+    config.lstm_hidden = 8;
+    config.speed_head_hidden = 8;
+    config.tod_scale = static_cast<float>(train.tod_scale);
+    config.volume_norm = static_cast<float>(train.volume_norm);
+    config.speed_scale = static_cast<float>(train.speed_scale);
+    core::OvsModel model(ds.num_od(), ds.num_links(), ds.num_intervals(),
+                         ds.incidence, config, &rng);
+    core::TrainerConfig tc;
+    tc.stage1_epochs = 8;
+    tc.stage2_epochs = 8;
+    tc.recovery_epochs = 15;
+    tc.recovery_restarts = 1;
+    core::OvsTrainer trainer(&model, tc);
+    trainer.TrainVolumeSpeed(train);
+    trainer.TrainTodVolume(train);
+    core::TrainingSample gt = core::SimulateGroundTruth(ds, 4242);
+    return trainer.RecoverTod(gt.speed, nullptr, &rng).mat();
+  };
+  DMat serial = run(1);
+  DMat threaded = run(4);
+  for (int i = 0; i < serial.rows(); ++i) {
+    for (int j = 0; j < serial.cols(); ++j) {
+      ASSERT_EQ(serial.at(i, j), threaded.at(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ovs

@@ -3,6 +3,11 @@
 #include <cstdio>
 #include <filesystem>
 
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
 #include "util/bench_config.h"
 #include "util/csv.h"
 #include "util/linalg.h"
@@ -11,6 +16,7 @@
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace ovs {
 namespace {
@@ -395,6 +401,104 @@ TEST(LinalgTest, RidgeFitRecoversLinearMap) {
   StatusOr<DMat> fit = RidgeFitLeft(q, g, 1e-6);
   ASSERT_TRUE(fit.ok());
   EXPECT_NEAR(Rmse(fit.value(), x_true), 0.0, 1e-4);
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeRunsSingleInlineCall) {
+  ThreadPool pool(4);
+  int calls = 0;
+  int64_t lo = -1, hi = -1;
+  pool.ParallelFor(2, 9, 100, [&](int64_t b, int64_t e) {
+    ++calls;
+    lo = b;
+    hi = e;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(lo, 2);
+  EXPECT_EQ(hi, 9);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (int64_t grain : {1, 3, 7, 64, 1000}) {
+    const int64_t n = 257;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h = 0;
+    pool.ParallelFor(0, n, grain, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) ++hits[i];
+    });
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolIsSerial) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int64_t> order;
+  pool.ParallelFor(0, 10, 2, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) order.push_back(i);
+  });
+  std::vector<int64_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](int64_t b, int64_t) {
+                         if (b >= 50) throw std::runtime_error("chunk failed");
+                       }),
+      std::runtime_error);
+  // The pool must still be usable after a failed region.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 10, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDegradesToSerialWithoutDeadlock) {
+  ThreadPool pool(4);
+  const int64_t outer = 8, inner = 16;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(0, outer, 1, [&](int64_t ob, int64_t oe) {
+    for (int64_t o = ob; o < oe; ++o) {
+      // Inside a worker-executed region this must run inline on the calling
+      // thread rather than re-entering the pool.
+      pool.ParallelFor(0, inner, 1, [&](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) ++hits[o * inner + i];
+      });
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolResize) {
+  const int before = GlobalThreadCount();
+  SetGlobalThreads(3);
+  EXPECT_EQ(GlobalThreadCount(), 3);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 100, 10, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 4950);
+  SetGlobalThreads(before);
 }
 
 // ----------------------------------------------------------- BenchConfig --
