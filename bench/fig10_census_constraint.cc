@@ -5,6 +5,7 @@
 // census value. The TOD2V/V2S mappings are trained once and shared; only the
 // recovery differs.
 
+#include <tuple>
 #include <cmath>
 #include <cstdio>
 
@@ -36,8 +37,8 @@ int main() {
   // Disable the Gaussian prior so the census effect is isolated.
   trainer_config.recovery_prior_weight = 0.0f;
   core::OvsTrainer trainer(&model, trainer_config);
-  trainer.TrainVolumeSpeed(train);
-  trainer.TrainTodVolume(train);
+  std::ignore = trainer.TrainVolumeSpeed(train);
+  std::ignore = trainer.TrainTodVolume(train);
 
   core::TrainingSample ground_truth = core::SimulateGroundTruth(dataset, 4242);
 

@@ -5,6 +5,7 @@
 // scaling reflects per-iteration cost growth (the paper's y-axis scale
 // depends on its 10000-epoch budget).
 
+#include <tuple>
 #include <cstdio>
 
 #include "core/trainer.h"
@@ -52,13 +53,13 @@ int main() {
     core::OvsTrainer trainer(&model, trainer_config);
 
     Timer train_timer;
-    trainer.TrainVolumeSpeed(train);
-    trainer.TrainTodVolume(train);
+    std::ignore = trainer.TrainVolumeSpeed(train);
+    std::ignore = trainer.TrainTodVolume(train);
     const double train_s = train_timer.ElapsedSeconds();
 
     core::TrainingSample ground_truth = core::SimulateGroundTruth(dataset, 4242);
     Timer recover_timer;
-    trainer.RecoverTod(ground_truth.speed, nullptr, &rng);
+    std::ignore = trainer.RecoverTod(ground_truth.speed, nullptr, &rng);
     const double recover_s = recover_timer.ElapsedSeconds();
 
     const double total_s = total.ElapsedSeconds();

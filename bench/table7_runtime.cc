@@ -7,6 +7,7 @@
 // one-off mapping training, and that a single fitted forward pass is
 // sub-second.
 
+#include <tuple>
 #include <cstdio>
 
 #include "core/trainer.h"
@@ -55,13 +56,13 @@ int main() {
     core::OvsTrainer trainer(&model, trainer_config);
 
     Timer train_timer;
-    trainer.TrainVolumeSpeed(train);
-    trainer.TrainTodVolume(train);
+    std::ignore = trainer.TrainVolumeSpeed(train);
+    std::ignore = trainer.TrainTodVolume(train);
     const double train_s = train_timer.ElapsedSeconds();
 
     core::TrainingSample ground_truth = core::SimulateGroundTruth(dataset, 4242);
     Timer recover_timer;
-    trainer.RecoverTod(ground_truth.speed, nullptr, &rng);
+    std::ignore = trainer.RecoverTod(ground_truth.speed, nullptr, &rng);
     const double recover_s = recover_timer.ElapsedSeconds();
 
     Timer forward_timer;

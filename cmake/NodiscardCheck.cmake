@@ -1,0 +1,45 @@
+# Proves at configure time that dropping an ovs::Status return no longer
+# compiles. Two try_compile passes over cmake/checks/drop_status.cc:
+#   1. positive control (result consumed) must COMPILE — guards against the
+#      negative check "passing" because of a broken include path or flag;
+#   2. negative check (result dropped) must NOT compile under
+#      -Werror=unused-result, the same enforcement the OVS_WERROR CI builds
+#      use for the whole tree.
+# Any regression — say someone removes [[nodiscard]] from Status — fails the
+# configure step before a single object file is built.
+
+function(ovs_check_status_nodiscard)
+  set(_src ${CMAKE_SOURCE_DIR}/cmake/checks/drop_status.cc)
+  set(_flags
+      "-DCMAKE_CXX_STANDARD=20"
+      "-DCMAKE_CXX_STANDARD_REQUIRED=ON"
+      "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src")
+
+  try_compile(
+    _use_result_compiles ${CMAKE_BINARY_DIR}/nodiscard_check_pos ${_src}
+    COMPILE_DEFINITIONS "-Werror=unused-result -DOVS_CHECK_USE_RESULT"
+    CMAKE_FLAGS ${_flags}
+    OUTPUT_VARIABLE _pos_output)
+  if(NOT _use_result_compiles)
+    message(
+      FATAL_ERROR
+        "nodiscard check: positive control failed to compile — the probe "
+        "itself is broken, not the contract:\n${_pos_output}")
+  endif()
+
+  try_compile(
+    _drop_compiles ${CMAKE_BINARY_DIR}/nodiscard_check_neg ${_src}
+    COMPILE_DEFINITIONS "-Werror=unused-result"
+    CMAKE_FLAGS ${_flags})
+  if(_drop_compiles)
+    message(
+      FATAL_ERROR
+        "nodiscard check: a dropped ovs::Status compiled cleanly. The "
+        "[[nodiscard]] attribute on Status/StatusOr (util/status.h) has been "
+        "lost; silent error-dropping is possible again.")
+  endif()
+
+  message(STATUS "nodiscard check: dropped ovs::Status is a compile error")
+endfunction()
+
+ovs_check_status_nodiscard()

@@ -1,0 +1,23 @@
+// Negative-compilation probe for the [[nodiscard]] Status contract.
+//
+// Compiled twice by cmake/NodiscardCheck.cmake with -Werror=unused-result:
+//  - without OVS_CHECK_USE_RESULT: drops the Status and MUST fail to compile;
+//  - with OVS_CHECK_USE_RESULT: consumes it and MUST compile (positive
+//    control, so a broken include path can't masquerade as a pass).
+
+#include <tuple>
+
+#include "util/status.h"
+
+namespace {
+ovs::Status Probe() { return ovs::Status::InvalidArgument("probe"); }
+}  // namespace
+
+int main() {
+#ifdef OVS_CHECK_USE_RESULT
+  std::ignore = Probe();
+#else
+  Probe();  // dropped Status: must be rejected by the compiler
+#endif
+  return 0;
+}

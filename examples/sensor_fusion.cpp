@@ -9,6 +9,7 @@
 //
 // Run: ./build/examples/sensor_fusion
 
+#include <tuple>
 #include <cmath>
 #include <cstdio>
 
@@ -41,8 +42,8 @@ int main() {
   trainer_config.recovery_prior_weight = 0.0f;  // isolate the aux effects
   core::OvsTrainer trainer(&model, trainer_config);
   std::printf("training the TOD->volume->speed mappings...\n");
-  trainer.TrainVolumeSpeed(train);
-  trainer.TrainTodVolume(train);
+  std::ignore = trainer.TrainVolumeSpeed(train);
+  std::ignore = trainer.TrainTodVolume(train);
 
   core::TrainingSample truth = core::SimulateGroundTruth(city, 4242);
 

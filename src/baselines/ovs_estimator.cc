@@ -1,5 +1,7 @@
 #include "baselines/ovs_estimator.h"
 
+#include <tuple>
+
 namespace ovs::baselines {
 
 od::TodTensor OvsEstimator::Recover(const EstimatorContext& ctx,
@@ -18,8 +20,9 @@ od::TodTensor OvsEstimator::Recover(const EstimatorContext& ctx,
   core::OvsModel model(ds.num_od(), ds.num_links(), ds.num_intervals(),
                        ds.incidence, config, &rng, params_.ablation);
   core::OvsTrainer trainer(&model, params_.trainer);
-  trainer.TrainVolumeSpeed(train);
-  trainer.TrainTodVolume(train);
+  // Loss curves are diagnostics; the estimator only needs the fitted weights.
+  std::ignore = trainer.TrainVolumeSpeed(train);
+  std::ignore = trainer.TrainTodVolume(train);
 
   core::AuxLossSet aux(params_.aux);
   if (params_.aux.census > 0.0f && !ds.lehd_od_totals.empty()) {

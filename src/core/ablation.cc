@@ -29,7 +29,7 @@ void FcTodGeneration::set_seeds(const nn::Tensor& seeds) {
   seeds_ = seeds;
 }
 
-FcTodVolume::FcTodVolume(int num_od, int num_links, const OvsConfig& config,
+FcTodVolume::FcTodVolume(int num_od, int num_links, const OvsConfig& /*config*/,
                          Rng* rng) {
   w1_ = RegisterParameter(
       "w1", nn::XavierUniform({num_links, num_od}, num_od, num_links, rng));
@@ -42,8 +42,8 @@ FcTodVolume::FcTodVolume(int num_od, int num_links, const OvsConfig& config,
   }
 }
 
-nn::Variable FcTodVolume::Forward(const nn::Variable& g, bool train,
-                                  Rng* dropout_rng) const {
+nn::Variable FcTodVolume::Forward(const nn::Variable& g, bool /*train*/,
+                                  Rng* /*dropout_rng*/) const {
   nn::Variable h = nn::Relu(nn::MatMul(w1_, g));   // [M x T]
   return nn::Relu(nn::MatMul(w2_, h));
 }

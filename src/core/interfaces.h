@@ -24,7 +24,7 @@ class TodGeneratorIface : public nn::Module {
   /// `fraction * tod_scale` (the Gaussian prior mean) instead of the sigmoid
   /// default of 0.5 — otherwise recovery starts biased high and directions
   /// the speed loss cannot see never recover. Default: no-op.
-  virtual void InitializeOutputLevel(float fraction) {}
+  virtual void InitializeOutputLevel(float /*fraction*/) {}
 };
 
 /// Interface of the TOD->Volume stage: [N_od x T] -> [M x T].

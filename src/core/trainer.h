@@ -49,11 +49,11 @@ class OvsTrainer {
 
   /// Stage 1 (paper §V-E step 1): fit Volume->Speed on generated
   /// (volume, speed) pairs. Returns the per-epoch mean loss curve.
-  std::vector<double> TrainVolumeSpeed(const TrainingData& data);
+  [[nodiscard]] std::vector<double> TrainVolumeSpeed(const TrainingData& data);
 
   /// Stage 2 (step 2): freeze V2S, fit TOD->Volume so that the chained
   /// prediction matches generated speed. Returns the loss curve.
-  std::vector<double> TrainTodVolume(const TrainingData& data);
+  [[nodiscard]] std::vector<double> TrainTodVolume(const TrainingData& data);
 
   /// Sets up the recovery prior bookkeeping (training-cell mean and the
   /// per-sample speed/level pairs for the adaptive level estimate) without
@@ -64,11 +64,13 @@ class OvsTrainer {
   /// Test-time recovery: freeze both mappings, fit TOD Generation to the
   /// observed speed (optionally with auxiliary losses), and return the
   /// recovered TOD tensor.
-  od::TodTensor RecoverTod(const DMat& observed_speed, const AuxLossSet* aux,
-                           Rng* rng);
+  [[nodiscard]] od::TodTensor RecoverTod(const DMat& observed_speed,
+                                         const AuxLossSet* aux, Rng* rng);
 
   /// Final main-loss value of the last recovery (normalized units).
-  double last_recovery_loss() const { return last_recovery_loss_; }
+  [[nodiscard]] double last_recovery_loss() const {
+    return last_recovery_loss_;
+  }
 
  private:
   OvsModel* model_;

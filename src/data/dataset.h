@@ -77,25 +77,25 @@ struct Dataset {
 
   sim::EngineConfig engine_config;
 
-  int num_links() const { return net.num_links(); }
-  int num_od() const { return od_set.size(); }
-  int num_intervals() const { return config.num_intervals; }
+  [[nodiscard]] int num_links() const { return net.num_links(); }
+  [[nodiscard]] int num_od() const { return od_set.size(); }
+  [[nodiscard]] int num_intervals() const { return config.num_intervals; }
 
   /// Wall-clock hour at the midpoint of interval t.
-  double HourOfInterval(int t) const {
+  [[nodiscard]] double HourOfInterval(int t) const {
     return config.start_hour + (t + 0.5) * config.interval_s / 3600.0;
   }
 };
 
 /// Builds a dataset from a config. Deterministic given config.seed.
-Dataset BuildDataset(const DatasetConfig& config);
+[[nodiscard]] Dataset BuildDataset(const DatasetConfig& config);
 
 /// Lower-level pieces, exposed for tests and custom datasets ------------
 
 /// Removes roads from a grid network until only ~keep_fraction remain, never
 /// disconnecting the network. Returns the irregularized copy.
-sim::RoadNet IrregularizeGrid(const sim::RoadNet& grid, double keep_fraction,
-                              Rng* rng);
+[[nodiscard]] sim::RoadNet IrregularizeGrid(const sim::RoadNet& grid,
+                                            double keep_fraction, Rng* rng);
 
 /// Assigns region populations: ~120 inhabitants per member intersection with
 /// +-40% spread.
@@ -103,13 +103,14 @@ void AssignPopulations(od::RegionPartition* regions, Rng* rng);
 
 /// Picks the `count` highest-gravity (pop*pop/d^2) routable region pairs at
 /// least `min_separation_m` apart (centroid distance).
-od::OdSet SelectOdPairs(const sim::RoadNet& net,
-                        const od::RegionPartition& regions, int count,
-                        double min_separation_m = 0.0);
+[[nodiscard]] od::OdSet SelectOdPairs(const sim::RoadNet& net,
+                                      const od::RegionPartition& regions,
+                                      int count,
+                                      double min_separation_m = 0.0);
 
 /// Gravity x rhythm x log-normal-noise ground-truth TOD.
-od::TodTensor SynthesizeGroundTruthTod(const Dataset& partial,
-                                       const DatasetConfig& config, Rng* rng);
+[[nodiscard]] od::TodTensor SynthesizeGroundTruthTod(
+    const Dataset& partial, const DatasetConfig& config, Rng* rng);
 
 }  // namespace ovs::data
 

@@ -87,14 +87,11 @@ Mlp::Mlp(const std::vector<int>& layer_sizes, Activation activation, Rng* rng,
     : activation_(activation), activate_last_(activate_last) {
   CHECK_GE(layer_sizes.size(), 2u);
   for (size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
-    auto* layer = new Linear(layer_sizes[i], layer_sizes[i + 1], rng);
-    RegisterModule("fc" + std::to_string(i), layer);
-    layers_.push_back(layer);
+    auto layer =
+        std::make_unique<Linear>(layer_sizes[i], layer_sizes[i + 1], rng);
+    RegisterModule("fc" + std::to_string(i), layer.get());
+    layers_.push_back(std::move(layer));
   }
-}
-
-Mlp::~Mlp() {
-  for (Linear* layer : layers_) delete layer;
 }
 
 Variable Mlp::Forward(const Variable& x) const {

@@ -1,6 +1,7 @@
 #ifndef OVS_NN_LAYERS_H_
 #define OVS_NN_LAYERS_H_
 
+#include <memory>
 #include <vector>
 
 #include "nn/module.h"
@@ -81,7 +82,6 @@ class Mlp : public Module {
 
   Mlp(const std::vector<int>& layer_sizes, Activation activation, Rng* rng,
       bool activate_last = false);
-  ~Mlp() override;
 
   /// x: [N, layer_sizes.front()] -> [N, layer_sizes.back()].
   Variable Forward(const Variable& x) const;
@@ -89,7 +89,7 @@ class Mlp : public Module {
  private:
   Activation activation_;
   bool activate_last_;
-  std::vector<Linear*> layers_;  // owned
+  std::vector<std::unique_ptr<Linear>> layers_;
 };
 
 /// Learned embedding table used for per-link embeddings in the attention

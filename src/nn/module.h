@@ -37,11 +37,11 @@ class Module {
   int NumParameters() const;
 
   /// Serializes all parameters (by name) to a binary file.
-  Status Save(const std::string& path) const;
+  [[nodiscard]] Status Save(const std::string& path) const;
 
   /// Restores parameters from a file written by Save. Fails if any name or
   /// shape does not match the current module structure.
-  Status Load(const std::string& path);
+  [[nodiscard]] Status Load(const std::string& path);
 
   /// Copies parameter values from another module with identical structure.
   void CopyParametersFrom(const Module& other);

@@ -5,10 +5,10 @@
 namespace ovs::od {
 
 const std::vector<TodPattern>& AllTodPatterns() {
-  static const std::vector<TodPattern>* patterns = new std::vector<TodPattern>{
+  static const std::vector<TodPattern> patterns{
       TodPattern::kRandom, TodPattern::kIncreasing, TodPattern::kDecreasing,
       TodPattern::kGaussian, TodPattern::kPoisson};
-  return *patterns;
+  return patterns;
 }
 
 std::string TodPatternName(TodPattern pattern) {

@@ -47,7 +47,7 @@ class RegionPartition {
 
   /// Checks every intersection belongs to at most one region and every
   /// region is non-empty.
-  Status Validate(const sim::RoadNet& net) const;
+  [[nodiscard]] Status Validate(const sim::RoadNet& net) const;
 
  private:
   std::vector<Region> regions_;

@@ -27,7 +27,11 @@ Status TodTensor::SaveCsv(const std::string& path) const {
   std::vector<std::string> header;
   header.push_back("od");
   for (int t = 0; t < num_intervals(); ++t) {
-    header.push_back("t" + std::to_string(t));
+    // Built via += rather than operator+(const char*, string&&): the latter
+    // trips a GCC 12 -Wrestrict false positive (PR105651) at -O2.
+    std::string col = "t";
+    col += std::to_string(t);
+    header.push_back(std::move(col));
   }
   std::vector<std::vector<std::string>> rows;
   for (int i = 0; i < num_od(); ++i) {

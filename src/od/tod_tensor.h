@@ -80,8 +80,8 @@ class TodTensor {
   }
 
   /// CSV round-trip (rows = OD pairs, cols = intervals).
-  Status SaveCsv(const std::string& path) const;
-  static StatusOr<TodTensor> LoadCsv(const std::string& path);
+  [[nodiscard]] Status SaveCsv(const std::string& path) const;
+  [[nodiscard]] static StatusOr<TodTensor> LoadCsv(const std::string& path);
 
  private:
   DMat counts_;

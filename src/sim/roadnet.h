@@ -82,7 +82,7 @@ class RoadNet {
   /// Checks structural invariants: every link endpoint exists, lengths and
   /// lane counts are positive, every intersection is reachable from some
   /// link (isolated intersections are allowed but flagged as OK).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
  private:
   std::vector<Intersection> intersections_;

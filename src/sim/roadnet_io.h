@@ -10,10 +10,10 @@ namespace ovs::sim {
 /// Saves a road network as a plain-text file (header + intersection rows +
 /// link rows). The format is line-oriented and diff-friendly so networks
 /// exported from OpenStreetMap tooling can be reviewed and versioned.
-Status SaveRoadNet(const RoadNet& net, const std::string& path);
+[[nodiscard]] Status SaveRoadNet(const RoadNet& net, const std::string& path);
 
 /// Loads a network written by SaveRoadNet. Validates before returning.
-StatusOr<RoadNet> LoadRoadNet(const std::string& path);
+[[nodiscard]] StatusOr<RoadNet> LoadRoadNet(const std::string& path);
 
 }  // namespace ovs::sim
 

@@ -10,14 +10,15 @@ namespace ovs {
 
 /// Writes rows of cells as an RFC-4180-ish CSV file (no quoting: the library
 /// only ever writes numeric and identifier cells).
-Status WriteCsv(const std::string& path,
-                const std::vector<std::string>& header,
-                const std::vector<std::vector<std::string>>& rows);
+[[nodiscard]] Status WriteCsv(
+    const std::string& path, const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows);
 
 /// Reads a CSV file written by WriteCsv. The first row is returned in
 /// `header`; remaining rows in `rows`.
-Status ReadCsv(const std::string& path, std::vector<std::string>* header,
-               std::vector<std::vector<std::string>>* rows);
+[[nodiscard]] Status ReadCsv(const std::string& path,
+                             std::vector<std::string>* header,
+                             std::vector<std::vector<std::string>>* rows);
 
 }  // namespace ovs
 

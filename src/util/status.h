@@ -28,8 +28,11 @@ const char* StatusCodeToString(StatusCode code);
 /// Result of an operation that can fail recoverably. Cheap to copy when OK.
 /// Library code returns Status/StatusOr for anything involving external input
 /// (files, configs, user-supplied tensors) and uses CHECK for internal
-/// invariants.
-class Status {
+/// invariants. The class itself is [[nodiscard]]: silently dropping a Status
+/// return is a compile error under -Werror, because a swallowed I/O or
+/// validation failure here poisons every downstream table (the trainer fits
+/// against simulator triples, so a half-read dataset still "works").
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -83,9 +86,10 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 }
 
 /// Either a value of type T or an error Status. Accessing the value of a
-/// non-OK StatusOr is a fatal error.
+/// non-OK StatusOr is a fatal error. [[nodiscard]] for the same reason as
+/// Status: a discarded StatusOr means a discarded error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value and from Status, mirroring absl::StatusOr, so that
   /// `return value;` and `return Status::NotFound(...)` both work.

@@ -1,3 +1,4 @@
+#include <tuple>
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -282,7 +283,7 @@ TEST(TrainerTest, Stage2FreezesVolumeSpeed) {
   for (const nn::Variable& p : model.volume_speed().Parameters()) {
     v2s_before.push_back(p.value());
   }
-  trainer.TrainTodVolume(train);
+  std::ignore = trainer.TrainTodVolume(train);
   auto v2s_params = model.volume_speed().Parameters();
   for (size_t i = 0; i < v2s_params.size(); ++i) {
     for (int j = 0; j < v2s_params[i].numel(); ++j) {
@@ -311,8 +312,8 @@ TEST(TrainerTest, RecoveryImprovesSpeedFit) {
   tc.stage2_epochs = 40;
   tc.recovery_epochs = 60;
   OvsTrainer trainer(&model, tc);
-  trainer.TrainVolumeSpeed(train);
-  trainer.TrainTodVolume(train);
+  std::ignore = trainer.TrainVolumeSpeed(train);
+  std::ignore = trainer.TrainTodVolume(train);
 
   TrainingSample gt = SimulateGroundTruth(ds, 4242);
   od::TodTensor recovered = trainer.RecoverTod(gt.speed, nullptr, &rng);

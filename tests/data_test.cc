@@ -201,7 +201,7 @@ INSTANTIATE_TEST_SUITE_P(
                       CityScale{"Porto", 70, 100, 4},
                       CityScale{"Manhattan", 100, 180, 0},
                       CityScale{"StateCollege", 14, 16, 2}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& param_info) { return param_info.param.name; });
 
 TEST(ScalingConfigTest, ApproximatesRequestedSize) {
   for (int n : {10, 50, 100, 500, 1000}) {

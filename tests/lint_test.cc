@@ -1,0 +1,367 @@
+// Unit tests for tools/lint: every rule must demonstrate (a) detection with
+// the exact diagnostic, (b) a clean pass on the idiomatic alternative, and
+// (c) suppression via `// ovs-lint: allow(<rule>)`. Also covers the CLI
+// driver's exit codes (0 clean / 1 findings / 2 I/O error).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/ovs_lint.h"
+
+namespace ovs::lint {
+namespace {
+
+std::vector<Diagnostic> Lint(const std::string& content,
+                             const std::string& path = "snippet.cc") {
+  return LintContent(path, content);
+}
+
+/// Asserts exactly one finding of `rule` at `line`.
+void ExpectSingle(const std::vector<Diagnostic>& diags,
+                  const std::string& rule, int line) {
+  ASSERT_EQ(diags.size(), 1u) << "expected exactly one finding";
+  EXPECT_EQ(diags[0].rule, rule);
+  EXPECT_EQ(diags[0].line, line);
+}
+
+// ----------------------------------------------------------------- raw-rand
+
+TEST(LintRawRandTest, FlagsRandCall) {
+  auto diags = Lint(
+      "#include <cstdlib>\n"
+      "int Draw() { return rand(); }\n");
+  ExpectSingle(diags, "raw-rand", 2);
+  EXPECT_EQ(diags[0].message,
+            "call to rand(); draw randomness from a seeded ovs::Rng "
+            "(util/rng.h)");
+}
+
+TEST(LintRawRandTest, FlagsRandomDeviceAndRawEngine) {
+  auto diags = Lint(
+      "#include <random>\n"
+      "std::random_device rd;\n"
+      "std::mt19937_64 engine(1234);\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "raw-rand");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[1].rule, "raw-rand");
+  EXPECT_EQ(diags[1].line, 3);
+}
+
+TEST(LintRawRandTest, FlagsClockSeeding) {
+  auto diags = Lint("uint64_t seed = time(nullptr);\n");
+  ExpectSingle(diags, "raw-rand", 1);
+  auto now_seed =
+      Lint("Rng rng(std::chrono::steady_clock::now().time_since_epoch()"
+           ".count());\n");
+  ASSERT_EQ(now_seed.size(), 1u);
+  EXPECT_EQ(now_seed[0].rule, "raw-rand");
+}
+
+TEST(LintRawRandTest, CleanOnSeededRngAndTimers) {
+  // The idiomatic pattern: a seeded ovs::Rng, and clocks used for timing
+  // only (no seed in sight).
+  auto diags = Lint(
+      "#include \"util/rng.h\"\n"
+      "double Draw(ovs::Rng* rng) { return rng->Uniform(0.0, 1.0); }\n"
+      "double Elapsed() { return Clock::now().time_since_epoch().count(); }\n");
+  EXPECT_TRUE(diags.empty());
+  // Identifiers merely containing the bad tokens are not calls.
+  EXPECT_TRUE(Lint("int operand = grand_total();\n").empty());
+}
+
+TEST(LintRawRandTest, RngHeaderIsExempt) {
+  std::string engine_owner = "std::mt19937_64 engine_;\n";
+  EXPECT_TRUE(LintContent("src/util/rng.h", engine_owner).empty());
+  EXPECT_FALSE(LintContent("src/sim/engine.cc", engine_owner).empty());
+}
+
+TEST(LintRawRandTest, Suppressible) {
+  auto same_line =
+      Lint("std::random_device rd;  // ovs-lint: allow(raw-rand)\n");
+  EXPECT_TRUE(same_line.empty());
+  auto prev_line = Lint(
+      "// ovs-lint: allow(raw-rand)\n"
+      "std::random_device rd;\n");
+  EXPECT_TRUE(prev_line.empty());
+}
+
+// ----------------------------------------------------------- unordered-iter
+
+TEST(LintUnorderedIterTest, FlagsRangeFor) {
+  auto diags = Lint(
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, double> weights;\n"
+      "double Sum() {\n"
+      "  double s = 0;\n"
+      "  for (const auto& kv : weights) s += kv.second;\n"
+      "  return s;\n"
+      "}\n");
+  ExpectSingle(diags, "unordered-iter", 5);
+  EXPECT_EQ(diags[0].message,
+            "range-for over unordered container 'weights' visits elements in "
+            "hash order; use an ordered container or sort keys first");
+}
+
+TEST(LintUnorderedIterTest, FlagsIteratorWalk) {
+  auto diags = Lint(
+      "#include <unordered_set>\n"
+      "std::unordered_set<int> seen;\n"
+      "void Walk() {\n"
+      "  for (auto it = seen.begin(); it != seen.end(); ++it) {}\n"
+      "}\n");
+  ExpectSingle(diags, "unordered-iter", 4);
+}
+
+TEST(LintUnorderedIterTest, CleanOnMembershipAndOrderedContainers) {
+  // Membership tests on unordered containers are deterministic; iteration
+  // over std::map is ordered.
+  auto diags = Lint(
+      "#include <map>\n"
+      "#include <unordered_set>\n"
+      "std::unordered_set<int> seen;\n"
+      "std::map<int, double> weights;\n"
+      "bool Has(int k) { return seen.count(k) > 0; }\n"
+      "double Sum() {\n"
+      "  double s = 0;\n"
+      "  for (const auto& kv : weights) s += kv.second;\n"
+      "  return s;\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintUnorderedIterTest, Suppressible) {
+  auto diags = Lint(
+      "std::unordered_set<int> seen;\n"
+      "void Clear() {\n"
+      "  // Order-independent: every element gets the same update.\n"
+      "  // ovs-lint: allow(unordered-iter)\n"
+      "  for (auto it = seen.begin(); it != seen.end(); ++it) {}\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------- naked-new
+
+TEST(LintNakedNewTest, FlagsNewAndDelete) {
+  auto diags = Lint(
+      "int* Make() { return new int(3); }\n"
+      "void Free(int* p) { delete p; }\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "naked-new");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_EQ(diags[0].message,
+            "naked 'new'; use std::make_unique, std::vector, or a value "
+            "member");
+  EXPECT_EQ(diags[1].rule, "naked-new");
+  EXPECT_EQ(diags[1].line, 2);
+}
+
+TEST(LintNakedNewTest, CleanOnSmartPointersAndDeletedMembers) {
+  auto diags = Lint(
+      "#include <memory>\n"
+      "struct Widget {\n"
+      "  Widget(const Widget&) = delete;\n"
+      "};\n"
+      "auto Make() { return std::make_unique<int>(3); }\n"
+      "// Comments mentioning new and delete are fine.\n"
+      "const char* kDoc = \"new delete\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintNakedNewTest, Suppressible) {
+  auto diags = Lint(
+      "int* Make() {\n"
+      "  return new int(3);  // ovs-lint: allow(naked-new)\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------- float-narrowing
+
+TEST(LintFloatNarrowingTest, FlagsUnsuffixedLiteralInFloatContext) {
+  auto diags = Lint("float scale = 0.5;\n");
+  ExpectSingle(diags, "float-narrowing", 1);
+  EXPECT_EQ(diags[0].message,
+            "double literal '0.5' in float context; add an 'f' suffix so the "
+            "stored value is explicit");
+}
+
+TEST(LintFloatNarrowingTest, FlagsTensorFactoryCalls) {
+  auto diags =
+      Lint("auto t = Tensor::RandomGaussian({4, 4}, 0.0, 1.0f, rng);\n");
+  ExpectSingle(diags, "float-narrowing", 1);
+  EXPECT_NE(diags[0].message.find("'0.0'"), std::string::npos);
+}
+
+TEST(LintFloatNarrowingTest, CleanOnSuffixedAndDoubleContexts) {
+  auto diags = Lint(
+      "float scale = 0.5f;\n"
+      "float lr = 1e-3f;\n"
+      "double alpha = 0.25;\n"  // double context: no narrowing
+      "int whole = 42;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintFloatNarrowingTest, Suppressible) {
+  auto diags = Lint("float scale = 0.5;  // ovs-lint: allow(float-narrowing)\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ------------------------------------------------------ parallelfor-capture
+
+TEST(LintParallelForTest, FlagsSharedAccumulatorWrite) {
+  auto diags = Lint(
+      "void Sum(const std::vector<double>& v) {\n"
+      "  double total = 0.0;\n"
+      "  ParallelFor(0, 10, 1, [&](int64_t lo, int64_t hi) {\n"
+      "    for (int64_t i = lo; i < hi; ++i) total += v[i];\n"
+      "  });\n"
+      "}\n");
+  ExpectSingle(diags, "parallelfor-capture", 4);
+  EXPECT_EQ(diags[0].message,
+            "ParallelFor body writes captured 'total' without indexing; "
+            "write into per-index slots or a chunk-local and merge after the "
+            "loop");
+}
+
+TEST(LintParallelForTest, CleanOnIndexedWritesAndChunkLocals) {
+  // The deterministic pattern: per-index slots and chunk-local partials.
+  auto diags = Lint(
+      "void Square(std::vector<double>* out) {\n"
+      "  ParallelFor(0, 10, 1, [&](int64_t lo, int64_t hi) {\n"
+      "    double partial = 0.0;\n"
+      "    for (int64_t i = lo; i < hi; ++i) {\n"
+      "      partial += i;\n"
+      "      (*out)[i] = partial;\n"
+      "    }\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintParallelForTest, CleanOnByValueCapture) {
+  auto diags = Lint(
+      "void F(double bias) {\n"
+      "  ParallelFor(0, 10, 1, [bias](int64_t lo, int64_t hi) {\n"
+      "    for (int64_t i = lo; i < hi; ++i) Use(bias + i);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintParallelForTest, Suppressible) {
+  auto diags = Lint(
+      "void Sum(const std::vector<double>& v, std::mutex* mu, double* t) {\n"
+      "  ParallelFor(0, 10, 1, [&](int64_t lo, int64_t hi) {\n"
+      "    std::lock_guard<std::mutex> lock(*mu);\n"
+      "    // ovs-lint: allow(parallelfor-capture)\n"
+      "    total += v[lo];\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// -------------------------------------------------------------- machinery --
+
+TEST(LintMachineryTest, AllowListSupportsMultipleRulesAndWildcard) {
+  auto multi = Lint(
+      "// ovs-lint: allow(raw-rand, naked-new)\n"
+      "int* p = new int(rand());\n");
+  EXPECT_TRUE(multi.empty());
+  auto wildcard = Lint(
+      "// ovs-lint: allow(*)\n"
+      "std::random_device rd;\n");
+  EXPECT_TRUE(wildcard.empty());
+  // An allow() for one rule does not blanket-suppress others.
+  auto wrong_rule = Lint(
+      "// ovs-lint: allow(naked-new)\n"
+      "std::random_device rd;\n");
+  ASSERT_EQ(wrong_rule.size(), 1u);
+  EXPECT_EQ(wrong_rule[0].rule, "raw-rand");
+}
+
+TEST(LintMachineryTest, DiagnosticFormatIsStable) {
+  Diagnostic d{"src/sim/engine.cc", 42, "raw-rand", "call to rand()"};
+  EXPECT_EQ(FormatDiagnostic(d),
+            "src/sim/engine.cc:42: error: [raw-rand] call to rand()");
+}
+
+TEST(LintMachineryTest, FiveRulesRegistered) {
+  const auto& rules = AllRules();
+  ASSERT_GE(rules.size(), 5u);
+  std::vector<std::string> names;
+  for (const auto& r : rules) names.push_back(r.name);
+  for (const char* expected :
+       {"raw-rand", "unordered-iter", "naked-new", "float-narrowing",
+        "parallelfor-capture"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing rule " << expected;
+  }
+}
+
+/// Exit-code contract of the driver, via Run() on a temp directory.
+class LintRunTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ovs_lint_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(dir_ / name);
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LintRunTest, ExitZeroOnCleanTree) {
+  WriteFile("clean.cc", "int main() { return 0; }\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(::ovs::lint::Run({dir_.string()}, out, err), 0);
+  EXPECT_NE(out.str().find("1 file(s), 0 finding(s)"), std::string::npos);
+}
+
+TEST_F(LintRunTest, ExitOneOnViolation) {
+  WriteFile("bad.cc", "int Draw() { return rand(); }\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(::ovs::lint::Run({dir_.string()}, out, err), 1);
+  EXPECT_NE(out.str().find("[raw-rand]"), std::string::npos);
+}
+
+TEST_F(LintRunTest, ExitTwoOnMissingPathOrNoArgs) {
+  std::ostringstream out, err;
+  EXPECT_EQ(::ovs::lint::Run({(dir_ / "does_not_exist").string()}, out, err), 2);
+  EXPECT_NE(err.str().find("no such file or directory"), std::string::npos);
+  std::ostringstream out2, err2;
+  EXPECT_EQ(::ovs::lint::Run({}, out2, err2), 2);
+}
+
+TEST_F(LintRunTest, SkipsNonSourceFiles) {
+  WriteFile("notes.md", "rand() everywhere\n");
+  WriteFile("clean.h", "#pragma once\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(::ovs::lint::Run({dir_.string()}, out, err), 0);
+  EXPECT_NE(out.str().find("1 file(s)"), std::string::npos);
+}
+
+/// The shipped tree must lint clean — the same invariant the lint.src CTest
+/// test enforces, checked here against the source dir when visible.
+TEST(LintMachineryTest, RepoSrcIsClean) {
+  std::filesystem::path src = std::filesystem::path(OVS_SOURCE_DIR) / "src";
+  if (!std::filesystem::exists(src)) GTEST_SKIP() << "source tree not found";
+  std::ostringstream out, err;
+  EXPECT_EQ(::ovs::lint::Run({src.string()}, out, err), 0) << out.str();
+}
+
+}  // namespace
+}  // namespace ovs::lint

@@ -148,8 +148,8 @@ TEST_P(PatternTest, DeterministicGivenSeed) {
 
 INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternTest,
                          ::testing::ValuesIn(AllTodPatterns()),
-                         [](const auto& info) {
-                           return TodPatternName(info.param);
+                         [](const auto& param_info) {
+                           return TodPatternName(param_info.param);
                          });
 
 TEST(PatternsTest, RandomWithinPaperRange) {

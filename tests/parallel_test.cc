@@ -4,6 +4,7 @@
 // from identical seeds and compared exactly (EXPECT_EQ on floats — no
 // tolerance).
 
+#include <tuple>
 #include <gtest/gtest.h>
 
 #include <string>
@@ -197,8 +198,8 @@ TEST(ParallelDeterminismTest, SingleRestartMatchesAcrossThreadCounts) {
     tc.recovery_epochs = 15;
     tc.recovery_restarts = 1;
     core::OvsTrainer trainer(&model, tc);
-    trainer.TrainVolumeSpeed(train);
-    trainer.TrainTodVolume(train);
+    std::ignore = trainer.TrainVolumeSpeed(train);
+    std::ignore = trainer.TrainTodVolume(train);
     core::TrainingSample gt = core::SimulateGroundTruth(ds, 4242);
     return trainer.RecoverTod(gt.speed, nullptr, &rng).mat();
   };

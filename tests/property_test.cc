@@ -86,11 +86,17 @@ INSTANTIATE_TEST_SUITE_P(
                       EngineCase{3, 2, 300, false}, EngineCase{4, 2, 800, true},
                       EngineCase{5, 1, 1200, true},
                       EngineCase{3, 3, 500, false}),
-    [](const auto& info) {
-      return "g" + std::to_string(std::get<0>(info.param)) + "l" +
-             std::to_string(std::get<1>(info.param)) + "v" +
-             std::to_string(std::get<2>(info.param)) +
-             (std::get<3>(info.param) ? "sig" : "nosig");
+    [](const auto& param_info) {
+      // += chain instead of operator+(const char*, string&&): the latter trips
+      // a GCC 12 -Wrestrict false positive (PR105651) at -O2.
+      std::string name = "g";
+      name += std::to_string(std::get<0>(param_info.param));
+      name += "l";
+      name += std::to_string(std::get<1>(param_info.param));
+      name += "v";
+      name += std::to_string(std::get<2>(param_info.param));
+      name += std::get<3>(param_info.param) ? "sig" : "nosig";
+      return name;
     });
 
 // ---------------------------------------------------------- Router sweeps --
@@ -116,8 +122,8 @@ TEST_P(RouterGridTest, ManhattanDistanceOptimalOnUniformGrid) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, RouterGridTest, ::testing::Values(2, 3, 5, 8),
-                         [](const auto& info) {
-                           return "side" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "side" + std::to_string(param_info.param);
                          });
 
 // -------------------------------------------------------- Demand scaling --
@@ -143,10 +149,10 @@ TEST_P(DemandScalingTest, TripCountTracksTensorTotal) {
 
 INSTANTIATE_TEST_SUITE_P(Levels, DemandScalingTest,
                          ::testing::Values(0.25, 1.0, 7.5, 40.0, 123.4),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return "level" +
                                   std::to_string(static_cast<int>(
-                                      info.param * 100.0));
+                                      param_info.param * 100.0));
                          });
 
 // ----------------------------------------------------- Softmax invariants --
@@ -175,9 +181,9 @@ TEST_P(SoftmaxShapeTest, RowsSumToOneAndOrderPreserved) {
 INSTANTIATE_TEST_SUITE_P(Shapes, SoftmaxShapeTest,
                          ::testing::Values(std::pair{1, 2}, std::pair{3, 4},
                                            std::pair{16, 5}, std::pair{64, 12}),
-                         [](const auto& info) {
-                           return std::to_string(info.param.first) + "x" +
-                                  std::to_string(info.param.second);
+                         [](const auto& param_info) {
+                           return std::to_string(param_info.param.first) + "x" +
+                                  std::to_string(param_info.param.second);
                          });
 
 // ----------------------------------------------------- Optimizer sweeps --
@@ -199,8 +205,10 @@ TEST_P(AdamDimTest, ConvergesOnRandomQuadratic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Dims, AdamDimTest, ::testing::Values(1, 3, 17, 64),
-                         [](const auto& info) {
-                           return "d" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           std::string name = "d";
+                           name += std::to_string(param_info.param);
+                           return name;
                          });
 
 // -------------------------------------------- Dataset invariants sweep --
@@ -246,7 +254,7 @@ TEST_P(CityInvariantsTest, StructuralInvariantsHold) {
 INSTANTIATE_TEST_SUITE_P(Cities, CityInvariantsTest,
                          ::testing::Values("hangzhou", "porto", "manhattan",
                                            "statecollege", "synthetic"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 // --------------------------------------- Pattern generalization property --
 
@@ -271,8 +279,10 @@ TEST_P(PatternHorizonTest, RampEndpointsIndependentOfHorizon) {
 
 INSTANTIATE_TEST_SUITE_P(Horizons, PatternHorizonTest,
                          ::testing::Values(2, 12, 24, 48),
-                         [](const auto& info) {
-                           return "T" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           std::string name = "T";
+                           name += std::to_string(param_info.param);
+                           return name;
                          });
 
 }  // namespace

@@ -2,6 +2,7 @@
 // behaviour: the adaptive Gaussian-prior level and the Huber-robust main
 // loss.
 
+#include <tuple>
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -34,8 +35,8 @@ class TrainerRobustnessTest : public ::testing::Test {
     tc.stage1_epochs = 40;
     tc.stage2_epochs = 50;
     OvsTrainer bootstrap(model_, tc);
-    bootstrap.TrainVolumeSpeed(*train_);
-    bootstrap.TrainTodVolume(*train_);
+    std::ignore = bootstrap.TrainVolumeSpeed(*train_);
+    std::ignore = bootstrap.TrainTodVolume(*train_);
   }
   static void TearDownTestSuite() {
     delete model_;

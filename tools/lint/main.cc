@@ -1,0 +1,32 @@
+// CLI for ovs_lint. Usage:
+//   ovs_lint [--list-rules] <path>...
+// Paths may be files or directories (searched recursively for .h/.cc/.cpp).
+// Exit code: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ovs_lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const ovs::lint::RuleInfo& r : ovs::lint::AllRules()) {
+        std::cout << r.name << ": " << r.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: ovs_lint [--list-rules] <path>...\n"
+                << "Lints .h/.cc/.cpp files for repo-specific determinism and "
+                   "safety hazards.\n"
+                << "Suppress a finding with: // ovs-lint: allow(<rule>)\n";
+      return 0;
+    }
+    paths.push_back(std::move(arg));
+  }
+  return ovs::lint::Run(paths, std::cout, std::cerr);
+}

@@ -1,0 +1,733 @@
+#include "ovs_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace ovs::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Parses "allow(a, b)" lists out of an `ovs-lint:` comment.
+void ParseAllows(const std::string& comment, std::set<std::string>* allows) {
+  size_t pos = comment.find("ovs-lint:");
+  if (pos == std::string::npos) return;
+  pos = comment.find("allow(", pos);
+  if (pos == std::string::npos) return;
+  size_t end = comment.find(')', pos);
+  if (end == std::string::npos) return;
+  std::string list = comment.substr(pos + 6, end - pos - 6);
+  std::string token;
+  std::stringstream ss(list);
+  while (std::getline(ss, token, ',')) {
+    token.erase(std::remove_if(token.begin(), token.end(),
+                               [](unsigned char c) { return std::isspace(c); }),
+                token.end());
+    if (!token.empty()) allows->insert(token);
+  }
+}
+
+/// A file prepared for linting: `code` is the original text with comment and
+/// string/char-literal contents blanked to spaces (newlines kept, so offsets
+/// map to the original lines), and `allows` holds per-line suppressions.
+struct FileCtx {
+  std::string path;
+  std::string code;
+  std::vector<std::string> lines;           // code, split (index 0 = line 1)
+  std::vector<size_t> line_offsets;         // offset in code of each line
+  std::vector<std::set<std::string>> allows;  // per line (index 0 = line 1)
+
+  int LineOf(size_t offset) const {
+    auto it =
+        std::upper_bound(line_offsets.begin(), line_offsets.end(), offset);
+    return static_cast<int>(it - line_offsets.begin());
+  }
+
+  /// A rule is suppressed on a line by an allow() on that line or on the
+  /// line directly above it.
+  bool IsAllowed(int line, const std::string& rule) const {
+    for (int l : {line, line - 1}) {
+      if (l < 1 || l > static_cast<int>(allows.size())) continue;
+      const std::set<std::string>& a = allows[l - 1];
+      if (a.count(rule) || a.count("*")) return true;
+    }
+    return false;
+  }
+};
+
+FileCtx Prepare(const std::string& path, const std::string& content) {
+  FileCtx ctx;
+  ctx.path = path;
+  ctx.code.reserve(content.size());
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string current_comment;
+  int line = 1;
+  std::vector<std::pair<int, std::string>> comments;  // (line, text)
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          current_comment.clear();
+          ctx.code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          current_comment.clear();
+          ctx.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw strings are rare here; treat R"( as a plain string opener and
+          // rely on the closing quote (good enough for this codebase).
+          state = State::kString;
+          ctx.code += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          ctx.code += '\'';
+        } else {
+          ctx.code += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          comments.emplace_back(line, current_comment);
+          state = State::kCode;
+          ctx.code += '\n';
+        } else {
+          current_comment += c;
+          ctx.code += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          comments.emplace_back(line, current_comment);
+          state = State::kCode;
+          ctx.code += "  ";
+          ++i;
+        } else {
+          current_comment += c;
+          ctx.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          ctx.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          ctx.code += '"';
+        } else {
+          ctx.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          ctx.code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          ctx.code += '\'';
+        } else {
+          ctx.code += c;
+        }
+        break;
+    }
+    if (c == '\n') ++line;
+  }
+  if (state == State::kLineComment) comments.emplace_back(line, current_comment);
+
+  ctx.line_offsets.push_back(0);
+  std::string cur;
+  for (size_t i = 0; i < ctx.code.size(); ++i) {
+    if (ctx.code[i] == '\n') {
+      ctx.lines.push_back(cur);
+      cur.clear();
+      ctx.line_offsets.push_back(i + 1);
+    } else {
+      cur += ctx.code[i];
+    }
+  }
+  ctx.lines.push_back(cur);
+
+  ctx.allows.resize(ctx.lines.size());
+  for (const auto& [cline, text] : comments) {
+    if (cline >= 1 && cline <= static_cast<int>(ctx.allows.size())) {
+      ParseAllows(text, &ctx.allows[cline - 1]);
+    }
+  }
+  return ctx;
+}
+
+/// Finds `token` as a whole word starting at or after `from`; npos if none.
+size_t FindToken(const std::string& code, const std::string& token,
+                 size_t from) {
+  size_t pos = code.find(token, from);
+  while (pos != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    size_t after = pos + token.size();
+    bool right_ok = after >= code.size() || !IsIdentChar(code[after]);
+    if (left_ok && right_ok) return pos;
+    pos = code.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+void Report(const FileCtx& ctx, size_t offset, const std::string& rule,
+            const std::string& message, std::vector<Diagnostic>* out) {
+  int line = ctx.LineOf(offset);
+  if (ctx.IsAllowed(line, rule)) return;
+  out->push_back({ctx.path, line, rule, message});
+}
+
+// ----------------------------------------------------------- rule: raw-rand
+
+/// Randomness outside the seeded ovs::Rng breaks run-to-run determinism, the
+/// repo's headline guarantee. util/rng.h is the one place allowed to own an
+/// engine.
+void CheckRawRand(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  if (EndsWith(ctx.path, "util/rng.h")) return;
+  struct Bad {
+    const char* token;
+    const char* what;
+  };
+  static const Bad kBad[] = {
+      {"rand", "call to rand()"},
+      {"srand", "call to srand()"},
+      {"random_device", "use of std::random_device"},
+      {"mt19937", "raw std::mt19937 engine"},
+      {"mt19937_64", "raw std::mt19937_64 engine"},
+      {"minstd_rand", "raw std::minstd_rand engine"},
+      {"default_random_engine", "raw std::default_random_engine"},
+  };
+  for (const Bad& b : kBad) {
+    for (size_t pos = FindToken(ctx.code, b.token, 0);
+         pos != std::string::npos;
+         pos = FindToken(ctx.code, b.token, pos + 1)) {
+      // `rand`/`srand` only count as calls: require a following '('.
+      if (b.token[0] == 'r' || b.token[0] == 's') {
+        size_t after = pos + std::string(b.token).size();
+        while (after < ctx.code.size() && ctx.code[after] == ' ') ++after;
+        if (std::string(b.token) == "rand" || std::string(b.token) == "srand") {
+          if (after >= ctx.code.size() || ctx.code[after] != '(') continue;
+        }
+      }
+      Report(ctx, pos, "raw-rand",
+             std::string(b.what) +
+                 "; draw randomness from a seeded ovs::Rng (util/rng.h)",
+             out);
+    }
+  }
+  // Time-based seeding: wall-clock feeding a seed or an Rng makes every run
+  // unique. Timing code (util/timer.h) is fine because it never mentions
+  // seeds.
+  for (const char* t : {"time(0)", "time(nullptr)", "time(NULL)"}) {
+    for (size_t pos = ctx.code.find(t); pos != std::string::npos;
+         pos = ctx.code.find(t, pos + 1)) {
+      if (pos > 0 && IsIdentChar(ctx.code[pos - 1])) continue;
+      Report(ctx, pos, "raw-rand",
+             "wall-clock value used where a fixed seed belongs", out);
+    }
+  }
+  for (size_t pos = ctx.code.find("::now()"); pos != std::string::npos;
+       pos = ctx.code.find("::now()", pos + 1)) {
+    int line = ctx.LineOf(pos);
+    const std::string& text = ctx.lines[line - 1];
+    if (text.find("seed") != std::string::npos ||
+        text.find("Seed") != std::string::npos ||
+        text.find("Rng") != std::string::npos) {
+      Report(ctx, pos, "raw-rand",
+             "clock-derived seed; use a fixed seed so runs are reproducible",
+             out);
+    }
+  }
+}
+
+// ------------------------------------------------------ rule: unordered-iter
+
+/// Iterating an unordered container folds values in hash order, which varies
+/// across standard libraries and (for pointer keys) across runs — any number
+/// accumulated that way is not reproducible. Membership tests are fine.
+void CheckUnorderedIter(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  // Collect names declared as std::unordered_{map,set}<...>.
+  std::set<std::string> unordered_names;
+  for (const char* kind : {"unordered_map", "unordered_set"}) {
+    for (size_t pos = FindToken(ctx.code, kind, 0); pos != std::string::npos;
+         pos = FindToken(ctx.code, kind, pos + 1)) {
+      size_t i = pos + std::string(kind).size();
+      if (i >= ctx.code.size() || ctx.code[i] != '<') continue;
+      int depth = 0;
+      while (i < ctx.code.size()) {
+        if (ctx.code[i] == '<') ++depth;
+        if (ctx.code[i] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++i;
+      }
+      if (i >= ctx.code.size()) continue;
+      ++i;  // past '>'
+      while (i < ctx.code.size() &&
+             (std::isspace(static_cast<unsigned char>(ctx.code[i])) ||
+              ctx.code[i] == '&' || ctx.code[i] == '*')) {
+        ++i;
+      }
+      size_t start = i;
+      while (i < ctx.code.size() && IsIdentChar(ctx.code[i])) ++i;
+      if (i > start) unordered_names.insert(ctx.code.substr(start, i - start));
+    }
+  }
+  if (unordered_names.empty()) return;
+
+  for (const std::string& name : unordered_names) {
+    // Range-for: `for (... : name)`.
+    for (size_t pos = FindToken(ctx.code, name, 0); pos != std::string::npos;
+         pos = FindToken(ctx.code, name, pos + 1)) {
+      size_t before = pos;
+      while (before > 0 && ctx.code[before - 1] == ' ') --before;
+      if (before > 0 && ctx.code[before - 1] == ':' &&
+          (before < 2 || ctx.code[before - 2] != ':')) {
+        Report(ctx, pos, "unordered-iter",
+               "range-for over unordered container '" + name +
+                   "' visits elements in hash order; use an ordered container "
+                   "or sort keys first",
+               out);
+        continue;
+      }
+      // Iterator loops: name.begin() / cbegin / rbegin.
+      size_t after = pos + name.size();
+      for (const char* it : {".begin()", ".cbegin()", ".rbegin()"}) {
+        if (ctx.code.compare(after, std::string(it).size(), it) == 0) {
+          Report(ctx, pos, "unordered-iter",
+                 "iterator walk over unordered container '" + name +
+                     "' visits elements in hash order; use an ordered "
+                     "container or sort keys first",
+                 out);
+          break;
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- rule: naked-new
+
+/// Raw new/delete invite leaks and double frees that the sanitizer jobs then
+/// chase at runtime; std::make_unique/containers make ownership structural.
+void CheckNakedNew(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  for (size_t pos = FindToken(ctx.code, "new", 0); pos != std::string::npos;
+       pos = FindToken(ctx.code, "new", pos + 1)) {
+    // Skip `operator new` declarations.
+    size_t before = pos;
+    while (before > 0 && ctx.code[before - 1] == ' ') --before;
+    if (before >= 8 && ctx.code.compare(before - 8, 8, "operator") == 0) {
+      continue;
+    }
+    // Require something new-able after it, so the word "new" in an
+    // identifier-free context (rare in blanked code) does not trip.
+    size_t after = pos + 3;
+    while (after < ctx.code.size() && ctx.code[after] == ' ') ++after;
+    if (after >= ctx.code.size() ||
+        (!IsIdentChar(ctx.code[after]) && ctx.code[after] != '(')) {
+      continue;
+    }
+    Report(ctx, pos, "naked-new",
+           "naked 'new'; use std::make_unique, std::vector, or a value member",
+           out);
+  }
+  for (size_t pos = FindToken(ctx.code, "delete", 0); pos != std::string::npos;
+       pos = FindToken(ctx.code, "delete", pos + 1)) {
+    // `= delete` (deleted special member) is not a deallocation.
+    size_t before = pos;
+    while (before > 0 && ctx.code[before - 1] == ' ') --before;
+    if (before > 0 && ctx.code[before - 1] == '=') continue;
+    Report(ctx, pos, "naked-new",
+           "naked 'delete'; let std::unique_ptr or a container own the object",
+           out);
+  }
+}
+
+// ---------------------------------------------------- rule: float-narrowing
+
+/// A double literal stored into a float tensor silently rounds; two call
+/// sites spelling the "same" constant with different precision then diverge
+/// bitwise. Literals destined for float storage must carry the f suffix.
+void CheckFloatNarrowing(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  static const char* kFloatSinks[] = {
+      "Tensor::Full(",     "Tensor::Scalar(",  "RandomUniform(",
+      "RandomGaussian(",   "XavierUniform(",
+  };
+  for (size_t li = 0; li < ctx.lines.size(); ++li) {
+    const std::string& text = ctx.lines[li];
+    bool float_context = false;
+    size_t fpos = FindToken(text, "float", 0);
+    if (fpos != std::string::npos &&
+        text.find('=', fpos) != std::string::npos) {
+      float_context = true;
+    }
+    if (!float_context) {
+      for (const char* sink : kFloatSinks) {
+        if (text.find(sink) != std::string::npos) {
+          float_context = true;
+          break;
+        }
+      }
+    }
+    if (!float_context) continue;
+
+    // Scan for unsuffixed floating-point literals: 1.0, .5, 2., 1e-3.
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (i > 0 && (IsIdentChar(text[i - 1]) || text[i - 1] == '.')) continue;
+      size_t j = i;
+      bool saw_digit = false, saw_point = false, saw_exp = false;
+      while (j < text.size()) {
+        char c = text[j];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+          saw_digit = true;
+        } else if (c == '.' && !saw_point && !saw_exp) {
+          saw_point = true;
+        } else if ((c == 'e' || c == 'E') && saw_digit && !saw_exp &&
+                   j + 1 < text.size() &&
+                   (std::isdigit(static_cast<unsigned char>(text[j + 1])) ||
+                    text[j + 1] == '+' || text[j + 1] == '-')) {
+          saw_exp = true;
+          if (text[j + 1] == '+' || text[j + 1] == '-') ++j;
+        } else {
+          break;
+        }
+        ++j;
+      }
+      if (!saw_digit || (!saw_point && !saw_exp)) continue;
+      if (j < text.size() && (text[j] == 'f' || text[j] == 'F')) {
+        i = j;
+        continue;  // correctly suffixed
+      }
+      if (j < text.size() && IsIdentChar(text[j])) {
+        i = j;
+        continue;  // part of an identifier or another suffix (L, u...)
+      }
+      Report(ctx, ctx.line_offsets[li] + i, "float-narrowing",
+             "double literal '" + text.substr(i, j - i) +
+                 "' in float context; add an 'f' suffix so the stored value "
+                 "is explicit",
+             out);
+      i = j;
+    }
+  }
+}
+
+// ------------------------------------------------- rule: parallelfor-capture
+
+/// A ParallelFor body that assigns through a captured reference without
+/// indexing by the loop variable is a cross-thread write — a data race and a
+/// determinism hole even when it "works". Writes must land in per-index
+/// slots; reductions belong outside the loop or in per-chunk locals.
+void CheckParallelForCapture(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  const std::string& code = ctx.code;
+  for (size_t pos = FindToken(code, "ParallelFor", 0); pos != std::string::npos;
+       pos = FindToken(code, "ParallelFor", pos + 1)) {
+    size_t lb = code.find('[', pos);
+    if (lb == std::string::npos) continue;
+    size_t rb = code.find(']', lb);
+    if (rb == std::string::npos) continue;
+    std::string captures = code.substr(lb + 1, rb - lb - 1);
+    if (captures.find('&') == std::string::npos) continue;  // no by-ref
+
+    // Parameter names become loop-local.
+    std::set<std::string> locals;
+    size_t lp = code.find('(', rb);
+    if (lp == std::string::npos) continue;
+    size_t rp = code.find(')', lp);
+    if (rp == std::string::npos) continue;
+    {
+      std::string params = code.substr(lp + 1, rp - lp - 1);
+      std::string piece;
+      std::stringstream ss(params);
+      while (std::getline(ss, piece, ',')) {
+        size_t end = piece.find_last_not_of(" \t\n");
+        if (end == std::string::npos) continue;
+        size_t start = end;
+        while (start > 0 && IsIdentChar(piece[start - 1])) --start;
+        if (IsIdentChar(piece[end])) {
+          locals.insert(piece.substr(start, end - start + 1));
+        }
+      }
+    }
+
+    size_t body_open = code.find('{', rp);
+    if (body_open == std::string::npos) continue;
+    int depth = 0;
+    size_t body_close = body_open;
+    for (size_t i = body_open; i < code.size(); ++i) {
+      if (code[i] == '{') ++depth;
+      if (code[i] == '}') {
+        --depth;
+        if (depth == 0) {
+          body_close = i;
+          break;
+        }
+      }
+    }
+    std::string body = code.substr(body_open + 1, body_close - body_open - 1);
+
+    // Pass 1: collect identifiers declared inside the body. Heuristic: a
+    // type-ish token followed by a name that is then initialized or ended.
+    {
+      static const char* kTypes[] = {"auto",     "int",    "int64_t",
+                                     "uint64_t", "size_t", "float",
+                                     "double",   "bool",   "long",
+                                     "unsigned", "char"};
+      for (const char* ty : kTypes) {
+        for (size_t tp = FindToken(body, ty, 0); tp != std::string::npos;
+             tp = FindToken(body, ty, tp + 1)) {
+          size_t i = tp + std::string(ty).size();
+          while (i < body.size() &&
+                 (body[i] == ' ' || body[i] == '&' || body[i] == '*')) {
+            ++i;
+          }
+          size_t start = i;
+          while (i < body.size() && IsIdentChar(body[i])) ++i;
+          if (i > start) locals.insert(body.substr(start, i - start));
+        }
+      }
+      // `Type name = ...` with a user type: two identifiers then '='.
+      for (size_t i = 0; i < body.size();) {
+        // statement start
+        while (i < body.size() && (body[i] == '\n' || body[i] == ' ' ||
+                                   body[i] == ';' || body[i] == '{')) {
+          ++i;
+        }
+        // Skip cv/storage qualifiers so `const Link& x = ...` parses.
+        for (;;) {
+          size_t q0 = i;
+          while (i < body.size() && IsIdentChar(body[i])) ++i;
+          std::string qual = body.substr(q0, i - q0);
+          if (qual == "const" || qual == "constexpr" || qual == "static") {
+            while (i < body.size() && body[i] == ' ') ++i;
+          } else {
+            i = q0;
+            break;
+          }
+        }
+        size_t t0 = i;
+        while (i < body.size() && (IsIdentChar(body[i]) || body[i] == ':')) ++i;
+        if (i == t0) {
+          while (i < body.size() && body[i] != '\n' && body[i] != ';') ++i;
+          continue;
+        }
+        // optional template args / ref / ptr
+        if (i < body.size() && body[i] == '<') {
+          int d = 0;
+          while (i < body.size()) {
+            if (body[i] == '<') ++d;
+            if (body[i] == '>' && --d == 0) {
+              ++i;
+              break;
+            }
+            ++i;
+          }
+        }
+        size_t gap = i;
+        while (i < body.size() &&
+               (body[i] == ' ' || body[i] == '&' || body[i] == '*')) {
+          ++i;
+        }
+        size_t n0 = i;
+        while (i < body.size() && IsIdentChar(body[i])) ++i;
+        if (n0 > gap && i > n0) {
+          size_t k = i;
+          while (k < body.size() && body[k] == ' ') ++k;
+          if (k < body.size() && (body[k] == '=' || body[k] == '{' ||
+                                  body[k] == ';' || body[k] == '(')) {
+            locals.insert(body.substr(n0, i - n0));
+          }
+        }
+        while (i < body.size() && body[i] != '\n' && body[i] != ';') ++i;
+      }
+    }
+
+    // Pass 2: `name op= ...`, `name =`, `++name`, `name++` anywhere in the
+    // body, where name is neither a body local nor a lambda parameter and is
+    // not an indexed (`x[i] =`) or member (`x.f =`) access. Those plain
+    // writes are the shared-accumulator pattern that races.
+    for (size_t i = 0; i < body.size(); ++i) {
+      bool pre_incr = false;
+      size_t n0 = i;
+      if ((body.compare(i, 2, "++") == 0 || body.compare(i, 2, "--") == 0) &&
+          (i == 0 || (!IsIdentChar(body[i - 1]) && body[i - 1] != '+' &&
+                      body[i - 1] != '-'))) {
+        pre_incr = true;
+        n0 = i + 2;
+      }
+      if (n0 >= body.size()) break;
+      if (!IsIdentChar(body[n0]) ||
+          std::isdigit(static_cast<unsigned char>(body[n0]))) {
+        continue;
+      }
+      // Must be the start of an identifier, and not a member/qualified name
+      // (`x.f`, `p->f`, `ns::x` writes are out of scope for this rule).
+      if (n0 > 0 &&
+          (IsIdentChar(body[n0 - 1]) || body[n0 - 1] == '.' ||
+           body[n0 - 1] == ':' ||
+           (n0 > 1 && body[n0 - 1] == '>' && body[n0 - 2] == '-'))) {
+        i = n0;
+        while (i < body.size() && IsIdentChar(body[i])) ++i;
+        --i;
+        continue;
+      }
+      size_t n1 = n0;
+      while (n1 < body.size() && IsIdentChar(body[n1])) ++n1;
+      std::string name = body.substr(n0, n1 - n0);
+      size_t k = n1;
+      while (k < body.size() && body[k] == ' ') ++k;
+      bool writes = false;
+      if (pre_incr) {
+        writes = true;
+      } else if (body.compare(k, 2, "++") == 0 ||
+                 body.compare(k, 2, "--") == 0) {
+        writes = true;
+      } else if (k < body.size()) {
+        char c = body[k];
+        char c1 = k + 1 < body.size() ? body[k + 1] : '\0';
+        char prev = k > 0 ? body[k - 1] : '\0';
+        if ((c == '+' || c == '-' || c == '*' || c == '/' || c == '|' ||
+             c == '&' || c == '^') &&
+            c1 == '=') {
+          writes = true;
+        } else if (c == '=' && c1 != '=' && prev != '<' && prev != '>' &&
+                   prev != '!') {
+          writes = true;
+        }
+      }
+      static const std::set<std::string> kKeywords = {
+          "if", "while", "for", "return", "else", "switch", "case", "do"};
+      if (writes && !locals.count(name) && !kKeywords.count(name)) {
+        Report(ctx, body_open + 1 + n0, "parallelfor-capture",
+               "ParallelFor body writes captured '" + name +
+                   "' without indexing; write into per-index slots or a "
+                   "chunk-local and merge after the loop",
+               out);
+      }
+      i = n1 - 1;
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& AllRules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"raw-rand",
+       "randomness outside the seeded ovs::Rng (rand, random_device, raw "
+       "engines, clock seeds) breaks run-to-run determinism"},
+      {"unordered-iter",
+       "iterating std::unordered_* folds values in hash order; accumulations "
+       "become irreproducible"},
+      {"naked-new",
+       "raw new/delete; ownership belongs in std::unique_ptr or containers"},
+      {"float-narrowing",
+       "unsuffixed double literal in a float context rounds silently; spell "
+       "the stored value with an f suffix"},
+      {"parallelfor-capture",
+       "ParallelFor body writing a captured reference without indexing is a "
+       "cross-thread race"},
+  };
+  return kRules;
+}
+
+std::vector<Diagnostic> LintContent(const std::string& path,
+                                    const std::string& content) {
+  FileCtx ctx = Prepare(path, content);
+  std::vector<Diagnostic> out;
+  CheckRawRand(ctx, &out);
+  CheckUnorderedIter(ctx, &out);
+  CheckNakedNew(ctx, &out);
+  CheckFloatNarrowing(ctx, &out);
+  CheckParallelForCapture(ctx, &out);
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a,
+                                       const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+bool LintFile(const std::string& path, std::vector<Diagnostic>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::vector<Diagnostic> diags = LintContent(path, ss.str());
+  out->insert(out->end(), diags.begin(), diags.end());
+  return true;
+}
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  std::ostringstream ss;
+  ss << d.file << ":" << d.line << ": error: [" << d.rule << "] " << d.message;
+  return ss.str();
+}
+
+int Run(const std::vector<std::string>& paths, std::ostream& out,
+        std::ostream& err) {
+  namespace fs = std::filesystem;
+  if (paths.empty()) {
+    err << "ovs_lint: no input paths\n";
+    return 2;
+  }
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (!it->is_regular_file()) continue;
+        std::string ext = it->path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+          files.push_back(it->path().string());
+        }
+      }
+      if (ec) {
+        err << "ovs_lint: error walking " << p << ": " << ec.message() << "\n";
+        return 2;
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      err << "ovs_lint: no such file or directory: " << p << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Diagnostic> diags;
+  for (const std::string& f : files) {
+    if (!LintFile(f, &diags)) {
+      err << "ovs_lint: cannot read " << f << "\n";
+      return 2;
+    }
+  }
+  for (const Diagnostic& d : diags) out << FormatDiagnostic(d) << "\n";
+  out << "ovs_lint: " << files.size() << " file(s), " << diags.size()
+      << " finding(s)\n";
+  return diags.empty() ? 0 : 1;
+}
+
+}  // namespace ovs::lint

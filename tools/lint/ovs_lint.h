@@ -1,0 +1,69 @@
+#ifndef OVS_TOOLS_LINT_OVS_LINT_H_
+#define OVS_TOOLS_LINT_OVS_LINT_H_
+
+// ovs_lint: a dependency-free static checker for the repo-specific
+// determinism and safety invariants that the compiler cannot see.
+//
+// The headline guarantee of this reproduction is bitwise-identical OVS
+// recovery at any thread count. That property survives only as long as no
+// code path (a) draws randomness outside the seeded ovs::Rng, (b) folds
+// numbers in std::unordered_* iteration order, (c) narrows double literals
+// into float tensors differently across call sites, or (d) races an
+// accumulator inside a ParallelFor body. This tool makes those rules
+// machine-checked: it walks the source tree, flags violations with
+// file:line diagnostics, and exits non-zero so CI can gate on it.
+//
+// Suppression: append `// ovs-lint: allow(<rule>)` to the offending line, or
+// place the comment alone on the line directly above it. Multiple rules can
+// be listed comma-separated; `allow(*)` suppresses every rule.
+//
+// Exit codes (Run): 0 = clean, 1 = violations found, 2 = usage or I/O error.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ovs::lint {
+
+/// One finding. `rule` is the machine name (e.g. "raw-rand") usable in a
+/// suppression comment.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Name and one-line rationale of a lint rule, for --list-rules and docs.
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+/// All rules this linter knows, in diagnostic order.
+const std::vector<RuleInfo>& AllRules();
+
+/// Lints a buffer as if it were the file at `path` (the path drives
+/// per-file exemptions, e.g. util/rng.h may use <random>). Exposed so tests
+/// can feed inline fixture snippets without touching the filesystem.
+[[nodiscard]] std::vector<Diagnostic> LintContent(const std::string& path,
+                                                  const std::string& content);
+
+/// Reads and lints `path`. Returns false if the file cannot be read;
+/// diagnostics are appended to `out`.
+[[nodiscard]] bool LintFile(const std::string& path,
+                            std::vector<Diagnostic>* out);
+
+/// "file:line: error: [rule] message" — the single canonical format, so
+/// editors and CI logs parse the same way.
+std::string FormatDiagnostic(const Diagnostic& d);
+
+/// Lints every .h/.cc/.cpp under each path (file or directory, recursive),
+/// printing diagnostics to `out` and I/O errors to `err`.
+/// Returns the process exit code documented above.
+[[nodiscard]] int Run(const std::vector<std::string>& paths, std::ostream& out,
+                      std::ostream& err);
+
+}  // namespace ovs::lint
+
+#endif  // OVS_TOOLS_LINT_OVS_LINT_H_
