@@ -11,11 +11,14 @@
 
 #include "core/trainer.h"
 #include "data/cities.h"
+#include "obs/session.h"
 #include "util/bench_config.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ovs;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  obs::Session session({args.trace_out, args.metrics_out});
   const bool full = GetBenchScale() == BenchScale::kFull;
 
   data::Dataset dataset = data::BuildDataset(data::ManhattanConfig());
@@ -76,5 +79,5 @@ int main() {
   std::printf(
       "Expected shape: the with-census column sits far closer to the census "
       "targets (paper Fig. 10).\n");
-  return 0;
+  return session.Close() ? 0 : 1;
 }

@@ -11,10 +11,13 @@
 #include "eval/harness.h"
 #include "eval/metrics.h"
 #include "od/patterns.h"
+#include "obs/session.h"
 #include "util/bench_config.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ovs;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  obs::Session session({args.trace_out, args.metrics_out});
   const bool full = GetBenchScale() == BenchScale::kFull;
   const int train_samples = ScaledIters(12, 40);
 
@@ -101,5 +104,5 @@ int main() {
   std::printf(
       "Expected shape: OVS's two recoveries stay close (small stability "
       "RMSE); LSTM's diverge (paper Fig. 11).\n");
-  return 0;
+  return session.Close() ? 0 : 1;
 }

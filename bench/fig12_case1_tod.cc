@@ -9,6 +9,7 @@
 #include "baselines/ovs_estimator.h"
 #include "data/case_studies.h"
 #include "eval/harness.h"
+#include "obs/session.h"
 #include "util/bench_config.h"
 #include "util/table.h"
 
@@ -38,8 +39,10 @@ int ArgMaxHour(const ovs::od::TodTensor& tod, int od_idx, int from, int to) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ovs;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  obs::Session session({args.trace_out, args.metrics_out});
   const bool full = GetBenchScale() == BenchScale::kFull;
 
   data::Case1Dataset case1 = data::BuildCase1Hangzhou();
@@ -84,5 +87,5 @@ int main() {
   std::printf(
       "Ground-truth peaks (synthesized Sunday rhythm): ~10:00, ~18:00 and "
       "~20:00-01:00 (paper Fig. 12).\n");
-  return 0;
+  return session.Close() ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include "baselines/ovs_estimator.h"
 #include "data/case_studies.h"
 #include "eval/harness.h"
+#include "obs/session.h"
 #include "util/bench_config.h"
 
 namespace {
@@ -28,8 +29,10 @@ void PrintSeries(const char* label, const ovs::od::TodTensor& tod, int od_idx) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ovs;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  obs::Session session({args.trace_out, args.metrics_out});
   const bool full = GetBenchScale() == BenchScale::kFull;
 
   data::Case2Dataset case2 = data::BuildCase2StateCollege();
@@ -81,5 +84,5 @@ int main() {
       "Expected shape: arrivals peak ~09:00 for the noon game; O1 and O3 "
       "(highway gates) carry far more trips than the local O2 (paper Fig. "
       "13).\n");
-  return 0;
+  return session.Close() ? 0 : 1;
 }

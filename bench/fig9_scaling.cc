@@ -10,13 +10,16 @@
 
 #include "core/trainer.h"
 #include "data/cities.h"
+#include "obs/session.h"
 #include "util/bench_config.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ovs;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  obs::Session session({args.trace_out, args.metrics_out});
   const bool full = GetBenchScale() == BenchScale::kFull;
   const int train_samples = full ? 8 : 4;
   const int epochs = full ? 30 : 10;
@@ -81,5 +84,5 @@ int main() {
   std::printf(
       "Expected shape: total time grows ~linearly with the intersection "
       "count (paper Fig. 9).\n");
-  return 0;
+  return session.Close() ? 0 : 1;
 }

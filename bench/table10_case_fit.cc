@@ -7,6 +7,7 @@
 
 #include "data/case_studies.h"
 #include "eval/harness.h"
+#include "obs/session.h"
 #include "util/bench_config.h"
 
 namespace {
@@ -31,8 +32,10 @@ std::vector<std::pair<std::string, double>> RunCase(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ovs;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  obs::Session session({args.trace_out, args.metrics_out});
   const int train_samples = ScaledIters(8, 30);
 
   data::Case1Dataset case1 = data::BuildCase1Hangzhou();
@@ -50,5 +53,5 @@ int main() {
                   Table::Cell(rows2[i].second)});
   }
   table.Print();
-  return 0;
+  return session.Close() ? 0 : 1;
 }

@@ -11,11 +11,14 @@
 
 #include "data/cities.h"
 #include "eval/harness.h"
+#include "obs/session.h"
 #include "util/bench_config.h"
 #include "util/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ovs;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  obs::Session session({args.trace_out, args.metrics_out});
   const int train_samples = ScaledIters(10, 40);
   std::printf("[table6] thread pool: %d threads\n", GlobalThreadCount());
 
@@ -43,5 +46,5 @@ int main() {
         results)
         .Print();
   }
-  return 0;
+  return session.Close() ? 0 : 1;
 }

@@ -12,13 +12,16 @@
 
 #include "core/trainer.h"
 #include "data/cities.h"
+#include "obs/session.h"
 #include "util/bench_config.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ovs;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  obs::Session session({args.trace_out, args.metrics_out});
   const int train_samples = ScaledIters(10, 40);
   const bool full = GetBenchScale() == BenchScale::kFull;
   // Always report the pool size: runtime numbers are only comparable at the
@@ -77,5 +80,5 @@ int main() {
                 total.ElapsedSeconds());
   }
   table.Print();
-  return 0;
+  return session.Close() ? 0 : 1;
 }

@@ -9,11 +9,14 @@
 
 #include "data/cities.h"
 #include "eval/harness.h"
+#include "obs/session.h"
 #include "od/patterns.h"
 #include "util/bench_config.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ovs;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  obs::Session session({args.trace_out, args.metrics_out});
   const int train_samples = ScaledIters(12, 40);
 
   data::DatasetConfig config = data::Synthetic3x3Config();
@@ -48,5 +51,5 @@ int main() {
         results)
         .Print();
   }
-  return 0;
+  return session.Close() ? 0 : 1;
 }

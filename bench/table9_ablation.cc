@@ -10,10 +10,13 @@
 #include "data/cities.h"
 #include "eval/harness.h"
 #include "od/patterns.h"
+#include "obs/session.h"
 #include "util/bench_config.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ovs;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  obs::Session session({args.trace_out, args.metrics_out});
   const bool full = GetBenchScale() == BenchScale::kFull;
 
   data::DatasetConfig config = data::Synthetic3x3Config();
@@ -66,5 +69,5 @@ int main() {
                 result.rmse.speed, result.recover_seconds);
   }
   table.Print();
-  return 0;
+  return session.Close() ? 0 : 1;
 }

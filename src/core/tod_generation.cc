@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace ovs::core {
 
 TodGeneration::TodGeneration(int num_od, int num_intervals,
@@ -20,6 +22,7 @@ TodGeneration::TodGeneration(int num_od, int num_intervals,
 }
 
 nn::Variable TodGeneration::Forward() const {
+  OVS_TRACE_SCOPE("tod_generation.forward");
   nn::Variable z(seeds_, /*requires_grad=*/false);
   nn::Variable h = nn::Sigmoid(fc1_.Forward(z));               // Eq. (1)
   nn::Variable g_norm = nn::Sigmoid(fc2_.Forward(h));          // Eq. (2)

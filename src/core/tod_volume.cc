@@ -1,5 +1,7 @@
 #include "core/tod_volume.h"
 
+#include "obs/trace.h"
+
 namespace ovs::core {
 
 TodVolumeMapping::TodVolumeMapping(int num_od, int num_links, int num_intervals,
@@ -90,6 +92,7 @@ TodVolumeMapping::AttentionParts TodVolumeMapping::ComputeAttention(
 
 nn::Variable TodVolumeMapping::Forward(const nn::Variable& g, bool train,
                                        Rng* dropout_rng) const {
+  OVS_TRACE_SCOPE("tod_volume.forward");
   AttentionParts parts = ComputeAttention(g, train, dropout_rng);
   // Route->link aggregation with the fixed incidence (the set N_j^(r)).
   nn::Variable s = nn::FixedMatMul(incidence_, parts.route_counts);

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "nn/convert.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/session.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace ovs::core {
@@ -43,10 +47,12 @@ std::vector<double> OvsTrainer::TrainVolumeSpeed(const TrainingData& data) {
     speed_targets.push_back(NormalizedTarget(s.speed, speed_scale));
   }
 
+  OVS_TRACE_SCOPE("trainer.stage1");
   nn::Adam opt(model_->volume_speed().Parameters(), config_.lr);
   std::vector<double> curve;
   curve.reserve(config_.stage1_epochs);
   for (int epoch = 0; epoch < config_.stage1_epochs; ++epoch) {
+    OVS_TRACE_SCOPE("trainer.stage1.epoch");
     double epoch_loss = 0.0;
     for (size_t i = 0; i < volume_inputs.size(); ++i) {
       opt.ZeroGrad();
@@ -60,6 +66,11 @@ std::vector<double> OvsTrainer::TrainVolumeSpeed(const TrainingData& data) {
       epoch_loss += loss.value()[0];
     }
     curve.push_back(epoch_loss / volume_inputs.size());
+    OVS_COUNTER_INC("trainer.stage1.epochs");
+    OVS_GAUGE_SET("trainer.stage1.loss", curve.back());
+    OVS_HISTOGRAM_OBSERVE("trainer.stage1.epoch_loss", curve.back(), 1e-4,
+                          1e-3, 1e-2, 0.1, 1.0, 10.0);
+    OVS_TRACE_COUNTER("trainer.stage1.loss", curve.back());
     if (config_.verbose && epoch % 20 == 0) {
       LOG(INFO) << "stage1 epoch " << epoch << " loss " << curve.back();
     }
@@ -101,10 +112,12 @@ std::vector<double> OvsTrainer::TrainTodVolume(const TrainingData& data) {
 
   // Paper §V-E step 2: V2S is frozen; gradients flow through it into TOD2V.
   model_->volume_speed().SetTrainable(false);
+  OVS_TRACE_SCOPE("trainer.stage2");
   nn::Adam opt(model_->tod_volume().Parameters(), config_.lr);
   std::vector<double> curve;
   curve.reserve(config_.stage2_epochs);
   for (int epoch = 0; epoch < config_.stage2_epochs; ++epoch) {
+    OVS_TRACE_SCOPE("trainer.stage2.epoch");
     double epoch_loss = 0.0;
     for (size_t i = 0; i < tod_inputs.size(); ++i) {
       opt.ZeroGrad();
@@ -125,6 +138,11 @@ std::vector<double> OvsTrainer::TrainTodVolume(const TrainingData& data) {
       epoch_loss += loss.value()[0];
     }
     curve.push_back(epoch_loss / tod_inputs.size());
+    OVS_COUNTER_INC("trainer.stage2.epochs");
+    OVS_GAUGE_SET("trainer.stage2.loss", curve.back());
+    OVS_HISTOGRAM_OBSERVE("trainer.stage2.epoch_loss", curve.back(), 1e-4,
+                          1e-3, 1e-2, 0.1, 1.0, 10.0);
+    OVS_TRACE_COUNTER("trainer.stage2.loss", curve.back());
     if (config_.verbose && epoch % 20 == 0) {
       LOG(INFO) << "stage2 epoch " << epoch << " loss " << curve.back();
     }
@@ -135,6 +153,9 @@ std::vector<double> OvsTrainer::TrainTodVolume(const TrainingData& data) {
 
 od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
                                      const AuxLossSet* aux, Rng* rng) {
+  OVS_TRACE_SCOPE("trainer.recover");
+  OVS_SCOPED_DURATION_GAUGE("trainer.recover.seconds");
+  OVS_COUNTER_INC("trainer.recoveries");
   const double speed_scale = model_->config().speed_scale;
   nn::Tensor target = NormalizedTarget(observed_speed, speed_scale);
 
@@ -234,6 +255,9 @@ od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
   // needed.
   ParallelFor(0, restarts, 1, [&](int64_t lo, int64_t hi) {
     for (int64_t restart = lo; restart < hi; ++restart) {
+      OVS_TRACE_SCOPE("trainer.recover.restart");
+      OVS_SCOPED_DURATION_GAUGE("trainer.recover.restart_seconds." +
+                                std::to_string(restart));
       TodGeneratorIface& gen = *generators[restart];
       gen.InitializeOutputLevel(prior_fraction);
       nn::Adam opt(gen.Parameters(), config_.recovery_lr);
@@ -269,6 +293,10 @@ od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
         }
       }
       losses[restart] = final_loss;
+      obs::SetGaugeDynamic(
+          "trainer.recover.restart_loss." + std::to_string(restart),
+          final_loss);
+      OVS_COUNTER_INC("trainer.recover.restarts");
     }
   });
 
@@ -285,6 +313,8 @@ od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
   model_->tod_volume().SetTrainable(true);
   model_->volume_speed().SetTrainable(true);
   last_recovery_loss_ = losses[best];
+  OVS_GAUGE_SET("trainer.recover.best_loss", losses[best]);
+  OVS_GAUGE_SET("trainer.recover.best_restart", static_cast<double>(best));
   return od::TodTensor(nn::ToDMat(best_tod));
 }
 

@@ -1,5 +1,7 @@
 #include "core/volume_speed.h"
 
+#include "obs/trace.h"
+
 namespace ovs::core {
 
 VolumeSpeedMapping::VolumeSpeedMapping(int num_links, const OvsConfig& config,
@@ -23,6 +25,7 @@ VolumeSpeedMapping::VolumeSpeedMapping(int num_links, const OvsConfig& config,
 }
 
 nn::Variable VolumeSpeedMapping::Forward(const nn::Variable& q) const {
+  OVS_TRACE_SCOPE("volume_speed.forward");
   CHECK_EQ(q.value().rank(), 2);
   CHECK_EQ(q.value().dim(0), num_links_);
   const int t_count = q.value().dim(1);

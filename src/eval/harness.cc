@@ -6,6 +6,8 @@
 #include "baselines/gravity.h"
 #include "baselines/nn_baseline.h"
 #include "baselines/ovs_estimator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/bench_config.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -61,12 +63,23 @@ RmseTriple Experiment::Score(const od::TodTensor& recovered) const {
 
 MethodResult Experiment::Run(baselines::OdEstimator* estimator) const {
   CHECK(estimator != nullptr);
+  OVS_TRACE_SCOPE(obs::InternName("eval.run." + estimator->name()));
   Timer timer;
   od::TodTensor recovered = estimator->Recover(context_, ground_truth_.speed);
   MethodResult result;
   result.method = estimator->name();
   result.recover_seconds = timer.ElapsedSeconds();
   result.rmse = Score(recovered);
+  // One metrics row per experiment: the per-method scores and recover time,
+  // exported alongside the printed table.
+  obs::SetGaugeDynamic("eval." + result.method + ".rmse_tod", result.rmse.tod);
+  obs::SetGaugeDynamic("eval." + result.method + ".rmse_volume",
+                       result.rmse.volume);
+  obs::SetGaugeDynamic("eval." + result.method + ".rmse_speed",
+                       result.rmse.speed);
+  obs::SetGaugeDynamic("eval." + result.method + ".recover_seconds",
+                       result.recover_seconds);
+  obs::AddCounterDynamic("eval.experiments_run", 1);
   return result;
 }
 

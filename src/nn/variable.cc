@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "obs/trace.h"
+
 namespace ovs::nn {
 
 Variable::Variable(Tensor value, bool requires_grad)
@@ -27,6 +29,7 @@ Variable Variable::MakeNode(
 }
 
 void Variable::Backward() const {
+  OVS_TRACE_SCOPE("nn.backward");
   auto root = node();
   CHECK_EQ(root->value.numel(), 1) << "Backward requires a scalar output";
 

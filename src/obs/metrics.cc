@@ -1,0 +1,222 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ovs::obs {
+
+namespace {
+
+/// Formats a double for export: full round-trip precision, and `null` for
+/// non-finite values so the JSONL stays machine-parseable.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream ss;
+  ss << std::setprecision(17) << v;
+  return ss.str();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      bucket_counts_(std::vector<std::atomic<uint64_t>>(bounds_.size() + 1)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CHECK_LT(bounds_[i - 1], bounds_[i]) << "histogram bounds must ascend";
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : bucket_counts_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    // Private ctor (registry-only construction), so make_unique cannot help.
+    // ovs-lint: allow(naked-new)
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter())).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    // ovs-lint: allow(naked-new)
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge())).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    // ovs-lint: allow(naked-new)
+    std::unique_ptr<Histogram> h(new Histogram(std::move(bounds)));
+    it = histograms_.emplace(name, std::move(h)).first;
+  } else {
+    CHECK(it->second->bounds() == bounds)
+        << "histogram '" << name << "' re-registered with different bounds";
+  }
+  return it->second.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kCounter;
+    s.counter_value = c->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kGauge;
+    s.gauge_value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kHistogram;
+    s.bounds = h->bounds();
+    s.bucket_counts.reserve(s.bounds.size() + 1);
+    for (size_t i = 0; i <= s.bounds.size(); ++i) {
+      s.bucket_counts.push_back(h->bucket_count(i));
+    }
+    s.hist_count = h->count();
+    s.hist_sum = h->sum();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+void MetricsRegistry::WriteCsv(std::ostream& os) const {
+  os << "name,type,value,count,sum\n";
+  for (const MetricSnapshot& s : Snapshot()) {
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        os << s.name << ",counter," << s.counter_value << ",,\n";
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        os << s.name << ",gauge," << JsonNumber(s.gauge_value) << ",,\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        const double mean =
+            s.hist_count > 0 ? s.hist_sum / static_cast<double>(s.hist_count)
+                             : 0.0;
+        os << s.name << ",histogram," << JsonNumber(mean) << ","
+           << s.hist_count << "," << JsonNumber(s.hist_sum) << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::WriteJsonl(std::ostream& os) const {
+  for (const MetricSnapshot& s : Snapshot()) {
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        os << "{\"type\":\"counter\",\"name\":\"" << JsonEscape(s.name)
+           << "\",\"value\":" << s.counter_value << "}\n";
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        os << "{\"type\":\"gauge\",\"name\":\"" << JsonEscape(s.name)
+           << "\",\"value\":" << JsonNumber(s.gauge_value) << "}\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        os << "{\"type\":\"histogram\",\"name\":\"" << JsonEscape(s.name)
+           << "\",\"count\":" << s.hist_count
+           << ",\"sum\":" << JsonNumber(s.hist_sum) << ",\"buckets\":[";
+        for (size_t i = 0; i < s.bucket_counts.size(); ++i) {
+          if (i > 0) os << ",";
+          os << "{\"le\":";
+          if (i < s.bounds.size()) {
+            os << JsonNumber(s.bounds[i]);
+          } else {
+            os << "\"+inf\"";
+          }
+          os << ",\"count\":" << s.bucket_counts[i] << "}";
+        }
+        os << "]}\n";
+        break;
+      }
+    }
+  }
+}
+
+void AddCounterDynamic(const std::string& name, uint64_t n) {
+#if defined(OVS_OBS_DISABLED)
+  (void)name;
+  (void)n;
+#else
+  MetricsRegistry::Global().GetCounter(name)->Add(n);
+#endif
+}
+
+void SetGaugeDynamic(const std::string& name, double value) {
+#if defined(OVS_OBS_DISABLED)
+  (void)name;
+  (void)value;
+#else
+  MetricsRegistry::Global().GetGauge(name)->Set(value);
+#endif
+}
+
+}  // namespace ovs::obs

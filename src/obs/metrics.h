@@ -1,0 +1,193 @@
+#ifndef OVS_OBS_METRICS_H_
+#define OVS_OBS_METRICS_H_
+
+// Thread-safe metrics registry: counters, gauges, and fixed-bucket
+// histograms behind cheap handle/macro APIs.
+//
+// Design contract (see DESIGN.md "Observability"):
+//  - Registration is the only operation that takes the registry lock; after
+//    that, every update is a relaxed atomic on a stable pointer. The macro
+//    forms cache the handle in a function-local static, so a hot loop pays
+//    one registry lookup per call site for the whole process lifetime.
+//  - Metrics never read clocks and never feed back into computation, so the
+//    bitwise-determinism guarantee of the parallel layer is unaffected.
+//  - Compiling with -DOVS_OBS_DISABLED turns every macro in this header into
+//    `((void)0)` — the fully disabled build carries zero telemetry cost.
+//  - Snapshots iterate names in lexicographic order (std::map), so exports
+//    are stable run to run.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ovs::obs {
+
+/// Monotonic event count. Updates are relaxed atomics; exact totals are
+/// still guaranteed because fetch_add is atomic regardless of ordering.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written double value (e.g. the final loss of a training stage).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus-style `le` (less-or-equal) upper
+/// bounds. Bucket i counts observations v with v <= bounds[i]; one implicit
+/// overflow bucket catches the rest. Bounds are fixed at registration.
+class Histogram {
+ public:
+  void Observe(double v) {
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    bucket_counts_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Count of bucket i (i == bounds().size() is the overflow bucket).
+  uint64_t bucket_count(size_t i) const {
+    return bucket_counts_[i].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> bucket_counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of one metric, for exporters and tests.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t counter_value = 0;               // kCounter
+  double gauge_value = 0.0;                 // kGauge
+  std::vector<double> bounds;               // kHistogram
+  std::vector<uint64_t> bucket_counts;      // kHistogram, bounds.size() + 1
+  uint64_t hist_count = 0;                  // kHistogram
+  double hist_sum = 0.0;                    // kHistogram
+};
+
+/// Process-wide metric registry. Get* registers on first use and returns a
+/// pointer that stays valid for the registry's lifetime, so call sites may
+/// cache it (the OVS_* macros below do exactly that).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Registers a histogram with the given `le` upper bounds (ascending).
+  /// Re-registration with the same name must pass identical bounds.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  /// Copies every registered metric, names in lexicographic order.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Zeroes all values but keeps registrations (cached handles stay valid).
+  /// Session opens call this so an export covers exactly one run.
+  void Reset();
+
+  /// One CSV row per metric: name,type,value,count,sum (histograms report
+  /// their mean in the value column; per-bucket detail is JSONL-only).
+  void WriteCsv(std::ostream& os) const;
+
+  /// One JSON object per line; histograms carry their full bucket vector.
+  void WriteJsonl(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Dynamic-name conveniences for call sites whose metric name is computed at
+/// runtime (per-method eval rows, per-restart losses). No handle caching.
+void AddCounterDynamic(const std::string& name, uint64_t n);
+void SetGaugeDynamic(const std::string& name, double value);
+
+}  // namespace ovs::obs
+
+#ifndef OVS_OBS_CONCAT
+#define OVS_OBS_CONCAT_INNER(a, b) a##b
+#define OVS_OBS_CONCAT(a, b) OVS_OBS_CONCAT_INNER(a, b)
+#endif
+
+#if defined(OVS_OBS_DISABLED)
+
+#define OVS_COUNTER_ADD(name, n) ((void)0)
+#define OVS_COUNTER_INC(name) ((void)0)
+#define OVS_GAUGE_SET(name, value) ((void)0)
+#define OVS_HISTOGRAM_OBSERVE(name, value, ...) ((void)0)
+
+#else
+
+/// Adds `n` to the counter `name` (string literal). The handle is resolved
+/// once per call site.
+#define OVS_COUNTER_ADD(name, n)                                         \
+  do {                                                                   \
+    static ::ovs::obs::Counter* OVS_OBS_CONCAT(ovs_obs_counter_,         \
+                                               __LINE__) =               \
+        ::ovs::obs::MetricsRegistry::Global().GetCounter(name);          \
+    OVS_OBS_CONCAT(ovs_obs_counter_, __LINE__)->Add(n);                  \
+  } while (false)
+
+#define OVS_COUNTER_INC(name) OVS_COUNTER_ADD(name, 1)
+
+#define OVS_GAUGE_SET(name, value)                                       \
+  do {                                                                   \
+    static ::ovs::obs::Gauge* OVS_OBS_CONCAT(ovs_obs_gauge_, __LINE__) = \
+        ::ovs::obs::MetricsRegistry::Global().GetGauge(name);            \
+    OVS_OBS_CONCAT(ovs_obs_gauge_, __LINE__)->Set(value);                \
+  } while (false)
+
+/// Observes `value` in the histogram `name` with `le` bounds given as the
+/// trailing arguments, e.g. OVS_HISTOGRAM_OBSERVE("loss", v, 0.01, 0.1, 1.0).
+#define OVS_HISTOGRAM_OBSERVE(name, value, ...)                          \
+  do {                                                                   \
+    static ::ovs::obs::Histogram* OVS_OBS_CONCAT(ovs_obs_hist_,          \
+                                                 __LINE__) =             \
+        ::ovs::obs::MetricsRegistry::Global().GetHistogram(              \
+            name, {__VA_ARGS__});                                        \
+    OVS_OBS_CONCAT(ovs_obs_hist_, __LINE__)->Observe(value);             \
+  } while (false)
+
+#endif  // OVS_OBS_DISABLED
+
+#endif  // OVS_OBS_METRICS_H_

@@ -1,0 +1,115 @@
+#include "obs/session.h"
+
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace ovs::obs {
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Delta that tolerates the global pool being replaced mid-session
+/// (SetGlobalThreads resets the counters, which would underflow).
+uint64_t Delta(uint64_t now, uint64_t base) { return now >= base ? now - base : now; }
+
+}  // namespace
+
+Session::Session(SessionOptions options)
+    : options_(std::move(options)), open_(true) {
+  if (options_.reset_metrics) MetricsRegistry::Global().Reset();
+  pool_baseline_ = GlobalThreadPool()->stats();
+  if (!options_.trace_out.empty()) {
+    StartTracing();
+    tracing_ = true;
+  }
+}
+
+Session::~Session() {
+  if (!open_) return;
+  const Status status = Finish();
+  if (!status.ok()) {
+    LOG(ERROR) << "telemetry session close failed: " << status.ToString();
+  }
+}
+
+Status Session::Finish() {
+  if (!open_) return Status::Ok();
+  open_ = false;
+  if (tracing_) StopTracing();
+
+  PublishThreadPoolMetrics(pool_baseline_);
+
+  if (!options_.trace_out.empty()) {
+    std::ofstream out(options_.trace_out, std::ios::binary);
+    if (!out) {
+      return Status::NotFound("cannot open trace output " + options_.trace_out);
+    }
+    RETURN_IF_ERROR(WriteChromeTrace(out));
+    if (!out.good()) {
+      return Status::DataLoss("short write to " + options_.trace_out);
+    }
+  }
+  if (!options_.metrics_out.empty()) {
+    std::ofstream out(options_.metrics_out, std::ios::binary);
+    if (!out) {
+      return Status::NotFound("cannot open metrics output " +
+                              options_.metrics_out);
+    }
+    if (EndsWith(options_.metrics_out, ".csv")) {
+      MetricsRegistry::Global().WriteCsv(out);
+    } else {
+      MetricsRegistry::Global().WriteJsonl(out);
+    }
+    if (!out.good()) {
+      return Status::DataLoss("short write to " + options_.metrics_out);
+    }
+  }
+  return Status::Ok();
+}
+
+bool Session::Close() {
+  const Status status = Finish();
+  if (!status.ok()) {
+    LOG(ERROR) << "telemetry session close failed: " << status.ToString();
+    return false;
+  }
+  return true;
+}
+
+void PublishThreadPoolMetrics(const ThreadPool::Stats& baseline) {
+  const ThreadPool::Stats now = GlobalThreadPool()->stats();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetGauge("threadpool.threads")
+      ->Set(static_cast<double>(GlobalThreadCount()));
+  Counter* tasks = reg.GetCounter("threadpool.tasks_run");
+  tasks->Reset();
+  tasks->Add(Delta(now.tasks_run, baseline.tasks_run));
+  Counter* chunks = reg.GetCounter("threadpool.chunks_run");
+  chunks->Reset();
+  chunks->Add(Delta(now.chunks_run, baseline.chunks_run));
+  Counter* fors = reg.GetCounter("threadpool.parallel_fors");
+  fors->Reset();
+  fors->Add(Delta(now.parallel_fors, baseline.parallel_fors));
+  Counter* idle = reg.GetCounter("threadpool.worker_idle_ns");
+  idle->Reset();
+  idle->Add(Delta(now.idle_ns, baseline.idle_ns));
+}
+
+ScopedDurationGauge::ScopedDurationGauge(std::string name)
+    : name_(std::move(name)), start_ns_(internal_trace::NowNs()) {}
+
+ScopedDurationGauge::~ScopedDurationGauge() {
+  const uint64_t end_ns = internal_trace::NowNs();
+  const uint64_t dur = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  SetGaugeDynamic(name_, static_cast<double>(dur) / 1e9);
+}
+
+}  // namespace ovs::obs

@@ -1,0 +1,109 @@
+#ifndef OVS_OBS_SESSION_H_
+#define OVS_OBS_SESSION_H_
+
+// A telemetry session: the unit bench/eval binaries open to capture one
+// run's trace and metrics.
+//
+//   int main(int argc, char** argv) {
+//     ovs::BenchArgs args = ovs::ParseBenchArgs(argc, argv);
+//     ovs::obs::Session session({args.trace_out, args.metrics_out});
+//     ... run the experiment ...
+//     return session.Close() ? 0 : 1;
+//   }
+//
+// Opening a session with a non-empty trace_out enables span recording
+// (StartTracing) and resets the metrics registry so the export covers
+// exactly this run; Close() (or the destructor) stops tracing, publishes
+// ThreadPool stats into the registry, and writes the requested files.
+// With both paths empty the session is inert — binaries can construct one
+// unconditionally.
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ovs::obs {
+
+struct SessionOptions {
+  /// Chrome-trace JSON output path; empty disables span recording.
+  std::string trace_out;
+  /// Metrics export path; empty disables the export. A ".csv" suffix
+  /// selects the CSV exporter, anything else writes JSONL.
+  std::string metrics_out;
+  /// Zero the metrics registry at open so exports cover one run only.
+  bool reset_metrics = true;
+};
+
+class Session {
+ public:
+  /// Inert session: records nothing, Close() is a no-op.
+  Session() = default;
+  explicit Session(SessionOptions options);
+  /// Closes the session if Close() was not called; export errors are logged
+  /// (use Close() to observe them).
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Stops tracing, publishes ThreadPool stats, writes the exports.
+  /// Idempotent; only the first call does work.
+  [[nodiscard]] Status Finish();
+
+  /// Finish() with errors reported via LOG(ERROR); true on success. The
+  /// form bench mains use in their return statement.
+  bool Close();
+
+  /// True when this session enabled span recording.
+  bool tracing() const { return tracing_; }
+
+ private:
+  SessionOptions options_;
+  bool open_ = false;
+  bool tracing_ = false;
+  /// Pool stats at open; Finish publishes the delta, so threadpool.* metrics
+  /// count only this session's work.
+  ThreadPool::Stats pool_baseline_;
+};
+
+/// Mirrors the ThreadPool's cumulative stats into the metrics registry as
+/// threadpool.* counters/gauges (deltas against `baseline`). Called by
+/// Session::Finish; exposed for tests.
+void PublishThreadPoolMetrics(const ThreadPool::Stats& baseline);
+
+/// RAII wall-time recorder: sets gauge `name` to the elapsed seconds of the
+/// enclosing scope on destruction. The clock reads live inside the obs
+/// layer, keeping src/core and src/nn free of wall-clock calls (enforced by
+/// the `wallclock-in-core` lint rule).
+class ScopedDurationGauge {
+ public:
+  explicit ScopedDurationGauge(std::string name);
+  ~ScopedDurationGauge();
+
+  ScopedDurationGauge(const ScopedDurationGauge&) = delete;
+  ScopedDurationGauge& operator=(const ScopedDurationGauge&) = delete;
+
+ private:
+  std::string name_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace ovs::obs
+
+#ifndef OVS_OBS_CONCAT
+#define OVS_OBS_CONCAT_INNER(a, b) a##b
+#define OVS_OBS_CONCAT(a, b) OVS_OBS_CONCAT_INNER(a, b)
+#endif
+
+#if defined(OVS_OBS_DISABLED)
+#define OVS_SCOPED_DURATION_GAUGE(name) ((void)0)
+#else
+/// Records the enclosing scope's wall time into gauge `name` (any string
+/// expression) in seconds.
+#define OVS_SCOPED_DURATION_GAUGE(name) \
+  ::ovs::obs::ScopedDurationGauge OVS_OBS_CONCAT(ovs_obs_dur_, __LINE__)(name)
+#endif
+
+#endif  // OVS_OBS_SESSION_H_

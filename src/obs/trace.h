@@ -1,0 +1,133 @@
+#ifndef OVS_OBS_TRACE_H_
+#define OVS_OBS_TRACE_H_
+
+// Scoped trace spans with Chrome-trace / Perfetto JSON export.
+//
+// Usage: `OVS_TRACE_SCOPE("stage2.epoch");` opens a span that closes at the
+// end of the enclosing block. Spans on the same thread nest naturally in the
+// Perfetto timeline (Chrome "X" complete events nest by containment).
+// `OVS_TRACE_COUNTER("trainer.stage1.loss", v)` emits a counter sample the
+// viewer renders as a time series.
+//
+// Recording model:
+//  - Events land in per-thread buffers. Appending takes no lock: events are
+//    written into fixed-size blocks and published with a release store of
+//    the buffer size; the exporter reads the size with acquire and only
+//    touches published slots. A mutex guards only block allocation (rare)
+//    and the block list during export.
+//  - When no Session has tracing enabled, the span constructor is a single
+//    relaxed atomic load and the destructor a null check — cheap enough for
+//    per-epoch scopes. Compiling with -DOVS_OBS_DISABLED removes the macros
+//    entirely (zero-cost disable, the span fast path does not exist).
+//  - Determinism contract: spans read the steady clock but never feed any
+//    value back into computation. tests/obs_test.cc pins this by comparing
+//    tracing-on and tracing-off recovery runs bitwise.
+//
+// Span names must be string literals or strings interned via InternName()
+// (the buffer stores only the pointer).
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/status.h"
+
+namespace ovs::obs {
+
+namespace internal_trace {
+
+/// True while a Session with tracing is open. Relaxed loads on the span
+/// fast path; flipped with sequentially consistent stores by Start/Stop.
+extern std::atomic<bool> g_trace_enabled;
+
+/// Steady-clock timestamp in nanoseconds (absolute; the exporter rebases
+/// onto the session start).
+uint64_t NowNs();
+
+/// Appends a completed span to the calling thread's buffer.
+void AppendSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+
+/// Appends a counter sample to the calling thread's buffer.
+void AppendCounter(const char* name, uint64_t ts_ns, double value);
+
+}  // namespace internal_trace
+
+inline bool TracingEnabled() {
+  return internal_trace::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII span: records [construction, destruction) on the current thread when
+/// tracing is enabled, else does nothing.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      start_ns_ = internal_trace::NowNs();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      internal_trace::AppendSpan(name_, start_ns_, internal_trace::NowNs());
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+/// Emits a counter sample (Chrome "C" event) when tracing is enabled.
+inline void TraceCounter(const char* name, double value) {
+  if (TracingEnabled()) {
+    internal_trace::AppendCounter(name, internal_trace::NowNs(), value);
+  }
+}
+
+/// Interns a dynamic span/counter name, returning a pointer that stays valid
+/// for the process lifetime. Thread-safe; repeated calls with equal strings
+/// return the same pointer.
+const char* InternName(const std::string& name);
+
+/// Enables tracing: clears all thread buffers, rebases the session clock,
+/// then flips the enabled flag. Not safe to call while spans are open.
+void StartTracing();
+
+/// Disables tracing. Buffered events stay available for WriteChromeTrace.
+void StopTracing();
+
+/// Writes every buffered event as Chrome trace JSON (the
+/// `{"traceEvents":[...]}` object form that chrome://tracing and Perfetto
+/// load directly). Timestamps are microseconds relative to StartTracing.
+[[nodiscard]] Status WriteChromeTrace(std::ostream& os);
+
+/// Total buffered events across all threads (test hook).
+size_t BufferedTraceEventCount();
+
+}  // namespace ovs::obs
+
+#ifndef OVS_OBS_CONCAT
+#define OVS_OBS_CONCAT_INNER(a, b) a##b
+#define OVS_OBS_CONCAT(a, b) OVS_OBS_CONCAT_INNER(a, b)
+#endif
+
+#if defined(OVS_OBS_DISABLED)
+
+#define OVS_TRACE_SCOPE(name) ((void)0)
+#define OVS_TRACE_COUNTER(name, value) ((void)0)
+
+#else
+
+/// Opens a span covering the rest of the enclosing block.
+#define OVS_TRACE_SCOPE(name) \
+  ::ovs::obs::ScopedSpan OVS_OBS_CONCAT(ovs_obs_span_, __LINE__)(name)
+
+#define OVS_TRACE_COUNTER(name, value) ::ovs::obs::TraceCounter(name, value)
+
+#endif  // OVS_OBS_DISABLED
+
+#endif  // OVS_OBS_TRACE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace ovs::sim {
@@ -165,6 +167,7 @@ void Engine::Step(int step, double now, int interval, SensorData* out) {
           continue;
         }
         v.last_step = step;
+        ++total_vehicle_steps_;
         double gap;
         double leader_speed;
         bool can_cross = false;
@@ -290,11 +293,15 @@ void Engine::Step(int step, double now, int interval, SensorData* out) {
       }
     }
   });
+
+  OVS_COUNTER_INC("sim.steps");
 }
 
 SensorData Engine::Run() {
   CHECK(!ran_) << "Engine::Run is single-shot";
   ran_ = true;
+  OVS_TRACE_SCOPE("sim.run");
+  OVS_COUNTER_INC("sim.runs");
 
   const int intervals = config_.NumIntervals();
   SensorData out;
@@ -318,6 +325,12 @@ SensorData Engine::Run() {
     if (interval != current_interval) {
       // Flush the finished interval's speed accumulators (disjoint per-link
       // writes; deterministic for any thread count).
+      OVS_TRACE_SCOPE("sim.interval_flush");
+      OVS_COUNTER_INC("sim.interval_flushes");
+      // Sampled at interval cadence, not per step: a full bench run emits
+      // millions of steps, which would dominate the trace file.
+      OVS_TRACE_COUNTER("sim.active_vehicles",
+                        static_cast<double>(active_count_));
       ParallelFor(0, net_->num_links(), kLinkGrain,
                   [&](int64_t lo, int64_t hi) {
                     for (int64_t l = lo; l < hi; ++l) {
@@ -338,6 +351,10 @@ SensorData Engine::Run() {
     out.speed.at(l, current_interval) =
         speed_obs_[l] > 0 ? speed_sum_[l] / speed_obs_[l] : LinkDesiredSpeed(l);
   }
+
+  OVS_COUNTER_ADD("sim.vehicle_steps", total_vehicle_steps_);
+  OVS_COUNTER_ADD("sim.completed_trips",
+                  static_cast<uint64_t>(completed_count_));
 
   out.completed_trips = completed_count_;
   out.unspawned_trips = static_cast<int>(pending_.size());

@@ -2,6 +2,7 @@
 #define OVS_SIM_ENGINE_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -166,6 +167,9 @@ class Engine {
   int completed_count_ = 0;
   double total_travel_time_s_ = 0.0;
   bool ran_ = false;
+  /// Vehicle-updates executed across all steps; published as the
+  /// `sim.vehicle_steps` metric when Run finishes.
+  uint64_t total_vehicle_steps_ = 0;
 
   // Per-interval scratch accumulators for speed sensing.
   std::vector<double> speed_sum_;   // per link, current interval

@@ -18,4 +18,19 @@ int ScaledIters(int fast, int full) {
   return GetBenchScale() == BenchScale::kFull ? full : fast;
 }
 
+BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    constexpr const char* kTrace = "--trace_out=";
+    constexpr const char* kMetrics = "--metrics_out=";
+    if (arg.rfind(kTrace, 0) == 0) {
+      args.trace_out = arg.substr(std::strlen(kTrace));
+    } else if (arg.rfind(kMetrics, 0) == 0) {
+      args.metrics_out = arg.substr(std::strlen(kMetrics));
+    }
+  }
+  return args;
+}
+
 }  // namespace ovs

@@ -1,6 +1,8 @@
 #ifndef OVS_UTIL_BENCH_CONFIG_H_
 #define OVS_UTIL_BENCH_CONFIG_H_
 
+#include <string>
+
 namespace ovs {
 
 /// Global scale knob for the experiment benches. The default ("fast") sizes
@@ -15,6 +17,22 @@ BenchScale GetBenchScale();
 
 /// Scales an iteration count: returns `fast` under kFast, `full` under kFull.
 int ScaledIters(int fast, int full);
+
+/// Command-line knobs shared by the bench/eval binaries. Deliberately
+/// string-only so ovs_util stays free of any obs dependency; the binaries
+/// hand the paths to an ovs::obs::Session.
+struct BenchArgs {
+  /// Chrome-trace JSON output (--trace_out=PATH); empty = tracing off.
+  std::string trace_out;
+  /// Metrics export (--metrics_out=PATH, ".csv" selects CSV over JSONL);
+  /// empty = no export.
+  std::string metrics_out;
+};
+
+/// Parses --trace_out= / --metrics_out= from argv. Unrecognized arguments
+/// are ignored (benches own any extra flags); a recognized flag missing its
+/// value keeps the default.
+BenchArgs ParseBenchArgs(int argc, char** argv);
 
 }  // namespace ovs
 

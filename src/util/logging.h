@@ -1,7 +1,9 @@
 #ifndef OVS_UTIL_LOGGING_H_
 #define OVS_UTIL_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -10,6 +12,58 @@ namespace ovs {
 
 /// Severity levels for LOG(). FATAL aborts the process after logging.
 enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+namespace internal_logging {
+
+/// Process-wide minimum severity that LOG() emits. Initialized once from the
+/// OVS_MIN_LOG_LEVEL environment variable (name "INFO"/"WARNING"/"ERROR"/
+/// "FATAL" or numeric 0-3); defaults to INFO. Clamped to FATAL so fatal
+/// messages can never be filtered out.
+inline std::atomic<int>& MinLogLevelStorage() {
+  static std::atomic<int> level = [] {
+    int v = static_cast<int>(LogSeverity::kInfo);
+    if (const char* env = std::getenv("OVS_MIN_LOG_LEVEL")) {
+      if (std::strcmp(env, "INFO") == 0) {
+        v = 0;
+      } else if (std::strcmp(env, "WARNING") == 0) {
+        v = 1;
+      } else if (std::strcmp(env, "ERROR") == 0) {
+        v = 2;
+      } else if (std::strcmp(env, "FATAL") == 0) {
+        v = 3;
+      } else if (env[0] >= '0' && env[0] <= '3' && env[1] == '\0') {
+        v = env[0] - '0';
+      }
+    }
+    return v;
+  }();
+  return level;
+}
+
+/// True when a message of `severity` passes the current filter. FATAL always
+/// logs (the level cannot exceed kFatal).
+inline bool ShouldLog(LogSeverity severity) {
+  return static_cast<int>(severity) >=
+         MinLogLevelStorage().load(std::memory_order_relaxed);
+}
+
+}  // namespace internal_logging
+
+/// Overrides the minimum LOG severity at runtime (test hook; production code
+/// sets OVS_MIN_LOG_LEVEL instead). FATAL is never filtered.
+inline void SetMinLogLevel(LogSeverity severity) {
+  internal_logging::MinLogLevelStorage().store(
+      static_cast<int>(severity) > static_cast<int>(LogSeverity::kFatal)
+          ? static_cast<int>(LogSeverity::kFatal)
+          : static_cast<int>(severity),
+      std::memory_order_relaxed);
+}
+
+/// The current minimum LOG severity.
+inline LogSeverity GetMinLogLevel() {
+  return static_cast<LogSeverity>(
+      internal_logging::MinLogLevelStorage().load(std::memory_order_relaxed));
+}
 
 namespace internal_logging {
 
@@ -81,7 +135,20 @@ struct LogMessageVoidify {
 #define OVS_LOG_FATAL \
   ::ovs::internal_logging::LogMessage(::ovs::LogSeverity::kFatal, __FILE__, __LINE__)
 
-#define LOG(severity) OVS_LOG_##severity.stream()
+#define OVS_SEVERITY_INFO ::ovs::LogSeverity::kInfo
+#define OVS_SEVERITY_WARNING ::ovs::LogSeverity::kWarning
+#define OVS_SEVERITY_ERROR ::ovs::LogSeverity::kError
+#define OVS_SEVERITY_FATAL ::ovs::LogSeverity::kFatal
+
+/// Statement-form logging with runtime severity filtering: when the message
+/// is below the OVS_MIN_LOG_LEVEL threshold, the LogMessage (and every
+/// streamed operand) is never constructed. The ternary keeps the usual
+/// `LOG(INFO) << x;` syntax; both branches are void expressions.
+#define LOG(severity)                                           \
+  !::ovs::internal_logging::ShouldLog(OVS_SEVERITY_##severity)  \
+      ? (void)0                                                 \
+      : ::ovs::internal_logging::LogMessageVoidify() &          \
+            OVS_LOG_##severity.stream()
 
 /// CHECK aborts with a message when `condition` is false. Used for programmer
 /// invariants (not recoverable errors — those return Status).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 
@@ -99,18 +100,36 @@ void ThreadPool::WorkerMain() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      const auto wait_start = std::chrono::steady_clock::now();
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      idle_ns_.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - wait_start)
+                  .count()),
+          std::memory_order_relaxed);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  s.chunks_run = chunks_run_.load(std::memory_order_relaxed);
+  s.parallel_fors = parallel_fors_.load(std::memory_order_relaxed);
+  s.idle_ns = idle_ns_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
                              const std::function<void(int64_t, int64_t)>& fn) {
   if (end <= begin) return;
+  parallel_fors_.fetch_add(1, std::memory_order_relaxed);
   grain = std::max<int64_t>(1, grain);
   const int64_t n = end - begin;
   if (workers_.empty() || n <= grain || tls_in_parallel_region) {
@@ -119,6 +138,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     // serialize the parallel GEMMs nested inside it, while a call made from
     // within a real parallel region keeps degrading to serial.
     fn(begin, end);
+    chunks_run_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
 
@@ -149,6 +169,8 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
              region->num_chunks;
     });
   }
+  chunks_run_.fetch_add(static_cast<uint64_t>(region->num_chunks),
+                        std::memory_order_relaxed);
   if (region->failed.load(std::memory_order_acquire)) {
     std::rethrow_exception(region->error);
   }

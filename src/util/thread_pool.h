@@ -1,6 +1,7 @@
 #ifndef OVS_UTIL_THREAD_POOL_H_
 #define OVS_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -34,6 +35,24 @@ class ThreadPool {
   /// Total parallelism (workers + the calling thread).
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
+  /// Cumulative activity counters since construction. The pool maintains
+  /// these itself with plain relaxed atomics so ovs_util carries no
+  /// dependency on the obs layer; obs::Session publishes per-run deltas
+  /// into the metrics registry.
+  struct Stats {
+    /// Worker-side task closures executed (helper dispatches; the calling
+    /// thread's own chunk-running does not queue a task).
+    uint64_t tasks_run = 0;
+    /// Chunks executed across all ParallelFor calls (a serial fast-path
+    /// call counts as one chunk).
+    uint64_t chunks_run = 0;
+    /// ParallelFor invocations on this pool (including serial fast paths).
+    uint64_t parallel_fors = 0;
+    /// Total nanoseconds workers spent blocked waiting for work.
+    uint64_t idle_ns = 0;
+  };
+  Stats stats() const;
+
   /// Applies `fn(lo, hi)` over contiguous chunks covering [begin, end).
   /// Chunks are at most `grain` indices wide (grain < 1 is treated as 1).
   /// Runs inline (one call with the full range) when the range fits in a
@@ -52,6 +71,11 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> chunks_run_{0};
+  std::atomic<uint64_t> parallel_fors_{0};
+  std::atomic<uint64_t> idle_ns_{0};
 };
 
 /// Process-wide pool used by the nn ops, the trainer, the simulator, and the

@@ -2,6 +2,7 @@
 #define OVS_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace ovs {
 
@@ -14,13 +15,24 @@ class Timer {
   /// Resets the stopwatch to zero.
   void Restart() { start_ = Clock::now(); }
 
+  /// Elapsed monotonic nanoseconds since construction or the last
+  /// Restart(). The single duration-cast point; every other unit derives
+  /// from it so all readings agree on the same clock sample semantics.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
   /// Elapsed seconds since construction or the last Restart().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
   }
 
   /// Elapsed milliseconds since construction or the last Restart().
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -268,6 +268,55 @@ TEST(LintParallelForTest, Suppressible) {
   EXPECT_TRUE(diags.empty());
 }
 
+// --------------------------------------------------------- wallclock-in-core
+
+TEST(LintWallclockTest, FlagsTimerInCore) {
+  auto diags = LintContent("src/core/trainer.cc",
+                           "double F() { Timer t; return t.ElapsedSeconds(); }\n");
+  ExpectSingle(diags, "wallclock-in-core", 1);
+  EXPECT_EQ(diags[0].message,
+            "ovs::Timer in core/nn; report timing from the bench/eval layer "
+            "or record it via the obs layer (OVS_SCOPED_DURATION_GAUGE)");
+}
+
+TEST(LintWallclockTest, FlagsClockReadsInNn) {
+  auto diags = LintContent(
+      "src/nn/ops.cc",
+      "void G() { auto t = std::chrono::steady_clock::now(); (void)t; }\n");
+  // Both the clock type and the ::now() call are reported.
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "wallclock-in-core");
+  EXPECT_EQ(diags[1].rule, "wallclock-in-core");
+  bool saw_now_message = false;
+  for (const auto& d : diags) {
+    if (d.message ==
+        "clock read in core/nn; keep the numeric model clock-free and put "
+        "telemetry in src/obs") {
+      saw_now_message = true;
+    }
+  }
+  EXPECT_TRUE(saw_now_message);
+}
+
+TEST(LintWallclockTest, CleanOutsideCoreAndNn) {
+  // Timing code is fine in sim/eval/bench/obs — the rule only fences the
+  // numeric model layers.
+  const std::string timing = "double E() { return Clock::now().time_since_epoch().count(); }\n";
+  EXPECT_TRUE(LintContent("src/sim/engine.cc", timing).empty());
+  EXPECT_TRUE(LintContent("src/eval/harness.cc", timing).empty());
+  EXPECT_TRUE(LintContent("src/obs/trace.cc", timing).empty());
+}
+
+TEST(LintWallclockTest, Suppressible) {
+  auto same_line = LintContent(
+      "src/core/trainer.cc", "Timer t;  // ovs-lint: allow(wallclock-in-core)\n");
+  EXPECT_TRUE(same_line.empty());
+  auto prev_line = LintContent("src/nn/variable.cc",
+                               "// ovs-lint: allow(wallclock-in-core)\n"
+                               "Timer t;\n");
+  EXPECT_TRUE(prev_line.empty());
+}
+
 // -------------------------------------------------------------- machinery --
 
 TEST(LintMachineryTest, AllowListSupportsMultipleRulesAndWildcard) {
@@ -300,7 +349,7 @@ TEST(LintMachineryTest, FiveRulesRegistered) {
   for (const auto& r : rules) names.push_back(r.name);
   for (const char* expected :
        {"raw-rand", "unordered-iter", "naked-new", "float-narrowing",
-        "parallelfor-capture"}) {
+        "parallelfor-capture", "wallclock-in-core"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing rule " << expected;
   }

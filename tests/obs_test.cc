@@ -1,0 +1,424 @@
+// Tests for the observability layer (src/obs): metrics registry semantics
+// and thread safety, histogram bucket edges, Chrome-trace JSON validity and
+// span nesting, and the determinism contract — telemetry reads clocks but
+// never feeds back, so tracing on vs off is bitwise-identical.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/ovs_model.h"
+#include "core/trainer.h"
+#include "core/training_data.h"
+#include "data/cities.h"
+#include "obs/metrics.h"
+#include "obs/session.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace ovs {
+namespace {
+
+using obs::MetricSnapshot;
+using obs::MetricsRegistry;
+
+// Restores the global pool size on scope exit so test order does not matter.
+struct ThreadGuard {
+  explicit ThreadGuard(int threads) : before(GlobalThreadCount()) {
+    SetGlobalThreads(threads);
+  }
+  ~ThreadGuard() { SetGlobalThreads(before); }
+  int before;
+};
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(MetricsTest, CounterGaugeBasics) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  obs::Counter* c = reg.GetCounter("test.counter_basics");
+  c->Reset();
+  c->Add(3);
+  c->Increment();
+  EXPECT_EQ(c->value(), 4u);
+  // Same name, same handle — call sites may cache the pointer.
+  EXPECT_EQ(reg.GetCounter("test.counter_basics"), c);
+
+  obs::Gauge* g = reg.GetGauge("test.gauge_basics");
+  g->Set(2.5);
+  EXPECT_EQ(g->value(), 2.5);
+  g->Set(-1.0);
+  EXPECT_EQ(g->value(), -1.0);
+}
+
+TEST(MetricsTest, HistogramBucketEdges) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  obs::Histogram* h = reg.GetHistogram("test.hist_edges", {1.0, 2.0});
+  h->Reset();
+  // Prometheus `le` semantics: bucket i counts v <= bounds[i]; values on the
+  // boundary land in the lower bucket, values past the last bound overflow.
+  h->Observe(0.5);   // <= 1.0
+  h->Observe(1.0);   // <= 1.0 (boundary)
+  h->Observe(1.5);   // <= 2.0
+  h->Observe(2.0);   // <= 2.0 (boundary)
+  h->Observe(2.5);   // overflow
+  EXPECT_EQ(h->bucket_count(0), 2u);
+  EXPECT_EQ(h->bucket_count(1), 2u);
+  EXPECT_EQ(h->bucket_count(2), 1u);
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.5 + 1.0 + 1.5 + 2.0 + 2.5);
+}
+
+TEST(MetricsTest, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  obs::Counter* c = reg.GetCounter("test.reset_keeps");
+  c->Add(7);
+  reg.Reset();
+  // The handle survives (cached macro statics stay valid) but reads zero.
+  EXPECT_EQ(reg.GetCounter("test.reset_keeps"), c);
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST(MetricsTest, UpdatesAreExactUnderParallelFor) {
+  ThreadGuard guard(4);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  obs::Counter* c = reg.GetCounter("test.parallel_counter");
+  obs::Histogram* h = reg.GetHistogram("test.parallel_hist", {0.5});
+  c->Reset();
+  h->Reset();
+  constexpr int64_t kN = 20000;
+  ParallelFor(0, kN, 64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      OVS_COUNTER_INC("test.parallel_counter");
+      h->Observe(i % 2 == 0 ? 0.25 : 0.75);
+    }
+  });
+  // Relaxed atomics still give exact totals: fetch_add never loses updates.
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kN));
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kN));
+  EXPECT_EQ(h->bucket_count(0), static_cast<uint64_t>(kN / 2));
+  EXPECT_EQ(h->bucket_count(1), static_cast<uint64_t>(kN / 2));
+}
+
+TEST(MetricsTest, SnapshotIsLexicographicallyOrdered) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  std::ignore = reg.GetCounter("test.order.b");
+  std::ignore = reg.GetCounter("test.order.a");
+  std::vector<MetricSnapshot> snap = reg.Snapshot();
+  std::vector<std::string> counters;
+  for (const MetricSnapshot& s : snap) {
+    if (s.kind == MetricSnapshot::Kind::kCounter) counters.push_back(s.name);
+  }
+  EXPECT_TRUE(std::is_sorted(counters.begin(), counters.end()));
+}
+
+TEST(MetricsTest, JsonlExportIsOneObjectPerLine) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.jsonl_counter")->Add(2);
+  reg.GetGauge("test.jsonl_gauge")->Set(1.5);
+  reg.GetHistogram("test.jsonl_hist", {1.0})->Observe(0.5);
+  std::ostringstream out;
+  reg.WriteJsonl(out);
+  std::istringstream in(out.str());
+  std::string line;
+  bool saw_hist = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"name\":\"test.jsonl_hist\"") != std::string::npos) {
+      saw_hist = true;
+      // Full bucket vector, including the +inf overflow bucket.
+      EXPECT_NE(line.find("\"buckets\":["), std::string::npos);
+      EXPECT_NE(line.find("\"le\":\"+inf\""), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_hist);
+  EXPECT_NE(out.str().find(
+                "{\"type\":\"counter\",\"name\":\"test.jsonl_counter\""),
+            std::string::npos);
+}
+
+TEST(MetricsTest, CsvExportHasHeaderAndRows) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.csv_counter")->Add(1);
+  std::ostringstream out;
+  reg.WriteCsv(out);
+  EXPECT_EQ(out.str().rfind("name,type,value,count,sum\n", 0), 0u);
+  EXPECT_NE(out.str().find("test.csv_counter,counter,"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ trace --
+
+/// Minimal JSON syntax validator (objects, arrays, strings, numbers,
+/// true/false/null). Returns true iff `s` is one complete JSON value.
+bool IsValidJson(const std::string& s) {
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  };
+  std::function<bool()> value = [&]() -> bool {
+    skip_ws();
+    if (i >= s.size()) return false;
+    char c = s[i];
+    if (c == '{') {
+      ++i;
+      skip_ws();
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        if (i >= s.size() || s[i] != '"') return false;
+        if (!value()) return false;  // key (string)
+        skip_ws();
+        if (i >= s.size() || s[i] != ':') return false;
+        ++i;
+        if (!value()) return false;
+        skip_ws();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < s.size() && s[i] == '}') {
+          ++i;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++i;
+      skip_ws();
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      while (true) {
+        if (!value()) return false;
+        skip_ws();
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < s.size() && s[i] == ']') {
+          ++i;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') {
+      ++i;
+      while (i < s.size() && s[i] != '"') {
+        if (s[i] == '\\') ++i;
+        ++i;
+      }
+      if (i >= s.size()) return false;
+      ++i;
+      return true;
+    }
+    if (c == 't') {
+      if (s.compare(i, 4, "true") != 0) return false;
+      i += 4;
+      return true;
+    }
+    if (c == 'f') {
+      if (s.compare(i, 5, "false") != 0) return false;
+      i += 5;
+      return true;
+    }
+    if (c == 'n') {
+      if (s.compare(i, 4, "null") != 0) return false;
+      i += 4;
+      return true;
+    }
+    // number
+    size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    bool digits = false;
+    while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                            s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                            s[i] == '-' || s[i] == '+')) {
+      digits = digits || std::isdigit(static_cast<unsigned char>(s[i]));
+      ++i;
+    }
+    return digits && i > start;
+  };
+  if (!value()) return false;
+  skip_ws();
+  return i == s.size();
+}
+
+/// Extracts the first `"field":<number>` after `from` in `json`.
+double NumberField(const std::string& json, const std::string& field,
+                   size_t from) {
+  const std::string key = "\"" + field + "\":";
+  size_t pos = json.find(key, from);
+  EXPECT_NE(pos, std::string::npos) << field;
+  if (pos == std::string::npos) return -1.0;
+  return std::stod(json.substr(pos + key.size()));
+}
+
+TEST(TraceTest, ChromeTraceIsValidJsonWithNestedSpans) {
+  obs::StartTracing();
+  {
+    OVS_TRACE_SCOPE("outer_span_fixture");
+    {
+      OVS_TRACE_SCOPE("inner_span_fixture");
+      OVS_TRACE_COUNTER("fixture_counter", 42.0);
+    }
+  }
+  obs::StopTracing();
+
+  std::ostringstream out;
+  ASSERT_TRUE(obs::WriteChromeTrace(out).ok());
+  const std::string json = out.str();
+
+  ASSERT_TRUE(IsValidJson(json)) << json;
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+
+  const size_t outer = json.find("\"name\":\"outer_span_fixture\"");
+  const size_t inner = json.find("\"name\":\"inner_span_fixture\"");
+  const size_t counter = json.find("\"name\":\"fixture_counter\"");
+  ASSERT_NE(outer, std::string::npos);
+  ASSERT_NE(inner, std::string::npos);
+  ASSERT_NE(counter, std::string::npos);
+
+  // Chrome 'X' events nest by time containment on the same tid: the inner
+  // span's [ts, ts+dur) must lie within the outer span's.
+  const double outer_ts = NumberField(json, "ts", outer);
+  const double outer_dur = NumberField(json, "dur", outer);
+  const double inner_ts = NumberField(json, "ts", inner);
+  const double inner_dur = NumberField(json, "dur", inner);
+  EXPECT_EQ(NumberField(json, "tid", outer), NumberField(json, "tid", inner));
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_ts + inner_dur, outer_ts + outer_dur);
+
+  // The counter event carries its value (field order: name, ph, ...).
+  EXPECT_EQ(json.compare(json.find("\"ph\":", counter), 8, "\"ph\":\"C\""), 0);
+  EXPECT_EQ(NumberField(json, "value", counter), 42.0);
+}
+
+TEST(TraceTest, SpansOnPoolThreadsCarryTheirOwnTid) {
+  ThreadGuard guard(4);
+  obs::StartTracing();
+  ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      OVS_TRACE_SCOPE("pool_span_fixture");
+    }
+  });
+  obs::StopTracing();
+  std::ostringstream out;
+  ASSERT_TRUE(obs::WriteChromeTrace(out).ok());
+  const std::string json = out.str();
+  ASSERT_TRUE(IsValidJson(json));
+  size_t n = 0;
+  for (size_t pos = json.find("\"name\":\"pool_span_fixture\"");
+       pos != std::string::npos;
+       pos = json.find("\"name\":\"pool_span_fixture\"", pos + 1)) {
+    ++n;
+  }
+  EXPECT_EQ(n, 8u);
+  // Thread-name metadata rows label every contributing track.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+}
+
+TEST(TraceTest, NothingRecordedWhileDisabled) {
+  obs::StartTracing();
+  obs::StopTracing();  // buffers cleared by Start, now disabled
+  const size_t before = obs::BufferedTraceEventCount();
+  {
+    OVS_TRACE_SCOPE("should_not_record");
+    OVS_TRACE_COUNTER("should_not_record_either", 1.0);
+  }
+  EXPECT_EQ(obs::BufferedTraceEventCount(), before);
+}
+
+TEST(TraceTest, InternNameIsStableAcrossCalls) {
+  const char* a = obs::InternName("dynamic.name.fixture");
+  const char* b = obs::InternName(std::string("dynamic.name.") + "fixture");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "dynamic.name.fixture");
+}
+
+// ------------------------------------------------------------ determinism --
+
+DMat RecoveryRun(bool tracing) {
+  ThreadGuard guard(4);
+  if (tracing) obs::StartTracing();
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  core::TrainingData train = core::GenerateTrainingData(ds, 3, 7);
+  Rng rng(11);
+  core::OvsConfig config;
+  config.lstm_hidden = 8;
+  config.speed_head_hidden = 8;
+  config.tod_scale = static_cast<float>(train.tod_scale);
+  config.volume_norm = static_cast<float>(train.volume_norm);
+  config.speed_scale = static_cast<float>(train.speed_scale);
+  core::OvsModel model(ds.num_od(), ds.num_links(), ds.num_intervals(),
+                       ds.incidence, config, &rng);
+  core::TrainerConfig tc;
+  tc.stage1_epochs = 6;
+  tc.stage2_epochs = 6;
+  tc.recovery_epochs = 10;
+  tc.recovery_restarts = 2;
+  core::OvsTrainer trainer(&model, tc);
+  std::ignore = trainer.TrainVolumeSpeed(train);
+  std::ignore = trainer.TrainTodVolume(train);
+  core::TrainingSample gt = core::SimulateGroundTruth(ds, 4242);
+  DMat recovered = trainer.RecoverTod(gt.speed, nullptr, &rng).mat();
+  if (tracing) obs::StopTracing();
+  return recovered;
+}
+
+// The determinism contract of DESIGN.md "Observability": spans and metrics
+// read clocks but never feed any value back into computation, so a recovery
+// run with tracing enabled is bitwise-identical to one without.
+TEST(ObsDeterminismTest, TracingOnVsOffIsBitwiseIdentical) {
+  DMat off = RecoveryRun(/*tracing=*/false);
+  DMat on = RecoveryRun(/*tracing=*/true);
+  // The traced run actually recorded the trainer/sim spans.
+  EXPECT_GT(obs::BufferedTraceEventCount(), 0u);
+  ASSERT_EQ(off.rows(), on.rows());
+  ASSERT_EQ(off.cols(), on.cols());
+  for (int i = 0; i < off.rows(); ++i) {
+    for (int j = 0; j < off.cols(); ++j) {
+      ASSERT_EQ(off.at(i, j), on.at(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------- session --
+
+TEST(SessionTest, PublishesThreadPoolMetricsOnFinish) {
+  ThreadGuard guard(4);
+  obs::Session session({/*trace_out=*/"", /*metrics_out=*/""});
+  ParallelFor(0, 1000, 10, [](int64_t, int64_t) {});
+  ASSERT_TRUE(session.Finish().ok());
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  EXPECT_GE(reg.GetCounter("threadpool.parallel_fors")->value(), 1u);
+  EXPECT_GE(reg.GetCounter("threadpool.chunks_run")->value(), 100u);
+  EXPECT_EQ(reg.GetGauge("threadpool.threads")->value(), 4.0);
+  // Finish is idempotent.
+  ASSERT_TRUE(session.Finish().ok());
+}
+
+TEST(SessionTest, InertSessionIsANoOp) {
+  obs::Session session;
+  EXPECT_FALSE(session.tracing());
+  EXPECT_TRUE(session.Close());
+}
+
+}  // namespace
+}  // namespace ovs

@@ -4,19 +4,25 @@
 #include <filesystem>
 
 #include <atomic>
+#include <chrono>
+#include <iostream>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/bench_config.h"
 #include "util/csv.h"
 #include "util/linalg.h"
+#include "util/logging.h"
 #include "util/mat.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace ovs {
 namespace {
@@ -501,12 +507,135 @@ TEST(ThreadPoolTest, GlobalPoolResize) {
   SetGlobalThreads(before);
 }
 
+TEST(ThreadPoolTest, StatsCountRegionsChunksAndTasks) {
+  ThreadPool pool(2);
+  const ThreadPool::Stats before = pool.stats();
+  // 100 items at grain 10 on a 2-thread pool: one region, ten chunks.
+  pool.ParallelFor(0, 100, 10, [](int64_t, int64_t) {});
+  // Grain swallows the whole range: serial fast path, still one region and
+  // one chunk.
+  pool.ParallelFor(0, 5, 100, [](int64_t, int64_t) {});
+  // Empty range: no region at all.
+  pool.ParallelFor(5, 5, 1, [](int64_t, int64_t) {});
+  const ThreadPool::Stats after = pool.stats();
+  EXPECT_EQ(after.parallel_fors - before.parallel_fors, 2u);
+  EXPECT_EQ(after.chunks_run - before.chunks_run, 11u);
+}
+
 // ----------------------------------------------------------- BenchConfig --
 
 TEST(BenchConfigTest, DefaultsToFast) {
   // The test binary never sets OVS_BENCH_SCALE.
   EXPECT_EQ(GetBenchScale(), BenchScale::kFast);
   EXPECT_EQ(ScaledIters(3, 100), 3);
+}
+
+TEST(BenchConfigTest, ParseBenchArgsExtractsTelemetryPaths) {
+  const char* argv[] = {"prog", "--trace_out=/tmp/t.json", "--unrelated",
+                        "--metrics_out=m.csv"};
+  BenchArgs args = ParseBenchArgs(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.trace_out, "/tmp/t.json");
+  EXPECT_EQ(args.metrics_out, "m.csv");
+}
+
+TEST(BenchConfigTest, ParseBenchArgsDefaultsToEmpty) {
+  const char* argv[] = {"prog"};
+  BenchArgs args = ParseBenchArgs(1, const_cast<char**>(argv));
+  EXPECT_TRUE(args.trace_out.empty());
+  EXPECT_TRUE(args.metrics_out.empty());
+}
+
+// --------------------------------------------------------------- Logging --
+
+/// Restores the min log level and the clog/cerr stream buffers on scope
+/// exit, capturing everything logged in between.
+struct LogCapture {
+  LogCapture()
+      : saved_level(GetMinLogLevel()),
+        old_clog(std::clog.rdbuf(clog_out.rdbuf())),
+        old_cerr(std::cerr.rdbuf(cerr_out.rdbuf())) {}
+  ~LogCapture() {
+    std::clog.rdbuf(old_clog);
+    std::cerr.rdbuf(old_cerr);
+    SetMinLogLevel(saved_level);
+  }
+  std::ostringstream clog_out;
+  std::ostringstream cerr_out;
+  LogSeverity saved_level;
+  std::streambuf* old_clog;
+  std::streambuf* old_cerr;
+};
+
+TEST(LoggingTest, MinLogLevelFiltersLowerSeverities) {
+  LogCapture capture;
+  SetMinLogLevel(LogSeverity::kWarning);
+  LOG(INFO) << "info-should-be-hidden";
+  LOG(WARNING) << "warning-should-appear";
+  LOG(ERROR) << "error-should-appear";
+  EXPECT_EQ(capture.clog_out.str().find("info-should-be-hidden"),
+            std::string::npos);
+  EXPECT_NE(capture.cerr_out.str().find("warning-should-appear"),
+            std::string::npos);
+  EXPECT_NE(capture.cerr_out.str().find("error-should-appear"),
+            std::string::npos);
+}
+
+TEST(LoggingTest, FilteredMessagesDoNotEvaluateOperands) {
+  LogCapture capture;
+  SetMinLogLevel(LogSeverity::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  LOG(INFO) << "value=" << expensive();
+  LOG(WARNING) << "value=" << expensive();
+  EXPECT_EQ(evaluations, 0);
+  LOG(ERROR) << "value=" << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingTest, FatalIsNeverFilteredOut) {
+  LogCapture capture;
+  SetMinLogLevel(LogSeverity::kFatal);
+  EXPECT_EQ(GetMinLogLevel(), LogSeverity::kFatal);
+  EXPECT_TRUE(internal_logging::ShouldLog(LogSeverity::kFatal));
+  // The setter clamps out-of-range values so FATAL stays loggable.
+  SetMinLogLevel(static_cast<LogSeverity>(99));
+  EXPECT_EQ(GetMinLogLevel(), LogSeverity::kFatal);
+  EXPECT_TRUE(internal_logging::ShouldLog(LogSeverity::kFatal));
+}
+
+// ----------------------------------------------------------------- Timer --
+
+TEST(TimerTest, ElapsedNanosIsMonotonicAndNonNegative) {
+  Timer t;
+  int64_t prev = t.ElapsedNanos();
+  EXPECT_GE(prev, 0);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t now = t.ElapsedNanos();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(TimerTest, DerivedUnitsAgreeWithNanos) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // Nanos sampled before seconds, seconds before millis: each coarser
+  // reading must be at least the earlier finer one (monotonic clock).
+  const int64_t ns = t.ElapsedNanos();
+  EXPECT_GE(t.ElapsedSeconds(), static_cast<double>(ns) * 1e-9);
+  EXPECT_GE(t.ElapsedMillis(), static_cast<double>(ns) * 1e-6);
+  EXPECT_GE(ns, 2000000);  // slept at least 2 ms
+}
+
+TEST(TimerTest, RestartResetsTheOrigin) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const int64_t before_restart = t.ElapsedNanos();
+  t.Restart();
+  EXPECT_LT(t.ElapsedNanos(), before_restart);
 }
 
 }  // namespace

@@ -628,6 +628,49 @@ void CheckParallelForCapture(const FileCtx& ctx, std::vector<Diagnostic>* out) {
   }
 }
 
+// ------------------------------------------------ rule: wallclock-in-core
+
+/// src/core and src/nn hold the numeric model. A wall-clock read there is
+/// either dead weight or a latent determinism hazard (timing-dependent
+/// control flow). Telemetry that needs time lives in src/obs (spans read the
+/// clock but never feed it back); timing for reports lives in bench/eval.
+void CheckWallclockInCore(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  const bool covered = ctx.path.find("src/core/") != std::string::npos ||
+                       ctx.path.find("src/nn/") != std::string::npos ||
+                       ctx.path.rfind("core/", 0) == 0 ||
+                       ctx.path.rfind("nn/", 0) == 0;
+  if (!covered) return;
+
+  for (size_t pos = FindToken(ctx.code, "Timer", 0); pos != std::string::npos;
+       pos = FindToken(ctx.code, "Timer", pos + 1)) {
+    Report(ctx, pos, "wallclock-in-core",
+           "ovs::Timer in core/nn; report timing from the bench/eval layer "
+           "or record it via the obs layer (OVS_SCOPED_DURATION_GAUGE)",
+           out);
+  }
+  for (size_t pos = ctx.code.find("::now()"); pos != std::string::npos;
+       pos = ctx.code.find("::now()", pos + 1)) {
+    if (pos > 0 && !IsIdentChar(ctx.code[pos - 1]) && ctx.code[pos - 1] != '>') {
+      continue;  // not a qualified call like Clock::now()
+    }
+    Report(ctx, pos, "wallclock-in-core",
+           "clock read in core/nn; keep the numeric model clock-free and put "
+           "telemetry in src/obs",
+           out);
+  }
+  for (const char* clock :
+       {"steady_clock", "system_clock", "high_resolution_clock"}) {
+    for (size_t pos = FindToken(ctx.code, clock, 0); pos != std::string::npos;
+         pos = FindToken(ctx.code, clock, pos + 1)) {
+      Report(ctx, pos, "wallclock-in-core",
+             std::string("std::chrono::") + clock +
+                 " in core/nn; keep the numeric model clock-free and put "
+                 "telemetry in src/obs",
+             out);
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& AllRules() {
@@ -646,6 +689,10 @@ const std::vector<RuleInfo>& AllRules() {
       {"parallelfor-capture",
        "ParallelFor body writing a captured reference without indexing is a "
        "cross-thread race"},
+      {"wallclock-in-core",
+       "clock reads (Timer, Clock::now, std::chrono clocks) inside src/core "
+       "or src/nn; the numeric model stays clock-free, telemetry lives in "
+       "src/obs"},
   };
   return kRules;
 }
@@ -659,6 +706,7 @@ std::vector<Diagnostic> LintContent(const std::string& path,
   CheckNakedNew(ctx, &out);
   CheckFloatNarrowing(ctx, &out);
   CheckParallelForCapture(ctx, &out);
+  CheckWallclockInCore(ctx, &out);
   std::sort(out.begin(), out.end(), [](const Diagnostic& a,
                                        const Diagnostic& b) {
     if (a.file != b.file) return a.file < b.file;
