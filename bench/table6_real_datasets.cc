@@ -32,9 +32,18 @@ int main(int argc, char** argv) {
     harness.num_train_samples = train_samples;
     eval::Experiment experiment(&dataset, harness);
 
+    // Per-dataset checkpoint subdirectory so resumed runs cannot cross
+    // checkpoints between datasets.
+    core::CheckpointOptions checkpoint;
+    if (!args.checkpoint_dir.empty()) {
+      checkpoint.dir = args.checkpoint_dir + "/" + dataset.name;
+      checkpoint.every = args.checkpoint_every;
+      checkpoint.resume = args.resume;
+    }
+
     // Methods are independent scenarios; fan them out over the pool.
     std::vector<eval::MethodResult> results =
-        experiment.RunAll(eval::MakeMethodSuite());
+        experiment.RunAll(eval::MakeMethodSuite(checkpoint));
     for (const eval::MethodResult& r : results) {
       std::printf("[table6]   %-8s tod %7.2f vol %7.2f speed %6.2f (%.1f s)\n",
                   r.method.c_str(), r.rmse.tod, r.rmse.volume, r.rmse.speed,

@@ -37,9 +37,18 @@ int main(int argc, char** argv) {
     harness.num_train_samples = train_samples;
     eval::Experiment experiment(&dataset, harness, &test_tod);
 
+    // Per-pattern checkpoint subdirectory so resumed runs cannot cross
+    // checkpoints between patterns.
+    core::CheckpointOptions checkpoint;
+    if (!args.checkpoint_dir.empty()) {
+      checkpoint.dir = args.checkpoint_dir + "/" + od::TodPatternName(pattern);
+      checkpoint.every = args.checkpoint_every;
+      checkpoint.resume = args.resume;
+    }
+
     // Methods are independent scenarios; fan them out over the pool.
     std::vector<eval::MethodResult> results =
-        experiment.RunAll(eval::MakeMethodSuite());
+        experiment.RunAll(eval::MakeMethodSuite(checkpoint));
     for (const eval::MethodResult& r : results) {
       std::printf("[table8:%s] %-8s tod %7.2f vol %7.2f speed %6.2f (%.1f s)\n",
                   od::TodPatternName(pattern).c_str(), r.method.c_str(),

@@ -1,0 +1,184 @@
+#include "core/checkpoint.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "nn/serialize.h"
+#include "util/atomic_file.h"
+
+namespace ovs::core {
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x4F565343;  // "OVSC"
+
+/// Generous cap on the serialized RNG state (mt19937_64 text is ~7 KB).
+constexpr uint32_t kMaxRngStateLen = 1u << 20;
+
+const nn::Tensor* FindTensor(const TrainerCheckpoint& ckpt,
+                             const std::string& name) {
+  for (const auto& [n, t] : ckpt.tensors) {
+    if (n == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Status SaveTrainerCheckpoint(const TrainerCheckpoint& ckpt,
+                             const std::string& path) {
+  std::error_code ec;
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return Status::NotFound("cannot create checkpoint directory " +
+                              parent.string() + ": " + ec.message());
+    }
+  }
+  AtomicFileWriter writer(path);
+  RETURN_IF_ERROR(writer.status());
+  std::ostream& out = writer.stream();
+  const uint32_t magic = kCheckpointMagic;
+  const uint32_t tag = nn::kVersionTag;
+  const uint32_t version = nn::kFormatVersion;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&tag), sizeof(tag));
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  nn::WriteLenPrefixedString(out, ckpt.stage);
+  const int32_t epoch = ckpt.epoch;
+  out.write(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
+  const int64_t opt_step = ckpt.opt_step;
+  out.write(reinterpret_cast<const char*>(&opt_step), sizeof(opt_step));
+  out.write(reinterpret_cast<const char*>(&ckpt.loss), sizeof(ckpt.loss));
+  nn::WriteLenPrefixedString(out, ckpt.rng_state);
+  const uint32_t count = static_cast<uint32_t>(ckpt.tensors.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, t] : ckpt.tensors) {
+    nn::WriteTensorRecord(out, name, t, /*with_crc=*/true);
+  }
+  return writer.Commit();
+}
+
+StatusOr<TrainerCheckpoint> LoadTrainerCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open for read: " + path);
+  }
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::NotFound("cannot stat " + path + ": " + ec.message());
+  if (file_size == 0) return Status::DataLoss("empty file: " + path);
+  int64_t remaining = static_cast<int64_t>(file_size);
+  if (remaining < static_cast<int64_t>(3 * sizeof(uint32_t))) {
+    return Status::DataLoss("headerless file (" + std::to_string(remaining) +
+                            " bytes): " + path);
+  }
+
+  uint32_t magic = 0, tag = 0, version = 0;
+  RETURN_IF_ERROR(nn::ReadPod(in, path, &remaining, &magic, sizeof(magic)));
+  if (magic != kCheckpointMagic) {
+    return Status::DataLoss("bad magic in " + path);
+  }
+  RETURN_IF_ERROR(nn::ReadPod(in, path, &remaining, &tag, sizeof(tag)));
+  RETURN_IF_ERROR(nn::ReadPod(in, path, &remaining, &version, sizeof(version)));
+  if (tag != nn::kVersionTag || version != nn::kFormatVersion) {
+    return Status::DataLoss("unsupported checkpoint version in " + path);
+  }
+
+  TrainerCheckpoint ckpt;
+  RETURN_IF_ERROR(nn::ReadLenPrefixedString(in, path, &remaining,
+                                            nn::kMaxNameLen, &ckpt.stage));
+  int32_t epoch = 0;
+  RETURN_IF_ERROR(nn::ReadPod(in, path, &remaining, &epoch, sizeof(epoch)));
+  if (epoch < 0) return Status::DataLoss("negative epoch in " + path);
+  ckpt.epoch = epoch;
+  RETURN_IF_ERROR(
+      nn::ReadPod(in, path, &remaining, &ckpt.opt_step, sizeof(ckpt.opt_step)));
+  if (ckpt.opt_step < 0) return Status::DataLoss("negative step in " + path);
+  RETURN_IF_ERROR(
+      nn::ReadPod(in, path, &remaining, &ckpt.loss, sizeof(ckpt.loss)));
+  RETURN_IF_ERROR(nn::ReadLenPrefixedString(in, path, &remaining,
+                                            kMaxRngStateLen, &ckpt.rng_state));
+  uint32_t count = 0;
+  RETURN_IF_ERROR(nn::ReadPod(in, path, &remaining, &count, sizeof(count)));
+  ckpt.tensors.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    nn::Tensor t;
+    RETURN_IF_ERROR(nn::ReadTensorRecord(in, path, /*with_crc=*/true,
+                                         &remaining, &name, &t));
+    ckpt.tensors.emplace_back(std::move(name), std::move(t));
+  }
+  if (remaining != 0) {
+    return Status::DataLoss("trailing bytes after checkpoint in " + path);
+  }
+  return ckpt;
+}
+
+Status RestoreModuleParameters(const TrainerCheckpoint& ckpt,
+                               nn::Module* module) {
+  CHECK(module != nullptr);
+  for (auto& [name, v] : module->NamedParameters()) {
+    const nn::Tensor* t = FindTensor(ckpt, name);
+    if (t == nullptr) {
+      return Status::InvalidArgument("checkpoint '" + ckpt.stage +
+                                     "' is missing parameter " + name);
+    }
+    if (!t->SameShape(v.value())) {
+      return Status::InvalidArgument("checkpoint '" + ckpt.stage +
+                                     "' has a shape mismatch for " + name);
+    }
+    v.mutable_value() = *t;
+  }
+  return Status::Ok();
+}
+
+void AppendAdamState(const nn::Adam& opt, TrainerCheckpoint* ckpt) {
+  ckpt->opt_step = opt.step_count();
+  for (size_t i = 0; i < opt.moments_m().size(); ++i) {
+    ckpt->tensors.emplace_back("adam.m." + std::to_string(i),
+                               opt.moments_m()[i]);
+    ckpt->tensors.emplace_back("adam.v." + std::to_string(i),
+                               opt.moments_v()[i]);
+  }
+}
+
+Status RestoreAdamState(const TrainerCheckpoint& ckpt, size_t num_params,
+                        nn::Adam* opt) {
+  CHECK(opt != nullptr);
+  std::vector<nn::Tensor> m;
+  std::vector<nn::Tensor> v;
+  m.reserve(num_params);
+  v.reserve(num_params);
+  for (size_t i = 0; i < num_params; ++i) {
+    const nn::Tensor* mi = FindTensor(ckpt, "adam.m." + std::to_string(i));
+    const nn::Tensor* vi = FindTensor(ckpt, "adam.v." + std::to_string(i));
+    if (mi == nullptr || vi == nullptr) {
+      return Status::InvalidArgument("checkpoint '" + ckpt.stage +
+                                     "' is missing optimizer moment " +
+                                     std::to_string(i));
+    }
+    // Validate against the optimizer's live moment shapes so a crossed file
+    // comes back as an error instead of tripping an internal CHECK.
+    if (!mi->SameShape(opt->moments_m()[i]) ||
+        !vi->SameShape(opt->moments_v()[i])) {
+      return Status::InvalidArgument("checkpoint '" + ckpt.stage +
+                                     "' has a moment shape mismatch at " +
+                                     std::to_string(i));
+    }
+    m.push_back(*mi);
+    v.push_back(*vi);
+  }
+  if (ckpt.opt_step > std::numeric_limits<int>::max()) {
+    return Status::InvalidArgument("optimizer step count out of range in '" +
+                                   ckpt.stage + "'");
+  }
+  opt->RestoreState(static_cast<int>(ckpt.opt_step), std::move(m),
+                    std::move(v));
+  return Status::Ok();
+}
+
+}  // namespace ovs::core

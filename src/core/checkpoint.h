@@ -1,0 +1,79 @@
+#ifndef OVS_CORE_CHECKPOINT_H_
+#define OVS_CORE_CHECKPOINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+#include "util/status.h"
+
+namespace ovs::core {
+
+/// Where and how often the trainer checkpoints, and whether it resumes.
+/// Wired to --checkpoint_dir= / --checkpoint_every= / --resume in the bench
+/// binaries (util/bench_config).
+struct CheckpointOptions {
+  /// Directory for checkpoint files; empty disables checkpointing.
+  std::string dir;
+  /// Epochs between stage-1/stage-2 checkpoints (the final epoch is always
+  /// checkpointed). Values < 1 mean "final epoch only".
+  int every = 10;
+  /// Resume from existing checkpoints in `dir` instead of starting over.
+  bool resume = false;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// One trainer checkpoint: everything needed to continue a training stage or
+/// recovery restart so that the resumed run is bitwise-identical to an
+/// uninterrupted one — parameters, optimizer moments, the epoch index, the
+/// RNG stream, and (for recovery restarts) the final loss.
+struct TrainerCheckpoint {
+  /// Which stage wrote this ("stage1", "stage2", "recovery.restart<k>").
+  /// Loading refuses a stage mismatch so files cannot be crossed.
+  std::string stage;
+  /// Epochs fully completed when this checkpoint was taken.
+  int epoch = 0;
+  /// Optimizer step counter (Adam bias correction) at the checkpoint.
+  int64_t opt_step = 0;
+  /// Stage- or restart-final loss at the checkpoint.
+  double loss = 0.0;
+  /// Serialized Rng state (Rng::SaveState), empty if the stage draws none.
+  std::string rng_state;
+  /// Named tensors: module parameters under their own names, optimizer
+  /// moments as "adam.m.<i>"/"adam.v.<i>", recovery seeds as "seeds".
+  std::vector<std::pair<std::string, nn::Tensor>> tensors;
+};
+
+/// Atomically writes `ckpt` (v2 container: version tag + per-tensor CRC32),
+/// creating the parent directory if needed. A crash mid-save leaves the
+/// previous checkpoint file intact.
+[[nodiscard]] Status SaveTrainerCheckpoint(const TrainerCheckpoint& ckpt,
+                                           const std::string& path);
+
+/// Loads and fully validates a checkpoint: corruption (truncation, bad CRC,
+/// absurd headers) surfaces as Status::DataLoss, never as garbage state or
+/// a crash. NotFound when the file does not exist.
+[[nodiscard]] StatusOr<TrainerCheckpoint> LoadTrainerCheckpoint(
+    const std::string& path);
+
+/// Copies the checkpoint's tensors into the module's identically named
+/// parameters. Tensors that are not parameters of `module` (optimizer
+/// moments, seeds) are ignored; a missing or shape-mismatched parameter is
+/// an error and leaves the module partially updated only on that error path.
+[[nodiscard]] Status RestoreModuleParameters(const TrainerCheckpoint& ckpt,
+                                             nn::Module* module);
+
+/// Appends the optimizer's moments and step counter to `ckpt`.
+void AppendAdamState(const nn::Adam& opt, TrainerCheckpoint* ckpt);
+
+/// Restores Adam moments/step from `ckpt` ("adam.m.<i>"/"adam.v.<i>").
+[[nodiscard]] Status RestoreAdamState(const TrainerCheckpoint& ckpt,
+                                      size_t num_params, nn::Adam* opt);
+
+}  // namespace ovs::core
+
+#endif  // OVS_CORE_CHECKPOINT_H_

@@ -24,6 +24,70 @@ nn::Tensor NormalizedTarget(const DMat& m, double scale) {
   return t;
 }
 
+/// The final epoch is always checkpointed so a finished stage can be resumed
+/// as a no-op; in between, every `every` epochs (values < 1: final only).
+bool ShouldCheckpoint(int epoch, int total_epochs, int every) {
+  if (epoch + 1 == total_epochs) return true;
+  return every >= 1 && (epoch + 1) % every == 0;
+}
+
+/// Snapshot of a training stage: module parameters, Adam moments/step, the
+/// completed-epoch count, the running loss, and the stage's RNG stream.
+TrainerCheckpoint MakeStageCheckpoint(const std::string& stage, int epoch,
+                                      double loss, const nn::Module& module,
+                                      const nn::Adam& opt,
+                                      std::string rng_state) {
+  TrainerCheckpoint ckpt;
+  ckpt.stage = stage;
+  ckpt.epoch = epoch;
+  ckpt.loss = loss;
+  ckpt.rng_state = std::move(rng_state);
+  for (const auto& [name, v] : module.NamedParameters()) {
+    ckpt.tensors.emplace_back(name, v.value());
+  }
+  AppendAdamState(opt, &ckpt);
+  return ckpt;
+}
+
+/// Tries to resume `stage` from `<dir>/<stage>.ckpt`. On success restores
+/// module parameters, optimizer state, and (when `rng` is non-null and the
+/// checkpoint carries a stream) the RNG, sets `*loss_out` to the
+/// checkpointed loss, and returns the epoch to continue from. Any unusable
+/// checkpoint — missing, corrupt, or from a different stage/architecture —
+/// is reported and the stage trains from scratch (returns 0).
+int TryResumeStage(const CheckpointOptions& ck, const std::string& stage,
+                   nn::Module* module, nn::Adam* opt, Rng* rng,
+                   double* loss_out) {
+  const std::string path = ck.dir + "/" + stage + ".ckpt";
+  StatusOr<TrainerCheckpoint> loaded = LoadTrainerCheckpoint(path);
+  if (!loaded.ok()) {
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      LOG(ERROR) << "ignoring unusable checkpoint " << path << ": "
+                 << loaded.status().ToString();
+    }
+    return 0;
+  }
+  if (loaded->stage != stage) {
+    LOG(ERROR) << "checkpoint " << path << " is for stage '" << loaded->stage
+               << "', expected '" << stage << "'; training from scratch";
+    return 0;
+  }
+  Status status = RestoreModuleParameters(*loaded, module);
+  if (status.ok()) {
+    status = RestoreAdamState(*loaded, opt->moments_m().size(), opt);
+  }
+  if (status.ok() && rng != nullptr && !loaded->rng_state.empty()) {
+    status = rng->LoadState(loaded->rng_state);
+  }
+  if (!status.ok()) {
+    LOG(ERROR) << "cannot resume from " << path << ": " << status.ToString();
+    return 0;
+  }
+  *loss_out = loaded->loss;
+  LOG(INFO) << "resuming " << stage << " from epoch " << loaded->epoch;
+  return loaded->epoch;
+}
+
 }  // namespace
 
 OvsTrainer::OvsTrainer(OvsModel* model, TrainerConfig config)
@@ -51,7 +115,21 @@ std::vector<double> OvsTrainer::TrainVolumeSpeed(const TrainingData& data) {
   nn::Adam opt(model_->volume_speed().Parameters(), config_.lr);
   std::vector<double> curve;
   curve.reserve(config_.stage1_epochs);
-  for (int epoch = 0; epoch < config_.stage1_epochs; ++epoch) {
+
+  const CheckpointOptions& ck = config_.checkpoint;
+  const std::string ckpt_path = ck.dir + "/stage1.ckpt";
+  int start_epoch = 0;
+  double resumed_loss = 0.0;
+  if (ck.enabled() && ck.resume) {
+    start_epoch = TryResumeStage(ck, "stage1", &model_->volume_speed(), &opt,
+                                 /*rng=*/nullptr, &resumed_loss);
+    if (start_epoch > config_.stage1_epochs) start_epoch = config_.stage1_epochs;
+    // A finished stage resumes as a no-op; keep curve.back() meaningful.
+    if (start_epoch > 0 && start_epoch >= config_.stage1_epochs) {
+      curve.push_back(resumed_loss);
+    }
+  }
+  for (int epoch = start_epoch; epoch < config_.stage1_epochs; ++epoch) {
     OVS_TRACE_SCOPE("trainer.stage1.epoch");
     double epoch_loss = 0.0;
     for (size_t i = 0; i < volume_inputs.size(); ++i) {
@@ -73,6 +151,15 @@ std::vector<double> OvsTrainer::TrainVolumeSpeed(const TrainingData& data) {
     OVS_TRACE_COUNTER("trainer.stage1.loss", curve.back());
     if (config_.verbose && epoch % 20 == 0) {
       LOG(INFO) << "stage1 epoch " << epoch << " loss " << curve.back();
+    }
+    if (ck.enabled() && ShouldCheckpoint(epoch, config_.stage1_epochs, ck.every)) {
+      const Status saved = SaveTrainerCheckpoint(
+          MakeStageCheckpoint("stage1", epoch + 1, curve.back(),
+                              model_->volume_speed(), opt, /*rng_state=*/""),
+          ckpt_path);
+      if (!saved.ok()) {
+        LOG(ERROR) << "stage1 checkpoint failed: " << saved.ToString();
+      }
     }
   }
   return curve;
@@ -116,7 +203,22 @@ std::vector<double> OvsTrainer::TrainTodVolume(const TrainingData& data) {
   nn::Adam opt(model_->tod_volume().Parameters(), config_.lr);
   std::vector<double> curve;
   curve.reserve(config_.stage2_epochs);
-  for (int epoch = 0; epoch < config_.stage2_epochs; ++epoch) {
+
+  const CheckpointOptions& ck = config_.checkpoint;
+  const std::string ckpt_path = ck.dir + "/stage2.ckpt";
+  int start_epoch = 0;
+  double resumed_loss = 0.0;
+  if (ck.enabled() && ck.resume) {
+    // Stage 2 consumes dropout_rng_; the checkpoint carries its stream so a
+    // resumed run draws the same dropout masks as an uninterrupted one.
+    start_epoch = TryResumeStage(ck, "stage2", &model_->tod_volume(), &opt,
+                                 &dropout_rng_, &resumed_loss);
+    if (start_epoch > config_.stage2_epochs) start_epoch = config_.stage2_epochs;
+    if (start_epoch > 0 && start_epoch >= config_.stage2_epochs) {
+      curve.push_back(resumed_loss);
+    }
+  }
+  for (int epoch = start_epoch; epoch < config_.stage2_epochs; ++epoch) {
     OVS_TRACE_SCOPE("trainer.stage2.epoch");
     double epoch_loss = 0.0;
     for (size_t i = 0; i < tod_inputs.size(); ++i) {
@@ -145,6 +247,16 @@ std::vector<double> OvsTrainer::TrainTodVolume(const TrainingData& data) {
     OVS_TRACE_COUNTER("trainer.stage2.loss", curve.back());
     if (config_.verbose && epoch % 20 == 0) {
       LOG(INFO) << "stage2 epoch " << epoch << " loss " << curve.back();
+    }
+    if (ck.enabled() && ShouldCheckpoint(epoch, config_.stage2_epochs, ck.every)) {
+      const Status saved = SaveTrainerCheckpoint(
+          MakeStageCheckpoint("stage2", epoch + 1, curve.back(),
+                              model_->tod_volume(), opt,
+                              dropout_rng_.SaveState()),
+          ckpt_path);
+      if (!saved.ok()) {
+        LOG(ERROR) << "stage2 checkpoint failed: " << saved.ToString();
+      }
     }
   }
   model_->volume_speed().SetTrainable(true);
@@ -250,11 +362,74 @@ od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
 
   std::vector<double> losses(restarts,
                              std::numeric_limits<double>::infinity());
+
+  // Checkpoint/resume at restart granularity: each finished restart persists
+  // its generator state, seeds, and loss; a resumed recovery skips those
+  // fits entirely. The per-restart seeds above are still drawn serially for
+  // every restart regardless, so RNG consumption — and any later draw from
+  // `rng` — is identical with and without a resume.
+  const CheckpointOptions& ck = config_.checkpoint;
+  auto restart_stage = [](int64_t restart) {
+    return "recovery.restart" + std::to_string(restart);
+  };
+  auto restart_path = [&](int64_t restart) {
+    return ck.dir + "/" + restart_stage(restart) + ".ckpt";
+  };
+  std::vector<char> restored(restarts, 0);
+  if (ck.enabled() && ck.resume) {
+    for (int restart = 0; restart < restarts; ++restart) {
+      StatusOr<TrainerCheckpoint> loaded =
+          LoadTrainerCheckpoint(restart_path(restart));
+      if (!loaded.ok()) {
+        if (loaded.status().code() != StatusCode::kNotFound) {
+          LOG(ERROR) << "ignoring unusable checkpoint "
+                     << restart_path(restart) << ": "
+                     << loaded.status().ToString();
+        }
+        continue;
+      }
+      if (loaded->stage != restart_stage(restart)) {
+        LOG(ERROR) << "checkpoint " << restart_path(restart)
+                   << " is for stage '" << loaded->stage << "'; refitting";
+        continue;
+      }
+      const nn::Tensor* seeds = nullptr;
+      for (const auto& [name, t] : loaded->tensors) {
+        if (name == "seeds") seeds = &t;
+      }
+      if (seeds == nullptr ||
+          !seeds->SameShape(model_->tod_generation().seeds())) {
+        LOG(ERROR) << "checkpoint " << restart_path(restart)
+                   << " has missing or mismatched seeds; refitting";
+        continue;
+      }
+      const Status status =
+          RestoreModuleParameters(*loaded, generators[restart].get());
+      if (!status.ok()) {
+        LOG(ERROR) << "cannot resume restart " << restart << ": "
+                   << status.ToString();
+        // Reset to the pre-recovery decoder weights so the refit below is
+        // indistinguishable from a never-checkpointed run.
+        generators[restart]->CopyParametersFrom(model_->tod_generation());
+        continue;
+      }
+      generators[restart]->set_seeds(*seeds);
+      losses[restart] = loaded->loss;
+      restored[restart] = 1;
+      LOG(INFO) << "resumed recovery restart " << restart << " (loss "
+                << loaded->loss << ")";
+    }
+  }
+
+  std::vector<Status> save_statuses(restarts);
   // The frozen TOD2V/V2S mappings are shared read-only across restart
   // threads; backward never touches frozen leaves, so no synchronization is
   // needed.
   ParallelFor(0, restarts, 1, [&](int64_t lo, int64_t hi) {
     for (int64_t restart = lo; restart < hi; ++restart) {
+      // A restored restart skips the whole fit, including the output-level
+      // re-initialization — its state already is the post-fit state.
+      if (restored[restart]) continue;
       OVS_TRACE_SCOPE("trainer.recover.restart");
       OVS_SCOPED_DURATION_GAUGE("trainer.recover.restart_seconds." +
                                 std::to_string(restart));
@@ -297,8 +472,25 @@ od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
           "trainer.recover.restart_loss." + std::to_string(restart),
           final_loss);
       OVS_COUNTER_INC("trainer.recover.restarts");
+      if (ck.enabled()) {
+        TrainerCheckpoint ckpt;
+        ckpt.stage = restart_stage(restart);
+        ckpt.epoch = config_.recovery_epochs;
+        ckpt.loss = final_loss;
+        for (const auto& [name, v] : gen.NamedParameters()) {
+          ckpt.tensors.emplace_back(name, v.value());
+        }
+        ckpt.tensors.emplace_back("seeds", gen.seeds());
+        save_statuses[restart] = SaveTrainerCheckpoint(ckpt, restart_path(restart));
+      }
     }
   });
+  for (int restart = 0; restart < restarts; ++restart) {
+    if (!save_statuses[restart].ok()) {
+      LOG(ERROR) << "recovery restart " << restart
+                 << " checkpoint failed: " << save_statuses[restart].ToString();
+    }
+  }
 
   int best = 0;
   for (int restart = 1; restart < restarts; ++restart) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/aux_loss.h"
+#include "core/checkpoint.h"
 #include "core/ovs_model.h"
 #include "core/training_data.h"
 #include "od/tod_tensor.h"
@@ -40,6 +41,10 @@ struct TrainerConfig {
   /// cannot drag the whole TOD. 0 falls back to plain MSE.
   float recovery_huber_delta = 0.1f;
   bool verbose = false;
+  /// Crash-safe checkpoint/resume (stage1.ckpt / stage2.ckpt /
+  /// recovery.restart<k>.ckpt under `checkpoint.dir`). A killed-and-resumed
+  /// run produces bitwise-identical results to an uninterrupted one.
+  CheckpointOptions checkpoint;
 };
 
 /// Drives training and recovery for an OvsModel.

@@ -98,7 +98,8 @@ std::vector<MethodResult> Experiment::RunAll(
   return results;
 }
 
-std::vector<std::unique_ptr<baselines::OdEstimator>> MakeMethodSuite() {
+std::vector<std::unique_ptr<baselines::OdEstimator>> MakeMethodSuite(
+    const core::CheckpointOptions& checkpoint) {
   const bool full = GetBenchScale() == BenchScale::kFull;
   std::vector<std::unique_ptr<baselines::OdEstimator>> suite;
 
@@ -129,6 +130,7 @@ std::vector<std::unique_ptr<baselines::OdEstimator>> MakeMethodSuite() {
   ovs_params.trainer.stage2_epochs = full ? 400 : 90;
   ovs_params.trainer.recovery_epochs = full ? 1000 : 250;
   ovs_params.trainer.recovery_restarts = full ? 3 : 1;
+  ovs_params.trainer.checkpoint = checkpoint;
   if (full) ovs_params.model.lstm_hidden = 128;
   suite.push_back(std::make_unique<baselines::OvsEstimator>(ovs_params));
   return suite;

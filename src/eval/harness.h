@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baselines/estimator.h"
+#include "core/checkpoint.h"
 #include "eval/metrics.h"
 #include "util/table.h"
 
@@ -67,8 +68,10 @@ class Experiment {
 };
 
 /// Builds the paper's §V-F method suite (Gravity, Genetic, GLS, EM, NN,
-/// LSTM) plus OVS, sized by the global bench scale.
-std::vector<std::unique_ptr<baselines::OdEstimator>> MakeMethodSuite();
+/// LSTM) plus OVS, sized by the global bench scale. `checkpoint` (optional)
+/// enables crash-safe checkpoint/resume for the OVS trainer.
+std::vector<std::unique_ptr<baselines::OdEstimator>> MakeMethodSuite(
+    const core::CheckpointOptions& checkpoint = {});
 
 /// Renders comparison rows (one per method, TOD/vol/speed columns) plus the
 /// "Improve" row of OVS over the best baseline, paper-table style.

@@ -1,8 +1,12 @@
 #include "nn/module.h"
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <map>
+
+#include "nn/serialize.h"
+#include "util/atomic_file.h"
 
 namespace ovs::nn {
 
@@ -53,59 +57,66 @@ constexpr uint32_t kMagic = 0x4F56534D;  // "OVSM"
 }  // namespace
 
 Status Module::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return Status::NotFound("cannot open for write: " + path);
+  // Atomic write discipline: a crash (or full disk) mid-save must leave the
+  // previous weights file intact, never a readable prefix of the new one.
+  AtomicFileWriter writer(path);
+  RETURN_IF_ERROR(writer.status());
+  std::ostream& out = writer.stream();
   auto named = NamedParameters();
   const uint32_t magic = kMagic;
+  const uint32_t tag = kVersionTag;
+  const uint32_t version = kFormatVersion;
   const uint32_t count = static_cast<uint32_t>(named.size());
   out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&tag), sizeof(tag));
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (const auto& [name, v] : named) {
-    const uint32_t name_len = static_cast<uint32_t>(name.size());
-    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    out.write(name.data(), name_len);
-    const uint32_t rank = static_cast<uint32_t>(v.value().rank());
-    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
-    for (int d : v.value().shape()) {
-      const int32_t dim = d;
-      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
-    }
-    out.write(reinterpret_cast<const char*>(v.value().data()),
-              static_cast<std::streamsize>(sizeof(float)) * v.numel());
+    WriteTensorRecord(out, name, v.value(), /*with_crc=*/true);
   }
-  if (!out.good()) return Status::DataLoss("write failed: " + path);
-  return Status::Ok();
+  // Commit checks the close and flush explicitly: a full disk surfacing at
+  // destructor-flush time must be an error, not a silent half-file.
+  return writer.Commit();
 }
 
 Status Module::Load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::NotFound("cannot open for read: " + path);
-  uint32_t magic = 0, count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::NotFound("cannot stat " + path + ": " + ec.message());
+  if (file_size == 0) return Status::DataLoss("empty file: " + path);
+  int64_t remaining = static_cast<int64_t>(file_size);
+  if (remaining < static_cast<int64_t>(2 * sizeof(uint32_t))) {
+    return Status::DataLoss("headerless file (" + std::to_string(remaining) +
+                            " bytes): " + path);
+  }
+
+  uint32_t magic = 0, second = 0, count = 0;
+  RETURN_IF_ERROR(ReadPod(in, path, &remaining, &magic, sizeof(magic)));
   if (magic != kMagic) return Status::DataLoss("bad magic in " + path);
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  // v1 files carry the record count right after the magic; v2 marks itself
+  // with kVersionTag followed by a format-version word.
+  RETURN_IF_ERROR(ReadPod(in, path, &remaining, &second, sizeof(second)));
+  bool with_crc = false;
+  if (second == kVersionTag) {
+    uint32_t version = 0;
+    RETURN_IF_ERROR(ReadPod(in, path, &remaining, &version, sizeof(version)));
+    if (version != kFormatVersion) {
+      return Status::DataLoss("unsupported checkpoint version " +
+                              std::to_string(version) + " in " + path);
+    }
+    with_crc = true;
+    RETURN_IF_ERROR(ReadPod(in, path, &remaining, &count, sizeof(count)));
+  } else {
+    count = second;
+  }
 
   std::map<std::string, Tensor> loaded;
   for (uint32_t i = 0; i < count; ++i) {
-    uint32_t name_len = 0;
-    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    if (!in.good() || name_len > 4096) return Status::DataLoss("corrupt " + path);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    uint32_t rank = 0;
-    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
-    if (!in.good() || rank > 4) return Status::DataLoss("corrupt " + path);
-    std::vector<int> shape(rank);
-    for (uint32_t d = 0; d < rank; ++d) {
-      int32_t dim = 0;
-      in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
-      if (dim < 0 || dim > (1 << 28)) return Status::DataLoss("corrupt " + path);
-      shape[d] = dim;
-    }
-    Tensor t(shape);
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(sizeof(float)) * t.numel());
-    if (!in.good()) return Status::DataLoss("truncated " + path);
+    std::string name;
+    Tensor t;
+    RETURN_IF_ERROR(ReadTensorRecord(in, path, with_crc, &remaining, &name, &t));
     loaded.emplace(std::move(name), std::move(t));
   }
 

@@ -48,6 +48,20 @@ Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2,
   }
 }
 
+void Adam::RestoreState(int step_count, std::vector<Tensor> m,
+                        std::vector<Tensor> v) {
+  CHECK_GE(step_count, 0);
+  CHECK_EQ(m.size(), params_.size());
+  CHECK_EQ(v.size(), params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    CHECK(m[i].SameShape(params_[i].value()));
+    CHECK(v[i].SameShape(params_[i].value()));
+  }
+  step_count_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 void Adam::Step() {
   ++step_count_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));

@@ -58,6 +58,17 @@ class Adam : public Optimizer {
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
 
+  /// Checkpoint surface: the bias-correction step count and first/second
+  /// moment tensors (one per parameter, parameter order). Restoring them
+  /// mid-run makes a resumed optimization bitwise-identical to an
+  /// uninterrupted one.
+  int step_count() const { return step_count_; }
+  const std::vector<Tensor>& moments_m() const { return m_; }
+  const std::vector<Tensor>& moments_v() const { return v_; }
+  /// Replaces the optimizer state. Moment shapes must match the parameters.
+  void RestoreState(int step_count, std::vector<Tensor> m,
+                    std::vector<Tensor> v);
+
  private:
   float lr_;
   float beta1_;

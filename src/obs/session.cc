@@ -1,10 +1,10 @@
 #include "obs/session.h"
 
-#include <fstream>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace ovs::obs {
@@ -48,29 +48,20 @@ Status Session::Finish() {
   PublishThreadPoolMetrics(pool_baseline_);
 
   if (!options_.trace_out.empty()) {
-    std::ofstream out(options_.trace_out, std::ios::binary);
-    if (!out) {
-      return Status::NotFound("cannot open trace output " + options_.trace_out);
-    }
-    RETURN_IF_ERROR(WriteChromeTrace(out));
-    if (!out.good()) {
-      return Status::DataLoss("short write to " + options_.trace_out);
-    }
+    AtomicFileWriter writer(options_.trace_out);
+    RETURN_IF_ERROR(writer.status());
+    RETURN_IF_ERROR(WriteChromeTrace(writer.stream()));
+    RETURN_IF_ERROR(writer.Commit());
   }
   if (!options_.metrics_out.empty()) {
-    std::ofstream out(options_.metrics_out, std::ios::binary);
-    if (!out) {
-      return Status::NotFound("cannot open metrics output " +
-                              options_.metrics_out);
-    }
+    AtomicFileWriter writer(options_.metrics_out);
+    RETURN_IF_ERROR(writer.status());
     if (EndsWith(options_.metrics_out, ".csv")) {
-      MetricsRegistry::Global().WriteCsv(out);
+      MetricsRegistry::Global().WriteCsv(writer.stream());
     } else {
-      MetricsRegistry::Global().WriteJsonl(out);
+      MetricsRegistry::Global().WriteJsonl(writer.stream());
     }
-    if (!out.good()) {
-      return Status::DataLoss("short write to " + options_.metrics_out);
-    }
+    RETURN_IF_ERROR(writer.Commit());
   }
   return Status::Ok();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/csv.h"
+#include "util/parse.h"
 #include "util/string_util.h"
 
 namespace ovs::od {
@@ -54,7 +55,11 @@ StatusOr<TodTensor> TodTensor::LoadCsv(const std::string& path) {
   TodTensor tod(static_cast<int>(rows.size()), t_count);
   for (size_t i = 0; i < rows.size(); ++i) {
     for (int t = 0; t < t_count; ++t) {
-      tod.at(static_cast<int>(i), t) = std::stod(rows[i][t + 1]);
+      ASSIGN_OR_RETURN(
+          tod.at(static_cast<int>(i), t),
+          ParseDouble(rows[i][t + 1],
+                      path + " row " + std::to_string(i + 1) + " col " +
+                          std::to_string(t + 1)));
     }
   }
   return tod;

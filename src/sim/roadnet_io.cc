@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "util/atomic_file.h"
+#include "util/parse.h"
 #include "util/string_util.h"
 
 namespace ovs::sim {
@@ -12,8 +14,9 @@ constexpr char kMagic[] = "OVSNET,1";
 
 Status SaveRoadNet(const RoadNet& net, const std::string& path) {
   RETURN_IF_ERROR(net.Validate());
-  std::ofstream out(path);
-  if (!out.is_open()) return Status::NotFound("cannot open for write: " + path);
+  AtomicFileWriter writer(path);
+  RETURN_IF_ERROR(writer.status());
+  std::ostream& out = writer.stream();
   out << kMagic << "\n";
   out << "intersections," << net.num_intersections() << "\n";
   for (const Intersection& node : net.intersections()) {
@@ -26,8 +29,7 @@ Status SaveRoadNet(const RoadNet& net, const std::string& path) {
         << FormatDouble(l.length_m, 3) << "," << l.num_lanes << ","
         << FormatDouble(l.speed_limit_mps, 3) << "\n";
   }
-  if (!out.good()) return Status::DataLoss("write failed: " + path);
-  return Status::Ok();
+  return writer.Commit();
 }
 
 StatusOr<RoadNet> LoadRoadNet(const std::string& path) {
@@ -38,14 +40,20 @@ StatusOr<RoadNet> LoadRoadNet(const std::string& path) {
     return Status::DataLoss("bad magic in " + path);
   }
 
+  int lineno = 1;
   auto read_header = [&](const char* tag) -> StatusOr<int> {
     if (!std::getline(in, line)) return Status::DataLoss("truncated " + path);
+    ++lineno;
     std::vector<std::string> parts = StrSplit(StripWhitespace(line), ',');
     if (parts.size() != 2 || parts[0] != tag) {
       return Status::DataLoss("expected '" + std::string(tag) + "' header in " +
                               path);
     }
-    return std::stoi(parts[1]);
+    return ParseInt(parts[1],
+                    path + ":" + std::to_string(lineno) + " " + tag + " count");
+  };
+  auto ctx = [&](const char* field) {
+    return path + ":" + std::to_string(lineno) + " " + field;
   };
 
   RoadNet net;
@@ -53,11 +61,16 @@ StatusOr<RoadNet> LoadRoadNet(const std::string& path) {
   if (!intersections.ok()) return intersections.status();
   for (int i = 0; i < *intersections; ++i) {
     if (!std::getline(in, line)) return Status::DataLoss("truncated " + path);
+    ++lineno;
     std::vector<std::string> f = StrSplit(StripWhitespace(line), ',');
     if (f.size() != 4) return Status::DataLoss("bad intersection row in " + path);
-    const int id = net.AddIntersection(std::stod(f[1]), std::stod(f[2]),
-                                       std::stoi(f[3]) != 0);
-    if (id != std::stoi(f[0])) {
+    ASSIGN_OR_RETURN(const int row_id, ParseInt(f[0], ctx("intersection id")));
+    ASSIGN_OR_RETURN(const double x, ParseDouble(f[1], ctx("intersection x")));
+    ASSIGN_OR_RETURN(const double y, ParseDouble(f[2], ctx("intersection y")));
+    ASSIGN_OR_RETURN(const int signalized,
+                     ParseInt(f[3], ctx("intersection signalized")));
+    const int id = net.AddIntersection(x, y, signalized != 0);
+    if (id != row_id) {
       return Status::DataLoss("non-sequential intersection ids in " + path);
     }
   }
@@ -65,12 +78,18 @@ StatusOr<RoadNet> LoadRoadNet(const std::string& path) {
   if (!links.ok()) return links.status();
   for (int i = 0; i < *links; ++i) {
     if (!std::getline(in, line)) return Status::DataLoss("truncated " + path);
+    ++lineno;
     std::vector<std::string> f = StrSplit(StripWhitespace(line), ',');
     if (f.size() != 6) return Status::DataLoss("bad link row in " + path);
-    const int id = net.AddLink(std::stoi(f[1]), std::stoi(f[2]),
-                               std::stod(f[3]), std::stoi(f[4]),
-                               std::stod(f[5]));
-    if (id != std::stoi(f[0])) {
+    ASSIGN_OR_RETURN(const int row_id, ParseInt(f[0], ctx("link id")));
+    ASSIGN_OR_RETURN(const int from, ParseInt(f[1], ctx("link from")));
+    ASSIGN_OR_RETURN(const int to, ParseInt(f[2], ctx("link to")));
+    ASSIGN_OR_RETURN(const double length, ParseDouble(f[3], ctx("link length")));
+    ASSIGN_OR_RETURN(const int lanes, ParseInt(f[4], ctx("link lanes")));
+    ASSIGN_OR_RETURN(const double speed_limit,
+                     ParseDouble(f[5], ctx("link speed_limit")));
+    const int id = net.AddLink(from, to, length, lanes, speed_limit);
+    if (id != row_id) {
       return Status::DataLoss("non-sequential link ids in " + path);
     }
   }

@@ -1,0 +1,178 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace ovs {
+
+namespace {
+
+/// Process-wide injected fault. The budget is shared across writers so a
+/// test can target "the Nth byte written anywhere in this save".
+std::atomic<int> g_fault_mode{static_cast<int>(WriteFaultMode::kNone)};
+std::atomic<int64_t> g_fault_budget{0};
+
+WriteFaultMode FaultMode() {
+  return static_cast<WriteFaultMode>(g_fault_mode.load(std::memory_order_relaxed));
+}
+
+/// Consumes up to `want` bytes of the fault budget; returns how many bytes
+/// may still be written honestly (the rest trip the fault).
+size_t ConsumeBudget(size_t want) {
+  int64_t before = g_fault_budget.fetch_sub(static_cast<int64_t>(want),
+                                            std::memory_order_relaxed);
+  if (before <= 0) return 0;
+  return static_cast<size_t>(before) < want ? static_cast<size_t>(before) : want;
+}
+
+std::string ErrnoMessage(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void SetWriteFaultForTesting(WriteFaultMode mode, int64_t after_bytes) {
+  g_fault_budget.store(after_bytes, std::memory_order_relaxed);
+  g_fault_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void ClearWriteFaultForTesting() {
+  g_fault_mode.store(static_cast<int>(WriteFaultMode::kNone),
+                     std::memory_order_relaxed);
+  g_fault_budget.store(0, std::memory_order_relaxed);
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)),
+      temp_path_(path_ + ".tmp." + std::to_string(::getpid())),
+      buf_(this),
+      stream_(&buf_) {
+  fd_ = ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    status_ = Status::NotFound(ErrnoMessage("cannot open for write:", path_));
+    stream_.setstate(std::ios::badbit);
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!finished_) Abort();
+}
+
+bool AtomicFileWriter::WriteBytes(const char* data, size_t len) {
+  if (!status_.ok() || fd_ < 0) return false;
+  size_t honest = len;
+  const WriteFaultMode mode = FaultMode();
+  if (mode != WriteFaultMode::kNone) honest = ConsumeBudget(len);
+  size_t written = 0;
+  while (written < honest) {
+    ssize_t n = ::write(fd_, data + written, honest - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // The stream notices the short sputn and sets badbit itself.
+      status_ = Status::DataLoss(ErrnoMessage("write failed:", temp_path_));
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (honest < len) {
+    if (mode == WriteFaultMode::kFailAfter) {
+      status_ = Status::DataLoss("injected write fault after byte budget in " +
+                                 temp_path_);
+      return false;
+    }
+    // kTruncateAfter: pretend success; the missing tail is the torn write.
+  }
+  return true;
+}
+
+int AtomicFileWriter::FdStreambuf::overflow(int ch) {
+  if (ch == traits_type::eof()) return traits_type::not_eof(ch);
+  char c = static_cast<char>(ch);
+  return owner_->WriteBytes(&c, 1) ? ch : traits_type::eof();
+}
+
+std::streamsize AtomicFileWriter::FdStreambuf::xsputn(const char* s,
+                                                      std::streamsize n) {
+  return owner_->WriteBytes(s, static_cast<size_t>(n)) ? n : 0;
+}
+
+int AtomicFileWriter::FdStreambuf::sync() { return 0; }
+
+Status AtomicFileWriter::Commit() {
+  if (finished_) {
+    if (committed_) return commit_status_;
+    return commit_status_.ok()
+               ? Status::FailedPrecondition("commit after abort: " + path_)
+               : commit_status_;
+  }
+  finished_ = true;
+
+  auto fail = [&](Status s) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    // A simulated crash (kTruncateAfter) leaves the torn temp file behind,
+    // exactly as SIGKILL between write() and rename() would.
+    if (FaultMode() != WriteFaultMode::kTruncateAfter) {
+      ::unlink(temp_path_.c_str());
+    }
+    commit_status_ = std::move(s);
+    return commit_status_;
+  };
+
+  if (!status_.ok()) return fail(status_);
+  stream_.flush();
+  if (!status_.ok()) return fail(status_);
+  if (FaultMode() == WriteFaultMode::kTruncateAfter) {
+    return fail(Status::DataLoss("simulated crash before rename: " + path_));
+  }
+  if (::fsync(fd_) != 0) {
+    return fail(Status::DataLoss(ErrnoMessage("fsync failed:", temp_path_)));
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    return fail(Status::DataLoss(ErrnoMessage("close failed:", temp_path_)));
+  }
+  fd_ = -1;
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    return fail(Status::DataLoss(ErrnoMessage("rename failed onto", path_)));
+  }
+  // Make the rename itself durable: fsync the containing directory.
+  const std::filesystem::path parent =
+      std::filesystem::path(path_).parent_path();
+  const std::string dir = parent.empty() ? std::string(".") : parent.string();
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best-effort; the data itself is already synced
+    ::close(dfd);
+  }
+  committed_ = true;
+  commit_status_ = Status::Ok();
+  return commit_status_;
+}
+
+void AtomicFileWriter::Abort() {
+  if (finished_) return;
+  finished_ = true;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ::unlink(temp_path_.c_str());
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  AtomicFileWriter writer(path);
+  writer.stream().write(content.data(),
+                        static_cast<std::streamsize>(content.size()));
+  return writer.Commit();
+}
+
+}  // namespace ovs

@@ -1,0 +1,105 @@
+#ifndef OVS_UTIL_ATOMIC_FILE_H_
+#define OVS_UTIL_ATOMIC_FILE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ovs {
+
+/// Fault injection for crash-safety tests: makes the next atomic writes
+/// misbehave after a byte budget, so "disk full" and "killed mid-write"
+/// are unit-testable without an actual crash.
+enum class WriteFaultMode {
+  kNone = 0,
+  /// Writes past the budget fail (EIO analogue): the writer's status turns
+  /// DataLoss and Commit refuses, removing the temp file.
+  kFailAfter,
+  /// Writes past the budget vanish silently and Commit aborts *before* the
+  /// rename, leaving the truncated temp file on disk — the observable state
+  /// after SIGKILL between write() and rename().
+  kTruncateAfter,
+};
+
+/// Arms the fault for all AtomicFileWriter byte streams process-wide until
+/// cleared. `after_bytes` is a shared budget across writes. Test-only.
+void SetWriteFaultForTesting(WriteFaultMode mode, int64_t after_bytes);
+void ClearWriteFaultForTesting();
+
+/// Crash-safe file writer: bytes go to `<path>.tmp.<pid>`, and Commit()
+/// flushes, fsyncs, closes, and rename()s over the destination, so readers
+/// only ever observe the old complete file or the new complete file — never
+/// a prefix. If the writer dies before Commit (or any write fails), the
+/// destination is untouched; the destructor removes an uncommitted temp.
+///
+/// This is the single sanctioned way to create files under src/ (the
+/// `raw-ofstream` lint rule fences out direct std::ofstream writes).
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// The output stream. Writing after a failure is harmless (bytes are
+  /// dropped); the sticky error surfaces in status() and Commit().
+  std::ostream& stream() { return stream_; }
+
+  /// True while no open/write error has occurred.
+  bool ok() const { return status_.ok(); }
+  /// First error observed (open failure, short write, injected fault).
+  Status status() const { return status_; }
+
+  /// Flushes, fsyncs, closes, and atomically renames the temp file onto the
+  /// destination (then fsyncs the directory). Any prior or closing-time
+  /// error is returned and the destination stays untouched. Idempotent:
+  /// later calls return the first outcome.
+  [[nodiscard]] Status Commit();
+
+  /// Drops the temp file without touching the destination.
+  void Abort();
+
+  const std::string& path() const { return path_; }
+  const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  class FdStreambuf : public std::streambuf {
+   public:
+    explicit FdStreambuf(AtomicFileWriter* owner) : owner_(owner) {}
+
+   protected:
+    int overflow(int ch) override;
+    std::streamsize xsputn(const char* s, std::streamsize n) override;
+    int sync() override;
+
+   private:
+    AtomicFileWriter* owner_;
+  };
+
+  /// Writes raw bytes to the temp fd, applying the injected fault. Records
+  /// the first failure in status_.
+  bool WriteBytes(const char* data, size_t len);
+
+  std::string path_;
+  std::string temp_path_;
+  int fd_ = -1;
+  bool finished_ = false;  ///< Commit or Abort already ran.
+  Status status_;
+  Status commit_status_;
+  bool committed_ = false;
+  FdStreambuf buf_;
+  std::ostream stream_;
+};
+
+/// One-shot convenience: atomically replaces `path` with `content`.
+[[nodiscard]] Status WriteFileAtomic(const std::string& path,
+                                     std::string_view content);
+
+}  // namespace ovs
+
+#endif  // OVS_UTIL_ATOMIC_FILE_H_

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/parse.h"
+
 namespace ovs {
 
 BenchScale GetBenchScale() {
@@ -24,10 +26,20 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
     const std::string arg = argv[i];
     constexpr const char* kTrace = "--trace_out=";
     constexpr const char* kMetrics = "--metrics_out=";
+    constexpr const char* kCkptDir = "--checkpoint_dir=";
+    constexpr const char* kCkptEvery = "--checkpoint_every=";
     if (arg.rfind(kTrace, 0) == 0) {
       args.trace_out = arg.substr(std::strlen(kTrace));
     } else if (arg.rfind(kMetrics, 0) == 0) {
       args.metrics_out = arg.substr(std::strlen(kMetrics));
+    } else if (arg.rfind(kCkptDir, 0) == 0) {
+      args.checkpoint_dir = arg.substr(std::strlen(kCkptDir));
+    } else if (arg.rfind(kCkptEvery, 0) == 0) {
+      StatusOr<int> every = ParseInt(arg.substr(std::strlen(kCkptEvery)),
+                                     "--checkpoint_every");
+      if (every.ok()) args.checkpoint_every = *every;
+    } else if (arg == "--resume") {
+      args.resume = true;
     }
   }
   return args;

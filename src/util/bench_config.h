@@ -27,11 +27,18 @@ struct BenchArgs {
   /// Metrics export (--metrics_out=PATH, ".csv" selects CSV over JSONL);
   /// empty = no export.
   std::string metrics_out;
+  /// Trainer checkpoint directory (--checkpoint_dir=PATH); empty = off.
+  std::string checkpoint_dir;
+  /// Epochs between stage checkpoints (--checkpoint_every=N).
+  int checkpoint_every = 10;
+  /// Resume from existing checkpoints (--resume).
+  bool resume = false;
 };
 
-/// Parses --trace_out= / --metrics_out= from argv. Unrecognized arguments
-/// are ignored (benches own any extra flags); a recognized flag missing its
-/// value keeps the default.
+/// Parses --trace_out= / --metrics_out= / --checkpoint_dir= /
+/// --checkpoint_every= / --resume from argv. Unrecognized arguments are
+/// ignored (benches own any extra flags); a recognized flag missing or with
+/// a malformed value keeps the default.
 BenchArgs ParseBenchArgs(int argc, char** argv);
 
 }  // namespace ovs

@@ -1,0 +1,35 @@
+#ifndef OVS_UTIL_CRC32_H_
+#define OVS_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ovs {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding every
+/// tensor payload in the v2 checkpoint format. Incremental use: feed the
+/// previous return value back as `crc` ("123456789" -> 0xCBF43926).
+inline uint32_t Crc32(const void* data, size_t len, uint32_t crc = 0) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace ovs
+
+#endif  // OVS_UTIL_CRC32_H_

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "util/atomic_file.h"
 #include "util/string_util.h"
 
 namespace ovs {
@@ -9,19 +10,18 @@ namespace ovs {
 Status WriteCsv(const std::string& path,
                 const std::vector<std::string>& header,
                 const std::vector<std::vector<std::string>>& rows) {
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return Status::NotFound("cannot open for write: " + path);
-  }
+  AtomicFileWriter writer(path);
+  RETURN_IF_ERROR(writer.status());
+  std::ostream& out = writer.stream();
   out << StrJoin(header, ",") << "\n";
   for (const auto& row : rows) {
     if (row.size() != header.size()) {
+      writer.Abort();
       return Status::InvalidArgument("CSV row arity mismatch in " + path);
     }
     out << StrJoin(row, ",") << "\n";
   }
-  if (!out.good()) return Status::DataLoss("write failed: " + path);
-  return Status::Ok();
+  return writer.Commit();
 }
 
 Status ReadCsv(const std::string& path, std::vector<std::string>* header,

@@ -1,0 +1,47 @@
+#include "util/parse.h"
+
+#include <charconv>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace ovs {
+
+namespace {
+
+Status ParseError(const char* kind, std::string_view field,
+                  std::string_view context) {
+  return Status::DataLoss("cannot parse " + std::string(kind) + " '" +
+                          std::string(field) + "' (" + std::string(context) +
+                          ")");
+}
+
+}  // namespace
+
+StatusOr<int> ParseInt(std::string_view field, std::string_view context) {
+  std::string_view s = StripWhitespace(field);
+  int value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    return ParseError("integer (out of range)", field, context);
+  }
+  if (ec != std::errc() || ptr != s.data() + s.size() || s.empty()) {
+    return ParseError("integer", field, context);
+  }
+  return value;
+}
+
+StatusOr<double> ParseDouble(std::string_view field, std::string_view context) {
+  std::string_view s = StripWhitespace(field);
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    return ParseError("number (out of range)", field, context);
+  }
+  if (ec != std::errc() || ptr != s.data() + s.size() || s.empty()) {
+    return ParseError("number", field, context);
+  }
+  return value;
+}
+
+}  // namespace ovs

@@ -1,0 +1,25 @@
+#ifndef OVS_UTIL_PARSE_H_
+#define OVS_UTIL_PARSE_H_
+
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ovs {
+
+/// Locale-free, non-throwing numeric field parsers (std::from_chars based)
+/// for the CSV/roadnet loaders. Unlike std::stoi/std::stod they never throw:
+/// malformed, empty, trailing-garbage, or out-of-range fields come back as
+/// Status::DataLoss carrying `context` (typically "file: row N"), honouring
+/// the StatusOr contract of every loader above them.
+///
+/// Leading/trailing ASCII whitespace is tolerated; the numeric core must
+/// consume the rest of the field exactly.
+[[nodiscard]] StatusOr<int> ParseInt(std::string_view field,
+                                     std::string_view context);
+[[nodiscard]] StatusOr<double> ParseDouble(std::string_view field,
+                                           std::string_view context);
+
+}  // namespace ovs
+
+#endif  // OVS_UTIL_PARSE_H_

@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace ovs {
 
@@ -69,6 +72,23 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serializes the engine state (the standard textual mt19937_64 dump) so
+  /// checkpoints can resume the exact random stream mid-run.
+  std::string SaveState() const {
+    std::ostringstream ss;
+    ss << engine_;
+    return ss.str();
+  }
+
+  /// Restores a state produced by SaveState. On failure the engine is left
+  /// unspecified and the caller must reseed.
+  [[nodiscard]] Status LoadState(const std::string& state) {
+    std::istringstream ss(state);
+    ss >> engine_;
+    if (ss.fail()) return Status::DataLoss("corrupt RNG state string");
+    return Status::Ok();
+  }
 
  private:
   std::mt19937_64 engine_;

@@ -145,4 +145,15 @@ class [[nodiscard]] StatusOr {
     CHECK(ovs_status_.ok()) << ovs_status_.ToString();     \
   } while (0)
 
+/// Evaluates a StatusOr expression; on success assigns the value to `lhs`
+/// (which may include a declaration), otherwise propagates the error.
+#define OVS_SOR_CONCAT_INNER(a, b) a##b
+#define OVS_SOR_CONCAT(a, b) OVS_SOR_CONCAT_INNER(a, b)
+#define ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASSIGN_OR_RETURN_IMPL(OVS_SOR_CONCAT(ovs_statusor_, __LINE__), lhs, rexpr)
+#define ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr)  \
+  auto var = (rexpr);                           \
+  if (!var.ok()) return var.status();           \
+  lhs = std::move(var).value();
+
 #endif  // OVS_UTIL_STATUS_H_

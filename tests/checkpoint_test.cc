@@ -1,0 +1,663 @@
+// Crash-safety tests: the atomic file writer (with fault injection), the v2
+// checkpoint format's corruption matrix, the non-throwing numeric parsers,
+// and the headline contract — a killed-and-resumed training/recovery run is
+// bitwise identical to an uninterrupted one, at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/trainer.h"
+#include "core/training_data.h"
+#include "data/cities.h"
+#include "od/tod_tensor.h"
+#include "sim/roadnet_io.h"
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/parse.h"
+#include "util/thread_pool.h"
+
+namespace ovs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory.
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ovs_checkpoint_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    ClearWriteFaultForTesting();
+    fs::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  static void WriteRaw(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::path dir_;
+};
+
+// ------------------------------------------------------- AtomicFileWriter --
+
+TEST_F(CheckpointTest, CommitPublishesAndRemovesTemp) {
+  const std::string path = Path("out.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  AtomicFileWriter writer(path);
+  writer.stream() << "new content";
+  EXPECT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.Commit().ok());
+  EXPECT_EQ(ReadAll(path), "new content");
+  EXPECT_FALSE(fs::exists(writer.temp_path()));
+}
+
+TEST_F(CheckpointTest, AbortLeavesDestinationUntouched) {
+  const std::string path = Path("out.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  AtomicFileWriter writer(path);
+  writer.stream() << "half-written";
+  writer.Abort();
+  EXPECT_EQ(ReadAll(path), "old");
+  EXPECT_FALSE(fs::exists(writer.temp_path()));
+}
+
+TEST_F(CheckpointTest, DestructorWithoutCommitDropsTemp) {
+  const std::string path = Path("out.txt");
+  std::string temp;
+  {
+    AtomicFileWriter writer(path);
+    writer.stream() << "never committed";
+    temp = writer.temp_path();
+  }
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(temp));
+}
+
+TEST_F(CheckpointTest, CommitIsIdempotentAndCommitAfterAbortFails) {
+  const std::string path = Path("out.txt");
+  AtomicFileWriter writer(path);
+  writer.stream() << "x";
+  ASSERT_TRUE(writer.Commit().ok());
+  EXPECT_TRUE(writer.Commit().ok());  // same outcome again
+  AtomicFileWriter aborted(Path("other.txt"));
+  aborted.Abort();
+  EXPECT_EQ(aborted.Commit().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointTest, InjectedWriteFailureKeepsOldFileAndRemovesTemp) {
+  const std::string path = Path("out.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "intact old bytes").ok());
+  SetWriteFaultForTesting(WriteFaultMode::kFailAfter, 8);
+  std::string temp;
+  {
+    AtomicFileWriter writer(path);
+    temp = writer.temp_path();
+    writer.stream() << std::string(64, 'x');
+    writer.stream().flush();
+    const Status status = writer.Commit();
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  }
+  ClearWriteFaultForTesting();
+  EXPECT_EQ(ReadAll(path), "intact old bytes");
+  EXPECT_FALSE(fs::exists(temp));
+}
+
+TEST_F(CheckpointTest, InjectedTruncationLeavesTornTempButNotDestination) {
+  // kTruncateAfter models SIGKILL between write() and rename(): the torn
+  // temp file stays on disk, the destination is never replaced.
+  const std::string path = Path("out.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "intact old bytes").ok());
+  SetWriteFaultForTesting(WriteFaultMode::kTruncateAfter, 8);
+  std::string temp;
+  {
+    AtomicFileWriter writer(path);
+    temp = writer.temp_path();
+    writer.stream() << std::string(64, 'x');
+    const Status status = writer.Commit();
+    EXPECT_FALSE(status.ok());
+  }
+  ClearWriteFaultForTesting();
+  EXPECT_EQ(ReadAll(path), "intact old bytes");
+  EXPECT_TRUE(fs::exists(temp));
+  EXPECT_LT(fs::file_size(temp), 64u);
+}
+
+// ---------------------------------------------------------- parse helpers --
+
+TEST_F(CheckpointTest, ParseIntAcceptsPlainAndPaddedFields) {
+  ASSERT_TRUE(ParseInt("42", "ctx").ok());
+  EXPECT_EQ(*ParseInt("42", "ctx"), 42);
+  EXPECT_EQ(*ParseInt("  -7 ", "ctx"), -7);
+}
+
+TEST_F(CheckpointTest, ParseIntRejectsGarbageWithContext) {
+  for (const char* bad : {"", "abc", "12x", "4.5", "--3"}) {
+    StatusOr<int> r = ParseInt(bad, "net.csv:12 link id");
+    ASSERT_FALSE(r.ok()) << "'" << bad << "' parsed";
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(r.status().message().find("net.csv:12 link id"),
+              std::string::npos);
+  }
+  StatusOr<int> overflow = ParseInt("99999999999999999999", "ctx");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_NE(overflow.status().message().find("out of range"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointTest, ParseDoubleAcceptsNumbersRejectsGarbage) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5", "ctx"), 2.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" -1e-3 ", "ctx"), -1e-3);
+  for (const char* bad : {"", "fast", "1.2.3"}) {
+    StatusOr<double> r = ParseDouble(bad, "tod.csv row 3");
+    ASSERT_FALSE(r.ok()) << "'" << bad << "' parsed";
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(r.status().message().find("tod.csv row 3"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointTest, RoadNetLoaderSurfacesBadFieldsAsDataLoss) {
+  const std::string path = Path("net.csv");
+  WriteRaw(path,
+           "OVSNET,1\n"
+           "intersections,1\n"
+           "0,1.0,notanumber,0\n"
+           "links,0\n");
+  StatusOr<sim::RoadNet> net = sim::LoadRoadNet(path);
+  ASSERT_FALSE(net.ok());
+  EXPECT_EQ(net.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(net.status().message().find("intersection y"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, TodCsvLoaderSurfacesBadCellsAsDataLoss) {
+  const std::string path = Path("tod.csv");
+  WriteRaw(path, "od,t0,t1\n0,1.5,oops\n");
+  StatusOr<od::TodTensor> tod = od::TodTensor::LoadCsv(path);
+  ASSERT_FALSE(tod.ok());
+  EXPECT_EQ(tod.status().code(), StatusCode::kDataLoss);
+}
+
+// ------------------------------------------------------------------- CRC32 --
+
+TEST_F(CheckpointTest, Crc32MatchesKnownVectorAndComposes) {
+  const char* v = "123456789";
+  EXPECT_EQ(Crc32(v, 9), 0xCBF43926u);
+  // Incremental feeding equals one-shot.
+  uint32_t crc = Crc32(v, 4);
+  crc = Crc32(v + 4, 5, crc);
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+// ----------------------------------------------- Module v2 format + matrix --
+
+/// Tiny module with two named parameters for format tests.
+class TestNet : public nn::Module {
+ public:
+  explicit TestNet(Rng* rng)
+      : w_(RegisterParameter("w", nn::Tensor::RandomUniform({2, 3}, -1.0f,
+                                                            1.0f, rng))),
+        b_(RegisterParameter("b", nn::Tensor::RandomUniform({3}, -1.0f, 1.0f,
+                                                            rng))) {}
+
+ private:
+  nn::Variable w_;
+  nn::Variable b_;
+};
+
+void ExpectModulesBitwiseEqual(const nn::Module& a, const nn::Module& b) {
+  auto na = a.NamedParameters();
+  auto nb = b.NamedParameters();
+  ASSERT_EQ(na.size(), nb.size());
+  for (size_t i = 0; i < na.size(); ++i) {
+    EXPECT_EQ(na[i].first, nb[i].first);
+    const nn::Tensor& ta = na[i].second.value();
+    const nn::Tensor& tb = nb[i].second.value();
+    ASSERT_TRUE(ta.SameShape(tb)) << na[i].first;
+    for (int j = 0; j < ta.numel(); ++j) {
+      ASSERT_EQ(ta[j], tb[j]) << na[i].first << "[" << j << "]";
+    }
+  }
+}
+
+TEST_F(CheckpointTest, ModuleV2RoundTripIsBitwise) {
+  const std::string path = Path("net.ovsm");
+  Rng rng1(7);
+  TestNet a(&rng1);
+  ASSERT_TRUE(a.Save(path).ok());
+  Rng rng2(8);  // different init, fully overwritten by Load
+  TestNet b(&rng2);
+  ASSERT_TRUE(b.Load(path).ok());
+  ExpectModulesBitwiseEqual(a, b);
+}
+
+TEST_F(CheckpointTest, ModuleStillReadsV1Files) {
+  // Hand-crafted v1 blob: magic | count | records without CRC.
+  Rng rng(7);
+  TestNet reference(&rng);
+  std::string blob;
+  auto append_u32 = [&blob](uint32_t v) {
+    blob.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  append_u32(0x4F56534D);  // "OVSM"
+  auto named = reference.NamedParameters();
+  append_u32(static_cast<uint32_t>(named.size()));
+  for (const auto& [name, v] : named) {
+    append_u32(static_cast<uint32_t>(name.size()));
+    blob += name;
+    append_u32(static_cast<uint32_t>(v.value().rank()));
+    for (int d : v.value().shape()) append_u32(static_cast<uint32_t>(d));
+    blob.append(reinterpret_cast<const char*>(v.value().data()),
+                sizeof(float) * static_cast<size_t>(v.value().numel()));
+  }
+  const std::string path = Path("net_v1.ovsm");
+  WriteRaw(path, blob);
+
+  Rng rng2(8);
+  TestNet loaded(&rng2);
+  ASSERT_TRUE(loaded.Load(path).ok());
+  ExpectModulesBitwiseEqual(reference, loaded);
+}
+
+TEST_F(CheckpointTest, EmptyAndHeaderlessFilesGetDistinctErrors) {
+  Rng rng(7);
+  TestNet net(&rng);
+  const std::string empty = Path("empty.ovsm");
+  WriteRaw(empty, "");
+  Status s = net.Load(empty);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("empty file"), std::string::npos);
+  EXPECT_EQ(s.message().find("bad magic"), std::string::npos);
+
+  const std::string headerless = Path("headerless.ovsm");
+  WriteRaw(headerless, "abc");
+  s = net.Load(headerless);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("headerless"), std::string::npos);
+  EXPECT_EQ(s.message().find("bad magic"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, BadMagicAndUnsupportedVersionAreRejected) {
+  Rng rng(7);
+  TestNet net(&rng);
+  std::string blob(16, '\0');
+  const uint32_t wrong = 0xDEADBEEF;
+  std::memcpy(blob.data(), &wrong, sizeof(wrong));
+  WriteRaw(Path("magic.ovsm"), blob);
+  Status s = net.Load(Path("magic.ovsm"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("bad magic"), std::string::npos);
+
+  const uint32_t magic = 0x4F56534D, tag = 0xFFFFFFFEu, version = 3, count = 0;
+  std::string future;
+  for (uint32_t v : {magic, tag, version, count}) {
+    future.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  WriteRaw(Path("future.ovsm"), future);
+  s = net.Load(Path("future.ovsm"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unsupported checkpoint version"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointTest, TruncationAtEveryByteIsAnErrorNeverACrash) {
+  Rng rng(7);
+  TestNet net(&rng);
+  const std::string full_path = Path("full.ovsm");
+  ASSERT_TRUE(net.Save(full_path).ok());
+  const std::string bytes = ReadAll(full_path);
+  ASSERT_GT(bytes.size(), 12u);
+
+  Rng rng2(8);
+  TestNet victim(&rng2);
+  const std::string cut_path = Path("cut.ovsm");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteRaw(cut_path, bytes.substr(0, len));
+    const Status s = victim.Load(cut_path);
+    EXPECT_FALSE(s.ok()) << "prefix of " << len << " bytes loaded";
+  }
+  // The untruncated file still loads.
+  WriteRaw(cut_path, bytes);
+  EXPECT_TRUE(victim.Load(cut_path).ok());
+}
+
+TEST_F(CheckpointTest, FlippedPayloadByteIsACrcMismatch) {
+  Rng rng(7);
+  TestNet net(&rng);
+  const std::string path = Path("net.ovsm");
+  ASSERT_TRUE(net.Save(path).ok());
+  std::string bytes = ReadAll(path);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x40);
+  WriteRaw(path, bytes);
+  const Status s = net.Load(path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("CRC mismatch"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, AbsurdDimsAreRejectedBeforeAllocation) {
+  // A crafted header claiming four 2^27-sized dims (2^108 elements) must be
+  // rejected by arithmetic, not by an attempted 10^24-byte allocation.
+  std::string blob;
+  auto append_u32 = [&blob](uint32_t v) {
+    blob.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  append_u32(0x4F56534D);
+  append_u32(0xFFFFFFFEu);  // version tag
+  append_u32(2);            // version
+  append_u32(1);            // one record
+  append_u32(1);            // name length
+  blob += "w";
+  append_u32(4);  // rank
+  for (int d = 0; d < 4; ++d) append_u32(1u << 27);
+  append_u32(0);  // crc
+  const std::string path = Path("huge.ovsm");
+  WriteRaw(path, blob);
+  Rng rng(7);
+  TestNet net(&rng);
+  const Status s = net.Load(path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CheckpointTest, SaveFailsCleanlyWhenDiskFillsAtFlushTime) {
+  Rng rng(7);
+  TestNet net(&rng);
+  const std::string path = Path("net.ovsm");
+  ASSERT_TRUE(net.Save(path).ok());
+  const std::string before = ReadAll(path);
+
+  SetWriteFaultForTesting(WriteFaultMode::kFailAfter, 4);
+  const Status s = net.Save(path);
+  ClearWriteFaultForTesting();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  // The previous weights survive and still load.
+  EXPECT_EQ(ReadAll(path), before);
+  EXPECT_TRUE(net.Load(path).ok());
+}
+
+// --------------------------------------------------- trainer checkpoint IO --
+
+TEST_F(CheckpointTest, TrainerCheckpointRoundTripsAllFields) {
+  Rng rng(3);
+  core::TrainerCheckpoint ckpt;
+  ckpt.stage = "stage2";
+  ckpt.epoch = 17;
+  ckpt.opt_step = 123456789012LL;
+  ckpt.loss = 0.123456789123456789;
+  Rng state_source(99);
+  ckpt.rng_state = state_source.SaveState();
+  ckpt.tensors.emplace_back(
+      "w", nn::Tensor::RandomGaussian({3, 2}, 0.0f, 1.0f, &rng));
+  ckpt.tensors.emplace_back(
+      "adam.m.0", nn::Tensor::RandomGaussian({3, 2}, 0.0f, 1.0f, &rng));
+
+  const std::string path = Path("ckpt/nested/stage2.ckpt");
+  ASSERT_TRUE(core::SaveTrainerCheckpoint(ckpt, path).ok());
+  StatusOr<core::TrainerCheckpoint> loaded = core::LoadTrainerCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->stage, "stage2");
+  EXPECT_EQ(loaded->epoch, 17);
+  EXPECT_EQ(loaded->opt_step, 123456789012LL);
+  EXPECT_EQ(loaded->loss, ckpt.loss);  // f64 bitwise round trip
+  EXPECT_EQ(loaded->rng_state, ckpt.rng_state);
+  ASSERT_EQ(loaded->tensors.size(), 2u);
+  for (size_t i = 0; i < ckpt.tensors.size(); ++i) {
+    EXPECT_EQ(loaded->tensors[i].first, ckpt.tensors[i].first);
+    for (int j = 0; j < ckpt.tensors[i].second.numel(); ++j) {
+      EXPECT_EQ(loaded->tensors[i].second[j], ckpt.tensors[i].second[j]);
+    }
+  }
+}
+
+TEST_F(CheckpointTest, TrainerCheckpointRejectsTrailingBytes) {
+  core::TrainerCheckpoint ckpt;
+  ckpt.stage = "stage1";
+  const std::string path = Path("t.ckpt");
+  ASSERT_TRUE(core::SaveTrainerCheckpoint(ckpt, path).ok());
+  std::string bytes = ReadAll(path);
+  bytes += '\0';
+  WriteRaw(path, bytes);
+  StatusOr<core::TrainerCheckpoint> loaded = core::LoadTrainerCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("trailing bytes"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointTest, RngStateRoundTripContinuesTheStream) {
+  Rng a(424242);
+  (void)a.Uniform(0.0, 1.0);
+  const std::string state = a.SaveState();
+  const double next_a = a.Uniform(0.0, 1.0);
+  Rng b(1);
+  ASSERT_TRUE(b.LoadState(state).ok());
+  EXPECT_EQ(b.Uniform(0.0, 1.0), next_a);
+  Rng c(1);
+  EXPECT_FALSE(c.LoadState("not an rng state").ok());
+}
+
+// ------------------------------------------------- kill-and-resume parity --
+
+/// Shared fixture data for the resume-determinism tests (building the
+/// dataset/training set once keeps the suite fast).
+class ResumeDeterminismTest : public CheckpointTest {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(
+        data::BuildDataset(data::Synthetic3x3Config()));
+    train_ =
+        new core::TrainingData(core::GenerateTrainingData(*dataset_, 6, 77));
+  }
+  static void TearDownTestSuite() {
+    delete train_;
+    delete dataset_;
+    train_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  /// Fresh identically initialized model (same seed => same init).
+  static core::OvsModel* NewModel(Rng* rng) {
+    core::OvsConfig config;
+    config.lstm_hidden = 8;
+    config.tod_scale = static_cast<float>(train_->tod_scale);
+    config.volume_norm = static_cast<float>(train_->volume_norm);
+    config.speed_scale = static_cast<float>(train_->speed_scale);
+    return new core::OvsModel(dataset_->num_od(), dataset_->num_links(),
+                              dataset_->num_intervals(), dataset_->incidence,
+                              config, rng);
+  }
+
+  static data::Dataset* dataset_;
+  static core::TrainingData* train_;
+};
+
+data::Dataset* ResumeDeterminismTest::dataset_ = nullptr;
+core::TrainingData* ResumeDeterminismTest::train_ = nullptr;
+
+TEST_F(ResumeDeterminismTest, KilledAndResumedTrainingIsBitwiseIdentical) {
+  const int threads_before = GlobalThreadCount();
+  for (int threads : {1, 4}) {
+    SetGlobalThreads(threads);
+    const std::string ckpt_dir = Path("ckpt_t" + std::to_string(threads));
+
+    core::TrainerConfig base;
+    base.stage1_epochs = 12;
+    base.stage2_epochs = 14;
+
+    // Uninterrupted reference run.
+    Rng init_a(9);
+    std::unique_ptr<core::OvsModel> model_a(NewModel(&init_a));
+    {
+      core::OvsTrainer trainer(model_a.get(), base);
+      std::ignore = trainer.TrainVolumeSpeed(*train_);
+      std::ignore = trainer.TrainTodVolume(*train_);
+    }
+
+    // "Killed" run: stage 1 dies after 7 epochs, the next process resumes
+    // and dies again after 9 stage-2 epochs, a third process finishes.
+    {
+      Rng init(9);
+      std::unique_ptr<core::OvsModel> model(NewModel(&init));
+      core::TrainerConfig cfg = base;
+      cfg.stage1_epochs = 7;  // simulated kill point (final epoch saves)
+      cfg.checkpoint.dir = ckpt_dir;
+      cfg.checkpoint.every = 5;
+      core::OvsTrainer trainer(model.get(), cfg);
+      std::ignore = trainer.TrainVolumeSpeed(*train_);
+    }
+    {
+      Rng init(9);
+      std::unique_ptr<core::OvsModel> model(NewModel(&init));
+      core::TrainerConfig cfg = base;
+      cfg.stage2_epochs = 9;  // second simulated kill point
+      cfg.checkpoint.dir = ckpt_dir;
+      cfg.checkpoint.every = 5;
+      cfg.checkpoint.resume = true;
+      core::OvsTrainer trainer(model.get(), cfg);
+      std::ignore = trainer.TrainVolumeSpeed(*train_);  // resumes epoch 7
+      std::ignore = trainer.TrainTodVolume(*train_);    // fresh stage 2
+    }
+    Rng init_b(9);
+    std::unique_ptr<core::OvsModel> model_b(NewModel(&init_b));
+    {
+      core::TrainerConfig cfg = base;
+      cfg.checkpoint.dir = ckpt_dir;
+      cfg.checkpoint.every = 5;
+      cfg.checkpoint.resume = true;
+      core::OvsTrainer trainer(model_b.get(), cfg);
+      std::ignore = trainer.TrainVolumeSpeed(*train_);  // finished: no-op
+      std::ignore = trainer.TrainTodVolume(*train_);    // resumes epoch 9
+    }
+
+    ExpectModulesBitwiseEqual(*model_a, *model_b);
+  }
+  SetGlobalThreads(threads_before);
+}
+
+TEST_F(ResumeDeterminismTest, KilledAndResumedRecoveryIsBitwiseIdentical) {
+  // Train one model, snapshot it, and compare an uninterrupted recovery
+  // against a killed-and-resumed one (restart 1's checkpoint "survives the
+  // crash"; restart 0 and 2 refit on resume).
+  const int threads_before = GlobalThreadCount();
+  const std::string snapshot = Path("trained.ovsm");
+  {
+    Rng init(9);
+    std::unique_ptr<core::OvsModel> model(NewModel(&init));
+    core::TrainerConfig tc;
+    tc.stage1_epochs = 15;
+    tc.stage2_epochs = 15;
+    core::OvsTrainer trainer(model.get(), tc);
+    std::ignore = trainer.TrainVolumeSpeed(*train_);
+    std::ignore = trainer.TrainTodVolume(*train_);
+    ASSERT_TRUE(model->Save(snapshot).ok());
+  }
+  const core::TrainingSample observed =
+      core::SimulateGroundTruth(*dataset_, 4242);
+
+  for (int threads : {1, 4}) {
+    SetGlobalThreads(threads);
+    core::TrainerConfig rc;
+    rc.recovery_epochs = 25;
+    rc.recovery_restarts = 3;
+
+    auto recover = [&](const core::CheckpointOptions& ck) {
+      Rng init(9);
+      std::unique_ptr<core::OvsModel> model(NewModel(&init));
+      CHECK_OK(model->Load(snapshot));
+      core::TrainerConfig cfg = rc;
+      cfg.checkpoint = ck;
+      core::OvsTrainer trainer(model.get(), cfg);
+      trainer.PrimeRecoveryPrior(*train_);
+      Rng rng(31);
+      return trainer.RecoverTod(observed.speed, nullptr, &rng);
+    };
+
+    const od::TodTensor reference = recover({});
+
+    // First attempt writes all three restart checkpoints...
+    const std::string ckpt_dir = Path("rec_t" + std::to_string(threads));
+    core::CheckpointOptions write_ck;
+    write_ck.dir = ckpt_dir;
+    std::ignore = recover(write_ck);
+    // ...the "crash" loses two of them...
+    ASSERT_TRUE(fs::remove(ckpt_dir + "/recovery.restart0.ckpt"));
+    ASSERT_TRUE(fs::remove(ckpt_dir + "/recovery.restart2.ckpt"));
+    // ...and the resumed run reuses restart 1 while refitting 0 and 2.
+    core::CheckpointOptions resume_ck = write_ck;
+    resume_ck.resume = true;
+    const od::TodTensor resumed = recover(resume_ck);
+
+    ASSERT_EQ(resumed.mat().rows(), reference.mat().rows());
+    ASSERT_EQ(resumed.mat().cols(), reference.mat().cols());
+    for (int i = 0; i < reference.mat().rows(); ++i) {
+      for (int t = 0; t < reference.mat().cols(); ++t) {
+        ASSERT_EQ(resumed.mat().at(i, t), reference.mat().at(i, t))
+            << "cell (" << i << ", " << t << ") with " << threads
+            << " thread(s)";
+      }
+    }
+  }
+  SetGlobalThreads(threads_before);
+}
+
+TEST_F(ResumeDeterminismTest, CorruptCheckpointFallsBackToScratchTraining) {
+  // A resume pointed at a corrupt checkpoint must neither crash nor load
+  // garbage: the stage retrains from scratch and matches a clean run.
+  const std::string ckpt_dir = Path("ckpt");
+  fs::create_directories(ckpt_dir);
+  WriteRaw(ckpt_dir + "/stage1.ckpt", "definitely not a checkpoint");
+
+  core::TrainerConfig cfg;
+  cfg.stage1_epochs = 8;
+  cfg.stage2_epochs = 0;
+  cfg.checkpoint.dir = ckpt_dir;
+  cfg.checkpoint.resume = true;
+
+  Rng init_a(9);
+  std::unique_ptr<core::OvsModel> model_a(NewModel(&init_a));
+  {
+    core::OvsTrainer trainer(model_a.get(), cfg);
+    std::ignore = trainer.TrainVolumeSpeed(*train_);
+  }
+
+  core::TrainerConfig clean = cfg;
+  clean.checkpoint = {};
+  Rng init_b(9);
+  std::unique_ptr<core::OvsModel> model_b(NewModel(&init_b));
+  {
+    core::OvsTrainer trainer(model_b.get(), clean);
+    std::ignore = trainer.TrainVolumeSpeed(*train_);
+  }
+  ExpectModulesBitwiseEqual(*model_a, *model_b);
+}
+
+}  // namespace
+}  // namespace ovs

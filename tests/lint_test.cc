@@ -317,6 +317,52 @@ TEST(LintWallclockTest, Suppressible) {
   EXPECT_TRUE(prev_line.empty());
 }
 
+// ------------------------------------------------------------ raw-ofstream
+
+TEST(LintRawOfstreamTest, FlagsOfstreamInSrc) {
+  auto diags = LintContent(
+      "src/core/exporter.cc",
+      "#include <fstream>\n"
+      "void Dump() { std::ofstream out(\"table.csv\"); }\n");
+  ExpectSingle(diags, "raw-ofstream", 2);
+  EXPECT_EQ(diags[0].message,
+            "raw std::ofstream in library code; write through "
+            "ovs::AtomicFileWriter (util/atomic_file.h) so readers never see "
+            "a torn file");
+}
+
+TEST(LintRawOfstreamTest, CleanOnAtomicWriterAndReads) {
+  // The idiomatic replacement, and plain reads, are fine.
+  auto diags = LintContent(
+      "src/core/exporter.cc",
+      "#include \"util/atomic_file.h\"\n"
+      "Status Dump() {\n"
+      "  AtomicFileWriter writer(\"table.csv\");\n"
+      "  writer.stream() << \"a,b\\n\";\n"
+      "  return writer.Commit();\n"
+      "}\n"
+      "void Read() { std::ifstream in(\"table.csv\"); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRawOfstreamTest, OnlyFencesLibraryCode) {
+  const std::string raw = "std::ofstream out(\"x\");\n";
+  // The writer's own implementation owns the descriptor; tests and benches
+  // are outside the fence.
+  EXPECT_TRUE(LintContent("src/util/atomic_file.cc", raw).empty());
+  EXPECT_TRUE(LintContent("tests/io_test.cc", raw).empty());
+  EXPECT_TRUE(LintContent("bench/table8_synthetic.cc", raw).empty());
+  EXPECT_FALSE(LintContent("src/sim/roadnet_io.cc", raw).empty());
+}
+
+TEST(LintRawOfstreamTest, Suppressible) {
+  auto diags = LintContent(
+      "src/obs/session.cc",
+      "// ovs-lint: allow(raw-ofstream)\n"
+      "std::ofstream out(\"trace.json\");\n");
+  EXPECT_TRUE(diags.empty());
+}
+
 // -------------------------------------------------------------- machinery --
 
 TEST(LintMachineryTest, AllowListSupportsMultipleRulesAndWildcard) {
@@ -349,7 +395,7 @@ TEST(LintMachineryTest, FiveRulesRegistered) {
   for (const auto& r : rules) names.push_back(r.name);
   for (const char* expected :
        {"raw-rand", "unordered-iter", "naked-new", "float-narrowing",
-        "parallelfor-capture", "wallclock-in-core"}) {
+        "parallelfor-capture", "wallclock-in-core", "raw-ofstream"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing rule " << expected;
   }

@@ -671,6 +671,36 @@ void CheckWallclockInCore(const FileCtx& ctx, std::vector<Diagnostic>* out) {
   }
 }
 
+// -------------------------------------------------- rule: raw-ofstream
+
+/// A raw std::ofstream truncates the destination the moment it opens, so a
+/// crash (or a full disk) between open and close leaves a torn file where a
+/// complete one used to be. Library code under src/ must write through
+/// ovs::AtomicFileWriter (util/atomic_file.h), which publishes the new
+/// content only on a successful Commit(). The writer itself is the one
+/// allowed owner of the underlying file descriptor.
+void CheckRawOfstream(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  const bool covered = ctx.path.find("src/") != std::string::npos ||
+                       ctx.path.rfind("util/", 0) == 0 ||
+                       ctx.path.rfind("core/", 0) == 0 ||
+                       ctx.path.rfind("nn/", 0) == 0 ||
+                       ctx.path.rfind("obs/", 0) == 0 ||
+                       ctx.path.rfind("sim/", 0) == 0 ||
+                       ctx.path.rfind("od/", 0) == 0;
+  if (!covered) return;
+  if (ctx.path.find("util/atomic_file") != std::string::npos) return;
+
+  for (size_t pos = FindToken(ctx.code, "ofstream", 0);
+       pos != std::string::npos;
+       pos = FindToken(ctx.code, "ofstream", pos + 1)) {
+    Report(ctx, pos, "raw-ofstream",
+           "raw std::ofstream in library code; write through "
+           "ovs::AtomicFileWriter (util/atomic_file.h) so readers never see "
+           "a torn file",
+           out);
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& AllRules() {
@@ -693,6 +723,9 @@ const std::vector<RuleInfo>& AllRules() {
        "clock reads (Timer, Clock::now, std::chrono clocks) inside src/core "
        "or src/nn; the numeric model stays clock-free, telemetry lives in "
        "src/obs"},
+      {"raw-ofstream",
+       "raw std::ofstream in src/ truncates on open and tears on crash; "
+       "write through ovs::AtomicFileWriter (util/atomic_file.h)"},
   };
   return kRules;
 }
@@ -707,6 +740,7 @@ std::vector<Diagnostic> LintContent(const std::string& path,
   CheckFloatNarrowing(ctx, &out);
   CheckParallelForCapture(ctx, &out);
   CheckWallclockInCore(ctx, &out);
+  CheckRawOfstream(ctx, &out);
   std::sort(out.begin(), out.end(), [](const Diagnostic& a,
                                        const Diagnostic& b) {
     if (a.file != b.file) return a.file < b.file;
