@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
 
   // Recovery 1: main loss only.
   od::TodTensor without_census =
-      trainer.RecoverTod(ground_truth.speed, nullptr, &rng);
+      trainer.RecoverTod(ground_truth.speed, nullptr, &rng).value();
 
   // Recovery 2: with the LEHD census constraint (paper Eq. 13's w_g term).
   core::AuxLossWeights weights;
@@ -55,7 +55,8 @@ int main(int argc, char** argv) {
   core::AuxLossSet aux(weights);
   aux.SetCensusTargets(dataset.lehd_od_totals, train.tod_scale,
                        dataset.num_intervals());
-  od::TodTensor with_census = trainer.RecoverTod(ground_truth.speed, &aux, &rng);
+  od::TodTensor with_census =
+      trainer.RecoverTod(ground_truth.speed, &aux, &rng).value();
 
   Table table(
       "Figure 10 (analogue) — recovered per-OD daily totals vs the census "

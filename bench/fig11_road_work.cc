@@ -89,9 +89,9 @@ int main(int argc, char** argv) {
   baselines::OdEstimator* methods[] = {&ovs, &lstm};
   for (baselines::OdEstimator* method : methods) {
     od::TodTensor from_regular =
-        method->Recover(experiment.context(), regular.speed);
+        method->Recover(experiment.context(), regular.speed).value();
     od::TodTensor from_road_work =
-        method->Recover(experiment.context(), road_work.speed);
+        method->Recover(experiment.context(), road_work.speed).value();
     const double stability =
         eval::PaperRmse(from_regular.mat(), from_road_work.mat());
     table.AddRow({method->name(), Table::Cell(stability),

@@ -70,7 +70,8 @@ int main(int argc, char** argv) {
   baselines::OvsEstimator ovs(params);
 
   od::TodTensor recovered =
-      ovs.Recover(experiment.context(), experiment.ground_truth().speed);
+      ovs.Recover(experiment.context(), experiment.ground_truth().speed)
+          .value();
 
   PrintSeries("Recovered TOD A->B (residential -> commercial):", recovered,
               case1.od_ab);

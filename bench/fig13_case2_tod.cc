@@ -58,7 +58,8 @@ int main(int argc, char** argv) {
   baselines::OvsEstimator ovs(params);
 
   od::TodTensor recovered =
-      ovs.Recover(experiment.context(), experiment.ground_truth().speed);
+      ovs.Recover(experiment.context(), experiment.ground_truth().speed)
+          .value();
 
   PrintSeries("Recovered TOD O1 -> stadium (highway #99 analogue):", recovered,
               case2.od_o1);

@@ -52,8 +52,10 @@ int main() {
   eval::Experiment experiment(&city, harness);
   baselines::OvsEstimator ovs_estimator;
   std::printf("recovering TOD from city-wide speed...\n");
-  od::TodTensor recovered = ovs_estimator.Recover(
-      experiment.context(), experiment.ground_truth().speed);
+  od::TodTensor recovered =
+      ovs_estimator
+          .Recover(experiment.context(), experiment.ground_truth().speed)
+          .value();
   std::printf("recovered %.0f trips over the horizon\n\n",
               recovered.TotalTrips());
 

@@ -71,7 +71,8 @@ int main() {
       std::vector<int> links(city.camera_links.begin(), city.camera_links.end());
       aux.SetCameraObservations(links, camera_volume, train.volume_norm);
     }
-    return trainer.RecoverTod(truth.speed, aux.active() ? &aux : nullptr, &rng);
+    return trainer.RecoverTod(truth.speed, aux.active() ? &aux : nullptr, &rng)
+        .value();
   };
 
   std::printf("recovering TOD under three sensor configurations...\n");

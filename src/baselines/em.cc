@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "baselines/observation.h"
 #include "util/linalg.h"
 
 namespace ovs::baselines {
 
-od::TodTensor EmEstimator::Recover(const EstimatorContext& ctx,
-                                   const DMat& observed_speed) {
+StatusOr<od::TodTensor> EmEstimator::Recover(const EstimatorContext& ctx,
+                                             const DMat& observed_speed) {
   CHECK(ctx.dataset != nullptr);
   CHECK(ctx.train != nullptr);
   CHECK(!ctx.train->samples.empty());
@@ -19,6 +20,8 @@ od::TodTensor EmEstimator::Recover(const EstimatorContext& ctx,
   const int m_links = ds.num_links();
   CHECK_EQ(observed_speed.rows(), m_links);
   CHECK_EQ(observed_speed.cols(), t_count);
+  ASSIGN_OR_RETURN(const MaskedObservation obs,
+                   MaskObservation(observed_speed));
 
   // --- Fit v = B g + c by ridge LS with a bias row of ones. ---
   int total_cols = 0;
@@ -74,13 +77,16 @@ od::TodTensor EmEstimator::Recover(const EstimatorContext& ctx,
     s_matrix *= prior_var;
     for (int l = 0; l < m_links; ++l) s_matrix.at(l, l) += noise_var;
 
-    // Residual matrix R[l, t] = v_obs - B mu - c.
+    // Residual matrix R[l, t] = v_obs - B mu - c. Invalid observation cells
+    // contribute zero residual, i.e. the posterior falls back to the prior
+    // there instead of absorbing NaN corrections.
     DMat residual(m_links, t_count);
     for (int l = 0; l < m_links; ++l) {
       double b_mu = bias[l];
       for (int i = 0; i < n_od; ++i) b_mu += b_matrix.at(l, i) * mu[i];
       for (int t = 0; t < t_count; ++t) {
-        residual.at(l, t) = observed_speed.at(l, t) - b_mu;
+        residual.at(l, t) =
+            obs.mask.at(l, t) > 0.0 ? obs.speed.at(l, t) - b_mu : 0.0;
       }
     }
     StatusOr<DMat> solved = SolveLinearD(s_matrix, residual);
@@ -100,18 +106,21 @@ od::TodTensor EmEstimator::Recover(const EstimatorContext& ctx,
       mu[i] = acc / t_count;
     }
     double err = 0.0;
+    int valid = 0;
     for (int t = 0; t < t_count; ++t) {
       for (int l = 0; l < m_links; ++l) {
+        if (obs.mask.at(l, t) == 0.0) continue;
         double pred = bias[l];
         for (int i = 0; i < n_od; ++i) {
           pred += b_matrix.at(l, i) * recovered.at(i, t);
         }
-        const double d = observed_speed.at(l, t) - pred;
+        const double d = obs.speed.at(l, t) - pred;
         err += d * d;
+        ++valid;
       }
     }
-    noise_var = std::max(params_.min_noise_var,
-                         err / (static_cast<double>(m_links) * t_count));
+    noise_var =
+        std::max(params_.min_noise_var, err / static_cast<double>(valid));
   }
   return recovered;
 }

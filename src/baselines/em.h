@@ -22,8 +22,9 @@ class EmEstimator : public OdEstimator {
   explicit EmEstimator(Params params) : params_(params) {}
 
   std::string name() const override { return "EM"; }
-  od::TodTensor Recover(const EstimatorContext& ctx,
-                        const DMat& observed_speed) override;
+  [[nodiscard]] StatusOr<od::TodTensor> Recover(
+      const EstimatorContext& ctx,
+      const DMat& observed_speed) override;
 
  private:
   Params params_;

@@ -8,6 +8,7 @@
 #include "data/dataset.h"
 #include "od/tod_tensor.h"
 #include "util/mat.h"
+#include "util/status.h"
 
 namespace ovs::baselines {
 
@@ -36,8 +37,12 @@ class OdEstimator {
   virtual std::string name() const = 0;
 
   /// Recovers a TOD tensor [N_od x T] from `observed_speed` [M x T].
-  virtual od::TodTensor Recover(const EstimatorContext& ctx,
-                                const DMat& observed_speed) = 0;
+  /// Non-finite observation cells (dark sensors, dropped readings) are
+  /// handled through the validity mask (see baselines/observation.h);
+  /// an observation with no finite cell at all is an InvalidArgument
+  /// error, and unrecoverable training divergence surfaces as Internal.
+  [[nodiscard]] virtual StatusOr<od::TodTensor> Recover(
+      const EstimatorContext& ctx, const DMat& observed_speed) = 0;
 };
 
 }  // namespace ovs::baselines

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 
+#include "baselines/observation.h"
+
 namespace ovs::baselines {
 
-od::TodTensor GeneticEstimator::Recover(const EstimatorContext& ctx,
-                                        const DMat& observed_speed) {
+StatusOr<od::TodTensor> GeneticEstimator::Recover(
+    const EstimatorContext& ctx, const DMat& observed_speed) {
   CHECK(ctx.dataset != nullptr);
   CHECK(ctx.oracle);
   const data::Dataset& ds = *ctx.dataset;
+  ASSIGN_OR_RETURN(const MaskedObservation obs,
+                   MaskObservation(observed_speed));
   Rng rng(ctx.seed * 7919 + 13);
 
   const int n_od = ds.num_od();
@@ -22,7 +26,8 @@ od::TodTensor GeneticEstimator::Recover(const EstimatorContext& ctx,
 
   auto evaluate = [&](Individual* ind) {
     const core::TrainingSample sim = ctx.oracle(ind->tod);
-    ind->fitness = -Rmse(sim.speed, observed_speed);
+    // Fitness ignores invalid observation cells instead of chasing NaNs.
+    ind->fitness = -MaskedRmse(sim.speed, obs.speed, obs.mask);
   };
 
   std::vector<Individual> population(params_.population);

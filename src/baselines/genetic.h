@@ -25,8 +25,9 @@ class GeneticEstimator : public OdEstimator {
   explicit GeneticEstimator(Params params) : params_(params) {}
 
   std::string name() const override { return "Genetic"; }
-  od::TodTensor Recover(const EstimatorContext& ctx,
-                        const DMat& observed_speed) override;
+  [[nodiscard]] StatusOr<od::TodTensor> Recover(
+      const EstimatorContext& ctx,
+      const DMat& observed_speed) override;
 
  private:
   Params params_;

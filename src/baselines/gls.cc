@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "baselines/observation.h"
 #include "nn/convert.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
@@ -33,13 +34,15 @@ DMat StackColumns(const std::vector<const DMat*>& mats) {
 
 }  // namespace
 
-od::TodTensor GlsEstimator::Recover(const EstimatorContext& ctx,
-                                    const DMat& observed_speed) {
+StatusOr<od::TodTensor> GlsEstimator::Recover(const EstimatorContext& ctx,
+                                              const DMat& observed_speed) {
   CHECK(ctx.dataset != nullptr);
   CHECK(ctx.train != nullptr);
   CHECK(!ctx.train->samples.empty());
   const data::Dataset& ds = *ctx.dataset;
   const core::TrainingData& train = *ctx.train;
+  ASSIGN_OR_RETURN(const MaskedObservation obs,
+                   MaskObservation(observed_speed));
   Rng rng(ctx.seed * 104729 + 7);
 
   // 1) Fit the linear assignment A:  Q ≈ A G  over all stacked columns.
@@ -85,9 +88,12 @@ od::TodTensor GlsEstimator::Recover(const EstimatorContext& ctx,
     }
   }
 
-  // 3) Recover g by gradient descent through speed_net(A g).
-  nn::Tensor v_obs = nn::FromDMat(observed_speed);
+  // 3) Recover g by gradient descent through speed_net(A g). Invalid
+  // observation cells are excluded from the loss via the mask (the imputed
+  // values in obs.speed never drive the recovery gradient).
+  nn::Tensor v_obs = nn::FromDMat(obs.speed);
   v_obs.ScaleInPlace(1.0f / spd_scale);
+  const nn::Tensor obs_mask = nn::FromDMat(obs.mask);
   const float init = static_cast<float>(train.tod_scale) * 0.3f;
   nn::Variable g(nn::Tensor::Full({ds.num_od(), t_count}, init),
                  /*requires_grad=*/true);
@@ -97,7 +103,10 @@ od::TodTensor GlsEstimator::Recover(const EstimatorContext& ctx,
     opt.ZeroGrad();
     nn::Variable q = nn::MatMul(nn::Variable(a_matrix, false), g);
     nn::Variable v = speed_net(q);
-    nn::Variable loss = nn::MseLoss(nn::ScalarMul(v, 1.0f / spd_scale), v_obs);
+    nn::Variable v_norm = nn::ScalarMul(v, 1.0f / spd_scale);
+    nn::Variable loss = obs.complete()
+                            ? nn::MseLoss(v_norm, v_obs)
+                            : nn::MaskedMseLoss(v_norm, v_obs, obs_mask);
     loss.Backward();
     opt.Step();
     // Project onto the feasible box [0, g_max].

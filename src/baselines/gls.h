@@ -26,8 +26,9 @@ class GlsEstimator : public OdEstimator {
   explicit GlsEstimator(Params params) : params_(params) {}
 
   std::string name() const override { return "GLS"; }
-  od::TodTensor Recover(const EstimatorContext& ctx,
-                        const DMat& observed_speed) override;
+  [[nodiscard]] StatusOr<od::TodTensor> Recover(
+      const EstimatorContext& ctx,
+      const DMat& observed_speed) override;
 
  private:
   Params params_;

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "baselines/observation.h"
+
 namespace ovs::baselines {
 
 GravityEstimator::GravityEstimator(std::vector<double> mean_cell_candidates)
@@ -22,11 +24,13 @@ std::vector<double> GravityEstimator::GravityWeights(
   return weights;
 }
 
-od::TodTensor GravityEstimator::Recover(const EstimatorContext& ctx,
-                                        const DMat& observed_speed) {
+StatusOr<od::TodTensor> GravityEstimator::Recover(
+    const EstimatorContext& ctx, const DMat& observed_speed) {
   CHECK(ctx.dataset != nullptr);
   CHECK(ctx.oracle);
   const data::Dataset& ds = *ctx.dataset;
+  ASSIGN_OR_RETURN(const MaskedObservation obs,
+                   MaskObservation(observed_speed));
 
   std::vector<double> weights = GravityWeights(ds);
   double mean_weight = 0.0;
@@ -45,7 +49,8 @@ od::TodTensor GravityEstimator::Recover(const EstimatorContext& ctx,
       }
     }
     const core::TrainingSample sim = ctx.oracle(candidate);
-    const double rmse = Rmse(sim.speed, observed_speed);
+    // k calibration scores only the valid observation cells.
+    const double rmse = MaskedRmse(sim.speed, obs.speed, obs.mask);
     if (rmse < best_rmse) {
       best_rmse = rmse;
       best = candidate;

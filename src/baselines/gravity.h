@@ -17,8 +17,9 @@ class GravityEstimator : public OdEstimator {
                                 {2.0, 5.0, 10.0, 20.0, 35.0, 55.0, 80.0});
 
   std::string name() const override { return "Gravity"; }
-  od::TodTensor Recover(const EstimatorContext& ctx,
-                        const DMat& observed_speed) override;
+  [[nodiscard]] StatusOr<od::TodTensor> Recover(
+      const EstimatorContext& ctx,
+      const DMat& observed_speed) override;
 
   /// The unscaled gravity weights u_i = p_o * p_d / d^2 per OD pair.
   static std::vector<double> GravityWeights(const data::Dataset& dataset);

@@ -1,5 +1,6 @@
 #include "baselines/nn_baseline.h"
 
+#include "baselines/observation.h"
 #include "nn/convert.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
@@ -33,13 +34,15 @@ od::TodTensor FromIntervalRows(const nn::Tensor& t, double scale) {
 
 }  // namespace
 
-od::TodTensor NnEstimator::Recover(const EstimatorContext& ctx,
-                                   const DMat& observed_speed) {
+StatusOr<od::TodTensor> NnEstimator::Recover(const EstimatorContext& ctx,
+                                             const DMat& observed_speed) {
   CHECK(ctx.dataset != nullptr);
   CHECK(ctx.train != nullptr);
   CHECK(!ctx.train->samples.empty());
   const data::Dataset& ds = *ctx.dataset;
   const core::TrainingData& train = *ctx.train;
+  ASSIGN_OR_RETURN(const MaskedObservation obs,
+                   MaskObservation(observed_speed));
   Rng rng(ctx.seed * 31337 + 11);
 
   nn::Linear fc1(ds.num_links(), params_.hidden, &rng);
@@ -68,17 +71,21 @@ od::TodTensor NnEstimator::Recover(const EstimatorContext& ctx,
     }
   }
 
-  nn::Variable x(IntervalRows(observed_speed, train.speed_scale), false);
+  // Feedforward nets cannot represent a hole, so inference runs on the
+  // imputed copy (per-link valid means) rather than raw NaNs.
+  nn::Variable x(IntervalRows(obs.speed, train.speed_scale), false);
   return FromIntervalRows(forward(x).value(), train.tod_scale);
 }
 
-od::TodTensor LstmEstimator::Recover(const EstimatorContext& ctx,
-                                     const DMat& observed_speed) {
+StatusOr<od::TodTensor> LstmEstimator::Recover(const EstimatorContext& ctx,
+                                               const DMat& observed_speed) {
   CHECK(ctx.dataset != nullptr);
   CHECK(ctx.train != nullptr);
   CHECK(!ctx.train->samples.empty());
   const data::Dataset& ds = *ctx.dataset;
   const core::TrainingData& train = *ctx.train;
+  ASSIGN_OR_RETURN(const MaskedObservation obs,
+                   MaskObservation(observed_speed));
   Rng rng(ctx.seed * 60013 + 29);
 
   nn::Lstm lstm1(ds.num_links(), params_.hidden, &rng);
@@ -136,8 +143,8 @@ od::TodTensor LstmEstimator::Recover(const EstimatorContext& ctx,
     }
   }
 
-  nn::Tensor obs = IntervalRows(observed_speed, train.speed_scale);
-  std::vector<nn::Variable> preds = forward(obs);
+  nn::Tensor obs_rows = IntervalRows(obs.speed, train.speed_scale);
+  std::vector<nn::Variable> preds = forward(obs_rows);
   od::TodTensor tod(ds.num_od(), t_count);
   for (int t = 0; t < t_count; ++t) {
     for (int i = 0; i < ds.num_od(); ++i) {

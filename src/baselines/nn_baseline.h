@@ -21,8 +21,9 @@ class NnEstimator : public OdEstimator {
   explicit NnEstimator(Params params) : params_(params) {}
 
   std::string name() const override { return "NN"; }
-  od::TodTensor Recover(const EstimatorContext& ctx,
-                        const DMat& observed_speed) override;
+  [[nodiscard]] StatusOr<od::TodTensor> Recover(
+      const EstimatorContext& ctx,
+      const DMat& observed_speed) override;
 
  private:
   Params params_;
@@ -43,8 +44,9 @@ class LstmEstimator : public OdEstimator {
   explicit LstmEstimator(Params params) : params_(params) {}
 
   std::string name() const override { return "LSTM"; }
-  od::TodTensor Recover(const EstimatorContext& ctx,
-                        const DMat& observed_speed) override;
+  [[nodiscard]] StatusOr<od::TodTensor> Recover(
+      const EstimatorContext& ctx,
+      const DMat& observed_speed) override;
 
  private:
   Params params_;

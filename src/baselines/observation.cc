@@ -1,0 +1,67 @@
+#include "baselines/observation.h"
+
+#include <cmath>
+
+namespace ovs::baselines {
+
+StatusOr<MaskedObservation> MaskObservation(const DMat& observed_speed) {
+  MaskedObservation out;
+  out.speed = observed_speed;
+  out.mask = DMat(observed_speed.rows(), observed_speed.cols());
+
+  double global_sum = 0.0;
+  int global_valid = 0;
+  for (int l = 0; l < observed_speed.rows(); ++l) {
+    for (int t = 0; t < observed_speed.cols(); ++t) {
+      if (std::isfinite(observed_speed.at(l, t))) {
+        out.mask.at(l, t) = 1.0;
+        global_sum += observed_speed.at(l, t);
+        ++global_valid;
+      } else {
+        ++out.invalid_cells;
+      }
+    }
+  }
+  if (global_valid == 0) {
+    return Status::InvalidArgument(
+        "observed speed has no finite cells (" +
+        std::to_string(out.invalid_cells) + " invalid)");
+  }
+  if (out.invalid_cells == 0) return out;
+
+  const double global_mean = global_sum / global_valid;
+  for (int l = 0; l < observed_speed.rows(); ++l) {
+    double link_sum = 0.0;
+    int link_valid = 0;
+    for (int t = 0; t < observed_speed.cols(); ++t) {
+      if (out.mask.at(l, t) != 0.0) {
+        link_sum += observed_speed.at(l, t);
+        ++link_valid;
+      }
+    }
+    const double fill = link_valid > 0 ? link_sum / link_valid : global_mean;
+    for (int t = 0; t < observed_speed.cols(); ++t) {
+      if (out.mask.at(l, t) == 0.0) out.speed.at(l, t) = fill;
+    }
+  }
+  return out;
+}
+
+double MaskedRmse(const DMat& a, const DMat& b, const DMat& mask) {
+  CHECK(a.SameShape(b));
+  CHECK(a.SameShape(mask));
+  double acc = 0.0;
+  int valid = 0;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      if (mask.at(r, c) == 0.0) continue;
+      const double d = a.at(r, c) - b.at(r, c);
+      acc += d * d;
+      ++valid;
+    }
+  }
+  CHECK_GT(valid, 0) << "MaskedRmse: mask has no valid cells";
+  return std::sqrt(acc / valid);
+}
+
+}  // namespace ovs::baselines

@@ -1,0 +1,39 @@
+#ifndef OVS_BASELINES_OBSERVATION_H_
+#define OVS_BASELINES_OBSERVATION_H_
+
+#include "util/mat.h"
+#include "util/status.h"
+
+namespace ovs::baselines {
+
+/// A degraded observed-speed matrix split into what every baseline needs:
+/// an imputed dense copy it can feed to nets and simulator comparisons, and
+/// the validity mask that keeps invalid cells out of losses and fitness
+/// scores. This is the single sanctioned way for estimators to read
+/// observed speed — the `unguarded-observed-speed` lint rule fences direct
+/// element access inside src/baselines/.
+struct MaskedObservation {
+  /// Copy of the observation with every non-finite cell imputed: per-link
+  /// mean of that link's valid cells, or the global valid mean for fully
+  /// dark links. Identical to the input when the observation is complete.
+  DMat speed;
+  /// 1.0 where the original cell was finite, 0.0 where it was not.
+  DMat mask;
+  int invalid_cells = 0;
+  bool complete() const { return invalid_cells == 0; }
+};
+
+/// Builds the masked view. InvalidArgument when the observation has no
+/// finite cell at all (nothing can be recovered from a fully dark city).
+[[nodiscard]] StatusOr<MaskedObservation> MaskObservation(
+    const DMat& observed_speed);
+
+/// RMSE over the cells where `mask` is non-zero. Bitwise-identical to
+/// util Rmse when the mask is all ones (same accumulation order), so clean
+/// observations reproduce the pre-mask results exactly.
+[[nodiscard]] double MaskedRmse(const DMat& a, const DMat& b,
+                                const DMat& mask);
+
+}  // namespace ovs::baselines
+
+#endif  // OVS_BASELINES_OBSERVATION_H_

@@ -1,11 +1,11 @@
 #include "baselines/ovs_estimator.h"
 
-#include <tuple>
+#include <vector>
 
 namespace ovs::baselines {
 
-od::TodTensor OvsEstimator::Recover(const EstimatorContext& ctx,
-                                    const DMat& observed_speed) {
+StatusOr<od::TodTensor> OvsEstimator::Recover(const EstimatorContext& ctx,
+                                              const DMat& observed_speed) {
   CHECK(ctx.dataset != nullptr);
   CHECK(ctx.train != nullptr);
   const data::Dataset& ds = *ctx.dataset;
@@ -20,9 +20,10 @@ od::TodTensor OvsEstimator::Recover(const EstimatorContext& ctx,
   core::OvsModel model(ds.num_od(), ds.num_links(), ds.num_intervals(),
                        ds.incidence, config, &rng, params_.ablation);
   core::OvsTrainer trainer(&model, params_.trainer);
-  // Loss curves are diagnostics; the estimator only needs the fitted weights.
-  std::ignore = trainer.TrainVolumeSpeed(train);
-  std::ignore = trainer.TrainTodVolume(train);
+  // Loss curves are diagnostics; the estimator only needs the fitted weights,
+  // but a stage that diverged past its retry budget is a hard failure.
+  RETURN_IF_ERROR(trainer.TrainVolumeSpeed(train).status());
+  RETURN_IF_ERROR(trainer.TrainTodVolume(train).status());
 
   core::AuxLossSet aux(params_.aux);
   if (params_.aux.census > 0.0f && !ds.lehd_od_totals.empty()) {
@@ -43,8 +44,9 @@ od::TodTensor OvsEstimator::Recover(const EstimatorContext& ctx,
     aux.SetSpeedLimits(limits, ds.num_intervals(), train.speed_scale);
   }
 
-  od::TodTensor recovered = trainer.RecoverTod(
-      observed_speed, aux.active() ? &aux : nullptr, &rng);
+  ASSIGN_OR_RETURN(od::TodTensor recovered,
+                   trainer.RecoverTod(observed_speed,
+                                      aux.active() ? &aux : nullptr, &rng));
   last_recovery_loss_ = trainer.last_recovery_loss();
   return recovered;
 }

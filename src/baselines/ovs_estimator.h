@@ -25,8 +25,9 @@ class OvsEstimator : public OdEstimator {
   explicit OvsEstimator(Params params) : params_(std::move(params)) {}
 
   std::string name() const override { return params_.display_name; }
-  od::TodTensor Recover(const EstimatorContext& ctx,
-                        const DMat& observed_speed) override;
+  [[nodiscard]] StatusOr<od::TodTensor> Recover(
+      const EstimatorContext& ctx,
+      const DMat& observed_speed) override;
 
   /// Final recovery main-loss of the last Recover call (normalized units).
   double last_recovery_loss() const { return last_recovery_loss_; }

@@ -1,0 +1,75 @@
+#include "core/train_guard.h"
+
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ovs::core {
+
+TrainGuard::TrainGuard(std::string stage, const TrainGuardOptions& options,
+                       float initial_lr)
+    : stage_(std::move(stage)), options_(options), lr_(initial_lr) {}
+
+void TrainGuard::Snapshot(int epoch, double loss, const nn::Module& module,
+                          const nn::Adam& opt, std::string rng_state) {
+  if (!options_.enabled) return;
+  snapshot_ = TrainerCheckpoint();
+  snapshot_.stage = stage_;
+  snapshot_.epoch = epoch;
+  snapshot_.loss = loss;
+  snapshot_.rng_state = std::move(rng_state);
+  for (const auto& [name, v] : module.NamedParameters()) {
+    snapshot_.tensors.emplace_back(name, v.value());
+  }
+  AppendAdamState(opt, &snapshot_);
+  has_snapshot_ = true;
+}
+
+bool TrainGuard::EpochHealthy(double loss, const nn::Module& module) {
+  if (!options_.enabled) return true;
+  const int check = checks_++;
+  if (options_.fault_at_check >= 0 && check >= options_.fault_at_check &&
+      check < options_.fault_at_check + options_.fault_count) {
+    return false;
+  }
+  if (!std::isfinite(loss)) return false;
+  for (const nn::Variable& p : module.Parameters()) {
+    if (!p.value().AllFinite()) return false;
+  }
+  return true;
+}
+
+StatusOr<TrainGuard::Rollback> TrainGuard::TryRollback(nn::Module* module,
+                                                       nn::Adam* opt,
+                                                       Rng* rng) {
+  CHECK(module != nullptr);
+  CHECK(opt != nullptr);
+  CHECK(has_snapshot_) << "TrainGuard::Snapshot must precede the epoch loop";
+  if (retries_ >= options_.max_retries) {
+    return Status::Internal(
+        stage_ + " diverged after " + std::to_string(retries_) +
+        " rollback retries (last lr " + std::to_string(lr_) + ")");
+  }
+  OVS_TRACE_SCOPE("trainer.guard.rollback");
+  ++retries_;
+  lr_ *= options_.lr_backoff;
+  RETURN_IF_ERROR(RestoreModuleParameters(snapshot_, module));
+  RETURN_IF_ERROR(
+      RestoreAdamState(snapshot_, opt->moments_m().size(), opt));
+  if (rng != nullptr && !snapshot_.rng_state.empty()) {
+    RETURN_IF_ERROR(rng->LoadState(snapshot_.rng_state));
+  }
+  opt->set_lr(lr_);
+  OVS_COUNTER_INC("trainer.guard.retries");
+  obs::AddCounterDynamic("trainer.guard." + stage_ + ".retries", 1);
+  obs::SetGaugeDynamic("trainer.guard." + stage_ + ".lr", lr_);
+  LOG(WARNING) << stage_ << " diverged at epoch checkpoint "
+               << snapshot_.epoch << "; rolled back, retrying with lr "
+               << lr_ << " (retry " << retries_ << "/"
+               << options_.max_retries << ")";
+  return Rollback{snapshot_.epoch, lr_};
+}
+
+}  // namespace ovs::core

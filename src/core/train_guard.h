@@ -1,0 +1,91 @@
+#ifndef OVS_CORE_TRAIN_GUARD_H_
+#define OVS_CORE_TRAIN_GUARD_H_
+
+#include <string>
+
+#include "core/checkpoint.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ovs::core {
+
+/// Divergence policy for the training/recovery epoch loops (see
+/// TrainerConfig::guard and DESIGN.md "Divergence-safe training").
+struct TrainGuardOptions {
+  /// Off = the pre-guard behavior: non-finite losses propagate unchecked.
+  bool enabled = true;
+  /// Rollback-retry attempts per guarded loop before giving up with a
+  /// Status. Bounds the backoff — the guard can never loop forever.
+  int max_retries = 3;
+  /// Learning-rate multiplier applied on every retry (halved by default).
+  float lr_backoff = 0.5f;
+  /// Test-only fault injection: when >= 0, the guard reports the Nth
+  /// (0-based) health check of its loop as diverged, for `fault_count`
+  /// consecutive checks. Checks are counted across retries, so a rolled
+  /// back epoch re-checks under a later index and can pass — which is what
+  /// lets the drill converge. Production runs leave this at -1.
+  int fault_at_check = -1;
+  int fault_count = 1;
+};
+
+/// Watches one training loop (a stage or a recovery restart) for numeric
+/// divergence. The trainer snapshots the post-epoch state after every
+/// healthy epoch (in memory — independent of the on-disk checkpoint
+/// cadence, which stays crash-recovery's job); when a loss or any parameter
+/// goes non-finite, TryRollback restores the last good snapshot, shrinks
+/// the learning rate, and hands back the epoch to resume from. Retries are
+/// capped: an exhausted guard returns a Status instead of looping.
+///
+/// Deterministic by construction: the guard holds no global state, draws no
+/// randomness, and its check counter advances identically at any thread
+/// count (each recovery restart owns a private guard).
+class TrainGuard {
+ public:
+  /// `stage` names the guarded loop in Status messages and metrics
+  /// ("stage1", "stage2", "recovery.restart<k>"); `initial_lr` seeds the
+  /// backoff sequence.
+  TrainGuard(std::string stage, const TrainGuardOptions& options,
+             float initial_lr);
+
+  /// Records the state to roll back to: module parameters, optimizer
+  /// moments/step, and the loop's RNG stream (empty when the loop draws
+  /// none). Call once before the epoch loop and after every healthy epoch.
+  void Snapshot(int epoch, double loss, const nn::Module& module,
+                const nn::Adam& opt, std::string rng_state);
+
+  /// Health verdict for the epoch that just ran: the loss and every module
+  /// parameter must be finite (plus any injected test fault). Always true
+  /// when the guard is disabled.
+  [[nodiscard]] bool EpochHealthy(double loss, const nn::Module& module);
+
+  struct Rollback {
+    int epoch = 0;  ///< epoch to resume from (the snapshot's epoch)
+    float lr = 0;   ///< reduced learning rate, already set on the optimizer
+  };
+
+  /// Restores the last snapshot into `module`/`opt` (and `rng`, when
+  /// non-null and the snapshot carries a stream), applies the LR backoff,
+  /// and counts the retry. Returns the resume point, or an Internal Status
+  /// once `max_retries` is exhausted — the hard cap that turns a divergent
+  /// run into an error instead of an infinite loop.
+  [[nodiscard]] StatusOr<Rollback> TryRollback(nn::Module* module,
+                                               nn::Adam* opt, Rng* rng);
+
+  int retries_used() const { return retries_; }
+  float lr() const { return lr_; }
+
+ private:
+  std::string stage_;
+  TrainGuardOptions options_;
+  float lr_;
+  int checks_ = 0;
+  int retries_ = 0;
+  bool has_snapshot_ = false;
+  TrainerCheckpoint snapshot_;
+};
+
+}  // namespace ovs::core
+
+#endif  // OVS_CORE_TRAIN_GUARD_H_

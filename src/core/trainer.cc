@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/session.h"
 #include "obs/trace.h"
+#include "sim/sensor_faults.h"
 #include "util/thread_pool.h"
 
 namespace ovs::core {
@@ -100,7 +101,8 @@ OvsTrainer::OvsTrainer(OvsModel* model, TrainerConfig config)
   }
 }
 
-std::vector<double> OvsTrainer::TrainVolumeSpeed(const TrainingData& data) {
+StatusOr<std::vector<double>> OvsTrainer::TrainVolumeSpeed(
+    const TrainingData& data) {
   CHECK(!data.samples.empty());
   const double speed_scale = model_->config().speed_scale;
 
@@ -129,7 +131,12 @@ std::vector<double> OvsTrainer::TrainVolumeSpeed(const TrainingData& data) {
       curve.push_back(resumed_loss);
     }
   }
-  for (int epoch = start_epoch; epoch < config_.stage1_epochs; ++epoch) {
+  // Divergence guard: snapshot before the loop (so even an epoch-0 blowup
+  // has a rollback target), then after every healthy epoch.
+  TrainGuard guard("stage1", config_.guard, config_.lr);
+  guard.Snapshot(start_epoch, resumed_loss, model_->volume_speed(), opt,
+                 /*rng_state=*/"");
+  for (int epoch = start_epoch; epoch < config_.stage1_epochs;) {
     OVS_TRACE_SCOPE("trainer.stage1.epoch");
     double epoch_loss = 0.0;
     for (size_t i = 0; i < volume_inputs.size(); ++i) {
@@ -143,7 +150,18 @@ std::vector<double> OvsTrainer::TrainVolumeSpeed(const TrainingData& data) {
       opt.Step();
       epoch_loss += loss.value()[0];
     }
-    curve.push_back(epoch_loss / volume_inputs.size());
+    const double mean_loss = epoch_loss / volume_inputs.size();
+    if (!guard.EpochHealthy(mean_loss, model_->volume_speed())) {
+      ASSIGN_OR_RETURN(
+          const TrainGuard::Rollback rb,
+          guard.TryRollback(&model_->volume_speed(), &opt, /*rng=*/nullptr));
+      curve.resize(static_cast<size_t>(rb.epoch - start_epoch));
+      epoch = rb.epoch;
+      continue;
+    }
+    curve.push_back(mean_loss);
+    guard.Snapshot(epoch + 1, mean_loss, model_->volume_speed(), opt,
+                   /*rng_state=*/"");
     OVS_COUNTER_INC("trainer.stage1.epochs");
     OVS_GAUGE_SET("trainer.stage1.loss", curve.back());
     OVS_HISTOGRAM_OBSERVE("trainer.stage1.epoch_loss", curve.back(), 1e-4,
@@ -161,6 +179,7 @@ std::vector<double> OvsTrainer::TrainVolumeSpeed(const TrainingData& data) {
         LOG(ERROR) << "stage1 checkpoint failed: " << saved.ToString();
       }
     }
+    ++epoch;
   }
   return curve;
 }
@@ -181,7 +200,8 @@ void OvsTrainer::PrimeRecoveryPrior(const TrainingData& data) {
   }
 }
 
-std::vector<double> OvsTrainer::TrainTodVolume(const TrainingData& data) {
+StatusOr<std::vector<double>> OvsTrainer::TrainTodVolume(
+    const TrainingData& data) {
   CHECK(!data.samples.empty());
   const double speed_scale = model_->config().speed_scale;
   const double volume_norm = model_->config().volume_norm;
@@ -218,7 +238,12 @@ std::vector<double> OvsTrainer::TrainTodVolume(const TrainingData& data) {
       curve.push_back(resumed_loss);
     }
   }
-  for (int epoch = start_epoch; epoch < config_.stage2_epochs; ++epoch) {
+  // The stage-2 guard also snapshots/restores the dropout RNG stream, so a
+  // rolled-back epoch redraws exactly the masks it saw the first time.
+  TrainGuard guard("stage2", config_.guard, config_.lr);
+  guard.Snapshot(start_epoch, resumed_loss, model_->tod_volume(), opt,
+                 dropout_rng_.SaveState());
+  for (int epoch = start_epoch; epoch < config_.stage2_epochs;) {
     OVS_TRACE_SCOPE("trainer.stage2.epoch");
     double epoch_loss = 0.0;
     for (size_t i = 0; i < tod_inputs.size(); ++i) {
@@ -239,7 +264,21 @@ std::vector<double> OvsTrainer::TrainTodVolume(const TrainingData& data) {
       opt.Step();
       epoch_loss += loss.value()[0];
     }
-    curve.push_back(epoch_loss / tod_inputs.size());
+    const double mean_loss = epoch_loss / tod_inputs.size();
+    if (!guard.EpochHealthy(mean_loss, model_->tod_volume())) {
+      StatusOr<TrainGuard::Rollback> rb =
+          guard.TryRollback(&model_->tod_volume(), &opt, &dropout_rng_);
+      if (!rb.ok()) {
+        model_->volume_speed().SetTrainable(true);
+        return rb.status();
+      }
+      curve.resize(static_cast<size_t>(rb->epoch - start_epoch));
+      epoch = rb->epoch;
+      continue;
+    }
+    curve.push_back(mean_loss);
+    guard.Snapshot(epoch + 1, mean_loss, model_->tod_volume(), opt,
+                   dropout_rng_.SaveState());
     OVS_COUNTER_INC("trainer.stage2.epochs");
     OVS_GAUGE_SET("trainer.stage2.loss", curve.back());
     OVS_HISTOGRAM_OBSERVE("trainer.stage2.epoch_loss", curve.back(), 1e-4,
@@ -258,18 +297,41 @@ std::vector<double> OvsTrainer::TrainTodVolume(const TrainingData& data) {
         LOG(ERROR) << "stage2 checkpoint failed: " << saved.ToString();
       }
     }
+    ++epoch;
   }
   model_->volume_speed().SetTrainable(true);
   return curve;
 }
 
-od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
-                                     const AuxLossSet* aux, Rng* rng) {
+StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
+                                               const AuxLossSet* aux,
+                                               Rng* rng) {
   OVS_TRACE_SCOPE("trainer.recover");
   OVS_SCOPED_DURATION_GAUGE("trainer.recover.seconds");
   OVS_COUNTER_INC("trainer.recoveries");
   const double speed_scale = model_->config().speed_scale;
-  nn::Tensor target = NormalizedTarget(observed_speed, speed_scale);
+
+  // Observation-validity mask: real feeds have dark links and dead cells
+  // (NaN). With mask_observations those cells are excluded from the loss
+  // and the prior's kernel regression; without it they are read literally
+  // as 0 m/s — the garbage-in reference the masked path is tested against.
+  const int invalid_cells = sim::CountInvalidCells(observed_speed);
+  const int total_cells = observed_speed.rows() * observed_speed.cols();
+  if (invalid_cells >= total_cells) {
+    return Status::InvalidArgument(
+        "observed speed has no finite cells (" +
+        std::to_string(total_cells) + " invalid)");
+  }
+  const bool masked = config_.mask_observations && invalid_cells > 0;
+  const DMat obs_mask = sim::ObservationMask(observed_speed);
+  const DMat observed_filled =
+      invalid_cells > 0 ? sim::FillInvalidCells(observed_speed, 0.0)
+                        : observed_speed;
+  OVS_GAUGE_SET("trainer.recover.invalid_cells",
+                static_cast<double>(invalid_cells));
+  nn::Tensor target = NormalizedTarget(observed_filled, speed_scale);
+  nn::Tensor obs_mask_t;
+  if (masked) obs_mask_t = nn::FromDMat(obs_mask);
 
   // Adapt the Gaussian-prior level to the observed speed: kernel-weighted
   // average of the generated samples' demand levels, weighted by how close
@@ -280,16 +342,22 @@ od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
     // Distance = median over links of per-link speed RMSE. The median makes
     // the level estimate robust to a few exogenously slowed links (road
     // work, accidents — paper RQ3), which a full-tensor RMSE would read as
-    // globally heavier demand.
+    // globally heavier demand. Under masking, invalid observation cells are
+    // skipped and fully dark links drop out of the median entirely.
     auto robust_distance = [&](const DMat& speed) {
-      std::vector<double> per_link(speed.rows());
+      std::vector<double> per_link;
+      per_link.reserve(speed.rows());
       for (int l = 0; l < speed.rows(); ++l) {
         double acc = 0.0;
+        int valid = 0;
         for (int t = 0; t < speed.cols(); ++t) {
-          const double d = speed.at(l, t) - observed_speed.at(l, t);
+          if (masked && obs_mask.at(l, t) == 0.0) continue;
+          const double d = speed.at(l, t) - observed_filled.at(l, t);
           acc += d * d;
+          ++valid;
         }
-        per_link[l] = std::sqrt(acc / speed.cols());
+        if (valid == 0) continue;
+        per_link.push_back(std::sqrt(acc / valid));
       }
       std::nth_element(per_link.begin(), per_link.begin() + per_link.size() / 2,
                        per_link.end());
@@ -422,6 +490,7 @@ od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
   }
 
   std::vector<Status> save_statuses(restarts);
+  std::vector<Status> fit_statuses(restarts);
   // The frozen TOD2V/V2S mappings are shared read-only across restart
   // threads; backward never touches frozen leaves, so no synchronization is
   // needed.
@@ -436,19 +505,31 @@ od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
       TodGeneratorIface& gen = *generators[restart];
       gen.InitializeOutputLevel(prior_fraction);
       nn::Adam opt(gen.Parameters(), config_.recovery_lr);
+      // Each restart owns a private guard, so fits stay self-contained
+      // serial computations and the thread count cannot change behavior.
+      TrainGuard guard(restart_stage(restart), config_.guard,
+                       config_.recovery_lr);
+      guard.Snapshot(0, std::numeric_limits<double>::infinity(), gen, opt,
+                     /*rng_state=*/"");
       double final_loss = 0.0;
-      for (int epoch = 0; epoch < config_.recovery_epochs; ++epoch) {
+      bool diverged = false;
+      for (int epoch = 0; epoch < config_.recovery_epochs;) {
         opt.ZeroGrad();
         nn::Variable g = gen.Forward();
         nn::Variable q = model_->VolumeFromTod(g, /*train=*/false, nullptr);
         nn::Variable v = model_->SpeedFromVolume(q);
         nn::Variable v_norm =
             nn::ScalarMul(v, 1.0f / static_cast<float>(speed_scale));
-        // Main loss, Eq. 12 (robustified; see TrainerConfig).
+        // Main loss, Eq. 12 (robustified; see TrainerConfig). Masked
+        // variants exclude invalid observation cells from value and grad.
         nn::Variable loss =
             config_.recovery_huber_delta > 0.0f
-                ? nn::HuberLoss(v_norm, target, config_.recovery_huber_delta)
-                : nn::MseLoss(v_norm, target);
+                ? (masked ? nn::MaskedHuberLoss(v_norm, target, obs_mask_t,
+                                                config_.recovery_huber_delta)
+                          : nn::HuberLoss(v_norm, target,
+                                          config_.recovery_huber_delta))
+                : (masked ? nn::MaskedMseLoss(v_norm, target, obs_mask_t)
+                          : nn::MseLoss(v_norm, target));
         if (aux != nullptr && aux->active()) {
           loss = nn::Add(loss, aux->Compute(g, q, v));  // Eq. 13
         }
@@ -462,10 +543,29 @@ od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
         opt.ClipGrad(config_.grad_clip);
         opt.Step();
         final_loss = loss.value()[0];
+        if (!guard.EpochHealthy(final_loss, gen)) {
+          StatusOr<TrainGuard::Rollback> rb =
+              guard.TryRollback(&gen, &opt, /*rng=*/nullptr);
+          if (!rb.ok()) {
+            fit_statuses[restart] = rb.status();
+            diverged = true;
+            break;
+          }
+          epoch = rb->epoch;
+          continue;
+        }
+        guard.Snapshot(epoch + 1, final_loss, gen, opt, /*rng_state=*/"");
         if (config_.verbose && epoch % 50 == 0) {
           LOG(INFO) << "recovery restart " << restart << " epoch " << epoch
                     << " loss " << final_loss;
         }
+        ++epoch;
+      }
+      if (diverged) {
+        // losses[restart] stays +inf: the restart is out of the running and
+        // no checkpoint of its broken state is written.
+        OVS_COUNTER_INC("trainer.recover.diverged_restarts");
+        continue;
       }
       losses[restart] = final_loss;
       obs::SetGaugeDynamic(
@@ -495,6 +595,23 @@ od::TodTensor OvsTrainer::RecoverTod(const DMat& observed_speed,
   int best = 0;
   for (int restart = 1; restart < restarts; ++restart) {
     if (losses[restart] < losses[best]) best = restart;
+  }
+  if (!std::isfinite(losses[best])) {
+    // Every restart diverged (or ended non-finite with the guard off):
+    // surface an error instead of adopting garbage weights.
+    model_->tod_volume().SetTrainable(true);
+    model_->volume_speed().SetTrainable(true);
+    for (int restart = 0; restart < restarts; ++restart) {
+      if (!fit_statuses[restart].ok()) return fit_statuses[restart];
+    }
+    return Status::Internal("all " + std::to_string(restarts) +
+                            " recovery restarts ended with non-finite loss");
+  }
+  for (int restart = 0; restart < restarts; ++restart) {
+    if (!fit_statuses[restart].ok()) {
+      LOG(WARNING) << "recovery restart " << restart
+                   << " dropped: " << fit_statuses[restart].ToString();
+    }
   }
   // Adopt the winner: the model's generator carries the best restart's
   // state, as if that restart had been the only (serial) fit.

@@ -6,8 +6,10 @@
 #include "core/aux_loss.h"
 #include "core/checkpoint.h"
 #include "core/ovs_model.h"
+#include "core/train_guard.h"
 #include "core/training_data.h"
 #include "od/tod_tensor.h"
+#include "util/status.h"
 
 namespace ovs::core {
 
@@ -41,10 +43,18 @@ struct TrainerConfig {
   /// cannot drag the whole TOD. 0 falls back to plain MSE.
   float recovery_huber_delta = 0.1f;
   bool verbose = false;
+  /// Exclude non-finite observed-speed cells (dark/failed sensors) from the
+  /// recovery loss and the prior's kernel regression. Off = the garbage-in
+  /// path: invalid cells are read as 0 m/s (a total-jam signal) and bias the
+  /// fit — kept only as the A/B reference for the masked path.
+  bool mask_observations = true;
   /// Crash-safe checkpoint/resume (stage1.ckpt / stage2.ckpt /
   /// recovery.restart<k>.ckpt under `checkpoint.dir`). A killed-and-resumed
   /// run produces bitwise-identical results to an uninterrupted one.
   CheckpointOptions checkpoint;
+  /// Divergence policy: per-epoch finiteness checks with rollback-retry at
+  /// reduced LR, bounded by max_retries (see core/train_guard.h).
+  TrainGuardOptions guard;
 };
 
 /// Drives training and recovery for an OvsModel.
@@ -53,12 +63,16 @@ class OvsTrainer {
   OvsTrainer(OvsModel* model, TrainerConfig config);
 
   /// Stage 1 (paper §V-E step 1): fit Volume->Speed on generated
-  /// (volume, speed) pairs. Returns the per-epoch mean loss curve.
-  [[nodiscard]] std::vector<double> TrainVolumeSpeed(const TrainingData& data);
+  /// (volume, speed) pairs. Returns the per-epoch mean loss curve, or an
+  /// Internal error when the stage diverges beyond the guard's retry cap.
+  [[nodiscard]] StatusOr<std::vector<double>> TrainVolumeSpeed(
+      const TrainingData& data);
 
   /// Stage 2 (step 2): freeze V2S, fit TOD->Volume so that the chained
-  /// prediction matches generated speed. Returns the loss curve.
-  [[nodiscard]] std::vector<double> TrainTodVolume(const TrainingData& data);
+  /// prediction matches generated speed. Returns the loss curve, or an
+  /// Internal error on unrecoverable divergence.
+  [[nodiscard]] StatusOr<std::vector<double>> TrainTodVolume(
+      const TrainingData& data);
 
   /// Sets up the recovery prior bookkeeping (training-cell mean and the
   /// per-sample speed/level pairs for the adaptive level estimate) without
@@ -68,9 +82,13 @@ class OvsTrainer {
 
   /// Test-time recovery: freeze both mappings, fit TOD Generation to the
   /// observed speed (optionally with auxiliary losses), and return the
-  /// recovered TOD tensor.
-  [[nodiscard]] od::TodTensor RecoverTod(const DMat& observed_speed,
-                                         const AuxLossSet* aux, Rng* rng);
+  /// recovered TOD tensor. Non-finite observation cells are excluded via
+  /// the validity mask when `mask_observations` is set (read as 0 m/s
+  /// otherwise). Errors: InvalidArgument when no observation cell is
+  /// finite; Internal when every restart diverges beyond the guard cap.
+  [[nodiscard]] StatusOr<od::TodTensor> RecoverTod(const DMat& observed_speed,
+                                                   const AuxLossSet* aux,
+                                                   Rng* rng);
 
   /// Final main-loss value of the last recovery (normalized units).
   [[nodiscard]] double last_recovery_loss() const {

@@ -1,5 +1,7 @@
 #include "eval/harness.h"
 
+#include <limits>
+
 #include "baselines/em.h"
 #include "baselines/genetic.h"
 #include "baselines/gls.h"
@@ -9,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/bench_config.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -38,6 +41,18 @@ Experiment::Experiment(const data::Dataset* dataset, const HarnessConfig& config
     }
   }
 
+  // The estimators never see the clean speed directly: the observed copy
+  // carries whatever sensor faults the config asks for, while scoring stays
+  // against the uncorrupted ground truth.
+  observed_speed_ = ground_truth_.speed;
+  if (config_.sensor_faults.any()) {
+    sim::ApplySensorFaults(config_.sensor_faults, &observed_speed_,
+                           /*volume=*/nullptr);
+    obs::SetGaugeDynamic(
+        "eval.observed.invalid_cells",
+        static_cast<double>(sim::CountInvalidCells(observed_speed_)));
+  }
+
   context_.dataset = dataset_;
   context_.train = &training_data_;
   context_.camera_volume = camera_volume_.empty() ? nullptr : &camera_volume_;
@@ -61,15 +76,27 @@ RmseTriple Experiment::Score(const od::TodTensor& recovered) const {
   return triple;
 }
 
-MethodResult Experiment::Run(baselines::OdEstimator* estimator) const {
+MethodResult Experiment::RunWithObservation(baselines::OdEstimator* estimator,
+                                            const DMat& observed) const {
   CHECK(estimator != nullptr);
   OVS_TRACE_SCOPE(obs::InternName("eval.run." + estimator->name()));
   Timer timer;
-  od::TodTensor recovered = estimator->Recover(context_, ground_truth_.speed);
+  StatusOr<od::TodTensor> recovered = estimator->Recover(context_, observed);
   MethodResult result;
   result.method = estimator->name();
   result.recover_seconds = timer.ElapsedSeconds();
-  result.rmse = Score(recovered);
+  if (recovered.ok()) {
+    result.rmse = Score(recovered.value());
+  } else {
+    // A failed recovery stays in the table as an infinitely bad row rather
+    // than aborting the whole sweep (or worse, tabulating NaN).
+    result.status = recovered.status();
+    const double inf = std::numeric_limits<double>::infinity();
+    result.rmse = RmseTriple{inf, inf, inf};
+    obs::AddCounterDynamic("eval." + result.method + ".failed_recoveries", 1);
+    LOG(WARNING) << "eval: " << result.method
+                 << " recovery failed: " << result.status;
+  }
   // One metrics row per experiment: the per-method scores and recover time,
   // exported alongside the printed table.
   obs::SetGaugeDynamic("eval." + result.method + ".rmse_tod", result.rmse.tod);
@@ -81,6 +108,10 @@ MethodResult Experiment::Run(baselines::OdEstimator* estimator) const {
                        result.recover_seconds);
   obs::AddCounterDynamic("eval.experiments_run", 1);
   return result;
+}
+
+MethodResult Experiment::Run(baselines::OdEstimator* estimator) const {
+  return RunWithObservation(estimator, observed_speed_);
 }
 
 std::vector<MethodResult> Experiment::RunAll(
@@ -96,6 +127,22 @@ std::vector<MethodResult> Experiment::RunAll(
                 }
               });
   return results;
+}
+
+std::vector<FaultSweepRow> Experiment::RunFaultSweep(
+    baselines::OdEstimator* estimator,
+    const std::vector<sim::SensorFaultConfig>& faults) const {
+  std::vector<FaultSweepRow> rows;
+  rows.reserve(faults.size());
+  for (const sim::SensorFaultConfig& fault : faults) {
+    DMat observed = ground_truth_.speed;
+    sim::ApplySensorFaults(fault, &observed, /*volume=*/nullptr);
+    FaultSweepRow row;
+    row.fault = fault;
+    row.result = RunWithObservation(estimator, observed);
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 std::vector<std::unique_ptr<baselines::OdEstimator>> MakeMethodSuite(
@@ -163,6 +210,25 @@ Table MakeComparisonTable(const std::string& title,
          Table::Cell(RelativeImprovement(ours->rmse.volume, best_baseline.volume), 1) + "%",
          Table::Cell(RelativeImprovement(ours->rmse.speed, best_baseline.speed), 1) + "%",
          "-"});
+  }
+  return table;
+}
+
+Table MakeFaultSweepTable(const std::string& title,
+                          const std::vector<FaultSweepRow>& rows) {
+  Table table(title);
+  table.SetHeader({"Fault", "TOD", "vol", "speed", "time(s)"});
+  for (const FaultSweepRow& row : rows) {
+    if (row.result.status.ok()) {
+      table.AddRow({row.fault.ToString(), Table::Cell(row.result.rmse.tod),
+                    Table::Cell(row.result.rmse.volume),
+                    Table::Cell(row.result.rmse.speed),
+                    Table::Cell(row.result.recover_seconds, 1)});
+    } else {
+      table.AddRow({row.fault.ToString(),
+                    "FAILED: " + row.result.status.message(), "-", "-",
+                    Table::Cell(row.result.recover_seconds, 1)});
+    }
   }
   return table;
 }

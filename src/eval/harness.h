@@ -8,15 +8,27 @@
 #include "baselines/estimator.h"
 #include "core/checkpoint.h"
 #include "eval/metrics.h"
+#include "sim/sensor_faults.h"
+#include "util/status.h"
 #include "util/table.h"
 
 namespace ovs::eval {
 
-/// Per-method outcome of one recovery experiment.
+/// Per-method outcome of one recovery experiment. When `status` is not OK
+/// the recovery failed outright (e.g. exhausted divergence retries) and the
+/// RMSE fields are +infinity rather than garbage.
 struct MethodResult {
   std::string method;
   RmseTriple rmse;
   double recover_seconds = 0.0;
+  Status status = Status::Ok();
+};
+
+/// One row of a sensor-fault sweep: the fault spec that was injected and
+/// the resulting recovery scores.
+struct FaultSweepRow {
+  sim::SensorFaultConfig fault;
+  MethodResult result;
 };
 
 /// Experiment knobs shared by all table benches.
@@ -26,6 +38,10 @@ struct HarnessConfig {
   /// Demand-realization seed for the shared evaluation oracle, fixed so all
   /// methods are scored on identical stochastic rounding.
   uint64_t oracle_seed = 4242;
+  /// Sensor faults injected into the observed speed every method recovers
+  /// from (the hidden ground truth itself stays clean — scoring is always
+  /// against the uncorrupted tensors). Default: no faults.
+  sim::SensorFaultConfig sensor_faults;
 };
 
 /// Everything prepared once per dataset: the hidden ground truth
@@ -38,7 +54,8 @@ class Experiment {
   Experiment(const data::Dataset* dataset, const HarnessConfig& config,
              const od::TodTensor* test_tod_override = nullptr);
 
-  /// Runs one estimator through recover + re-simulate + score.
+  /// Runs one estimator through recover + re-simulate + score, feeding it
+  /// the (possibly fault-corrupted) observed speed.
   MethodResult Run(baselines::OdEstimator* estimator) const;
 
   /// Runs every estimator of a suite, fanning the scenarios out over the
@@ -49,6 +66,15 @@ class Experiment {
   std::vector<MethodResult> RunAll(
       const std::vector<std::unique_ptr<baselines::OdEstimator>>& suite) const;
 
+  /// Runs `estimator` once per fault config (serially — each run corrupts a
+  /// fresh copy of the clean observation, so rows are independent and the
+  /// sweep is deterministic regardless of ordering elsewhere). Scores stay
+  /// against the clean ground truth: rows show recovery error vs. fault
+  /// severity.
+  std::vector<FaultSweepRow> RunFaultSweep(
+      baselines::OdEstimator* estimator,
+      const std::vector<sim::SensorFaultConfig>& faults) const;
+
   /// Scores an externally produced TOD tensor (used by ablation variants
   /// that share training).
   RmseTriple Score(const od::TodTensor& recovered) const;
@@ -57,12 +83,21 @@ class Experiment {
   const core::TrainingData& training_data() const { return training_data_; }
   const baselines::EstimatorContext& context() const { return context_; }
   const data::Dataset& dataset() const { return *dataset_; }
+  /// What the estimators actually see: ground-truth speed after the
+  /// configured sensor faults. Identical to ground_truth().speed when
+  /// `config.sensor_faults` is empty.
+  const DMat& observed_speed() const { return observed_speed_; }
 
  private:
+  /// Shared recover + score body; `observed` is what the estimator sees.
+  MethodResult RunWithObservation(baselines::OdEstimator* estimator,
+                                  const DMat& observed) const;
+
   const data::Dataset* dataset_;
   HarnessConfig config_;
   core::TrainingSample ground_truth_;
   core::TrainingData training_data_;
+  DMat observed_speed_;
   DMat camera_volume_;
   baselines::EstimatorContext context_;
 };
@@ -79,6 +114,11 @@ std::vector<std::unique_ptr<baselines::OdEstimator>> MakeMethodSuite(
 Table MakeComparisonTable(const std::string& title,
                           const std::vector<MethodResult>& results,
                           const std::string& ovs_name = "OVS");
+
+/// Renders fault-sweep rows: one line per fault spec with the TOD/vol/speed
+/// recovery errors (or the failure status when recovery errored).
+Table MakeFaultSweepTable(const std::string& title,
+                          const std::vector<FaultSweepRow>& rows);
 
 }  // namespace ovs::eval
 

@@ -1,24 +1,84 @@
 #include "eval/metrics.h"
 
 #include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
 
 namespace ovs::eval {
 
-double PaperRmse(const DMat& pred, const DMat& truth) {
+namespace {
+
+/// Shared guarded accumulation for the paper metrics. `mask` may be null
+/// (all cells eligible); `squared` selects RMSE vs. MAE aggregation.
+/// Returns +infinity when not a single eligible cell is finite.
+double GuardedPaperMetric(const DMat& pred, const DMat& truth,
+                          const DMat* mask, bool squared) {
   CHECK(pred.SameShape(truth));
   CHECK_GT(pred.numel(), 0);
+  if (mask != nullptr) CHECK(mask->SameShape(pred));
   const int n = pred.rows();
   const int t_count = pred.cols();
   double acc = 0.0;
+  int valid_intervals = 0;
+  uint64_t skipped = 0;
   for (int t = 0; t < t_count; ++t) {
-    double sq = 0.0;
+    double sum = 0.0;
+    int valid = 0;
     for (int i = 0; i < n; ++i) {
-      const double d = pred.at(i, t) - truth.at(i, t);
-      sq += d * d;
+      if (mask != nullptr && mask->at(i, t) == 0.0) continue;
+      const double p = pred.at(i, t);
+      const double g = truth.at(i, t);
+      if (!std::isfinite(p) || !std::isfinite(g)) {
+        ++skipped;
+        continue;
+      }
+      const double d = p - g;
+      sum += squared ? d * d : std::abs(d);
+      ++valid;
     }
-    acc += std::sqrt(sq / n);
+    if (valid == 0) continue;
+    acc += squared ? std::sqrt(sum / valid) : sum / valid;
+    ++valid_intervals;
   }
-  return acc / t_count;
+  if (skipped > 0) OVS_COUNTER_ADD("eval.metrics.skipped_cells", skipped);
+  if (valid_intervals == 0) {
+    OVS_COUNTER_INC("eval.metrics.degenerate_scores");
+    return std::numeric_limits<double>::infinity();
+  }
+  return acc / valid_intervals;
+}
+
+}  // namespace
+
+double PaperRmse(const DMat& pred, const DMat& truth) {
+  return GuardedPaperMetric(pred, truth, /*mask=*/nullptr, /*squared=*/true);
+}
+
+double PaperMae(const DMat& pred, const DMat& truth) {
+  return GuardedPaperMetric(pred, truth, /*mask=*/nullptr, /*squared=*/false);
+}
+
+StatusOr<double> PaperRmseChecked(const DMat& pred, const DMat& truth) {
+  const double value = PaperRmse(pred, truth);
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument(
+        "PaperRmse degenerate: no finite cell pair to score");
+  }
+  return value;
+}
+
+StatusOr<double> PaperMaeChecked(const DMat& pred, const DMat& truth) {
+  const double value = PaperMae(pred, truth);
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument(
+        "PaperMae degenerate: no finite cell pair to score");
+  }
+  return value;
+}
+
+double MaskedPaperRmse(const DMat& pred, const DMat& truth, const DMat& mask) {
+  return GuardedPaperMetric(pred, truth, &mask, /*squared=*/true);
 }
 
 double RelativeImprovement(double ours, double best_baseline) {

@@ -2,13 +2,38 @@
 #define OVS_EVAL_METRICS_H_
 
 #include "util/mat.h"
+#include "util/status.h"
 
 namespace ovs::eval {
 
 /// The paper's RMSE (§V-G): per-interval RMSE across entities, averaged over
 /// intervals — (1/T) * sum_t sqrt((1/N) * sum_i err_it^2). Columns of the
 /// inputs are time intervals.
+///
+/// Degraded-observation guard: cells where either input is non-finite are
+/// skipped (and counted on the `eval.metrics.skipped_cells` counter) instead
+/// of poisoning the average; an interval with no valid cell is dropped from
+/// the mean. Returns +infinity — never NaN — when *no* cell in the whole
+/// matrix is finite, so a fully failed recovery shows up as an infinitely
+/// bad score rather than silently corrupting comparison tables. Bitwise
+/// identical to the historical implementation on all-finite inputs.
 double PaperRmse(const DMat& pred, const DMat& truth);
+
+/// Mean absolute error with the same per-interval structure and the same
+/// non-finite-cell guard as PaperRmse.
+double PaperMae(const DMat& pred, const DMat& truth);
+
+/// Strict variants for callers that must not tabulate a degenerate score:
+/// InvalidArgument when no finite cell exists, Ok(value) otherwise.
+[[nodiscard]] StatusOr<double> PaperRmseChecked(const DMat& pred,
+                                                const DMat& truth);
+[[nodiscard]] StatusOr<double> PaperMaeChecked(const DMat& pred,
+                                               const DMat& truth);
+
+/// PaperRmse restricted to cells where `mask` is non-zero (fault-sweep
+/// scoring: error measured only where the sensor actually reported).
+/// Non-finite cells under a non-zero mask are still skipped and counted.
+double MaskedPaperRmse(const DMat& pred, const DMat& truth, const DMat& mask);
 
 /// TOD / volume / speed error triple for one recovery.
 struct RmseTriple {

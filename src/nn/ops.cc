@@ -666,6 +666,70 @@ Variable HuberLoss(const Variable& pred, const Tensor& target, float delta) {
       });
 }
 
+Variable MaskedMseLoss(const Variable& pred, const Tensor& target,
+                       const Tensor& mask) {
+  CHECK(pred.value().SameShape(target))
+      << "MaskedMseLoss: " << ShapeToString(pred.shape()) << " vs "
+      << ShapeToString(target.shape());
+  CHECK(pred.value().SameShape(mask));
+  const int n = pred.numel();
+  CHECK_GT(n, 0);
+  int valid = 0;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (mask[i] == 0.0f) continue;
+    ++valid;
+    const double d = pred.value()[i] - target[i];
+    acc += d * d;
+  }
+  CHECK_GT(valid, 0) << "MaskedMseLoss: mask has no valid cells";
+  Tensor out = Tensor::Scalar(static_cast<float>(acc / valid));
+  return Variable::MakeNode(
+      std::move(out), {pred}, [target, mask, n, valid](VariableNode& node) {
+        if (!node.parents[0]->requires_grad) return;
+        Tensor& g = node.parents[0]->MutableGrad();
+        const Tensor& pv = node.parents[0]->value;
+        const float scale = 2.0f * node.grad[0] / static_cast<float>(valid);
+        for (int i = 0; i < n; ++i) {
+          if (mask[i] == 0.0f) continue;
+          g[i] += scale * (pv[i] - target[i]);
+        }
+      });
+}
+
+Variable MaskedHuberLoss(const Variable& pred, const Tensor& target,
+                         const Tensor& mask, float delta) {
+  CHECK(pred.value().SameShape(target));
+  CHECK(pred.value().SameShape(mask));
+  CHECK_GT(delta, 0.0f);
+  const int n = pred.numel();
+  CHECK_GT(n, 0);
+  int valid = 0;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (mask[i] == 0.0f) continue;
+    ++valid;
+    const double r = std::fabs(pred.value()[i] - target[i]);
+    acc += r <= delta ? 0.5 * r * r : delta * (r - 0.5 * delta);
+  }
+  CHECK_GT(valid, 0) << "MaskedHuberLoss: mask has no valid cells";
+  Tensor out = Tensor::Scalar(static_cast<float>(acc / valid));
+  return Variable::MakeNode(
+      std::move(out), {pred},
+      [target, mask, delta, n, valid](VariableNode& node) {
+        if (!node.parents[0]->requires_grad) return;
+        Tensor& g = node.parents[0]->MutableGrad();
+        const Tensor& pv = node.parents[0]->value;
+        const float scale = node.grad[0] / static_cast<float>(valid);
+        for (int i = 0; i < n; ++i) {
+          if (mask[i] == 0.0f) continue;
+          const float r = pv[i] - target[i];
+          const float d = r > delta ? delta : (r < -delta ? -delta : r);
+          g[i] += scale * d;
+        }
+      });
+}
+
 Variable HingeSquaredLoss(const Variable& x) {
   const int n = x.numel();
   CHECK_GT(n, 0);

@@ -125,6 +125,18 @@ Variable MseLoss(const Variable& pred, const Tensor& target);
 /// links whose slowdown no demand pattern explains).
 Variable HuberLoss(const Variable& pred, const Tensor& target, float delta);
 
+/// MSE restricted to cells where `mask` is non-zero, normalized by the
+/// valid-cell count. Masked cells contribute nothing to the value or the
+/// gradient, so a NaN target under a zero mask is harmless — degraded
+/// observations are excluded, not averaged in. At least one cell must be
+/// valid.
+Variable MaskedMseLoss(const Variable& pred, const Tensor& target,
+                       const Tensor& mask);
+
+/// Huber analogue of MaskedMseLoss (same masking contract).
+Variable MaskedHuberLoss(const Variable& pred, const Tensor& target,
+                         const Tensor& mask, float delta);
+
 /// Mean of ReLU(x)^2 — penalizes positive entries only. Used for inequality
 /// auxiliary constraints (e.g., speed above the limit).
 Variable HingeSquaredLoss(const Variable& x);

@@ -110,6 +110,13 @@ float Tensor::AbsMax() const {
   return m;
 }
 
+bool Tensor::AllFinite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 Tensor Tensor::Reshaped(std::vector<int> new_shape) const {
   CHECK_EQ(ShapeNumel(new_shape), numel())
       << "Reshape " << ShapeToString(shape_) << " -> "

@@ -104,6 +104,10 @@ class Tensor {
   float Max() const;
   float AbsMax() const;
 
+  /// True when every element is finite (no NaN or Inf). The TrainGuard's
+  /// cheap per-epoch divergence sweep; an empty tensor is vacuously finite.
+  bool AllFinite() const;
+
   /// Returns a tensor with the same data but a new shape of equal numel.
   Tensor Reshaped(std::vector<int> new_shape) const;
 

@@ -352,6 +352,14 @@ SensorData Engine::Run() {
         speed_obs_[l] > 0 ? speed_sum_[l] / speed_obs_[l] : LinkDesiredSpeed(l);
   }
 
+  // Sensor degradation happens after the physics: the simulated city is
+  // intact, only its measurements are corrupted.
+  if (config_.sensor_faults.any()) {
+    ApplySensorFaults(config_.sensor_faults, &out.speed, &out.volume);
+    OVS_COUNTER_ADD("sim.sensor_fault_cells",
+                    static_cast<uint64_t>(CountInvalidCells(out.speed)));
+  }
+
   OVS_COUNTER_ADD("sim.vehicle_steps", total_vehicle_steps_);
   OVS_COUNTER_ADD("sim.completed_trips",
                   static_cast<uint64_t>(completed_count_));

@@ -10,6 +10,7 @@
 #include "sim/car_following.h"
 #include "sim/roadnet.h"
 #include "sim/router.h"
+#include "sim/sensor_faults.h"
 #include "sim/signal.h"
 #include "util/mat.h"
 
@@ -35,6 +36,11 @@ struct EngineConfig {
   /// SensorData::trajectories — the raw material for GPS-trajectory style
   /// data pipelines. Off by default (costs memory on big runs).
   bool record_trajectories = false;
+  /// Degrades the sensor outputs before Run() returns them (dropout,
+  /// blackouts, stuck sensors, noise, spikes, NaN poisoning — see
+  /// sim/sensor_faults.h). All-off by default; deterministic given the
+  /// fault seed regardless of thread count.
+  SensorFaultConfig sensor_faults;
 
   int NumIntervals() const {
     // At least one sensor bucket even when the horizon is shorter than the

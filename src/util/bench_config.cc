@@ -28,6 +28,7 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
     constexpr const char* kMetrics = "--metrics_out=";
     constexpr const char* kCkptDir = "--checkpoint_dir=";
     constexpr const char* kCkptEvery = "--checkpoint_every=";
+    constexpr const char* kSensorFault = "--sensor_fault=";
     if (arg.rfind(kTrace, 0) == 0) {
       args.trace_out = arg.substr(std::strlen(kTrace));
     } else if (arg.rfind(kMetrics, 0) == 0) {
@@ -38,6 +39,8 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       StatusOr<int> every = ParseInt(arg.substr(std::strlen(kCkptEvery)),
                                      "--checkpoint_every");
       if (every.ok()) args.checkpoint_every = *every;
+    } else if (arg.rfind(kSensorFault, 0) == 0) {
+      args.sensor_fault = arg.substr(std::strlen(kSensorFault));
     } else if (arg == "--resume") {
       args.resume = true;
     }

@@ -33,12 +33,16 @@ struct BenchArgs {
   int checkpoint_every = 10;
   /// Resume from existing checkpoints (--resume).
   bool resume = false;
+  /// Sensor-fault spec (--sensor_fault=dropout:0.3,noise:1.0); empty = no
+  /// faults. String-only here (ovs_util cannot depend on ovs_sim); benches
+  /// hand it to sim::ParseSensorFaultSpec.
+  std::string sensor_fault;
 };
 
 /// Parses --trace_out= / --metrics_out= / --checkpoint_dir= /
-/// --checkpoint_every= / --resume from argv. Unrecognized arguments are
-/// ignored (benches own any extra flags); a recognized flag missing or with
-/// a malformed value keeps the default.
+/// --checkpoint_every= / --resume / --sensor_fault= from argv. Unrecognized
+/// arguments are ignored (benches own any extra flags); a recognized flag
+/// missing or with a malformed value keeps the default.
 BenchArgs ParseBenchArgs(int argc, char** argv);
 
 }  // namespace ovs

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "util/logging.h"
+#include "util/parse.h"
 
 namespace ovs {
 
@@ -65,9 +66,11 @@ struct ParallelRegion {
 
 int DefaultThreadCount() {
   if (const char* env = std::getenv("OVS_NUM_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
-    LOG(WARNING) << "ignoring invalid OVS_NUM_THREADS=" << env;
+    // Strict parse: "4abc" or "" must not silently become a thread count.
+    const StatusOr<int> n = ParseInt(env, "OVS_NUM_THREADS");
+    if (n.ok() && *n >= 1) return *n;
+    LOG(WARNING) << "ignoring invalid OVS_NUM_THREADS='" << env
+                 << "' (want an integer >= 1); using hardware concurrency";
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

@@ -37,8 +37,10 @@ class BaselinesTest : public ::testing::Test {
   /// Runs an estimator and performs the shape/positivity sanity checks every
   /// method must satisfy.
   od::TodTensor RunAndCheck(OdEstimator* estimator) {
-    od::TodTensor recovered = estimator->Recover(
+    StatusOr<od::TodTensor> result = estimator->Recover(
         experiment().context(), experiment().ground_truth().speed);
+    CHECK_OK(result.status());
+    od::TodTensor recovered = std::move(result).value();
     EXPECT_EQ(recovered.num_od(), dataset().num_od());
     EXPECT_EQ(recovered.num_intervals(), dataset().num_intervals());
     EXPECT_GE(recovered.mat().Min(), 0.0);

@@ -597,7 +597,7 @@ TEST_F(ResumeDeterminismTest, KilledAndResumedRecoveryIsBitwiseIdentical) {
       core::OvsTrainer trainer(model.get(), cfg);
       trainer.PrimeRecoveryPrior(*train_);
       Rng rng(31);
-      return trainer.RecoverTod(observed.speed, nullptr, &rng);
+      return trainer.RecoverTod(observed.speed, nullptr, &rng).value();
     };
 
     const od::TodTensor reference = recover({});

@@ -258,7 +258,7 @@ TEST(TrainerTest, Stage1LossDecreases) {
   TrainerConfig tc;
   tc.stage1_epochs = 30;
   OvsTrainer trainer(&model, tc);
-  std::vector<double> curve = trainer.TrainVolumeSpeed(train);
+  std::vector<double> curve = trainer.TrainVolumeSpeed(train).value();
   ASSERT_EQ(curve.size(), 30u);
   EXPECT_LT(curve.back(), curve.front() * 0.7);
 }
@@ -316,7 +316,7 @@ TEST(TrainerTest, RecoveryImprovesSpeedFit) {
   std::ignore = trainer.TrainTodVolume(train);
 
   TrainingSample gt = SimulateGroundTruth(ds, 4242);
-  od::TodTensor recovered = trainer.RecoverTod(gt.speed, nullptr, &rng);
+  od::TodTensor recovered = trainer.RecoverTod(gt.speed, nullptr, &rng).value();
   EXPECT_EQ(recovered.num_od(), ds.num_od());
   EXPECT_GE(recovered.mat().Min(), 0.0);
   EXPECT_LT(trainer.last_recovery_loss(), 0.05);

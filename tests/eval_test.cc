@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "baselines/gravity.h"
 #include "data/cities.h"
 #include "eval/harness.h"
 #include "eval/metrics.h"
+#include "sim/sensor_faults.h"
 #include "util/thread_pool.h"
 
 namespace ovs::eval {
@@ -52,6 +56,55 @@ TEST(MetricsTest, PaperRmseScalesLinearly) {
   pred2 *= 3.0;
   truth2 *= 3.0;
   EXPECT_NEAR(PaperRmse(pred2, truth2), 3.0 * base, 1e-9);
+}
+
+TEST(MetricsTest, PaperRmseSkipsNonFiniteCells) {
+  // A NaN cell must be excluded from its interval, not poison the average.
+  DMat pred(2, 2), truth(2, 2);
+  pred.at(0, 0) = 3.0;
+  pred.at(1, 0) = std::numeric_limits<double>::quiet_NaN();
+  pred.at(0, 1) = 4.0;
+  pred.at(1, 1) = 4.0;
+  // Interval 0: only cell (0,0) valid -> rmse 3. Interval 1: rmse 4.
+  EXPECT_NEAR(PaperRmse(pred, truth), 3.5, 1e-12);
+}
+
+TEST(MetricsTest, PaperRmseFullyInvalidIsInfiniteNeverNan) {
+  DMat pred(2, 2, std::numeric_limits<double>::quiet_NaN());
+  DMat truth(2, 2);
+  const double v = PaperRmse(pred, truth);
+  EXPECT_TRUE(std::isinf(v));
+  EXPECT_FALSE(std::isnan(v));
+  StatusOr<double> checked = PaperRmseChecked(pred, truth);
+  EXPECT_FALSE(checked.ok());
+  EXPECT_EQ(checked.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MetricsTest, PaperMaeKnownValueAndChecked) {
+  DMat pred(2, 2), truth(2, 2);
+  pred.at(0, 0) = 3.0;
+  pred.at(1, 0) = 1.0;
+  pred.at(0, 1) = 4.0;
+  pred.at(1, 1) = 2.0;
+  // Interval 0: (3+1)/2 = 2. Interval 1: (4+2)/2 = 3. Mean = 2.5.
+  EXPECT_NEAR(PaperMae(pred, truth), 2.5, 1e-12);
+  StatusOr<double> checked = PaperMaeChecked(pred, truth);
+  ASSERT_TRUE(checked.ok());
+  EXPECT_NEAR(checked.value(), 2.5, 1e-12);
+}
+
+TEST(MetricsTest, MaskedPaperRmseHonorsMask) {
+  DMat pred(2, 2), truth(2, 2);
+  pred.at(0, 0) = 3.0;
+  pred.at(1, 0) = 100.0;  // masked out below
+  pred.at(0, 1) = 4.0;
+  pred.at(1, 1) = 4.0;
+  DMat mask(2, 2, 1.0);
+  mask.at(1, 0) = 0.0;
+  EXPECT_NEAR(MaskedPaperRmse(pred, truth, mask), 3.5, 1e-12);
+  // All-ones mask reproduces the unmasked value exactly.
+  DMat ones(2, 2, 1.0);
+  EXPECT_EQ(MaskedPaperRmse(pred, truth, ones), PaperRmse(pred, truth));
 }
 
 TEST(MetricsTest, RelativeImprovement) {
@@ -152,6 +205,47 @@ TEST(HarnessTest, MethodSuiteHasPaperMethods) {
   EXPECT_EQ(names[4], "NN");
   EXPECT_EQ(names[5], "LSTM");
   EXPECT_EQ(names[6], "OVS");
+}
+
+TEST(HarnessTest, SensorFaultsCorruptOnlyTheObservedCopy) {
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  HarnessConfig config;
+  config.num_train_samples = 2;
+  config.sensor_faults.dropout = 0.3;
+  Experiment experiment(&ds, config);
+  // The observed copy has holes; the hidden ground truth stays clean.
+  EXPECT_GT(sim::CountInvalidCells(experiment.observed_speed()), 0);
+  EXPECT_EQ(sim::CountInvalidCells(experiment.ground_truth().speed), 0);
+
+  HarnessConfig clean = config;
+  clean.sensor_faults = {};
+  Experiment pristine(&ds, clean);
+  EXPECT_EQ(sim::CountInvalidCells(pristine.observed_speed()), 0);
+  EXPECT_NEAR(
+      Rmse(pristine.observed_speed(), pristine.ground_truth().speed), 0.0,
+      1e-12);
+}
+
+TEST(HarnessTest, FaultSweepScoresEachFaultAgainstCleanTruth) {
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  HarnessConfig config;
+  config.num_train_samples = 2;
+  Experiment experiment(&ds, config);
+  baselines::GravityEstimator gravity({10.0, 30.0});
+  sim::SensorFaultConfig none;
+  sim::SensorFaultConfig heavy;
+  heavy.dropout = 0.4;
+  std::vector<FaultSweepRow> rows =
+      experiment.RunFaultSweep(&gravity, {none, heavy});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].fault.ToString(), "none");
+  EXPECT_EQ(rows[1].fault.ToString(), "dropout:0.4");
+  for (const FaultSweepRow& row : rows) {
+    EXPECT_TRUE(row.result.status.ok()) << row.result.status;
+    EXPECT_TRUE(std::isfinite(row.result.rmse.tod));
+  }
+  Table table = MakeFaultSweepTable("Sweep", rows);
+  EXPECT_NE(table.ToString().find("dropout:0.4"), std::string::npos);
 }
 
 TEST(HarnessTest, ComparisonTableHasImproveRow) {

@@ -363,6 +363,57 @@ TEST(LintRawOfstreamTest, Suppressible) {
   EXPECT_TRUE(diags.empty());
 }
 
+// ------------------------------------------- unguarded-observed-speed
+
+TEST(LintObservedSpeedTest, FlagsDirectElementReadInBaselines) {
+  auto diags = LintContent(
+      "src/baselines/em.cc",
+      "double Residual(const DMat& observed_speed) {\n"
+      "  return observed_speed.at(0, 1) - 1.0;\n"
+      "}\n");
+  ExpectSingle(diags, "unguarded-observed-speed", 2);
+}
+
+TEST(LintObservedSpeedTest, FlagsIndexAndDataReads) {
+  auto subscript = LintContent("src/baselines/gls.cc",
+                               "double v = observed_speed[3];\n");
+  ExpectSingle(subscript, "unguarded-observed-speed", 1);
+  auto data = LintContent("src/baselines/gls.cc",
+                          "const double* p = observed_speed.data();\n");
+  ExpectSingle(data, "unguarded-observed-speed", 1);
+}
+
+TEST(LintObservedSpeedTest, CleanOnShapeReadsAndMaskedView) {
+  // Shape queries and handing the matrix to MaskObservation are the
+  // sanctioned uses.
+  auto diags = LintContent(
+      "src/baselines/gravity.cc",
+      "StatusOr<od::TodTensor> Recover(const DMat& observed_speed) {\n"
+      "  CHECK_EQ(observed_speed.rows(), 4);\n"
+      "  ASSIGN_OR_RETURN(const MaskedObservation obs,\n"
+      "                   MaskObservation(observed_speed));\n"
+      "  return Estimate(obs.speed, obs.mask);\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintObservedSpeedTest, OnlyFencesBaselines) {
+  const std::string read = "double v = observed_speed.at(0, 0);\n";
+  // The trainer and the observation helper itself handle masking locally.
+  EXPECT_TRUE(LintContent("src/core/trainer.cc", read).empty());
+  EXPECT_TRUE(LintContent("src/baselines/observation.cc", read).empty());
+  EXPECT_TRUE(LintContent("tests/baselines_test.cc", read).empty());
+  EXPECT_FALSE(LintContent("src/baselines/genetic.cc", read).empty());
+}
+
+TEST(LintObservedSpeedTest, Suppressible) {
+  auto diags = LintContent(
+      "src/baselines/em.cc",
+      "// ovs-lint: allow(unguarded-observed-speed)\n"
+      "double v = observed_speed.at(0, 0);\n");
+  EXPECT_TRUE(diags.empty());
+}
+
 // -------------------------------------------------------------- machinery --
 
 TEST(LintMachineryTest, AllowListSupportsMultipleRulesAndWildcard) {
@@ -395,7 +446,8 @@ TEST(LintMachineryTest, FiveRulesRegistered) {
   for (const auto& r : rules) names.push_back(r.name);
   for (const char* expected :
        {"raw-rand", "unordered-iter", "naked-new", "float-narrowing",
-        "parallelfor-capture", "wallclock-in-core", "raw-ofstream"}) {
+        "parallelfor-capture", "wallclock-in-core", "raw-ofstream",
+        "unguarded-observed-speed"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing rule " << expected;
   }

@@ -377,7 +377,7 @@ DMat RecoveryRun(bool tracing) {
   std::ignore = trainer.TrainVolumeSpeed(train);
   std::ignore = trainer.TrainTodVolume(train);
   core::TrainingSample gt = core::SimulateGroundTruth(ds, 4242);
-  DMat recovered = trainer.RecoverTod(gt.speed, nullptr, &rng).mat();
+  DMat recovered = trainer.RecoverTod(gt.speed, nullptr, &rng).value().mat();
   if (tracing) obs::StopTracing();
   return recovered;
 }

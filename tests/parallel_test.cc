@@ -130,10 +130,10 @@ TrainingRun RunPipeline(int threads) {
   core::OvsTrainer trainer(&model, tc);
 
   TrainingRun run;
-  run.stage1 = trainer.TrainVolumeSpeed(train);
-  run.stage2 = trainer.TrainTodVolume(train);
+  run.stage1 = trainer.TrainVolumeSpeed(train).value();
+  run.stage2 = trainer.TrainTodVolume(train).value();
   core::TrainingSample gt = core::SimulateGroundTruth(ds, 4242);
-  run.recovered = trainer.RecoverTod(gt.speed, nullptr, &rng).mat();
+  run.recovered = trainer.RecoverTod(gt.speed, nullptr, &rng).value().mat();
   run.recovery_loss = trainer.last_recovery_loss();
   for (const auto& [name, p] : model.NamedParameters()) {
     run.params.emplace_back(name, p.value());
@@ -201,7 +201,7 @@ TEST(ParallelDeterminismTest, SingleRestartMatchesAcrossThreadCounts) {
     std::ignore = trainer.TrainVolumeSpeed(train);
     std::ignore = trainer.TrainTodVolume(train);
     core::TrainingSample gt = core::SimulateGroundTruth(ds, 4242);
-    return trainer.RecoverTod(gt.speed, nullptr, &rng).mat();
+    return trainer.RecoverTod(gt.speed, nullptr, &rng).value().mat();
   };
   DMat serial = run(1);
   DMat threaded = run(4);

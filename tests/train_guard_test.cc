@@ -1,0 +1,258 @@
+// Divergence-safe training: a non-finite loss or parameter rolls the guarded
+// loop back to the last healthy snapshot and retries at a reduced learning
+// rate; exhausted retries surface a Status (never a crash or an infinite
+// loop); the whole rollback-retry drill is deterministic and its retry count
+// lands in the metrics snapshot. Faults are injected through the
+// TrainGuardOptions test hooks (fault_at_check / fault_count).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ovs_model.h"
+#include "core/train_guard.h"
+#include "core/trainer.h"
+#include "core/training_data.h"
+#include "data/cities.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace ovs::core {
+namespace {
+
+uint64_t CounterValue(const std::string& name) {
+  for (const obs::MetricSnapshot& s : obs::MetricsRegistry::Global().Snapshot()) {
+    if (s.name == name && s.kind == obs::MetricSnapshot::Kind::kCounter) {
+      return s.counter_value;
+    }
+  }
+  return 0;
+}
+
+// ------------------------------------------------------- TrainGuard (unit) --
+
+TEST(TrainGuardTest, FiniteLossAndParametersAreHealthy) {
+  Rng rng(1);
+  nn::Linear layer(3, 2, &rng);
+  TrainGuard guard("unit", TrainGuardOptions(), /*initial_lr=*/1e-2f);
+  EXPECT_TRUE(guard.EpochHealthy(0.5, layer));
+  EXPECT_FALSE(guard.EpochHealthy(std::numeric_limits<double>::quiet_NaN(),
+                                  layer));
+  EXPECT_FALSE(
+      guard.EpochHealthy(std::numeric_limits<double>::infinity(), layer));
+}
+
+TEST(TrainGuardTest, NonFiniteParameterFailsTheCheck) {
+  Rng rng(2);
+  nn::Linear layer(3, 2, &rng);
+  TrainGuard guard("unit", TrainGuardOptions(), 1e-2f);
+  layer.Parameters()[0].mutable_value()[0] =
+      std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(guard.EpochHealthy(0.5, layer));
+}
+
+TEST(TrainGuardTest, DisabledGuardNeverTrips) {
+  Rng rng(3);
+  nn::Linear layer(3, 2, &rng);
+  TrainGuardOptions options;
+  options.enabled = false;
+  TrainGuard guard("unit", options, 1e-2f);
+  EXPECT_TRUE(guard.EpochHealthy(std::numeric_limits<double>::quiet_NaN(),
+                                 layer));
+}
+
+TEST(TrainGuardTest, InjectedFaultWindowCountsChecksAcrossRetries) {
+  Rng rng(4);
+  nn::Linear layer(3, 2, &rng);
+  TrainGuardOptions options;
+  options.fault_at_check = 1;
+  options.fault_count = 2;
+  TrainGuard guard("unit", options, 1e-2f);
+  // Checks 1 and 2 land in the fault window; a rolled-back epoch re-checks
+  // under a later index, which is what lets the retry drill converge.
+  EXPECT_TRUE(guard.EpochHealthy(0.1, layer));
+  EXPECT_FALSE(guard.EpochHealthy(0.1, layer));
+  EXPECT_FALSE(guard.EpochHealthy(0.1, layer));
+  EXPECT_TRUE(guard.EpochHealthy(0.1, layer));
+}
+
+TEST(TrainGuardTest, RollbackRestoresParametersAndBacksOffLr) {
+  Rng rng(5);
+  nn::Linear layer(4, 3, &rng);
+  nn::Adam opt(layer.Parameters(), /*lr=*/1e-2f);
+  TrainGuard guard("unit", TrainGuardOptions(), opt.lr());
+
+  std::vector<nn::Tensor> good;
+  for (const nn::Variable& p : layer.Parameters()) good.push_back(p.value());
+  guard.Snapshot(/*epoch=*/7, /*loss=*/0.25, layer, opt, /*rng_state=*/"");
+
+  // Blow the weights up, then roll back.
+  for (nn::Variable& p : layer.Parameters()) {
+    for (int i = 0; i < p.numel(); ++i) {
+      p.mutable_value()[i] = std::numeric_limits<float>::quiet_NaN();
+    }
+  }
+  const uint64_t retries_before = CounterValue("trainer.guard.retries");
+  StatusOr<TrainGuard::Rollback> rb = guard.TryRollback(&layer, &opt, nullptr);
+  ASSERT_TRUE(rb.ok()) << rb.status();
+  EXPECT_EQ(rb->epoch, 7);
+  EXPECT_FLOAT_EQ(rb->lr, 5e-3f);
+  EXPECT_FLOAT_EQ(opt.lr(), 5e-3f);
+  EXPECT_EQ(guard.retries_used(), 1);
+
+  std::vector<nn::Variable> params = layer.Parameters();
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (int j = 0; j < params[i].numel(); ++j) {
+      EXPECT_EQ(params[i].value()[j], good[i][j]) << "param " << i;
+    }
+  }
+  // The retry is visible in the metrics snapshot, globally and per stage.
+  EXPECT_EQ(CounterValue("trainer.guard.retries"), retries_before + 1);
+  EXPECT_GE(CounterValue("trainer.guard.unit.retries"), 1u);
+}
+
+TEST(TrainGuardTest, ExhaustedRetriesReturnInternalStatus) {
+  Rng rng(6);
+  nn::Linear layer(3, 2, &rng);
+  nn::Adam opt(layer.Parameters(), 1e-2f);
+  TrainGuardOptions options;
+  options.max_retries = 2;
+  TrainGuard guard("unit", options, opt.lr());
+  guard.Snapshot(0, 0.5, layer, opt, "");
+
+  EXPECT_TRUE(guard.TryRollback(&layer, &opt, nullptr).ok());
+  EXPECT_TRUE(guard.TryRollback(&layer, &opt, nullptr).ok());
+  StatusOr<TrainGuard::Rollback> exhausted =
+      guard.TryRollback(&layer, &opt, nullptr);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(guard.retries_used(), 2);
+}
+
+// ------------------------------------------------- trainer integration --
+
+struct GuardedSetup {
+  GuardedSetup(uint64_t model_seed, const TrainGuardOptions& guard_options)
+      : ds(data::BuildDataset(data::Synthetic3x3Config())),
+        train(GenerateTrainingData(ds, 4, 42)),
+        rng(model_seed) {
+    config.lstm_hidden = 8;
+    config.speed_head_hidden = 8;
+    config.tod_scale = static_cast<float>(train.tod_scale);
+    config.volume_norm = static_cast<float>(train.volume_norm);
+    config.speed_scale = static_cast<float>(train.speed_scale);
+    model = std::make_unique<OvsModel>(ds.num_od(), ds.num_links(),
+                                       ds.num_intervals(), ds.incidence,
+                                       config, &rng);
+    tc.stage1_epochs = 12;
+    tc.stage2_epochs = 5;
+    tc.recovery_epochs = 30;
+    tc.guard = guard_options;
+  }
+
+  data::Dataset ds;
+  TrainingData train;
+  Rng rng;
+  OvsConfig config;
+  TrainerConfig tc;
+  std::unique_ptr<OvsModel> model;
+};
+
+TEST(TrainGuardIntegrationTest, Stage1RollsBackRetriesAndConverges) {
+  TrainGuardOptions options;
+  options.fault_at_check = 3;  // two forced divergences mid-stage-1
+  options.fault_count = 2;
+  options.max_retries = 3;
+  GuardedSetup s(11, options);
+  OvsTrainer trainer(s.model.get(), s.tc);
+
+  const uint64_t retries_before = CounterValue("trainer.guard.retries");
+  StatusOr<std::vector<double>> curve = trainer.TrainVolumeSpeed(s.train);
+  ASSERT_TRUE(curve.ok()) << curve.status();
+  // The stage recovers to its full length with a finite, improving loss.
+  ASSERT_EQ(curve->size(), static_cast<size_t>(s.tc.stage1_epochs));
+  EXPECT_TRUE(std::isfinite(curve->back()));
+  EXPECT_LT(curve->back(), curve->front());
+  // Both forced divergences were retried, and the metrics snapshot says so.
+  EXPECT_EQ(CounterValue("trainer.guard.retries"), retries_before + 2);
+  EXPECT_GE(CounterValue("trainer.guard.stage1.retries"), 2u);
+}
+
+TEST(TrainGuardIntegrationTest, ExhaustedRetriesSurfaceStatusNotACrash) {
+  TrainGuardOptions options;
+  options.fault_at_check = 0;
+  options.fault_count = 1000;  // every check diverges: retries must cap out
+  options.max_retries = 2;
+  GuardedSetup s(12, options);
+  s.tc.stage1_epochs = 5;
+  OvsTrainer trainer(s.model.get(), s.tc);
+
+  StatusOr<std::vector<double>> curve = trainer.TrainVolumeSpeed(s.train);
+  ASSERT_FALSE(curve.ok());
+  EXPECT_EQ(curve.status().code(), StatusCode::kInternal);
+}
+
+TEST(TrainGuardIntegrationTest, RecoveryDivergenceReturnsInternal) {
+  // Train the mappings with a clean guard, then recover under a guard whose
+  // every check diverges: the recovery must hand back a Status instead of
+  // adopting garbage weights (or looping).
+  GuardedSetup s(13, TrainGuardOptions());
+  {
+    OvsTrainer trainer(s.model.get(), s.tc);
+    ASSERT_TRUE(trainer.TrainVolumeSpeed(s.train).ok());
+    ASSERT_TRUE(trainer.TrainTodVolume(s.train).ok());
+  }
+
+  TrainerConfig faulted = s.tc;
+  faulted.guard.fault_at_check = 0;
+  faulted.guard.fault_count = 1000;
+  faulted.guard.max_retries = 2;
+  OvsTrainer diverging(s.model.get(), faulted);
+  diverging.PrimeRecoveryPrior(s.train);
+  TrainingSample gt = SimulateGroundTruth(s.ds, 4242);
+  Rng rng(99);
+  StatusOr<od::TodTensor> recovered =
+      diverging.RecoverTod(gt.speed, nullptr, &rng);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kInternal);
+  // The model is left usable: mappings are unfrozen for the next attempt.
+  for (const nn::Variable& p : s.model->tod_volume().Parameters()) {
+    EXPECT_TRUE(p.requires_grad());
+  }
+}
+
+TEST(TrainGuardIntegrationTest, RollbackRetryDrillIsReproducible) {
+  TrainGuardOptions options;
+  options.fault_at_check = 2;
+  options.fault_count = 1;
+  auto run = [&options]() {
+    GuardedSetup s(21, options);
+    OvsTrainer trainer(s.model.get(), s.tc);
+    StatusOr<std::vector<double>> curve = trainer.TrainVolumeSpeed(s.train);
+    CHECK_OK(curve.status());
+    std::vector<float> params;
+    for (const nn::Variable& p : s.model->volume_speed().Parameters()) {
+      for (int i = 0; i < p.numel(); ++i) params.push_back(p.value()[i]);
+    }
+    return std::make_pair(std::move(curve).value(), std::move(params));
+  };
+  const auto [curve_a, params_a] = run();
+  const auto [curve_b, params_b] = run();
+  ASSERT_EQ(curve_a.size(), curve_b.size());
+  for (size_t i = 0; i < curve_a.size(); ++i) {
+    EXPECT_EQ(curve_a[i], curve_b[i]) << "epoch " << i;
+  }
+  ASSERT_EQ(params_a.size(), params_b.size());
+  for (size_t i = 0; i < params_a.size(); ++i) {
+    EXPECT_EQ(params_a[i], params_b[i]) << "param scalar " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ovs::core

@@ -5,13 +5,16 @@
 #include <tuple>
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 #include "core/trainer.h"
 #include "core/training_data.h"
 #include "data/cities.h"
 #include "eval/metrics.h"
+#include "sim/sensor_faults.h"
 
 namespace ovs::core {
 namespace {
@@ -55,7 +58,7 @@ class TrainerRobustnessTest : public ::testing::Test {
     OvsTrainer trainer(model_, tc);
     trainer.PrimeRecoveryPrior(*train_);
     Rng rng(31);
-    return trainer.RecoverTod(observed, nullptr, &rng);
+    return trainer.RecoverTod(observed, nullptr, &rng).value();
   }
 
   static data::Dataset* dataset_;
@@ -115,6 +118,60 @@ TEST_F(TrainerRobustnessTest, HuberRecoveryShrugsOffOutlierLinks) {
   const double drift_mse = eval::PaperRmse(base_mse.mat(), corrupt_mse.mat());
   EXPECT_LE(drift_huber, drift_mse * 1.05)
       << "Huber drift " << drift_huber << " vs MSE drift " << drift_mse;
+}
+
+TEST_F(TrainerRobustnessTest, MaskedRecoveryBeatsGarbageInUnderDropout) {
+  // The PR 5 acceptance bar: with 30% of speed cells dropped to NaN, the
+  // mask-aware recovery must finish with a finite, NaN-free TOD whose error
+  // against the hidden truth strictly beats the unmasked run that reads
+  // every dark sensor as 0 m/s (total-jam garbage-in) on the SAME corrupted
+  // observation. Light demand (0.5x) makes the comparison sharp: a dark
+  // cell read as a total jam biases the recovered demand upward, straight
+  // away from the light truth, while the masked run just ignores it.
+  od::TodTensor light = dataset_->ground_truth_tod;
+  light.Scale(0.5);
+  TrainingSample clean = SimulateTod(*dataset_, light, 4242);
+  DMat corrupted = clean.speed;
+  sim::SensorFaultConfig fault;
+  fault.dropout = 0.3;
+  sim::ApplySensorFaults(fault, &corrupted, /*volume=*/nullptr);
+  ASSERT_GT(sim::CountInvalidCells(corrupted), 0);
+
+  TrainerConfig tc;
+  tc.recovery_epochs = 120;
+  TrainerConfig masked = tc;
+  masked.mask_observations = true;
+  TrainerConfig garbage_in = tc;
+  garbage_in.mask_observations = false;
+
+  const od::TodTensor rec_masked = Recover(masked, corrupted);
+  const od::TodTensor rec_garbage = Recover(garbage_in, corrupted);
+  for (int i = 0; i < rec_masked.num_od(); ++i) {
+    for (int t = 0; t < rec_masked.num_intervals(); ++t) {
+      ASSERT_TRUE(std::isfinite(rec_masked.at(i, t)))
+          << "masked recovery produced a non-finite cell (" << i << "," << t
+          << ")";
+    }
+  }
+
+  const DMat& truth = light.mat();
+  const double err_masked = eval::PaperRmse(rec_masked.mat(), truth);
+  const double err_garbage = eval::PaperRmse(rec_garbage.mat(), truth);
+  EXPECT_TRUE(std::isfinite(err_masked));
+  EXPECT_LT(err_masked, err_garbage)
+      << "masked recovery RMSE " << err_masked
+      << " must strictly beat garbage-in RMSE " << err_garbage;
+}
+
+TEST_F(TrainerRobustnessTest, FullyDarkObservationIsInvalidArgument) {
+  DMat dark(dataset_->num_links(), dataset_->num_intervals());
+  dark.Fill(std::numeric_limits<double>::quiet_NaN());
+  OvsTrainer trainer(model_, TrainerConfig{});
+  trainer.PrimeRecoveryPrior(*train_);
+  Rng rng(31);
+  StatusOr<od::TodTensor> result = trainer.RecoverTod(dark, nullptr, &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(TrainerRobustnessTest, RecoveryIsDeterministicGivenSameState) {

@@ -701,6 +701,40 @@ void CheckRawOfstream(const FileCtx& ctx, std::vector<Diagnostic>* out) {
   }
 }
 
+// ----------------------------------------- rule: unguarded-observed-speed
+
+/// Baseline estimators receive the raw observed-speed matrix, which under
+/// sensor faults carries NaN cells. Reading its elements directly bypasses
+/// the validity mask and lets NaNs leak into fitness scores and losses —
+/// exactly the garbage-in failure the MaskedObservation view
+/// (baselines/observation.h) exists to prevent. Inside src/baselines/ every
+/// element read of `observed_speed` must go through MaskObservation();
+/// observation.{h,cc} itself is the one sanctioned reader.
+void CheckUnguardedObservedSpeed(const FileCtx& ctx,
+                                 std::vector<Diagnostic>* out) {
+  const bool covered = ctx.path.find("src/baselines/") != std::string::npos ||
+                       ctx.path.rfind("baselines/", 0) == 0;
+  if (!covered) return;
+  if (ctx.path.find("baselines/observation") != std::string::npos) return;
+
+  for (size_t pos = FindToken(ctx.code, "observed_speed", 0);
+       pos != std::string::npos;
+       pos = FindToken(ctx.code, "observed_speed", pos + 1)) {
+    size_t after = pos + std::string("observed_speed").size();
+    while (after < ctx.code.size() && ctx.code[after] == ' ') ++after;
+    const bool element_read =
+        ctx.code.compare(after, 4, ".at(") == 0 ||
+        ctx.code.compare(after, 6, ".data(") == 0 ||
+        (after < ctx.code.size() && ctx.code[after] == '[');
+    if (!element_read) continue;
+    Report(ctx, pos, "unguarded-observed-speed",
+           "direct element read of observed_speed in a baseline; go through "
+           "MaskObservation() (baselines/observation.h) so NaN cells stay "
+           "behind the validity mask",
+           out);
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& AllRules() {
@@ -726,6 +760,9 @@ const std::vector<RuleInfo>& AllRules() {
       {"raw-ofstream",
        "raw std::ofstream in src/ truncates on open and tears on crash; "
        "write through ovs::AtomicFileWriter (util/atomic_file.h)"},
+      {"unguarded-observed-speed",
+       "direct element read of observed_speed inside src/baselines/ bypasses "
+       "the validity mask; use MaskObservation (baselines/observation.h)"},
   };
   return kRules;
 }
@@ -741,6 +778,7 @@ std::vector<Diagnostic> LintContent(const std::string& path,
   CheckParallelForCapture(ctx, &out);
   CheckWallclockInCore(ctx, &out);
   CheckRawOfstream(ctx, &out);
+  CheckUnguardedObservedSpeed(ctx, &out);
   std::sort(out.begin(), out.end(), [](const Diagnostic& a,
                                        const Diagnostic& b) {
     if (a.file != b.file) return a.file < b.file;
