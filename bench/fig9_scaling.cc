@@ -84,5 +84,37 @@ int main(int argc, char** argv) {
   std::printf(
       "Expected shape: total time grows ~linearly with the intersection "
       "count (paper Fig. 9).\n");
+
+  // Companion series: the simulator-bound data-generation stage at explicit
+  // pool sizes, plus the serial reference sweep the determinism suite diffs
+  // against. Outputs are bitwise-identical on every row; only wall time
+  // changes (on a single-core host the threaded rows mostly expose pool
+  // coordination overhead).
+  Table threads_table("Fig. 9 companion — datagen wall time vs thread count");
+  threads_table.SetHeader({"sweep", "threads", "datagen(s)"});
+  const int pool_before = GlobalThreadCount();
+  struct ThreadRow {
+    bool force_serial;
+    int threads;
+  };
+  for (const ThreadRow row : {ThreadRow{true, 1}, ThreadRow{false, 1},
+                              ThreadRow{false, 2}, ThreadRow{false, 4}}) {
+    SetGlobalThreads(row.threads);
+    data::Dataset dataset = data::BuildDataset(data::ScalingConfig(100));
+    dataset.engine_config.force_serial_sweep = row.force_serial;
+    Timer datagen;
+    core::TrainingData train =
+        core::GenerateTrainingData(dataset, train_samples, 2002);
+    const double datagen_s = datagen.ElapsedSeconds();
+    std::ignore = train;
+    threads_table.AddRow({row.force_serial ? "serial" : "parallel",
+                          std::to_string(row.threads),
+                          Table::Cell(datagen_s, 2)});
+    std::printf("[fig9] datagen %s @%d thread(s): %.2f s\n",
+                row.force_serial ? "serial-reference" : "parallel",
+                row.threads, datagen_s);
+  }
+  SetGlobalThreads(pool_before);
+  threads_table.Print();
   return session.Close() ? 0 : 1;
 }

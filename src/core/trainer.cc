@@ -372,7 +372,9 @@ StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
       min_d = std::min(min_d, d);
     }
     std::vector<double> sorted = dists;
-    std::sort(sorted.begin(), sorted.end());
+    // Sorting raw doubles: equal keys are indistinguishable values, so the
+    // unstable tie order cannot change the selected median.
+    std::sort(sorted.begin(), sorted.end());  // ovs-lint: allow(nonstable-sort)
     const double median_d = sorted[sorted.size() / 2];
     const double bandwidth = std::max({0.1, min_d, 0.5 * median_d});
     double w_sum = 0.0, level_sum = 0.0;

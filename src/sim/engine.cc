@@ -11,9 +11,16 @@ namespace ovs::sim {
 
 namespace {
 
-/// Block size for the per-link ParallelFors. Per-link work is light, so
-/// small grids stay on the calling thread and only city-scale nets fan out.
+/// Block size for the light per-link ParallelFors (actuation scan, sensing,
+/// interval flush). Small grids stay on the calling thread and only
+/// city-scale nets fan out.
 constexpr int64_t kLinkGrain = 256;
+
+/// Block size for the phase-1 movement sweep, which does the Krauss physics
+/// for every vehicle on the link and is an order of magnitude heavier per
+/// link. The grain only affects scheduling, never results: phase-1 links are
+/// mutually independent by construction.
+constexpr int64_t kMoveGrain = 64;
 
 }  // namespace
 
@@ -24,9 +31,12 @@ Engine::Engine(const RoadNet* net, EngineConfig config)
   CHECK_GT(config_.interval_s, 0.0);
   CHECK_GT(config_.duration_s, 0.0);
   link_states_.resize(net_->num_links());
+  lane_offset_.resize(net_->num_links());
   for (const Link& l : net_->links()) {
     link_states_[l.id].lanes.resize(l.num_lanes);
     link_states_[l.id].usable_lanes = l.num_lanes;
+    lane_offset_[l.id] = total_lanes_;
+    total_lanes_ += l.num_lanes;
   }
   speed_sum_.resize(net_->num_links(), 0.0);
   speed_obs_.resize(net_->num_links(), 0);
@@ -67,10 +77,16 @@ void Engine::AddTrip(TripRequest trip) {
     CHECK_EQ(net_->link(trip.route[i]).to, net_->link(trip.route[i + 1]).from)
         << "disconnected route";
   }
-  VehicleState v;
-  v.route = std::move(trip.route);
-  v.depart_time_s = trip.depart_time_s;
-  vehicles_.push_back(std::move(v));
+  route_links_.insert(route_links_.end(), trip.route.begin(), trip.route.end());
+  route_begin_.push_back(static_cast<int32_t>(route_links_.size()));
+  route_idx_.push_back(0);
+  lane_.push_back(0);
+  pos_.push_back(0.0);
+  speed_.push_back(0.0);
+  depart_time_.push_back(trip.depart_time_s);
+  spawn_time_.push_back(-1.0);
+  active_.push_back(0);
+  traces_.emplace_back();
 }
 
 double Engine::LinkDesiredSpeed(LinkId id) const {
@@ -80,8 +96,13 @@ double Engine::LinkDesiredSpeed(LinkId id) const {
 double Engine::LaneRearSpace(LinkId link, int lane) const {
   const auto& q = link_states_[link].lanes[lane];
   if (q.empty()) return net_->link(link).length_m;
-  const VehicleState& last = vehicles_[q.back()];
-  return last.pos_m - config_.car_following.vehicle_length;
+  return pos_[q.back()] - config_.car_following.vehicle_length;
+}
+
+double Engine::LaneRearSpacePrev(LinkId link, int lane) const {
+  const auto& q = link_states_[link].lanes[lane];
+  if (q.empty()) return net_->link(link).length_m;
+  return prev_pos_[q.back()] - config_.car_following.vehicle_length;
 }
 
 int Engine::PickEntryLane(LinkId link, double entry_pos) const {
@@ -99,30 +120,183 @@ int Engine::PickEntryLane(LinkId link, double entry_pos) const {
   return best;
 }
 
+int Engine::PickEntryLanePrev(LinkId link, double entry_pos) const {
+  const LinkRuntime& state = link_states_[link];
+  int best = -1;
+  double best_space = -1.0;
+  for (int lane = 0; lane < state.usable_lanes; ++lane) {
+    const double space = LaneRearSpacePrev(link, lane);
+    if (space - entry_pos >= config_.car_following.min_gap &&
+        space > best_space) {
+      best = lane;
+      best_space = space;
+    }
+  }
+  return best;
+}
+
 bool Engine::TrySpawn(int vehicle_idx, double now) {
-  VehicleState& v = vehicles_[vehicle_idx];
-  const LinkId first = v.route[0];
+  const LinkId first = RouteLinkAt(vehicle_idx, 0);
   const int lane = PickEntryLane(first, 0.0);
   if (lane < 0) return false;
-  v.active = true;
-  v.lane = lane;
-  v.pos_m = 0.0;
-  v.speed = 0.5 * LinkDesiredSpeed(first);
-  v.spawn_time_s = now;
-  v.route_idx = 0;
+  active_[vehicle_idx] = 1;
+  lane_[vehicle_idx] = lane;
+  pos_[vehicle_idx] = 0.0;
+  speed_[vehicle_idx] = 0.5 * LinkDesiredSpeed(first);
+  spawn_time_[vehicle_idx] = now;
+  route_idx_[vehicle_idx] = 0;
   link_states_[first].lanes[lane].push_back(vehicle_idx);
   ++active_count_;
+  ++spawned_count_;
   if (config_.record_trajectories) {
-    v.trace.route.push_back(first);
-    v.trace.entry_times.push_back(now);
+    traces_[vehicle_idx].route.push_back(first);
+    traces_[vehicle_idx].entry_times.push_back(now);
   }
   return true;
 }
 
-void Engine::Step(int step, double now, int interval, SensorData* out) {
+void Engine::SweepLinkPhase1(LinkId id, double now, LaneIntent* intents,
+                            uint32_t* link_vehicle_steps) {
   const CarFollowingParams& cf = config_.car_following;
   const double dt = config_.dt_s;
+  const Link& link = net_->link(id);
+  LinkRuntime& state = link_states_[id];
+  const double desired = LinkDesiredSpeed(id);
+  uint32_t steps_here = 0;
 
+  const int lanes = static_cast<int>(state.lanes.size());
+  for (int lane = 0; lane < lanes; ++lane) {
+    auto& lane_q = state.lanes[lane];
+    // Front-to-back: followers see their leader's already-updated state,
+    // which keeps platoons stable at dt = 1 s. The whole lane is owned by
+    // this call, so that read is same-thread and deterministic.
+    for (size_t i = 0; i < lane_q.size(); ++i) {
+      const int vid = lane_q[i];
+      ++steps_here;
+      double gap;
+      double leader_speed;
+      bool green = false;
+      LinkId next = -1;
+      const bool last_link = route_idx_[vid] + 1 == RouteLength(vid);
+
+      if (i > 0) {
+        const int leader = lane_q[i - 1];
+        gap = pos_[leader] - cf.vehicle_length - pos_[vid];
+        leader_speed = speed_[leader];
+      } else {
+        // Front vehicle: look across the intersection. All cross-link reads
+        // below go through the prev_* double buffer, so the outcome cannot
+        // depend on how far other links have progressed within this step.
+        const double dist_to_end = link.length_m - pos_[vid];
+        if (last_link) {
+          // Destination at the link end: drive freely off the network.
+          gap = dist_to_end + 100.0;
+          leader_speed = desired;
+        } else {
+          green = MovementIsGreen(id, now);
+          next = RouteLinkAt(vid, route_idx_[vid] + 1);
+          const int next_lane = green ? PickEntryLanePrev(next, 0.0) : -1;
+          if (next_lane >= 0) {
+            // Gap extends into the next link up to its rear space. This is
+            // only a speed estimate: the authoritative entry decision is
+            // re-made by phase 2 against committed state.
+            gap = dist_to_end + LaneRearSpacePrev(next, next_lane) - cf.min_gap;
+            const auto& next_q = link_states_[next].lanes[next_lane];
+            leader_speed = next_q.empty() ? desired : prev_speed_[next_q.back()];
+          } else {
+            // Red light, or no room as of the previous step: pull up to the
+            // stop line. If green, the vehicle still bids for a crossing
+            // below — space may open this very step, and phase 2 must get
+            // the chance to claim it before same-step spawning does.
+            gap = dist_to_end;
+            leader_speed = 0.0;
+          }
+        }
+      }
+
+      speed_[vid] = KraussNextSpeed(speed_[vid], desired, gap, leader_speed,
+                                    dt, cf);
+      const double new_pos = pos_[vid] + speed_[vid] * dt;
+
+      if (new_pos >= link.length_m && i == 0) {
+        if (last_link) {
+          LaneIntent& intent = intents[lane_offset_[id] + lane];
+          intent.kind = IntentKind::kComplete;
+          intent.vehicle = vid;
+        } else if (green) {
+          LaneIntent& intent = intents[lane_offset_[id] + lane];
+          intent.kind = IntentKind::kCross;
+          intent.vehicle = vid;
+          intent.next_link = next;
+          intent.overshoot_m = new_pos - link.length_m;
+        } else {
+          speed_[vid] = 0.0;  // held at the red light
+        }
+      }
+      pos_[vid] = std::min(new_pos, link.length_m);
+    }
+  }
+  link_vehicle_steps[id] = steps_here;
+}
+
+void Engine::ApplyTransfersPhase2(const LaneIntent* intents, double now,
+                                  int interval, SensorData* out) {
+  const CarFollowingParams& cf = config_.car_following;
+  // Canonical commit order — ascending link id, then lane index — is the
+  // whole determinism story: phase 1 may run under any sharding, but the
+  // queue mutations below always happen in this exact sequence.
+  const int num_links = net_->num_links();
+  for (LinkId id = 0; id < num_links; ++id) {
+    LinkRuntime& state = link_states_[id];
+    const int lanes = static_cast<int>(state.lanes.size());
+    for (int lane = 0; lane < lanes; ++lane) {
+      const LaneIntent& intent = intents[lane_offset_[id] + lane];
+      if (intent.kind == IntentKind::kNone) continue;
+      auto& lane_q = state.lanes[lane];
+      const int vid = intent.vehicle;
+      CHECK(!lane_q.empty());
+      CHECK_EQ(lane_q.front(), vid);
+
+      if (intent.kind == IntentKind::kComplete) {
+        lane_q.pop_front();
+        active_[vid] = 0;
+        --active_count_;
+        ++completed_count_;
+        // Travel time counts from the *requested* departure: time spent
+        // queued waiting to enter the network is part of the trip.
+        total_travel_time_s_ += now - depart_time_[vid];
+        if (config_.record_trajectories) traces_[vid].finish_time_s = now;
+        continue;
+      }
+
+      // kCross: the entry lane is picked here, against committed state —
+      // the phase-1 look was a one-step-stale estimate, and an earlier
+      // transfer this phase may have consumed the space it saw (or opened
+      // new space). Rejection is itself deterministic (same canonical order
+      // every run), and the vehicle simply waits at the stop line.
+      const int next_lane = PickEntryLane(intent.next_link, 0.0);
+      if (next_lane < 0) {
+        pos_[vid] = net_->link(id).length_m;
+        speed_[vid] = 0.0;
+        continue;
+      }
+      const double rear =
+          LaneRearSpace(intent.next_link, next_lane) - cf.min_gap;
+      lane_q.pop_front();
+      ++route_idx_[vid];
+      lane_[vid] = next_lane;
+      pos_[vid] = std::clamp(intent.overshoot_m, 0.0, rear);
+      link_states_[intent.next_link].lanes[next_lane].push_back(vid);
+      out->volume.at(intent.next_link, interval) += 1.0;
+      if (config_.record_trajectories) {
+        traces_[vid].route.push_back(intent.next_link);
+        traces_[vid].entry_times.push_back(now);
+      }
+    }
+  }
+}
+
+void Engine::Step(int step, double now, int interval, SensorData* out) {
   // Actuated control: collect per-approach calls, then advance the
   // controller before movement decisions are made this step.
   if (actuated_ != nullptr) {
@@ -134,8 +308,8 @@ void Engine::Step(int step, double now, int interval, SensorData* out) {
         char demand = 0;
         for (const auto& lane_q : link_states_[id].lanes) {
           if (lane_q.empty()) continue;
-          const VehicleState& front = vehicles_[lane_q.front()];
-          if (link.length_m - front.pos_m <= config_.actuation_distance_m) {
+          if (link.length_m - pos_[lane_q.front()] <=
+              config_.actuation_distance_m) {
             demand = 1;
             break;
           }
@@ -146,134 +320,62 @@ void Engine::Step(int step, double now, int interval, SensorData* out) {
     actuated_->Update(now, approach_demand_);
   }
 
-  // Sequential front-to-back update per lane. Followers see their leader's
-  // already-updated position, which keeps platoons stable at dt = 1 s.
-  // This sweep stays serial on purpose: crossings couple links (a front
-  // vehicle reads the *current* rear space of its next link and pushes
-  // itself into that link's lane queue), so the outcome depends on link
-  // visit order. Parallelizing it would either race on the lane queues or
-  // change results with the thread count, breaking the bitwise-determinism
-  // guarantee the parallel layer makes (see DESIGN.md).
-  for (const Link& link : net_->links()) {
-    LinkRuntime& state = link_states_[link.id];
-    const double desired = LinkDesiredSpeed(link.id);
-    for (auto& lane_q : state.lanes) {
-      for (size_t i = 0; i < lane_q.size();) {
-        const int vid = lane_q[i];
-        VehicleState& v = vehicles_[vid];
-        if (v.last_step == step) {
-          // Already updated this step (crossed in from an earlier link).
-          ++i;
-          continue;
-        }
-        v.last_step = step;
-        ++total_vehicle_steps_;
-        double gap;
-        double leader_speed;
-        bool can_cross = false;
-        int next_lane = -1;
+  // Publish the previous step's committed kinematics into the read buffer
+  // phase 1 uses for cross-link looks. Vector assignment reuses capacity,
+  // so this is a flat memcpy per step.
+  prev_pos_ = pos_;
+  prev_speed_ = speed_;
 
-        if (i > 0) {
-          const VehicleState& leader = vehicles_[lane_q[i - 1]];
-          gap = leader.pos_m - cf.vehicle_length - v.pos_m;
-          leader_speed = leader.speed;
-        } else {
-          // Front vehicle: look across the intersection.
-          const double dist_to_end = link.length_m - v.pos_m;
-          const bool last_link =
-              v.route_idx + 1 == static_cast<int>(v.route.size());
-          if (last_link) {
-            // Destination at the link end: drive freely off the network.
-            gap = dist_to_end + 100.0;
-            leader_speed = desired;
-            can_cross = true;
-          } else {
-            const bool green = MovementIsGreen(link.id, now);
-            const LinkId next = v.route[v.route_idx + 1];
-            next_lane = green ? PickEntryLane(next, 0.0) : -1;
-            if (green && next_lane >= 0) {
-              can_cross = true;
-              // Gap extends into the next link up to its rear space.
-              gap = dist_to_end + LaneRearSpace(next, next_lane) - cf.min_gap;
-              const auto& next_q = link_states_[next].lanes[next_lane];
-              leader_speed =
-                  next_q.empty() ? desired : vehicles_[next_q.back()].speed;
-            } else {
-              // Red light or blocked: stop at the stop line.
-              gap = dist_to_end;
-              leader_speed = 0.0;
-            }
-          }
-        }
+  step_arena_.Reset();
+  LaneIntent* intents = step_arena_.NewArray<LaneIntent>(total_lanes_);
+  uint32_t* link_vehicle_steps =
+      step_arena_.NewArray<uint32_t>(net_->num_links());
 
-        v.speed = KraussNextSpeed(v.speed, desired, gap, leader_speed, dt, cf);
-        double new_pos = v.pos_m + v.speed * dt;
-
-        if (new_pos >= link.length_m && i == 0) {
-          const bool last_link =
-              v.route_idx + 1 == static_cast<int>(v.route.size());
-          if (last_link) {
-            // Trip complete.
-            v.active = false;
-            --active_count_;
-            ++completed_count_;
-            // Travel time counts from the *requested* departure: time spent
-            // queued waiting to enter the network is part of the trip.
-            total_travel_time_s_ += now - v.depart_time_s;
-            if (config_.record_trajectories) v.trace.finish_time_s = now;
-            lane_q.pop_front();
-            continue;  // i stays 0, next vehicle becomes front
-          }
-          if (can_cross) {
-            const LinkId next = v.route[v.route_idx + 1];
-            double overshoot = new_pos - link.length_m;
-            const double rear =
-                LaneRearSpace(next, next_lane) - cf.min_gap;
-            overshoot = std::clamp(overshoot, 0.0, std::max(0.0, rear));
-            lane_q.pop_front();
-            ++v.route_idx;
-            v.lane = next_lane;
-            v.pos_m = overshoot;
-            link_states_[next].lanes[next_lane].push_back(vid);
-            out->volume.at(next, interval) += 1.0;
-            if (config_.record_trajectories) {
-              v.trace.route.push_back(next);
-              v.trace.entry_times.push_back(now);
-            }
-            continue;  // front slot re-evaluated for the next vehicle
-          }
-          new_pos = link.length_m;  // hold at the stop line
-          v.speed = 0.0;
-        }
-
-        v.pos_m = std::min(new_pos, link.length_m);
-        ++i;
-      }
+  // Phase 1: per-link kinematics + boundary intents. Links are mutually
+  // independent (cross-link reads hit the prev_* buffer, writes touch only
+  // the link's own vehicles and intent slots), so any sharding produces the
+  // same result. force_serial_sweep runs the identical kernel on the
+  // calling thread — the differential reference the determinism tests
+  // compare against.
+  const auto sweep = [&](int64_t lo, int64_t hi) {
+    for (int64_t id = lo; id < hi; ++id) {
+      SweepLinkPhase1(static_cast<LinkId>(id), now, intents,
+                      link_vehicle_steps);
     }
+  };
+  if (config_.force_serial_sweep) {
+    sweep(0, net_->num_links());
+  } else {
+    ParallelFor(0, net_->num_links(), kMoveGrain, sweep);
   }
+  for (int id = 0; id < net_->num_links(); ++id) {
+    total_vehicle_steps_ += link_vehicle_steps[id];
+  }
+
+  // Phase 2: serial canonical-order commit of completions and transfers.
+  ApplyTransfersPhase2(intents, now, interval, out);
 
   // Spawn pending demand whose departure time has arrived. FIFO is enforced
   // per entry link: a full link defers its own queue without starving other
   // origins.
-  if (!pending_.empty() && vehicles_[pending_.front()].depart_time_s <= now) {
-    std::vector<char> blocked(net_->num_links(), 0);
-    std::deque<int> still_pending;
+  if (!pending_.empty() && depart_time_[pending_.front()] <= now) {
+    char* blocked = step_arena_.NewArray<char>(net_->num_links());
+    spawn_deferred_.clear();
     while (!pending_.empty()) {
       const int vid = pending_.front();
-      if (vehicles_[vid].depart_time_s > now) break;
+      if (depart_time_[vid] > now) break;
       pending_.pop_front();
-      const LinkId entry = vehicles_[vid].route[0];
+      const LinkId entry = RouteLinkAt(vid, 0);
       if (blocked[entry] || !TrySpawn(vid, now)) {
         blocked[entry] = 1;
-        still_pending.push_back(vid);
+        spawn_deferred_.push_back(vid);
         continue;
       }
-      vehicles_[vid].last_step = step;
       out->volume.at(entry, interval) += 1.0;
-      ++out->spawned_trips;
     }
     // Deferred vehicles go back to the front, in order, before untouched ones.
-    for (auto it = still_pending.rbegin(); it != still_pending.rend(); ++it) {
+    for (auto it = spawn_deferred_.rbegin(); it != spawn_deferred_.rend();
+         ++it) {
       pending_.push_front(*it);
     }
   }
@@ -287,7 +389,7 @@ void Engine::Step(int step, double now, int interval, SensorData* out) {
     for (int64_t id = lo; id < hi; ++id) {
       for (const auto& lane_q : link_states_[id].lanes) {
         for (int vid : lane_q) {
-          speed_sum_[id] += vehicles_[vid].speed;
+          speed_sum_[id] += speed_[vid];
           speed_obs_[id] += 1;
         }
       }
@@ -295,6 +397,7 @@ void Engine::Step(int step, double now, int interval, SensorData* out) {
   });
 
   OVS_COUNTER_INC("sim.steps");
+  if (step_observer_) step_observer_(*this, step);
 }
 
 SensorData Engine::Run() {
@@ -308,11 +411,12 @@ SensorData Engine::Run() {
   out.volume = DMat(net_->num_links(), intervals);
   out.speed = DMat(net_->num_links(), intervals);
 
-  // Order demand by departure time.
-  std::vector<int> order(vehicles_.size());
+  // Order demand by departure time. stable_sort: equal departure times keep
+  // AddTrip order, independent of the sort implementation.
+  std::vector<int> order(pos_.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
-    return vehicles_[a].depart_time_s < vehicles_[b].depart_time_s;
+    return depart_time_[a] < depart_time_[b];
   });
   pending_.assign(order.begin(), order.end());
 
@@ -364,15 +468,16 @@ SensorData Engine::Run() {
   OVS_COUNTER_ADD("sim.completed_trips",
                   static_cast<uint64_t>(completed_count_));
 
+  out.spawned_trips = spawned_count_;
   out.completed_trips = completed_count_;
   out.unspawned_trips = static_cast<int>(pending_.size());
   out.mean_travel_time_s =
       completed_count_ > 0 ? total_travel_time_s_ / completed_count_ : 0.0;
   if (config_.record_trajectories) {
-    out.trajectories.reserve(vehicles_.size());
-    for (VehicleState& v : vehicles_) {
-      v.trace.depart_time_s = v.depart_time_s;
-      out.trajectories.push_back(std::move(v.trace));
+    out.trajectories.reserve(traces_.size());
+    for (size_t v = 0; v < traces_.size(); ++v) {
+      traces_[v].depart_time_s = depart_time_[v];
+      out.trajectories.push_back(std::move(traces_[v]));
     }
   }
   return out;

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "sim/router.h"
 #include "sim/sensor_faults.h"
 #include "sim/signal.h"
+#include "util/arena.h"
 #include "util/mat.h"
 
 namespace ovs::sim {
@@ -41,6 +43,12 @@ struct EngineConfig {
   /// sim/sensor_faults.h). All-off by default; deterministic given the
   /// fault seed regardless of thread count.
   SensorFaultConfig sensor_faults;
+  /// Runs the phase-1 movement sweep serially in canonical link order
+  /// instead of sharding it over the thread pool. This is the differential
+  /// reference for the determinism contract: the parallel sweep must be
+  /// bitwise-identical to this mode at every thread count
+  /// (tests/sim_determinism_test.cc and the CI sim-parity job enforce it).
+  bool force_serial_sweep = false;
 
   int NumIntervals() const {
     // At least one sensor bucket even when the horizon is shorter than the
@@ -92,7 +100,14 @@ struct SensorData {
 
 /// Microscopic traffic simulator: Krauss car-following on multi-lane links,
 /// two-phase fixed signals, queue spillback across links, and per-interval
-/// link sensors. Deterministic: same network + trips => same sensor output.
+/// link sensors. Deterministic: same network + trips => same sensor output,
+/// bitwise, at any thread count.
+///
+/// Vehicle state lives in structure-of-arrays form and each step runs a
+/// two-phase sweep: phase 1 computes kinematics and boundary intents per
+/// link in parallel (cross-link reads go through a double buffer of the
+/// previous step's state), phase 2 commits completions and link transfers
+/// serially in canonical link-id order. See DESIGN.md "Parallel simulator".
 ///
 /// Usage: construct, optionally ApplyRoadWork, AddTrip for every vehicle,
 /// then Run() once. The engine is single-shot; build a new one per scenario.
@@ -119,20 +134,38 @@ class Engine {
 
   const EngineConfig& config() const { return config_; }
 
- private:
-  struct VehicleState {
-    Route route;
-    int route_idx = 0;
-    int lane = 0;
-    double pos_m = 0.0;
-    double speed = 0.0;
-    double depart_time_s = 0.0;
-    double spawn_time_s = -1.0;
-    bool active = false;
-    int last_step = -1;  ///< guards against double-update after crossing
-    VehicleTrace trace;  ///< populated only when recording trajectories
-  };
+  // --- Introspection for the invariant/property tests -------------------
+  // These expose committed (post-step) state only; none of them mutate.
 
+  /// Total vehicles added via AddTrip with a non-empty route.
+  int num_vehicles() const { return static_cast<int>(pos_.size()); }
+  /// Vehicles that have entered the network so far.
+  int spawned_trips() const { return spawned_count_; }
+  /// Trips finished so far (includes empty-route trips completed at AddTrip).
+  int completed_trips() const { return completed_count_; }
+  int num_lanes(LinkId link) const {
+    return static_cast<int>(link_states_[link].lanes.size());
+  }
+  /// Lane queue, front (largest pos) first.
+  const std::deque<int>& lane_queue(LinkId link, int lane) const {
+    return link_states_[link].lanes[lane];
+  }
+  double vehicle_pos(int v) const { return pos_[v]; }
+  double vehicle_speed(int v) const { return speed_[v]; }
+  bool vehicle_active(int v) const { return active_[v] != 0; }
+  /// Link the vehicle currently occupies, or -1 when not on the network.
+  LinkId vehicle_link(int v) const {
+    return active_[v] ? route_links_[route_begin_[v] + route_idx_[v]] : -1;
+  }
+
+  /// Invoked after every completed step (movement, transfers, spawning,
+  /// sensing) with the engine in a consistent committed state. Test-only
+  /// hook for per-step invariant checking; keep the callback cheap.
+  void SetStepObserver(std::function<void(const Engine&, int step)> observer) {
+    step_observer_ = std::move(observer);
+  }
+
+ private:
   struct LinkRuntime {
     /// Vehicle indices per lane, ordered front (largest pos) first.
     std::vector<std::deque<int>> lanes;
@@ -140,22 +173,64 @@ class Engine {
     int usable_lanes = 1;
   };
 
+  /// What a lane's front vehicle wants to do at the link boundary this step.
+  /// At most one intent per lane per step; phase 2 commits them serially.
+  enum class IntentKind : uint8_t {
+    kNone = 0,
+    kComplete,  ///< front vehicle finishes its trip at the link end
+    kCross,     ///< front vehicle transfers into next_link/next_lane
+  };
+  struct LaneIntent {
+    IntentKind kind = IntentKind::kNone;
+    int32_t vehicle = -1;
+    LinkId next_link = -1;
+    double overshoot_m = 0.0;  ///< distance past the stop line, pre-clamp
+  };
+
+  int RouteLength(int v) const { return route_begin_[v + 1] - route_begin_[v]; }
+  LinkId RouteLinkAt(int v, int idx) const {
+    return route_links_[route_begin_[v] + idx];
+  }
+
   /// Effective top speed on a link (limit x road-work factor).
   double LinkDesiredSpeed(LinkId id) const;
 
   /// Picks the lane on `link` with the most rear space; returns the lane
   /// index, or -1 if no lane can accept a vehicle at position `entry_pos`.
+  /// Reads committed state; used by spawning and phase-2 re-validation.
   int PickEntryLane(LinkId link, double entry_pos) const;
+  /// Same, but reads the previous step's double buffer. Phase 1 must use
+  /// this for cross-link looks so its result cannot depend on how far other
+  /// links have progressed within the current step.
+  int PickEntryLanePrev(LinkId link, double entry_pos) const;
 
   /// Rear space available on a lane: position of its last vehicle minus its
   /// length, or the link length when empty.
   double LaneRearSpace(LinkId link, int lane) const;
+  double LaneRearSpacePrev(LinkId link, int lane) const;
 
   /// Attempts to place vehicle `v` at the head of its first link.
   bool TrySpawn(int vehicle_idx, double now);
 
-  /// One dt step of car following + transitions + sensing.
+  /// One dt step: two-phase movement sweep + spawning + sensing.
   void Step(int step, double now, int interval, SensorData* out);
+
+  /// Phase 1 for one link: advance every vehicle on it (front-to-back per
+  /// lane) and record at most one boundary intent per lane into `intents`
+  /// (indexed by lane_offset_[link] + lane). Writes only this link's
+  /// vehicles and intent slots, reads other links only through the prev_*
+  /// double buffer — safe and order-independent under any link sharding.
+  void SweepLinkPhase1(LinkId id, double now, LaneIntent* intents,
+                      uint32_t* link_vehicle_steps);
+
+  /// Phase 2: commit completions and transfers serially in canonical order
+  /// (ascending link id, then lane index). Each crossing picks its entry
+  /// lane against *committed* state — the phase-1 look was only a one-step
+  /// stale speed estimate — so earlier transfers can deterministically
+  /// reject later ones when the target link fills up, and a crossing never
+  /// loses its slot to same-step spawning (spawns run after phase 2).
+  void ApplyTransfersPhase2(const LaneIntent* intents, double now,
+                            int interval, SensorData* out);
 
   /// True when the movement out of `link` may cross at `now`.
   bool MovementIsGreen(LinkId link, double now) const;
@@ -166,11 +241,37 @@ class Engine {
   std::unique_ptr<ActuatedSignalController> actuated_;
   std::vector<char> approach_demand_;  ///< scratch, per link per step
 
-  std::vector<VehicleState> vehicles_;
+  // Vehicle state, structure-of-arrays. Routes are CSR-flattened: vehicle
+  // v's route is route_links_[route_begin_[v] .. route_begin_[v+1]).
+  std::vector<LinkId> route_links_;
+  std::vector<int32_t> route_begin_{0};
+  std::vector<int32_t> route_idx_;   ///< index of current link within route
+  std::vector<int32_t> lane_;
+  std::vector<double> pos_;
+  std::vector<double> speed_;
+  /// Double buffer: kinematics as committed at the end of the previous
+  /// step. Phase 1 reads *other* links' vehicles only through these two.
+  std::vector<double> prev_pos_;
+  std::vector<double> prev_speed_;
+  std::vector<double> depart_time_;
+  std::vector<double> spawn_time_;
+  std::vector<char> active_;
+  std::vector<VehicleTrace> traces_;
+
   std::vector<LinkRuntime> link_states_;
+  /// Global lane index = lane_offset_[link] + lane; flat addressing for the
+  /// per-step intent array.
+  std::vector<int32_t> lane_offset_;
+  int total_lanes_ = 0;
+  /// Per-step scratch (intent slots, per-link counters, spawn flags); Reset
+  /// at every step, so steady-state steps do no heap allocation.
+  Arena step_arena_;
+  std::vector<int> spawn_deferred_;  ///< scratch, reused across steps
+
   std::deque<int> pending_;  ///< vehicle indices not yet spawned, by depart time
   int active_count_ = 0;
   int completed_count_ = 0;
+  int spawned_count_ = 0;
   double total_travel_time_s_ = 0.0;
   bool ran_ = false;
   /// Vehicle-updates executed across all steps; published as the
@@ -180,6 +281,8 @@ class Engine {
   // Per-interval scratch accumulators for speed sensing.
   std::vector<double> speed_sum_;   // per link, current interval
   std::vector<int> speed_obs_;      // per link, current interval
+
+  std::function<void(const Engine&, int step)> step_observer_;
 };
 
 /// Convenience wrapper: builds an engine, loads `trips`, applies `works`, and

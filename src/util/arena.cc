@@ -1,0 +1,49 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+namespace ovs {
+
+Arena::Arena(size_t min_block_bytes)
+    : min_block_bytes_(std::max<size_t>(min_block_bytes, 64)) {}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  CHECK_GT(alignment, 0u);
+  CHECK_EQ(alignment & (alignment - 1), 0u) << "alignment must be a power of 2";
+  CHECK_LE(alignment, alignof(std::max_align_t))
+      << "over-aligned types are not supported";
+  // Zero-byte arrays still need a unique address.
+  if (bytes == 0) bytes = 1;
+
+  for (;;) {
+    if (current_ < blocks_.size()) {
+      Block& block = blocks_[current_];
+      const size_t aligned = (offset_ + alignment - 1) & ~(alignment - 1);
+      if (aligned + bytes <= block.size) {
+        offset_ = aligned + bytes;
+        bytes_allocated_ += bytes;
+        return block.data.get() + aligned;
+      }
+      // Block exhausted (or too small for this request): move on. The
+      // leftover tail is wasted until the next Reset, which is fine for
+      // scratch whose total size is stable step over step.
+      ++current_;
+      offset_ = 0;
+      continue;
+    }
+    // No existing block fits: grow the pool. `new unsigned char[n]` is
+    // aligned for std::max_align_t, so block bases satisfy every alignment
+    // accepted above.
+    const size_t size = std::max(min_block_bytes_, bytes + alignment);
+    blocks_.push_back({std::make_unique<unsigned char[]>(size), size});
+    bytes_reserved_ += size;
+  }
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace ovs

@@ -43,6 +43,8 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.sensor_fault = arg.substr(std::strlen(kSensorFault));
     } else if (arg == "--resume") {
       args.resume = true;
+    } else if (arg == "--force_serial_sweep") {
+      args.force_serial_sweep = true;
     }
   }
   return args;

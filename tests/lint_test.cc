@@ -414,6 +414,47 @@ TEST(LintObservedSpeedTest, Suppressible) {
   EXPECT_TRUE(diags.empty());
 }
 
+// ----------------------------------------------------------- nonstable-sort
+
+TEST(LintNonstableSortTest, FlagsStdSortAndPartialSort) {
+  auto diags = Lint(
+      "#include <algorithm>\n"
+      "void Order(std::vector<Row>* rows) {\n"
+      "  std::sort(rows->begin(), rows->end(), ByCost);\n"
+      "  std::partial_sort(rows->begin(), rows->begin() + 3, rows->end());\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "nonstable-sort");
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_EQ(diags[0].message,
+            "std::sort leaves equal-key order unspecified; use "
+            "std::stable_sort, or allow() with a comment proving ties are "
+            "impossible");
+  EXPECT_EQ(diags[1].rule, "nonstable-sort");
+  EXPECT_EQ(diags[1].line, 4);
+}
+
+TEST(LintNonstableSortTest, CleanOnStableSortAndUnqualifiedNames) {
+  auto diags = Lint(
+      "#include <algorithm>\n"
+      "void Order(std::vector<Row>* rows) {\n"
+      "  std::stable_sort(rows->begin(), rows->end(), ByCost);\n"
+      "}\n"
+      "// A member or free function named sort is not the std algorithm.\n"
+      "void Other(Index* index) { index->sort(); }\n"
+      "int sort_key = 3;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintNonstableSortTest, Suppressible) {
+  auto diags = Lint(
+      "void Median(std::vector<double>* v) {\n"
+      "  // Raw doubles: equal keys are indistinguishable values.\n"
+      "  std::sort(v->begin(), v->end());  // ovs-lint: allow(nonstable-sort)\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
 // -------------------------------------------------------------- machinery --
 
 TEST(LintMachineryTest, AllowListSupportsMultipleRulesAndWildcard) {
@@ -447,7 +488,7 @@ TEST(LintMachineryTest, FiveRulesRegistered) {
   for (const char* expected :
        {"raw-rand", "unordered-iter", "naked-new", "float-narrowing",
         "parallelfor-capture", "wallclock-in-core", "raw-ofstream",
-        "unguarded-observed-speed"}) {
+        "unguarded-observed-speed", "nonstable-sort"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing rule " << expected;
   }

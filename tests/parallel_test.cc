@@ -17,6 +17,9 @@
 #include "data/cities.h"
 #include "nn/convert.h"
 #include "nn/ops.h"
+#include "sim/engine.h"
+#include "sim/roadnet.h"
+#include "sim/router.h"
 #include "util/thread_pool.h"
 
 namespace ovs {
@@ -209,6 +212,99 @@ TEST(ParallelDeterminismTest, SingleRestartMatchesAcrossThreadCounts) {
     for (int j = 0; j < serial.cols(); ++j) {
       ASSERT_EQ(serial.at(i, j), threaded.at(i, j));
     }
+  }
+}
+
+// -------------------------------------------------------------- Simulator --
+
+// Direct Simulate() comparison: with the two-phase sweep, the sensor pair is
+// bitwise-identical at 1 vs 4 threads (broader thread/scenario coverage
+// lives in sim_determinism_test.cc; this is the pipeline-level smoke).
+TEST(ParallelDeterminismTest, SimulateBitwiseIdenticalAcrossThreadCounts) {
+  auto run = [](int threads, bool force_serial) {
+    ThreadGuard guard(threads);
+    sim::RoadNet net = sim::MakeGridNetwork(4, 4, 250.0, 2, 13.89);
+    sim::Router router(&net);
+    Rng rng(31);
+    sim::EngineConfig config;
+    config.duration_s = 900.0;
+    config.interval_s = 300.0;
+    config.force_serial_sweep = force_serial;
+    std::vector<sim::TripRequest> trips;
+    for (int i = 0; i < 300; ++i) {
+      const int o = rng.UniformInt(0, net.num_intersections() - 1);
+      const int d = rng.UniformInt(0, net.num_intersections() - 1);
+      if (o == d) continue;
+      trips.push_back({rng.Uniform(0.0, 600.0),
+                       router.CachedRoute(o, d).value()});
+    }
+    return sim::Simulate(net, config, trips);
+  };
+  const sim::SensorData reference = run(1, /*force_serial=*/true);
+  for (int threads : {1, 4}) {
+    const sim::SensorData got = run(threads, /*force_serial=*/false);
+    ASSERT_EQ(reference.volume.rows(), got.volume.rows());
+    for (int l = 0; l < reference.volume.rows(); ++l) {
+      for (int t = 0; t < reference.volume.cols(); ++t) {
+        ASSERT_EQ(reference.volume.at(l, t), got.volume.at(l, t))
+            << "volume (" << l << "," << t << ") @" << threads;
+        ASSERT_EQ(reference.speed.at(l, t), got.speed.at(l, t))
+            << "speed (" << l << "," << t << ") @" << threads;
+      }
+    }
+    EXPECT_EQ(reference.spawned_trips, got.spawned_trips);
+    EXPECT_EQ(reference.completed_trips, got.completed_trips);
+    EXPECT_EQ(reference.mean_travel_time_s, got.mean_travel_time_s);
+  }
+}
+
+// End-to-end: simulator -> training data -> one stage-1 epoch. Proves the
+// sim's determinism contract composes through the full training pipeline,
+// not just per-step (the longer multi-stage pipeline is covered above; this
+// one isolates the sim-fed front half at 1 vs 4 threads).
+TEST(ParallelDeterminismTest, SimToStage1EpochBitwiseIdentical) {
+  auto run = [](int threads) {
+    ThreadGuard guard(threads);
+    data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+    core::TrainingData train = core::GenerateTrainingData(ds, 3, 97);
+    Rng rng(13);
+    core::OvsConfig config;
+    config.lstm_hidden = 8;
+    config.speed_head_hidden = 8;
+    config.tod_scale = static_cast<float>(train.tod_scale);
+    config.volume_norm = static_cast<float>(train.volume_norm);
+    config.speed_scale = static_cast<float>(train.speed_scale);
+    core::OvsModel model(ds.num_od(), ds.num_links(), ds.num_intervals(),
+                         ds.incidence, config, &rng);
+    core::TrainerConfig tc;
+    tc.stage1_epochs = 1;
+    core::OvsTrainer trainer(&model, tc);
+    const std::vector<double> losses = trainer.TrainVolumeSpeed(train).value();
+    return std::make_pair(train, losses);
+  };
+  auto [train1, losses1] = run(1);
+  auto [train4, losses4] = run(4);
+
+  // The simulated training tensors themselves, exact.
+  ASSERT_EQ(train1.samples.size(), train4.samples.size());
+  for (size_t s = 0; s < train1.samples.size(); ++s) {
+    const core::TrainingSample& a = train1.samples[s];
+    const core::TrainingSample& b = train4.samples[s];
+    for (int l = 0; l < a.volume.rows(); ++l) {
+      for (int t = 0; t < a.volume.cols(); ++t) {
+        ASSERT_EQ(a.volume.at(l, t), b.volume.at(l, t)) << "sample " << s;
+        ASSERT_EQ(a.speed.at(l, t), b.speed.at(l, t)) << "sample " << s;
+      }
+    }
+  }
+  ASSERT_EQ(train1.tod_scale, train4.tod_scale);
+  ASSERT_EQ(train1.volume_norm, train4.volume_norm);
+  ASSERT_EQ(train1.speed_scale, train4.speed_scale);
+
+  // And the first training epoch on top of them.
+  ASSERT_EQ(losses1.size(), losses4.size());
+  for (size_t i = 0; i < losses1.size(); ++i) {
+    ASSERT_EQ(losses1[i], losses4[i]) << "stage1 epoch " << i;
   }
 }
 

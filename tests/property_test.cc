@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <tuple>
 
 #include "data/cities.h"
@@ -12,6 +13,8 @@
 #include "od/patterns.h"
 #include "sim/engine.h"
 #include "sim/router.h"
+#include "tests/sim_invariants.h"
+#include "util/thread_pool.h"
 
 namespace ovs {
 namespace {
@@ -98,6 +101,103 @@ INSTANTIATE_TEST_SUITE_P(
       name += std::get<3>(param_info.param) ? "sig" : "nosig";
       return name;
     });
+
+// ----------------------------------------- Randomized-config sim invariants --
+
+// Draws a whole engine setup — network geometry, lane counts, speed limits,
+// signal plan (fixed or actuated), optional road work, and random demand —
+// from one seed, then runs it under the per-step SimInvariantChecker in BOTH
+// sweep modes and requires the two sensor outputs to match bitwise. 8 chunks
+// x 13 seeds x {serial reference, parallel} = 208 simulated configurations.
+void RunRandomizedSimConfig(uint64_t seed) {
+  Rng rng(seed);
+  const int rows = rng.UniformInt(2, 4);
+  const int cols = rng.UniformInt(2, 4);
+  const int lanes = rng.UniformInt(1, 2);
+  const double spacing = rng.Uniform(120.0, 320.0);
+  const double limit = rng.Uniform(9.0, 15.0);
+  sim::RoadNet net = sim::MakeGridNetwork(rows, cols, spacing, lanes, limit);
+
+  sim::EngineConfig config;
+  config.duration_s = 400.0;
+  config.interval_s = 100.0;
+  config.enable_signals = rng.UniformInt(0, 3) > 0;
+  config.use_actuated_signals =
+      config.enable_signals && rng.UniformInt(0, 1) == 1;
+  if (rng.UniformInt(0, 1) == 1) {
+    config.signal_plan.green_ns_s = rng.Uniform(15.0, 45.0);
+    config.signal_plan.green_ew_s = rng.Uniform(15.0, 45.0);
+  }
+
+  std::vector<sim::RoadWork> works;
+  if (rng.UniformInt(0, 2) == 0) {
+    works.push_back({rng.UniformInt(0, net.num_links() - 1),
+                     rng.Uniform(0.2, 0.9), rng.UniformInt(0, 1)});
+  }
+
+  sim::Router router(&net);
+  std::vector<sim::TripRequest> trips;
+  const int vehicles = rng.UniformInt(20, 120);
+  for (int i = 0; i < vehicles; ++i) {
+    const int o = rng.UniformInt(0, net.num_intersections() - 1);
+    const int d = rng.UniformInt(0, net.num_intersections() - 1);
+    if (o == d) continue;
+    StatusOr<sim::Route> route = router.CachedRoute(o, d);
+    if (!route.ok()) continue;
+    trips.push_back({rng.Uniform(0.0, 300.0), route.value()});
+  }
+
+  sim::SensorData outputs[2];
+  const int threads_before = GlobalThreadCount();
+  for (const bool force_serial : {true, false}) {
+    SetGlobalThreads(force_serial ? 1 : 3);
+    sim::EngineConfig run_config = config;
+    run_config.force_serial_sweep = force_serial;
+    sim::Engine engine(&net, run_config);
+    engine.ApplyRoadWork(works);
+    for (const sim::TripRequest& trip : trips) engine.AddTrip(trip);
+    sim::SimInvariantChecker checker(
+        &net, &engine,
+        (force_serial ? "serial seed " : "parallel seed ") +
+            std::to_string(seed));
+    checker.Install(&engine);
+    outputs[force_serial ? 0 : 1] = engine.Run();
+    EXPECT_EQ(checker.steps_checked(), 400);
+  }
+  SetGlobalThreads(threads_before);
+
+  // Differential: the randomized config must also satisfy the bitwise
+  // serial == parallel contract, not just the physical invariants.
+  ASSERT_EQ(outputs[0].volume.rows(), outputs[1].volume.rows());
+  EXPECT_EQ(std::memcmp(outputs[0].volume.data(), outputs[1].volume.data(),
+                        sizeof(double) * outputs[0].volume.rows() *
+                            outputs[0].volume.cols()),
+            0)
+      << "volume diverged, seed " << seed;
+  EXPECT_EQ(std::memcmp(outputs[0].speed.data(), outputs[1].speed.data(),
+                        sizeof(double) * outputs[0].speed.rows() *
+                            outputs[0].speed.cols()),
+            0)
+      << "speed diverged, seed " << seed;
+  EXPECT_EQ(outputs[0].spawned_trips, outputs[1].spawned_trips);
+  EXPECT_EQ(outputs[0].completed_trips, outputs[1].completed_trips);
+  EXPECT_EQ(outputs[0].unspawned_trips, outputs[1].unspawned_trips);
+}
+
+class RandomizedSimInvariantsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomizedSimInvariantsTest, ConservationFifoAndCapacityHold) {
+  constexpr int kSeedsPerChunk = 13;
+  const int chunk = GetParam();
+  for (int i = 0; i < kSeedsPerChunk; ++i) {
+    const uint64_t seed = 9000 + chunk * kSeedsPerChunk + i;
+    RunRandomizedSimConfig(seed);
+    if (::testing::Test::HasFailure()) break;  // first bad seed is enough
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, RandomizedSimInvariantsTest,
+                         ::testing::Range(0, 8));
 
 // ---------------------------------------------------------- Router sweeps --
 

@@ -735,6 +735,34 @@ void CheckUnguardedObservedSpeed(const FileCtx& ctx,
   }
 }
 
+// ----------------------------------------------------- rule: nonstable-sort
+
+/// std::sort and std::partial_sort leave the relative order of equal keys
+/// unspecified, so the same data can come out in a different order under a
+/// different standard library — and anything accumulated from that order
+/// (losses, traces, sensor rows) diverges bitwise. The simulator's two-phase
+/// commit relies on canonical ordering end to end, so sorting in src/ must be
+/// std::stable_sort unless ties are provably impossible, in which case the
+/// call site carries an allow() with the proof in a comment.
+void CheckNonstableSort(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  for (const char* fn : {"sort", "partial_sort"}) {
+    for (size_t pos = FindToken(ctx.code, fn, 0); pos != std::string::npos;
+         pos = FindToken(ctx.code, fn, pos + 1)) {
+      // Only std::-qualified calls; `stable_sort` never matches the `sort`
+      // token because '_' is an identifier character.
+      if (pos < 5 || ctx.code.compare(pos - 5, 5, "std::") != 0) continue;
+      size_t after = pos + std::string(fn).size();
+      while (after < ctx.code.size() && ctx.code[after] == ' ') ++after;
+      if (after >= ctx.code.size() || ctx.code[after] != '(') continue;
+      Report(ctx, pos, "nonstable-sort",
+             std::string("std::") + fn +
+                 " leaves equal-key order unspecified; use std::stable_sort, "
+                 "or allow() with a comment proving ties are impossible",
+             out);
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& AllRules() {
@@ -763,6 +791,9 @@ const std::vector<RuleInfo>& AllRules() {
       {"unguarded-observed-speed",
        "direct element read of observed_speed inside src/baselines/ bypasses "
        "the validity mask; use MaskObservation (baselines/observation.h)"},
+      {"nonstable-sort",
+       "std::sort / std::partial_sort leave equal-key order unspecified "
+       "across standard libraries; use std::stable_sort"},
   };
   return kRules;
 }
@@ -779,6 +810,7 @@ std::vector<Diagnostic> LintContent(const std::string& path,
   CheckWallclockInCore(ctx, &out);
   CheckRawOfstream(ctx, &out);
   CheckUnguardedObservedSpeed(ctx, &out);
+  CheckNonstableSort(ctx, &out);
   std::sort(out.begin(), out.end(), [](const Diagnostic& a,
                                        const Diagnostic& b) {
     if (a.file != b.file) return a.file < b.file;
