@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
       }
       busy.emplace_back(crossings, l);
     }
+    // ovs-lint: allow(nonstable-sort) — pair keys end in the unique link id
     std::sort(busy.rbegin(), busy.rend());
     // Mid-rank links at 60% speed: localized disruption (paper: "some roads
     // under maintenance"), not a network-wide collapse — the busiest links

@@ -580,8 +580,10 @@ StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
         ckpt.epoch = config_.recovery_epochs;
         ckpt.loss = final_loss;
         for (const auto& [name, v] : gen.NamedParameters()) {
+          // ovs-lint: allow(alloc-in-parallel) — once-per-restart checkpoint
           ckpt.tensors.emplace_back(name, v.value());
         }
+        // ovs-lint: allow(alloc-in-parallel) — once-per-restart checkpoint
         ckpt.tensors.emplace_back("seeds", gen.seeds());
         save_statuses[restart] = SaveTrainerCheckpoint(ckpt, restart_path(restart));
       }

@@ -13,7 +13,7 @@ Variable::Variable(Tensor value, bool requires_grad)
 }
 
 Variable Variable::MakeNode(
-    Tensor value, std::vector<Variable> parents,
+    Tensor value, const std::vector<Variable>& parents,
     std::function<void(internal::VariableNode&)> backward_fn) {
   Variable out(std::move(value), /*requires_grad=*/false);
   bool any_grad = false;

@@ -74,7 +74,7 @@ class Variable {
 
   /// Low-level constructor used by ops: creates an interior node.
   static Variable MakeNode(Tensor value,
-                           std::vector<Variable> parents,
+                           const std::vector<Variable>& parents,
                            std::function<void(internal::VariableNode&)> backward_fn);
 
   /// Identity of the underlying node (for tests / deduplication).

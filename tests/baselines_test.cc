@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "baselines/em.h"
 #include "baselines/genetic.h"
 #include "baselines/gls.h"
@@ -19,16 +21,14 @@ class BaselinesTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     data::DatasetConfig config = data::Synthetic3x3Config();
-    dataset_ = new data::Dataset(data::BuildDataset(config));
+    dataset_ = std::make_unique<data::Dataset>(data::BuildDataset(config));
     eval::HarnessConfig harness;
     harness.num_train_samples = 8;
-    experiment_ = new eval::Experiment(dataset_, harness);
+    experiment_ = std::make_unique<eval::Experiment>(dataset_.get(), harness);
   }
   static void TearDownTestSuite() {
-    delete experiment_;
-    delete dataset_;
-    experiment_ = nullptr;
-    dataset_ = nullptr;
+    experiment_.reset();
+    dataset_.reset();
   }
 
   static const data::Dataset& dataset() { return *dataset_; }
@@ -48,12 +48,12 @@ class BaselinesTest : public ::testing::Test {
   }
 
  private:
-  static data::Dataset* dataset_;
-  static eval::Experiment* experiment_;
+  static std::unique_ptr<data::Dataset> dataset_;
+  static std::unique_ptr<eval::Experiment> experiment_;
 };
 
-data::Dataset* BaselinesTest::dataset_ = nullptr;
-eval::Experiment* BaselinesTest::experiment_ = nullptr;
+std::unique_ptr<data::Dataset> BaselinesTest::dataset_;
+std::unique_ptr<eval::Experiment> BaselinesTest::experiment_;
 
 TEST_F(BaselinesTest, GravityRecoversAndIsTimeConstant) {
   GravityEstimator gravity;

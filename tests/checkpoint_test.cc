@@ -471,36 +471,34 @@ TEST_F(CheckpointTest, RngStateRoundTripContinuesTheStream) {
 class ResumeDeterminismTest : public CheckpointTest {
  protected:
   static void SetUpTestSuite() {
-    dataset_ = new data::Dataset(
+    dataset_ = std::make_unique<data::Dataset>(
         data::BuildDataset(data::Synthetic3x3Config()));
-    train_ =
-        new core::TrainingData(core::GenerateTrainingData(*dataset_, 6, 77));
+    train_ = std::make_unique<core::TrainingData>(
+        core::GenerateTrainingData(*dataset_, 6, 77));
   }
   static void TearDownTestSuite() {
-    delete train_;
-    delete dataset_;
-    train_ = nullptr;
-    dataset_ = nullptr;
+    train_.reset();
+    dataset_.reset();
   }
 
   /// Fresh identically initialized model (same seed => same init).
-  static core::OvsModel* NewModel(Rng* rng) {
+  static std::unique_ptr<core::OvsModel> NewModel(Rng* rng) {
     core::OvsConfig config;
     config.lstm_hidden = 8;
     config.tod_scale = static_cast<float>(train_->tod_scale);
     config.volume_norm = static_cast<float>(train_->volume_norm);
     config.speed_scale = static_cast<float>(train_->speed_scale);
-    return new core::OvsModel(dataset_->num_od(), dataset_->num_links(),
-                              dataset_->num_intervals(), dataset_->incidence,
-                              config, rng);
+    return std::make_unique<core::OvsModel>(
+        dataset_->num_od(), dataset_->num_links(), dataset_->num_intervals(),
+        dataset_->incidence, config, rng);
   }
 
-  static data::Dataset* dataset_;
-  static core::TrainingData* train_;
+  static std::unique_ptr<data::Dataset> dataset_;
+  static std::unique_ptr<core::TrainingData> train_;
 };
 
-data::Dataset* ResumeDeterminismTest::dataset_ = nullptr;
-core::TrainingData* ResumeDeterminismTest::train_ = nullptr;
+std::unique_ptr<data::Dataset> ResumeDeterminismTest::dataset_;
+std::unique_ptr<core::TrainingData> ResumeDeterminismTest::train_;
 
 TEST_F(ResumeDeterminismTest, KilledAndResumedTrainingIsBitwiseIdentical) {
   const int threads_before = GlobalThreadCount();

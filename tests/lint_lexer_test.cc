@@ -1,0 +1,249 @@
+// Unit tests for the ovs_lint tokenizer (tools/lint/lexer.h): the constructs
+// that broke the v1 string-blanking scanner — raw strings with custom
+// delimiters, escaped quotes, digit separators, line continuations — plus
+// the comment and preprocessor forms every rule depends on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace ovs::lint {
+namespace {
+
+/// Renders a token as "kind:text" for compact whole-stream comparisons.
+std::string Brief(const Token& t) {
+  std::string kind;
+  switch (t.kind) {
+    case Tok::kIdent:
+      kind = "id";
+      break;
+    case Tok::kNumber:
+      kind = "num";
+      break;
+    case Tok::kString:
+      kind = "str";
+      break;
+    case Tok::kChar:
+      kind = "chr";
+      break;
+    case Tok::kPunct:
+      kind = "op";
+      break;
+    case Tok::kComment:
+      kind = "cmt";
+      break;
+    case Tok::kPp:
+      kind = "pp";
+      break;
+  }
+  return kind + ":" + t.text;
+}
+
+std::vector<std::string> BriefAll(const std::string& src) {
+  std::vector<std::string> out;
+  for (const Token& t : Lex(src)) out.push_back(Brief(t));
+  return out;
+}
+
+TEST(LexerTest, BasicTokenKinds) {
+  EXPECT_EQ(BriefAll("int x = 42;"),
+            (std::vector<std::string>{"id:int", "id:x", "op:=", "num:42",
+                                      "op:;"}));
+}
+
+TEST(LexerTest, LineNumbersAreOneBased) {
+  auto toks = Lex("a\nb\n\nc");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+// ------------------------------------------------------------------ strings
+
+TEST(LexerTest, EscapedQuotesStayInsideTheString) {
+  // v1 handled the escape, but this is the load-bearing case for every rule:
+  // nothing inside the quotes may surface as code.
+  EXPECT_EQ(BriefAll("s = \"a \\\" b\"; rand();"),
+            (std::vector<std::string>{"id:s", "op:=", "str:\"a \\\" b\"",
+                                      "op:;", "id:rand", "op:(", "op:)",
+                                      "op:;"}));
+}
+
+TEST(LexerTest, RawStringWithCustomDelimiter) {
+  // The body contains a plain quote and a bare `)"`; only the `)xx"`
+  // sequence closes. v1 keyed on the next plain quote and desynced here.
+  auto toks = BriefAll("auto s = R\"xx(say \"hi\" or )\" end)xx\"; new int;");
+  EXPECT_EQ(toks,
+            (std::vector<std::string>{
+                "id:auto", "id:s", "op:=",
+                "str:R\"xx(say \"hi\" or )\" end)xx\"", "op:;", "id:new",
+                "id:int", "op:;"}));
+}
+
+TEST(LexerTest, RawStringPrefixesAreOneToken) {
+  auto toks = Lex("u8R\"(x)\" LR\"(y)\"");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::kString);
+  EXPECT_EQ(toks[0].text, "u8R\"(x)\"");
+  EXPECT_EQ(toks[1].text, "LR\"(y)\"");
+}
+
+TEST(LexerTest, PrefixedStringIsOneTokenButIdentIsNot) {
+  auto prefixed = Lex("u8\"x\"");
+  ASSERT_EQ(prefixed.size(), 1u);
+  EXPECT_EQ(prefixed[0].kind, Tok::kString);
+  // An ordinary identifier before a string stays an identifier.
+  auto ident = Lex("name\"x\"");
+  ASSERT_EQ(ident.size(), 2u);
+  EXPECT_EQ(ident[0].kind, Tok::kIdent);
+  EXPECT_EQ(ident[1].kind, Tok::kString);
+}
+
+TEST(LexerTest, UnterminatedStringClosesAtLineEnd) {
+  // A half-written file must still lex; the next line is code again.
+  auto toks = BriefAll("s = \"oops\nrand();");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[2], "str:\"oops");
+  EXPECT_EQ(toks[3], "id:rand");
+}
+
+TEST(LexerTest, MultiLineRawStringTracksEndLine) {
+  auto toks = Lex("R\"(a\nb\nc)\" x");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].end_line, 3);
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+// ------------------------------------------------------------------ numbers
+
+TEST(LexerTest, DigitSeparatorsStayInTheNumber) {
+  // v1 treated the ' as a char-literal opener and swallowed the rest of the
+  // statement — this exact shape is the regression.
+  EXPECT_EQ(BriefAll("int n = 1'000'000; rand();"),
+            (std::vector<std::string>{"id:int", "id:n", "op:=",
+                                      "num:1'000'000", "op:;", "id:rand",
+                                      "op:(", "op:)", "op:;"}));
+}
+
+TEST(LexerTest, FloatLiteralsWithExponentsAndSuffixes) {
+  EXPECT_EQ(BriefAll("x = 1e-3f + 0.5 + 2.f + .25;"),
+            (std::vector<std::string>{"id:x", "op:=", "num:1e-3f", "op:+",
+                                      "num:0.5", "op:+", "num:2.f", "op:+",
+                                      "num:.25", "op:;"}));
+}
+
+TEST(LexerTest, CharLiteralIsNotADigitSeparator) {
+  auto toks = BriefAll("char c = 'x'; int n = 3;");
+  EXPECT_EQ(toks,
+            (std::vector<std::string>{"id:char", "id:c", "op:=", "chr:'x'",
+                                      "op:;", "id:int", "id:n", "op:=",
+                                      "num:3", "op:;"}));
+}
+
+// ----------------------------------------------------------------- comments
+
+TEST(LexerTest, LineVsBlockComments) {
+  auto toks = Lex("a; // line note\nb; /* block note */ c;");
+  std::vector<std::string> brief;
+  for (const Token& t : toks) brief.push_back(Brief(t));
+  EXPECT_EQ(brief,
+            (std::vector<std::string>{"id:a", "op:;", "cmt: line note",
+                                      "id:b", "op:;", "cmt: block note ",
+                                      "id:c", "op:;"}));
+}
+
+TEST(LexerTest, NestedLookingBlockCommentEndsAtFirstCloser) {
+  // C++ block comments do not nest: `/* a /* b */` ends at the first `*/`.
+  auto toks = BriefAll("/* a /* b */ c */");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "cmt: a /* b ");
+  EXPECT_EQ(toks[1], "id:c");
+}
+
+TEST(LexerTest, CommentMarkersInsideStringsAreNotComments) {
+  auto toks = Lex("s = \"// not a comment /*\"; t;");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[2].kind, Tok::kString);
+  EXPECT_EQ(toks[4].text, "t");
+}
+
+TEST(LexerTest, BlockCommentEndLineSpansTheComment) {
+  auto toks = Lex("/* a\nb\nc */ x");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::kComment);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].end_line, 3);
+}
+
+// ------------------------------------------------------- line continuations
+
+TEST(LexerTest, ContinuationSplitsNoToken) {
+  // Translation phase 2: the backslash-newline vanishes, so `ra\<nl>nd` is
+  // the single identifier `rand`.
+  auto toks = BriefAll("ra\\\nnd();");
+  EXPECT_EQ(toks, (std::vector<std::string>{"id:rand", "op:(", "op:)",
+                                            "op:;"}));
+}
+
+TEST(LexerTest, ContinuationExtendsLineComment) {
+  // A line comment ending in a backslash continues onto the next line; the
+  // identifier only appears after the comment really ends.
+  auto toks = Lex("// note \\\nstill comment\nx");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::kComment);
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+// ------------------------------------------------------------- preprocessor
+
+TEST(LexerTest, DirectiveIsOneLogicalLine) {
+  auto toks = Lex("#define MAX(a, b) \\\n  ((a) > (b) ? (a) : (b))\nint x;");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, Tok::kPp);
+  EXPECT_EQ(toks[0].text, "#define MAX(a, b)    ((a) > (b) ? (a) : (b))");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].end_line, 2);
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+TEST(LexerTest, HashAfterLeadingWhitespaceStartsDirective) {
+  auto toks = Lex("  #include <vector>\nx;");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::kPp);
+  EXPECT_EQ(toks[0].text, "#include <vector>");
+}
+
+TEST(LexerTest, HashMidLineIsPunctNotDirective) {
+  auto toks = BriefAll("a # b");
+  EXPECT_EQ(toks, (std::vector<std::string>{"id:a", "op:#", "id:b"}));
+}
+
+// ------------------------------------------------------------- punctuators
+
+TEST(LexerTest, MaximalMunchPunctuators) {
+  EXPECT_EQ(BriefAll("a<<=b; c->d; e::f; g>>h; i<=j;"),
+            (std::vector<std::string>{
+                "id:a", "op:<<=", "id:b", "op:;", "id:c", "op:->", "id:d",
+                "op:;", "id:e", "op:::", "id:f", "op:;", "id:g", "op:>>",
+                "id:h", "op:;", "id:i", "op:<=", "id:j", "op:;"}));
+}
+
+TEST(LexerTest, HelperPredicates) {
+  auto toks = Lex("sort(");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_TRUE(IsIdent(toks[0], "sort"));
+  EXPECT_FALSE(IsIdent(toks[0], "stable_sort"));
+  EXPECT_FALSE(IsIdent(toks[1], "("));
+  EXPECT_TRUE(IsPunct(toks[1], "("));
+  EXPECT_FALSE(IsPunct(toks[0], "sort"));
+}
+
+}  // namespace
+}  // namespace ovs::lint

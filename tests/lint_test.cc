@@ -455,6 +455,294 @@ TEST(LintNonstableSortTest, Suppressible) {
   EXPECT_TRUE(diags.empty());
 }
 
+// ---------------------------------------------------------- layer-violation
+
+TEST(LintLayerTest, FlagsUpwardInclude) {
+  // The ISSUE acceptance fixture: a deliberate src/util -> src/core include
+  // must be rejected by the layering check.
+  auto diags = LintContent("src/util/helpers.h",
+                           "#include \"core/model.h\"\n");
+  ExpectSingle(diags, "layer-violation", 1);
+  EXPECT_EQ(diags[0].message,
+            "src/util (layer 0) includes \"core/model.h\" from core (layer 4); "
+            "includes must point sideways or down the DAG util -> obs -> "
+            "{nn, sim} -> {od, data} -> {core, baselines} -> eval");
+}
+
+TEST(LintLayerTest, FlagsSkipLevelUpwardInclude) {
+  auto diags =
+      LintContent("src/obs/metrics.cc", "#include \"eval/harness.h\"\n");
+  ExpectSingle(diags, "layer-violation", 1);
+}
+
+TEST(LintLayerTest, CleanOnDownwardAndSameLayerIncludes) {
+  EXPECT_TRUE(LintContent("src/core/model.cc",
+                          "#include \"util/rng.h\"\n"
+                          "#include \"nn/ops.h\"\n"
+                          "#include \"od/patterns.h\"\n")
+                  .empty());
+  // nn and sim share a layer; so do od and data.
+  EXPECT_TRUE(LintContent("src/nn/ops.cc", "#include \"sim/engine.h\"\n").empty());
+  EXPECT_TRUE(LintContent("src/data/cities.cc", "#include \"od/region.h\"\n").empty());
+}
+
+TEST(LintLayerTest, SystemSameDirAndLeafIncludesExempt) {
+  // Angle includes, same-directory headers, and the leaf directories
+  // (tests/bench/tools/examples may include anything) are all outside the DAG.
+  EXPECT_TRUE(LintContent("src/util/rng.cc",
+                          "#include <vector>\n"
+                          "#include \"rng.h\"\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintContent("tests/core_test.cc", "#include \"core/model.h\"\n").empty());
+  EXPECT_TRUE(
+      LintContent("bench/table6.cc", "#include \"eval/harness.h\"\n").empty());
+}
+
+TEST(LintLayerTest, Suppressible) {
+  auto diags = LintContent(
+      "src/util/bridge.h",
+      "#include \"core/model.h\"  // ovs-lint: allow(layer-violation)\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ------------------------------------------------------------ include-cycle
+
+TEST(LintCycleTest, FlagsTwoFileCycle) {
+  std::vector<RepoFile> files = {
+      {"src/od/region.h", "#include \"od/patterns.h\"\n"},
+      {"src/od/patterns.h", "#include \"od/region.h\"\n"},
+  };
+  auto diags = LintRepo(files);
+  ASSERT_EQ(diags.size(), 1u);  // one diagnostic per cycle, not per member
+  EXPECT_EQ(diags[0].rule, "include-cycle");
+  EXPECT_EQ(diags[0].file, "src/od/patterns.h");  // lexicographically smallest
+  EXPECT_NE(diags[0].message.find("src/od/patterns.h -> src/od/region.h -> "
+                                  "src/od/patterns.h"),
+            std::string::npos);
+}
+
+TEST(LintCycleTest, FlagsSelfInclude) {
+  auto diags = LintRepo({{"src/nn/ops.h", "#include \"nn/ops.h\"\n"}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "include-cycle");
+}
+
+TEST(LintCycleTest, CleanOnAcyclicChain) {
+  std::vector<RepoFile> files = {
+      {"src/core/model.h", "#include \"nn/ops.h\"\n"},
+      {"src/nn/ops.h", "#include \"util/tensor.h\"\n"},
+      {"src/util/tensor.h", "#include <vector>\n"},
+  };
+  EXPECT_TRUE(LintRepo(files).empty());
+}
+
+TEST(LintCycleTest, Suppressible) {
+  // The allow() rides on the include line of the cycle's anchor file.
+  std::vector<RepoFile> files = {
+      {"src/od/patterns.h",
+       "#include \"od/region.h\"  // ovs-lint: allow(include-cycle)\n"},
+      {"src/od/region.h", "#include \"od/patterns.h\"\n"},
+  };
+  EXPECT_TRUE(LintRepo(files).empty());
+}
+
+// -------------------------------------------------------- alloc-in-parallel
+
+TEST(LintAllocInParallelTest, FlagsContainerGrowth) {
+  auto diags = Lint(
+      "void F(std::vector<double>* out) {\n"
+      "  ParallelFor(0, 10, 1, [&](int64_t lo, int64_t hi) {\n"
+      "    for (int64_t i = lo; i < hi; ++i) out->push_back(double(i));\n"
+      "  });\n"
+      "}\n");
+  ExpectSingle(diags, "alloc-in-parallel", 3);
+  EXPECT_EQ(diags[0].message,
+            "'push_back' grows a container inside a ParallelFor body; "
+            "pre-size per-index slots outside the loop or bump-allocate from "
+            "util::Arena (util/arena.h)");
+}
+
+TEST(LintAllocInParallelTest, FlagsMakeUniqueAndFreshLocals) {
+  auto diags = Lint(
+      "void G() {\n"
+      "  ParallelFor(0, 4, 1, [&](int64_t lo, int64_t hi) {\n"
+      "    auto p = std::make_unique<int>(static_cast<int>(lo));\n"
+      "    std::vector<double> scratch(hi - lo);\n"
+      "    Use(p.get(), &scratch);\n"
+      "  });\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "alloc-in-parallel");
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("make_unique"), std::string::npos);
+  EXPECT_EQ(diags[1].line, 4);
+  EXPECT_NE(diags[1].message.find("local std::vector"), std::string::npos);
+}
+
+TEST(LintAllocInParallelTest, CleanOnPresizedWritesAndHoistedAllocation) {
+  auto diags = Lint(
+      "void H(std::vector<double>* out) {\n"
+      "  out->resize(10);\n"  // growth *outside* the body is fine
+      "  std::vector<double> scratch(10);\n"
+      "  ParallelFor(0, 10, 1, [&](int64_t lo, int64_t hi) {\n"
+      "    for (int64_t i = lo; i < hi; ++i) (*out)[i] = scratch[i];\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintAllocInParallelTest, OffOutsideLibraryCode) {
+  const std::string growth =
+      "void F(std::vector<double>* out) {\n"
+      "  ParallelFor(0, 10, 1, [&](int64_t lo, int64_t hi) {\n"
+      "    out->push_back(double(lo));\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(LintContent("tests/sim_test.cc", growth).empty());
+  EXPECT_TRUE(LintContent("bench/fig9.cc", growth).empty());
+  EXPECT_FALSE(LintContent("src/sim/engine.cc", growth).empty());
+}
+
+TEST(LintAllocInParallelTest, Suppressible) {
+  auto diags = Lint(
+      "void F(std::vector<double>* out) {\n"
+      "  ParallelFor(0, 10, 1, [&](int64_t lo, int64_t hi) {\n"
+      "    // ovs-lint: allow(alloc-in-parallel)\n"
+      "    out->push_back(double(lo));\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ------------------------------------------------------ heavy-pass-by-value
+
+TEST(LintHeavyPassByValueTest, FlagsByValueCopyInDefinition) {
+  auto diags = LintContent(
+      "src/core/api.cc",
+      "double Total(std::vector<double> values) { return Sum(values); }\n");
+  ExpectSingle(diags, "heavy-pass-by-value", 1);
+  EXPECT_EQ(diags[0].message,
+            "parameter 'values' takes std::vector by value in a src/ "
+            "signature; pass const std::vector& (or keep by-value only as a "
+            "move sink and std::move it in the body)");
+}
+
+TEST(LintHeavyPassByValueTest, FlagsTensorCopiedIntoMember) {
+  auto diags = LintContent("src/nn/variable.cc",
+                           "void Set(Tensor value) { value_ = value; }\n");
+  ExpectSingle(diags, "heavy-pass-by-value", 1);
+}
+
+TEST(LintHeavyPassByValueTest, CleanOnMoveSinkConstRefAndDeclaration) {
+  // The three sanctioned shapes: an explicit move sink, a const reference,
+  // and a bare declaration (the definition is where the decision is made).
+  EXPECT_TRUE(
+      LintContent("src/nn/variable.cc",
+                  "void Set(Tensor value) { value_ = std::move(value); }\n")
+          .empty());
+  EXPECT_TRUE(LintContent("src/core/api.cc",
+                          "double Total(const std::vector<double>& values) {\n"
+                          "  return Sum(values);\n"
+                          "}\n")
+                  .empty());
+  EXPECT_TRUE(LintContent("src/core/api.h",
+                          "double Total(std::vector<double> values);\n")
+                  .empty());
+}
+
+TEST(LintHeavyPassByValueTest, CleanOnConstructorInitListMove) {
+  auto diags = LintContent(
+      "src/data/dataset.cc",
+      "Dataset::Dataset(std::string name) : name_(std::move(name)) {}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintHeavyPassByValueTest, OffOutsideLibraryCode) {
+  const std::string copy =
+      "double Total(std::vector<double> values) { return Sum(values); }\n";
+  EXPECT_TRUE(LintContent("tests/eval_test.cc", copy).empty());
+  EXPECT_TRUE(LintContent("tools/lint/main.cc", copy).empty());
+}
+
+TEST(LintHeavyPassByValueTest, Suppressible) {
+  auto diags = LintContent(
+      "src/core/api.cc",
+      "// ovs-lint: allow(heavy-pass-by-value)\n"
+      "double Total(std::vector<double> values) { return Sum(values); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// -------------------------------------------------------- mutex-in-hot-path
+
+TEST(LintMutexTest, FlagsLockTypesInNn) {
+  auto diags = LintContent("src/nn/layers.cc",
+                           "std::mutex mu;\n"
+                           "std::condition_variable cv;\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "mutex-in-hot-path");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_EQ(diags[0].message,
+            "std::mutex in nn/sim hot-path code; these step/forward loops "
+            "must stay lock-free — shard state per index and merge "
+            "deterministically (see the simulator's two-phase commit)");
+  EXPECT_EQ(diags[1].line, 2);
+}
+
+TEST(LintMutexTest, FlagsExplicitLockCallsInSim) {
+  auto diags = LintContent("src/sim/engine.cc",
+                           "void F(Gate* g) { g->lock(); g->unlock(); }\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "mutex-in-hot-path");
+  EXPECT_NE(diags[0].message.find("explicit lock acquisition"),
+            std::string::npos);
+}
+
+TEST(LintMutexTest, OnlyFencesNnAndSim) {
+  // The thread pool itself, and orchestration layers, may lock.
+  const std::string locking = "std::mutex mu;\nstd::lock_guard<std::mutex> g(mu);\n";
+  EXPECT_TRUE(LintContent("src/util/thread_pool.cc", locking).empty());
+  EXPECT_TRUE(LintContent("src/core/trainer.cc", locking).empty());
+  EXPECT_TRUE(LintContent("src/obs/session.cc", locking).empty());
+}
+
+TEST(LintMutexTest, Suppressible) {
+  auto diags = LintContent(
+      "src/sim/engine.cc",
+      "std::mutex init_mu_;  // ovs-lint: allow(mutex-in-hot-path)\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ------------------------------------------- lexer-backed scanning regressions
+
+TEST(LintLexerRegressionTest, RuleKeywordsInsideStringsDoNotFire) {
+  EXPECT_TRUE(Lint("const char* kMsg = \"call rand() or new int\";\n").empty());
+  EXPECT_TRUE(
+      Lint("const char* kDoc = R\"doc(std::sort(x); delete p;)doc\";\n")
+          .empty());
+}
+
+TEST(LintLexerRegressionTest, RuleKeywordsInsideCommentsDoNotFire) {
+  EXPECT_TRUE(Lint("// std::sort(v.begin(), v.end()) would be wrong here\n").empty());
+  EXPECT_TRUE(Lint("/* delete p; std::random_device rd; rand(); */\n").empty());
+}
+
+TEST(LintLexerRegressionTest, DigitSeparatorsDoNotSwallowCode) {
+  // v1 read the ' in 1'000'000 as a char-literal opener and blanked the rest
+  // of the line, hiding the rand() call.
+  auto diags = Lint("int n = 1'000'000; int r = rand();\n");
+  ExpectSingle(diags, "raw-rand", 1);
+}
+
+TEST(LintLexerRegressionTest, RawStringClosesAtItsDelimiter) {
+  // v1 closed raw strings at the next plain quote; real code after a raw
+  // string containing quotes was skipped as "string content".
+  auto diags = Lint(
+      "const char* kJson = R\"({\"k\": \"v\"})\";\n"
+      "int r = rand();\n");
+  ExpectSingle(diags, "raw-rand", 2);
+}
+
 // -------------------------------------------------------------- machinery --
 
 TEST(LintMachineryTest, AllowListSupportsMultipleRulesAndWildcard) {
@@ -480,18 +768,30 @@ TEST(LintMachineryTest, DiagnosticFormatIsStable) {
             "src/sim/engine.cc:42: error: [raw-rand] call to rand()");
 }
 
-TEST(LintMachineryTest, FiveRulesRegistered) {
+TEST(LintMachineryTest, AllRulesRegistered) {
   const auto& rules = AllRules();
-  ASSERT_GE(rules.size(), 5u);
+  ASSERT_GE(rules.size(), 14u);
   std::vector<std::string> names;
   for (const auto& r : rules) names.push_back(r.name);
   for (const char* expected :
        {"raw-rand", "unordered-iter", "naked-new", "float-narrowing",
         "parallelfor-capture", "wallclock-in-core", "raw-ofstream",
-        "unguarded-observed-speed", "nonstable-sort"}) {
+        "unguarded-observed-speed", "nonstable-sort", "layer-violation",
+        "include-cycle", "alloc-in-parallel", "heavy-pass-by-value",
+        "mutex-in-hot-path"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing rule " << expected;
   }
+  for (const auto& r : rules) {
+    EXPECT_FALSE(std::string(r.summary).empty()) << r.name << " has no summary";
+  }
+}
+
+TEST(LintMachineryTest, GithubFormatIsStable) {
+  Diagnostic d{"src/sim/engine.cc", 42, "raw-rand", "call to rand()"};
+  EXPECT_EQ(FormatDiagnosticGithub(d),
+            "::error file=src/sim/engine.cc,line=42::[raw-rand] call to "
+            "rand()");
 }
 
 /// Exit-code contract of the driver, via Run() on a temp directory.
@@ -542,13 +842,51 @@ TEST_F(LintRunTest, SkipsNonSourceFiles) {
   EXPECT_NE(out.str().find("1 file(s)"), std::string::npos);
 }
 
-/// The shipped tree must lint clean — the same invariant the lint.src CTest
-/// test enforces, checked here against the source dir when visible.
-TEST(LintMachineryTest, RepoSrcIsClean) {
-  std::filesystem::path src = std::filesystem::path(OVS_SOURCE_DIR) / "src";
-  if (!std::filesystem::exists(src)) GTEST_SKIP() << "source tree not found";
+TEST_F(LintRunTest, GithubFormatEmitsWorkflowAnnotations) {
+  WriteFile("bad.cc", "int Draw() { return rand(); }\n");
   std::ostringstream out, err;
-  EXPECT_EQ(::ovs::lint::Run({src.string()}, out, err), 0) << out.str();
+  RunOptions options;
+  options.format = RunOptions::Format::kGithub;
+  EXPECT_EQ(::ovs::lint::Run({dir_.string()}, out, err, options), 1);
+  EXPECT_NE(out.str().find("::error file="), std::string::npos);
+  EXPECT_NE(out.str().find(",line=1::[raw-rand]"), std::string::npos);
+}
+
+TEST_F(LintRunTest, PrintsPerRuleHitCounts) {
+  WriteFile("bad.cc",
+            "int Draw() { return rand(); }\n"
+            "int* p = new int(3);\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(::ovs::lint::Run({dir_.string()}, out, err), 1);
+  EXPECT_NE(out.str().find("hits by rule: naked-new=1, raw-rand=1"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("1 file(s), 2 finding(s)"), std::string::npos);
+}
+
+TEST_F(LintRunTest, DetectsIncludeCyclesAcrossTheTree) {
+  WriteFile("a.h", "#include \"b.h\"\n");
+  WriteFile("b.h", "#include \"a.h\"\n");
+  std::ostringstream out, err;
+  EXPECT_EQ(::ovs::lint::Run({dir_.string()}, out, err), 1);
+  EXPECT_NE(out.str().find("[include-cycle]"), std::string::npos);
+}
+
+/// The shipped tree must lint clean — the same invariant the lint.repo CTest
+/// test enforces, checked here against the source dir when visible. The scope
+/// is the full v2 surface: src, tests, bench, tools, and examples.
+TEST(LintMachineryTest, RepoTreeIsClean) {
+  const std::filesystem::path root(OVS_SOURCE_DIR);
+  if (!std::filesystem::exists(root / "src")) {
+    GTEST_SKIP() << "source tree not found";
+  }
+  std::vector<std::string> paths;
+  for (const char* dir : {"src", "tests", "bench", "tools", "examples"}) {
+    if (std::filesystem::exists(root / dir)) {
+      paths.push_back((root / dir).string());
+    }
+  }
+  std::ostringstream out, err;
+  EXPECT_EQ(::ovs::lint::Run(paths, out, err), 0) << out.str();
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "data/cities.h"
 #include "core/training_data.h"
 #include "data/trajectories.h"
@@ -29,36 +31,34 @@ sim::SensorData SimulateWithTraces(const data::Dataset& ds,
 class TrajectoryPipelineTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dataset_ = new data::Dataset(data::BuildDataset(data::Synthetic3x3Config()));
+    dataset_ = std::make_unique<data::Dataset>(
+        data::BuildDataset(data::Synthetic3x3Config()));
     // Light demand (40% of the benchmark level) so virtually all trips spawn
     // and finish: extraction accuracy is then limited only by stochastic
     // rounding and horizon truncation, not by entry-queue losses.
-    light_tod_ = new od::TodTensor(dataset_->ground_truth_tod);
+    light_tod_ = std::make_unique<od::TodTensor>(dataset_->ground_truth_tod);
     light_tod_->Scale(0.4);
-    sensors_ =
-        new sim::SensorData(SimulateWithTraces(*dataset_, *light_tod_, 4242));
+    sensors_ = std::make_unique<sim::SensorData>(
+        SimulateWithTraces(*dataset_, *light_tod_, 4242));
   }
   static void TearDownTestSuite() {
-    delete sensors_;
-    delete light_tod_;
-    delete dataset_;
-    sensors_ = nullptr;
-    light_tod_ = nullptr;
-    dataset_ = nullptr;
+    sensors_.reset();
+    light_tod_.reset();
+    dataset_.reset();
   }
   static const data::Dataset& dataset() { return *dataset_; }
   static const od::TodTensor& light_tod() { return *light_tod_; }
   static const sim::SensorData& sensors() { return *sensors_; }
 
  private:
-  static data::Dataset* dataset_;
-  static od::TodTensor* light_tod_;
-  static sim::SensorData* sensors_;
+  static std::unique_ptr<data::Dataset> dataset_;
+  static std::unique_ptr<od::TodTensor> light_tod_;
+  static std::unique_ptr<sim::SensorData> sensors_;
 };
 
-data::Dataset* TrajectoryPipelineTest::dataset_ = nullptr;
-od::TodTensor* TrajectoryPipelineTest::light_tod_ = nullptr;
-sim::SensorData* TrajectoryPipelineTest::sensors_ = nullptr;
+std::unique_ptr<data::Dataset> TrajectoryPipelineTest::dataset_;
+std::unique_ptr<od::TodTensor> TrajectoryPipelineTest::light_tod_;
+std::unique_ptr<sim::SensorData> TrajectoryPipelineTest::sensors_;
 
 TEST_F(TrajectoryPipelineTest, TracesRecordedForSpawnedVehicles) {
   int with_route = 0;

@@ -5,6 +5,8 @@
 #include <tuple>
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -23,54 +25,52 @@ namespace {
 class TrainerRobustnessTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dataset_ = new data::Dataset(data::BuildDataset(data::Synthetic3x3Config()));
-    train_ = new TrainingData(GenerateTrainingData(*dataset_, 8, 77));
-    rng_ = new Rng(9);
+    dataset_ = std::make_unique<data::Dataset>(
+        data::BuildDataset(data::Synthetic3x3Config()));
+    train_ = std::make_unique<TrainingData>(
+        GenerateTrainingData(*dataset_, 8, 77));
+    rng_ = std::make_unique<Rng>(9);
     OvsConfig config;
     config.lstm_hidden = 16;
     config.tod_scale = static_cast<float>(train_->tod_scale);
     config.volume_norm = static_cast<float>(train_->volume_norm);
     config.speed_scale = static_cast<float>(train_->speed_scale);
-    model_ = new OvsModel(dataset_->num_od(), dataset_->num_links(),
-                          dataset_->num_intervals(), dataset_->incidence,
-                          config, rng_);
+    model_ = std::make_unique<OvsModel>(
+        dataset_->num_od(), dataset_->num_links(), dataset_->num_intervals(),
+        dataset_->incidence, config, rng_.get());
     TrainerConfig tc;
     tc.stage1_epochs = 40;
     tc.stage2_epochs = 50;
-    OvsTrainer bootstrap(model_, tc);
+    OvsTrainer bootstrap(model_.get(), tc);
     std::ignore = bootstrap.TrainVolumeSpeed(*train_);
     std::ignore = bootstrap.TrainTodVolume(*train_);
   }
   static void TearDownTestSuite() {
-    delete model_;
-    delete rng_;
-    delete train_;
-    delete dataset_;
-    model_ = nullptr;
-    rng_ = nullptr;
-    train_ = nullptr;
-    dataset_ = nullptr;
+    model_.reset();
+    rng_.reset();
+    train_.reset();
+    dataset_.reset();
   }
 
   /// A recovery with the given config against `observed`. The trained
   /// mappings are shared and untouched; only the prior bookkeeping is set.
   static od::TodTensor Recover(TrainerConfig tc, const DMat& observed) {
-    OvsTrainer trainer(model_, tc);
+    OvsTrainer trainer(model_.get(), tc);
     trainer.PrimeRecoveryPrior(*train_);
     Rng rng(31);
     return trainer.RecoverTod(observed, nullptr, &rng).value();
   }
 
-  static data::Dataset* dataset_;
-  static TrainingData* train_;
-  static Rng* rng_;
-  static OvsModel* model_;
+  static std::unique_ptr<data::Dataset> dataset_;
+  static std::unique_ptr<TrainingData> train_;
+  static std::unique_ptr<Rng> rng_;
+  static std::unique_ptr<OvsModel> model_;
 };
 
-data::Dataset* TrainerRobustnessTest::dataset_ = nullptr;
-TrainingData* TrainerRobustnessTest::train_ = nullptr;
-Rng* TrainerRobustnessTest::rng_ = nullptr;
-OvsModel* TrainerRobustnessTest::model_ = nullptr;
+std::unique_ptr<data::Dataset> TrainerRobustnessTest::dataset_;
+std::unique_ptr<TrainingData> TrainerRobustnessTest::train_;
+std::unique_ptr<Rng> TrainerRobustnessTest::rng_;
+std::unique_ptr<OvsModel> TrainerRobustnessTest::model_;
 
 TEST_F(TrainerRobustnessTest, AdaptivePriorTracksObservedDemandLevel) {
   // Observations from light vs heavy demand must produce recoveries whose
@@ -166,7 +166,7 @@ TEST_F(TrainerRobustnessTest, MaskedRecoveryBeatsGarbageInUnderDropout) {
 TEST_F(TrainerRobustnessTest, FullyDarkObservationIsInvalidArgument) {
   DMat dark(dataset_->num_links(), dataset_->num_intervals());
   dark.Fill(std::numeric_limits<double>::quiet_NaN());
-  OvsTrainer trainer(model_, TrainerConfig{});
+  OvsTrainer trainer(model_.get(), TrainerConfig{});
   trainer.PrimeRecoveryPrior(*train_);
   Rng rng(31);
   StatusOr<od::TodTensor> result = trainer.RecoverTod(dark, nullptr, &rng);

@@ -222,7 +222,7 @@ TEST(RngTest, ShufflePreservesElements) {
   std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
   std::vector<int> shuffled = v;
   rng.Shuffle(&shuffled);
-  std::sort(shuffled.begin(), shuffled.end());
+  std::stable_sort(shuffled.begin(), shuffled.end());
   EXPECT_EQ(shuffled, v);
 }
 
@@ -425,8 +425,8 @@ TEST(ThreadPoolTest, GrainLargerThanRangeRunsSingleInlineCall) {
   int64_t lo = -1, hi = -1;
   pool.ParallelFor(2, 9, 100, [&](int64_t b, int64_t e) {
     ++calls;
-    lo = b;
-    hi = e;
+    lo = b;  // ovs-lint: allow(parallelfor-capture) — grain >= range, one call
+    hi = e;  // ovs-lint: allow(parallelfor-capture) — grain >= range, one call
   });
   EXPECT_EQ(calls, 1);
   EXPECT_EQ(lo, 2);

@@ -1,0 +1,370 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace ovs::lint {
+namespace {
+
+bool IdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool Digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Multi-character punctuators, longest first (maximal munch). Three-char
+/// operators must be listed before their two-char prefixes.
+const char* const kPunct3[] = {"<<=", ">>=", "->*", "..."};
+const char* const kPunct2[] = {"::", "->", "++", "--", "<<", ">>", "<=",
+                               ">=", "==", "!=", "&&", "||", "+=", "-=",
+                               "*=", "/=", "%=", "&=", "|=", "^=", "##"};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& s) : s_(s) {}
+
+  std::vector<Token> Run() {
+    while (i_ < s_.size()) {
+      SkipSplices();  // a continuation between tokens is just whitespace
+      if (i_ >= s_.size()) break;
+      char c = s_[i_];
+      if (c == '\n') {
+        at_line_start_ = true;
+        Advance();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      Begin();
+      if (c == '#' && at_line_start_) {
+        LexPp();
+        continue;
+      }
+      char next = Peek(1);
+      if (c == '/' && next == '/') {
+        LexLineComment();  // comments do not clear at_line_start_: a '#'
+        continue;          // after a leading comment still starts a directive
+      }
+      if (c == '/' && next == '*') {
+        LexBlockComment();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"') {
+        LexString("", /*raw=*/false);
+      } else if (c == '\'') {
+        LexChar("");
+      } else if (IdentStart(c)) {
+        LexIdentOrPrefixedLiteral();
+      } else if (Digit(c) || (c == '.' && Digit(next))) {
+        LexNumber();
+      } else {
+        LexPunct();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(size_t k) const {
+    return i_ + k < s_.size() ? s_[i_ + k] : '\0';
+  }
+
+  void Advance() {
+    if (i_ < s_.size()) {
+      if (s_[i_] == '\n') ++line_;
+      ++i_;
+    }
+  }
+
+  /// True if a backslash-newline continuation starts at index `k`.
+  bool SpliceAt(size_t k) const {
+    if (k + 1 >= s_.size() || s_[k] != '\\') return false;
+    if (s_[k + 1] == '\n') return true;
+    return s_[k + 1] == '\r' && k + 2 < s_.size() && s_[k + 2] == '\n';
+  }
+
+  /// Consumes any continuations at the cursor. Tokens call this between
+  /// characters so an identifier (or literal, or comment) split across a
+  /// backslash-newline lexes as one token, as translation phase 2 demands.
+  void SkipSplices() {
+    while (SpliceAt(i_)) {
+      Advance();                        // backslash
+      if (s_[i_] == '\r') Advance();    // optional CR
+      Advance();                        // newline
+    }
+  }
+
+  void Begin() {
+    tok_line_ = line_;
+    tok_off_ = i_;
+  }
+
+  void Emit(Tok kind, std::string text) {
+    out_.push_back({kind, std::move(text), tok_line_, line_, tok_off_});
+  }
+
+  void LexLineComment() {
+    Advance();
+    Advance();  // consume //
+    std::string text;
+    for (;;) {
+      SkipSplices();  // a trailing backslash continues the comment
+      char c = Peek(0);
+      if (c == '\0' || c == '\n') break;
+      text += c;
+      Advance();
+    }
+    Emit(Tok::kComment, std::move(text));
+  }
+
+  void LexBlockComment() {
+    Advance();
+    Advance();  // consume /*
+    std::string text;
+    while (i_ < s_.size()) {
+      if (Peek(0) == '*' && Peek(1) == '/') {
+        Advance();
+        Advance();
+        break;
+      }
+      text += Peek(0);
+      Advance();
+    }
+    Emit(Tok::kComment, std::move(text));
+  }
+
+  /// One whole preprocessor logical line, continuations spliced to spaces.
+  void LexPp() {
+    std::string text;
+    for (;;) {
+      if (SpliceAt(i_)) {
+        Advance();
+        if (Peek(0) == '\r') Advance();
+        Advance();
+        text += ' ';
+        continue;
+      }
+      char c = Peek(0);
+      if (c == '\0' || c == '\n') break;
+      if (c == '/' && Peek(1) == '*') {  // block comment inside a directive
+        Advance();
+        Advance();
+        while (i_ < s_.size() && !(Peek(0) == '*' && Peek(1) == '/')) {
+          text += Peek(0) == '\n' ? ' ' : Peek(0);
+          Advance();
+        }
+        if (i_ < s_.size()) {
+          Advance();
+          Advance();
+        }
+        continue;
+      }
+      text += c;
+      Advance();
+    }
+    Emit(Tok::kPp, std::move(text));
+  }
+
+  void LexString(std::string prefix, bool raw) {
+    if (raw) {
+      LexRawString(std::move(prefix));
+      return;
+    }
+    std::string text = std::move(prefix);
+    text += '"';
+    Advance();  // opening quote
+    for (;;) {
+      if (SpliceAt(i_)) {
+        SkipSplices();
+        continue;
+      }
+      char c = Peek(0);
+      if (c == '\0' || c == '\n') break;  // unterminated: close at line end
+      if (c == '\\') {
+        text += c;
+        Advance();
+        if (i_ < s_.size()) {
+          text += Peek(0);
+          Advance();
+        }
+        continue;
+      }
+      text += c;
+      Advance();
+      if (c == '"') break;
+    }
+    Emit(Tok::kString, std::move(text));
+  }
+
+  /// R"delim( ... )delim" with an arbitrary delimiter. Continuations are NOT
+  /// processed inside the raw body — raw strings revert phase-2 splicing.
+  void LexRawString(std::string prefix) {
+    std::string text = std::move(prefix);
+    text += '"';
+    Advance();  // opening quote
+    std::string delim;
+    while (i_ < s_.size() && Peek(0) != '(' && Peek(0) != '\n') {
+      delim += Peek(0);
+      text += Peek(0);
+      Advance();
+    }
+    if (Peek(0) != '(') {  // malformed; emit what we have
+      Emit(Tok::kString, std::move(text));
+      return;
+    }
+    text += '(';
+    Advance();
+    const std::string close = ")" + delim + "\"";
+    while (i_ < s_.size()) {
+      if (Peek(0) == ')' && s_.compare(i_, close.size(), close) == 0) {
+        for (size_t k = 0; k < close.size(); ++k) {
+          text += Peek(0);
+          Advance();
+        }
+        break;
+      }
+      text += Peek(0);
+      Advance();
+    }
+    Emit(Tok::kString, std::move(text));
+  }
+
+  void LexChar(std::string prefix) {
+    std::string text = std::move(prefix);
+    text += '\'';
+    Advance();  // opening quote
+    for (;;) {
+      if (SpliceAt(i_)) {
+        SkipSplices();
+        continue;
+      }
+      char c = Peek(0);
+      if (c == '\0' || c == '\n') break;
+      if (c == '\\') {
+        text += c;
+        Advance();
+        if (i_ < s_.size()) {
+          text += Peek(0);
+          Advance();
+        }
+        continue;
+      }
+      text += c;
+      Advance();
+      if (c == '\'') break;
+    }
+    Emit(Tok::kChar, std::move(text));
+  }
+
+  void LexIdentOrPrefixedLiteral() {
+    std::string id;
+    for (;;) {
+      SkipSplices();
+      char c = Peek(0);
+      if (!IdentChar(c)) break;
+      id += c;
+      Advance();
+    }
+    SkipSplices();
+    char c = Peek(0);
+    if (c == '"') {
+      const bool raw = !id.empty() && id.back() == 'R' &&
+                       (id == "R" || id == "uR" || id == "UR" || id == "LR" ||
+                        id == "u8R");
+      if (raw || id == "u8" || id == "u" || id == "U" || id == "L") {
+        LexString(std::move(id), raw);
+        return;
+      }
+    }
+    if (c == '\'' && (id == "u" || id == "U" || id == "L" || id == "u8")) {
+      LexChar(std::move(id));
+      return;
+    }
+    Emit(Tok::kIdent, std::move(id));
+  }
+
+  /// A pp-number: digits, identifier characters, '.', digit separators, and
+  /// exponent signs after e/E/p/P. Suffixes (f, L, u, _udl) ride along.
+  void LexNumber() {
+    std::string text;
+    char prev = '\0';
+    for (;;) {
+      SkipSplices();
+      char c = Peek(0);
+      if (IdentChar(c) || c == '.') {
+        text += c;
+        prev = c;
+        Advance();
+        continue;
+      }
+      if (c == '\'' && IdentChar(Peek(1))) {  // digit separator
+        text += c;
+        prev = c;
+        Advance();
+        continue;
+      }
+      if ((c == '+' || c == '-') &&
+          (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P')) {
+        text += c;
+        prev = c;
+        Advance();
+        continue;
+      }
+      break;
+    }
+    Emit(Tok::kNumber, std::move(text));
+  }
+
+  void LexPunct() {
+    for (const char* p : kPunct3) {
+      if (s_.compare(i_, 3, p) == 0) {
+        Advance();
+        Advance();
+        Advance();
+        Emit(Tok::kPunct, p);
+        return;
+      }
+    }
+    for (const char* p : kPunct2) {
+      if (s_.compare(i_, 2, p) == 0) {
+        Advance();
+        Advance();
+        Emit(Tok::kPunct, p);
+        return;
+      }
+    }
+    std::string one(1, Peek(0));
+    Advance();
+    Emit(Tok::kPunct, std::move(one));
+  }
+
+  const std::string& s_;
+  size_t i_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  int tok_line_ = 1;
+  size_t tok_off_ = 0;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& content) {
+  return Lexer(content).Run();
+}
+
+bool IsIdent(const Token& t, const std::string& text) {
+  return t.kind == Tok::kIdent && t.text == text;
+}
+
+bool IsPunct(const Token& t, const std::string& text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+}  // namespace ovs::lint

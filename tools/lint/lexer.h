@@ -1,0 +1,58 @@
+#ifndef OVS_TOOLS_LINT_LEXER_H_
+#define OVS_TOOLS_LINT_LEXER_H_
+
+// A dependency-free C++ tokenizer shared by every ovs_lint rule.
+//
+// The v1 linter scanned raw text with comments and string contents blanked
+// to spaces. That approach mishandled exactly the constructs C++ programmers
+// reach for daily: raw string literals (the closing logic keyed on the next
+// plain quote), digit separators (1'000'000 opened a bogus char literal that
+// swallowed real code), and line continuations. Every such mistake either
+// leaked string contents into "code" (false positives on keywords inside log
+// messages) or blanked real code (false negatives). This lexer replaces the
+// blanking pass with a faithful token stream so rules match tokens, never
+// substrings.
+//
+// Scope: lexing only, no preprocessing. A preprocessor directive is emitted
+// as one kPp token spanning its whole logical line (backslash continuations
+// spliced), because directives are line-oriented while everything else is
+// token-oriented. Comments are kept as kComment tokens (the suppression
+// parser reads them); rules that only care about code skip them.
+
+#include <string>
+#include <vector>
+
+namespace ovs::lint {
+
+enum class Tok {
+  kIdent,    // identifiers and keywords (no keyword table: rules match text)
+  kNumber,   // pp-number: digits, '.', exponents, digit separators, suffixes
+  kString,   // "..." incl. prefix and quotes; raw strings verbatim
+  kChar,     // '...' incl. prefix and quotes
+  kPunct,    // operators/punctuation, maximal munch ("::", "->", "<<=", ...)
+  kComment,  // text holds the content without the // or /* */ delimiters
+  kPp,       // whole preprocessor logical line incl. '#', continuations spliced
+};
+
+struct Token {
+  Tok kind = Tok::kIdent;
+  std::string text;   // spliced token text (see per-kind notes on Tok)
+  int line = 0;       // 1-based source line of the token's first character
+  int end_line = 0;   // 1-based source line of its last character
+  size_t offset = 0;  // byte offset of the first character in the input
+};
+
+/// Tokenizes `content`. Never fails: unterminated literals and comments are
+/// closed at end of input so a half-written file still yields a usable
+/// stream (the linter must not crash on the code it is criticising).
+[[nodiscard]] std::vector<Token> Lex(const std::string& content);
+
+/// True if `t` is an identifier spelling exactly `text`.
+[[nodiscard]] bool IsIdent(const Token& t, const std::string& text);
+
+/// True if `t` is a punctuator spelling exactly `text`.
+[[nodiscard]] bool IsPunct(const Token& t, const std::string& text);
+
+}  // namespace ovs::lint
+
+#endif  // OVS_TOOLS_LINT_LEXER_H_

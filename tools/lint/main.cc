@@ -1,6 +1,8 @@
 // CLI for ovs_lint. Usage:
-//   ovs_lint [--list-rules] <path>...
+//   ovs_lint [--list-rules] [--format=plain|github] <path>...
 // Paths may be files or directories (searched recursively for .h/.cc/.cpp).
+// All paths are linted together as one repo, so cross-file rules
+// (include-cycle) see the whole include graph.
 // Exit code: 0 clean, 1 violations found, 2 usage or I/O error.
 
 #include <iostream>
@@ -11,6 +13,7 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  ovs::lint::RunOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -20,13 +23,33 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: ovs_lint [--list-rules] <path>...\n"
-                << "Lints .h/.cc/.cpp files for repo-specific determinism and "
-                   "safety hazards.\n"
-                << "Suppress a finding with: // ovs-lint: allow(<rule>)\n";
+      std::cout
+          << "usage: ovs_lint [--list-rules] [--format=plain|github] "
+             "<path>...\n"
+          << "Lints .h/.cc/.cpp files for repo-specific determinism and "
+             "safety hazards.\n"
+          << "--format=github emits GitHub Actions ::error annotations.\n"
+          << "Suppress a finding with: // ovs-lint: allow(<rule>)\n";
       return 0;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      const std::string fmt = arg.substr(9);
+      if (fmt == "plain") {
+        options.format = ovs::lint::RunOptions::Format::kPlain;
+      } else if (fmt == "github") {
+        options.format = ovs::lint::RunOptions::Format::kGithub;
+      } else {
+        std::cerr << "ovs_lint: unknown format '" << fmt
+                  << "' (expected plain or github)\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "ovs_lint: unknown option '" << arg << "'\n";
+      return 2;
     }
     paths.push_back(std::move(arg));
   }
-  return ovs::lint::Run(paths, std::cout, std::cerr);
+  return ovs::lint::Run(paths, std::cout, std::cerr, options);
 }

@@ -4,19 +4,68 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
+
+#include "lexer.h"
 
 namespace ovs::lint {
 namespace {
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+/// Top-level directories the linter walks; each is one node of the layering
+/// DAG's final layer except src/, whose subdirectories are layered
+/// individually.
+const std::set<std::string>& TopDirs() {
+  static const std::set<std::string> kTops = {"src", "tests", "bench", "tools",
+                                              "examples"};
+  return kTops;
+}
+
+/// The layer of each src/ module (and of the top-level consumer dirs).
+/// Includes may point sideways or down, never up:
+///
+///   layer 0: util
+///   layer 1: obs                      (telemetry; depends only on util)
+///   layer 2: nn, sim                  (autodiff + simulator, both emit obs)
+///   layer 3: od, data                 (OD tensors; datasets run the sim)
+///   layer 4: core, baselines          (recovery model and its competitors)
+///   layer 5: eval                     (harness over everything below)
+///   layer 6: bench, tests, tools, examples
+int LayerOf(const std::string& module) {
+  static const std::map<std::string, int> kLayers = {
+          {"util", 0},     {"obs", 1},       {"nn", 2},    {"sim", 2},
+          {"od", 3},       {"data", 3},      {"core", 4},  {"baselines", 4},
+          {"eval", 5},     {"bench", 6},     {"tests", 6}, {"tools", 6},
+          {"examples", 6},
+      };
+  auto it = kLayers.find(module);
+  return it == kLayers.end() ? -1 : it->second;
+}
+
+bool IsSrcModule(const std::string& name) {
+  int layer = LayerOf(name);
+  return layer >= 0 && layer <= 5;
 }
 
 /// Parses "allow(a, b)" lists out of an `ovs-lint:` comment.
@@ -38,161 +87,168 @@ void ParseAllows(const std::string& comment, std::set<std::string>* allows) {
   }
 }
 
-/// A file prepared for linting: `code` is the original text with comment and
-/// string/char-literal contents blanked to spaces (newlines kept, so offsets
-/// map to the original lines), and `allows` holds per-line suppressions.
+/// A file prepared for linting: the token stream from the shared lexer,
+/// split into `all` (everything) and `code` (comments and preprocessor lines
+/// stripped, so rules can match adjacent tokens without seeing either), plus
+/// the parsed include list and per-line suppressions.
 struct FileCtx {
   std::string path;
-  std::string code;
-  std::vector<std::string> lines;           // code, split (index 0 = line 1)
-  std::vector<size_t> line_offsets;         // offset in code of each line
-  std::vector<std::set<std::string>> allows;  // per line (index 0 = line 1)
+  std::string top;     // src / tests / bench / tools / examples / "" (snippet)
+  std::string module;  // util / obs / ... / eval when top == "src"
+  std::vector<Token> all;
+  std::vector<Token> code;
 
-  int LineOf(size_t offset) const {
-    auto it =
-        std::upper_bound(line_offsets.begin(), line_offsets.end(), offset);
-    return static_cast<int>(it - line_offsets.begin());
-  }
+  struct Include {
+    std::string target;
+    bool quoted = false;
+    int line = 0;
+  };
+  std::vector<Include> includes;
+
+  std::map<int, std::set<std::string>> allows;  // line -> suppressed rules
 
   /// A rule is suppressed on a line by an allow() on that line or on the
   /// line directly above it.
   bool IsAllowed(int line, const std::string& rule) const {
     for (int l : {line, line - 1}) {
-      if (l < 1 || l > static_cast<int>(allows.size())) continue;
-      const std::set<std::string>& a = allows[l - 1];
-      if (a.count(rule) || a.count("*")) return true;
+      auto it = allows.find(l);
+      if (it == allows.end()) continue;
+      if (it->second.count(rule) || it->second.count("*")) return true;
     }
     return false;
   }
 };
 
+/// Derives the policy scope from the path. The LAST path component naming a
+/// top-level dir wins, so both "tests/lint_test.cc" and
+/// "/root/repo/tests/lint_test.cc" classify the same. A bare module prefix
+/// ("util/rng.h", as fixtures spell it) counts as src/. Anything else — e.g.
+/// the "snippet.cc" fixtures — gets the full rule set.
+void ClassifyPath(FileCtx* ctx) {
+  std::vector<std::string> parts = SplitPath(ctx->path);
+  for (size_t i = parts.size(); i-- > 0;) {
+    if (TopDirs().count(parts[i])) {
+      ctx->top = parts[i];
+      if (parts[i] == "src" && i + 1 < parts.size() &&
+          IsSrcModule(parts[i + 1])) {
+        ctx->module = parts[i + 1];
+      }
+      return;
+    }
+  }
+  if (!parts.empty() && IsSrcModule(parts[0])) {
+    ctx->top = "src";
+    ctx->module = parts[0];
+  }
+}
+
+/// Parses one `#include` out of a preprocessor token's text, if present.
+void ParseInclude(const Token& pp, std::vector<FileCtx::Include>* out) {
+  const std::string& text = pp.text;
+  size_t i = 0;
+  while (i < text.size() && (text[i] == '#' || text[i] == ' ' ||
+                             text[i] == '\t')) {
+    ++i;
+  }
+  if (text.compare(i, 7, "include") != 0) return;
+  i += 7;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  if (i >= text.size() || (text[i] != '"' && text[i] != '<')) return;
+  const char close = text[i] == '"' ? '"' : '>';
+  const bool quoted = text[i] == '"';
+  size_t start = ++i;
+  while (i < text.size() && text[i] != close) ++i;
+  if (i >= text.size()) return;
+  out->push_back({text.substr(start, i - start), quoted, pp.line});
+}
+
 FileCtx Prepare(const std::string& path, const std::string& content) {
   FileCtx ctx;
   ctx.path = path;
-  ctx.code.reserve(content.size());
-
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  std::string current_comment;
-  int line = 1;
-  std::vector<std::pair<int, std::string>> comments;  // (line, text)
-
-  for (size_t i = 0; i < content.size(); ++i) {
-    char c = content[i];
-    char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          current_comment.clear();
-          ctx.code += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          current_comment.clear();
-          ctx.code += "  ";
-          ++i;
-        } else if (c == '"') {
-          // Raw strings are rare here; treat R"( as a plain string opener and
-          // rely on the closing quote (good enough for this codebase).
-          state = State::kString;
-          ctx.code += '"';
-        } else if (c == '\'') {
-          state = State::kChar;
-          ctx.code += '\'';
-        } else {
-          ctx.code += c;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          comments.emplace_back(line, current_comment);
-          state = State::kCode;
-          ctx.code += '\n';
-        } else {
-          current_comment += c;
-          ctx.code += ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          comments.emplace_back(line, current_comment);
-          state = State::kCode;
-          ctx.code += "  ";
-          ++i;
-        } else {
-          current_comment += c;
-          ctx.code += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          ctx.code += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          ctx.code += '"';
-        } else {
-          ctx.code += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          ctx.code += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          ctx.code += '\'';
-        } else {
-          ctx.code += c;
-        }
-        break;
+  ClassifyPath(&ctx);
+  ctx.all = Lex(content);
+  for (const Token& t : ctx.all) {
+    if (t.kind == Tok::kComment) {
+      std::set<std::string> allows;
+      ParseAllows(t.text, &allows);
+      if (!allows.empty()) {
+        // Register at the end line so a block comment directly above code
+        // suppresses that code, like a line comment does.
+        ctx.allows[t.end_line].insert(allows.begin(), allows.end());
+      }
+      continue;
     }
-    if (c == '\n') ++line;
-  }
-  if (state == State::kLineComment) comments.emplace_back(line, current_comment);
-
-  ctx.line_offsets.push_back(0);
-  std::string cur;
-  for (size_t i = 0; i < ctx.code.size(); ++i) {
-    if (ctx.code[i] == '\n') {
-      ctx.lines.push_back(cur);
-      cur.clear();
-      ctx.line_offsets.push_back(i + 1);
-    } else {
-      cur += ctx.code[i];
+    if (t.kind == Tok::kPp) {
+      ParseInclude(t, &ctx.includes);
+      // A trailing `// ovs-lint: allow(...)` on a directive line rides along
+      // inside the kPp token; honor it so `#include` findings are
+      // suppressible too.
+      std::set<std::string> allows;
+      ParseAllows(t.text, &allows);
+      if (!allows.empty()) {
+        ctx.allows[t.line].insert(allows.begin(), allows.end());
+        ctx.allows[t.end_line].insert(allows.begin(), allows.end());
+      }
+      continue;
     }
-  }
-  ctx.lines.push_back(cur);
-
-  ctx.allows.resize(ctx.lines.size());
-  for (const auto& [cline, text] : comments) {
-    if (cline >= 1 && cline <= static_cast<int>(ctx.allows.size())) {
-      ParseAllows(text, &ctx.allows[cline - 1]);
-    }
+    ctx.code.push_back(t);
   }
   return ctx;
 }
 
-/// Finds `token` as a whole word starting at or after `from`; npos if none.
-size_t FindToken(const std::string& code, const std::string& token,
-                 size_t from) {
-  size_t pos = code.find(token, from);
-  while (pos != std::string::npos) {
-    bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
-    size_t after = pos + token.size();
-    bool right_ok = after >= code.size() || !IsIdentChar(code[after]);
-    if (left_ok && right_ok) return pos;
-    pos = code.find(token, pos + 1);
-  }
-  return std::string::npos;
-}
-
-void Report(const FileCtx& ctx, size_t offset, const std::string& rule,
+void Report(const FileCtx& ctx, int line, const std::string& rule,
             const std::string& message, std::vector<Diagnostic>* out) {
-  int line = ctx.LineOf(offset);
   if (ctx.IsAllowed(line, rule)) return;
   out->push_back({ctx.path, line, rule, message});
+}
+
+// ------------------------------------------------------------ token helpers
+
+/// Kinds a rule treats as "code token at index i"; callers bound-check.
+bool PunctIs(const std::vector<Token>& code, size_t i, const char* text) {
+  return i < code.size() && IsPunct(code[i], text);
+}
+
+bool IdentIs(const std::vector<Token>& code, size_t i, const char* text) {
+  return i < code.size() && IsIdent(code[i], text);
+}
+
+bool IsAnyIdent(const std::vector<Token>& code, size_t i) {
+  return i < code.size() && code[i].kind == Tok::kIdent;
+}
+
+/// With `i` at a '<' punctuator, returns the index just past the matching
+/// '>' (treating '>>' as two closers). Returns i + 1 if this is not a
+/// well-formed template argument list (comparison operator, unbalanced).
+size_t SkipTemplateArgs(const std::vector<Token>& code, size_t i) {
+  int depth = 0;
+  for (size_t j = i; j < code.size(); ++j) {
+    const Token& t = code[j];
+    if (t.kind != Tok::kPunct) continue;
+    if (t.text == "<") {
+      ++depth;
+    } else if (t.text == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (t.text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (t.text == ";" || t.text == "{" || t.text == "}") {
+      break;  // statement boundary: that '<' was a comparison
+    }
+  }
+  return i + 1;
+}
+
+/// With `i` at an opening bracket token ("(", "[", "{"), returns the index
+/// of the matching closer, or code.size() if unbalanced.
+size_t MatchForward(const std::vector<Token>& code, size_t i,
+                    const char* open, const char* close) {
+  int depth = 0;
+  for (size_t j = i; j < code.size(); ++j) {
+    if (PunctIs(code, j, open)) ++depth;
+    if (PunctIs(code, j, close) && --depth == 0) return j;
+  }
+  return code.size();
 }
 
 // ----------------------------------------------------------- rule: raw-rand
@@ -205,55 +261,58 @@ void CheckRawRand(const FileCtx& ctx, std::vector<Diagnostic>* out) {
   struct Bad {
     const char* token;
     const char* what;
+    bool call_only;  // require a following '(' (rand/srand are common words)
   };
   static const Bad kBad[] = {
-      {"rand", "call to rand()"},
-      {"srand", "call to srand()"},
-      {"random_device", "use of std::random_device"},
-      {"mt19937", "raw std::mt19937 engine"},
-      {"mt19937_64", "raw std::mt19937_64 engine"},
-      {"minstd_rand", "raw std::minstd_rand engine"},
-      {"default_random_engine", "raw std::default_random_engine"},
+      {"rand", "call to rand()", true},
+      {"srand", "call to srand()", true},
+      {"random_device", "use of std::random_device", false},
+      {"mt19937", "raw std::mt19937 engine", false},
+      {"mt19937_64", "raw std::mt19937_64 engine", false},
+      {"minstd_rand", "raw std::minstd_rand engine", false},
+      {"default_random_engine", "raw std::default_random_engine", false},
   };
-  for (const Bad& b : kBad) {
-    for (size_t pos = FindToken(ctx.code, b.token, 0);
-         pos != std::string::npos;
-         pos = FindToken(ctx.code, b.token, pos + 1)) {
-      // `rand`/`srand` only count as calls: require a following '('.
-      if (b.token[0] == 'r' || b.token[0] == 's') {
-        size_t after = pos + std::string(b.token).size();
-        while (after < ctx.code.size() && ctx.code[after] == ' ') ++after;
-        if (std::string(b.token) == "rand" || std::string(b.token) == "srand") {
-          if (after >= ctx.code.size() || ctx.code[after] != '(') continue;
-        }
-      }
-      Report(ctx, pos, "raw-rand",
+  const std::vector<Token>& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != Tok::kIdent) continue;
+    for (const Bad& b : kBad) {
+      if (code[i].text != b.token) continue;
+      if (b.call_only && !PunctIs(code, i + 1, "(")) continue;
+      Report(ctx, code[i].line, "raw-rand",
              std::string(b.what) +
                  "; draw randomness from a seeded ovs::Rng (util/rng.h)",
              out);
     }
-  }
-  // Time-based seeding: wall-clock feeding a seed or an Rng makes every run
-  // unique. Timing code (util/timer.h) is fine because it never mentions
-  // seeds.
-  for (const char* t : {"time(0)", "time(nullptr)", "time(NULL)"}) {
-    for (size_t pos = ctx.code.find(t); pos != std::string::npos;
-         pos = ctx.code.find(t, pos + 1)) {
-      if (pos > 0 && IsIdentChar(ctx.code[pos - 1])) continue;
-      Report(ctx, pos, "raw-rand",
-             "wall-clock value used where a fixed seed belongs", out);
+    // Wall-clock seeding: time(0) / time(nullptr) / time(NULL).
+    if (IsIdent(code[i], "time") && PunctIs(code, i + 1, "(") &&
+        i + 3 < code.size() && PunctIs(code, i + 3, ")")) {
+      const Token& arg = code[i + 2];
+      const bool seedy = (arg.kind == Tok::kNumber && arg.text == "0") ||
+                         IsIdent(arg, "nullptr") || IsIdent(arg, "NULL");
+      if (seedy && !(i > 0 && (PunctIs(code, i - 1, ".") ||
+                               PunctIs(code, i - 1, "->")))) {
+        Report(ctx, code[i].line, "raw-rand",
+               "wall-clock value used where a fixed seed belongs", out);
+      }
     }
-  }
-  for (size_t pos = ctx.code.find("::now()"); pos != std::string::npos;
-       pos = ctx.code.find("::now()", pos + 1)) {
-    int line = ctx.LineOf(pos);
-    const std::string& text = ctx.lines[line - 1];
-    if (text.find("seed") != std::string::npos ||
-        text.find("Seed") != std::string::npos ||
-        text.find("Rng") != std::string::npos) {
-      Report(ctx, pos, "raw-rand",
-             "clock-derived seed; use a fixed seed so runs are reproducible",
-             out);
+    // `Clock::now()` on a line that mentions seeding or an Rng.
+    if (IsIdent(code[i], "now") && i > 0 && PunctIs(code, i - 1, "::") &&
+        PunctIs(code, i + 1, "(") && PunctIs(code, i + 2, ")")) {
+      bool seedy = false;
+      for (const Token& t : code) {
+        if (t.line != code[i].line || t.kind != Tok::kIdent) continue;
+        if (t.text.find("seed") != std::string::npos ||
+            t.text.find("Seed") != std::string::npos ||
+            t.text.find("Rng") != std::string::npos) {
+          seedy = true;
+          break;
+        }
+      }
+      if (seedy) {
+        Report(ctx, code[i].line, "raw-rand",
+               "clock-derived seed; use a fixed seed so runs are reproducible",
+               out);
+      }
     }
   }
 }
@@ -264,63 +323,47 @@ void CheckRawRand(const FileCtx& ctx, std::vector<Diagnostic>* out) {
 /// across standard libraries and (for pointer keys) across runs — any number
 /// accumulated that way is not reproducible. Membership tests are fine.
 void CheckUnorderedIter(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  const std::vector<Token>& code = ctx.code;
   // Collect names declared as std::unordered_{map,set}<...>.
   std::set<std::string> unordered_names;
-  for (const char* kind : {"unordered_map", "unordered_set"}) {
-    for (size_t pos = FindToken(ctx.code, kind, 0); pos != std::string::npos;
-         pos = FindToken(ctx.code, kind, pos + 1)) {
-      size_t i = pos + std::string(kind).size();
-      if (i >= ctx.code.size() || ctx.code[i] != '<') continue;
-      int depth = 0;
-      while (i < ctx.code.size()) {
-        if (ctx.code[i] == '<') ++depth;
-        if (ctx.code[i] == '>') {
-          --depth;
-          if (depth == 0) break;
-        }
-        ++i;
-      }
-      if (i >= ctx.code.size()) continue;
-      ++i;  // past '>'
-      while (i < ctx.code.size() &&
-             (std::isspace(static_cast<unsigned char>(ctx.code[i])) ||
-              ctx.code[i] == '&' || ctx.code[i] == '*')) {
-        ++i;
-      }
-      size_t start = i;
-      while (i < ctx.code.size() && IsIdentChar(ctx.code[i])) ++i;
-      if (i > start) unordered_names.insert(ctx.code.substr(start, i - start));
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!IsIdent(code[i], "unordered_map") &&
+        !IsIdent(code[i], "unordered_set")) {
+      continue;
     }
+    if (!PunctIs(code, i + 1, "<")) continue;
+    size_t j = SkipTemplateArgs(code, i + 1);
+    while (PunctIs(code, j, "&") || PunctIs(code, j, "*")) ++j;
+    if (IsAnyIdent(code, j)) unordered_names.insert(code[j].text);
   }
   if (unordered_names.empty()) return;
 
-  for (const std::string& name : unordered_names) {
-    // Range-for: `for (... : name)`.
-    for (size_t pos = FindToken(ctx.code, name, 0); pos != std::string::npos;
-         pos = FindToken(ctx.code, name, pos + 1)) {
-      size_t before = pos;
-      while (before > 0 && ctx.code[before - 1] == ' ') --before;
-      if (before > 0 && ctx.code[before - 1] == ':' &&
-          (before < 2 || ctx.code[before - 2] != ':')) {
-        Report(ctx, pos, "unordered-iter",
-               "range-for over unordered container '" + name +
-                   "' visits elements in hash order; use an ordered container "
-                   "or sort keys first",
-               out);
-        continue;
-      }
-      // Iterator loops: name.begin() / cbegin / rbegin.
-      size_t after = pos + name.size();
-      for (const char* it : {".begin()", ".cbegin()", ".rbegin()"}) {
-        if (ctx.code.compare(after, std::string(it).size(), it) == 0) {
-          Report(ctx, pos, "unordered-iter",
-                 "iterator walk over unordered container '" + name +
-                     "' visits elements in hash order; use an ordered "
-                     "container or sort keys first",
-                 out);
-          break;
-        }
-      }
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != Tok::kIdent || !unordered_names.count(code[i].text)) {
+      continue;
+    }
+    const std::string& name = code[i].text;
+    // Range-for: `for (... : name)`. The lexer emits '::' as one token, so a
+    // single ':' here is the range-for colon (or a ternary, which old
+    // behavior also matched).
+    if (i > 0 && PunctIs(code, i - 1, ":")) {
+      Report(ctx, code[i].line, "unordered-iter",
+             "range-for over unordered container '" + name +
+                 "' visits elements in hash order; use an ordered container "
+                 "or sort keys first",
+             out);
+      continue;
+    }
+    // Iterator loops: name.begin() / cbegin / rbegin.
+    if (PunctIs(code, i + 1, ".") &&
+        (IdentIs(code, i + 2, "begin") || IdentIs(code, i + 2, "cbegin") ||
+         IdentIs(code, i + 2, "rbegin")) &&
+        PunctIs(code, i + 3, "(") && PunctIs(code, i + 4, ")")) {
+      Report(ctx, code[i].line, "unordered-iter",
+             "iterator walk over unordered container '" + name +
+                 "' visits elements in hash order; use an ordered "
+                 "container or sort keys first",
+             out);
     }
   }
 }
@@ -330,35 +373,27 @@ void CheckUnorderedIter(const FileCtx& ctx, std::vector<Diagnostic>* out) {
 /// Raw new/delete invite leaks and double frees that the sanitizer jobs then
 /// chase at runtime; std::make_unique/containers make ownership structural.
 void CheckNakedNew(const FileCtx& ctx, std::vector<Diagnostic>* out) {
-  for (size_t pos = FindToken(ctx.code, "new", 0); pos != std::string::npos;
-       pos = FindToken(ctx.code, "new", pos + 1)) {
-    // Skip `operator new` declarations.
-    size_t before = pos;
-    while (before > 0 && ctx.code[before - 1] == ' ') --before;
-    if (before >= 8 && ctx.code.compare(before - 8, 8, "operator") == 0) {
-      continue;
+  const std::vector<Token>& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (IsIdent(code[i], "new")) {
+      if (i > 0 && IdentIs(code, i - 1, "operator")) continue;
+      // Require something new-able after it (a type name or placement
+      // parens) so `new` in other token contexts does not trip.
+      if (!IsAnyIdent(code, i + 1) && !PunctIs(code, i + 1, "(")) continue;
+      Report(ctx, code[i].line, "naked-new",
+             "naked 'new'; use std::make_unique, std::vector, or a value "
+             "member",
+             out);
     }
-    // Require something new-able after it, so the word "new" in an
-    // identifier-free context (rare in blanked code) does not trip.
-    size_t after = pos + 3;
-    while (after < ctx.code.size() && ctx.code[after] == ' ') ++after;
-    if (after >= ctx.code.size() ||
-        (!IsIdentChar(ctx.code[after]) && ctx.code[after] != '(')) {
-      continue;
+    if (IsIdent(code[i], "delete")) {
+      // `= delete` (deleted special member) is not a deallocation.
+      if (i > 0 && PunctIs(code, i - 1, "=")) continue;
+      if (i > 0 && IdentIs(code, i - 1, "operator")) continue;
+      Report(ctx, code[i].line, "naked-new",
+             "naked 'delete'; let std::unique_ptr or a container own the "
+             "object",
+             out);
     }
-    Report(ctx, pos, "naked-new",
-           "naked 'new'; use std::make_unique, std::vector, or a value member",
-           out);
-  }
-  for (size_t pos = FindToken(ctx.code, "delete", 0); pos != std::string::npos;
-       pos = FindToken(ctx.code, "delete", pos + 1)) {
-    // `= delete` (deleted special member) is not a deallocation.
-    size_t before = pos;
-    while (before > 0 && ctx.code[before - 1] == ' ') --before;
-    if (before > 0 && ctx.code[before - 1] == '=') continue;
-    Report(ctx, pos, "naked-new",
-           "naked 'delete'; let std::unique_ptr or a container own the object",
-           out);
   }
 }
 
@@ -367,68 +402,146 @@ void CheckNakedNew(const FileCtx& ctx, std::vector<Diagnostic>* out) {
 /// A double literal stored into a float tensor silently rounds; two call
 /// sites spelling the "same" constant with different precision then diverge
 /// bitwise. Literals destined for float storage must carry the f suffix.
-void CheckFloatNarrowing(const FileCtx& ctx, std::vector<Diagnostic>* out) {
-  static const char* kFloatSinks[] = {
-      "Tensor::Full(",     "Tensor::Scalar(",  "RandomUniform(",
-      "RandomGaussian(",   "XavierUniform(",
-  };
-  for (size_t li = 0; li < ctx.lines.size(); ++li) {
-    const std::string& text = ctx.lines[li];
-    bool float_context = false;
-    size_t fpos = FindToken(text, "float", 0);
-    if (fpos != std::string::npos &&
-        text.find('=', fpos) != std::string::npos) {
-      float_context = true;
-    }
-    if (!float_context) {
-      for (const char* sink : kFloatSinks) {
-        if (text.find(sink) != std::string::npos) {
-          float_context = true;
-          break;
-        }
-      }
-    }
-    if (!float_context) continue;
 
-    // Scan for unsuffixed floating-point literals: 1.0, .5, 2., 1e-3.
-    for (size_t i = 0; i < text.size(); ++i) {
-      if (i > 0 && (IsIdentChar(text[i - 1]) || text[i - 1] == '.')) continue;
-      size_t j = i;
-      bool saw_digit = false, saw_point = false, saw_exp = false;
-      while (j < text.size()) {
-        char c = text[j];
-        if (std::isdigit(static_cast<unsigned char>(c))) {
-          saw_digit = true;
-        } else if (c == '.' && !saw_point && !saw_exp) {
-          saw_point = true;
-        } else if ((c == 'e' || c == 'E') && saw_digit && !saw_exp &&
-                   j + 1 < text.size() &&
-                   (std::isdigit(static_cast<unsigned char>(text[j + 1])) ||
-                    text[j + 1] == '+' || text[j + 1] == '-')) {
-          saw_exp = true;
-          if (text[j + 1] == '+' || text[j + 1] == '-') ++j;
-        } else {
-          break;
-        }
-        ++j;
-      }
-      if (!saw_digit || (!saw_point && !saw_exp)) continue;
-      if (j < text.size() && (text[j] == 'f' || text[j] == 'F')) {
-        i = j;
-        continue;  // correctly suffixed
-      }
-      if (j < text.size() && IsIdentChar(text[j])) {
-        i = j;
-        continue;  // part of an identifier or another suffix (L, u...)
-      }
-      Report(ctx, ctx.line_offsets[li] + i, "float-narrowing",
-             "double literal '" + text.substr(i, j - i) +
-                 "' in float context; add an 'f' suffix so the stored value "
-                 "is explicit",
-             out);
-      i = j;
+/// True for a floating-point literal with no suffix: has a decimal point or
+/// a decimal exponent and ends on a digit (or trailing '.').
+bool IsUnsuffixedDouble(const std::string& text) {
+  if (text.size() >= 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    return false;  // hex (incl. hex floats) is out of scope
+  }
+  bool has_point = false;
+  bool has_exp = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '.') has_point = true;
+    if ((text[i] == 'e' || text[i] == 'E') && i + 1 < text.size() &&
+        (std::isdigit(static_cast<unsigned char>(text[i + 1])) ||
+         text[i + 1] == '+' || text[i + 1] == '-')) {
+      has_exp = true;
     }
   }
+  if (!has_point && !has_exp) return false;
+  const char last = text.back();
+  return std::isdigit(static_cast<unsigned char>(last)) || last == '.';
+}
+
+void CheckFloatNarrowing(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  const std::vector<Token>& code = ctx.code;
+  // Mark lines that form a float context: a `float` declaration with an
+  // assignment, or a call to one of the known float-tensor factories.
+  std::set<int> float_lines;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (IsIdent(code[i], "float")) {
+      for (size_t j = i + 1; j < code.size() && code[j].line == code[i].line;
+           ++j) {
+        if (code[j].kind == Tok::kPunct &&
+            code[j].text.find('=') != std::string::npos) {
+          float_lines.insert(code[i].line);
+          break;
+        }
+      }
+    }
+    const bool factory = IsIdent(code[i], "RandomUniform") ||
+                         IsIdent(code[i], "RandomGaussian") ||
+                         IsIdent(code[i], "XavierUniform");
+    if (factory && PunctIs(code, i + 1, "(")) float_lines.insert(code[i].line);
+    if (IsIdent(code[i], "Tensor") && PunctIs(code, i + 1, "::") &&
+        (IdentIs(code, i + 2, "Full") || IdentIs(code, i + 2, "Scalar")) &&
+        PunctIs(code, i + 3, "(")) {
+      float_lines.insert(code[i].line);
+    }
+  }
+  if (float_lines.empty()) return;
+
+  for (const Token& t : code) {
+    if (t.kind != Tok::kNumber || !float_lines.count(t.line)) continue;
+    if (!IsUnsuffixedDouble(t.text)) continue;
+    Report(ctx, t.line, "float-narrowing",
+           "double literal '" + t.text +
+               "' in float context; add an 'f' suffix so the stored value "
+               "is explicit",
+           out);
+  }
+}
+
+// ---------------------------------------------------- ParallelFor detection
+
+/// One ParallelFor call site with a lambda argument, as token index ranges
+/// into FileCtx::code. `capture_begin/end` bracket the tokens between [ and ]
+/// (exclusive); `body_begin/end` bracket the tokens between { and }
+/// (exclusive).
+struct ParallelForBody {
+  size_t capture_begin = 0, capture_end = 0;
+  size_t params_begin = 0, params_end = 0;  // between ( and ), may be empty
+  size_t body_begin = 0, body_end = 0;
+};
+
+std::vector<ParallelForBody> FindParallelForBodies(const FileCtx& ctx) {
+  const std::vector<Token>& code = ctx.code;
+  std::vector<ParallelForBody> bodies;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!IsIdent(code[i], "ParallelFor")) continue;
+    // The lambda argument starts at a '[' in argument position (preceded by
+    // '(' or ','). Stop at the statement end so a ParallelFor *definition*
+    // does not swallow unrelated lambdas further down the file.
+    size_t lb = code.size();
+    for (size_t j = i + 1; j < code.size(); ++j) {
+      if (PunctIs(code, j, ";")) break;
+      if (PunctIs(code, j, "[") && j > 0 &&
+          (PunctIs(code, j - 1, "(") || PunctIs(code, j - 1, ","))) {
+        lb = j;
+        break;
+      }
+    }
+    if (lb >= code.size()) continue;
+    size_t rb = MatchForward(code, lb, "[", "]");
+    if (rb >= code.size()) continue;
+
+    ParallelForBody b;
+    b.capture_begin = lb + 1;
+    b.capture_end = rb;
+
+    size_t after = rb + 1;
+    if (PunctIs(code, after, "(")) {
+      size_t rp = MatchForward(code, after, "(", ")");
+      if (rp >= code.size()) continue;
+      b.params_begin = after + 1;
+      b.params_end = rp;
+      after = rp + 1;
+    } else {
+      b.params_begin = b.params_end = after;
+    }
+    // Skip mutable/noexcept/-> trailing-return tokens up to the body brace.
+    size_t bo = code.size();
+    for (size_t j = after; j < code.size() && j < after + 32; ++j) {
+      if (PunctIs(code, j, ";")) break;
+      if (PunctIs(code, j, "{")) {
+        bo = j;
+        break;
+      }
+    }
+    if (bo >= code.size()) continue;
+    size_t bc = MatchForward(code, bo, "{", "}");
+    if (bc >= code.size()) continue;
+    b.body_begin = bo + 1;
+    b.body_end = bc;
+    bodies.push_back(b);
+    i = lb;  // continue after the capture so nested calls are still found
+  }
+  return bodies;
+}
+
+/// Names declared as std::atomic<...> anywhere in the file. Writes to these
+/// inside a ParallelFor body are synchronized by definition.
+std::set<std::string> AtomicNames(const FileCtx& ctx) {
+  const std::vector<Token>& code = ctx.code;
+  std::set<std::string> names;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!IsIdent(code[i], "atomic") || !PunctIs(code, i + 1, "<")) continue;
+    size_t j = SkipTemplateArgs(code, i + 1);
+    while (PunctIs(code, j, "&") || PunctIs(code, j, "*")) ++j;
+    if (IsAnyIdent(code, j)) names.insert(code[j].text);
+  }
+  return names;
 }
 
 // ------------------------------------------------- rule: parallelfor-capture
@@ -437,193 +550,133 @@ void CheckFloatNarrowing(const FileCtx& ctx, std::vector<Diagnostic>* out) {
 /// indexing by the loop variable is a cross-thread write — a data race and a
 /// determinism hole even when it "works". Writes must land in per-index
 /// slots; reductions belong outside the loop or in per-chunk locals.
+/// std::atomic<> accumulators and indexed stores (`hits[i] = ...`,
+/// `++hits[i]`) are synchronized or disjoint and do not fire.
 void CheckParallelForCapture(const FileCtx& ctx, std::vector<Diagnostic>* out) {
-  const std::string& code = ctx.code;
-  for (size_t pos = FindToken(code, "ParallelFor", 0); pos != std::string::npos;
-       pos = FindToken(code, "ParallelFor", pos + 1)) {
-    size_t lb = code.find('[', pos);
-    if (lb == std::string::npos) continue;
-    size_t rb = code.find(']', lb);
-    if (rb == std::string::npos) continue;
-    std::string captures = code.substr(lb + 1, rb - lb - 1);
-    if (captures.find('&') == std::string::npos) continue;  // no by-ref
+  const std::vector<Token>& code = ctx.code;
+  const std::set<std::string> atomics = AtomicNames(ctx);
+  static const std::set<std::string> kKeywords = {
+          "if",     "while", "for",   "return",   "else",  "switch",
+          "case",   "do",    "break", "continue", "true",  "false",
+          "sizeof", "this",  "auto",  "const",    "static"};
 
-    // Parameter names become loop-local.
+  for (const ParallelForBody& b : FindParallelForBodies(ctx)) {
+    // Only by-reference captures can race.
+    bool by_ref = false;
+    for (size_t j = b.capture_begin; j < b.capture_end; ++j) {
+      if (PunctIs(code, j, "&")) by_ref = true;
+    }
+    if (!by_ref) continue;
+
+    // Lambda parameters are loop-local: the last identifier of each
+    // top-level comma piece is the name.
     std::set<std::string> locals;
-    size_t lp = code.find('(', rb);
-    if (lp == std::string::npos) continue;
-    size_t rp = code.find(')', lp);
-    if (rp == std::string::npos) continue;
     {
-      std::string params = code.substr(lp + 1, rp - lp - 1);
-      std::string piece;
-      std::stringstream ss(params);
-      while (std::getline(ss, piece, ',')) {
-        size_t end = piece.find_last_not_of(" \t\n");
-        if (end == std::string::npos) continue;
-        size_t start = end;
-        while (start > 0 && IsIdentChar(piece[start - 1])) --start;
-        if (IsIdentChar(piece[end])) {
-          locals.insert(piece.substr(start, end - start + 1));
+      size_t last_ident = code.size();
+      int depth = 0;
+      for (size_t j = b.params_begin; j <= b.params_end; ++j) {
+        const bool at_end = j == b.params_end;
+        if (!at_end && code[j].kind == Tok::kPunct) {
+          const std::string& p = code[j].text;
+          if (p == "(" || p == "<" || p == "{") ++depth;
+          if (p == ")" || p == ">" || p == "}") --depth;
+        }
+        if (!at_end && depth == 0 && code[j].kind == Tok::kIdent) {
+          last_ident = j;
+        }
+        if ((at_end || (depth == 0 && PunctIs(code, j, ","))) &&
+            last_ident < code.size()) {
+          locals.insert(code[last_ident].text);
+          last_ident = code.size();
         }
       }
     }
 
-    size_t body_open = code.find('{', rp);
-    if (body_open == std::string::npos) continue;
-    int depth = 0;
-    size_t body_close = body_open;
-    for (size_t i = body_open; i < code.size(); ++i) {
-      if (code[i] == '{') ++depth;
-      if (code[i] == '}') {
-        --depth;
-        if (depth == 0) {
-          body_close = i;
-          break;
-        }
+    // Pass 1a: locals declared with a builtin type inside the body.
+    static const std::set<std::string> kTypes = {
+            "auto",   "int",  "int64_t", "uint64_t", "size_t",  "float",
+            "double", "bool", "long",    "unsigned", "char"};
+    for (size_t j = b.body_begin; j < b.body_end; ++j) {
+      if (code[j].kind != Tok::kIdent || !kTypes.count(code[j].text)) continue;
+      size_t k = j + 1;
+      while (PunctIs(code, k, "&") || PunctIs(code, k, "*") ||
+             PunctIs(code, k, "&&")) {
+        ++k;
       }
+      if (k < b.body_end && IsAnyIdent(code, k)) locals.insert(code[k].text);
     }
-    std::string body = code.substr(body_open + 1, body_close - body_open - 1);
-
-    // Pass 1: collect identifiers declared inside the body. Heuristic: a
-    // type-ish token followed by a name that is then initialized or ended.
-    {
-      static const char* kTypes[] = {"auto",     "int",    "int64_t",
-                                     "uint64_t", "size_t", "float",
-                                     "double",   "bool",   "long",
-                                     "unsigned", "char"};
-      for (const char* ty : kTypes) {
-        for (size_t tp = FindToken(body, ty, 0); tp != std::string::npos;
-             tp = FindToken(body, ty, tp + 1)) {
-          size_t i = tp + std::string(ty).size();
-          while (i < body.size() &&
-                 (body[i] == ' ' || body[i] == '&' || body[i] == '*')) {
-            ++i;
-          }
-          size_t start = i;
-          while (i < body.size() && IsIdentChar(body[i])) ++i;
-          if (i > start) locals.insert(body.substr(start, i - start));
-        }
+    // Pass 1b: locals declared with a user type at a statement start:
+    // [quals] Type[<args>] [&*] name {=,{,;,(}.
+    for (size_t j = b.body_begin; j < b.body_end; ++j) {
+      const bool stmt_start =
+          j == b.body_begin ||
+          (code[j - 1].kind == Tok::kPunct &&
+           (code[j - 1].text == ";" || code[j - 1].text == "{" ||
+            code[j - 1].text == "}" || code[j - 1].text == ")"));
+      if (!stmt_start || code[j].kind != Tok::kIdent) continue;
+      size_t k = j;
+      while (k < b.body_end &&
+             (IdentIs(code, k, "const") || IdentIs(code, k, "constexpr") ||
+              IdentIs(code, k, "static"))) {
+        ++k;
       }
-      // `Type name = ...` with a user type: two identifiers then '='.
-      for (size_t i = 0; i < body.size();) {
-        // statement start
-        while (i < body.size() && (body[i] == '\n' || body[i] == ' ' ||
-                                   body[i] == ';' || body[i] == '{')) {
-          ++i;
-        }
-        // Skip cv/storage qualifiers so `const Link& x = ...` parses.
-        for (;;) {
-          size_t q0 = i;
-          while (i < body.size() && IsIdentChar(body[i])) ++i;
-          std::string qual = body.substr(q0, i - q0);
-          if (qual == "const" || qual == "constexpr" || qual == "static") {
-            while (i < body.size() && body[i] == ' ') ++i;
-          } else {
-            i = q0;
-            break;
-          }
-        }
-        size_t t0 = i;
-        while (i < body.size() && (IsIdentChar(body[i]) || body[i] == ':')) ++i;
-        if (i == t0) {
-          while (i < body.size() && body[i] != '\n' && body[i] != ';') ++i;
-          continue;
-        }
-        // optional template args / ref / ptr
-        if (i < body.size() && body[i] == '<') {
-          int d = 0;
-          while (i < body.size()) {
-            if (body[i] == '<') ++d;
-            if (body[i] == '>' && --d == 0) {
-              ++i;
-              break;
-            }
-            ++i;
-          }
-        }
-        size_t gap = i;
-        while (i < body.size() &&
-               (body[i] == ' ' || body[i] == '&' || body[i] == '*')) {
-          ++i;
-        }
-        size_t n0 = i;
-        while (i < body.size() && IsIdentChar(body[i])) ++i;
-        if (n0 > gap && i > n0) {
-          size_t k = i;
-          while (k < body.size() && body[k] == ' ') ++k;
-          if (k < body.size() && (body[k] == '=' || body[k] == '{' ||
-                                  body[k] == ';' || body[k] == '(')) {
-            locals.insert(body.substr(n0, i - n0));
-          }
-        }
-        while (i < body.size() && body[i] != '\n' && body[i] != ';') ++i;
+      if (k >= b.body_end || code[k].kind != Tok::kIdent) continue;
+      ++k;  // the type head
+      while (k + 1 < b.body_end && PunctIs(code, k, "::") &&
+             IsAnyIdent(code, k + 1)) {
+        k += 2;  // qualified type
+      }
+      if (PunctIs(code, k, "<")) k = SkipTemplateArgs(code, k);
+      while (PunctIs(code, k, "&") || PunctIs(code, k, "*") ||
+             PunctIs(code, k, "&&")) {
+        ++k;
+      }
+      if (k >= b.body_end || code[k].kind != Tok::kIdent) continue;
+      if (k + 1 < b.body_end && code[k + 1].kind == Tok::kPunct &&
+          (code[k + 1].text == "=" || code[k + 1].text == "{" ||
+           code[k + 1].text == ";" || code[k + 1].text == "(")) {
+        locals.insert(code[k].text);
       }
     }
 
-    // Pass 2: `name op= ...`, `name =`, `++name`, `name++` anywhere in the
-    // body, where name is neither a body local nor a lambda parameter and is
-    // not an indexed (`x[i] =`) or member (`x.f =`) access. Those plain
-    // writes are the shared-accumulator pattern that races.
-    for (size_t i = 0; i < body.size(); ++i) {
-      bool pre_incr = false;
-      size_t n0 = i;
-      if ((body.compare(i, 2, "++") == 0 || body.compare(i, 2, "--") == 0) &&
-          (i == 0 || (!IsIdentChar(body[i - 1]) && body[i - 1] != '+' &&
-                      body[i - 1] != '-'))) {
-        pre_incr = true;
-        n0 = i + 2;
-      }
-      if (n0 >= body.size()) break;
-      if (!IsIdentChar(body[n0]) ||
-          std::isdigit(static_cast<unsigned char>(body[n0]))) {
+    // Pass 2: unindexed writes to anything that is not loop-local.
+    for (size_t j = b.body_begin; j < b.body_end; ++j) {
+      if (code[j].kind != Tok::kIdent) continue;
+      // Member/qualified accesses (`x.f`, `p->f`, `ns::x`) are out of scope.
+      if (j > b.body_begin && code[j - 1].kind == Tok::kPunct &&
+          (code[j - 1].text == "." || code[j - 1].text == "->" ||
+           code[j - 1].text == "::")) {
         continue;
       }
-      // Must be the start of an identifier, and not a member/qualified name
-      // (`x.f`, `p->f`, `ns::x` writes are out of scope for this rule).
-      if (n0 > 0 &&
-          (IsIdentChar(body[n0 - 1]) || body[n0 - 1] == '.' ||
-           body[n0 - 1] == ':' ||
-           (n0 > 1 && body[n0 - 1] == '>' && body[n0 - 2] == '-'))) {
-        i = n0;
-        while (i < body.size() && IsIdentChar(body[i])) ++i;
-        --i;
-        continue;
-      }
-      size_t n1 = n0;
-      while (n1 < body.size() && IsIdentChar(body[n1])) ++n1;
-      std::string name = body.substr(n0, n1 - n0);
-      size_t k = n1;
-      while (k < body.size() && body[k] == ' ') ++k;
+      // Indexed stores write disjoint per-index slots: `hits[i] = ...`,
+      // `++hits[i]`.
+      if (PunctIs(code, j + 1, "[")) continue;
+      const std::string& name = code[j].text;
       bool writes = false;
-      if (pre_incr) {
-        writes = true;
-      } else if (body.compare(k, 2, "++") == 0 ||
-                 body.compare(k, 2, "--") == 0) {
-        writes = true;
-      } else if (k < body.size()) {
-        char c = body[k];
-        char c1 = k + 1 < body.size() ? body[k + 1] : '\0';
-        char prev = k > 0 ? body[k - 1] : '\0';
-        if ((c == '+' || c == '-' || c == '*' || c == '/' || c == '|' ||
-             c == '&' || c == '^') &&
-            c1 == '=') {
-          writes = true;
-        } else if (c == '=' && c1 != '=' && prev != '<' && prev != '>' &&
-                   prev != '!') {
-          writes = true;
-        }
+      if (j + 1 < b.body_end && code[j + 1].kind == Tok::kPunct) {
+        static const std::set<std::string> kWriteOps = {
+                "=",  "+=", "-=", "*=",  "/=",  "%=", "&=",
+                "|=", "^=", "<<=", ">>=", "++", "--"};
+        if (kWriteOps.count(code[j + 1].text)) writes = true;
       }
-      static const std::set<std::string> kKeywords = {
-          "if", "while", "for", "return", "else", "switch", "case", "do"};
-      if (writes && !locals.count(name) && !kKeywords.count(name)) {
-        Report(ctx, body_open + 1 + n0, "parallelfor-capture",
-               "ParallelFor body writes captured '" + name +
-                   "' without indexing; write into per-index slots or a "
-                   "chunk-local and merge after the loop",
-               out);
+      if (!writes && j > b.body_begin &&
+          (PunctIs(code, j - 1, "++") || PunctIs(code, j - 1, "--"))) {
+        // Pre-increment: `++x` but not `a++ -x` style postfix adjacency.
+        const bool postfix_adjacent =
+            j >= 2 && (code[j - 2].kind == Tok::kIdent ||
+                       code[j - 2].kind == Tok::kNumber ||
+                       PunctIs(code, j - 2, ")") || PunctIs(code, j - 2, "]"));
+        if (!postfix_adjacent) writes = true;
       }
-      i = n1 - 1;
+      if (!writes) continue;
+      if (locals.count(name) || atomics.count(name) || kKeywords.count(name)) {
+        continue;
+      }
+      Report(ctx, code[j].line, "parallelfor-capture",
+             "ParallelFor body writes captured '" + name +
+                 "' without indexing; write into per-index slots or a "
+                 "chunk-local and merge after the loop",
+             out);
     }
   }
 }
@@ -641,32 +694,31 @@ void CheckWallclockInCore(const FileCtx& ctx, std::vector<Diagnostic>* out) {
                        ctx.path.rfind("nn/", 0) == 0;
   if (!covered) return;
 
-  for (size_t pos = FindToken(ctx.code, "Timer", 0); pos != std::string::npos;
-       pos = FindToken(ctx.code, "Timer", pos + 1)) {
-    Report(ctx, pos, "wallclock-in-core",
-           "ovs::Timer in core/nn; report timing from the bench/eval layer "
-           "or record it via the obs layer (OVS_SCOPED_DURATION_GAUGE)",
-           out);
-  }
-  for (size_t pos = ctx.code.find("::now()"); pos != std::string::npos;
-       pos = ctx.code.find("::now()", pos + 1)) {
-    if (pos > 0 && !IsIdentChar(ctx.code[pos - 1]) && ctx.code[pos - 1] != '>') {
-      continue;  // not a qualified call like Clock::now()
-    }
-    Report(ctx, pos, "wallclock-in-core",
-           "clock read in core/nn; keep the numeric model clock-free and put "
-           "telemetry in src/obs",
-           out);
-  }
-  for (const char* clock :
-       {"steady_clock", "system_clock", "high_resolution_clock"}) {
-    for (size_t pos = FindToken(ctx.code, clock, 0); pos != std::string::npos;
-         pos = FindToken(ctx.code, clock, pos + 1)) {
-      Report(ctx, pos, "wallclock-in-core",
-             std::string("std::chrono::") + clock +
-                 " in core/nn; keep the numeric model clock-free and put "
-                 "telemetry in src/obs",
+  const std::vector<Token>& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (IsIdent(code[i], "Timer")) {
+      Report(ctx, code[i].line, "wallclock-in-core",
+             "ovs::Timer in core/nn; report timing from the bench/eval layer "
+             "or record it via the obs layer (OVS_SCOPED_DURATION_GAUGE)",
              out);
+    }
+    if (PunctIs(code, i, "::") && IdentIs(code, i + 1, "now") &&
+        PunctIs(code, i + 2, "(") && PunctIs(code, i + 3, ")") && i > 0 &&
+        (code[i - 1].kind == Tok::kIdent || PunctIs(code, i - 1, ">"))) {
+      Report(ctx, code[i].line, "wallclock-in-core",
+             "clock read in core/nn; keep the numeric model clock-free and "
+             "put telemetry in src/obs",
+             out);
+    }
+    for (const char* clock :
+         {"steady_clock", "system_clock", "high_resolution_clock"}) {
+      if (IsIdent(code[i], clock)) {
+        Report(ctx, code[i].line, "wallclock-in-core",
+               std::string("std::chrono::") + clock +
+                   " in core/nn; keep the numeric model clock-free and put "
+                   "telemetry in src/obs",
+               out);
+      }
     }
   }
 }
@@ -690,14 +742,14 @@ void CheckRawOfstream(const FileCtx& ctx, std::vector<Diagnostic>* out) {
   if (!covered) return;
   if (ctx.path.find("util/atomic_file") != std::string::npos) return;
 
-  for (size_t pos = FindToken(ctx.code, "ofstream", 0);
-       pos != std::string::npos;
-       pos = FindToken(ctx.code, "ofstream", pos + 1)) {
-    Report(ctx, pos, "raw-ofstream",
-           "raw std::ofstream in library code; write through "
-           "ovs::AtomicFileWriter (util/atomic_file.h) so readers never see "
-           "a torn file",
-           out);
+  for (const Token& t : ctx.code) {
+    if (t.kind == Tok::kIdent && t.text == "ofstream") {
+      Report(ctx, t.line, "raw-ofstream",
+             "raw std::ofstream in library code; write through "
+             "ovs::AtomicFileWriter (util/atomic_file.h) so readers never see "
+             "a torn file",
+             out);
+    }
   }
 }
 
@@ -717,17 +769,16 @@ void CheckUnguardedObservedSpeed(const FileCtx& ctx,
   if (!covered) return;
   if (ctx.path.find("baselines/observation") != std::string::npos) return;
 
-  for (size_t pos = FindToken(ctx.code, "observed_speed", 0);
-       pos != std::string::npos;
-       pos = FindToken(ctx.code, "observed_speed", pos + 1)) {
-    size_t after = pos + std::string("observed_speed").size();
-    while (after < ctx.code.size() && ctx.code[after] == ' ') ++after;
+  const std::vector<Token>& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!IsIdent(code[i], "observed_speed")) continue;
     const bool element_read =
-        ctx.code.compare(after, 4, ".at(") == 0 ||
-        ctx.code.compare(after, 6, ".data(") == 0 ||
-        (after < ctx.code.size() && ctx.code[after] == '[');
+        PunctIs(code, i + 1, "[") ||
+        (PunctIs(code, i + 1, ".") &&
+         (IdentIs(code, i + 2, "at") || IdentIs(code, i + 2, "data")) &&
+         PunctIs(code, i + 3, "("));
     if (!element_read) continue;
-    Report(ctx, pos, "unguarded-observed-speed",
+    Report(ctx, code[i].line, "unguarded-observed-speed",
            "direct element read of observed_speed in a baseline; go through "
            "MaskObservation() (baselines/observation.h) so NaN cells stay "
            "behind the validity mask",
@@ -745,21 +796,525 @@ void CheckUnguardedObservedSpeed(const FileCtx& ctx,
 /// std::stable_sort unless ties are provably impossible, in which case the
 /// call site carries an allow() with the proof in a comment.
 void CheckNonstableSort(const FileCtx& ctx, std::vector<Diagnostic>* out) {
-  for (const char* fn : {"sort", "partial_sort"}) {
-    for (size_t pos = FindToken(ctx.code, fn, 0); pos != std::string::npos;
-         pos = FindToken(ctx.code, fn, pos + 1)) {
-      // Only std::-qualified calls; `stable_sort` never matches the `sort`
-      // token because '_' is an identifier character.
-      if (pos < 5 || ctx.code.compare(pos - 5, 5, "std::") != 0) continue;
-      size_t after = pos + std::string(fn).size();
-      while (after < ctx.code.size() && ctx.code[after] == ' ') ++after;
-      if (after >= ctx.code.size() || ctx.code[after] != '(') continue;
-      Report(ctx, pos, "nonstable-sort",
-             std::string("std::") + fn +
-                 " leaves equal-key order unspecified; use std::stable_sort, "
-                 "or allow() with a comment proving ties are impossible",
+  const std::vector<Token>& code = ctx.code;
+  for (size_t i = 2; i < code.size(); ++i) {
+    const bool is_sort =
+        IsIdent(code[i], "sort") || IsIdent(code[i], "partial_sort");
+    if (!is_sort) continue;
+    if (!PunctIs(code, i - 1, "::") || !IdentIs(code, i - 2, "std")) continue;
+    if (!PunctIs(code, i + 1, "(")) continue;
+    Report(ctx, code[i].line, "nonstable-sort",
+           "std::" + code[i].text +
+               " leaves equal-key order unspecified; use std::stable_sort, "
+               "or allow() with a comment proving ties are impossible",
+           out);
+  }
+}
+
+// ---------------------------------------------------- rule: layer-violation
+
+/// The dependency direction of the layering DAG (see LayerOf) is what keeps
+/// the simulator-in-the-loop training stack buildable and testable bottom-up:
+/// util knows nothing of the model, the model knows nothing of the harness.
+/// A quoted include that reaches UP the DAG (e.g. src/util including
+/// src/core) inverts that and is rejected here; same-layer includes (nn <->
+/// sim, od <-> data) are legal, and `include-cycle` keeps even those acyclic.
+void CheckLayerViolation(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  if (ctx.top != "src" || ctx.module.empty()) return;
+  const int from_layer = LayerOf(ctx.module);
+  for (const FileCtx::Include& inc : ctx.includes) {
+    if (!inc.quoted) continue;
+    std::string target = inc.target;
+    if (target.rfind("src/", 0) == 0) target = target.substr(4);
+    const size_t slash = target.find('/');
+    if (slash == std::string::npos) continue;  // same-directory include
+    const std::string to_module = target.substr(0, slash);
+    const int to_layer = LayerOf(to_module);
+    if (to_layer < 0 || to_layer <= from_layer) continue;
+    Report(ctx, inc.line, "layer-violation",
+           "src/" + ctx.module + " (layer " + std::to_string(from_layer) +
+               ") includes \"" + inc.target + "\" from " + to_module +
+               " (layer " + std::to_string(to_layer) +
+               "); includes must point sideways or down the DAG util -> obs "
+               "-> {nn, sim} -> {od, data} -> {core, baselines} -> eval",
+           out);
+  }
+}
+
+// --------------------------------------------------- rule: alloc-in-parallel
+
+/// Heap allocation inside a ParallelFor body serializes threads on the
+/// allocator lock and makes iteration cost depend on heap state — the exact
+/// overhead the upcoming SIMD/sharding work cannot afford on the hot path.
+/// Growth calls, make_unique/make_shared, and fresh std::vector/std::string
+/// locals all allocate; pre-size per-index buffers outside the loop or bump-
+/// allocate from util::Arena (util/arena.h).
+void CheckAllocInParallel(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  const std::vector<Token>& code = ctx.code;
+  for (const ParallelForBody& b : FindParallelForBodies(ctx)) {
+    for (size_t j = b.body_begin; j < b.body_end; ++j) {
+      // Growth through a member call: `.push_back(...)`, `->resize(...)`.
+      if ((PunctIs(code, j, ".") || PunctIs(code, j, "->")) &&
+          j + 2 < b.body_end && code[j + 1].kind == Tok::kIdent &&
+          PunctIs(code, j + 2, "(")) {
+        const std::string& fn = code[j + 1].text;
+        if (fn == "push_back" || fn == "emplace_back" || fn == "resize" ||
+            fn == "reserve" || fn == "insert" || fn == "append") {
+          Report(ctx, code[j + 1].line, "alloc-in-parallel",
+                 "'" + fn +
+                     "' grows a container inside a ParallelFor body; pre-size "
+                     "per-index slots outside the loop or bump-allocate from "
+                     "util::Arena (util/arena.h)",
+                 out);
+        }
+      }
+      // Direct heap allocation helpers.
+      if (IdentIs(code, j, "make_unique") || IdentIs(code, j, "make_shared")) {
+        Report(ctx, code[j].line, "alloc-in-parallel",
+               "std::" + code[j].text +
+                   " allocates inside a ParallelFor body; hoist the "
+                   "allocation out of the loop or bump-allocate from "
+                   "util::Arena (util/arena.h)",
+               out);
+      }
+      // A fresh std::vector/std::string local allocates every iteration.
+      if (IdentIs(code, j, "std") && PunctIs(code, j + 1, "::") &&
+          (IdentIs(code, j + 2, "vector") || IdentIs(code, j + 2, "string"))) {
+        size_t k = j + 3;
+        if (PunctIs(code, k, "<")) k = SkipTemplateArgs(code, k);
+        if (k < b.body_end && IsAnyIdent(code, k)) {
+          Report(ctx, code[j].line, "alloc-in-parallel",
+                 "local std::" + code[j + 2].text +
+                     " constructed inside a ParallelFor body allocates every "
+                     "iteration; hoist it out of the loop or bump-allocate "
+                     "from util::Arena (util/arena.h)",
+                 out);
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- rule: heavy-pass-by-value
+
+/// Passing Tensor/TodTensor/std::vector/std::string by value copies a heap
+/// buffer per call. In src/ signatures the options are `const T&` (borrow) or
+/// by-value as an explicit move sink (the body std::move's the parameter).
+/// Only function DEFINITIONS are flagged — a declaration's parameter list is
+/// repeated at the definition, and the sink exemption needs the body.
+
+/// Matches a heavy parameter type at code[i]. On success fills `type_str`
+/// (for the message) and `type_end` (first token index after the type) and
+/// returns true.
+bool MatchHeavyType(const std::vector<Token>& code, size_t i,
+                    std::string* type_str, size_t* type_end) {
+  if (IsIdent(code[i], "Tensor") || IsIdent(code[i], "TodTensor")) {
+    *type_str = code[i].text;
+    *type_end = i + 1;
+    return true;
+  }
+  if (IsIdent(code[i], "std") && PunctIs(code, i + 1, "::") &&
+      (IdentIs(code, i + 2, "vector") || IdentIs(code, i + 2, "string"))) {
+    size_t k = i + 3;
+    if (IsIdent(code[i + 2], "vector")) {
+      if (!PunctIs(code, k, "<")) return false;
+      k = SkipTemplateArgs(code, k);
+    }
+    *type_str = "std::" + code[i + 2].text;
+    *type_end = k;
+    return true;
+  }
+  return false;
+}
+
+void CheckHeavyPassByValue(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  const std::vector<Token>& code = ctx.code;
+  static const std::set<std::string> kNotCallers = {
+          "if", "for", "while", "switch", "catch", "return", "sizeof",
+          "decltype"};
+  for (size_t i = 0; i < code.size(); ++i) {
+    std::string type_str;
+    size_t type_end = 0;
+    if (!MatchHeavyType(code, i, &type_str, &type_end)) continue;
+
+    // The parameter type must sit right after '(' or ',' (an optional
+    // `const` in between still copies, so it does not exempt). Walk back
+    // over a leading `ovs::`-style qualifier first.
+    size_t q = i;
+    while (q >= 2 && PunctIs(code, q - 1, "::") &&
+           code[q - 2].kind == Tok::kIdent && !IsIdent(code[i], "std")) {
+      q -= 2;
+    }
+    size_t before = q;
+    if (before > 0 && IdentIs(code, before - 1, "const")) --before;
+    if (before == 0) continue;
+    const Token& opener = code[before - 1];
+    if (!IsPunct(opener, "(") && !IsPunct(opener, ",")) continue;
+    if (IsPunct(opener, "(")) {
+      // Require a function-name identifier before the '(' — this skips
+      // control-flow parens and lambdas, whose parameter conventions are
+      // local decisions.
+      if (before < 2 || code[before - 2].kind != Tok::kIdent ||
+          kNotCallers.count(code[before - 2].text)) {
+        continue;
+      }
+    }
+
+    // Parameter name, then ',' / ')' / '=' (default argument).
+    if (!IsAnyIdent(code, type_end)) continue;
+    const std::string param = code[type_end].text;
+    if (type_end + 1 >= code.size() || code[type_end + 1].kind != Tok::kPunct)
+      continue;
+    const std::string& after_name = code[type_end + 1].text;
+    if (after_name != "," && after_name != ")" && after_name != "=") continue;
+
+    // Find the close of this parameter list (we are at paren depth 1).
+    size_t cl = code.size();
+    int depth = 1;
+    for (size_t j = type_end + 1; j < code.size(); ++j) {
+      if (PunctIs(code, j, "(")) ++depth;
+      if (PunctIs(code, j, ")") && --depth == 0) {
+        cl = j;
+        break;
+      }
+    }
+    if (cl >= code.size()) continue;
+
+    // Decide declaration vs definition; find the body brace if any.
+    size_t body_open = code.size();
+    bool is_definition = false;
+    size_t j = cl + 1;
+    for (size_t steps = 0; j < code.size() && steps < 64; ++steps) {
+      if (IdentIs(code, j, "const") || IdentIs(code, j, "override") ||
+          IdentIs(code, j, "final") || IdentIs(code, j, "mutable")) {
+        ++j;
+        continue;
+      }
+      if (IdentIs(code, j, "noexcept")) {
+        ++j;
+        if (PunctIs(code, j, "(")) j = MatchForward(code, j, "(", ")") + 1;
+        continue;
+      }
+      if (PunctIs(code, j, "->")) {  // trailing return type
+        ++j;
+        while (j < code.size() && !PunctIs(code, j, "{") &&
+               !PunctIs(code, j, ";")) {
+          if (PunctIs(code, j, "<")) {
+            j = SkipTemplateArgs(code, j);
+          } else {
+            ++j;
+          }
+        }
+        continue;
+      }
+      if (PunctIs(code, j, ":")) {  // constructor initializer list
+        ++j;
+        bool ok = true;
+        while (ok && j < code.size()) {
+          while (IsAnyIdent(code, j) || PunctIs(code, j, "::")) ++j;
+          if (PunctIs(code, j, "<")) j = SkipTemplateArgs(code, j);
+          if (PunctIs(code, j, "(")) {
+            j = MatchForward(code, j, "(", ")") + 1;
+          } else if (PunctIs(code, j, "{")) {
+            j = MatchForward(code, j, "{", "}") + 1;
+          } else {
+            ok = false;
+            break;
+          }
+          if (PunctIs(code, j, ",")) {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        if (!ok) j = code.size();
+        continue;
+      }
+      if (PunctIs(code, j, "{")) {
+        body_open = j;
+        is_definition = true;
+        break;
+      }
+      break;  // ';', '=', or anything else: not a plain definition
+    }
+    if (!is_definition) continue;
+
+    // Move-sink exemption: the body (or the ctor-init list) std::move's the
+    // parameter, so by-value is the deliberate ownership-transfer idiom.
+    const size_t body_close = MatchForward(code, body_open, "{", "}");
+    bool moved = false;
+    for (size_t k = cl + 1; k + 3 <= body_close && k + 3 < code.size(); ++k) {
+      if (IsIdent(code[k], "move") && PunctIs(code, k + 1, "(") &&
+          IdentIs(code, k + 2, param.c_str()) && PunctIs(code, k + 3, ")")) {
+        moved = true;
+        break;
+      }
+    }
+    if (moved) continue;
+
+    Report(ctx, code[i].line, "heavy-pass-by-value",
+           "parameter '" + param + "' takes " + type_str +
+               " by value in a src/ signature; pass const " + type_str +
+               "& (or keep by-value only as a move sink and std::move it in "
+               "the body)",
+           out);
+  }
+}
+
+// --------------------------------------------------- rule: mutex-in-hot-path
+
+/// src/nn and src/sim are the per-step hot path: every simulated tick and
+/// every forward/backward runs them under ParallelFor. A lock there
+/// serializes the very loops the thread pool exists to spread, and lock
+/// acquisition order is a nondeterminism side channel. These modules stay
+/// lock-free by construction — state is sharded per index and merged
+/// deterministically (the simulator's two-phase commit is the template).
+void CheckMutexInHotPath(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  const bool covered = ctx.path.find("src/nn/") != std::string::npos ||
+                       ctx.path.find("src/sim/") != std::string::npos ||
+                       ctx.path.rfind("nn/", 0) == 0 ||
+                       ctx.path.rfind("sim/", 0) == 0;
+  if (!covered) return;
+
+  static const std::set<std::string> kLockTypes = {
+          "mutex",       "timed_mutex", "recursive_mutex",
+          "shared_mutex", "recursive_timed_mutex", "lock_guard",
+          "unique_lock", "scoped_lock", "shared_lock",
+          "condition_variable", "condition_variable_any"};
+  const std::vector<Token>& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind == Tok::kIdent && kLockTypes.count(code[i].text)) {
+      Report(ctx, code[i].line, "mutex-in-hot-path",
+             "std::" + code[i].text +
+                 " in nn/sim hot-path code; these step/forward loops must "
+                 "stay lock-free — shard state per index and merge "
+                 "deterministically (see the simulator's two-phase commit)",
              out);
     }
+    if ((PunctIs(code, i, ".") || PunctIs(code, i, "->")) &&
+        (IdentIs(code, i + 1, "lock") || IdentIs(code, i + 1, "try_lock") ||
+         IdentIs(code, i + 1, "unlock")) &&
+        PunctIs(code, i + 2, "(")) {
+      Report(ctx, code[i + 1].line, "mutex-in-hot-path",
+             "explicit lock acquisition in nn/sim hot-path code; these "
+             "step/forward loops must stay lock-free — shard state per index "
+             "and merge deterministically",
+             out);
+    }
+  }
+}
+
+// ------------------------------------------------------ per-directory policy
+
+/// Rules that guard *library* invariants: they stay on for src/ (and for
+/// pathless fixture snippets) but are off in tests/, bench/, tools/, and
+/// examples/, where wall-clock timing, raw ofstream output, double literals,
+/// and by-value convenience are all legitimate.
+bool RuleEnabled(const FileCtx& ctx, const char* rule) {
+  if (ctx.top.empty() || ctx.top == "src") return true;
+  static const std::set<std::string> kLibraryOnly = {
+          "float-narrowing",     "raw-ofstream",
+          "alloc-in-parallel",   "heavy-pass-by-value",
+          "wallclock-in-core",   "mutex-in-hot-path",
+          "unguarded-observed-speed"};
+  return kLibraryOnly.count(rule) == 0;
+}
+
+void RunFileRules(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  struct Rule {
+    const char* name;
+    void (*check)(const FileCtx&, std::vector<Diagnostic>*);
+  };
+  static const Rule kRules[] = {
+      {"raw-rand", CheckRawRand},
+      {"unordered-iter", CheckUnorderedIter},
+      {"naked-new", CheckNakedNew},
+      {"float-narrowing", CheckFloatNarrowing},
+      {"parallelfor-capture", CheckParallelForCapture},
+      {"wallclock-in-core", CheckWallclockInCore},
+      {"raw-ofstream", CheckRawOfstream},
+      {"unguarded-observed-speed", CheckUnguardedObservedSpeed},
+      {"nonstable-sort", CheckNonstableSort},
+      {"layer-violation", CheckLayerViolation},
+      {"alloc-in-parallel", CheckAllocInParallel},
+      {"heavy-pass-by-value", CheckHeavyPassByValue},
+      {"mutex-in-hot-path", CheckMutexInHotPath},
+  };
+  for (const Rule& r : kRules) {
+    if (RuleEnabled(ctx, r.name)) r.check(ctx, out);
+  }
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+}
+
+// ------------------------------------------------------ rule: include-cycle
+
+/// Normalizes a path to repo-relative form so "/root/repo/src/util/rng.h",
+/// "src/util/rng.h", and "util/rng.h" all name the same node.
+std::string RepoRelPath(const std::string& path) {
+  std::vector<std::string> parts = SplitPath(path);
+  for (size_t i = parts.size(); i-- > 0;) {
+    if (TopDirs().count(parts[i])) {
+      std::string joined;
+      for (size_t j = i; j < parts.size(); ++j) {
+        if (!joined.empty()) joined += '/';
+        joined += parts[j];
+      }
+      return joined;
+    }
+  }
+  if (!parts.empty() && IsSrcModule(parts[0])) return "src/" + path;
+  return path;
+}
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// A cycle anywhere in the include graph — even within one module, even
+/// through headers the layering check allows — means there is no build order
+/// in which each header can be understood on its own. Tarjan's SCC over a
+/// deterministically ordered graph finds every cycle in one pass; each
+/// nontrivial SCC yields exactly one diagnostic, anchored at its
+/// lexicographically smallest file.
+void CheckIncludeCycles(const std::vector<FileCtx>& ctxs,
+                        std::vector<Diagnostic>* out) {
+  // Node set: repo-relative paths, sorted for determinism.
+  std::map<std::string, size_t> index_of;  // rel path -> ctx index
+  for (size_t i = 0; i < ctxs.size(); ++i) {
+    index_of.emplace(RepoRelPath(ctxs[i].path), i);
+  }
+  struct Edge {
+    size_t to;
+    int line;
+  };
+  std::vector<std::string> nodes;
+  nodes.reserve(index_of.size());
+  for (const auto& [rel, i] : index_of) nodes.push_back(rel);
+  std::map<std::string, size_t> node_id;
+  for (size_t i = 0; i < nodes.size(); ++i) node_id.emplace(nodes[i], i);
+
+  std::vector<std::vector<Edge>> adj(nodes.size());
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    const FileCtx& ctx = ctxs[index_of.at(nodes[n])];
+    const std::string dir = DirName(nodes[n]);
+    for (const FileCtx::Include& inc : ctx.includes) {
+      if (!inc.quoted) continue;
+      for (const std::string& cand :
+           {"src/" + inc.target, inc.target, dir + "/" + inc.target}) {
+        auto it = node_id.find(cand);
+        if (it != node_id.end()) {
+          adj[n].push_back({it->second, inc.line});
+          break;
+        }
+      }
+    }
+    std::stable_sort(adj[n].begin(), adj[n].end(),
+                     [](const Edge& a, const Edge& b) { return a.to < b.to; });
+  }
+
+  // Tarjan's strongly connected components, iterative for deep chains.
+  const size_t kUnvisited = static_cast<size_t>(-1);
+  std::vector<size_t> disc(nodes.size(), kUnvisited);
+  std::vector<size_t> low(nodes.size(), 0);
+  std::vector<bool> on_stack(nodes.size(), false);
+  std::vector<size_t> stack;
+  std::vector<std::vector<size_t>> sccs;
+  size_t timer = 0;
+
+  struct Frame {
+    size_t node;
+    size_t edge = 0;
+  };
+  for (size_t root = 0; root < nodes.size(); ++root) {
+    if (disc[root] != kUnvisited) continue;
+    std::vector<Frame> call_stack{{root}};
+    disc[root] = low[root] = timer++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      if (f.edge < adj[f.node].size()) {
+        const size_t to = adj[f.node][f.edge++].to;
+        if (disc[to] == kUnvisited) {
+          disc[to] = low[to] = timer++;
+          stack.push_back(to);
+          on_stack[to] = true;
+          call_stack.push_back({to});
+        } else if (on_stack[to]) {
+          low[f.node] = std::min(low[f.node], disc[to]);
+        }
+      } else {
+        if (low[f.node] == disc[f.node]) {
+          std::vector<size_t> scc;
+          for (;;) {
+            const size_t v = stack.back();
+            stack.pop_back();
+            on_stack[v] = false;
+            scc.push_back(v);
+            if (v == f.node) break;
+          }
+          std::sort(scc.begin(), scc.end());  // ovs-lint: allow(nonstable-sort) — size_t keys are unique
+          sccs.push_back(std::move(scc));
+        }
+        const size_t done = f.node;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          low[call_stack.back().node] =
+              std::min(low[call_stack.back().node], low[done]);
+        }
+      }
+    }
+  }
+
+  std::stable_sort(sccs.begin(), sccs.end(),
+                   [](const std::vector<size_t>& a,
+                      const std::vector<size_t>& b) { return a[0] < b[0]; });
+  for (const std::vector<size_t>& scc : sccs) {
+    bool self_loop = false;
+    if (scc.size() == 1) {
+      for (const Edge& e : adj[scc[0]]) self_loop |= e.to == scc[0];
+      if (!self_loop) continue;
+    }
+    const std::set<size_t> members(scc.begin(), scc.end());
+    // Walk the cycle from the smallest member, taking the smallest in-SCC
+    // successor each step, to render a concrete path.
+    const size_t start = scc[0];
+    std::string path_str = nodes[start];
+    int report_line = 0;
+    std::set<size_t> visited{start};
+    size_t cur = start;
+    for (;;) {
+      size_t next = nodes.size();
+      int line = 0;
+      for (const Edge& e : adj[cur]) {
+        if (members.count(e.to) && (e.to == start || !visited.count(e.to))) {
+          next = e.to;
+          line = e.line;
+          break;
+        }
+      }
+      if (next >= nodes.size()) break;
+      if (cur == start) report_line = line;
+      path_str += " -> " + nodes[next];
+      if (next == start) break;
+      visited.insert(next);
+      cur = next;
+    }
+    const FileCtx& ctx = ctxs[index_of.at(nodes[start])];
+    if (ctx.IsAllowed(report_line, "include-cycle")) continue;
+    out->push_back({ctx.path, report_line, "include-cycle",
+                    "include cycle: " + path_str +
+                        "; break it with a forward declaration or by moving "
+                        "the shared type down a layer"});
   }
 }
 
@@ -794,6 +1349,25 @@ const std::vector<RuleInfo>& AllRules() {
       {"nonstable-sort",
        "std::sort / std::partial_sort leave equal-key order unspecified "
        "across standard libraries; use std::stable_sort"},
+      {"layer-violation",
+       "a quoted #include that points up the layering DAG (util -> obs -> "
+       "{nn, sim} -> {od, data} -> {core, baselines} -> eval) inverts the "
+       "build order; depend sideways or down only"},
+      {"include-cycle",
+       "a cycle in the repo include graph means no header can be understood "
+       "on its own; the graph must stay a DAG"},
+      {"alloc-in-parallel",
+       "heap allocation (container growth, make_unique, fresh "
+       "vector/string locals) inside a ParallelFor body serializes threads "
+       "on the allocator; pre-size buffers or use util::Arena"},
+      {"heavy-pass-by-value",
+       "Tensor/TodTensor/std::vector/std::string taken by value in a src/ "
+       "definition copies a heap buffer per call; pass const T& or std::move "
+       "the parameter as an explicit sink"},
+      {"mutex-in-hot-path",
+       "lock types or lock()/unlock() calls in src/nn or src/sim serialize "
+       "the per-step hot path; shard state per index and merge "
+       "deterministically"},
   };
   return kRules;
 }
@@ -802,21 +1376,21 @@ std::vector<Diagnostic> LintContent(const std::string& path,
                                     const std::string& content) {
   FileCtx ctx = Prepare(path, content);
   std::vector<Diagnostic> out;
-  CheckRawRand(ctx, &out);
-  CheckUnorderedIter(ctx, &out);
-  CheckNakedNew(ctx, &out);
-  CheckFloatNarrowing(ctx, &out);
-  CheckParallelForCapture(ctx, &out);
-  CheckWallclockInCore(ctx, &out);
-  CheckRawOfstream(ctx, &out);
-  CheckUnguardedObservedSpeed(ctx, &out);
-  CheckNonstableSort(ctx, &out);
-  std::sort(out.begin(), out.end(), [](const Diagnostic& a,
-                                       const Diagnostic& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
+  RunFileRules(ctx, &out);
+  SortDiagnostics(&out);
+  return out;
+}
+
+std::vector<Diagnostic> LintRepo(const std::vector<RepoFile>& files) {
+  std::vector<FileCtx> ctxs;
+  ctxs.reserve(files.size());
+  std::vector<Diagnostic> out;
+  for (const RepoFile& f : files) {
+    ctxs.push_back(Prepare(f.path, f.content));
+    RunFileRules(ctxs.back(), &out);
+  }
+  CheckIncludeCycles(ctxs, &out);
+  SortDiagnostics(&out);
   return out;
 }
 
@@ -836,14 +1410,21 @@ std::string FormatDiagnostic(const Diagnostic& d) {
   return ss.str();
 }
 
+std::string FormatDiagnosticGithub(const Diagnostic& d) {
+  std::ostringstream ss;
+  ss << "::error file=" << d.file << ",line=" << d.line << "::[" << d.rule
+     << "] " << d.message;
+  return ss.str();
+}
+
 int Run(const std::vector<std::string>& paths, std::ostream& out,
-        std::ostream& err) {
+        std::ostream& err, const RunOptions& options) {
   namespace fs = std::filesystem;
   if (paths.empty()) {
     err << "ovs_lint: no input paths\n";
     return 2;
   }
-  std::vector<std::string> files;
+  std::vector<std::string> names;
   for (const std::string& p : paths) {
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
@@ -853,7 +1434,7 @@ int Run(const std::vector<std::string>& paths, std::ostream& out,
         if (!it->is_regular_file()) continue;
         std::string ext = it->path().extension().string();
         if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
-          files.push_back(it->path().string());
+          names.push_back(it->path().string());
         }
       }
       if (ec) {
@@ -861,22 +1442,45 @@ int Run(const std::vector<std::string>& paths, std::ostream& out,
         return 2;
       }
     } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(p);
+      names.push_back(p);
     } else {
       err << "ovs_lint: no such file or directory: " << p << "\n";
       return 2;
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(names.begin(), names.end());  // ovs-lint: allow(nonstable-sort) — paths are unique keys
 
-  std::vector<Diagnostic> diags;
-  for (const std::string& f : files) {
-    if (!LintFile(f, &diags)) {
+  std::vector<RepoFile> files;
+  files.reserve(names.size());
+  for (const std::string& f : names) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
       err << "ovs_lint: cannot read " << f << "\n";
       return 2;
     }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.push_back({f, ss.str()});
   }
-  for (const Diagnostic& d : diags) out << FormatDiagnostic(d) << "\n";
+
+  const std::vector<Diagnostic> diags = LintRepo(files);
+  for (const Diagnostic& d : diags) {
+    out << (options.format == RunOptions::Format::kGithub
+                ? FormatDiagnosticGithub(d)
+                : FormatDiagnostic(d))
+        << "\n";
+  }
+  if (!diags.empty()) {
+    std::map<std::string, int> hits;
+    for (const Diagnostic& d : diags) ++hits[d.rule];
+    out << "ovs_lint: hits by rule:";
+    bool first = true;
+    for (const auto& [rule, n] : hits) {
+      out << (first ? " " : ", ") << rule << "=" << n;
+      first = false;
+    }
+    out << "\n";
+  }
   out << "ovs_lint: " << files.size() << " file(s), " << diags.size()
       << " finding(s)\n";
   return diags.empty() ? 0 : 1;

@@ -1,17 +1,33 @@
 #ifndef OVS_TOOLS_LINT_OVS_LINT_H_
 #define OVS_TOOLS_LINT_OVS_LINT_H_
 
-// ovs_lint: a dependency-free static checker for the repo-specific
-// determinism and safety invariants that the compiler cannot see.
+// ovs_lint: a dependency-free static analyzer for the repo-specific
+// determinism, safety, and architecture invariants the compiler cannot see.
 //
 // The headline guarantee of this reproduction is bitwise-identical OVS
-// recovery at any thread count. That property survives only as long as no
-// code path (a) draws randomness outside the seeded ovs::Rng, (b) folds
-// numbers in std::unordered_* iteration order, (c) narrows double literals
-// into float tensors differently across call sites, or (d) races an
+// recovery and simulation at any thread count. That property survives only
+// as long as no code path (a) draws randomness outside the seeded ovs::Rng,
+// (b) folds numbers in std::unordered_* iteration order, (c) narrows double
+// literals into float tensors differently across call sites, or (d) races an
 // accumulator inside a ParallelFor body. This tool makes those rules
-// machine-checked: it walks the source tree, flags violations with
-// file:line diagnostics, and exits non-zero so CI can gate on it.
+// machine-checked, and since v2 it also enforces whole-repo structure: the
+// include graph must be acyclic and respect the declared layering DAG
+//
+//   util -> obs -> {nn, sim} -> {od, data} -> {core, baselines} -> eval
+//        -> {bench, tests, tools, examples}
+//
+// (same-layer includes are legal; `include-cycle` keeps the whole graph a
+// DAG), plus token-level rules guarding the parallel hot paths
+// (alloc-in-parallel, heavy-pass-by-value, mutex-in-hot-path).
+//
+// v2 architecture: every rule runs over the token stream produced by the
+// shared lexer (tools/lint/lexer.h), so keywords inside string literals,
+// raw strings, and comments can never trip a rule, and digit separators or
+// line continuations can never corrupt the scan. Rules are gated by a
+// per-directory policy table: src/ gets the full set; tests/, bench/,
+// tools/, and examples/ drop the library-only rules (float-narrowing,
+// raw-ofstream, alloc-in-parallel, heavy-pass-by-value) but keep the
+// always-on ones (naked-new is banned everywhere).
 //
 // Suppression: append `// ovs-lint: allow(<rule>)` to the offending line, or
 // place the comment alone on the line directly above it. Multiple rules can
@@ -43,14 +59,28 @@ struct RuleInfo {
 /// All rules this linter knows, in diagnostic order.
 const std::vector<RuleInfo>& AllRules();
 
-/// Lints a buffer as if it were the file at `path` (the path drives
-/// per-file exemptions, e.g. util/rng.h may use <random>). Exposed so tests
-/// can feed inline fixture snippets without touching the filesystem.
+/// A file handed to the repo-wide analysis without touching the filesystem.
+struct RepoFile {
+  std::string path;
+  std::string content;
+};
+
+/// Lints a buffer as if it were the file at `path` (the path drives the
+/// per-directory rule policy and per-file exemptions, e.g. util/rng.h may
+/// own a random engine). Runs every single-file rule, including the
+/// layer-violation check on `#include` lines. Exposed so tests can feed
+/// inline fixture snippets.
 [[nodiscard]] std::vector<Diagnostic> LintContent(const std::string& path,
                                                   const std::string& content);
 
-/// Reads and lints `path`. Returns false if the file cannot be read;
-/// diagnostics are appended to `out`.
+/// Lints a whole set of files together: all single-file rules per file plus
+/// the cross-file analysis (include graph construction, `include-cycle`).
+/// This is what Run() executes after loading the tree.
+[[nodiscard]] std::vector<Diagnostic> LintRepo(
+    const std::vector<RepoFile>& files);
+
+/// Reads and lints `path` with the single-file rules. Returns false if the
+/// file cannot be read; diagnostics are appended to `out`.
 [[nodiscard]] bool LintFile(const std::string& path,
                             std::vector<Diagnostic>* out);
 
@@ -58,11 +88,22 @@ const std::vector<RuleInfo>& AllRules();
 /// editors and CI logs parse the same way.
 std::string FormatDiagnostic(const Diagnostic& d);
 
-/// Lints every .h/.cc/.cpp under each path (file or directory, recursive),
-/// printing diagnostics to `out` and I/O errors to `err`.
-/// Returns the process exit code documented above.
+/// "::error file=...,line=...::[rule] message" — GitHub Actions workflow
+/// annotation format, emitted by Run() under RunOptions::Format::kGithub so
+/// findings surface inline on the PR diff.
+std::string FormatDiagnosticGithub(const Diagnostic& d);
+
+struct RunOptions {
+  enum class Format { kPlain, kGithub };
+  Format format = Format::kPlain;
+};
+
+/// Lints every .h/.cc/.cpp under each path (file or directory, recursive)
+/// as one repo: single-file rules plus the include-graph analysis.
+/// Diagnostics and a per-rule hit-count summary go to `out`, I/O errors to
+/// `err`. Returns the process exit code documented above.
 [[nodiscard]] int Run(const std::vector<std::string>& paths, std::ostream& out,
-                      std::ostream& err);
+                      std::ostream& err, const RunOptions& options = {});
 
 }  // namespace ovs::lint
 
