@@ -11,6 +11,7 @@
 
 #include "core/trainer.h"
 #include "data/cities.h"
+#include "obs/report.h"
 #include "obs/session.h"
 #include "util/bench_config.h"
 #include "util/table.h"
@@ -18,7 +19,7 @@
 int main(int argc, char** argv) {
   using namespace ovs;
   const BenchArgs args = ParseBenchArgs(argc, argv);
-  obs::Session session({args.trace_out, args.metrics_out});
+  obs::Session session(obs::MakeBenchSessionOptions(args, argv[0]));
   const bool full = GetBenchScale() == BenchScale::kFull;
 
   data::Dataset dataset = data::BuildDataset(data::ManhattanConfig());
@@ -77,6 +78,8 @@ int main(int argc, char** argv) {
       "mean |recovered total - census|: without census %.1f, with census "
       "%.1f\n",
       err_without / dataset.num_od(), err_with / dataset.num_od());
+  obs::ReportResult("fig10.mae_census.without", err_without / dataset.num_od());
+  obs::ReportResult("fig10.mae_census.with", err_with / dataset.num_od());
   std::printf(
       "Expected shape: the with-census column sits far closer to the census "
       "targets (paper Fig. 10).\n");

@@ -11,13 +11,14 @@
 #include "eval/harness.h"
 #include "eval/metrics.h"
 #include "od/patterns.h"
+#include "obs/report.h"
 #include "obs/session.h"
 #include "util/bench_config.h"
 
 int main(int argc, char** argv) {
   using namespace ovs;
   const BenchArgs args = ParseBenchArgs(argc, argv);
-  obs::Session session({args.trace_out, args.metrics_out});
+  obs::Session session(obs::MakeBenchSessionOptions(args, argv[0]));
   const bool full = GetBenchScale() == BenchScale::kFull;
   const int train_samples = ScaledIters(12, 40);
 
@@ -100,6 +101,8 @@ int main(int argc, char** argv) {
                   Table::Cell(eval::PaperRmse(from_road_work.mat(), hidden_tod.mat()))});
     std::printf("[fig11] %-6s stability rmse %.2f\n", method->name().c_str(),
                 stability);
+    obs::ReportResult("fig11." + method->name() + ".stability_rmse",
+                      stability);
   }
   table.Print();
   std::printf(

@@ -9,6 +9,7 @@
 #include "baselines/ovs_estimator.h"
 #include "data/case_studies.h"
 #include "eval/harness.h"
+#include "obs/report.h"
 #include "obs/session.h"
 #include "util/bench_config.h"
 #include "util/table.h"
@@ -42,7 +43,7 @@ int ArgMaxHour(const ovs::od::TodTensor& tod, int od_idx, int from, int to) {
 int main(int argc, char** argv) {
   using namespace ovs;
   const BenchArgs args = ParseBenchArgs(argc, argv);
-  obs::Session session({args.trace_out, args.metrics_out});
+  obs::Session session(obs::MakeBenchSessionOptions(args, argv[0]));
   const bool full = GetBenchScale() == BenchScale::kFull;
 
   data::Case1Dataset case1 = data::BuildCase1Hangzhou();
@@ -85,6 +86,9 @@ int main(int argc, char** argv) {
       "Recovered peaks: A->B morning %02d:00, A->B evening %02d:00, B->A "
       "late %02d:00\n",
       ab_morning, ab_evening, ba_late);
+  obs::ReportResult("fig12.peak_hour.ab_morning", ab_morning);
+  obs::ReportResult("fig12.peak_hour.ab_evening", ab_evening);
+  obs::ReportResult("fig12.peak_hour.ba_late", ba_late);
   std::printf(
       "Ground-truth peaks (synthesized Sunday rhythm): ~10:00, ~18:00 and "
       "~20:00-01:00 (paper Fig. 12).\n");

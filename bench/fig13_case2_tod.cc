@@ -9,6 +9,7 @@
 #include "baselines/ovs_estimator.h"
 #include "data/case_studies.h"
 #include "eval/harness.h"
+#include "obs/report.h"
 #include "obs/session.h"
 #include "util/bench_config.h"
 
@@ -32,7 +33,7 @@ void PrintSeries(const char* label, const ovs::od::TodTensor& tod, int od_idx) {
 int main(int argc, char** argv) {
   using namespace ovs;
   const BenchArgs args = ParseBenchArgs(argc, argv);
-  obs::Session session({args.trace_out, args.metrics_out});
+  obs::Session session(obs::MakeBenchSessionOptions(args, argv[0]));
   const bool full = GetBenchScale() == BenchScale::kFull;
 
   data::Case2Dataset case2 = data::BuildCase2StateCollege();
@@ -81,6 +82,9 @@ int main(int argc, char** argv) {
       peak_hour(case2.od_o1), peak_hour(case2.od_o2), peak_hour(case2.od_o3),
       recovered.OdTotal(case2.od_o1), recovered.OdTotal(case2.od_o2),
       recovered.OdTotal(case2.od_o3));
+  obs::ReportResult("fig13.peak_hour.o1", peak_hour(case2.od_o1));
+  obs::ReportResult("fig13.peak_hour.o2", peak_hour(case2.od_o2));
+  obs::ReportResult("fig13.peak_hour.o3", peak_hour(case2.od_o3));
   std::printf(
       "Expected shape: arrivals peak ~09:00 for the noon game; O1 and O3 "
       "(highway gates) carry far more trips than the local O2 (paper Fig. "

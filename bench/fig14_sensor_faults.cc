@@ -13,6 +13,7 @@
 #include "baselines/ovs_estimator.h"
 #include "data/cities.h"
 #include "eval/harness.h"
+#include "obs/report.h"
 #include "obs/session.h"
 #include "sim/sensor_faults.h"
 #include "util/bench_config.h"
@@ -20,7 +21,7 @@
 int main(int argc, char** argv) {
   using namespace ovs;
   const BenchArgs args = ParseBenchArgs(argc, argv);
-  obs::Session session({args.trace_out, args.metrics_out});
+  obs::Session session(obs::MakeBenchSessionOptions(args, argv[0]));
   const bool full = GetBenchScale() == BenchScale::kFull;
 
   data::Dataset dataset = data::BuildDataset(data::Synthetic3x3Config());
@@ -57,6 +58,8 @@ int main(int argc, char** argv) {
                 row.result.rmse.volume, row.result.rmse.speed,
                 row.result.recover_seconds);
     if (!std::isfinite(row.result.rmse.tod)) all_finite = false;
+    obs::ReportResult("fig14." + row.fault.ToString() + ".rmse_tod",
+                      row.result.rmse.tod);
   }
   eval::MakeFaultSweepTable(
       "Figure 14 (robustness) — OVS recovery error vs sensor degradation",
@@ -76,6 +79,10 @@ int main(int argc, char** argv) {
       experiment.RunFaultSweep(&unmasked, {dropout30});
   std::printf("[fig14] dropout:0.3 masked tod %.2f vs garbage-in tod %.2f\n",
               masked_row[0].result.rmse.tod, garbage_row[0].result.rmse.tod);
+  obs::ReportResult("fig14.dropout30.masked_rmse_tod",
+                    masked_row[0].result.rmse.tod);
+  obs::ReportResult("fig14.dropout30.unmasked_rmse_tod",
+                    garbage_row[0].result.rmse.tod);
 
   if (!all_finite) {
     std::fprintf(stderr, "[fig14] sweep produced non-finite errors\n");

@@ -3,10 +3,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/ovs_model.h"
 #include "nn/layers.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
+#include "obs/session.h"
+#include "util/bench_config.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -123,4 +128,29 @@ BENCHMARK(BM_AdamStep)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): parse the shared bench flags
+// (--report_out, --trace_out, ...), hide them from google-benchmark's own
+// parser, and wrap the run in an obs::Session so the binary emits a run
+// report. In report mode every benchmark is pinned to exactly one iteration
+// (--benchmark_min_time=0 makes the first trial satisfy the time check), so
+// the work counters in the report are machine-independent.
+int main(int argc, char** argv) {
+  using namespace ovs;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  std::vector<std::string> kept;
+  kept.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (!IsBenchArg(argv[i])) kept.emplace_back(argv[i]);
+  }
+  if (!args.report_out.empty()) kept.emplace_back("--benchmark_min_time=0");
+  std::vector<char*> bargv;
+  bargv.reserve(kept.size());
+  for (std::string& arg : kept) bargv.push_back(arg.data());
+  int bargc = static_cast<int>(bargv.size());
+  benchmark::Initialize(&bargc, bargv.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data())) return 1;
+  obs::Session session(obs::MakeBenchSessionOptions(args, argv[0]));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return session.Close() ? 0 : 1;
+}

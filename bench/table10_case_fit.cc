@@ -7,6 +7,7 @@
 
 #include "data/case_studies.h"
 #include "eval/harness.h"
+#include "obs/report.h"
 #include "obs/session.h"
 #include "util/bench_config.h"
 
@@ -26,6 +27,9 @@ std::vector<std::pair<std::string, double>> RunCase(
     std::printf("[table10:%s] %-8s speed rmse %6.3f (%.1f s)\n",
                 dataset.name.c_str(), result.method.c_str(),
                 result.rmse.speed, result.recover_seconds);
+    obs::ReportResult(
+        "table10." + dataset.name + "." + result.method + ".rmse_speed",
+        result.rmse.speed);
   }
   return rows;
 }
@@ -35,7 +39,7 @@ std::vector<std::pair<std::string, double>> RunCase(
 int main(int argc, char** argv) {
   using namespace ovs;
   const BenchArgs args = ParseBenchArgs(argc, argv);
-  obs::Session session({args.trace_out, args.metrics_out});
+  obs::Session session(obs::MakeBenchSessionOptions(args, argv[0]));
   const int train_samples = ScaledIters(8, 30);
 
   data::Case1Dataset case1 = data::BuildCase1Hangzhou();

@@ -11,6 +11,7 @@
 
 #include "data/cities.h"
 #include "eval/harness.h"
+#include "obs/report.h"
 #include "obs/session.h"
 #include "util/bench_config.h"
 #include "util/thread_pool.h"
@@ -18,7 +19,7 @@
 int main(int argc, char** argv) {
   using namespace ovs;
   const BenchArgs args = ParseBenchArgs(argc, argv);
-  obs::Session session({args.trace_out, args.metrics_out});
+  obs::Session session(obs::MakeBenchSessionOptions(args, argv[0]));
   const int train_samples = ScaledIters(10, 40);
   std::printf("[table6] thread pool: %d threads\n", GlobalThreadCount());
 
@@ -48,6 +49,8 @@ int main(int argc, char** argv) {
       std::printf("[table6]   %-8s tod %7.2f vol %7.2f speed %6.2f (%.1f s)\n",
                   r.method.c_str(), r.rmse.tod, r.rmse.volume, r.rmse.speed,
                   r.recover_seconds);
+      obs::ReportResult(
+          "table6." + dataset.name + "." + r.method + ".rmse_tod", r.rmse.tod);
     }
     eval::MakeComparisonTable(
         "Table VI (analogue) — " + dataset.name +

@@ -12,6 +12,7 @@
 
 #include "core/trainer.h"
 #include "data/cities.h"
+#include "obs/report.h"
 #include "obs/session.h"
 #include "util/bench_config.h"
 #include "util/table.h"
@@ -21,7 +22,7 @@
 int main(int argc, char** argv) {
   using namespace ovs;
   const BenchArgs args = ParseBenchArgs(argc, argv);
-  obs::Session session({args.trace_out, args.metrics_out});
+  obs::Session session(obs::MakeBenchSessionOptions(args, argv[0]));
   const int train_samples = ScaledIters(10, 40);
   const bool full = GetBenchScale() == BenchScale::kFull;
   // Always report the pool size: runtime numbers are only comparable at the
@@ -78,6 +79,8 @@ int main(int argc, char** argv) {
                   Table::Cell(total.ElapsedSeconds(), 1)});
     std::printf("[table7] %s done in %.1f s\n", dataset.name.c_str(),
                 total.ElapsedSeconds());
+    obs::ReportResult("table7." + dataset.name + ".total_seconds",
+                      total.ElapsedSeconds());
   }
   table.Print();
   return session.Close() ? 0 : 1;

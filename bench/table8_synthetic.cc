@@ -16,6 +16,7 @@
 
 #include "data/cities.h"
 #include "eval/harness.h"
+#include "obs/report.h"
 #include "obs/session.h"
 #include "od/patterns.h"
 #include "sim/sensor_faults.h"
@@ -24,7 +25,7 @@
 int main(int argc, char** argv) {
   using namespace ovs;
   const BenchArgs args = ParseBenchArgs(argc, argv);
-  obs::Session session({args.trace_out, args.metrics_out});
+  obs::Session session(obs::MakeBenchSessionOptions(args, argv[0]));
   const int train_samples = ScaledIters(12, 40);
 
   sim::SensorFaultConfig faults;
@@ -83,6 +84,9 @@ int main(int argc, char** argv) {
       std::printf("[table8:%s] %-8s tod %7.2f vol %7.2f speed %6.2f (%.1f s)\n",
                   od::TodPatternName(pattern).c_str(), r.method.c_str(),
                   r.rmse.tod, r.rmse.volume, r.rmse.speed, r.recover_seconds);
+      obs::ReportResult("table8." + od::TodPatternName(pattern) + "." +
+                            r.method + ".rmse_tod",
+                        r.rmse.tod);
       if (!std::isfinite(r.rmse.tod) || !std::isfinite(r.rmse.volume) ||
           !std::isfinite(r.rmse.speed)) {
         all_finite = false;

@@ -10,13 +10,14 @@
 #include "data/cities.h"
 #include "eval/harness.h"
 #include "od/patterns.h"
+#include "obs/report.h"
 #include "obs/session.h"
 #include "util/bench_config.h"
 
 int main(int argc, char** argv) {
   using namespace ovs;
   const BenchArgs args = ParseBenchArgs(argc, argv);
-  obs::Session session({args.trace_out, args.metrics_out});
+  obs::Session session(obs::MakeBenchSessionOptions(args, argv[0]));
   const bool full = GetBenchScale() == BenchScale::kFull;
 
   data::DatasetConfig config = data::Synthetic3x3Config();
@@ -67,6 +68,8 @@ int main(int argc, char** argv) {
     std::printf("[table9] %-12s tod %7.2f vol %7.2f speed %6.2f (%.1f s)\n",
                 variant.name, result.rmse.tod, result.rmse.volume,
                 result.rmse.speed, result.recover_seconds);
+    obs::ReportResult(std::string("table9.") + variant.name + ".rmse_tod",
+                      result.rmse.tod);
   }
   table.Print();
   return session.Close() ? 0 : 1;

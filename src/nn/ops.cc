@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace ovs::nn {
@@ -28,6 +29,15 @@ void AccumulateInto(VariableNode& n, size_t parent, const Tensor& delta) {
   }
 }
 
+/// Counts one GEMM's multiply-adds into `nn.gemm_flops` — once per call,
+/// outside the ParallelFor, so the counter is a pure function of the shapes
+/// multiplied and bitwise-stable at any thread count (the run-report work
+/// counter tools/perfdiff gates on). The zero-skip fast path in the kernels
+/// does not change the count: it is the nominal 2*N*K*M figure.
+void CountGemmFlops(int64_t n, int64_t k, int64_t m) {
+  OVS_COUNTER_ADD("nn.gemm_flops", static_cast<uint64_t>(2 * n * k * m));
+}
+
 /// Raw GEMM helpers (row-major, no transpose flags: we materialize the three
 /// cases we need explicitly for clarity).
 void GemmNN(const Tensor& a, const Tensor& b, Tensor* c) {
@@ -39,6 +49,7 @@ void GemmNN(const Tensor& a, const Tensor& b, Tensor* c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c->data();
+  CountGemmFlops(n, k, m);
   // Row-blocked over the output: each thread owns a contiguous range of
   // c rows, and every element keeps its serial accumulation order (p
   // ascending), so results are bitwise-identical for any thread count.
@@ -64,6 +75,7 @@ void GemmNT(const Tensor& a, const Tensor& b, Tensor* c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c->data();
+  CountGemmFlops(n, k, m);
   // Row-blocked over c; each c element is one dot product, fully computed
   // by a single thread in serial order.
   ParallelFor(0, n, GemmRowGrain(int64_t{k} * m), [&](int64_t i0, int64_t i1) {
@@ -88,6 +100,7 @@ void GemmTN(const Tensor& a, const Tensor& b, Tensor* c) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c->data();
+  CountGemmFlops(n, k, m);
   // c rows are indexed by p (columns of a); blocking over p gives each
   // thread disjoint output rows. The i loop stays innermost-ascending, so
   // each element accumulates its terms in the same order as a serial run.

@@ -1,0 +1,57 @@
+#ifndef OVS_OBS_JSON_FORMAT_H_
+#define OVS_OBS_JSON_FORMAT_H_
+
+// Tiny JSON formatting helpers shared by the obs exporters (metrics JSONL,
+// run reports). Formatting only — parsing lives with the consumers
+// (tools/perfdiff carries its own dependency-free reader).
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace ovs::obs::internal_json {
+
+/// Formats a double for export: full round-trip precision, and `null` for
+/// non-finite values so the output stays machine-parseable.
+inline std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream ss;
+  ss << std::setprecision(17) << v;
+  return ss.str();
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace ovs::obs::internal_json
+
+#endif  // OVS_OBS_JSON_FORMAT_H_

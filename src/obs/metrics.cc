@@ -1,55 +1,47 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
-#include <iomanip>
-#include <sstream>
+#include <limits>
 
+#include "obs/json_format.h"
 #include "util/logging.h"
 
 namespace ovs::obs {
 
-namespace {
+using internal_json::JsonEscape;
+using internal_json::JsonNumber;
 
-/// Formats a double for export: full round-trip precision, and `null` for
-/// non-finite values so the JSONL stays machine-parseable.
-std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "null";
-  std::ostringstream ss;
-  ss << std::setprecision(17) << v;
-  return ss.str();
-}
+double HistogramQuantile(const MetricSnapshot& s, double q) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  if (s.kind != MetricSnapshot::Kind::kHistogram) return kNan;
+  if (s.hist_count == 0 || s.bucket_counts.empty()) return kNan;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+  const double rank = q * static_cast<double>(s.hist_count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < s.bucket_counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(s.bucket_counts[i]);
+    if (cumulative + in_bucket < rank && i + 1 < s.bucket_counts.size()) {
+      cumulative += in_bucket;
+      continue;
     }
+    if (i >= s.bounds.size()) {
+      // Overflow bucket: no finite upper bound to interpolate toward, so
+      // saturate at the largest finite bound (the Prometheus convention).
+      return s.bounds.empty() ? kNan : s.bounds.back();
+    }
+    const double upper = s.bounds[i];
+    // The first bucket has no explicit lower edge; observations are assumed
+    // nonnegative unless the bound itself is negative.
+    const double lower = i == 0 ? std::min(0.0, upper) : s.bounds[i - 1];
+    if (in_bucket <= 0.0) return upper;
+    const double fraction = (rank - cumulative) / in_bucket;
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
   }
-  return out;
+  return kNan;  // Unreachable: the overflow bucket always terminates above.
 }
-
-}  // namespace
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
@@ -148,21 +140,29 @@ void MetricsRegistry::Reset() {
 }
 
 void MetricsRegistry::WriteCsv(std::ostream& os) const {
-  os << "name,type,value,count,sum\n";
+  os << "name,type,value,count,sum,p50,p90,p99\n";
   for (const MetricSnapshot& s : Snapshot()) {
     switch (s.kind) {
       case MetricSnapshot::Kind::kCounter:
-        os << s.name << ",counter," << s.counter_value << ",,\n";
+        os << s.name << ",counter," << s.counter_value << ",,,,,\n";
         break;
       case MetricSnapshot::Kind::kGauge:
-        os << s.name << ",gauge," << JsonNumber(s.gauge_value) << ",,\n";
+        os << s.name << ",gauge," << JsonNumber(s.gauge_value) << ",,,,,\n";
         break;
       case MetricSnapshot::Kind::kHistogram: {
         const double mean =
             s.hist_count > 0 ? s.hist_sum / static_cast<double>(s.hist_count)
                              : 0.0;
+        // Quantile columns are empty (not 0) for an empty histogram, so a
+        // spreadsheet cannot mistake "no data" for "all zeros".
         os << s.name << ",histogram," << JsonNumber(mean) << ","
-           << s.hist_count << "," << JsonNumber(s.hist_sum) << "\n";
+           << s.hist_count << "," << JsonNumber(s.hist_sum);
+        for (const double q : {0.50, 0.90, 0.99}) {
+          const double v = HistogramQuantile(s, q);
+          os << ",";
+          if (std::isfinite(v)) os << JsonNumber(v);
+        }
+        os << "\n";
         break;
       }
     }
@@ -183,7 +183,11 @@ void MetricsRegistry::WriteJsonl(std::ostream& os) const {
       case MetricSnapshot::Kind::kHistogram: {
         os << "{\"type\":\"histogram\",\"name\":\"" << JsonEscape(s.name)
            << "\",\"count\":" << s.hist_count
-           << ",\"sum\":" << JsonNumber(s.hist_sum) << ",\"buckets\":[";
+           << ",\"sum\":" << JsonNumber(s.hist_sum)
+           << ",\"p50\":" << JsonNumber(HistogramQuantile(s, 0.50))
+           << ",\"p90\":" << JsonNumber(HistogramQuantile(s, 0.90))
+           << ",\"p99\":" << JsonNumber(HistogramQuantile(s, 0.99))
+           << ",\"buckets\":[";
         for (size_t i = 0; i < s.bucket_counts.size(); ++i) {
           if (i > 0) os << ",";
           os << "{\"le\":";

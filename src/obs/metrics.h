@@ -99,6 +99,14 @@ struct MetricSnapshot {
   double hist_sum = 0.0;                    // kHistogram
 };
 
+/// Estimates the q-quantile (0 <= q <= 1) of a histogram snapshot by linear
+/// interpolation inside the bucket holding the target rank, Prometheus
+/// `histogram_quantile` style. Returns NaN for an empty histogram or a
+/// non-histogram snapshot. When the rank lands in the +inf overflow bucket
+/// the estimate saturates at the largest finite bound (NaN if the histogram
+/// has only the overflow bucket, since no finite bound exists).
+double HistogramQuantile(const MetricSnapshot& s, double q);
+
 /// Process-wide metric registry. Get* registers on first use and returns a
 /// pointer that stays valid for the registry's lifetime, so call sites may
 /// cache it (the OVS_* macros below do exactly that).
@@ -123,11 +131,14 @@ class MetricsRegistry {
   /// Session opens call this so an export covers exactly one run.
   void Reset();
 
-  /// One CSV row per metric: name,type,value,count,sum (histograms report
-  /// their mean in the value column; per-bucket detail is JSONL-only).
+  /// One CSV row per metric: name,type,value,count,sum,p50,p90,p99.
+  /// Histograms report their mean in the value column and bucket-interpolated
+  /// quantile estimates (HistogramQuantile) in the p* columns; counters and
+  /// gauges leave count/sum/p* empty. Per-bucket detail is JSONL-only.
   void WriteCsv(std::ostream& os) const;
 
-  /// One JSON object per line; histograms carry their full bucket vector.
+  /// One JSON object per line; histograms carry their full bucket vector
+  /// plus p50/p90/p99 quantile estimates (null when empty).
   void WriteJsonl(std::ostream& os) const;
 
  private:

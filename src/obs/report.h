@@ -1,0 +1,89 @@
+#ifndef OVS_OBS_REPORT_H_
+#define OVS_OBS_REPORT_H_
+
+// Structured run reports: one JSON document per bench run, assembled by
+// obs::Session at Finish() when SessionOptions::report_out is set.
+//
+// A report carries three kinds of data with very different trust levels:
+//  - Provenance: binary name, git sha (OVS_GIT_SHA / GITHUB_SHA env),
+//    OVS_BENCH_SCALE, thread count, wall clock. Identifies the run.
+//  - Deterministic work counters: every non-threadpool counter in the
+//    metrics registry (vehicle steps, GEMM flops, epochs, restarts...).
+//    These are bitwise-stable at any thread count — the parallel layer's
+//    determinism contract — so tools/perfdiff can gate on them even on a
+//    noisy shared CI runner where wall clock is meaningless.
+//  - Timings: the wall clock, threadpool activity, and the phase-profile
+//    tree folded from the trace spans. Informational only; never gated.
+//
+// Benches declare their headline numbers (RMSE per method, etc.) through
+// ReportResult(name, value); rows appear in the report in declaration order.
+// The schema is documented in DESIGN.md ("Run reports & perf gate");
+// tools/perfdiff is the consumer.
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace ovs::obs {
+
+/// One bench-declared headline number (e.g. "table8.random.OVS.rmse_tod").
+struct ResultRow {
+  std::string name;
+  double value = 0.0;
+};
+
+/// In-memory form of one run report; WriteRunReportJson is the wire format.
+struct RunReport {
+  /// Schema identifier serialized as the "schema" field.
+  static constexpr const char* kSchema = "ovs.run_report.v1";
+
+  std::string binary;       ///< argv[0] basename.
+  std::string git_sha;      ///< From OVS_GIT_SHA / GITHUB_SHA; may be empty.
+  std::string bench_scale;  ///< "fast" or "full" (GetBenchScale()).
+  int threads = 1;          ///< GlobalThreadCount() at assembly.
+  double wall_seconds = 0.0;
+
+  /// Deterministic work counters (registry counters minus threadpool.*).
+  std::map<std::string, uint64_t> counters;
+  /// Registry gauges minus threadpool.* — losses, per-method RMSE, stage
+  /// durations. Informational; results[] is the gated accuracy surface.
+  std::map<std::string, double> gauges;
+  /// threadpool.* metrics: thread-count and machine dependent, never gated.
+  std::map<std::string, uint64_t> pool;
+  std::vector<ResultRow> results;
+  std::vector<PhaseNode> phases;
+};
+
+/// Declares one result row for the current run's report. Thread-safe;
+/// rows keep declaration order. Opening a Session with reset_metrics
+/// clears previously declared rows.
+void ReportResult(const std::string& name, double value);
+
+/// Drops all declared result rows (Session open; tests).
+void ClearReportedResults();
+
+/// Copy of the currently declared rows, in declaration order.
+std::vector<ResultRow> ReportedResults();
+
+/// Assembles a report from the live metrics registry, the trace buffers
+/// (BuildPhaseProfile), the declared result rows, and the environment.
+/// `binary_name` may be a full argv[0] path; only the basename is kept.
+RunReport BuildRunReport(const std::string& binary_name, double wall_seconds);
+
+/// Serializes the report as one pretty-printed JSON object (stable field
+/// and key order, so checked-in baselines diff cleanly).
+[[nodiscard]] Status WriteRunReportJson(const RunReport& report,
+                                        std::ostream& os);
+
+/// Human-readable phase-profile summary (the --profile output): one line
+/// per tree node with total time, self time, and hit count.
+void PrintPhaseProfile(const std::vector<PhaseNode>& phases, std::ostream& os);
+
+}  // namespace ovs::obs
+
+#endif  // OVS_OBS_REPORT_H_

@@ -1,8 +1,10 @@
 #include "obs/session.h"
 
+#include <iostream>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "util/atomic_file.h"
 #include "util/logging.h"
@@ -22,11 +24,29 @@ uint64_t Delta(uint64_t now, uint64_t base) { return now >= base ? now - base : 
 
 }  // namespace
 
+SessionOptions MakeBenchSessionOptions(const BenchArgs& args,
+                                       const char* argv0) {
+  SessionOptions options;
+  options.trace_out = args.trace_out;
+  options.metrics_out = args.metrics_out;
+  options.report_out = args.report_out;
+  options.binary_name = argv0 == nullptr ? "" : argv0;
+  options.print_profile = args.profile;
+  return options;
+}
+
 Session::Session(SessionOptions options)
     : options_(std::move(options)), open_(true) {
-  if (options_.reset_metrics) MetricsRegistry::Global().Reset();
+  if (options_.reset_metrics) {
+    MetricsRegistry::Global().Reset();
+    ClearReportedResults();
+  }
   pool_baseline_ = GlobalThreadPool()->stats();
-  if (!options_.trace_out.empty()) {
+  start_ns_ = internal_trace::NowNs();
+  // The report's phase tree and the --profile summary both fold trace
+  // spans, so either output turns recording on.
+  if (!options_.trace_out.empty() || !options_.report_out.empty() ||
+      options_.print_profile) {
     StartTracing();
     tracing_ = true;
   }
@@ -62,6 +82,21 @@ Status Session::Finish() {
       MetricsRegistry::Global().WriteJsonl(writer.stream());
     }
     RETURN_IF_ERROR(writer.Commit());
+  }
+  if (!options_.report_out.empty() || options_.print_profile) {
+    const uint64_t end_ns = internal_trace::NowNs();
+    const double wall_seconds =
+        end_ns >= start_ns_ ? static_cast<double>(end_ns - start_ns_) / 1e9
+                            : 0.0;
+    const RunReport report =
+        BuildRunReport(options_.binary_name, wall_seconds);
+    if (!options_.report_out.empty()) {
+      AtomicFileWriter writer(options_.report_out);
+      RETURN_IF_ERROR(writer.status());
+      RETURN_IF_ERROR(WriteRunReportJson(report, writer.stream()));
+      RETURN_IF_ERROR(writer.Commit());
+    }
+    if (options_.print_profile) PrintPhaseProfile(report.phases, std::cout);
   }
   return Status::Ok();
 }

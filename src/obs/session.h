@@ -6,21 +6,24 @@
 //
 //   int main(int argc, char** argv) {
 //     ovs::BenchArgs args = ovs::ParseBenchArgs(argc, argv);
-//     ovs::obs::Session session({args.trace_out, args.metrics_out});
+//     ovs::obs::Session session(ovs::obs::MakeBenchSessionOptions(args, argv[0]));
 //     ... run the experiment ...
 //     return session.Close() ? 0 : 1;
 //   }
 //
-// Opening a session with a non-empty trace_out enables span recording
-// (StartTracing) and resets the metrics registry so the export covers
-// exactly this run; Close() (or the destructor) stops tracing, publishes
-// ThreadPool stats into the registry, and writes the requested files.
-// With both paths empty the session is inert — binaries can construct one
+// Opening a session with a non-empty trace_out, report_out, or
+// print_profile enables span recording (StartTracing) and resets the
+// metrics registry so the export covers exactly this run; Close() (or the
+// destructor) stops tracing, publishes ThreadPool stats into the registry,
+// and writes the requested files. Returning through Close() is what makes a
+// failed telemetry write exit nonzero — mains must not swallow it. With all
+// outputs empty the session is inert — binaries can construct one
 // unconditionally.
 
 #include <cstdint>
 #include <string>
 
+#include "util/bench_config.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -33,8 +36,24 @@ struct SessionOptions {
   /// selects the CSV exporter, anything else writes JSONL.
   std::string metrics_out;
   /// Zero the metrics registry at open so exports cover one run only.
+  /// Also clears previously declared ReportResult rows.
   bool reset_metrics = true;
+  /// Run-report JSON output path (obs/report.h); empty disables the report.
+  /// A non-empty value enables span recording so the report's phase tree is
+  /// populated even without --trace_out.
+  std::string report_out;
+  /// argv[0] of the owning binary, recorded in the report's provenance.
+  std::string binary_name;
+  /// Print the phase-profile summary to stdout at Finish (the --profile
+  /// flag). Enables span recording like report_out.
+  bool print_profile = false;
 };
+
+/// SessionOptions from the shared bench flags — the one-liner every bench
+/// main uses: `obs::Session session(obs::MakeBenchSessionOptions(args,
+/// argv[0]));`.
+SessionOptions MakeBenchSessionOptions(const BenchArgs& args,
+                                       const char* argv0);
 
 class Session {
  public:
@@ -63,6 +82,9 @@ class Session {
   SessionOptions options_;
   bool open_ = false;
   bool tracing_ = false;
+  /// Steady-clock stamp at open; the report's wall_seconds covers
+  /// [construction, Finish).
+  uint64_t start_ns_ = 0;
   /// Pool stats at open; Finish publishes the delta, so threadpool.* metrics
   /// count only this session's work.
   ThreadPool::Stats pool_baseline_;

@@ -4,11 +4,15 @@
 #include <array>
 #include <chrono>
 #include <iomanip>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <sstream>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
 
 namespace ovs::obs {
 
@@ -35,6 +39,29 @@ struct TraceEvent {
 };
 
 constexpr size_t kBlockSize = 4096;
+
+/// Soft cap on buffered events per tracing session. A fully instrumented
+/// fast-scale run records a few hundred thousand spans; one mistaken
+/// per-vehicle-step scope records hundreds of millions (the PR 3 postmortem's
+/// 190 MB trace). Past the cap events are counted and dropped instead of
+/// buffered, so the failure mode is a WARNING plus a truncated trace rather
+/// than an unbounded allocation.
+constexpr size_t kDefaultEventCap = 1u << 20;
+
+std::atomic<size_t> g_event_cap{kDefaultEventCap};
+std::atomic<size_t> g_admitted_events{0};
+std::atomic<size_t> g_dropped_events{0};
+
+/// Reserves a buffer slot under the soft cap; false means drop the event.
+bool AdmitEvent() {
+  const size_t cap = g_event_cap.load(std::memory_order_relaxed);
+  if (g_admitted_events.fetch_add(1, std::memory_order_relaxed) < cap) {
+    return true;
+  }
+  g_dropped_events.fetch_add(1, std::memory_order_relaxed);
+  OVS_COUNTER_INC("obs.trace.dropped_events");
+  return false;
+}
 
 struct EventBlock {
   std::array<TraceEvent, kBlockSize> events;
@@ -128,6 +155,7 @@ std::string JsonEscape(const char* s) {
 namespace internal_trace {
 
 void AppendSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  if (!AdmitEvent()) return;
   TraceEvent e;
   e.name = name;
   e.phase = 'X';
@@ -137,6 +165,7 @@ void AppendSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
 }
 
 void AppendCounter(const char* name, uint64_t ts_ns, double value) {
+  if (!AdmitEvent()) return;
   TraceEvent e;
   e.name = name;
   e.phase = 'C';
@@ -158,6 +187,8 @@ void StartTracing() {
   TraceState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
   for (const auto& b : state.buffers) b->Clear();
+  g_admitted_events.store(0, std::memory_order_relaxed);
+  g_dropped_events.store(0, std::memory_order_relaxed);
   state.t0_ns.store(internal_trace::NowNs(), std::memory_order_relaxed);
   internal_trace::g_trace_enabled.store(true, std::memory_order_seq_cst);
 }
@@ -174,7 +205,24 @@ size_t BufferedTraceEventCount() {
   return total;
 }
 
+size_t DroppedTraceEventCount() {
+  return g_dropped_events.load(std::memory_order_relaxed);
+}
+
+void SetTraceEventCapForTesting(size_t cap) {
+  g_event_cap.store(cap == 0 ? kDefaultEventCap : cap,
+                    std::memory_order_relaxed);
+}
+
 Status WriteChromeTrace(std::ostream& os) {
+  const size_t dropped = g_dropped_events.load(std::memory_order_relaxed);
+  if (dropped > 0) {
+    LOG(WARNING) << "trace export is incomplete: " << dropped
+                 << " events were dropped by the soft cap ("
+                 << g_event_cap.load(std::memory_order_relaxed)
+                 << " buffered events); a span is likely recorded per step "
+                    "rather than per phase";
+  }
   std::vector<TraceEvent> events;
   std::vector<uint32_t> tids;
   std::vector<uint32_t> seen_tids;
@@ -233,6 +281,84 @@ Status WriteChromeTrace(std::ostream& os) {
     return Status::DataLoss("trace stream write failed");
   }
   return Status::Ok();
+}
+
+namespace {
+
+/// Mutable merge node keyed by span name; converted to PhaseNode at the end.
+struct MergeNode {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  std::map<std::string, MergeNode> children;
+};
+
+std::vector<PhaseNode> FinishProfile(std::map<std::string, MergeNode>& level) {
+  std::vector<PhaseNode> out;
+  out.reserve(level.size());
+  for (auto& [name, node] : level) {
+    PhaseNode p;
+    p.name = name;
+    p.count = node.count;
+    p.total_ns = node.total_ns;
+    p.children = FinishProfile(node.children);
+    uint64_t child_total = 0;
+    for (const PhaseNode& c : p.children) child_total += c.total_ns;
+    // Children can slightly exceed the parent when clock reads straddle the
+    // scope boundaries; clamp so self time never underflows.
+    p.self_ns = p.total_ns >= child_total ? p.total_ns - child_total : 0;
+    out.push_back(std::move(p));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PhaseNode& a, const PhaseNode& b) {
+                     if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+                     return a.name < b.name;
+                   });
+  return out;
+}
+
+}  // namespace
+
+std::vector<PhaseNode> BuildPhaseProfile() {
+  std::vector<TraceEvent> events;
+  std::vector<uint32_t> tids;
+  {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (const auto& b : state.buffers) b->CollectInto(&events, &tids);
+  }
+
+  // Group span events per recording thread; nesting is only meaningful
+  // within one thread's RAII scopes.
+  std::map<uint32_t, std::vector<size_t>> per_thread;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].phase == 'X') per_thread[tids[i]].push_back(i);
+  }
+
+  std::map<std::string, MergeNode> roots;
+  for (auto& [tid, indices] : per_thread) {
+    // Parents first: earlier start, then longer duration on equal stamps
+    // (an enclosing scope can share its child's coarse-clock start).
+    std::stable_sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
+      if (events[a].ts_ns != events[b].ts_ns) {
+        return events[a].ts_ns < events[b].ts_ns;
+      }
+      return events[a].dur_ns > events[b].dur_ns;
+    });
+    // Containment stack: (span end, merge node of that span).
+    std::vector<std::pair<uint64_t, MergeNode*>> stack;
+    for (size_t idx : indices) {
+      const TraceEvent& e = events[idx];
+      const uint64_t end_ns = e.ts_ns + e.dur_ns;
+      while (!stack.empty() && e.ts_ns >= stack.back().first) stack.pop_back();
+      std::map<std::string, MergeNode>& level =
+          stack.empty() ? roots : stack.back().second->children;
+      MergeNode& node = level[e.name];
+      node.count += 1;
+      node.total_ns += e.dur_ns;
+      stack.emplace_back(end_ns, &node);
+    }
+  }
+  return FinishProfile(roots);
 }
 
 }  // namespace ovs::obs

@@ -27,9 +27,11 @@
 // (the buffer stores only the pointer).
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -107,6 +109,36 @@ void StopTracing();
 
 /// Total buffered events across all threads (test hook).
 size_t BufferedTraceEventCount();
+
+/// Events rejected by the soft cap since the last StartTracing. Also
+/// published as the `obs.trace.dropped_events` counter; WriteChromeTrace
+/// logs a WARNING when nonzero so a runaway per-step span shows up in the
+/// bench output instead of as a multi-hundred-MB trace file.
+size_t DroppedTraceEventCount();
+
+/// Overrides the soft cap on buffered events (0 restores the default).
+/// Recording past the cap drops the event instead of allocating; the default
+/// bounds a fully instrumented run to roughly 100 MB of exported JSON.
+void SetTraceEventCapForTesting(size_t cap);
+
+/// One merged node of the phase profile: every span with this name recorded
+/// at this position in the span tree, folded across all threads.
+/// `total_ns` is inclusive wall time; `self_ns` excludes child spans.
+/// Recursive spans accumulate at each nesting depth they occur.
+struct PhaseNode {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t self_ns = 0;
+  std::vector<PhaseNode> children;
+};
+
+/// Folds the buffered per-thread span events into a top-down self/total-time
+/// tree: per thread, spans nest by timestamp containment (the RAII scopes
+/// guarantee proper nesting); across threads, nodes merge by name path.
+/// Children are ordered by descending total time (name-tiebroken). Counter
+/// ('C') events are ignored. Call after StopTracing.
+std::vector<PhaseNode> BuildPhaseProfile();
 
 }  // namespace ovs::obs
 

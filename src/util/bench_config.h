@@ -27,6 +27,11 @@ struct BenchArgs {
   /// Metrics export (--metrics_out=PATH, ".csv" selects CSV over JSONL);
   /// empty = no export.
   std::string metrics_out;
+  /// Structured run-report JSON (--report_out=PATH); empty = no report.
+  /// See obs/report.h for the schema and tools/perfdiff for the consumer.
+  std::string report_out;
+  /// Print the phase-profile summary at session close (--profile).
+  bool profile = false;
   /// Trainer checkpoint directory (--checkpoint_dir=PATH); empty = off.
   std::string checkpoint_dir;
   /// Epochs between stage checkpoints (--checkpoint_every=N).
@@ -43,12 +48,17 @@ struct BenchArgs {
   bool force_serial_sweep = false;
 };
 
-/// Parses --trace_out= / --metrics_out= / --checkpoint_dir= /
-/// --checkpoint_every= / --resume / --sensor_fault= / --force_serial_sweep
-/// from argv. Unrecognized
+/// Parses --trace_out= / --metrics_out= / --report_out= / --profile /
+/// --checkpoint_dir= / --checkpoint_every= / --resume / --sensor_fault= /
+/// --force_serial_sweep from argv. Unrecognized
 /// arguments are ignored (benches own any extra flags); a recognized flag
 /// missing or with a malformed value keeps the default.
 BenchArgs ParseBenchArgs(int argc, char** argv);
+
+/// True when `arg` is one of the flags ParseBenchArgs understands. The
+/// google-benchmark mains use this to strip shared flags from argv before
+/// handing the remainder to benchmark::Initialize (which rejects unknowns).
+bool IsBenchArg(const std::string& arg);
 
 }  // namespace ovs
 

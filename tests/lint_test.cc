@@ -713,6 +713,52 @@ TEST(LintMutexTest, Suppressible) {
   EXPECT_TRUE(diags.empty());
 }
 
+// ----------------------------------------------------------- bench-session
+
+TEST(LintBenchSessionTest, FlagsBenchMainWithoutSession) {
+  auto diags = LintContent("bench/new_table.cc",
+                           "int main(int argc, char** argv) {\n"
+                           "  return 0;\n"
+                           "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "bench-session");
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintBenchSessionTest, FlagsBenchmarkMainMacro) {
+  auto diags = LintContent("bench/new_micro.cc", "BENCHMARK_MAIN();\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "bench-session");
+  EXPECT_NE(diags[0].message.find("BENCHMARK_MAIN"), std::string::npos);
+}
+
+TEST(LintBenchSessionTest, SessionOpeningMainIsClean) {
+  EXPECT_TRUE(
+      LintContent("bench/new_table.cc",
+                  "int main(int argc, char** argv) {\n"
+                  "  const BenchArgs args = ParseBenchArgs(argc, argv);\n"
+                  "  obs::Session session("
+                  "obs::MakeBenchSessionOptions(args, argv[0]));\n"
+                  "  return session.Close() ? 0 : 1;\n"
+                  "}\n")
+          .empty());
+}
+
+TEST(LintBenchSessionTest, OnlyAppliesToBenchSources) {
+  const std::string bare_main = "int main() { return 0; }\n";
+  EXPECT_TRUE(LintContent("tools/lint/main.cc", bare_main).empty());
+  EXPECT_TRUE(LintContent("examples/demo.cc", bare_main).empty());
+  // Headers in bench/ (helper tables etc.) are exempt.
+  EXPECT_TRUE(LintContent("bench/helpers.h", bare_main).empty());
+}
+
+TEST(LintBenchSessionTest, Suppressible) {
+  EXPECT_TRUE(LintContent("bench/new_table.cc",
+                          "// ovs-lint: allow(bench-session)\n"
+                          "int main(int argc, char** argv) { return 0; }\n")
+                  .empty());
+}
+
 // ------------------------------------------- lexer-backed scanning regressions
 
 TEST(LintLexerRegressionTest, RuleKeywordsInsideStringsDoNotFire) {
@@ -770,7 +816,7 @@ TEST(LintMachineryTest, DiagnosticFormatIsStable) {
 
 TEST(LintMachineryTest, AllRulesRegistered) {
   const auto& rules = AllRules();
-  ASSERT_GE(rules.size(), 14u);
+  ASSERT_GE(rules.size(), 15u);
   std::vector<std::string> names;
   for (const auto& r : rules) names.push_back(r.name);
   for (const char* expected :
@@ -778,7 +824,7 @@ TEST(LintMachineryTest, AllRulesRegistered) {
         "parallelfor-capture", "wallclock-in-core", "raw-ofstream",
         "unguarded-observed-speed", "nonstable-sort", "layer-violation",
         "include-cycle", "alloc-in-parallel", "heavy-pass-by-value",
-        "mutex-in-hot-path"}) {
+        "mutex-in-hot-path", "bench-session"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing rule " << expected;
   }

@@ -1,14 +1,14 @@
 // Tests for the observability layer (src/obs): metrics registry semantics
-// and thread safety, histogram bucket edges, Chrome-trace JSON validity and
-// span nesting, and the determinism contract — telemetry reads clocks but
-// never feeds back, so tracing on vs off is bitwise-identical.
+// and thread safety, histogram bucket edges and quantile interpolation,
+// Chrome-trace JSON validity, span nesting and the event soft cap, and the
+// determinism contract — telemetry reads clocks but never feeds back, so
+// tracing on vs off is bitwise-identical.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <cctype>
+#include <cmath>
 #include <cstdint>
-#include <functional>
 #include <sstream>
 #include <string>
 #include <tuple>
@@ -21,6 +21,7 @@
 #include "obs/metrics.h"
 #include "obs/session.h"
 #include "obs/trace.h"
+#include "obs_test_util.h"
 #include "util/thread_pool.h"
 
 namespace ovs {
@@ -28,15 +29,9 @@ namespace {
 
 using obs::MetricSnapshot;
 using obs::MetricsRegistry;
-
-// Restores the global pool size on scope exit so test order does not matter.
-struct ThreadGuard {
-  explicit ThreadGuard(int threads) : before(GlobalThreadCount()) {
-    SetGlobalThreads(threads);
-  }
-  ~ThreadGuard() { SetGlobalThreads(before); }
-  int before;
-};
+using testutil::IsValidJson;
+using testutil::NumberField;
+using testutil::ThreadGuard;
 
 // ---------------------------------------------------------------- metrics --
 
@@ -150,125 +145,72 @@ TEST(MetricsTest, CsvExportHasHeaderAndRows) {
   reg.GetCounter("test.csv_counter")->Add(1);
   std::ostringstream out;
   reg.WriteCsv(out);
-  EXPECT_EQ(out.str().rfind("name,type,value,count,sum\n", 0), 0u);
+  EXPECT_EQ(out.str().rfind("name,type,value,count,sum,p50,p90,p99\n", 0), 0u);
   EXPECT_NE(out.str().find("test.csv_counter,counter,"), std::string::npos);
 }
 
+MetricSnapshot HistSnapshot(const std::string& name) {
+  for (const MetricSnapshot& s : MetricsRegistry::Global().Snapshot()) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "metric not found: " << name;
+  return {};
+}
+
+TEST(MetricsTest, HistogramQuantileInterpolatesWithinBuckets) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  obs::Histogram* h = reg.GetHistogram("test.quantile_interp", {1.0, 2.0});
+  h->Reset();
+  // 10 observations <= 1.0, 10 in (1.0, 2.0]: p50 lands on the first bucket
+  // edge, p90 linearly interpolates 80% into the second bucket.
+  for (int i = 0; i < 10; ++i) h->Observe(0.5);
+  for (int i = 0; i < 10; ++i) h->Observe(1.5);
+  const MetricSnapshot s = HistSnapshot("test.quantile_interp");
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 0.5), 1.0);
+  EXPECT_NEAR(obs::HistogramQuantile(s, 0.9), 1.8, 1e-9);
+  // Quantiles monotone in q.
+  EXPECT_LE(obs::HistogramQuantile(s, 0.5), obs::HistogramQuantile(s, 0.9));
+  EXPECT_LE(obs::HistogramQuantile(s, 0.9), obs::HistogramQuantile(s, 0.99));
+}
+
+TEST(MetricsTest, HistogramQuantileEmptyHistogramIsNaN) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  obs::Histogram* h = reg.GetHistogram("test.quantile_empty", {1.0});
+  h->Reset();
+  EXPECT_TRUE(std::isnan(
+      obs::HistogramQuantile(HistSnapshot("test.quantile_empty"), 0.5)));
+  // Counters are not histograms either.
+  reg.GetCounter("test.quantile_counter")->Add(3);
+  EXPECT_TRUE(std::isnan(
+      obs::HistogramQuantile(HistSnapshot("test.quantile_counter"), 0.5)));
+}
+
+TEST(MetricsTest, HistogramQuantileSingleBucket) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  obs::Histogram* h = reg.GetHistogram("test.quantile_single", {4.0});
+  h->Reset();
+  h->Observe(1.0);
+  const MetricSnapshot s = HistSnapshot("test.quantile_single");
+  // One finite bucket [0, 4]: every quantile interpolates inside it and
+  // never exceeds the bound.
+  EXPECT_GE(obs::HistogramQuantile(s, 0.5), 0.0);
+  EXPECT_LE(obs::HistogramQuantile(s, 0.99), 4.0);
+}
+
+TEST(MetricsTest, HistogramQuantileOverflowBucketSaturates) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  obs::Histogram* h = reg.GetHistogram("test.quantile_inf", {1.0});
+  h->Reset();
+  // All mass past the last finite bound: the +inf bucket has no upper edge,
+  // so quantiles saturate at the largest finite bound instead of inventing
+  // a value.
+  for (int i = 0; i < 8; ++i) h->Observe(100.0);
+  const MetricSnapshot s = HistSnapshot("test.quantile_inf");
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 0.99), 1.0);
+}
+
 // ------------------------------------------------------------------ trace --
-
-/// Minimal JSON syntax validator (objects, arrays, strings, numbers,
-/// true/false/null). Returns true iff `s` is one complete JSON value.
-bool IsValidJson(const std::string& s) {
-  size_t i = 0;
-  auto skip_ws = [&] {
-    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
-                            s[i] == '\r')) {
-      ++i;
-    }
-  };
-  std::function<bool()> value = [&]() -> bool {
-    skip_ws();
-    if (i >= s.size()) return false;
-    char c = s[i];
-    if (c == '{') {
-      ++i;
-      skip_ws();
-      if (i < s.size() && s[i] == '}') {
-        ++i;
-        return true;
-      }
-      while (true) {
-        skip_ws();
-        if (i >= s.size() || s[i] != '"') return false;
-        if (!value()) return false;  // key (string)
-        skip_ws();
-        if (i >= s.size() || s[i] != ':') return false;
-        ++i;
-        if (!value()) return false;
-        skip_ws();
-        if (i < s.size() && s[i] == ',') {
-          ++i;
-          continue;
-        }
-        if (i < s.size() && s[i] == '}') {
-          ++i;
-          return true;
-        }
-        return false;
-      }
-    }
-    if (c == '[') {
-      ++i;
-      skip_ws();
-      if (i < s.size() && s[i] == ']') {
-        ++i;
-        return true;
-      }
-      while (true) {
-        if (!value()) return false;
-        skip_ws();
-        if (i < s.size() && s[i] == ',') {
-          ++i;
-          continue;
-        }
-        if (i < s.size() && s[i] == ']') {
-          ++i;
-          return true;
-        }
-        return false;
-      }
-    }
-    if (c == '"') {
-      ++i;
-      while (i < s.size() && s[i] != '"') {
-        if (s[i] == '\\') ++i;
-        ++i;
-      }
-      if (i >= s.size()) return false;
-      ++i;
-      return true;
-    }
-    if (c == 't') {
-      if (s.compare(i, 4, "true") != 0) return false;
-      i += 4;
-      return true;
-    }
-    if (c == 'f') {
-      if (s.compare(i, 5, "false") != 0) return false;
-      i += 5;
-      return true;
-    }
-    if (c == 'n') {
-      if (s.compare(i, 4, "null") != 0) return false;
-      i += 4;
-      return true;
-    }
-    // number
-    size_t start = i;
-    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
-    bool digits = false;
-    while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
-                            s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
-                            s[i] == '-' || s[i] == '+')) {
-      digits = digits || std::isdigit(static_cast<unsigned char>(s[i]));
-      ++i;
-    }
-    return digits && i > start;
-  };
-  if (!value()) return false;
-  skip_ws();
-  return i == s.size();
-}
-
-/// Extracts the first `"field":<number>` after `from` in `json`.
-double NumberField(const std::string& json, const std::string& field,
-                   size_t from) {
-  const std::string key = "\"" + field + "\":";
-  size_t pos = json.find(key, from);
-  EXPECT_NE(pos, std::string::npos) << field;
-  if (pos == std::string::npos) return -1.0;
-  return std::stod(json.substr(pos + key.size()));
-}
 
 TEST(TraceTest, ChromeTraceIsValidJsonWithNestedSpans) {
   obs::StartTracing();
@@ -352,6 +294,33 @@ TEST(TraceTest, InternNameIsStableAcrossCalls) {
   EXPECT_STREQ(a, "dynamic.name.fixture");
 }
 
+TEST(TraceTest, EventSoftCapDropsInsteadOfGrowing) {
+  obs::SetTraceEventCapForTesting(16);
+  obs::StartTracing();
+  for (int i = 0; i < 50; ++i) {
+    OVS_TRACE_SCOPE("cap_fixture");
+  }
+  obs::StopTracing();
+  // Admissions stop at the cap; the rest are counted, not buffered.
+  EXPECT_EQ(obs::BufferedTraceEventCount(), 16u);
+  EXPECT_EQ(obs::DroppedTraceEventCount(), 34u);
+  EXPECT_GE(
+      obs::MetricsRegistry::Global().GetCounter("obs.trace.dropped_events")
+          ->value(),
+      34u);
+  // The (incomplete) trace still exports as valid JSON.
+  std::ostringstream out;
+  ASSERT_TRUE(obs::WriteChromeTrace(out).ok());
+  EXPECT_TRUE(IsValidJson(out.str()));
+
+  // StartTracing resets the drop accounting; restoring the default cap
+  // un-gates subsequent tests.
+  obs::SetTraceEventCapForTesting(0);
+  obs::StartTracing();
+  obs::StopTracing();
+  EXPECT_EQ(obs::DroppedTraceEventCount(), 0u);
+}
+
 // ------------------------------------------------------------ determinism --
 
 DMat RecoveryRun(bool tracing) {
@@ -403,7 +372,7 @@ TEST(ObsDeterminismTest, TracingOnVsOffIsBitwiseIdentical) {
 
 TEST(SessionTest, PublishesThreadPoolMetricsOnFinish) {
   ThreadGuard guard(4);
-  obs::Session session({/*trace_out=*/"", /*metrics_out=*/""});
+  obs::Session session(obs::SessionOptions{});  // no outputs, still publishes
   ParallelFor(0, 1000, 10, [](int64_t, int64_t) {});
   ASSERT_TRUE(session.Finish().ok());
   MetricsRegistry& reg = MetricsRegistry::Global();

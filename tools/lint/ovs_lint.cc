@@ -1104,6 +1104,48 @@ void CheckMutexInHotPath(const FileCtx& ctx, std::vector<Diagnostic>* out) {
   }
 }
 
+// ------------------------------------------------------ rule: bench-session
+
+/// Every bench binary must open an obs::Session: the Session is what wires
+/// the shared --report_out/--trace_out/--metrics_out flags, and returning
+/// through session.Close() is what makes a failed telemetry write exit
+/// nonzero. A BENCHMARK_MAIN() expansion cannot open one, so google-benchmark
+/// suites in bench/ need a custom main (see bench/micro_nn.cc).
+void CheckBenchSession(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  if (ctx.top != "bench") return;
+  if (ctx.path.size() < 3 ||
+      ctx.path.compare(ctx.path.size() - 3, 3, ".cc") != 0) {
+    return;
+  }
+  const std::vector<Token>& code = ctx.code;
+  int main_line = 0;
+  bool has_session = false;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (IdentIs(code, i, "BENCHMARK_MAIN") && PunctIs(code, i + 1, "(")) {
+      Report(ctx, code[i].line, "bench-session",
+             "BENCHMARK_MAIN() cannot open an obs::Session, so this binary "
+             "ignores --report_out and swallows telemetry-write failures; "
+             "write a custom main that parses BenchArgs, opens a Session, "
+             "and returns through session.Close()",
+             out);
+      return;
+    }
+    if (main_line == 0 && IdentIs(code, i, "int") &&
+        IdentIs(code, i + 1, "main") && PunctIs(code, i + 2, "(")) {
+      main_line = code[i + 1].line;
+    }
+    if (IdentIs(code, i, "Session")) has_session = true;
+  }
+  if (main_line != 0 && !has_session) {
+    Report(ctx, main_line, "bench-session",
+           "bench main never opens an obs::Session; construct one from "
+           "MakeBenchSessionOptions(args, argv[0]) and return through "
+           "session.Close() so --report_out works and export failures exit "
+           "nonzero",
+           out);
+  }
+}
+
 // ------------------------------------------------------ per-directory policy
 
 /// Rules that guard *library* invariants: they stay on for src/ (and for
@@ -1139,6 +1181,7 @@ void RunFileRules(const FileCtx& ctx, std::vector<Diagnostic>* out) {
       {"alloc-in-parallel", CheckAllocInParallel},
       {"heavy-pass-by-value", CheckHeavyPassByValue},
       {"mutex-in-hot-path", CheckMutexInHotPath},
+      {"bench-session", CheckBenchSession},
   };
   for (const Rule& r : kRules) {
     if (RuleEnabled(ctx, r.name)) r.check(ctx, out);
@@ -1368,6 +1411,10 @@ const std::vector<RuleInfo>& AllRules() {
        "lock types or lock()/unlock() calls in src/nn or src/sim serialize "
        "the per-step hot path; shard state per index and merge "
        "deterministically"},
+      {"bench-session",
+       "a bench/*.cc main (or BENCHMARK_MAIN()) that never opens an "
+       "obs::Session ignores --report_out and swallows telemetry-write "
+       "failures; open a Session and return through Close()"},
   };
   return kRules;
 }

@@ -1,0 +1,512 @@
+#include "perfdiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace ovs::perfdiff {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON parsing. Recursive descent over the raw buffer; tracks the line
+// number so parse errors in hand-edited baselines are findable.
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    const bool ok = ParseValue(out, 0) && AtEnd();
+    if (!ok && error != nullptr) {
+      std::ostringstream os;
+      os << "line " << line_ << ": "
+         << (message_.empty() ? "malformed JSON" : message_);
+      *error = os.str();
+    }
+    return ok;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& message) {
+    if (message_.empty()) message_ = message;
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing content after document");
+    return true;
+  }
+
+  bool Expect(char c) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return Fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\n') return Fail("newline inside string");
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape digit");
+            }
+          }
+          // BMP-only UTF-8 encoding; report strings are metric names and
+          // never carry surrogate pairs.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return Fail("bad number");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        SkipWhitespace();
+        if (!ParseString(&key)) return false;
+        if (!Expect(':')) return false;
+        JsonValue member;
+        if (!ParseValue(&member, depth + 1)) return false;
+        out->object.emplace_back(std::move(key), std::move(member));
+        SkipWhitespace();
+        if (pos_ >= text_.size()) return Fail("unterminated object");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        return Expect('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue element;
+        if (!ParseValue(&element, depth + 1)) return false;
+        out->array.push_back(std::move(element));
+        SkipWhitespace();
+        if (pos_ >= text_.size()) return Fail("unterminated array");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        return Expect(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null");
+    }
+    return ParseNumber(out);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  std::string message_;
+};
+
+/// Numbers in findings: full precision for counters, no exponent churn for
+/// the magnitudes reports actually contain.
+std::string FormatNumber(double value) {
+  if (!std::isfinite(value)) return "non-finite";
+  std::ostringstream os;
+  os << std::setprecision(15) << value;
+  return os.str();
+}
+
+const char* KindLabel(Finding::Kind kind) {
+  switch (kind) {
+    case Finding::Kind::kCounterRegression: return "counter-regression";
+    case Finding::Kind::kResultRegression: return "accuracy-regression";
+    case Finding::Kind::kMissingMetric: return "missing-metric";
+    case Finding::Kind::kNewMetric: return "new-metric";
+  }
+  return "unknown";
+}
+
+double RatioFor(const Tolerances& tolerances, const std::string& metric,
+                double fallback) {
+  const auto it = tolerances.per_metric.find(metric);
+  return it == tolerances.per_metric.end() ? fallback : it->second;
+}
+
+Finding MakeFinding(Finding::Kind kind, const std::string& metric,
+                    double baseline, double current, double limit,
+                    std::string message) {
+  Finding finding;
+  finding.kind = kind;
+  finding.metric = metric;
+  finding.baseline = baseline;
+  finding.current = current;
+  finding.limit = limit;
+  finding.message = std::move(message);
+  return finding;
+}
+
+/// Shared gate for counters and result rows (both lower-is-better).
+void CompareMetric(Finding::Kind regression_kind, const std::string& metric,
+                   double baseline, const double* current, double ratio,
+                   double slack, std::vector<Finding>* findings) {
+  if (current == nullptr) {
+    findings->push_back(MakeFinding(
+        Finding::Kind::kMissingMetric, metric, baseline,
+        std::nan(""), 0.0,
+        metric + ": present in baseline but missing from the current report "
+                 "(instrumentation or a table row was dropped)"));
+    return;
+  }
+  if (!std::isfinite(baseline)) {
+    findings->push_back(MakeFinding(
+        Finding::Kind::kNewMetric, metric, baseline, *current, 0.0,
+        metric + ": baseline value is non-finite; not gated (refresh the "
+                 "baseline)"));
+    return;
+  }
+  const double limit = baseline * ratio + slack;
+  if (!std::isfinite(*current) || *current > limit) {
+    std::ostringstream os;
+    os << metric << ": baseline " << FormatNumber(baseline) << " -> current "
+       << FormatNumber(*current) << " exceeds limit " << FormatNumber(limit)
+       << " (ratio " << FormatNumber(ratio) << ", slack "
+       << FormatNumber(slack) << ")";
+    findings->push_back(MakeFinding(regression_kind, metric, baseline,
+                                    *current, limit, os.str()));
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  Parser parser(text);
+  return parser.Parse(out, error);
+}
+
+bool ParseReportJson(const std::string& text, Report* out,
+                     std::string* error) {
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) return false;
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (root.kind != JsonValue::Kind::kObject) {
+    return fail("report root is not an object");
+  }
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString) {
+    return fail("report is missing the \"schema\" tag");
+  }
+  if (schema->str != kReportSchema) {
+    return fail("unsupported report schema \"" + schema->str +
+                "\" (expected " + std::string(kReportSchema) + ")");
+  }
+  out->schema = schema->str;
+  if (const JsonValue* binary = root.Find("binary");
+      binary != nullptr && binary->kind == JsonValue::Kind::kString) {
+    out->binary = binary->str;
+  }
+  if (const JsonValue* scale = root.Find("bench_scale");
+      scale != nullptr && scale->kind == JsonValue::Kind::kString) {
+    out->bench_scale = scale->str;
+  }
+  if (const JsonValue* threads = root.Find("threads");
+      threads != nullptr && threads->kind == JsonValue::Kind::kNumber) {
+    out->threads = threads->number;
+  }
+  const JsonValue* counters = root.Find("counters");
+  if (counters == nullptr || counters->kind != JsonValue::Kind::kObject) {
+    return fail("report is missing the \"counters\" object");
+  }
+  out->counters.clear();
+  for (const auto& [name, value] : counters->object) {
+    if (value.kind != JsonValue::Kind::kNumber) {
+      return fail("counter \"" + name + "\" is not a number");
+    }
+    out->counters[name] = value.number;
+  }
+  const JsonValue* results = root.Find("results");
+  if (results == nullptr || results->kind != JsonValue::Kind::kArray) {
+    return fail("report is missing the \"results\" array");
+  }
+  out->results.clear();
+  for (const JsonValue& row : results->array) {
+    const JsonValue* name = row.Find("name");
+    const JsonValue* value = row.Find("value");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        value == nullptr) {
+      return fail("result row is missing \"name\" or \"value\"");
+    }
+    // The report writer serializes non-finite values as null.
+    const double v = value->kind == JsonValue::Kind::kNumber ? value->number
+                                                             : std::nan("");
+    out->results.emplace_back(name->str, v);
+  }
+  return true;
+}
+
+bool LoadReport(const std::string& path, Report* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  if (!ParseReportJson(buffer.str(), out, &parse_error)) {
+    if (error != nullptr) *error = path + ": " + parse_error;
+    return false;
+  }
+  return true;
+}
+
+std::vector<Finding> Compare(const Report& baseline, const Report& current,
+                             const Tolerances& tolerances) {
+  std::vector<Finding> findings;
+
+  for (const auto& [name, base_value] : baseline.counters) {
+    const auto it = current.counters.find(name);
+    const double* cur = it == current.counters.end() ? nullptr : &it->second;
+    CompareMetric(Finding::Kind::kCounterRegression, name, base_value, cur,
+                  RatioFor(tolerances, name, tolerances.counter_ratio),
+                  tolerances.counter_slack, &findings);
+  }
+  for (const auto& [name, cur_value] : current.counters) {
+    if (baseline.counters.find(name) != baseline.counters.end()) continue;
+    findings.push_back(MakeFinding(
+        Finding::Kind::kNewMetric, name, std::nan(""), cur_value, 0.0,
+        name + ": new counter (" + FormatNumber(cur_value) +
+            "), not in the baseline; gated after the next baseline refresh"));
+  }
+
+  std::map<std::string, double> current_results;
+  for (const auto& [name, value] : current.results) {
+    current_results.emplace(name, value);
+  }
+  std::map<std::string, double> baseline_results;
+  for (const auto& [name, value] : baseline.results) {
+    baseline_results.emplace(name, value);
+  }
+  for (const auto& [name, base_value] : baseline_results) {
+    const auto it = current_results.find(name);
+    const double* cur = it == current_results.end() ? nullptr : &it->second;
+    CompareMetric(Finding::Kind::kResultRegression, name, base_value, cur,
+                  RatioFor(tolerances, name, tolerances.result_ratio),
+                  tolerances.result_slack, &findings);
+  }
+  for (const auto& [name, cur_value] : current_results) {
+    if (baseline_results.find(name) != baseline_results.end()) continue;
+    findings.push_back(MakeFinding(
+        Finding::Kind::kNewMetric, name, std::nan(""), cur_value, 0.0,
+        name + ": new result row (" + FormatNumber(cur_value) +
+            "), not in the baseline; gated after the next baseline refresh"));
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.IsRegression() != b.IsRegression()) {
+                       return a.IsRegression();
+                     }
+                     return a.metric < b.metric;
+                   });
+  return findings;
+}
+
+bool HasRegression(const std::vector<Finding>& findings) {
+  for (const Finding& finding : findings) {
+    if (finding.IsRegression()) return true;
+  }
+  return false;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream os;
+  os << "perfdiff: " << (finding.IsRegression() ? "error" : "note") << ": ["
+     << KindLabel(finding.kind) << "] " << finding.message;
+  return os.str();
+}
+
+std::string FormatFindingGithub(const Finding& finding) {
+  std::ostringstream os;
+  os << (finding.IsRegression() ? "::error" : "::notice")
+     << " title=perfdiff " << KindLabel(finding.kind) << "::"
+     << finding.message;
+  return os.str();
+}
+
+int Run(const std::string& baseline_path, const std::string& current_path,
+        std::ostream& out, std::ostream& err, const RunOptions& options) {
+  Report baseline;
+  Report current;
+  std::string error;
+  if (!LoadReport(baseline_path, &baseline, &error)) {
+    err << "perfdiff: " << error << "\n";
+    return 2;
+  }
+  if (!LoadReport(current_path, &current, &error)) {
+    err << "perfdiff: " << error << "\n";
+    return 2;
+  }
+  if (!baseline.binary.empty() && !current.binary.empty() &&
+      baseline.binary != current.binary) {
+    out << "perfdiff: note: comparing different binaries (baseline "
+        << baseline.binary << ", current " << current.binary << ")\n";
+  }
+  if (baseline.bench_scale != current.bench_scale) {
+    err << "perfdiff: bench scale mismatch (baseline \""
+        << baseline.bench_scale << "\", current \"" << current.bench_scale
+        << "\"); work counters are only comparable at the same scale\n";
+    return 2;
+  }
+
+  const std::vector<Finding> findings =
+      Compare(baseline, current, options.tolerances);
+  int regressions = 0;
+  int notes = 0;
+  for (const Finding& finding : findings) {
+    if (finding.IsRegression()) {
+      ++regressions;
+    } else {
+      ++notes;
+    }
+    out << (options.format == RunOptions::Format::kGithub
+                ? FormatFindingGithub(finding)
+                : FormatFinding(finding))
+        << "\n";
+  }
+  out << "perfdiff: " << current_path << " vs baseline " << baseline_path
+      << ": " << baseline.counters.size() << " counters and "
+      << baseline.results.size() << " results gated; " << regressions
+      << " regression(s), " << notes << " note(s)\n";
+  return regressions > 0 ? 1 : 0;
+}
+
+}  // namespace ovs::perfdiff
