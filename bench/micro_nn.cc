@@ -7,6 +7,11 @@
 #include <vector>
 
 #include "core/ovs_model.h"
+#include "core/trainer.h"
+#include "core/training_data.h"
+#include "data/cities.h"
+#include "data/dataset.h"
+#include "nn/gemm.h"
 #include "nn/layers.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
@@ -62,6 +67,37 @@ void BM_MatMulThreaded(benchmark::State& state) {
 BENCHMARK(BM_MatMulThreaded)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMicrosecond);
 
+// Kernel A/B rows: one raw GemmNN product under the shipped blocked kernel
+// (kernel:0) and under the exact pre-PR naive triple loop (kernel:1,
+// GemmKernelMode::kNaiveZeroSkip). The naive row exists purely as the
+// measurement baseline for the vectorized rewrite — compare equal-size rows
+// to read the kernel speedup in isolation from autodiff overhead.
+void BM_GemmKernel(benchmark::State& state) {
+  const bool naive = state.range(0) != 0;
+  const int n = static_cast<int>(state.range(1));
+  gemm::SetGemmKernelModeForTesting(naive
+                                        ? gemm::GemmKernelMode::kNaiveZeroSkip
+                                        : gemm::GemmKernelMode::kBlocked);
+  Rng rng(5);
+  Tensor a = Tensor::RandomUniform({n, n}, -1, 1, &rng);
+  Tensor b = Tensor::RandomUniform({n, n}, -1, 1, &rng);
+  std::vector<float> c(static_cast<size_t>(n) * n, 0.0f);
+  for (auto _ : state) {
+    gemm::GemmNN(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c[0]);
+  }
+  gemm::SetGemmKernelModeForTesting(gemm::GemmKernelMode::kBlocked);
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations(), benchmark::Counter::kIsRate);
+  state.counters["naive"] = naive ? 1 : 0;
+}
+BENCHMARK(BM_GemmKernel)
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({0, 256})
+    ->Args({1, 256})
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_LstmSequence(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
   Rng rng(2);
@@ -110,6 +146,49 @@ void BM_OvsFullIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_OvsFullIteration)->Arg(24)->Arg(126)->Arg(360)
     ->Unit(benchmark::kMillisecond);
+
+// The recovery acceptance row: the full RecoverTod multi-restart path at
+// R=8 restarts on one thread. range(0) selects the shipped configuration
+// (0: blocked SIMD kernels + batched lockstep restarts) or the pre-rewrite
+// one (1: the frozen reference op layer from nn/ops_ref.cc — naive zero-skip
+// GEMMs, checked element access — driven by the legacy one-restart-at-a-time
+// loop). The two compute the same recovery — gemm_parity_test pins op-level
+// parity bitwise and end-to-end agreement to tight tolerance (the fused
+// gate backward regroups its reduction) — and the shipped row must stay
+// >= 4x faster.
+void BM_RecoveryRestarts(benchmark::State& state) {
+  const bool pre_pr = state.range(0) != 0;
+  SetGlobalThreads(1);
+  data::Dataset ds = data::BuildDataset(data::Synthetic3x3Config());
+  core::TrainingData train = core::GenerateTrainingData(ds, 3, 42);
+  core::OvsConfig config;
+  config.lstm_hidden = 8;
+  config.speed_head_hidden = 8;
+  config.tod_scale = static_cast<float>(train.tod_scale);
+  config.volume_norm = static_cast<float>(train.volume_norm);
+  config.speed_scale = static_cast<float>(train.speed_scale);
+  core::TrainingSample observed = core::SimulateGroundTruth(ds, 4242);
+  Rng rng(9);
+  core::OvsModel model(ds.num_od(), ds.num_links(), ds.num_intervals(),
+                       ds.incidence, config, &rng);
+  core::TrainerConfig tc;
+  tc.recovery_epochs = 8;
+  tc.recovery_restarts = 8;
+  tc.batch_restarts = !pre_pr;
+  SetReferenceOpsForTesting(pre_pr);
+  for (auto _ : state) {
+    core::OvsTrainer trainer(&model, tc);
+    trainer.PrimeRecoveryPrior(train);
+    Rng recover_rng(31);
+    od::TodTensor tod =
+        trainer.RecoverTod(observed.speed, nullptr, &recover_rng).value();
+    benchmark::DoNotOptimize(tod.at(0, 0));
+  }
+  SetReferenceOpsForTesting(false);
+  state.counters["restarts"] = tc.recovery_restarts;
+  state.counters["pre_pr"] = pre_pr ? 1 : 0;
+}
+BENCHMARK(BM_RecoveryRestarts)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_AdamStep(benchmark::State& state) {
   Rng rng(4);

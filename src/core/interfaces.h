@@ -1,7 +1,10 @@
 #ifndef OVS_CORE_INTERFACES_H_
 #define OVS_CORE_INTERFACES_H_
 
+#include <vector>
+
 #include "nn/module.h"
+#include "nn/ops.h"
 #include "nn/variable.h"
 #include "util/rng.h"
 
@@ -28,16 +31,54 @@ class TodGeneratorIface : public nn::Module {
 };
 
 /// Interface of the TOD->Volume stage: [N_od x T] -> [M x T].
+///
+/// ForwardBatched is the batched-restart entry point: `g` carries `blocks`
+/// independent [N_od x T] row blocks stacked vertically, the result stacks
+/// the per-block outputs the same way, and every block must be
+/// bitwise-identical to Forward on that block alone (the contract the
+/// batched recovery path and its parity tests rely on). The default
+/// implementation slices, forwards, and re-stacks — structurally batched
+/// implementations override it with dense stacked math.
 class TodVolumeIface : public nn::Module {
  public:
   virtual nn::Variable Forward(const nn::Variable& g, bool train,
                                Rng* dropout_rng) const = 0;
+
+  virtual nn::Variable ForwardBatched(const nn::Variable& g, int blocks,
+                                      bool train, Rng* dropout_rng) const {
+    CHECK_GE(blocks, 1);
+    if (blocks == 1) return Forward(g, train, dropout_rng);
+    CHECK_EQ(g.value().dim(0) % blocks, 0);
+    const int rows = g.value().dim(0) / blocks;
+    std::vector<nn::Variable> outs;
+    outs.reserve(blocks);
+    for (int b = 0; b < blocks; ++b) {
+      outs.push_back(
+          Forward(nn::SliceRows(g, b * rows, rows), train, dropout_rng));
+    }
+    return nn::ConcatRows(outs);
+  }
 };
 
 /// Interface of the Volume->Speed stage: [M x T] -> [M x T].
+/// ForwardBatched: same stacked-row-blocks contract as TodVolumeIface.
 class VolumeSpeedIface : public nn::Module {
  public:
   virtual nn::Variable Forward(const nn::Variable& q) const = 0;
+
+  virtual nn::Variable ForwardBatched(const nn::Variable& q,
+                                      int blocks) const {
+    CHECK_GE(blocks, 1);
+    if (blocks == 1) return Forward(q);
+    CHECK_EQ(q.value().dim(0) % blocks, 0);
+    const int rows = q.value().dim(0) / blocks;
+    std::vector<nn::Variable> outs;
+    outs.reserve(blocks);
+    for (int b = 0; b < blocks; ++b) {
+      outs.push_back(Forward(nn::SliceRows(q, b * rows, rows)));
+    }
+    return nn::ConcatRows(outs);
+  }
 };
 
 }  // namespace ovs::core

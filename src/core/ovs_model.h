@@ -40,6 +40,18 @@ class OvsModel : public nn::Module {
     return volume_speed_->Forward(q);
   }
 
+  /// Batched-restart variants: `blocks` independent inputs stacked row-wise,
+  /// outputs stacked the same way, block r bitwise-equal to the unbatched
+  /// call on that block (see TodVolumeIface::ForwardBatched).
+  nn::Variable VolumeFromTodBatched(const nn::Variable& g, int blocks,
+                                    bool train = false,
+                                    Rng* dropout_rng = nullptr) const {
+    return tod_volume_->ForwardBatched(g, blocks, train, dropout_rng);
+  }
+  nn::Variable SpeedFromVolumeBatched(const nn::Variable& q, int blocks) const {
+    return volume_speed_->ForwardBatched(q, blocks);
+  }
+
   /// Full chain from the generation seeds to predicted speed.
   nn::Variable ForwardSpeed(bool train = false, Rng* dropout_rng = nullptr) const;
 

@@ -60,27 +60,32 @@ TodVolumeMapping::TodVolumeMapping(int num_od, int num_links, int num_intervals,
 }
 
 TodVolumeMapping::AttentionParts TodVolumeMapping::ComputeAttention(
-    const nn::Variable& g, bool train, Rng* dropout_rng) const {
-  CHECK_EQ(g.value().dim(0), num_od_);
+    const nn::Variable& g, int blocks, bool train, Rng* dropout_rng) const {
+  CHECK_GE(blocks, 1);
+  CHECK_EQ(g.value().dim(0), blocks * num_od_);
   CHECK_EQ(g.value().dim(1), num_intervals_);
 
   // Eq. 3: route trip counts from OD trip counts. Work in normalized units
-  // so the sigmoid has slope, then restore trip units.
+  // so the sigmoid has slope, then restore trip units. Row-independent, so
+  // stacking blocks of ODs changes nothing per row.
   nn::Variable g_norm = nn::ScalarMul(g, 1.0f / config_.tod_scale);
   nn::Variable p_norm = nn::Sigmoid(od_route_.Forward(g_norm));
   nn::Variable p = nn::ScalarMul(p_norm, config_.tod_scale);
 
-  // Eqs. 5-6: two 1x3 convs over each route's time series.
-  nn::Variable p_seq = nn::Reshape(p_norm, {num_od_, 1, num_intervals_});
+  // Eqs. 5-6: two 1x3 convs over each route's time series (item-independent).
+  nn::Variable p_seq =
+      nn::Reshape(p_norm, {blocks * num_od_, 1, num_intervals_});
   nn::Variable h1 = nn::Relu(conv1_.Forward(p_seq));
   nn::Variable h2 = nn::Relu(conv2_.Forward(h1));
 
-  // Eq. 7: aggregate route representations into a system embedding e.
-  // Mean (sum / N) keeps the magnitude independent of the OD count.
-  nn::Variable e = nn::ScalarMul(nn::SumBatch(h2), 1.0f / num_od_);
+  // Eq. 7: aggregate route representations into a system embedding e —
+  // one [C x T] row band per block, each the mean over that block's ODs.
+  nn::Variable e =
+      nn::ScalarMul(nn::SumBatchBlocks(h2, blocks), 1.0f / num_od_);
 
   // Eq. 8: attention over lags, conditioned on (e_t, link embedding).
-  nn::Variable att_in = nn::BuildAttentionInput(e, link_embed_.Table());
+  nn::Variable att_in =
+      nn::BatchedBuildAttentionInput(e, link_embed_.Table(), blocks);
   nn::Variable att_h = nn::Relu(att_fc_.Forward(att_in));
   if (train && config_.dropout > 0.0f) {
     att_h = nn::Dropout(att_h, config_.dropout, /*train=*/true, dropout_rng);
@@ -92,21 +97,31 @@ TodVolumeMapping::AttentionParts TodVolumeMapping::ComputeAttention(
 
 nn::Variable TodVolumeMapping::Forward(const nn::Variable& g, bool train,
                                        Rng* dropout_rng) const {
+  return ForwardBatched(g, /*blocks=*/1, train, dropout_rng);
+}
+
+nn::Variable TodVolumeMapping::ForwardBatched(const nn::Variable& g,
+                                              int blocks, bool train,
+                                              Rng* dropout_rng) const {
   OVS_TRACE_SCOPE("tod_volume.forward");
-  AttentionParts parts = ComputeAttention(g, train, dropout_rng);
-  // Route->link aggregation with the fixed incidence (the set N_j^(r)).
-  nn::Variable s = nn::FixedMatMul(incidence_, parts.route_counts);
+  AttentionParts parts = ComputeAttention(g, blocks, train, dropout_rng);
+  // Route->link aggregation with the fixed incidence (the set N_j^(r)),
+  // applied block-diagonally: block r of routes feeds block r of links.
+  nn::Variable s = nn::BatchedFixedMatMul(incidence_, parts.route_counts,
+                                          blocks);
   // Eq. 4: lag-attention-weighted combination. The gate attenuates mass the
   // simulator loses to residual queues (trips still en-route at the horizon
   // or waiting to enter) — softmax alone conserves mass and cannot.
+  // LagAttentionApply treats every (link, t) row independently, so the
+  // stacked [blocks*M x T] layout batches for free.
   nn::Variable q = nn::LagAttentionApply(parts.alpha, s, config_.lags);
   nn::Variable gate =
-      nn::Reshape(parts.gate, {num_links_, num_intervals_});
+      nn::Reshape(parts.gate, {blocks * num_links_, num_intervals_});
   return nn::Mul(gate, q);
 }
 
 nn::Variable TodVolumeMapping::AttentionFor(const nn::Variable& g) const {
-  return ComputeAttention(g, /*train=*/false, nullptr).alpha;
+  return ComputeAttention(g, /*blocks=*/1, /*train=*/false, nullptr).alpha;
 }
 
 }  // namespace ovs::core

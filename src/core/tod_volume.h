@@ -25,6 +25,18 @@ class TodVolumeMapping : public TodVolumeIface {
   nn::Variable Forward(const nn::Variable& g, bool train,
                        Rng* dropout_rng) const override;
 
+  /// Structurally batched override: `g` is [blocks*num_od x T], the result
+  /// [blocks*num_links x T], one dense stacked graph instead of `blocks`
+  /// sliced ones. Every op in the pipeline is row-block independent
+  /// (per-row GEMMs, per-item convs, per-block SumBatchBlocks /
+  /// BatchedBuildAttentionInput / BatchedFixedMatMul), so block r is
+  /// bitwise-identical to Forward on that block. Caveat: with dropout
+  /// enabled the RNG stream is consumed in stacked order, which differs
+  /// from per-block draws — batched recovery runs with train=false, where
+  /// the paths are exactly equal.
+  nn::Variable ForwardBatched(const nn::Variable& g, int blocks, bool train,
+                              Rng* dropout_rng) const override;
+
   /// The lag-attention tensor for inspection: [M*T x lags] rows sum to 1.
   nn::Variable AttentionFor(const nn::Variable& g) const;
 
@@ -37,8 +49,8 @@ class TodVolumeMapping : public TodVolumeIface {
     nn::Variable alpha;         // [M*T x lags]
     nn::Variable gate;          // [M*T x 1] in (0, 1)
   };
-  AttentionParts ComputeAttention(const nn::Variable& g, bool train,
-                                  Rng* dropout_rng) const;
+  AttentionParts ComputeAttention(const nn::Variable& g, int blocks,
+                                  bool train, Rng* dropout_rng) const;
 
   int num_od_;
   int num_links_;

@@ -311,6 +311,18 @@ StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
   OVS_COUNTER_INC("trainer.recoveries");
   const double speed_scale = model_->config().speed_scale;
 
+  // Validate up front, before any state is touched: restarts beyond the
+  // first re-draw their seeds, which is impossible without an RNG. This
+  // used to be a CHECK deep inside restart setup — a crash on a plain
+  // configuration mistake.
+  const int restarts = std::max(1, config_.recovery_restarts);
+  if (restarts > 1 && rng == nullptr) {
+    return Status::InvalidArgument(
+        std::to_string(restarts) +
+        " recovery restarts require an RNG to resample seeds; pass one or "
+        "set recovery_restarts <= 1");
+  }
+
   // Observation-validity mask: real feeds have dark links and dead cells
   // (NaN). With mask_observations those cells are excluded from the loss
   // and the prior's kernel regression; without it they are read literally
@@ -405,8 +417,6 @@ StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
                        0.05f, 0.9f)
           : 0.3f;
 
-  const int restarts = std::max(1, config_.recovery_restarts);
-
   // Restarts are fitted concurrently, each on its own generator instance
   // starting from the pre-recovery decoder weights. Determinism across
   // thread counts: the per-restart seed tensors are drawn serially here (so
@@ -423,7 +433,6 @@ StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
     if (restart == 0) {
       generators[restart]->set_seeds(model_->tod_generation().seeds());
     } else {
-      CHECK(rng != nullptr) << "restarts require an RNG for seed resampling";
       nn::Tensor seeds = model_->tod_generation().seeds();
       generators[restart]->set_seeds(
           nn::Tensor::RandomGaussian(seeds.shape(), 0.0f, 1.0f, rng));
@@ -493,6 +502,174 @@ StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
 
   std::vector<Status> save_statuses(restarts);
   std::vector<Status> fit_statuses(restarts);
+
+  // Recovery loss for one restart's (g, q, v) triple. Shared by the batched
+  // and legacy fit paths below so both build the exact same graph per
+  // restart — the foundation of their bitwise equivalence.
+  auto build_loss = [&](const nn::Variable& g, const nn::Variable& q,
+                        const nn::Variable& v) {
+    nn::Variable v_norm =
+        nn::ScalarMul(v, 1.0f / static_cast<float>(speed_scale));
+    // Main loss, Eq. 12 (robustified; see TrainerConfig). Masked
+    // variants exclude invalid observation cells from value and grad.
+    nn::Variable loss =
+        config_.recovery_huber_delta > 0.0f
+            ? (masked ? nn::MaskedHuberLoss(v_norm, target, obs_mask_t,
+                                            config_.recovery_huber_delta)
+                      : nn::HuberLoss(v_norm, target,
+                                      config_.recovery_huber_delta))
+            : (masked ? nn::MaskedMseLoss(v_norm, target, obs_mask_t)
+                      : nn::MseLoss(v_norm, target));
+    if (aux != nullptr && aux->active()) {
+      loss = nn::Add(loss, aux->Compute(g, q, v));  // Eq. 13
+    }
+    if (config_.recovery_prior_weight > 0.0f) {
+      nn::Variable g_norm =
+          nn::ScalarMul(g, 1.0f / model_->config().tod_scale);
+      loss = nn::Add(loss, nn::ScalarMul(nn::MseLoss(g_norm, prior_mean),
+                                         config_.recovery_prior_weight));
+    }
+    return loss;
+  };
+
+  if (config_.batch_restarts) {
+    // Batched lockstep fit: every epoch stacks the pending restarts' TOD
+    // outputs row-wise and pushes ONE [A*N_od x T] graph through the frozen
+    // mappings instead of A separate [N_od x T] graphs. Each restart keeps
+    // its own generator, Adam state, and guard; every op in the stacked
+    // chain is row-block independent and the frozen mappings receive no
+    // gradients, so the numbers each restart sees are bitwise-identical to
+    // the legacy restart-at-a-time path — only the kernel shapes grow.
+    // Restarts that diverge (guard gives up) or finish drop out of the
+    // stack; the rest keep fitting.
+    struct RestartFit {
+      int id = 0;
+      int epoch = 0;
+      double final_loss = 0.0;
+      std::unique_ptr<nn::Adam> opt;
+      std::unique_ptr<TrainGuard> guard;
+    };
+    std::vector<RestartFit> active;
+    active.reserve(restarts);
+    for (int restart = 0; restart < restarts; ++restart) {
+      // A restored restart skips the whole fit, including the output-level
+      // re-initialization — its state already is the post-fit state.
+      if (restored[restart]) continue;
+      TodGeneratorIface& gen = *generators[restart];
+      gen.InitializeOutputLevel(prior_fraction);
+      RestartFit fit;
+      fit.id = restart;
+      fit.opt =
+          std::make_unique<nn::Adam>(gen.Parameters(), config_.recovery_lr);
+      fit.guard = std::make_unique<TrainGuard>(
+          restart_stage(restart), config_.guard, config_.recovery_lr);
+      fit.guard->Snapshot(0, std::numeric_limits<double>::infinity(), gen,
+                          *fit.opt, /*rng_state=*/"");
+      active.push_back(std::move(fit));
+    }
+    const int num_links = model_->num_links();
+    while (!active.empty()) {
+      // Retire finished restarts first, so the epoch below only stacks
+      // restarts still fitting (and recovery_epochs == 0 works).
+      std::vector<RestartFit> pending;
+      pending.reserve(active.size());
+      for (RestartFit& fit : active) {
+        if (fit.epoch < config_.recovery_epochs) {
+          pending.push_back(std::move(fit));
+          continue;
+        }
+        TodGeneratorIface& gen = *generators[fit.id];
+        losses[fit.id] = fit.final_loss;
+        obs::SetGaugeDynamic(
+            "trainer.recover.restart_loss." + std::to_string(fit.id),
+            fit.final_loss);
+        OVS_COUNTER_INC("trainer.recover.restarts");
+        if (ck.enabled()) {
+          TrainerCheckpoint ckpt;
+          ckpt.stage = restart_stage(fit.id);
+          ckpt.epoch = config_.recovery_epochs;
+          ckpt.loss = fit.final_loss;
+          for (const auto& [name, v] : gen.NamedParameters()) {
+            ckpt.tensors.emplace_back(name, v.value());
+          }
+          ckpt.tensors.emplace_back("seeds", gen.seeds());
+          save_statuses[fit.id] =
+              SaveTrainerCheckpoint(ckpt, restart_path(fit.id));
+        }
+      }
+      active = std::move(pending);
+      if (active.empty()) break;
+
+      OVS_TRACE_SCOPE("trainer.recover.batched_epoch");
+      const int blocks = static_cast<int>(active.size());
+      for (RestartFit& fit : active) fit.opt->ZeroGrad();
+      std::vector<nn::Variable> gs;
+      gs.reserve(active.size());
+      for (RestartFit& fit : active) {
+        gs.push_back(generators[fit.id]->Forward());
+      }
+      nn::Variable g_all = blocks == 1 ? gs[0] : nn::ConcatRows(gs);
+      nn::Variable q_all = model_->VolumeFromTodBatched(
+          g_all, blocks, /*train=*/false, nullptr);
+      nn::Variable v_all = model_->SpeedFromVolumeBatched(q_all, blocks);
+      std::vector<nn::Variable> block_losses;
+      block_losses.reserve(active.size());
+      for (int i = 0; i < blocks; ++i) {
+        nn::Variable q_i = blocks == 1
+                               ? q_all
+                               : nn::SliceRows(q_all, i * num_links, num_links);
+        nn::Variable v_i = blocks == 1
+                               ? v_all
+                               : nn::SliceRows(v_all, i * num_links, num_links);
+        block_losses.push_back(build_loss(gs[i], q_i, v_i));
+      }
+      // One backward over the summed per-restart losses. Add passes the
+      // seed gradient 1 through unchanged, and restart subgraphs only meet
+      // at the (gradient-transparent) concat/slice pair, so each restart's
+      // parameters see exactly the gradients its solo backward produces.
+      nn::Variable total = block_losses[0];
+      for (int i = 1; i < blocks; ++i) {
+        total = nn::Add(total, block_losses[i]);
+      }
+      total.Backward();
+      for (int i = 0; i < blocks; ++i) {
+        RestartFit& fit = active[static_cast<size_t>(i)];
+        fit.opt->ClipGrad(config_.grad_clip);
+        fit.opt->Step();
+        fit.final_loss = block_losses[i].value()[0];
+      }
+      // Guard verdicts in ascending restart order, exactly as the legacy
+      // per-restart loop applies them.
+      std::vector<RestartFit> healthy;
+      healthy.reserve(active.size());
+      for (RestartFit& fit : active) {
+        TodGeneratorIface& gen = *generators[fit.id];
+        if (!fit.guard->EpochHealthy(fit.final_loss, gen)) {
+          StatusOr<TrainGuard::Rollback> rb =
+              fit.guard->TryRollback(&gen, fit.opt.get(), /*rng=*/nullptr);
+          if (!rb.ok()) {
+            // Out of the running: losses[id] stays +inf and no checkpoint
+            // of the broken state is written.
+            fit_statuses[fit.id] = rb.status();
+            OVS_COUNTER_INC("trainer.recover.diverged_restarts");
+            continue;
+          }
+          fit.epoch = rb->epoch;
+          healthy.push_back(std::move(fit));
+          continue;
+        }
+        fit.guard->Snapshot(fit.epoch + 1, fit.final_loss, gen, *fit.opt,
+                            /*rng_state=*/"");
+        if (config_.verbose && fit.epoch % 50 == 0) {
+          LOG(INFO) << "recovery restart " << fit.id << " epoch " << fit.epoch
+                    << " loss " << fit.final_loss;
+        }
+        ++fit.epoch;
+        healthy.push_back(std::move(fit));
+      }
+      active = std::move(healthy);
+    }
+  } else {
   // The frozen TOD2V/V2S mappings are shared read-only across restart
   // threads; backward never touches frozen leaves, so no synchronization is
   // needed.
@@ -520,27 +697,7 @@ StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
         nn::Variable g = gen.Forward();
         nn::Variable q = model_->VolumeFromTod(g, /*train=*/false, nullptr);
         nn::Variable v = model_->SpeedFromVolume(q);
-        nn::Variable v_norm =
-            nn::ScalarMul(v, 1.0f / static_cast<float>(speed_scale));
-        // Main loss, Eq. 12 (robustified; see TrainerConfig). Masked
-        // variants exclude invalid observation cells from value and grad.
-        nn::Variable loss =
-            config_.recovery_huber_delta > 0.0f
-                ? (masked ? nn::MaskedHuberLoss(v_norm, target, obs_mask_t,
-                                                config_.recovery_huber_delta)
-                          : nn::HuberLoss(v_norm, target,
-                                          config_.recovery_huber_delta))
-                : (masked ? nn::MaskedMseLoss(v_norm, target, obs_mask_t)
-                          : nn::MseLoss(v_norm, target));
-        if (aux != nullptr && aux->active()) {
-          loss = nn::Add(loss, aux->Compute(g, q, v));  // Eq. 13
-        }
-        if (config_.recovery_prior_weight > 0.0f) {
-          nn::Variable g_norm =
-              nn::ScalarMul(g, 1.0f / model_->config().tod_scale);
-          loss = nn::Add(loss, nn::ScalarMul(nn::MseLoss(g_norm, prior_mean),
-                                             config_.recovery_prior_weight));
-        }
+        nn::Variable loss = build_loss(g, q, v);
         loss.Backward();
         opt.ClipGrad(config_.grad_clip);
         opt.Step();
@@ -589,6 +746,7 @@ StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
       }
     }
   });
+  }
   for (int restart = 0; restart < restarts; ++restart) {
     if (!save_statuses[restart].ok()) {
       LOG(ERROR) << "recovery restart " << restart

@@ -22,6 +22,15 @@ struct TrainerConfig {
   int stage2_epochs = 120;    ///< TOD->Volume through frozen V2S
   int recovery_epochs = 300;  ///< test-time fit of TOD Generation
   int recovery_restarts = 1;  ///< seed resamples; best-loss result wins
+  /// Fit the recovery restarts as ONE stacked [R*N_od x T] graph per epoch
+  /// (block-diagonal batched GEMMs through the frozen mappings) instead of
+  /// R independent per-restart graphs. Bitwise-identical results either
+  /// way — every op in the chain is row-block independent, seeds are drawn
+  /// in the same serial order, and each restart keeps its own Adam/guard —
+  /// but the stacked graph feeds the kernels R-times-taller matrices, which
+  /// is where the register-blocked GEMMs earn their keep. Off = the legacy
+  /// restart-parallel path (kept as the equivalence reference).
+  bool batch_restarts = true;
   float lr = 1e-3f;           ///< paper Table V
   float recovery_lr = 5e-3f;
   float grad_clip = 1.0f;
@@ -85,7 +94,9 @@ class OvsTrainer {
   /// recovered TOD tensor. Non-finite observation cells are excluded via
   /// the validity mask when `mask_observations` is set (read as 0 m/s
   /// otherwise). Errors: InvalidArgument when no observation cell is
-  /// finite; Internal when every restart diverges beyond the guard cap.
+  /// finite or when recovery_restarts > 1 with `rng == nullptr` (restarts
+  /// need it to resample seeds); Internal when every restart diverges
+  /// beyond the guard cap.
   [[nodiscard]] StatusOr<od::TodTensor> RecoverTod(const DMat& observed_speed,
                                                    const AuxLossSet* aux,
                                                    Rng* rng);

@@ -25,9 +25,15 @@ VolumeSpeedMapping::VolumeSpeedMapping(int num_links, const OvsConfig& config,
 }
 
 nn::Variable VolumeSpeedMapping::Forward(const nn::Variable& q) const {
+  return ForwardBatched(q, /*blocks=*/1);
+}
+
+nn::Variable VolumeSpeedMapping::ForwardBatched(const nn::Variable& q,
+                                                int blocks) const {
   OVS_TRACE_SCOPE("volume_speed.forward");
+  CHECK_GE(blocks, 1);
   CHECK_EQ(q.value().rank(), 2);
-  CHECK_EQ(q.value().dim(0), num_links_);
+  CHECK_EQ(q.value().dim(0), blocks * num_links_);
   const int t_count = q.value().dim(1);
 
   nn::Variable q_norm = nn::ScalarMul(q, 1.0f / config_.volume_norm);
@@ -36,7 +42,9 @@ nn::Variable VolumeSpeedMapping::Forward(const nn::Variable& q) const {
   for (int t = 0; t < t_count; ++t) {
     nn::Variable col = nn::ColSlice(q_norm, t);
     if (link_embed_ != nullptr) {
-      col = nn::ConcatFeatures(col, link_embed_->Table());
+      nn::Variable table = link_embed_->Table();
+      if (blocks > 1) table = nn::TileRows(table, blocks);
+      col = nn::ConcatFeatures(col, table);
     }
     xs.push_back(col);
   }

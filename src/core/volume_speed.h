@@ -22,6 +22,12 @@ class VolumeSpeedMapping : public VolumeSpeedIface {
   /// q: [num_links x T] volumes -> speeds [num_links x T] in m/s.
   nn::Variable Forward(const nn::Variable& q) const override;
 
+  /// Stacked-row-blocks override: [blocks*num_links x T] in one graph. The
+  /// LSTM batch dimension is the link axis, so stacking restarts just widens
+  /// the batch; the per-link embedding table is tiled per block. All ops are
+  /// row-independent, so block r is bitwise-equal to Forward on that block.
+  nn::Variable ForwardBatched(const nn::Variable& q, int blocks) const override;
+
  private:
   int num_links_;
   OvsConfig config_;

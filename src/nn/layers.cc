@@ -56,14 +56,13 @@ Lstm::Lstm(int input_size, int hidden_size, Rng* rng)
   bo_ = RegisterParameter("bo", Tensor({hidden_size}));
 }
 
-Variable Lstm::Gate(const Variable& x, const Variable& h, const Variable& wx,
-                    const Variable& wh, const Variable& b) const {
-  return AddBias(Add(MatMul(x, wx), MatMul(h, wh)), b);
-}
-
-std::vector<Variable> Lstm::Forward(const std::vector<Variable>& xs) const {
-  CHECK(!xs.empty());
+std::vector<Variable> Lstm::ForwardUnfusedReference(
+    const std::vector<Variable>& xs) const {
   const int n = xs[0].value().dim(0);
+  auto gate = [&](const Variable& x, const Variable& h, const Variable& wx,
+                  const Variable& wh, const Variable& b) {
+    return AddBias(Add(MatMul(x, wx), MatMul(h, wh)), b);
+  };
   Variable h(Tensor({n, hidden_size_}));
   Variable c(Tensor({n, hidden_size_}));
   std::vector<Variable> outputs;
@@ -71,10 +70,44 @@ std::vector<Variable> Lstm::Forward(const std::vector<Variable>& xs) const {
   for (const Variable& x : xs) {
     CHECK_EQ(x.value().dim(0), n);
     CHECK_EQ(x.value().dim(1), input_size_);
-    Variable i = Sigmoid(Gate(x, h, wxi_, whi_, bi_));
-    Variable f = Sigmoid(Gate(x, h, wxf_, whf_, bf_));
-    Variable g = Tanh(Gate(x, h, wxg_, whg_, bg_));
-    Variable o = Sigmoid(Gate(x, h, wxo_, who_, bo_));
+    Variable i = Sigmoid(gate(x, h, wxi_, whi_, bi_));
+    Variable f = Sigmoid(gate(x, h, wxf_, whf_, bf_));
+    Variable g = Tanh(gate(x, h, wxg_, whg_, bg_));
+    Variable o = Sigmoid(gate(x, h, wxo_, who_, bo_));
+    c = Add(Mul(f, c), Mul(i, g));
+    h = Mul(o, Tanh(c));
+    outputs.push_back(h);
+  }
+  return outputs;
+}
+
+std::vector<Variable> Lstm::Forward(const std::vector<Variable>& xs) const {
+  CHECK(!xs.empty());
+  if (ReferenceOpsEnabled()) return ForwardUnfusedReference(xs);
+  const int n = xs[0].value().dim(0);
+  const int hs = hidden_size_;
+  // Fused gate parameters, built once per sequence: one [N, 4H] GEMM per
+  // step replaces eight [N, H] gate matmuls. Column j of the wide product
+  // is the same dot product the per-gate matmul computed, so forward values
+  // match the unfused form bitwise while the kernels see 4x wider —
+  // better-vectorized — tiles. Backward is numerically equivalent but not
+  // bitwise: the h/x gradient reduces over 4H in one GEMM instead of four
+  // separately-accumulated H-wide products.
+  Variable wx4 = ConcatFeatureList({wxi_, wxf_, wxg_, wxo_});  // [in, 4H]
+  Variable wh4 = ConcatFeatureList({whi_, whf_, whg_, who_});  // [H, 4H]
+  Variable b4 = ConcatFlat({bi_, bf_, bg_, bo_});              // [4H]
+  Variable h(Tensor({n, hs}));
+  Variable c(Tensor({n, hs}));
+  std::vector<Variable> outputs;
+  outputs.reserve(xs.size());
+  for (const Variable& x : xs) {
+    CHECK_EQ(x.value().dim(0), n);
+    CHECK_EQ(x.value().dim(1), input_size_);
+    Variable pre = AddBias(Add(MatMul(x, wx4), MatMul(h, wh4)), b4);
+    Variable i = Sigmoid(SliceCols(pre, 0, hs));
+    Variable f = Sigmoid(SliceCols(pre, hs, hs));
+    Variable g = Tanh(SliceCols(pre, 2 * hs, hs));
+    Variable o = Sigmoid(SliceCols(pre, 3 * hs, hs));
     c = Add(Mul(f, c), Mul(i, g));
     h = Mul(o, Tanh(c));
     outputs.push_back(h);

@@ -50,6 +50,13 @@ class Conv1d : public Module {
 /// element of the input sequence is a [N, input] batch; outputs are the
 /// hidden states [N, hidden] at every step. Weights are shared across the
 /// batch, which is how the paper shares the volume->speed net across links.
+///
+/// The four per-gate matmuls are fused: Forward concatenates the gate
+/// weights once into [input, 4H] / [H, 4H] / [4H] graph nodes (order
+/// i|f|g|o) and runs ONE wide GEMM per step, slicing the gates out of the
+/// [N, 4H] pre-activation. Parameters stay registered per gate
+/// (wxi/whi/bi/...), so checkpoints are unchanged; per element the fused
+/// arithmetic is identical to four separate gate GEMMs.
 class Lstm : public Module {
  public:
   Lstm(int input_size, int hidden_size, Rng* rng);
@@ -60,9 +67,15 @@ class Lstm : public Module {
   int hidden_size() const { return hidden_size_; }
 
  private:
-  /// One gate's affine transform: x W_x + h W_h + b.
-  Variable Gate(const Variable& x, const Variable& h, const Variable& wx,
-                const Variable& wh, const Variable& b) const;
+  /// The pre-rewrite gate structure (four separate [N, H] matmuls per step).
+  /// Taken when SetReferenceOpsForTesting(true) is in effect so the
+  /// reference-mode graph matches the pre-rewrite one op for op. Forward
+  /// values are bitwise-identical to the fused path (same dot products in
+  /// the same order); backward regroups the h/x gradient reduction (one
+  /// 4H-wide GEMM vs four H-wide sums), so gradients agree only to
+  /// rounding, not bitwise.
+  std::vector<Variable> ForwardUnfusedReference(
+      const std::vector<Variable>& xs) const;
 
   int input_size_;
   int hidden_size_;

@@ -44,6 +44,13 @@ Variable AddBias(const Variable& x, const Variable& bias);
 /// x is [N, T]. Used for the fixed route->link incidence aggregation.
 Variable FixedMatMul(const Tensor& a, const Variable& x);
 
+/// Block-diagonal application of a constant matrix: x is `blocks` stacked
+/// [N, T] row blocks and every block is multiplied by the same [M, N]
+/// matrix a -> `blocks` stacked [M, T] row blocks. Block b of the output is
+/// bitwise-identical to FixedMatMul(a, block b of x) — the batched-restart
+/// layout of the recovery path relies on that.
+Variable BatchedFixedMatMul(const Tensor& a, const Variable& x, int blocks);
+
 // ---------------------------------------------------------------------------
 // Activations and normalization
 // ---------------------------------------------------------------------------
@@ -74,6 +81,12 @@ Variable Conv1dBatch(const Variable& x, const Variable& w, const Variable& bias)
 /// Sums a [N, C, T] batch over N -> [C, T].
 Variable SumBatch(const Variable& x);
 
+/// SumBatch applied independently to `blocks` stacked batches: x is
+/// [blocks*N, C, T] -> [blocks*C, T], where output rows [b*C, (b+1)*C) are
+/// SumBatch of batch items [b*N, (b+1)*N) (same item-ascending
+/// accumulation order, so blocks=1 is exactly SumBatch).
+Variable SumBatchBlocks(const Variable& x, int blocks);
+
 /// Sums each row of [N, T] -> [N, 1].
 Variable SumCols(const Variable& x);
 
@@ -85,6 +98,32 @@ Variable ConcatCols(const std::vector<Variable>& cols);
 
 /// Concatenates along the feature dim: [N, D1] ++ [N, D2] -> [N, D1+D2].
 Variable ConcatFeatures(const Variable& a, const Variable& b);
+
+/// K-ary feature-dim concat: [N, D1] ++ ... ++ [N, Dk] -> [N, D1+...+Dk].
+/// Used to build the fused [in, 4H] LSTM gate weights from the four
+/// per-gate parameter blocks without changing their checkpoint names.
+Variable ConcatFeatureList(const std::vector<Variable>& parts);
+
+/// Concatenates rank-1 tensors: [D1] ++ ... ++ [Dk] -> [D1+...+Dk]
+/// (the fused [4H] LSTM gate bias).
+Variable ConcatFlat(const std::vector<Variable>& parts);
+
+/// Columns [start, start+count) of [N, D] -> [N, count]. Complement of
+/// ConcatFeatureList; slices one gate's pre-activation out of the fused
+/// [N, 4H] GEMM output.
+Variable SliceCols(const Variable& x, int start, int count);
+
+/// Stacks rank-2 tensors with equal column counts row-wise:
+/// [N1, D] ++ ... ++ [Nk, D] -> [N1+...+Nk, D]. The batched-restart layout:
+/// per-restart generator outputs stack into one tall matrix.
+Variable ConcatRows(const std::vector<Variable>& parts);
+
+/// Rows [start, start+count) of [N, D] -> [count, D].
+Variable SliceRows(const Variable& x, int start, int count);
+
+/// Repeats a [N, D] tensor `repeats` times row-wise -> [repeats*N, D].
+/// Gradient sums the blocks in ascending block order.
+Variable TileRows(const Variable& x, int repeats);
 
 /// Selects rows: x is [N, D], indices into [0, N) -> [K, D].
 Variable GatherRows(const Variable& x, const std::vector<int>& indices);
@@ -100,6 +139,12 @@ Variable Reshape(const Variable& x, std::vector<int> new_shape);
 /// time t, row m*T+t is [e[:, t], emb[m, :]].
 /// e: [C, T], emb: [M, De] -> [M*T, C+De].
 Variable BuildAttentionInput(const Variable& e, const Variable& emb);
+
+/// BuildAttentionInput for `blocks` stacked system embeddings sharing one
+/// embedding table: e is [blocks*C, T]; output row (b*M + m)*T + t is
+/// [e[b*C:(b+1)*C, t], emb[m, :]]. blocks=1 is exactly BuildAttentionInput.
+Variable BatchedBuildAttentionInput(const Variable& e, const Variable& emb,
+                                    int blocks);
 
 /// Applies lag attention (paper Eq. 4): with alpha [M*T, L] (row m*T+t holds
 /// the attention over lags tau=0..L-1) and per-link aggregated route counts
@@ -140,6 +185,24 @@ Variable MaskedHuberLoss(const Variable& pred, const Tensor& target,
 /// Mean of ReLU(x)^2 — penalizes positive entries only. Used for inequality
 /// auxiliary constraints (e.g., speed above the limit).
 Variable HingeSquaredLoss(const Variable& x);
+
+// ---------------------------------------------------------------------------
+// Reference-implementation switch (tests and benchmarks only)
+// ---------------------------------------------------------------------------
+
+/// Routes every op that predates the register-blocked kernel rewrite through
+/// the frozen reference implementation in nn/ops_ref.{h,cc} — the exact
+/// pre-rewrite math (naive zero-skip GEMMs, checked element access). The
+/// parity suite uses it to pin the rewrite bitwise-identical to the original;
+/// bench/micro_nn.cc uses it as the honest pre-rewrite baseline for the
+/// recovery A/B row. Ops the rewrite introduced (batched/fused variants) have
+/// no reference twin and always run the shipped implementation. Not
+/// thread-safe: flip only from single-threaded test/bench setup code, and
+/// restore to false afterwards.
+void SetReferenceOpsForTesting(bool enabled);
+
+/// True while SetReferenceOpsForTesting(true) is in effect.
+bool ReferenceOpsEnabled();
 
 }  // namespace ovs::nn
 

@@ -1,0 +1,781 @@
+// Frozen reference implementation of the autodiff op layer, kept verbatim
+// from the state the register-blocked kernel rewrite replaced. Two consumers:
+//
+//  - the parity suite (tests/gemm_parity_test.cc) pins every rewritten op
+//    bitwise-identical to the original arithmetic, forward and backward;
+//  - bench/micro_nn.cc's recovery A/B row measures the shipped path against
+//    this implementation, so the reported speedup is against the real
+//    pre-rewrite math (naive zero-skip GEMMs, checked element access, no
+//    fused gates) rather than a partial emulation of it.
+//
+// Do NOT modernize this file: its value is that it does not change. It is
+// reachable only through nn::SetReferenceOpsForTesting(true).
+
+#include "nn/ops_ref.h"
+
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace ovs::nn::ref {
+
+namespace {
+
+using internal::VariableNode;
+
+/// Row-block grain for the GEMM ParallelFors: each chunk should carry at
+/// least this many multiply-adds, so small products stay on the calling
+/// thread instead of paying dispatch overhead.
+constexpr int64_t kMinGemmWorkPerChunk = 1 << 15;
+
+int64_t GemmRowGrain(int64_t work_per_row) {
+  return std::max<int64_t>(1, kMinGemmWorkPerChunk / std::max<int64_t>(1, work_per_row));
+}
+
+/// Accumulates `delta` into parent i's grad if that parent wants gradients.
+void AccumulateInto(VariableNode& n, size_t parent, const Tensor& delta) {
+  if (n.parents[parent]->requires_grad) {
+    n.parents[parent]->MutableGrad().AddInPlace(delta);
+  }
+}
+
+/// Counts one GEMM's multiply-adds into `nn.gemm_flops` — once per call,
+/// outside the ParallelFor, so the counter is a pure function of the shapes
+/// multiplied and bitwise-stable at any thread count (the run-report work
+/// counter tools/perfdiff gates on). The zero-skip fast path in the kernels
+/// does not change the count: it is the nominal 2*N*K*M figure.
+void CountGemmFlops(int64_t n, int64_t k, int64_t m) {
+  OVS_COUNTER_ADD("nn.gemm_flops", static_cast<uint64_t>(2 * n * k * m));
+}
+
+/// Raw GEMM helpers (row-major, no transpose flags: we materialize the three
+/// cases we need explicitly for clarity).
+void GemmNN(const Tensor& a, const Tensor& b, Tensor* c) {
+  // c[N,M] += a[N,K] * b[K,M]
+  const int n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  CHECK_EQ(b.dim(0), k);
+  CHECK_EQ(c->dim(0), n);
+  CHECK_EQ(c->dim(1), m);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c->data();
+  CountGemmFlops(n, k, m);
+  // Row-blocked over the output: each thread owns a contiguous range of
+  // c rows, and every element keeps its serial accumulation order (p
+  // ascending), so results are bitwise-identical for any thread count.
+  ParallelFor(0, n, GemmRowGrain(int64_t{k} * m), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      for (int p = 0; p < k; ++p) {
+        const float av = pa[i * k + p];
+        if (av == 0.0f) continue;
+        const float* brow = pb + p * m;
+        float* crow = pc + i * m;
+        for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void GemmNT(const Tensor& a, const Tensor& b, Tensor* c) {
+  // c[N,K] += a[N,M] * b[K,M]^T
+  const int n = a.dim(0), m = a.dim(1), k = b.dim(0);
+  CHECK_EQ(b.dim(1), m);
+  CHECK_EQ(c->dim(0), n);
+  CHECK_EQ(c->dim(1), k);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c->data();
+  CountGemmFlops(n, k, m);
+  // Row-blocked over c; each c element is one dot product, fully computed
+  // by a single thread in serial order.
+  ParallelFor(0, n, GemmRowGrain(int64_t{k} * m), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      for (int j = 0; j < k; ++j) {
+        const float* arow = pa + i * m;
+        const float* brow = pb + j * m;
+        float acc = 0.0f;
+        for (int p = 0; p < m; ++p) acc += arow[p] * brow[p];
+        pc[i * k + j] += acc;
+      }
+    }
+  });
+}
+
+void GemmTN(const Tensor& a, const Tensor& b, Tensor* c) {
+  // c[K,M] += a[N,K]^T * b[N,M]
+  const int n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  CHECK_EQ(b.dim(0), n);
+  CHECK_EQ(c->dim(0), k);
+  CHECK_EQ(c->dim(1), m);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c->data();
+  CountGemmFlops(n, k, m);
+  // c rows are indexed by p (columns of a); blocking over p gives each
+  // thread disjoint output rows. The i loop stays innermost-ascending, so
+  // each element accumulates its terms in the same order as a serial run.
+  ParallelFor(0, k, GemmRowGrain(int64_t{n} * m), [&](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
+      float* crow = pc + p * m;
+      for (int i = 0; i < n; ++i) {
+        const float av = pa[i * k + p];
+        if (av == 0.0f) continue;
+        const float* brow = pb + i * m;
+        for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  CHECK(a.value().SameShape(b.value()))
+      << "Add: " << ShapeToString(a.shape()) << " vs " << ShapeToString(b.shape());
+  Tensor out = a.value();
+  out.AddInPlace(b.value());
+  return Variable::MakeNode(std::move(out), {a, b}, [](VariableNode& n) {
+    AccumulateInto(n, 0, n.grad);
+    AccumulateInto(n, 1, n.grad);
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  out.AxpyInPlace(-1.0f, b.value());
+  return Variable::MakeNode(std::move(out), {a, b}, [](VariableNode& n) {
+    AccumulateInto(n, 0, n.grad);
+    if (n.parents[1]->requires_grad) {
+      n.parents[1]->MutableGrad().AxpyInPlace(-1.0f, n.grad);
+    }
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  CHECK(a.value().SameShape(b.value()));
+  Tensor out(a.shape());
+  for (int i = 0; i < out.numel(); ++i) out[i] = a.value()[i] * b.value()[i];
+  return Variable::MakeNode(std::move(out), {a, b}, [](VariableNode& n) {
+    const Tensor& av = n.parents[0]->value;
+    const Tensor& bv = n.parents[1]->value;
+    if (n.parents[0]->requires_grad) {
+      Tensor& ga = n.parents[0]->MutableGrad();
+      for (int i = 0; i < ga.numel(); ++i) ga[i] += n.grad[i] * bv[i];
+    }
+    if (n.parents[1]->requires_grad) {
+      Tensor& gb = n.parents[1]->MutableGrad();
+      for (int i = 0; i < gb.numel(); ++i) gb[i] += n.grad[i] * av[i];
+    }
+  });
+}
+
+Variable ScalarMul(const Variable& a, float alpha) {
+  Tensor out = a.value();
+  out.ScaleInPlace(alpha);
+  return Variable::MakeNode(std::move(out), {a}, [alpha](VariableNode& n) {
+    if (n.parents[0]->requires_grad) {
+      n.parents[0]->MutableGrad().AxpyInPlace(alpha, n.grad);
+    }
+  });
+}
+
+Variable AddScalar(const Variable& a, float alpha) {
+  Tensor out = a.value();
+  for (int i = 0; i < out.numel(); ++i) out[i] += alpha;
+  return Variable::MakeNode(std::move(out), {a}, [](VariableNode& n) {
+    AccumulateInto(n, 0, n.grad);
+  });
+}
+
+Variable MulConst(const Variable& a, const Tensor& mask) {
+  CHECK(a.value().SameShape(mask));
+  Tensor out(a.shape());
+  for (int i = 0; i < out.numel(); ++i) out[i] = a.value()[i] * mask[i];
+  return Variable::MakeNode(std::move(out), {a}, [mask](VariableNode& n) {
+    if (n.parents[0]->requires_grad) {
+      Tensor& g = n.parents[0]->MutableGrad();
+      for (int i = 0; i < g.numel(); ++i) g[i] += n.grad[i] * mask[i];
+    }
+  });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  CHECK_EQ(a.value().rank(), 2);
+  CHECK_EQ(b.value().rank(), 2);
+  CHECK_EQ(a.value().dim(1), b.value().dim(0))
+      << "MatMul: " << ShapeToString(a.shape()) << " x " << ShapeToString(b.shape());
+  Tensor out({a.value().dim(0), b.value().dim(1)});
+  GemmNN(a.value(), b.value(), &out);
+  return Variable::MakeNode(std::move(out), {a, b}, [](VariableNode& n) {
+    const Tensor& av = n.parents[0]->value;
+    const Tensor& bv = n.parents[1]->value;
+    if (n.parents[0]->requires_grad) {
+      GemmNT(n.grad, bv, &n.parents[0]->MutableGrad());
+    }
+    if (n.parents[1]->requires_grad) {
+      GemmTN(av, n.grad, &n.parents[1]->MutableGrad());
+    }
+  });
+}
+
+Variable AddBias(const Variable& x, const Variable& bias) {
+  CHECK_EQ(x.value().rank(), 2);
+  const int n = x.value().dim(0), d = x.value().dim(1);
+  CHECK_EQ(bias.numel(), d) << "AddBias dim mismatch";
+  Tensor out = x.value();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) out[i * d + j] += bias.value()[j];
+  }
+  return Variable::MakeNode(std::move(out), {x, bias}, [n, d](VariableNode& node) {
+    AccumulateInto(node, 0, node.grad);
+    if (node.parents[1]->requires_grad) {
+      Tensor& gb = node.parents[1]->MutableGrad();
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < d; ++j) gb[j] += node.grad[i * d + j];
+      }
+    }
+  });
+}
+
+Variable FixedMatMul(const Tensor& a, const Variable& x) {
+  CHECK_EQ(a.rank(), 2);
+  CHECK_EQ(x.value().rank(), 2);
+  CHECK_EQ(a.dim(1), x.value().dim(0));
+  Tensor out({a.dim(0), x.value().dim(1)});
+  GemmNN(a, x.value(), &out);
+  return Variable::MakeNode(std::move(out), {x}, [a](VariableNode& n) {
+    if (!n.parents[0]->requires_grad) return;
+    // dx = a^T * g. Blocked over j (rows of gx) so threads write disjoint
+    // rows; i stays ascending per element, matching the serial order.
+    const int rows = a.dim(0), cols = a.dim(1), t = n.grad.dim(1);
+    Tensor& gx = n.parents[0]->MutableGrad();
+    ParallelFor(0, cols, GemmRowGrain(int64_t{rows} * t),
+                [&](int64_t j0, int64_t j1) {
+                  for (int64_t j = j0; j < j1; ++j) {
+                    for (int i = 0; i < rows; ++i) {
+                      const float av = a[i * cols + static_cast<int>(j)];
+                      if (av == 0.0f) continue;
+                      for (int u = 0; u < t; ++u) {
+                        gx[static_cast<int>(j) * t + u] += av * n.grad[i * t + u];
+                      }
+                    }
+                  }
+                });
+  });
+}
+
+Variable Sigmoid(const Variable& x) {
+  Tensor out(x.shape());
+  for (int i = 0; i < out.numel(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-x.value()[i]));
+  }
+  Tensor saved = out;
+  return Variable::MakeNode(std::move(out), {x}, [saved](VariableNode& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor& g = n.parents[0]->MutableGrad();
+    for (int i = 0; i < g.numel(); ++i) {
+      g[i] += n.grad[i] * saved[i] * (1.0f - saved[i]);
+    }
+  });
+}
+
+Variable Tanh(const Variable& x) {
+  Tensor out(x.shape());
+  for (int i = 0; i < out.numel(); ++i) out[i] = std::tanh(x.value()[i]);
+  Tensor saved = out;
+  return Variable::MakeNode(std::move(out), {x}, [saved](VariableNode& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor& g = n.parents[0]->MutableGrad();
+    for (int i = 0; i < g.numel(); ++i) {
+      g[i] += n.grad[i] * (1.0f - saved[i] * saved[i]);
+    }
+  });
+}
+
+Variable Relu(const Variable& x) {
+  Tensor out(x.shape());
+  for (int i = 0; i < out.numel(); ++i) {
+    out[i] = x.value()[i] > 0.0f ? x.value()[i] : 0.0f;
+  }
+  return Variable::MakeNode(std::move(out), {x}, [](VariableNode& n) {
+    if (!n.parents[0]->requires_grad) return;
+    const Tensor& xv = n.parents[0]->value;
+    Tensor& g = n.parents[0]->MutableGrad();
+    for (int i = 0; i < g.numel(); ++i) {
+      if (xv[i] > 0.0f) g[i] += n.grad[i];
+    }
+  });
+}
+
+Variable SoftmaxRows(const Variable& x) {
+  CHECK_EQ(x.value().rank(), 2);
+  const int n = x.value().dim(0), d = x.value().dim(1);
+  Tensor out(x.shape());
+  for (int i = 0; i < n; ++i) {
+    float max_v = -1e30f;
+    for (int j = 0; j < d; ++j) max_v = std::max(max_v, x.value()[i * d + j]);
+    float denom = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      out[i * d + j] = std::exp(x.value()[i * d + j] - max_v);
+      denom += out[i * d + j];
+    }
+    for (int j = 0; j < d; ++j) out[i * d + j] /= denom;
+  }
+  Tensor saved = out;
+  return Variable::MakeNode(std::move(out), {x}, [saved, n, d](VariableNode& node) {
+    if (!node.parents[0]->requires_grad) return;
+    Tensor& g = node.parents[0]->MutableGrad();
+    for (int i = 0; i < n; ++i) {
+      float dot = 0.0f;
+      for (int j = 0; j < d; ++j) dot += node.grad[i * d + j] * saved[i * d + j];
+      for (int j = 0; j < d; ++j) {
+        g[i * d + j] += saved[i * d + j] * (node.grad[i * d + j] - dot);
+      }
+    }
+  });
+}
+
+Variable Dropout(const Variable& x, float rate, bool train, Rng* rng) {
+  CHECK_GE(rate, 0.0f);
+  CHECK_LT(rate, 1.0f);
+  if (!train || rate == 0.0f) return x;
+  CHECK(rng != nullptr);
+  const float keep = 1.0f - rate;
+  Tensor mask(x.shape());
+  for (int i = 0; i < mask.numel(); ++i) {
+    mask[i] = rng->Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  }
+  return ref::MulConst(x, mask);
+}
+
+Variable Conv1dBatch(const Variable& x, const Variable& w, const Variable& bias) {
+  CHECK_EQ(x.value().rank(), 3);
+  CHECK_EQ(w.value().rank(), 3);
+  const int n = x.value().dim(0), cin = x.value().dim(1), t = x.value().dim(2);
+  const int cout = w.value().dim(0), k = w.value().dim(2);
+  CHECK_EQ(w.value().dim(1), cin);
+  CHECK_EQ(bias.numel(), cout);
+  const int pad = k / 2;
+
+  Tensor out({n, cout, t});
+  for (int b = 0; b < n; ++b) {
+    for (int co = 0; co < cout; ++co) {
+      for (int u = 0; u < t; ++u) {
+        float acc = bias.value()[co];
+        for (int ci = 0; ci < cin; ++ci) {
+          for (int kk = 0; kk < k; ++kk) {
+            const int src = u + kk - pad;
+            if (src < 0 || src >= t) continue;
+            acc += w.value().at(co, ci, kk) * x.value().at(b, ci, src);
+          }
+        }
+        out.at(b, co, u) = acc;
+      }
+    }
+  }
+  return Variable::MakeNode(
+      std::move(out), {x, w, bias},
+      [n, cin, t, cout, k, pad](VariableNode& node) {
+        const Tensor& xv = node.parents[0]->value;
+        const Tensor& wv = node.parents[1]->value;
+        const bool need_x = node.parents[0]->requires_grad;
+        const bool need_w = node.parents[1]->requires_grad;
+        const bool need_b = node.parents[2]->requires_grad;
+        Tensor* gx = need_x ? &node.parents[0]->MutableGrad() : nullptr;
+        Tensor* gw = need_w ? &node.parents[1]->MutableGrad() : nullptr;
+        Tensor* gb = need_b ? &node.parents[2]->MutableGrad() : nullptr;
+        for (int b = 0; b < n; ++b) {
+          for (int co = 0; co < cout; ++co) {
+            for (int u = 0; u < t; ++u) {
+              const float g = node.grad.at(b, co, u);
+              if (g == 0.0f) continue;
+              if (gb != nullptr) (*gb)[co] += g;
+              for (int ci = 0; ci < cin; ++ci) {
+                for (int kk = 0; kk < k; ++kk) {
+                  const int src = u + kk - pad;
+                  if (src < 0 || src >= t) continue;
+                  if (gx != nullptr) gx->at(b, ci, src) += g * wv.at(co, ci, kk);
+                  if (gw != nullptr) gw->at(co, ci, kk) += g * xv.at(b, ci, src);
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+Variable SumBatch(const Variable& x) {
+  CHECK_EQ(x.value().rank(), 3);
+  const int n = x.value().dim(0), c = x.value().dim(1), t = x.value().dim(2);
+  Tensor out({c, t});
+  for (int b = 0; b < n; ++b) {
+    for (int i = 0; i < c * t; ++i) out[i] += x.value()[b * c * t + i];
+  }
+  return Variable::MakeNode(std::move(out), {x}, [n, c, t](VariableNode& node) {
+    if (!node.parents[0]->requires_grad) return;
+    Tensor& g = node.parents[0]->MutableGrad();
+    for (int b = 0; b < n; ++b) {
+      for (int i = 0; i < c * t; ++i) g[b * c * t + i] += node.grad[i];
+    }
+  });
+}
+
+Variable SumCols(const Variable& x) {
+  CHECK_EQ(x.value().rank(), 2);
+  const int n = x.value().dim(0), t = x.value().dim(1);
+  Tensor out({n, 1});
+  for (int i = 0; i < n; ++i) {
+    float acc = 0.0f;
+    for (int j = 0; j < t; ++j) acc += x.value()[i * t + j];
+    out[i] = acc;
+  }
+  return Variable::MakeNode(std::move(out), {x}, [n, t](VariableNode& node) {
+    if (!node.parents[0]->requires_grad) return;
+    Tensor& g = node.parents[0]->MutableGrad();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < t; ++j) g[i * t + j] += node.grad[i];
+    }
+  });
+}
+
+Variable ColSlice(const Variable& x, int t) {
+  CHECK_EQ(x.value().rank(), 2);
+  const int n = x.value().dim(0), cols = x.value().dim(1);
+  CHECK_GE(t, 0);
+  CHECK_LT(t, cols);
+  Tensor out({n, 1});
+  for (int i = 0; i < n; ++i) out[i] = x.value()[i * cols + t];
+  return Variable::MakeNode(std::move(out), {x}, [n, cols, t](VariableNode& node) {
+    if (!node.parents[0]->requires_grad) return;
+    Tensor& g = node.parents[0]->MutableGrad();
+    for (int i = 0; i < n; ++i) g[i * cols + t] += node.grad[i];
+  });
+}
+
+Variable ConcatCols(const std::vector<Variable>& cols) {
+  CHECK(!cols.empty());
+  const int n = cols[0].value().dim(0);
+  const int t = static_cast<int>(cols.size());
+  for (const Variable& c : cols) {
+    CHECK_EQ(c.value().rank(), 2);
+    CHECK_EQ(c.value().dim(0), n);
+    CHECK_EQ(c.value().dim(1), 1);
+  }
+  Tensor out({n, t});
+  for (int j = 0; j < t; ++j) {
+    for (int i = 0; i < n; ++i) out[i * t + j] = cols[j].value()[i];
+  }
+  return Variable::MakeNode(std::move(out), cols, [n, t](VariableNode& node) {
+    for (int j = 0; j < t; ++j) {
+      if (!node.parents[j]->requires_grad) continue;
+      Tensor& g = node.parents[j]->MutableGrad();
+      for (int i = 0; i < n; ++i) g[i] += node.grad[i * t + j];
+    }
+  });
+}
+
+Variable ConcatFeatures(const Variable& a, const Variable& b) {
+  CHECK_EQ(a.value().rank(), 2);
+  CHECK_EQ(b.value().rank(), 2);
+  const int n = a.value().dim(0);
+  CHECK_EQ(b.value().dim(0), n);
+  const int d1 = a.value().dim(1), d2 = b.value().dim(1);
+  Tensor out({n, d1 + d2});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d1; ++j) out[i * (d1 + d2) + j] = a.value()[i * d1 + j];
+    for (int j = 0; j < d2; ++j) {
+      out[i * (d1 + d2) + d1 + j] = b.value()[i * d2 + j];
+    }
+  }
+  return Variable::MakeNode(std::move(out), {a, b}, [n, d1, d2](VariableNode& node) {
+    const int d = d1 + d2;
+    if (node.parents[0]->requires_grad) {
+      Tensor& g = node.parents[0]->MutableGrad();
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < d1; ++j) g[i * d1 + j] += node.grad[i * d + j];
+      }
+    }
+    if (node.parents[1]->requires_grad) {
+      Tensor& g = node.parents[1]->MutableGrad();
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < d2; ++j) g[i * d2 + j] += node.grad[i * d + d1 + j];
+      }
+    }
+  });
+}
+
+Variable GatherRows(const Variable& x, const std::vector<int>& indices) {
+  CHECK_EQ(x.value().rank(), 2);
+  const int n = x.value().dim(0), d = x.value().dim(1);
+  Tensor out({static_cast<int>(indices.size()), d});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    CHECK_GE(indices[i], 0);
+    CHECK_LT(indices[i], n);
+    for (int j = 0; j < d; ++j) {
+      out[static_cast<int>(i) * d + j] = x.value()[indices[i] * d + j];
+    }
+  }
+  return Variable::MakeNode(std::move(out), {x}, [indices, d](VariableNode& node) {
+    if (!node.parents[0]->requires_grad) return;
+    Tensor& g = node.parents[0]->MutableGrad();
+    for (size_t i = 0; i < indices.size(); ++i) {
+      for (int j = 0; j < d; ++j) {
+        g[indices[i] * d + j] += node.grad[static_cast<int>(i) * d + j];
+      }
+    }
+  });
+}
+
+Variable Reshape(const Variable& x, std::vector<int> new_shape) {
+  Tensor out = x.value().Reshaped(std::move(new_shape));
+  return Variable::MakeNode(std::move(out), {x}, [](VariableNode& node) {
+    if (!node.parents[0]->requires_grad) return;
+    Tensor& g = node.parents[0]->MutableGrad();
+    for (int i = 0; i < g.numel(); ++i) g[i] += node.grad[i];
+  });
+}
+
+Variable BuildAttentionInput(const Variable& e, const Variable& emb) {
+  CHECK_EQ(e.value().rank(), 2);
+  CHECK_EQ(emb.value().rank(), 2);
+  const int c = e.value().dim(0), t = e.value().dim(1);
+  const int m = emb.value().dim(0), de = emb.value().dim(1);
+  Tensor out({m * t, c + de});
+  for (int link = 0; link < m; ++link) {
+    for (int u = 0; u < t; ++u) {
+      const int row = link * t + u;
+      for (int j = 0; j < c; ++j) {
+        out[row * (c + de) + j] = e.value()[j * t + u];
+      }
+      for (int j = 0; j < de; ++j) {
+        out[row * (c + de) + c + j] = emb.value()[link * de + j];
+      }
+    }
+  }
+  return Variable::MakeNode(
+      std::move(out), {e, emb}, [c, t, m, de](VariableNode& node) {
+        const int width = c + de;
+        if (node.parents[0]->requires_grad) {
+          Tensor& ge = node.parents[0]->MutableGrad();
+          for (int link = 0; link < m; ++link) {
+            for (int u = 0; u < t; ++u) {
+              const int row = link * t + u;
+              for (int j = 0; j < c; ++j) {
+                ge[j * t + u] += node.grad[row * width + j];
+              }
+            }
+          }
+        }
+        if (node.parents[1]->requires_grad) {
+          Tensor& gm = node.parents[1]->MutableGrad();
+          for (int link = 0; link < m; ++link) {
+            for (int u = 0; u < t; ++u) {
+              const int row = link * t + u;
+              for (int j = 0; j < de; ++j) {
+                gm[link * de + j] += node.grad[row * width + c + j];
+              }
+            }
+          }
+        }
+      });
+}
+
+Variable LagAttentionApply(const Variable& alpha, const Variable& s, int lags) {
+  CHECK_EQ(alpha.value().rank(), 2);
+  CHECK_EQ(s.value().rank(), 2);
+  const int m = s.value().dim(0), t = s.value().dim(1);
+  CHECK_EQ(alpha.value().dim(0), m * t);
+  CHECK_EQ(alpha.value().dim(1), lags);
+  Tensor out({m, t});
+  for (int link = 0; link < m; ++link) {
+    for (int u = 0; u < t; ++u) {
+      float acc = 0.0f;
+      for (int tau = 0; tau < lags && tau <= u; ++tau) {
+        acc += alpha.value()[(link * t + u) * lags + tau] *
+               s.value()[link * t + (u - tau)];
+      }
+      out[link * t + u] = acc;
+    }
+  }
+  return Variable::MakeNode(
+      std::move(out), {alpha, s}, [m, t, lags](VariableNode& node) {
+        const Tensor& av = node.parents[0]->value;
+        const Tensor& sv = node.parents[1]->value;
+        const bool need_a = node.parents[0]->requires_grad;
+        const bool need_s = node.parents[1]->requires_grad;
+        Tensor* ga = need_a ? &node.parents[0]->MutableGrad() : nullptr;
+        Tensor* gs = need_s ? &node.parents[1]->MutableGrad() : nullptr;
+        for (int link = 0; link < m; ++link) {
+          for (int u = 0; u < t; ++u) {
+            const float g = node.grad[link * t + u];
+            if (g == 0.0f) continue;
+            for (int tau = 0; tau < lags && tau <= u; ++tau) {
+              const int arow = (link * t + u) * lags + tau;
+              const int sidx = link * t + (u - tau);
+              if (ga != nullptr) (*ga)[arow] += g * sv[sidx];
+              if (gs != nullptr) (*gs)[sidx] += g * av[arow];
+            }
+          }
+        }
+      });
+}
+
+Variable Sum(const Variable& x) {
+  Tensor out = Tensor::Scalar(x.value().Sum());
+  return Variable::MakeNode(std::move(out), {x}, [](VariableNode& node) {
+    if (!node.parents[0]->requires_grad) return;
+    Tensor& g = node.parents[0]->MutableGrad();
+    const float gv = node.grad[0];
+    for (int i = 0; i < g.numel(); ++i) g[i] += gv;
+  });
+}
+
+Variable Mean(const Variable& x) {
+  const int n = x.numel();
+  CHECK_GT(n, 0);
+  Tensor out = Tensor::Scalar(x.value().Mean());
+  return Variable::MakeNode(std::move(out), {x}, [n](VariableNode& node) {
+    if (!node.parents[0]->requires_grad) return;
+    Tensor& g = node.parents[0]->MutableGrad();
+    const float gv = node.grad[0] / static_cast<float>(n);
+    for (int i = 0; i < g.numel(); ++i) g[i] += gv;
+  });
+}
+
+Variable MseLoss(const Variable& pred, const Tensor& target) {
+  CHECK(pred.value().SameShape(target))
+      << "MseLoss: " << ShapeToString(pred.shape()) << " vs "
+      << ShapeToString(target.shape());
+  const int n = pred.numel();
+  CHECK_GT(n, 0);
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = pred.value()[i] - target[i];
+    acc += d * d;
+  }
+  Tensor out = Tensor::Scalar(static_cast<float>(acc / n));
+  return Variable::MakeNode(std::move(out), {pred}, [target, n](VariableNode& node) {
+    if (!node.parents[0]->requires_grad) return;
+    Tensor& g = node.parents[0]->MutableGrad();
+    const Tensor& pv = node.parents[0]->value;
+    const float scale = 2.0f * node.grad[0] / static_cast<float>(n);
+    for (int i = 0; i < n; ++i) g[i] += scale * (pv[i] - target[i]);
+  });
+}
+
+Variable HuberLoss(const Variable& pred, const Tensor& target, float delta) {
+  CHECK(pred.value().SameShape(target));
+  CHECK_GT(delta, 0.0f);
+  const int n = pred.numel();
+  CHECK_GT(n, 0);
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double r = std::fabs(pred.value()[i] - target[i]);
+    acc += r <= delta ? 0.5 * r * r : delta * (r - 0.5 * delta);
+  }
+  Tensor out = Tensor::Scalar(static_cast<float>(acc / n));
+  return Variable::MakeNode(
+      std::move(out), {pred}, [target, delta, n](VariableNode& node) {
+        if (!node.parents[0]->requires_grad) return;
+        Tensor& g = node.parents[0]->MutableGrad();
+        const Tensor& pv = node.parents[0]->value;
+        const float scale = node.grad[0] / static_cast<float>(n);
+        for (int i = 0; i < n; ++i) {
+          const float r = pv[i] - target[i];
+          const float d = r > delta ? delta : (r < -delta ? -delta : r);
+          g[i] += scale * d;
+        }
+      });
+}
+
+Variable MaskedMseLoss(const Variable& pred, const Tensor& target,
+                       const Tensor& mask) {
+  CHECK(pred.value().SameShape(target))
+      << "MaskedMseLoss: " << ShapeToString(pred.shape()) << " vs "
+      << ShapeToString(target.shape());
+  CHECK(pred.value().SameShape(mask));
+  const int n = pred.numel();
+  CHECK_GT(n, 0);
+  int valid = 0;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (mask[i] == 0.0f) continue;
+    ++valid;
+    const double d = pred.value()[i] - target[i];
+    acc += d * d;
+  }
+  CHECK_GT(valid, 0) << "MaskedMseLoss: mask has no valid cells";
+  Tensor out = Tensor::Scalar(static_cast<float>(acc / valid));
+  return Variable::MakeNode(
+      std::move(out), {pred}, [target, mask, n, valid](VariableNode& node) {
+        if (!node.parents[0]->requires_grad) return;
+        Tensor& g = node.parents[0]->MutableGrad();
+        const Tensor& pv = node.parents[0]->value;
+        const float scale = 2.0f * node.grad[0] / static_cast<float>(valid);
+        for (int i = 0; i < n; ++i) {
+          if (mask[i] == 0.0f) continue;
+          g[i] += scale * (pv[i] - target[i]);
+        }
+      });
+}
+
+Variable MaskedHuberLoss(const Variable& pred, const Tensor& target,
+                         const Tensor& mask, float delta) {
+  CHECK(pred.value().SameShape(target));
+  CHECK(pred.value().SameShape(mask));
+  CHECK_GT(delta, 0.0f);
+  const int n = pred.numel();
+  CHECK_GT(n, 0);
+  int valid = 0;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (mask[i] == 0.0f) continue;
+    ++valid;
+    const double r = std::fabs(pred.value()[i] - target[i]);
+    acc += r <= delta ? 0.5 * r * r : delta * (r - 0.5 * delta);
+  }
+  CHECK_GT(valid, 0) << "MaskedHuberLoss: mask has no valid cells";
+  Tensor out = Tensor::Scalar(static_cast<float>(acc / valid));
+  return Variable::MakeNode(
+      std::move(out), {pred},
+      [target, mask, delta, n, valid](VariableNode& node) {
+        if (!node.parents[0]->requires_grad) return;
+        Tensor& g = node.parents[0]->MutableGrad();
+        const Tensor& pv = node.parents[0]->value;
+        const float scale = node.grad[0] / static_cast<float>(valid);
+        for (int i = 0; i < n; ++i) {
+          if (mask[i] == 0.0f) continue;
+          const float r = pv[i] - target[i];
+          const float d = r > delta ? delta : (r < -delta ? -delta : r);
+          g[i] += scale * d;
+        }
+      });
+}
+
+Variable HingeSquaredLoss(const Variable& x) {
+  const int n = x.numel();
+  CHECK_GT(n, 0);
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = x.value()[i] > 0.0f ? x.value()[i] : 0.0;
+    acc += v * v;
+  }
+  Tensor out = Tensor::Scalar(static_cast<float>(acc / n));
+  return Variable::MakeNode(std::move(out), {x}, [n](VariableNode& node) {
+    if (!node.parents[0]->requires_grad) return;
+    Tensor& g = node.parents[0]->MutableGrad();
+    const Tensor& xv = node.parents[0]->value;
+    const float scale = 2.0f * node.grad[0] / static_cast<float>(n);
+    for (int i = 0; i < n; ++i) {
+      if (xv[i] > 0.0f) g[i] += scale * xv[i];
+    }
+  });
+}
+
+}  // namespace ovs::nn::ref

@@ -1,0 +1,54 @@
+#ifndef OVS_NN_OPS_REF_H_
+#define OVS_NN_OPS_REF_H_
+
+// Frozen pre-rewrite reference op layer (see ops_ref.cc for the contract).
+// Exactly the ops that existed before the register-blocked kernel rewrite,
+// with their original naive zero-skip GEMMs and checked element access.
+// Production code must never call these directly: they are reached through
+// nn::SetReferenceOpsForTesting(true) by the parity suite and by the
+// recovery A/B benchmark row in bench/micro_nn.cc.
+
+#include <vector>
+
+#include "nn/variable.h"
+#include "util/rng.h"
+
+namespace ovs::nn::ref {
+
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable ScalarMul(const Variable& a, float alpha);
+Variable AddScalar(const Variable& a, float alpha);
+Variable MulConst(const Variable& a, const Tensor& mask);
+Variable MatMul(const Variable& a, const Variable& b);
+Variable AddBias(const Variable& x, const Variable& bias);
+Variable FixedMatMul(const Tensor& a, const Variable& x);
+Variable Sigmoid(const Variable& x);
+Variable Tanh(const Variable& x);
+Variable Relu(const Variable& x);
+Variable SoftmaxRows(const Variable& x);
+Variable Dropout(const Variable& x, float rate, bool train, Rng* rng);
+Variable Conv1dBatch(const Variable& x, const Variable& w, const Variable& bias);
+Variable SumBatch(const Variable& x);
+Variable SumCols(const Variable& x);
+Variable ColSlice(const Variable& x, int t);
+Variable ConcatCols(const std::vector<Variable>& cols);
+Variable ConcatFeatures(const Variable& a, const Variable& b);
+Variable GatherRows(const Variable& x, const std::vector<int>& indices);
+Variable Reshape(const Variable& x, std::vector<int> new_shape);
+Variable BuildAttentionInput(const Variable& e, const Variable& emb);
+Variable LagAttentionApply(const Variable& alpha, const Variable& s, int lags);
+Variable Sum(const Variable& x);
+Variable Mean(const Variable& x);
+Variable MseLoss(const Variable& pred, const Tensor& target);
+Variable HuberLoss(const Variable& pred, const Tensor& target, float delta);
+Variable MaskedMseLoss(const Variable& pred, const Tensor& target,
+                       const Tensor& mask);
+Variable MaskedHuberLoss(const Variable& pred, const Tensor& target,
+                         const Tensor& mask, float delta);
+Variable HingeSquaredLoss(const Variable& x);
+
+}  // namespace ovs::nn::ref
+
+#endif  // OVS_NN_OPS_REF_H_

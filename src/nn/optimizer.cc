@@ -7,8 +7,10 @@ namespace ovs::nn {
 void Optimizer::ClipGrad(float max_abs) {
   if (max_abs <= 0.0f) return;
   for (Variable& p : params_) {
-    Tensor& g = p.mutable_grad();
-    for (int i = 0; i < g.numel(); ++i) {
+    Tensor& grad = p.mutable_grad();
+    float* g = grad.data();
+    const int count = grad.numel();
+    for (int i = 0; i < count; ++i) {
       if (g[i] > max_abs) g[i] = max_abs;
       if (g[i] < -max_abs) g[i] = -max_abs;
     }
@@ -67,11 +69,13 @@ void Adam::Step() {
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
   for (size_t i = 0; i < params_.size(); ++i) {
-    Tensor& value = params_[i].mutable_value();
-    const Tensor& grad = params_[i].mutable_grad();
-    Tensor& m = m_[i];
-    Tensor& v = v_[i];
-    for (int j = 0; j < value.numel(); ++j) {
+    Tensor& param = params_[i].mutable_value();
+    float* value = param.data();
+    const float* grad = params_[i].mutable_grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int count = param.numel();
+    for (int j = 0; j < count; ++j) {
       m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
       v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
       const float m_hat = m[j] / bc1;

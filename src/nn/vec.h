@@ -1,0 +1,130 @@
+#ifndef OVS_NN_VEC_H_
+#define OVS_NN_VEC_H_
+
+/// Compile-time-width SIMD abstraction for the nn GEMM kernels.
+///
+/// `Vec<float, N>` is a value type holding N float lanes with Load / Store /
+/// Broadcast / Zero and lane-wise `+`, `*`, and `MulAdd`. Two hardware
+/// specializations (SSE N=4, AVX N=8) are selected purely by the target ISA
+/// macros; every other width falls back to a plain float array that the
+/// compiler may auto-vectorize but whose semantics are defined lane-by-lane.
+///
+/// Bitwise parity contract: a kernel written against Vec produces the SAME
+/// bits at every width, because
+///   (1) all operations are lane-wise — there are no horizontal reductions,
+///       so each output element only ever sees its own lane's arithmetic;
+///   (2) `MulAdd(acc, a, b)` is specified as mul-then-add with two IEEE
+///       roundings, never a fused FMA (one rounding). The hardware
+///       specializations use separate mul/add instructions, and the build
+///       sets -ffp-contract=off so the scalar fallback cannot be contracted
+///       into an FMA either.
+/// The width only decides how many independent output elements advance per
+/// instruction, never the order of any element's accumulation. ovs_lint
+/// fences raw `_mm*` intrinsics to this header (rule `raw-intrinsics`).
+
+#if defined(__SSE2__) || defined(__AVX__)
+#include <immintrin.h>
+#endif
+
+namespace ovs::nn {
+
+/// Default vector width for the production kernels. Overridable at configure
+/// time with -DOVS_VEC_WIDTH=<n> (CMake cache variable of the same name);
+/// width 1 is the scalar-fallback build the CI parity job runs.
+#if defined(OVS_VEC_WIDTH) && OVS_VEC_WIDTH > 0
+inline constexpr int kVecWidth = OVS_VEC_WIDTH;
+#elif defined(__AVX__)
+inline constexpr int kVecWidth = 8;
+#elif defined(__SSE2__) || defined(__x86_64__)
+inline constexpr int kVecWidth = 4;
+#else
+inline constexpr int kVecWidth = 1;
+#endif
+
+/// Generic scalar-array fallback: N independent float lanes. Used for any
+/// width without a hardware specialization below (including N=1 and, on a
+/// non-AVX build, N=8 — the parity tests instantiate all widths everywhere).
+template <typename T, int N>
+struct Vec;
+
+template <int N>
+struct Vec<float, N> {
+  static_assert(N >= 1, "vector width must be positive");
+  float lane[N];
+
+  static Vec Load(const float* p) {
+    Vec v;
+    for (int i = 0; i < N; ++i) v.lane[i] = p[i];
+    return v;
+  }
+  static Vec Broadcast(float x) {
+    Vec v;
+    for (int i = 0; i < N; ++i) v.lane[i] = x;
+    return v;
+  }
+  static Vec Zero() { return Broadcast(0.0f); }
+  void Store(float* p) const {
+    for (int i = 0; i < N; ++i) p[i] = lane[i];
+  }
+  Vec operator+(const Vec& o) const {
+    Vec v;
+    for (int i = 0; i < N; ++i) v.lane[i] = lane[i] + o.lane[i];
+    return v;
+  }
+  Vec operator*(const Vec& o) const {
+    Vec v;
+    for (int i = 0; i < N; ++i) v.lane[i] = lane[i] * o.lane[i];
+    return v;
+  }
+  /// this + a * b with mul and add rounded separately (never fused; the
+  /// build compiles with -ffp-contract=off so this cannot become an FMA).
+  Vec MulAdd(const Vec& a, const Vec& b) const {
+    Vec v;
+    for (int i = 0; i < N; ++i) v.lane[i] = lane[i] + a.lane[i] * b.lane[i];
+    return v;
+  }
+};
+
+#if defined(__SSE2__)
+/// SSE2 specialization: 4 lanes in one __m128. Unaligned loads/stores —
+/// Tensor storage has no alignment guarantee.
+template <>
+struct Vec<float, 4> {
+  __m128 v;
+
+  static Vec Load(const float* p) { return {_mm_loadu_ps(p)}; }
+  static Vec Broadcast(float x) { return {_mm_set1_ps(x)}; }
+  static Vec Zero() { return {_mm_setzero_ps()}; }
+  void Store(float* p) const { _mm_storeu_ps(p, v); }
+  Vec operator+(const Vec& o) const { return {_mm_add_ps(v, o.v)}; }
+  Vec operator*(const Vec& o) const { return {_mm_mul_ps(v, o.v)}; }
+  /// Separate mul + add instructions by construction (two roundings, bitwise
+  /// equal to the scalar fallback). Never _mm_fmadd_ps.
+  Vec MulAdd(const Vec& a, const Vec& b) const {
+    return {_mm_add_ps(v, _mm_mul_ps(a.v, b.v))};
+  }
+};
+#endif  // __SSE2__
+
+#if defined(__AVX__)
+/// AVX specialization: 8 lanes in one __m256. Same two-rounding MulAdd
+/// contract as every other width.
+template <>
+struct Vec<float, 8> {
+  __m256 v;
+
+  static Vec Load(const float* p) { return {_mm256_loadu_ps(p)}; }
+  static Vec Broadcast(float x) { return {_mm256_set1_ps(x)}; }
+  static Vec Zero() { return {_mm256_setzero_ps()}; }
+  void Store(float* p) const { _mm256_storeu_ps(p, v); }
+  Vec operator+(const Vec& o) const { return {_mm256_add_ps(v, o.v)}; }
+  Vec operator*(const Vec& o) const { return {_mm256_mul_ps(v, o.v)}; }
+  Vec MulAdd(const Vec& a, const Vec& b) const {
+    return {_mm256_add_ps(v, _mm256_mul_ps(a.v, b.v))};
+  }
+};
+#endif  // __AVX__
+
+}  // namespace ovs::nn
+
+#endif  // OVS_NN_VEC_H_

@@ -759,6 +759,60 @@ TEST(LintBenchSessionTest, Suppressible) {
                   .empty());
 }
 
+// ----------------------------------------------------------- raw-intrinsics
+
+TEST(LintRawIntrinsicsTest, FlagsIntrinsicCallsOutsideVecHeader) {
+  auto diags = LintContent("src/nn/gemm.cc",
+                           "__m256 acc = _mm256_setzero_ps();\n"
+                           "acc = _mm256_add_ps(acc, acc);\n");
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].rule, "raw-intrinsics");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_NE(diags[0].message.find("__m256"), std::string::npos);
+  EXPECT_EQ(diags[2].line, 2);
+}
+
+TEST(LintRawIntrinsicsTest, FlagsIntrinsicHeaderIncludes) {
+  auto diags = LintContent("src/sim/engine.cc",
+                           "#include <immintrin.h>\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "raw-intrinsics");
+  EXPECT_NE(diags[0].message.find("immintrin.h"), std::string::npos);
+}
+
+TEST(LintRawIntrinsicsTest, AppliesOutsideSrcToo) {
+  // Tests and bench code must route through Vec as well, or the scalar
+  // CI build stops covering what they exercise.
+  auto diags =
+      LintContent("bench/micro_nn.cc", "float x = _mm_cvtss_f32(v);\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "raw-intrinsics");
+}
+
+TEST(LintRawIntrinsicsTest, VecHeaderIsTheOneExemption) {
+  const std::string simd =
+      "#include <immintrin.h>\n"
+      "__m128 v = _mm_set1_ps(1.0f);\n";
+  EXPECT_TRUE(LintContent("src/nn/vec.h", simd).empty());
+  EXPECT_TRUE(LintContent("/root/repo/src/nn/vec.h", simd).empty());
+  EXPECT_TRUE(LintContent("nn/vec.h", simd).empty());
+}
+
+TEST(LintRawIntrinsicsTest, PlainUnderscoreIdentifiersAreClean) {
+  // __m is only a vector type when a digit follows; _map-style names and
+  // reserved-but-benign identifiers must not fire.
+  EXPECT_TRUE(LintContent("src/core/trainer.cc",
+                          "int _mx = 1; auto __map = Get();\n")
+                  .empty());
+}
+
+TEST(LintRawIntrinsicsTest, Suppressible) {
+  EXPECT_TRUE(LintContent("src/nn/gemm.cc",
+                          "// ovs-lint: allow(raw-intrinsics)\n"
+                          "__m128 v = _mm_setzero_ps();\n")
+                  .empty());
+}
+
 // ------------------------------------------- lexer-backed scanning regressions
 
 TEST(LintLexerRegressionTest, RuleKeywordsInsideStringsDoNotFire) {
@@ -824,7 +878,7 @@ TEST(LintMachineryTest, AllRulesRegistered) {
         "parallelfor-capture", "wallclock-in-core", "raw-ofstream",
         "unguarded-observed-speed", "nonstable-sort", "layer-violation",
         "include-cycle", "alloc-in-parallel", "heavy-pass-by-value",
-        "mutex-in-hot-path", "bench-session"}) {
+        "mutex-in-hot-path", "bench-session", "raw-intrinsics"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing rule " << expected;
   }

@@ -174,6 +174,33 @@ TEST_F(TrainerRobustnessTest, FullyDarkObservationIsInvalidArgument) {
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST_F(TrainerRobustnessTest, MultiRestartRecoveryWithoutRngIsInvalidArgument) {
+  // Restarts beyond the first resample their seeds, which needs an RNG.
+  // This used to be a CHECK-crash deep inside restart setup; it must be a
+  // surfaced status, caught before recovery touches any model state.
+  TrainingSample clean = SimulateGroundTruth(*dataset_, 4242);
+  TrainerConfig tc;
+  tc.recovery_restarts = 3;
+  OvsTrainer trainer(model_.get(), tc);
+  trainer.PrimeRecoveryPrior(*train_);
+  StatusOr<od::TodTensor> result =
+      trainer.RecoverTod(clean.speed, nullptr, /*rng=*/nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  // A single restart never resamples, so a null RNG stays legal there.
+  tc.recovery_restarts = 1;
+  tc.recovery_epochs = 2;
+  OvsTrainer single(model_.get(), tc);
+  single.PrimeRecoveryPrior(*train_);
+  const std::string snapshot =
+      (std::filesystem::temp_directory_path() / "ovs_norng_snap.bin").string();
+  ASSERT_TRUE(model_->Save(snapshot).ok());
+  EXPECT_TRUE(single.RecoverTod(clean.speed, nullptr, /*rng=*/nullptr).ok());
+  ASSERT_TRUE(model_->Load(snapshot).ok());
+  std::remove(snapshot.c_str());
+}
+
 TEST_F(TrainerRobustnessTest, RecoveryIsDeterministicGivenSameState) {
   // Recovery trains the decoder in place, so determinism holds when starting
   // from identical model state: snapshot, recover, restore, recover again.

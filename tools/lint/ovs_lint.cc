@@ -1146,6 +1146,52 @@ void CheckBenchSession(const FileCtx& ctx, std::vector<Diagnostic>* out) {
   }
 }
 
+// ----------------------------------------------------- rule: raw-intrinsics
+
+/// SIMD intrinsics live behind Vec<float, N> in src/nn/vec.h — the one file
+/// allowed to spell width-specific code, because each intrinsic there is
+/// mirrored by a scalar fallback with identical operation order and
+/// rounding. An _mm* call, an __m128/__m256 vector type, or an
+/// <immintrin.h>-family include anywhere else forks numeric behaviour on
+/// build flags and silently escapes the vec-vs-scalar bitwise parity
+/// contract that gemm_parity_test enforces.
+void CheckRawIntrinsics(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  if (ctx.path.size() >= 8 &&
+      ctx.path.compare(ctx.path.size() - 8, 8, "nn/vec.h") == 0) {
+    return;
+  }
+  static const std::set<std::string> kIntrinsicHeaders = {
+          "immintrin.h", "emmintrin.h", "xmmintrin.h", "pmmintrin.h",
+          "smmintrin.h", "tmmintrin.h", "nmmintrin.h", "wmmintrin.h",
+          "x86intrin.h", "arm_neon.h"};
+  for (const FileCtx::Include& inc : ctx.includes) {
+    if (kIntrinsicHeaders.count(inc.target)) {
+      Report(ctx, inc.line, "raw-intrinsics",
+             "#include <" + inc.target +
+                 "> outside src/nn/vec.h; SIMD stays behind Vec<float, N> so "
+                 "the scalar build keeps bitwise-identical results — extend "
+                 "vec.h instead of including intrinsics here",
+             out);
+    }
+  }
+  const std::vector<Token>& code = ctx.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != Tok::kIdent) continue;
+    const std::string& id = code[i].text;
+    const bool is_call = id.compare(0, 3, "_mm") == 0;
+    const bool is_type = id.size() > 3 && id.compare(0, 3, "__m") == 0 &&
+                         id[3] >= '0' && id[3] <= '9';
+    if (is_call || is_type) {
+      Report(ctx, code[i].line, "raw-intrinsics",
+             "raw SIMD intrinsic '" + id +
+                 "' outside src/nn/vec.h; width-specific code belongs behind "
+                 "Vec<float, N> (nn/vec.h) where every op has a "
+                 "bitwise-matching scalar fallback",
+             out);
+    }
+  }
+}
+
 // ------------------------------------------------------ per-directory policy
 
 /// Rules that guard *library* invariants: they stay on for src/ (and for
@@ -1182,6 +1228,7 @@ void RunFileRules(const FileCtx& ctx, std::vector<Diagnostic>* out) {
       {"heavy-pass-by-value", CheckHeavyPassByValue},
       {"mutex-in-hot-path", CheckMutexInHotPath},
       {"bench-session", CheckBenchSession},
+      {"raw-intrinsics", CheckRawIntrinsics},
   };
   for (const Rule& r : kRules) {
     if (RuleEnabled(ctx, r.name)) r.check(ctx, out);
@@ -1415,6 +1462,10 @@ const std::vector<RuleInfo>& AllRules() {
        "a bench/*.cc main (or BENCHMARK_MAIN()) that never opens an "
        "obs::Session ignores --report_out and swallows telemetry-write "
        "failures; open a Session and return through Close()"},
+      {"raw-intrinsics",
+       "_mm* intrinsics, __m128/__m256 vector types, or <immintrin.h>-family "
+       "includes outside src/nn/vec.h fork numeric behaviour on build flags; "
+       "SIMD stays behind Vec<float, N> with its bitwise scalar fallback"},
   };
   return kRules;
 }
