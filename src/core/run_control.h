@@ -1,0 +1,27 @@
+#ifndef OVS_CORE_RUN_CONTROL_H_
+#define OVS_CORE_RUN_CONTROL_H_
+
+#include <functional>
+
+#include "util/status.h"
+
+namespace ovs::core {
+
+/// External control over a long-running fit. The trainer polls `poll` once
+/// per recovery epoch — between epochs, never mid-graph — and a non-OK
+/// status aborts the run and propagates to the caller with the model
+/// restored to a trainable state. The callback owns every clock or
+/// cancellation-flag read: core itself stays wall-clock-free (the
+/// wallclock-in-core lint rule), so deadlines live in the serving layer and
+/// arrive here only as "should this run stop" answers. The legacy
+/// restart-parallel recovery path polls from worker threads concurrently,
+/// so the callback must be thread-safe.
+struct RunControl {
+  std::function<Status()> poll;
+
+  Status Poll() const { return poll ? poll() : Status::Ok(); }
+};
+
+}  // namespace ovs::core
+
+#endif  // OVS_CORE_RUN_CONTROL_H_

@@ -1,8 +1,10 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <string>
 
 #include "nn/convert.h"
@@ -503,6 +505,25 @@ StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
   std::vector<Status> save_statuses(restarts);
   std::vector<Status> fit_statuses(restarts);
 
+  // External deadline/cancel control, polled once per epoch next to the
+  // guard. The first non-OK poll stops every restart; partially fitted
+  // state is discarded and the control's status propagates to the caller.
+  std::atomic<bool> ctl_stop{false};
+  std::mutex ctl_mutex;
+  Status ctl_status;  // first non-OK poll; guarded by ctl_mutex
+  auto poll_control = [&]() {
+    if (config_.run_control == nullptr) return true;
+    if (ctl_stop.load(std::memory_order_relaxed)) return false;
+    Status ctl = config_.run_control->Poll();
+    if (ctl.ok()) return true;
+    {
+      std::lock_guard<std::mutex> lock(ctl_mutex);
+      if (ctl_status.ok()) ctl_status = std::move(ctl);
+    }
+    ctl_stop.store(true, std::memory_order_relaxed);
+    return false;
+  };
+
   // Recovery loss for one restart's (g, q, v) triple. Shared by the batched
   // and legacy fit paths below so both build the exact same graph per
   // restart — the foundation of their bitwise equivalence.
@@ -599,6 +620,7 @@ StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
       }
       active = std::move(pending);
       if (active.empty()) break;
+      if (!poll_control()) break;
 
       OVS_TRACE_SCOPE("trainer.recover.batched_epoch");
       const int blocks = static_cast<int>(active.size());
@@ -693,6 +715,7 @@ StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
       double final_loss = 0.0;
       bool diverged = false;
       for (int epoch = 0; epoch < config_.recovery_epochs;) {
+        if (!poll_control()) break;
         opt.ZeroGrad();
         nn::Variable g = gen.Forward();
         nn::Variable q = model_->VolumeFromTod(g, /*train=*/false, nullptr);
@@ -726,6 +749,8 @@ StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
         OVS_COUNTER_INC("trainer.recover.diverged_restarts");
         continue;
       }
+      // A control abort discards the partial fit: no loss, no checkpoint.
+      if (ctl_stop.load(std::memory_order_relaxed)) continue;
       losses[restart] = final_loss;
       obs::SetGaugeDynamic(
           "trainer.recover.restart_loss." + std::to_string(restart),
@@ -746,6 +771,13 @@ StatusOr<od::TodTensor> OvsTrainer::RecoverTod(const DMat& observed_speed,
       }
     }
   });
+  }
+  if (ctl_stop.load(std::memory_order_relaxed)) {
+    model_->tod_volume().SetTrainable(true);
+    model_->volume_speed().SetTrainable(true);
+    OVS_COUNTER_INC("trainer.recover.control_aborts");
+    std::lock_guard<std::mutex> lock(ctl_mutex);
+    return ctl_status;
   }
   for (int restart = 0; restart < restarts; ++restart) {
     if (!save_statuses[restart].ok()) {

@@ -6,6 +6,7 @@
 #include "core/aux_loss.h"
 #include "core/checkpoint.h"
 #include "core/ovs_model.h"
+#include "core/run_control.h"
 #include "core/train_guard.h"
 #include "core/training_data.h"
 #include "od/tod_tensor.h"
@@ -64,6 +65,11 @@ struct TrainerConfig {
   /// Divergence policy: per-epoch finiteness checks with rollback-retry at
   /// reduced LR, bounded by max_retries (see core/train_guard.h).
   TrainGuardOptions guard;
+  /// Optional external deadline/cancel control, polled once per recovery
+  /// epoch next to the guard. A non-OK poll aborts RecoverTod with that
+  /// status (within one epoch of the poll turning non-OK) and leaves the
+  /// model trainable again. Not owned; null = never aborts.
+  const RunControl* run_control = nullptr;
 };
 
 /// Drives training and recovery for an OvsModel.
@@ -96,7 +102,8 @@ class OvsTrainer {
   /// otherwise). Errors: InvalidArgument when no observation cell is
   /// finite or when recovery_restarts > 1 with `rng == nullptr` (restarts
   /// need it to resample seeds); Internal when every restart diverges
-  /// beyond the guard cap.
+  /// beyond the guard cap; whatever `run_control` reports (e.g.
+  /// DeadlineExceeded, Cancelled) when the external control aborts the fit.
   [[nodiscard]] StatusOr<od::TodTensor> RecoverTod(const DMat& observed_speed,
                                                    const AuxLossSet* aux,
                                                    Rng* rng);

@@ -52,9 +52,6 @@ int Module::NumParameters() const {
   return n;
 }
 
-namespace {
-constexpr uint32_t kMagic = 0x4F56534D;  // "OVSM"
-}  // namespace
 
 Status Module::Save(const std::string& path) const {
   // Atomic write discipline: a crash (or full disk) mid-save must leave the
@@ -63,7 +60,7 @@ Status Module::Save(const std::string& path) const {
   RETURN_IF_ERROR(writer.status());
   std::ostream& out = writer.stream();
   auto named = NamedParameters();
-  const uint32_t magic = kMagic;
+  const uint32_t magic = kOvsmMagic;
   const uint32_t tag = kVersionTag;
   const uint32_t version = kFormatVersion;
   const uint32_t count = static_cast<uint32_t>(named.size());
@@ -85,40 +82,9 @@ Status Module::Load(const std::string& path) {
   std::error_code ec;
   const auto file_size = std::filesystem::file_size(path, ec);
   if (ec) return Status::NotFound("cannot stat " + path + ": " + ec.message());
-  if (file_size == 0) return Status::DataLoss("empty file: " + path);
-  int64_t remaining = static_cast<int64_t>(file_size);
-  if (remaining < static_cast<int64_t>(2 * sizeof(uint32_t))) {
-    return Status::DataLoss("headerless file (" + std::to_string(remaining) +
-                            " bytes): " + path);
-  }
-
-  uint32_t magic = 0, second = 0, count = 0;
-  RETURN_IF_ERROR(ReadPod(in, path, &remaining, &magic, sizeof(magic)));
-  if (magic != kMagic) return Status::DataLoss("bad magic in " + path);
-  // v1 files carry the record count right after the magic; v2 marks itself
-  // with kVersionTag followed by a format-version word.
-  RETURN_IF_ERROR(ReadPod(in, path, &remaining, &second, sizeof(second)));
-  bool with_crc = false;
-  if (second == kVersionTag) {
-    uint32_t version = 0;
-    RETURN_IF_ERROR(ReadPod(in, path, &remaining, &version, sizeof(version)));
-    if (version != kFormatVersion) {
-      return Status::DataLoss("unsupported checkpoint version " +
-                              std::to_string(version) + " in " + path);
-    }
-    with_crc = true;
-    RETURN_IF_ERROR(ReadPod(in, path, &remaining, &count, sizeof(count)));
-  } else {
-    count = second;
-  }
-
   std::map<std::string, Tensor> loaded;
-  for (uint32_t i = 0; i < count; ++i) {
-    std::string name;
-    Tensor t;
-    RETURN_IF_ERROR(ReadTensorRecord(in, path, with_crc, &remaining, &name, &t));
-    loaded.emplace(std::move(name), std::move(t));
-  }
+  RETURN_IF_ERROR(LoadNamedTensors(in, path, static_cast<int64_t>(file_size),
+                                   &loaded));
 
   auto named = NamedParameters();
   if (named.size() != loaded.size()) {

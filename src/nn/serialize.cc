@@ -118,4 +118,45 @@ Status ReadTensorRecord(std::istream& is, const std::string& path,
   return Status::Ok();
 }
 
+
+Status LoadNamedTensors(std::istream& is, const std::string& path, int64_t size,
+                        std::map<std::string, Tensor>* out) {
+  if (size == 0) return Status::DataLoss("empty file: " + path);
+  int64_t remaining = size;
+  if (remaining < static_cast<int64_t>(2 * sizeof(uint32_t))) {
+    return Status::DataLoss("headerless file (" + std::to_string(remaining) +
+                            " bytes): " + path);
+  }
+
+  uint32_t magic = 0, second = 0, count = 0;
+  RETURN_IF_ERROR(ReadPod(is, path, &remaining, &magic, sizeof(magic)));
+  if (magic != kOvsmMagic) return Status::DataLoss("bad magic in " + path);
+  // v1 files carry the record count right after the magic; v2 marks itself
+  // with kVersionTag followed by a format-version word.
+  RETURN_IF_ERROR(ReadPod(is, path, &remaining, &second, sizeof(second)));
+  bool with_crc = false;
+  if (second == kVersionTag) {
+    uint32_t version = 0;
+    RETURN_IF_ERROR(ReadPod(is, path, &remaining, &version, sizeof(version)));
+    if (version != kFormatVersion) {
+      return Status::DataLoss("unsupported checkpoint version " +
+                              std::to_string(version) + " in " + path);
+    }
+    with_crc = true;
+    RETURN_IF_ERROR(ReadPod(is, path, &remaining, &count, sizeof(count)));
+  } else {
+    count = second;
+  }
+
+  std::map<std::string, Tensor> loaded;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    Tensor t;
+    RETURN_IF_ERROR(ReadTensorRecord(is, path, with_crc, &remaining, &name, &t));
+    loaded.emplace(std::move(name), std::move(t));
+  }
+  *out = std::move(loaded);
+  return Status::Ok();
+}
+
 }  // namespace ovs::nn

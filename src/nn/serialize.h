@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <map>
 #include <ostream>
 #include <string>
 
@@ -27,6 +28,9 @@ namespace ovs::nn {
 
 constexpr uint32_t kVersionTag = 0xFFFFFFFEu;
 constexpr uint32_t kFormatVersion = 2;
+
+/// Magic of the module weights file ("OVSM").
+constexpr uint32_t kOvsmMagic = 0x4F56534D;
 
 /// Longest serialized name accepted when reading (also cheap corruption
 /// rejection: a plausible file never gets close).
@@ -56,6 +60,15 @@ void WriteTensorRecord(std::ostream& os, const std::string& name,
                                            int64_t* remaining, uint32_t max_len,
                                            std::string* out);
 void WriteLenPrefixedString(std::ostream& os, const std::string& s);
+
+/// Parses a full OVSM weights body (magic, optional v2 tag + version, count,
+/// tensor records) from `is`, whose total length is `size` bytes. Fills `out`
+/// with name→tensor. Works on any istream — a file, or an in-memory buffer of
+/// bytes staged for hot-reload — so callers can validate a whole snapshot
+/// before touching live state. `path` seasons error messages only.
+[[nodiscard]] Status LoadNamedTensors(std::istream& is, const std::string& path,
+                                      int64_t size,
+                                      std::map<std::string, Tensor>* out);
 
 }  // namespace ovs::nn
 

@@ -1,0 +1,120 @@
+#include "serve/admission.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace ovs::serve {
+
+ShardQueue::ShardQueue(std::string city, const AdmissionOptions& options,
+                       std::function<void(Job)> handler)
+    : city_(std::move(city)), options_(options), handler_(std::move(handler)) {
+  CHECK_GT(options_.queue_capacity, 0);
+  CHECK_GT(options_.workers_per_shard, 0);
+  workers_.reserve(static_cast<size_t>(options_.workers_per_shard));
+  for (int i = 0; i < options_.workers_per_shard; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ShardQueue::~ShardQueue() {
+  StopAdmission();
+  FlushQueue();
+  JoinWorkers();
+}
+
+Status ShardQueue::TryEnqueue(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!admitting_ || stop_workers_) {
+      return Status::Unavailable("shard " + city_ + " is shutting down");
+    }
+    if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
+      return Status::ResourceExhausted(
+          "shard " + city_ + " queue full (" +
+          std::to_string(options_.queue_capacity) + " queued); retry with backoff");
+    }
+    queue_.push_back(std::move(job));
+    obs::SetGaugeDynamic("serve.queue_depth." + city_,
+                         static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return Status::Ok();
+}
+
+void ShardQueue::StopAdmission() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    admitting_ = false;
+  }
+  cv_.notify_all();
+}
+
+bool ShardQueue::Idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() && running_ == 0;
+}
+
+void ShardQueue::FlushQueue() {
+  std::deque<Job> flushed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flushed.swap(queue_);
+    obs::SetGaugeDynamic("serve.queue_depth." + city_, 0.0);
+  }
+  for (Job& job : flushed) {
+    Response r;
+    r.id = job.request.id;
+    r.status = Status::Unavailable("server shut down before request ran");
+    OVS_COUNTER_INC("serve.requests.flushed");
+    if (job.done) job.done(std::move(r));
+  }
+}
+
+void ShardQueue::JoinWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_workers_) return;
+    stop_workers_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    // Workers observe stop_workers_ within one idle poll, so this join is
+    // bounded by the poll cadence plus the current job.
+    if (t.joinable()) t.join();  // ovs-lint: allow(unbounded-wait)
+  }
+  workers_.clear();
+}
+
+void ShardQueue::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.idle_poll_ms),
+                   [this] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_workers_) return;
+        continue;
+      }
+      if (stop_workers_) return;  // leave the flush to FlushQueue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+      obs::SetGaugeDynamic("serve.queue_depth." + city_,
+                           static_cast<double>(queue_.size()));
+    }
+    handler_(std::move(job));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+  }
+}
+
+int ShardQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+}  // namespace ovs::serve

@@ -1,0 +1,103 @@
+#ifndef OVS_SERVE_ADMISSION_H_
+#define OVS_SERVE_ADMISSION_H_
+
+// Bounded per-city-shard admission control. Each city gets its own queue
+// and worker threads, so one hammered city sheds load without starving the
+// others. Admission never blocks: a full queue answers RESOURCE_EXHAUSTED
+// immediately, a stopped one UNAVAILABLE. Workers wake on a timed wait with
+// a stop-flag predicate (the discipline the unbounded-wait lint rule fences
+// into this directory), so shutdown can never hang on a lost notify.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace ovs::serve {
+
+/// Set when the issuing client disconnects (or the harness cancels): the
+/// running request aborts at the next epoch poll with CANCELLED.
+struct CancelToken {
+  std::atomic<bool> cancelled{false};
+};
+
+/// One admitted unit of work.
+struct Job {
+  Request request;
+  std::shared_ptr<CancelToken> cancel;
+  /// Deadline resolved at admission time (steady clock); meaningful only
+  /// when has_deadline.
+  std::chrono::steady_clock::time_point deadline;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point enqueued_at;
+  /// Invoked exactly once with the final response.
+  std::function<void(Response)> done;
+};
+
+struct AdmissionOptions {
+  int queue_capacity = 8;    ///< per-shard bound; beyond this, shed
+  int workers_per_shard = 1; ///< concurrent recoveries per city
+  int idle_poll_ms = 50;     ///< worker wake cadence while idle
+};
+
+/// One city's queue + workers. The handler runs on worker threads and must
+/// itself call job.done.
+class ShardQueue {
+ public:
+  ShardQueue(std::string city, const AdmissionOptions& options,
+             std::function<void(Job)> handler);
+  ~ShardQueue();
+
+  ShardQueue(const ShardQueue&) = delete;
+  ShardQueue& operator=(const ShardQueue&) = delete;
+
+  /// Non-blocking admission. ResourceExhausted when the queue is at
+  /// capacity, Unavailable after StopAdmission. On success the job will be
+  /// handled (or flushed with UNAVAILABLE at shutdown) exactly once.
+  Status TryEnqueue(Job job);
+
+  /// Stops admitting new jobs; queued and running jobs continue.
+  void StopAdmission();
+
+  /// True when no job is queued or running.
+  bool Idle() const;
+
+  /// Flushes still-queued jobs with UNAVAILABLE responses (drain deadline
+  /// passed; running jobs are aborted via the server's run control).
+  void FlushQueue();
+
+  /// Stops workers (after their current job) and joins them.
+  void JoinWorkers();
+
+  int depth() const;
+  int capacity() const { return options_.queue_capacity; }
+  const std::string& city() const { return city_; }
+
+ private:
+  void WorkerLoop();
+
+  const std::string city_;
+  const AdmissionOptions options_;
+  const std::function<void(Job)> handler_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  int running_ = 0;        ///< jobs currently inside handler_
+  bool admitting_ = true;
+  bool stop_workers_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ovs::serve
+
+#endif  // OVS_SERVE_ADMISSION_H_

@@ -1,0 +1,118 @@
+#include "serve/fault_injection.h"
+
+#include <cstdlib>
+#include <vector>
+
+namespace ovs::serve {
+
+namespace {
+
+/// splitmix64 finalizer over an FNV-1a digest: cheap, stateless, and the
+/// same on every platform — the properties a replayable drill needs.
+uint64_t HashId(uint32_t seed, const std::string& id, uint64_t salt) {
+  uint64_t h = 1469598103934665603ull ^ (static_cast<uint64_t>(seed) << 1) ^
+               salt;
+  for (char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h += 0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  return h ^ (h >> 31);
+}
+
+/// Uniform draw in [0, 1) from a hash.
+double HashUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
+  corrupt_remaining_.store(plan.corrupt_reloads, std::memory_order_relaxed);
+}
+
+FaultInjector::RequestFaults FaultInjector::ForRequest(
+    const std::string& request_id) const {
+  RequestFaults out;
+  if (plan_.slow_prob > 0.0 &&
+      HashUnit(HashId(plan_.seed, request_id, 0x510Cull)) < plan_.slow_prob) {
+    out.slow_ms = plan_.slow_ms;
+  }
+  if (plan_.fail_prob > 0.0 &&
+      HashUnit(HashId(plan_.seed, request_id, 0xFA11ull)) < plan_.fail_prob) {
+    out.fail_at_epoch = plan_.fail_epoch;
+  }
+  return out;
+}
+
+void FaultInjector::ArmCorruptReloads(int n) {
+  corrupt_remaining_.store(n, std::memory_order_relaxed);
+}
+
+bool FaultInjector::TakeCorruptReload() {
+  int cur = corrupt_remaining_.load(std::memory_order_relaxed);
+  while (cur > 0) {
+    if (corrupt_remaining_.compare_exchange_weak(cur, cur - 1,
+                                                 std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::CorruptBytes(std::string* bytes) const {
+  // Skip the 16 header words-worth of bytes so the flip lands inside a
+  // CRC-protected tensor record, the case hot-reload must catch.
+  constexpr size_t kHeaderSkip = 16;
+  if (bytes == nullptr || bytes->size() <= kHeaderSkip) return;
+  const uint64_t h = HashId(plan_.seed, "reload", 0xC0DEull);
+  const size_t span = bytes->size() - kHeaderSkip;
+  const size_t offset = kHeaderSkip + static_cast<size_t>(h % span);
+  (*bytes)[offset] = static_cast<char>((*bytes)[offset] ^ 0x5A);
+}
+
+StatusOr<FaultPlan> FaultInjector::ParseSpec(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault spec item '" + item +
+                                     "' is not key=value");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == nullptr || *end != '\0' || value.empty()) {
+      return Status::InvalidArgument("fault spec value '" + value +
+                                     "' is not a number");
+    }
+    if (key == "seed") {
+      plan.seed = static_cast<uint32_t>(v);
+    } else if (key == "slow_prob") {
+      plan.slow_prob = v;
+    } else if (key == "slow_ms") {
+      plan.slow_ms = static_cast<int>(v);
+    } else if (key == "fail_prob") {
+      plan.fail_prob = v;
+    } else if (key == "fail_epoch") {
+      plan.fail_epoch = static_cast<int>(v);
+    } else if (key == "corrupt_reloads") {
+      plan.corrupt_reloads = static_cast<int>(v);
+    } else {
+      return Status::InvalidArgument("unknown fault spec key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+}  // namespace ovs::serve

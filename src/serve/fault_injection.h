@@ -1,0 +1,69 @@
+#ifndef OVS_SERVE_FAULT_INJECTION_H_
+#define OVS_SERVE_FAULT_INJECTION_H_
+
+// Seeded fault injection for the serving stack, in the spirit of
+// SetWriteFaultForTesting (util/atomic_file.h) and the sensor-fault models
+// (sim/sensor_faults.h): every decision is a pure function of the plan seed
+// and the request id, so a drill replays identically across runs and
+// machines. Faults covered:
+//
+//   slow handler         — sleep before a request runs (slow-client stand-in)
+//   mid-request failure  — the run-control poll returns Internal at epoch N
+//   reload corruption    — a staged hot-reload byte buffer gets one byte
+//                          flipped before CRC validation sees it
+//
+// Queue saturation needs no hook here: the drill creates it by pointing more
+// clients at a shard than its bounded queue admits.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace ovs::serve {
+
+/// Declarative drill plan, parseable from a --fault flag.
+struct FaultPlan {
+  uint32_t seed = 1;
+  double slow_prob = 0.0;   ///< chance a request gets a pre-handler sleep
+  int slow_ms = 0;          ///< length of that sleep
+  double fail_prob = 0.0;   ///< chance a request fails mid-fit
+  int fail_epoch = 2;       ///< recovery epoch at which the failure fires
+  int corrupt_reloads = 0;  ///< next N hot-reloads get a byte flipped
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// Deterministic per-request decisions, hashed from (plan seed, id).
+  struct RequestFaults {
+    int slow_ms = 0;         ///< 0 = no injected delay
+    int fail_at_epoch = -1;  ///< -1 = no injected failure
+  };
+  RequestFaults ForRequest(const std::string& request_id) const;
+
+  /// Arms the next `n` hot-reloads to be corrupted.
+  void ArmCorruptReloads(int n);
+  /// Consumes one armed corruption; false when none are armed.
+  bool TakeCorruptReload();
+  /// Flips one byte of `bytes` at a seed-determined offset (past the header
+  /// words, so the corruption lands in CRC-protected record territory).
+  void CorruptBytes(std::string* bytes) const;
+
+  /// Parses "seed=1,slow_prob=0.2,slow_ms=50,fail_prob=0.1,fail_epoch=3,
+  /// corrupt_reloads=1". Empty spec = default (inert) plan.
+  static StatusOr<FaultPlan> ParseSpec(const std::string& spec);
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::atomic<int> corrupt_remaining_{0};
+};
+
+}  // namespace ovs::serve
+
+#endif  // OVS_SERVE_FAULT_INJECTION_H_

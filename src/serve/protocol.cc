@@ -1,0 +1,411 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/json_format.h"
+
+namespace ovs::serve {
+
+namespace {
+
+using obs::internal_json::JsonEscape;
+using obs::internal_json::JsonNumber;
+
+/// Nesting cap: a request is one flat object holding at most a matrix, so
+/// anything deeper is garbage (or an attack on the recursion depth).
+constexpr int kMaxDepth = 16;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue v;
+    RETURN_IF_ERROR(ParseValue(&v, 0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\r' && c != '\n') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        return ParseLiteral("true", [out] {
+          out->kind = JsonValue::Kind::kBool;
+          out->bool_value = true;
+        });
+      case 'f':
+        return ParseLiteral("false", [out] {
+          out->kind = JsonValue::Kind::kBool;
+          out->bool_value = false;
+        });
+      case 'n':
+        return ParseLiteral("null", [out] { out->kind = JsonValue::Kind::kNull; });
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  template <typename Fn>
+  Status ParseLiteral(const char* word, Fn apply) {
+    const size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return Err("invalid literal");
+    pos_ += len;
+    apply();
+    return Status::Ok();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("invalid value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      return Err("invalid number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_value = v;
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Err("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) return Err("raw control char");
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return Err("invalid \\u escape");
+          }
+          if (cp >= 0xD800 && cp <= 0xDFFF) return Err("surrogates unsupported");
+          // UTF-8 encode the BMP codepoint.
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Err("invalid escape");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    if (!Consume('[')) return Err("expected array");
+    out->kind = JsonValue::Kind::kArray;
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      JsonValue elem;
+      RETURN_IF_ERROR(ParseValue(&elem, depth + 1));
+      out->array.push_back(std::move(elem));
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Err("expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    if (!Consume('{')) return Err("expected object");
+    out->kind = JsonValue::Kind::kObject;
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipWs();
+      std::string key;
+      RETURN_IF_ERROR(ParseString(&key));
+      if (!Consume(':')) return Err("expected ':'");
+      JsonValue value;
+      RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->object[std::move(key)] = std::move(value);
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Err("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Reads an optional non-negative integer field; `def` when absent.
+Status ReadIntField(const JsonValue& obj, const std::string& key, int def,
+                    int* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    *out = def;
+    return Status::Ok();
+  }
+  if (v->kind != JsonValue::Kind::kNumber || !std::isfinite(v->number_value) ||
+      v->number_value < 0 || v->number_value > 1e9 ||
+      v->number_value != std::floor(v->number_value)) {
+    return Status::InvalidArgument("field '" + key +
+                                   "' must be a non-negative integer");
+  }
+  *out = static_cast<int>(v->number_value);
+  return Status::Ok();
+}
+
+Status ReadStringField(const JsonValue& obj, const std::string& key,
+                       bool required, std::string* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    if (required) {
+      return Status::InvalidArgument("missing required field '" + key + "'");
+    }
+    out->clear();
+    return Status::Ok();
+  }
+  if (v->kind != JsonValue::Kind::kString) {
+    return Status::InvalidArgument("field '" + key + "' must be a string");
+  }
+  *out = v->string_value;
+  return Status::Ok();
+}
+
+/// Rectangular matrix of numbers; `null` cells become NaN (dark sensors).
+Status ReadMatrixField(const JsonValue& obj, const std::string& key,
+                       DMat* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kArray || v->array.empty()) {
+    return Status::InvalidArgument("field '" + key +
+                                   "' must be a non-empty array of rows");
+  }
+  const size_t rows = v->array.size();
+  size_t cols = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    const JsonValue& row = v->array[r];
+    if (row.kind != JsonValue::Kind::kArray || row.array.empty()) {
+      return Status::InvalidArgument("row " + std::to_string(r) + " of '" +
+                                     key + "' must be a non-empty array");
+    }
+    if (r == 0) {
+      cols = row.array.size();
+    } else if (row.array.size() != cols) {
+      return Status::InvalidArgument("'" + key + "' rows have ragged lengths");
+    }
+  }
+  DMat m(static_cast<int>(rows), static_cast<int>(cols));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const JsonValue& cell = v->array[r].array[c];
+      if (cell.kind == JsonValue::Kind::kNull) {
+        m.at(static_cast<int>(r), static_cast<int>(c)) =
+            std::numeric_limits<double>::quiet_NaN();
+      } else if (cell.kind == JsonValue::Kind::kNumber) {
+        m.at(static_cast<int>(r), static_cast<int>(c)) = cell.number_value;
+      } else {
+        return Status::InvalidArgument("'" + key +
+                                       "' cells must be numbers or null");
+      }
+    }
+  }
+  *out = std::move(m);
+  return Status::Ok();
+}
+
+void AppendMatrix(const DMat& m, std::string* out) {
+  out->push_back('[');
+  for (int r = 0; r < m.rows(); ++r) {
+    if (r > 0) out->push_back(',');
+    out->push_back('[');
+    for (int c = 0; c < m.cols(); ++c) {
+      if (c > 0) out->push_back(',');
+      *out += JsonNumber(m.at(r, c));
+    }
+    out->push_back(']');
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+bool IsRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+StatusOr<Request> ParseRequest(const std::string& line) {
+  ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
+  if (doc.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  Request req;
+  RETURN_IF_ERROR(ReadStringField(doc, "id", /*required=*/true, &req.id));
+  std::string method;
+  RETURN_IF_ERROR(ReadStringField(doc, "method", /*required=*/true, &method));
+  if (method == "recover") {
+    req.method = Method::kRecover;
+  } else if (method == "health") {
+    req.method = Method::kHealth;
+  } else if (method == "reload") {
+    req.method = Method::kReload;
+  } else if (method == "list_cities") {
+    req.method = Method::kListCities;
+  } else {
+    return Status::InvalidArgument("unknown method '" + method + "'");
+  }
+
+  if (req.method == Method::kRecover || req.method == Method::kReload) {
+    RETURN_IF_ERROR(ReadStringField(doc, "city", /*required=*/true, &req.city));
+  }
+  if (req.method == Method::kReload) {
+    RETURN_IF_ERROR(ReadStringField(doc, "path", /*required=*/true, &req.path));
+  }
+  if (req.method == Method::kRecover) {
+    int seed = 0;
+    RETURN_IF_ERROR(ReadIntField(doc, "seed", 0, &seed));
+    req.seed = static_cast<uint32_t>(seed);
+    RETURN_IF_ERROR(ReadIntField(doc, "deadline_ms", 0, &req.deadline_ms));
+    RETURN_IF_ERROR(
+        ReadIntField(doc, "recovery_epochs", 0, &req.recovery_epochs));
+    RETURN_IF_ERROR(ReadIntField(doc, "restarts", 0, &req.restarts));
+    RETURN_IF_ERROR(ReadMatrixField(doc, "observed_speed", &req.observed_speed));
+  }
+  return req;
+}
+
+std::string SerializeResponse(const Response& r) {
+  std::string out;
+  out.reserve(64);
+  out += "{\"id\":\"" + JsonEscape(r.id) + "\"";
+  if (!r.status.ok()) {
+    out += ",\"ok\":false,\"error\":{\"code\":\"";
+    out += StatusCodeToString(r.status.code());
+    out += "\",\"message\":\"" + JsonEscape(r.status.message());
+    out += "\",\"retryable\":";
+    out += IsRetryable(r.status.code()) ? "true" : "false";
+    out += "}}";
+    return out;
+  }
+  out += ",\"ok\":true";
+  if (!r.city.empty()) {
+    out += ",\"city\":\"" + JsonEscape(r.city) + "\"";
+    out += ",\"snapshot_version\":" + std::to_string(r.snapshot_version);
+  }
+  if (r.has_tod) {
+    out += ",\"loss\":" + JsonNumber(r.loss);
+    out += ",\"tod\":";
+    AppendMatrix(r.tod, &out);
+  }
+  if (r.has_health) {
+    out += ",\"accepting\":";
+    out += r.accepting ? "true" : "false";
+    out += ",\"cities\":[";
+    for (size_t i = 0; i < r.health.size(); ++i) {
+      const CityHealth& h = r.health[i];
+      if (i > 0) out.push_back(',');
+      out += "{\"city\":\"" + JsonEscape(h.city) + "\"";
+      out += ",\"snapshot_version\":" + std::to_string(h.snapshot_version);
+      out += ",\"queue_depth\":" + std::to_string(h.queue_depth);
+      out += ",\"queue_capacity\":" + std::to_string(h.queue_capacity) + "}";
+    }
+    out += "]";
+  }
+  if (r.has_cities) {
+    out += ",\"cities\":[";
+    for (size_t i = 0; i < r.cities.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.push_back('"');
+      out += JsonEscape(r.cities[i]);
+      out.push_back('"');
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ovs::serve

@@ -1,0 +1,96 @@
+#ifndef OVS_SERVE_SERVER_H_
+#define OVS_SERVE_SERVER_H_
+
+// The recovery server: per-city shards over a snapshot registry. Every
+// recover request builds a fresh OvsModel seeded from the request's RNG,
+// overwrites its weights from the city's pinned snapshot, and fine-tunes
+// TOD Generation against the observed speed — so the same (seed, snapshot)
+// pair always yields the same bytes back, no matter what other requests are
+// in flight. Deadlines and cancellation reach the fit through the trainer's
+// RunControl hook at epoch granularity; overload is shed at admission, never
+// absorbed as latency.
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/fault_injection.h"
+#include "serve/protocol.h"
+#include "serve/snapshot_registry.h"
+#include "util/status.h"
+
+namespace ovs::serve {
+
+struct ServerOptions {
+  AdmissionOptions admission;
+  int default_recovery_epochs = 12;
+  int default_restarts = 1;
+  int max_recovery_epochs = 2000;  ///< per-request cap; above = InvalidArgument
+  int max_restarts = 8;
+  int drain_ms = 2000;  ///< graceful-shutdown budget for in-flight requests
+};
+
+class RecoveryServer {
+ public:
+  /// `faults` optional, not owned; must outlive the server.
+  explicit RecoveryServer(ServerOptions options,
+                          FaultInjector* faults = nullptr);
+  ~RecoveryServer();
+
+  RecoveryServer(const RecoveryServer&) = delete;
+  RecoveryServer& operator=(const RecoveryServer&) = delete;
+
+  /// Trains and registers a city (snapshot v1) and spins up its shard.
+  Status RegisterCity(const std::string& city, const CityOptions& options);
+
+  SnapshotRegistry& registry() { return registry_; }
+
+  /// Asynchronous entry point: `done` is invoked exactly once — inline for
+  /// validation, shed, and the cheap methods; from a shard worker for
+  /// recover. `cancel` may be null.
+  void Submit(Request request, std::shared_ptr<CancelToken> cancel,
+              std::function<void(Response)> done);
+
+  /// Synchronous convenience for in-process clients (tests, bench): submits
+  /// and waits for the response with a timed-wait loop.
+  Response Handle(const Request& request,
+                  std::shared_ptr<CancelToken> cancel = nullptr);
+
+  /// Graceful shutdown: stop admission everywhere, wait up to drain_ms for
+  /// in-flight work, then abort stragglers (their requests answer
+  /// UNAVAILABLE) and join all workers. Idempotent.
+  void Shutdown();
+
+  bool accepting() const {
+    return accepting_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void RunJob(Job job);
+  Response HandleRecover(const Request& request, const CancelToken* cancel,
+                         std::chrono::steady_clock::time_point deadline,
+                         bool has_deadline);
+  Response HandleHealth(const Request& request) const;
+  Response HandleReload(const Request& request);
+  Response HandleListCities(const Request& request) const;
+
+  const ServerOptions options_;
+  FaultInjector* faults_;
+  SnapshotRegistry registry_;
+  std::atomic<bool> accepting_{true};
+  /// Set when the drain deadline passes: every in-flight fit aborts at its
+  /// next epoch poll.
+  std::atomic<bool> abort_inflight_{false};
+  bool shut_down_ = false;  // guarded by shards_mu_
+  mutable std::mutex shards_mu_;
+  std::map<std::string, std::unique_ptr<ShardQueue>> shards_;
+};
+
+}  // namespace ovs::serve
+
+#endif  // OVS_SERVE_SERVER_H_

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -35,6 +36,16 @@ std::string ErrnoMessage(const char* what, const std::string& path) {
   return std::string(what) + " " + path + ": " + std::strerror(errno);
 }
 
+/// Distinguishes concurrent writers inside one process: the pid alone is not
+/// unique, and two writers sharing a temp path would interleave bytes and
+/// rename a torn file over the destination.
+std::string UniqueTempPath(const std::string& path) {
+  static std::atomic<uint64_t> g_seq{0};
+  const uint64_t seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(seq);
+}
+
 }  // namespace
 
 void SetWriteFaultForTesting(WriteFaultMode mode, int64_t after_bytes) {
@@ -50,7 +61,7 @@ void ClearWriteFaultForTesting() {
 
 AtomicFileWriter::AtomicFileWriter(std::string path)
     : path_(std::move(path)),
-      temp_path_(path_ + ".tmp." + std::to_string(::getpid())),
+      temp_path_(UniqueTempPath(path_)),
       buf_(this),
       stream_(&buf_) {
   fd_ = ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);

@@ -20,6 +20,14 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

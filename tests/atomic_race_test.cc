@@ -1,0 +1,128 @@
+// Concurrency contract of ovs::AtomicFileWriter (util/atomic_file.h): the
+// destination always holds one writer's COMPLETE payload. Two writers racing
+// on the same path must not clobber each other's temp files (each gets a
+// unique temp name), and a reader overlapping a Commit() must see the old
+// bytes in full or the new bytes in full — never a mix, never a torn prefix.
+// This is the property the serve layer's hot-reload leans on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/atomic_file.h"
+
+namespace ovs {
+namespace {
+
+std::filesystem::path TestDir() {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("ovs_atomic_race_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// One writer's payload: 64 KiB of a single marker byte, so any mixing of
+/// two payloads (or a short rename source) is detectable by inspection.
+std::string Payload(char marker) { return std::string(64 * 1024, marker); }
+
+TEST(AtomicFileRaceTest, ConcurrentWritersLeaveOneCompletePayload) {
+  const std::filesystem::path dir = TestDir();
+  const std::string path = (dir / "contested.bin").string();
+  constexpr int kWriters = 8;
+
+  std::vector<std::thread> writers;
+  std::atomic<int> commits_ok{0};
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      AtomicFileWriter writer(path);
+      const std::string payload = Payload(static_cast<char>('A' + w));
+      writer.stream().write(payload.data(),
+                            static_cast<std::streamsize>(payload.size()));
+      if (writer.Commit().ok()) commits_ok.fetch_add(1);
+    });
+  }
+  for (std::thread& t : writers) t.join();
+
+  // Every writer committed (unique temp names: nobody renamed a peer's
+  // half-written temp or failed because it vanished) ...
+  EXPECT_EQ(commits_ok.load(), kWriters);
+  // ... and the survivor is exactly one writer's complete payload.
+  const std::string final_bytes = ReadAll(path);
+  ASSERT_EQ(final_bytes.size(), Payload('A').size());
+  const char marker = final_bytes[0];
+  EXPECT_GE(marker, 'A');
+  EXPECT_LT(marker, static_cast<char>('A' + kWriters));
+  EXPECT_EQ(final_bytes, Payload(marker));
+
+  // No temp litter left behind.
+  int stray_temps = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) {
+      ++stray_temps;
+    }
+  }
+  EXPECT_EQ(stray_temps, 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AtomicFileRaceTest, ReaderNeverObservesTornBytesDuringCommit) {
+  const std::filesystem::path dir = TestDir();
+  const std::string path = (dir / "hot_reload.bin").string();
+
+  // Seed the destination so the reader always has something complete.
+  {
+    AtomicFileWriter seed(path);
+    const std::string payload = Payload('0');
+    seed.stream().write(payload.data(),
+                        static_cast<std::streamsize>(payload.size()));
+    ASSERT_TRUE(seed.Commit().ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    char marker = '1';
+    while (!stop.load(std::memory_order_relaxed)) {
+      AtomicFileWriter w(path);
+      const std::string payload = Payload(marker);
+      w.stream().write(payload.data(),
+                       static_cast<std::streamsize>(payload.size()));
+      EXPECT_TRUE(w.Commit().ok());
+      marker = marker == '9' ? '1' : static_cast<char>(marker + 1);
+    }
+  });
+
+  const std::size_t expected_size = Payload('0').size();
+  int reads = 0;
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+  while (std::chrono::steady_clock::now() < until) {
+    const std::string bytes = ReadAll(path);
+    ++reads;
+    // Old-complete or new-complete: full length, one uniform marker.
+    ASSERT_EQ(bytes.size(), expected_size) << "torn read after " << reads;
+    const char marker = bytes[0];
+    EXPECT_TRUE(marker >= '0' && marker <= '9');
+    EXPECT_EQ(bytes.find_first_not_of(marker), std::string::npos)
+        << "mixed payloads after " << reads << " reads";
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_GT(reads, 0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ovs

@@ -813,6 +813,74 @@ TEST(LintRawIntrinsicsTest, Suppressible) {
                   .empty());
 }
 
+// ------------------------------------------------------------ unbounded-wait
+
+TEST(LintUnboundedWaitTest, FlagsBareConditionVariableWait) {
+  auto diags = LintContent("src/serve/admission.cc",
+                           "void Loop() {\n"
+                           "  std::unique_lock<std::mutex> lock(mu_);\n"
+                           "  cv_.wait(lock);\n"
+                           "}\n");
+  ExpectSingle(diags, "unbounded-wait", 3);
+  EXPECT_NE(diags[0].message.find("wait_for/wait_until"), std::string::npos);
+}
+
+TEST(LintUnboundedWaitTest, FlagsPredicateWaitWithoutDeadline) {
+  // Even a predicate wait has no deadline: a missed notify still hangs.
+  auto diags = LintContent(
+      "src/serve/admission.cc",
+      "void Loop() { cv_.wait(lock, [this] { return stop_; }); }\n");
+  ExpectSingle(diags, "unbounded-wait", 1);
+}
+
+TEST(LintUnboundedWaitTest, FlagsThreadJoin) {
+  auto diags = LintContent("src/serve/server.cc",
+                           "void Stop() { worker_.join(); }\n");
+  ExpectSingle(diags, "unbounded-wait", 1);
+  EXPECT_NE(diags[0].message.find("stop flag"), std::string::npos);
+}
+
+TEST(LintUnboundedWaitTest, FlagsFutureGet) {
+  auto diags = LintContent(
+      "src/serve/server.cc",
+      "double Collect(std::future<double>& result_future) {\n"
+      "  return result_future.get();\n"
+      "}\n");
+  ExpectSingle(diags, "unbounded-wait", 2);
+  EXPECT_NE(diags[0].message.find("timeout"), std::string::npos);
+}
+
+TEST(LintUnboundedWaitTest, TimedWaitsAndPlainGettersAreClean) {
+  EXPECT_TRUE(
+      LintContent("src/serve/admission.cc",
+                  "void Loop() {\n"
+                  "  cv_.wait_for(lock, std::chrono::milliseconds(50),\n"
+                  "               [this] { return stop_ || !queue_.empty(); "
+                  "});\n"
+                  "  cv_.wait_until(lock, deadline, [this] { return stop_; "
+                  "});\n"
+                  "  int depth = stats.get();\n"  // non-future receiver
+                  "}\n")
+          .empty());
+}
+
+TEST(LintUnboundedWaitTest, OnlyFencesServeSources) {
+  // The same constructs are legal elsewhere (tests join helper threads,
+  // eval waits on worker pools); the rule guards the serving layer only.
+  EXPECT_TRUE(LintContent("src/eval/harness.cc",
+                          "void Stop() { cv_.wait(lock); worker_.join(); }\n")
+                  .empty());
+}
+
+TEST(LintUnboundedWaitTest, Suppressible) {
+  EXPECT_TRUE(LintContent(
+                  "src/serve/admission.cc",
+                  "void Join() {\n"
+                  "  t.join();  // ovs-lint: allow(unbounded-wait)\n"
+                  "}\n")
+                  .empty());
+}
+
 // ------------------------------------------- lexer-backed scanning regressions
 
 TEST(LintLexerRegressionTest, RuleKeywordsInsideStringsDoNotFire) {
@@ -878,7 +946,8 @@ TEST(LintMachineryTest, AllRulesRegistered) {
         "parallelfor-capture", "wallclock-in-core", "raw-ofstream",
         "unguarded-observed-speed", "nonstable-sort", "layer-violation",
         "include-cycle", "alloc-in-parallel", "heavy-pass-by-value",
-        "mutex-in-hot-path", "bench-session", "raw-intrinsics"}) {
+        "mutex-in-hot-path", "bench-session", "raw-intrinsics",
+        "unbounded-wait"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing rule " << expected;
   }

@@ -240,8 +240,9 @@ TEST_P(SimInvariantsTest, ScenariosHoldPhysicalInvariantsEveryStep) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SimInvariantsTest,
                          ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "SerialReference" : "Parallel";
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "SerialReference"
+                                                   : "Parallel";
                          });
 
 }  // namespace

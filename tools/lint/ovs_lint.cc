@@ -50,14 +50,14 @@ const std::set<std::string>& TopDirs() {
 ///   layer 2: nn, sim                  (autodiff + simulator, both emit obs)
 ///   layer 3: od, data                 (OD tensors; datasets run the sim)
 ///   layer 4: core, baselines          (recovery model and its competitors)
-///   layer 5: eval                     (harness over everything below)
+///   layer 5: eval, serve              (harness / server over everything below)
 ///   layer 6: bench, tests, tools, examples
 int LayerOf(const std::string& module) {
   static const std::map<std::string, int> kLayers = {
           {"util", 0},     {"obs", 1},       {"nn", 2},    {"sim", 2},
           {"od", 3},       {"data", 3},      {"core", 4},  {"baselines", 4},
-          {"eval", 5},     {"bench", 6},     {"tests", 6}, {"tools", 6},
-          {"examples", 6},
+          {"eval", 5},     {"serve", 5},     {"bench", 6}, {"tests", 6},
+          {"tools", 6},    {"examples", 6},
       };
   auto it = kLayers.find(module);
   return it == kLayers.end() ? -1 : it->second;
@@ -1192,6 +1192,55 @@ void CheckRawIntrinsics(const FileCtx& ctx, std::vector<Diagnostic>* out) {
   }
 }
 
+// ----------------------------------------------------- rule: unbounded-wait
+
+/// The serving layer promises every request a structured answer — shed,
+/// deadline-exceeded, cancelled, or a result — which means no thread inside
+/// src/serve may park forever on a wait that shutdown cannot interrupt. A
+/// bare condition_variable::wait(lock) has no deadline; a future::get() has
+/// no timeout at all; a thread::join() blocks until the thread exits on its
+/// own. Each of those converts a stuck worker into a hung server. Serve code
+/// waits with wait_for/wait_until plus a stop-flag predicate; a genuinely
+/// final join (after the stop flag is set and observed) carries an allow()
+/// with a comment saying why it terminates.
+void CheckUnboundedWait(const FileCtx& ctx, std::vector<Diagnostic>* out) {
+  const bool covered = ctx.path.find("src/serve/") != std::string::npos ||
+                       ctx.path.rfind("serve/", 0) == 0;
+  if (!covered) return;
+
+  const std::vector<Token>& code = ctx.code;
+  for (size_t i = 1; i < code.size(); ++i) {
+    if (!PunctIs(code, i - 1, ".") && !PunctIs(code, i - 1, "->")) continue;
+    if (IsIdent(code[i], "wait") && PunctIs(code, i + 1, "(")) {
+      Report(ctx, code[i].line, "unbounded-wait",
+             "condition_variable::wait has no deadline, so a missed notify "
+             "hangs the server; use wait_for/wait_until with a stop-flag "
+             "predicate",
+             out);
+    }
+    if (IsIdent(code[i], "join") && PunctIs(code, i + 1, "(") &&
+        PunctIs(code, i + 2, ")")) {
+      Report(ctx, code[i].line, "unbounded-wait",
+             "thread::join blocks until the thread exits on its own; set the "
+             "stop flag first and allow() the final join with a comment "
+             "explaining why the loop terminates",
+             out);
+    }
+    if (IsIdent(code[i], "get") && PunctIs(code, i + 1, "(") &&
+        PunctIs(code, i + 2, ")") && i >= 2 &&
+        code[i - 2].kind == Tok::kIdent) {
+      const std::string& recv = code[i - 2].text;
+      if (recv.find("future") != std::string::npos ||
+          recv.find("promise") != std::string::npos) {
+        Report(ctx, code[i].line, "unbounded-wait",
+               "future::get has no timeout; use wait_for with a deadline and "
+               "a shutdown check before collecting the value",
+               out);
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------ per-directory policy
 
 /// Rules that guard *library* invariants: they stay on for src/ (and for
@@ -1229,6 +1278,7 @@ void RunFileRules(const FileCtx& ctx, std::vector<Diagnostic>* out) {
       {"mutex-in-hot-path", CheckMutexInHotPath},
       {"bench-session", CheckBenchSession},
       {"raw-intrinsics", CheckRawIntrinsics},
+      {"unbounded-wait", CheckUnboundedWait},
   };
   for (const Rule& r : kRules) {
     if (RuleEnabled(ctx, r.name)) r.check(ctx, out);
@@ -1466,6 +1516,11 @@ const std::vector<RuleInfo>& AllRules() {
        "_mm* intrinsics, __m128/__m256 vector types, or <immintrin.h>-family "
        "includes outside src/nn/vec.h fork numeric behaviour on build flags; "
        "SIMD stays behind Vec<float, N> with its bitwise scalar fallback"},
+      {"unbounded-wait",
+       "condition_variable::wait, future::get, or thread::join without a "
+       "deadline or stop-flag predicate inside src/serve can hang the "
+       "server; wait with wait_for/wait_until and allow() only provably "
+       "terminating joins"},
   };
   return kRules;
 }
